@@ -1,0 +1,82 @@
+//! Criterion benches for the Theorem 2 falsifier (EXP-T2 timing companion):
+//! how long the full proof chain takes against refutable and surviving
+//! protocols.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ba_core::lowerbound::{falsify, probe_weak_consensus, FalsifierConfig};
+use ba_crypto::Keybook;
+use ba_protocols::broken::{LeaderEcho, OwnProposal, ParanoidEcho};
+use ba_protocols::DolevStrong;
+use ba_sim::{Bit, ExecutorConfig, ProcessId};
+
+fn bench_falsify_refutable(c: &mut Criterion) {
+    let mut group = c.benchmark_group("falsify_refutable");
+    for (n, t) in [(8usize, 2usize), (12, 4), (16, 8), (24, 8)] {
+        group.bench_with_input(
+            BenchmarkId::new("leader_echo", format!("n{n}_t{t}")),
+            &(n, t),
+            |b, &(n, t)| {
+                let cfg = FalsifierConfig::new(n, t);
+                b.iter(|| falsify(&cfg, |_| LeaderEcho::new(ProcessId(0))).unwrap());
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("own_proposal", format!("n{n}_t{t}")),
+            &(n, t),
+            |b, &(n, t)| {
+                let cfg = FalsifierConfig::new(n, t);
+                b.iter(|| falsify(&cfg, |_| OwnProposal::new()).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_falsify_survivors(c: &mut Criterion) {
+    let mut group = c.benchmark_group("falsify_survivors");
+    for (n, t) in [(8usize, 2usize), (12, 4)] {
+        group.bench_with_input(
+            BenchmarkId::new("dolev_strong", format!("n{n}_t{t}")),
+            &(n, t),
+            |b, &(n, t)| {
+                let cfg = FalsifierConfig::new(n, t);
+                let book = Keybook::new(n);
+                b.iter(|| {
+                    falsify(&cfg, DolevStrong::factory(book.clone(), ProcessId(0), Bit::Zero))
+                        .unwrap()
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("paranoid_echo", format!("n{n}_t{t}")),
+            &(n, t),
+            |b, &(n, t)| {
+                let cfg = FalsifierConfig::new(n, t);
+                b.iter(|| falsify(&cfg, |_| ParanoidEcho::new()).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_prober(c: &mut Criterion) {
+    let mut group = c.benchmark_group("random_prober");
+    group.bench_function("dolev_strong_n6_t2_50trials", |b| {
+        let cfg = ExecutorConfig::new(6, 2);
+        let book = Keybook::new(6);
+        b.iter(|| {
+            probe_weak_consensus(
+                &cfg,
+                DolevStrong::factory(book.clone(), ProcessId(0), Bit::Zero),
+                50,
+                9,
+            )
+            .unwrap()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_falsify_refutable, bench_falsify_survivors, bench_prober);
+criterion_main!(benches);

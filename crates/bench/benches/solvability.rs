@@ -1,0 +1,77 @@
+//! Criterion benches for the solvability machinery (EXP-T4/T5 timing
+//! companion): exhaustive containment-condition checking cost as the
+//! configuration space `I` grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ba_core::solvability::{check_containment_condition, solvability, trivial_value};
+use ba_core::validity::{
+    enumerate_configs, IcValidity, StrongValidity, SystemParams, WeakValidity,
+};
+use ba_sim::Bit;
+
+fn bench_cc_checker(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cc_checker");
+    for (n, t) in [(3usize, 1usize), (4, 1), (5, 1), (5, 2), (6, 2)] {
+        group.bench_with_input(
+            BenchmarkId::new("weak_validity", format!("n{n}_t{t}")),
+            &(n, t),
+            |b, &(n, t)| {
+                let params = SystemParams::new(n, t);
+                let vp = WeakValidity::binary();
+                b.iter(|| check_containment_condition(&vp, &params));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("strong_validity", format!("n{n}_t{t}")),
+            &(n, t),
+            |b, &(n, t)| {
+                let params = SystemParams::new(n, t);
+                let vp = StrongValidity::binary();
+                b.iter(|| check_containment_condition(&vp, &params));
+            },
+        );
+    }
+    // IC-validity has an exponential output domain: bench the small cases.
+    for (n, t) in [(3usize, 1usize), (4, 1)] {
+        group.bench_with_input(
+            BenchmarkId::new("ic_validity", format!("n{n}_t{t}")),
+            &(n, t),
+            |b, &(n, t)| {
+                let params = SystemParams::new(n, t);
+                let vp = IcValidity::new(vec![Bit::Zero, Bit::One]);
+                b.iter(|| check_containment_condition(&vp, &params));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_enumeration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("config_enumeration");
+    for (n, t) in [(4usize, 2usize), (6, 2), (6, 3), (8, 2)] {
+        group.bench_with_input(BenchmarkId::from_parameter(format!("n{n}_t{t}")), &(n, t), |b, &(n, t)| {
+            let params = SystemParams::new(n, t);
+            b.iter(|| enumerate_configs(&params, &[Bit::Zero, Bit::One]));
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_solvability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solvability_report");
+    group.bench_function("strong_validity_n5_t2", |b| {
+        let params = SystemParams::new(5, 2);
+        let vp = StrongValidity::binary();
+        b.iter(|| solvability(&vp, &params));
+    });
+    group.bench_function("triviality_weak_n6_t2", |b| {
+        let params = SystemParams::new(6, 2);
+        let vp = WeakValidity::binary();
+        b.iter(|| trivial_value(&vp, &params));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cc_checker, bench_enumeration, bench_full_solvability);
+criterion_main!(benches);

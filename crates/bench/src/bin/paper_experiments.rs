@@ -1,0 +1,662 @@
+//! Regenerates every figure- and table-shaped experiment of the paper
+//! (see EXPERIMENTS.md for the index).
+//!
+//! Usage:
+//!
+//! ```text
+//! paper-experiments [fig1|fig2|tab1|tab2|thm2|lemma4|thm3|cor1|thm4|thm5|upper|exhaustive|all]
+//! ```
+//!
+//! With no argument, runs `all`.
+
+use std::collections::BTreeSet;
+
+use ba_bench::measure_family_complexity;
+use ba_core::lowerbound::{
+    exhaustive_omission_check, falsify, find_critical_round, merge, ExhaustiveConfig,
+    ExhaustiveOutcome, FalsifierConfig, FamilyRunner, Partition, Verdict,
+};
+use ba_core::reduction::{derive_reduction_inputs, ReductionInputs, WeakFromAgreement};
+use ba_core::solvability::solvability;
+use ba_core::validity::{
+    AnythingGoes, ExternalValidity, IcValidity, IntervalValidity, MajorityValidity,
+    SenderValidity, StrongValidity, SystemParams, UnanimityOrDefault, ValidityProperty,
+    WeakValidity,
+};
+use ba_crypto::Keybook;
+use ba_protocols::broken::{
+    EchoChain, LeaderEcho, OneRoundAllToAll, OwnProposal, ParanoidEcho, SilentConstant,
+};
+use ba_protocols::interactive_consistency::authenticated_ic_factory;
+use ba_protocols::{DolevStrong, EigConsensus, FloodSet, PhaseKing};
+use ba_sim::{
+    run_omission, Bit, ExecutorConfig, NoFaults, Payload, ProcessId, Protocol, Round,
+};
+
+fn header(id: &str, title: &str) {
+    println!("\n{}", "=".repeat(78));
+    println!("{id}  {title}");
+    println!("{}", "=".repeat(78));
+}
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let run_all = arg == "all";
+    if run_all || arg == "fig1" {
+        fig1();
+    }
+    if run_all || arg == "fig2" {
+        fig2();
+    }
+    if run_all || arg == "tab1" {
+        tab1();
+    }
+    if run_all || arg == "tab2" {
+        tab2();
+    }
+    if run_all || arg == "thm2" {
+        thm2();
+    }
+    if run_all || arg == "lemma4" {
+        lemma4();
+    }
+    if run_all || arg == "thm3" {
+        thm3();
+    }
+    if run_all || arg == "cor1" {
+        cor1();
+    }
+    if run_all || arg == "thm4" {
+        thm4();
+    }
+    if run_all || arg == "thm5" {
+        thm5();
+    }
+    if run_all || arg == "upper" {
+        upper();
+    }
+    if run_all || arg == "exhaustive" {
+        exhaustive();
+    }
+    println!();
+}
+
+/// EXP-F1 — Figure 1: isolation anatomy.
+fn fig1() {
+    header("EXP-F1", "Figure 1: behavior divergence under isolation (E_0 vs E_G(R))");
+    let (n, t) = (8, 2);
+    let partition = Partition::paper_default(n, t);
+    let cfg = ExecutorConfig::new(n, t).with_stop_when_quiescent(false).with_max_rounds(10);
+    let factory = |_| ParanoidEcho::new();
+    let runner = FamilyRunner::new(cfg, &factory, partition.clone());
+    let e0 = runner.e0::<ParanoidEcho>(Bit::Zero).unwrap();
+    println!("protocol: ParanoidEcho (2-stage echo, default 1); n = {n}, t = {t}");
+    println!("R = isolation start round of group B; cells show each group's first");
+    println!("round whose *sent* messages differ from E_0 (- = never):\n");
+    println!("{:>3} | {:>10} | {:>10} | {:>10}", "R", "group B", "group A", "group C");
+    println!("{}", "-".repeat(44));
+    for r in 1..=3u64 {
+        let eb = runner.isolated_b::<ParanoidEcho>(Round(r), Bit::Zero).unwrap();
+        let first_div = |group: &BTreeSet<ProcessId>| -> String {
+            group
+                .iter()
+                .filter_map(|p| e0.first_send_divergence(&eb, *p))
+                .min()
+                .map_or("-".to_string(), |r| r.0.to_string())
+        };
+        println!(
+            "{:>3} | {:>10} | {:>10} | {:>10}",
+            r,
+            first_div(partition.b()),
+            first_div(partition.a()),
+            first_div(partition.c()),
+        );
+    }
+    println!("\nShape check (paper): B deviates no earlier than R+1, everyone else no");
+    println!("earlier than R+2 — the green/red/blue bands of Figure 1.");
+}
+
+/// EXP-F2 — Figure 2: the merged execution rows and (for sub-quadratic
+/// protocols) the completed contradiction.
+fn fig2() {
+    header("EXP-F2", "Figure 2: merged execution E_B(R+1),C(R) and the Lemma 3/5 endgame");
+    let (n, t) = (8, 2);
+    let partition = Partition::paper_default(n, t);
+    let cfg = ExecutorConfig::new(n, t).with_stop_when_quiescent(false).with_max_rounds(12);
+
+    // Quadratic default-1 protocol: the rows line up, no contradiction.
+    println!("-- ParanoidEcho (quadratic): rows agree, no contradiction possible --");
+    let factory = |_| ParanoidEcho::new();
+    let runner = FamilyRunner::new(cfg, &factory, partition.clone());
+    let r = Round(1); // critical round of ParanoidEcho
+    let eb = runner.isolated_b::<ParanoidEcho>(r.next(), Bit::Zero).unwrap();
+    let ec = runner.isolated_c::<ParanoidEcho>(r, Bit::Zero).unwrap();
+    let merged = merge(&cfg, &factory, &partition, &eb, r.next(), &ec, r, Bit::Zero).unwrap();
+    let show = |label: &str, exec: &ba_sim::Execution<Bit, Bit, _>| {
+        println!(
+            "  {label:<24} A → {:?}  B → {:?}  C → {:?}",
+            exec.unanimous_decision(partition.a().iter()).map(|b| b.to_string()),
+            exec.unanimous_decision(partition.b().iter()).map(|b| b.to_string()),
+            exec.unanimous_decision(partition.c().iter()).map(|b| b.to_string()),
+        );
+    };
+    show("row 1: E_B(R+1)_0", &eb);
+    show("row 3: E* (merged)", &merged);
+    show("row 5: E_C(R)_0", &ec);
+    println!("  B decides in E* as in E_B(R+1)_0, C as in E_C(R)_0 (indistinguishability).");
+
+    // Sub-quadratic protocol: the falsifier completes the contradiction.
+    println!("\n-- OwnProposal (0 messages): the contradiction completes --");
+    let fcfg = FalsifierConfig::new(n, t);
+    match falsify(&fcfg, |_| OwnProposal::new()).unwrap() {
+        Verdict::Violation(cert) => {
+            println!("  violation: {}", cert.kind);
+            for step in &cert.provenance {
+                println!("    - {step}");
+            }
+            cert.verify().unwrap();
+            println!("  certificate verified ✓");
+        }
+        Verdict::Survived(_) => println!("  unexpected survival"),
+    }
+}
+
+/// EXP-TAB1 — Table 1: the execution families.
+fn tab1() {
+    header("EXP-TAB1", "Table 1: execution families for Dolev-Strong weak consensus");
+    let (n, t) = (8, 2);
+    let partition = Partition::paper_default(n, t);
+    let cfg = ExecutorConfig::new(n, t).with_stop_when_quiescent(false).with_max_rounds(14);
+    let factory = DolevStrong::factory(Keybook::new(n), ProcessId(0), Bit::Zero);
+    let runner = FamilyRunner::new(cfg, &factory, partition.clone());
+
+    println!("n = {n}, t = {t}; A = {:?}-sized, |B| = |C| = {}\n", partition.a().len(), partition.b().len());
+    println!(
+        "{:<14} {:>9} {:>8} {:>8} {:>8} {:>10} {:>7}",
+        "execution", "proposals", "dec(A)", "dec(B)", "dec(C)", "messages", "valid"
+    );
+    println!("{}", "-".repeat(72));
+    let show = |label: &str, exec: &ba_sim::Execution<Bit, Bit, _>, proposals: &str| {
+        let d = |g: &BTreeSet<ProcessId>| {
+            exec.unanimous_decision(g.iter())
+                .map_or("mixed".to_string(), |b| b.to_string())
+        };
+        println!(
+            "{:<14} {:>9} {:>8} {:>8} {:>8} {:>10} {:>7}",
+            label,
+            proposals,
+            d(partition.a()),
+            d(partition.b()),
+            d(partition.c()),
+            exec.message_complexity(),
+            if exec.validate().is_ok() { "✓" } else { "✗" },
+        );
+    };
+    show("E_0", &runner.e0::<DolevStrong<Bit>>(Bit::Zero).unwrap(), "all 0");
+    for k in [1u64, 2, 3] {
+        show(
+            &format!("E_B({k})_0"),
+            &runner.isolated_b::<DolevStrong<Bit>>(Round(k), Bit::Zero).unwrap(),
+            "all 0",
+        );
+        show(
+            &format!("E_C({k})_0"),
+            &runner.isolated_c::<DolevStrong<Bit>>(Round(k), Bit::Zero).unwrap(),
+            "all 0",
+        );
+    }
+    show("E_C(1)_1", &runner.isolated_c::<DolevStrong<Bit>>(Round(1), Bit::One).unwrap(), "all 1");
+    println!("\nEvery family member is a valid omission execution (five guarantees ✓).");
+}
+
+/// EXP-TAB2 — Table 2: reduction inputs.
+fn tab2() {
+    header("EXP-TAB2", "Table 2: Algorithm 1 inputs (c0, v'0, c*1, c1, v'1) per problem");
+    let (n, t) = (4, 1);
+    let cfg = ExecutorConfig::new(n, t);
+
+    fn show<P, F, VP>(cfg: &ExecutorConfig, name: &str, factory: F, vp: &VP)
+    where
+        P: Protocol,
+        F: Fn(ProcessId) -> P,
+        VP: ValidityProperty<Input = P::Input, Output = P::Output>,
+        P::Input: std::fmt::Debug + std::fmt::Display,
+        P::Output: std::fmt::Debug,
+    {
+        match derive_reduction_inputs(cfg, factory, vp) {
+            Ok(inputs) => {
+                println!("{name}:");
+                println!("  c0 = {:?} → v'0 = {:?}", inputs.c0, inputs.v0);
+                println!("  c*1 = {} (v'0 inadmissible)", inputs.c_star);
+                println!("  c1 = {:?} → v'1 = {:?}  (v'1 ≠ v'0 — Lemma 17 ✓)", inputs.c1, inputs.v1);
+            }
+            Err(e) => println!("{name}: {e}"),
+        }
+    }
+
+    show(&cfg, "Phase King / strong validity", |_| PhaseKing::new(n, t), &StrongValidity::binary());
+    show(
+        &cfg,
+        "EIG / strong validity",
+        |_| EigConsensus::new(n, t, Bit::Zero),
+        &StrongValidity::binary(),
+    );
+    let book = Keybook::new(n);
+    show(
+        &cfg,
+        "Dolev-Strong / sender validity",
+        DolevStrong::factory(book.clone(), ProcessId(0), Bit::Zero),
+        &SenderValidity::new(ProcessId(0), vec![Bit::Zero, Bit::One]),
+    );
+    show(
+        &cfg,
+        "Authenticated IC / IC-validity",
+        authenticated_ic_factory(book, Bit::Zero),
+        &IcValidity::new(vec![Bit::Zero, Bit::One]),
+    );
+}
+
+/// EXP-T2 — Theorem 2: the falsifier verdict table + the complexity
+/// landscape.
+fn thm2() {
+    header("EXP-T2", "Theorem 2: falsifier verdicts and message-complexity landscape");
+    let grid = [(8usize, 2usize), (12, 4), (16, 8)];
+
+    println!(
+        "{:<22} {:>7} {:>12} {:>12} {:>24}",
+        "protocol", "(n,t)", "max msgs", "t²/32", "falsifier verdict"
+    );
+    println!("{}", "-".repeat(82));
+
+    fn row<P, F>(label: &str, n: usize, t: usize, factory: F)
+    where
+        P: Protocol<Input = Bit, Output = Bit>,
+        P::Msg: Payload,
+        F: Fn(ProcessId) -> P + Clone,
+    {
+        let m = measure_family_complexity(label, n, t, factory.clone());
+        let fcfg = FalsifierConfig::new(n, t);
+        let verdict = match falsify(&fcfg, factory).unwrap() {
+            Verdict::Violation(cert) => {
+                cert.verify().unwrap();
+                format!("REFUTED ({})", cert.kind)
+            }
+            Verdict::Survived(_) => "survived".to_string(),
+        };
+        println!(
+            "{:<22} {:>7} {:>12} {:>12} {:>24}",
+            label,
+            format!("({n},{t})"),
+            m.observed_max,
+            m.paper_bound,
+            verdict
+        );
+    }
+
+    for (n, t) in grid {
+        row("silent-constant(1)", n, t, |_| SilentConstant::new(Bit::One));
+        row("own-proposal", n, t, |_| OwnProposal::new());
+        row("leader-echo", n, t, |_: ProcessId| LeaderEcho::new(ProcessId(0)));
+        row("one-round-all-to-all", n, t, |_| OneRoundAllToAll::new());
+        row("paranoid-echo", n, t, |_| ParanoidEcho::new());
+        row("flood-set (correct)", n, t, |_| FloodSet::new());
+        let book = Keybook::new(n);
+        row("dolev-strong (correct)", n, t, DolevStrong::factory(book, ProcessId(0), Bit::Zero));
+        println!();
+    }
+    // One large-t instance where the paper's floor itself condemns the
+    // sub-quadratic protocols: at (96, 88), leader-echo's 2(n-1) = 190
+    // messages sit BELOW t²/32 = 242, so Lemma 1 directly forbids it.
+    let (n, t) = (96usize, 88usize);
+    row("silent-constant(1)", n, t, |_| SilentConstant::new(Bit::One));
+    row("own-proposal", n, t, |_| OwnProposal::new());
+    row("leader-echo", n, t, |_: ProcessId| LeaderEcho::new(ProcessId(0)));
+    println!();
+    println!("Shape check (paper): every refuted protocol sits below the quadratic");
+    println!("envelope; every survivor's observed complexity ≥ the t²/32 floor. In");
+    println!("the (96,88) rows the floor t²/32 = 242 exceeds leader-echo's total");
+    println!("message budget — the regime where Lemma 1 itself forces failure.");
+}
+
+/// EXP-L4 — Lemma 4: the critical round.
+fn lemma4() {
+    header("EXP-L4", "Lemma 4: critical rounds R (decide 1 in E_B(R)_0, 0 in E_B(R+1)_0)");
+    let (n, t) = (8, 2);
+    let fcfg = FalsifierConfig::new(n, t);
+    println!("{:<22} {:>10} {:>8} {:>8} {:>9}", "protocol", "default", "R_max", "R", "flipped");
+    println!("{}", "-".repeat(62));
+    let show = |label: &str, report: Option<ba_core::lowerbound::CriticalRoundReport>| match report
+    {
+        Some(r) => println!(
+            "{:<22} {:>10} {:>8} {:>8} {:>9}",
+            label,
+            r.default_bit_canonical.to_string(),
+            r.r_max.0,
+            r.critical_round.0,
+            r.flipped
+        ),
+        None => println!("{label:<22} {:>10} {:>8} {:>8} {:>9}", "-", "-", "none", "-"),
+    };
+    for stages in 1..=6u64 {
+        let report = find_critical_round(&fcfg, move |_| EchoChain::new(stages)).unwrap();
+        show(&format!("echo-chain({stages})"), report);
+    }
+    show(
+        "paranoid-echo",
+        find_critical_round(&fcfg, |_| ParanoidEcho::new()).unwrap(),
+    );
+    let book = Keybook::new(n);
+    show(
+        "dolev-strong",
+        find_critical_round(&fcfg, DolevStrong::factory(book, ProcessId(0), Bit::Zero)).unwrap(),
+    );
+    println!("\nShape check: echo-chain(s) has R = s − 1 (the alarm needs one round to");
+    println!("reach group A); sender-driven protocols have no default-bit structure.");
+}
+
+/// EXP-T3 — Theorem 3: zero-cost generalization.
+fn thm3() {
+    header("EXP-T3", "Theorem 3: Algorithm 1 adds zero messages (bound transfers)");
+    let (n, t) = (7, 2);
+    let cfg = ExecutorConfig::new(n, t);
+    let inputs =
+        derive_reduction_inputs(&cfg, |_| PhaseKing::new(n, t), &StrongValidity::binary())
+            .unwrap();
+    println!("wrapping Phase King (strong consensus) into weak consensus; n = {n}, t = {t}\n");
+    println!("{:<22} {:>16} {:>16}", "execution", "wrapped msgs", "bare msgs");
+    println!("{}", "-".repeat(56));
+    for bit in Bit::ALL {
+        let wrapped = run_omission(
+            &cfg,
+            |_| WeakFromAgreement::new(PhaseKing::new(n, t), inputs.clone()),
+            &vec![bit; n],
+            &BTreeSet::new(),
+            &mut NoFaults,
+        )
+        .unwrap();
+        let bare_proposals = if bit == Bit::Zero { &inputs.c0 } else { &inputs.c1 };
+        let bare = run_omission(
+            &cfg,
+            |_| PhaseKing::new(n, t),
+            bare_proposals,
+            &BTreeSet::new(),
+            &mut NoFaults,
+        )
+        .unwrap();
+        println!(
+            "{:<22} {:>16} {:>16}",
+            format!("all propose {bit}"),
+            wrapped.message_complexity(),
+            bare.message_complexity()
+        );
+        assert_eq!(wrapped.message_complexity(), bare.message_complexity());
+    }
+    println!("\nIdentical columns ⇒ a sub-quadratic solution to ANY non-trivial problem");
+    println!("would give sub-quadratic weak consensus — contradicting Theorem 2.");
+}
+
+/// EXP-C1 — Corollary 1: External Validity.
+fn cor1() {
+    header("EXP-C1", "Corollary 1: External-Validity agreement is also quadratic");
+    let (n, t) = (13, 4);
+    let cfg = ExecutorConfig::new(n, t);
+    // Phase King playing the external-validity algorithm: all its decisions
+    // satisfy valid(·) (the predicate accepts both bits), and it has two
+    // fully correct executions deciding differently.
+    let run = |proposals: Vec<Bit>| {
+        run_omission(&cfg, |_| PhaseKing::new(n, t), &proposals, &BTreeSet::new(), &mut NoFaults)
+            .unwrap()
+    };
+    let e0 = run(vec![Bit::Zero; n]);
+    let e1 = run(vec![Bit::One; n]);
+    let ids: Vec<ProcessId> = ProcessId::all(n).collect();
+    let v0 = e0.unanimous_decision(ids.iter()).unwrap();
+    let v1 = e1.unanimous_decision(ids.iter()).unwrap();
+    println!("two fully correct executions decide v'0 = {v0}, v'1 = {v1} (differ ✓)");
+    let inputs = ReductionInputs {
+        c0: vec![Bit::Zero; n],
+        c1: vec![Bit::One; n],
+        v0,
+        v1,
+        c_star: ba_core::validity::InputConfig::full(vec![Bit::One; n]),
+    };
+    let m = measure_family_complexity("pk-as-external-validity", n, t, move |_| {
+        WeakFromAgreement::new(PhaseKing::new(n, t), inputs.clone())
+    });
+    println!(
+        "wrapped into weak consensus: max observed complexity {} ≥ t²/32 = {} ✓",
+        m.observed_max, m.paper_bound
+    );
+    println!("\n(the validity formalism classifies External Validity as trivial —");
+    println!(" paper §4.3 — but the two-execution condition restores the bound)");
+}
+
+/// EXP-T4 — Theorem 4: the solvability landscape.
+fn thm4() {
+    header("EXP-T4", "Theorem 4: solvability landscape (trivial / CC / auth / unauth)");
+    println!(
+        "{:<26} {:>7} {:>10} {:>5} {:>6} {:>7}",
+        "problem", "(n,t)", "trivial", "CC", "auth", "unauth"
+    );
+    println!("{}", "-".repeat(68));
+
+    fn row<VP>(vp: &VP, n: usize, t: usize)
+    where
+        VP: ValidityProperty,
+        VP::Output: std::fmt::Debug,
+    {
+        let report = solvability(vp, &SystemParams::new(n, t));
+        println!(
+            "{:<26} {:>7} {:>10} {:>5} {:>6} {:>7}",
+            vp.name(),
+            format!("({n},{t})"),
+            if report.trivial_value.is_some() { "yes" } else { "no" },
+            if report.cc.holds() { "✓" } else { "✗" },
+            report.authenticated_solvable,
+            report.unauthenticated_solvable,
+        );
+    }
+
+    for (n, t) in [(4usize, 1usize), (5, 2), (4, 2), (6, 2), (7, 2)] {
+        row(&WeakValidity::binary(), n, t);
+        row(&StrongValidity::binary(), n, t);
+        row(&SenderValidity::new(ProcessId(0), vec![Bit::Zero, Bit::One]), n, t);
+        row(&MajorityValidity::new(), n, t);
+        row(&UnanimityOrDefault::new(Bit::Zero), n, t);
+        row(&IntervalValidity::new(3), n, t);
+        row(&ExternalValidity::new(vec![0u8, 1, 2, 3], [1u8, 3]), n, t);
+        row(&AnythingGoes::new(), n, t);
+        println!();
+    }
+    println!("Cross-validated in tests/solvability_landscape.rs: every 'auth=true' row");
+    println!("is actually constructed (Algorithm 2 over Dolev-Strong IC) and verified");
+    println!("under Byzantine faults; every 'CC ✗' row carries a genuine witness.");
+}
+
+/// EXP-T5 — Theorem 5: strong consensus boundary.
+fn thm5() {
+    header("EXP-T5", "Theorem 5: strong consensus is authenticated-solvable iff n > 2t");
+    println!("CC verdict grid for binary strong consensus ('✓' = satisfiable):\n");
+    print!("      ");
+    for t in 1..=3usize {
+        print!("  t={t}");
+    }
+    println!();
+    for n in 3..=7usize {
+        print!("n = {n} ");
+        for t in 1..=3usize {
+            if t >= n {
+                print!("    -");
+                continue;
+            }
+            let report = solvability(&StrongValidity::binary(), &SystemParams::new(n, t));
+            let mark = if report.cc.holds() { "✓" } else { "✗" };
+            let expected = n > 2 * t;
+            assert_eq!(report.cc.holds(), expected, "mismatch at n={n}, t={t}");
+            print!("    {mark}");
+        }
+        println!();
+    }
+    println!("\nEvery cell matches the n > 2t prediction; the ✗ cells carry the paper's");
+    println!("witness (a balanced configuration containing two disjoint unanimous");
+    println!("sub-configurations with disjoint admissible sets).");
+}
+
+/// EXP-UB — §6 context: the upper-bound protocols.
+fn upper() {
+    header("EXP-UB", "Upper bounds: rounds and messages of the classic protocols");
+    println!(
+        "{:<28} {:>7} {:>10} {:>12} {:>14}",
+        "protocol", "(n,t)", "rounds", "messages", "formula"
+    );
+    println!("{}", "-".repeat(76));
+    for (n, t) in [(5usize, 1usize), (7, 2), (9, 2), (10, 3)] {
+        let book = Keybook::new(n);
+        let ds = ba_bench::run_fault_free(
+            n,
+            t,
+            DolevStrong::factory(book.clone(), ProcessId(0), Bit::Zero),
+            Bit::One,
+        );
+        println!(
+            "{:<28} {:>7} {:>10} {:>12} {:>14}",
+            "dolev-strong broadcast",
+            format!("({n},{t})"),
+            format!("t+1 = {}", t + 1),
+            ds.message_complexity(),
+            "O(n²)"
+        );
+        if n > 3 * t {
+            let eig = ba_bench::run_fault_free(n, t, |_| EigConsensus::new(n, t, Bit::Zero), Bit::One);
+            println!(
+                "{:<28} {:>7} {:>10} {:>12} {:>14}",
+                "EIG strong consensus",
+                format!("({n},{t})"),
+                format!("t+1 = {}", t + 1),
+                eig.message_complexity(),
+                format!("(t+1)n(n-1)={}", (t + 1) * n * (n - 1))
+            );
+            let pk = ba_bench::run_fault_free(n, t, |_| PhaseKing::new(n, t), Bit::One);
+            println!(
+                "{:<28} {:>7} {:>10} {:>12} {:>14}",
+                "phase-king strong consensus",
+                format!("({n},{t})"),
+                format!("3(t+1) = {}", 3 * (t + 1)),
+                pk.message_complexity(),
+                format!("(t+1)(2n+1)(n-1)={}", (t + 1) * (2 * n + 1) * (n - 1))
+            );
+        }
+        let fs = ba_bench::run_fault_free(n, t, |_| FloodSet::new(), Bit::One);
+        println!(
+            "{:<28} {:>7} {:>10} {:>12} {:>14}",
+            "flood-set (crash model)",
+            format!("({n},{t})"),
+            format!("t+1 = {}", t + 1),
+            fs.message_complexity(),
+            format!("(t+1)n(n-1)={}", (t + 1) * n * (n - 1))
+        );
+        let ic = ba_bench::run_fault_free(
+            n,
+            t,
+            authenticated_ic_factory(book, Bit::Zero),
+            Bit::One,
+        );
+        println!(
+            "{:<28} {:>7} {:>10} {:>12} {:>14}",
+            "authenticated IC (n × DS)",
+            format!("({n},{t})"),
+            format!("t+1 = {}", t + 1),
+            ic.message_complexity(),
+            "bundled O(n²)"
+        );
+        println!();
+    }
+    println!("All protocols sit above the Ω(t²) floor — the gap the paper closes is");
+    println!("between these upper bounds and the general lower bound, for EVERY");
+    println!("non-trivial agreement problem.");
+}
+
+/// EXP-EX — exhaustive single-corruption model checking on tiny instances.
+fn exhaustive() {
+    header(
+        "EXP-EX",
+        "Exhaustive model check: every 1-process omission adversary (n = 4, t = 1)",
+    );
+    let cfg = ExecutorConfig::new(4, 1);
+    println!(
+        "{:<24} {:>12} {:>14} {:>22}",
+        "protocol", "adversaries", "outcome", "minimal violation"
+    );
+    println!("{}", "-".repeat(76));
+
+    fn row<P, F>(
+        label: &str,
+        cfg: &ExecutorConfig,
+        bounds: &ExhaustiveConfig,
+        corrupted: ProcessId,
+        factory: F,
+    ) where
+        P: Protocol<Input = Bit, Output = Bit>,
+        F: Fn(ProcessId) -> P,
+    {
+        let outcome =
+            exhaustive_omission_check(cfg, factory, &[Bit::Zero; 4], corrupted, bounds).unwrap();
+        match outcome {
+            ExhaustiveOutcome::Violation(cert, report) => {
+                cert.verify().unwrap();
+                let omissions: usize = cert
+                    .execution
+                    .records
+                    .iter()
+                    .map(|r| r.all_send_omitted().count() + r.all_receive_omitted().count())
+                    .sum();
+                println!(
+                    "{:<24} {:>12} {:>14} {:>22}",
+                    label,
+                    report.adversaries,
+                    "VIOLATED",
+                    format!("{omissions} omission(s)")
+                );
+            }
+            ExhaustiveOutcome::Robust(report) => {
+                println!(
+                    "{:<24} {:>12} {:>14} {:>22}",
+                    label, report.adversaries, "ROBUST", "-"
+                );
+            }
+        }
+    }
+
+    let two_rounds = ExhaustiveConfig::new(2);
+    row("one-round-all-to-all", &cfg, &two_rounds, ProcessId(3), |_| OneRoundAllToAll::new());
+    row("paranoid-echo", &cfg, &two_rounds, ProcessId(3), |_| ParanoidEcho::new());
+    // Corrupting a follower cannot hurt the star topology…
+    row("leader-echo (follower)", &cfg, &two_rounds, ProcessId(3), |_: ProcessId| {
+        LeaderEcho::new(ProcessId(0))
+    });
+    // …corrupting the leader splits it with one omission.
+    row("leader-echo (leader)", &cfg, &two_rounds, ProcessId(0), |_: ProcessId| {
+        LeaderEcho::new(ProcessId(0))
+    });
+    let book = Keybook::new(4);
+    row(
+        "dolev-strong (correct)",
+        &cfg,
+        &two_rounds,
+        ProcessId(3),
+        DolevStrong::factory(book.clone(), ProcessId(0), Bit::Zero),
+    );
+    row(
+        "dolev-strong (sender)",
+        &cfg,
+        &two_rounds,
+        ProcessId(0),
+        DolevStrong::factory(book, ProcessId(0), Bit::Zero),
+    );
+
+    println!();
+    println!("ROBUST here is a proof by enumeration: across every one of the listed");
+    println!("adversaries (all send/receive omission patterns of p3 over the first");
+    println!("two rounds), no violation exists. VIOLATED rows report the smallest");
+    println!("adversary found (masks enumerated in increasing omission count).");
+}

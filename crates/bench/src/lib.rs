@@ -1,0 +1,148 @@
+//! Shared measurement helpers for the benches and the `paper-experiments`
+//! binary.
+
+use std::collections::BTreeSet;
+
+use ba_core::lowerbound::{FamilyRunner, Partition};
+use ba_sim::{
+    run_omission, Bit, ExecutorConfig, NoFaults, Payload, ProcessId, Protocol, Round,
+};
+
+/// A labeled measurement of one protocol's observed message complexity.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ComplexityMeasurement {
+    /// Protocol label.
+    pub protocol: String,
+    /// System size.
+    pub n: usize,
+    /// Fault budget.
+    pub t: usize,
+    /// The maximum message complexity across the exercised executions.
+    pub observed_max: u64,
+    /// The paper's `⌊t²/32⌋` floor.
+    pub paper_bound: u64,
+    /// Number of executions exercised.
+    pub executions: usize,
+}
+
+impl ComplexityMeasurement {
+    /// `true` iff the observation is consistent with Theorem 2 (only
+    /// meaningful for *correct* weak-consensus protocols).
+    pub fn consistent_with_bound(&self) -> bool {
+        self.observed_max >= self.paper_bound
+    }
+}
+
+/// Exercises a weak-consensus protocol across the Theorem 2 execution
+/// families (fault-free ×2, `E_B(k)` and `E_C(k)` sweeps) and reports the
+/// maximum observed message complexity.
+///
+/// This is a *lower estimate* of the worst case, which suffices for the
+/// bound-shape experiments: correct protocols land above `t²/32`, the
+/// broken sub-quadratic ones far below.
+///
+/// # Panics
+///
+/// Panics on simulator errors (protocol bugs).
+pub fn measure_family_complexity<P, F>(
+    label: &str,
+    n: usize,
+    t: usize,
+    factory: F,
+) -> ComplexityMeasurement
+where
+    P: Protocol<Input = Bit, Output = Bit>,
+    F: Fn(ProcessId) -> P,
+{
+    let cfg = ExecutorConfig::new(n, t);
+    let mut max = 0u64;
+    let mut executions = 0usize;
+    let mut observe = |c: u64| {
+        max = max.max(c);
+        executions += 1;
+    };
+
+    for bit in Bit::ALL {
+        let exec =
+            run_omission(&cfg, &factory, &vec![bit; n], &BTreeSet::new(), &mut NoFaults)
+                .expect("fault-free run");
+        observe(exec.message_complexity());
+    }
+    if t >= 2 {
+        let partition = Partition::paper_default(n, t);
+        let runner = FamilyRunner::new(cfg, &factory, partition);
+        for k in 1..=4u64 {
+            for bit in Bit::ALL {
+                let eb = runner.isolated_b::<P>(Round(k), bit).expect("family run");
+                observe(eb.message_complexity());
+                let ec = runner.isolated_c::<P>(Round(k), bit).expect("family run");
+                observe(ec.message_complexity());
+            }
+        }
+    }
+    ComplexityMeasurement {
+        protocol: label.to_string(),
+        n,
+        t,
+        observed_max: max,
+        paper_bound: (t as u64 * t as u64) / 32,
+        executions,
+    }
+}
+
+/// Runs one fault-free execution and returns it (bench helper).
+///
+/// # Panics
+///
+/// Panics on simulator errors.
+pub fn run_fault_free<P, F>(
+    n: usize,
+    t: usize,
+    factory: F,
+    proposal: Bit,
+) -> ba_sim::Execution<Bit, P::Output, P::Msg>
+where
+    P: Protocol<Input = Bit>,
+    P::Msg: Payload,
+    F: Fn(ProcessId) -> P,
+{
+    let cfg = ExecutorConfig::new(n, t);
+    run_omission(&cfg, &factory, &vec![proposal; n], &BTreeSet::new(), &mut NoFaults)
+        .expect("fault-free run")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ba_crypto::Keybook;
+    use ba_protocols::broken::LeaderEcho;
+    use ba_protocols::DolevStrong;
+
+    #[test]
+    fn family_complexity_orders_protocols_correctly() {
+        let (n, t) = (12, 4);
+        let cheap = measure_family_complexity("leader-echo", n, t, |_| {
+            LeaderEcho::new(ProcessId(0))
+        });
+        let quadratic = measure_family_complexity(
+            "dolev-strong",
+            n,
+            t,
+            DolevStrong::factory(Keybook::new(n), ProcessId(0), Bit::Zero),
+        );
+        assert!(cheap.observed_max < quadratic.observed_max);
+        assert!(quadratic.consistent_with_bound());
+        assert!(cheap.executions >= 2);
+    }
+
+    #[test]
+    fn fault_free_runner_works() {
+        let exec = run_fault_free(
+            5,
+            2,
+            DolevStrong::factory(Keybook::new(5), ProcessId(0), Bit::Zero),
+            Bit::One,
+        );
+        assert!(exec.all_correct_decided(Bit::One));
+    }
+}

@@ -1,0 +1,194 @@
+//! A first-class, type-erased catalog of agreement problems — the
+//! programmatic form of the paper's solvability landscape (§5).
+//!
+//! [`ValidityProperty`] implementations have heterogeneous input/output
+//! types (bits, numeric levels, vectors), which makes "iterate over every
+//! problem and print its Theorem 4 verdict" awkward. [`ProblemEntry`]
+//! erases the types down to what the landscape needs: a name and a
+//! [`LandscapeRow`] per `(n, t)`. The binary catalog used throughout the
+//! experiments is [`binary_catalog`].
+
+use std::fmt;
+
+use crate::solvability::{solvability, SolvabilityReport};
+use crate::validity::{
+    AnythingGoes, ExternalValidity, IntervalValidity, MajorityValidity, SenderValidity,
+    StrongValidity, SystemParams, UnanimityOrDefault, ValidityProperty, WeakValidity,
+};
+use ba_sim::{Bit, ProcessId};
+
+/// One cell of the solvability landscape: a problem's complete Theorem 4
+/// verdict at one `(n, t)`, with types erased for tabulation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LandscapeRow {
+    /// Problem name.
+    pub problem: String,
+    /// System parameters.
+    pub params: SystemParams,
+    /// `true` iff some value is admissible in every configuration.
+    pub trivial: bool,
+    /// `true` iff the containment condition holds.
+    pub cc: bool,
+    /// Theorem 4: authenticated solvability.
+    pub authenticated_solvable: bool,
+    /// Theorem 4: unauthenticated solvability.
+    pub unauthenticated_solvable: bool,
+    /// A rendering of the CC witness, when CC fails.
+    pub witness: Option<String>,
+}
+
+impl fmt::Display for LandscapeRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<26} (n={}, t={}) trivial={} CC={} auth={} unauth={}",
+            self.problem,
+            self.params.n,
+            self.params.t,
+            self.trivial,
+            if self.cc { "✓" } else { "✗" },
+            self.authenticated_solvable,
+            self.unauthenticated_solvable,
+        )
+    }
+}
+
+fn row_from_report<VI, VO>(report: &SolvabilityReport<VI, VO>) -> LandscapeRow
+where
+    VI: ba_sim::Value + fmt::Debug,
+    VO: ba_sim::Value + fmt::Debug,
+{
+    LandscapeRow {
+        problem: report.problem.clone(),
+        params: report.params,
+        trivial: report.trivial_value.is_some(),
+        cc: report.cc.holds(),
+        authenticated_solvable: report.authenticated_solvable,
+        unauthenticated_solvable: report.unauthenticated_solvable,
+        witness: report.cc.witness().map(|w| format!("{w:?}")),
+    }
+}
+
+/// A catalog entry: a named agreement problem that can be analyzed at any
+/// `(n, t)`.
+pub trait ProblemEntry {
+    /// The problem's name.
+    fn name(&self) -> String;
+
+    /// The Theorem 4 verdict at `params`.
+    fn analyze(&self, params: &SystemParams) -> LandscapeRow;
+}
+
+/// Blanket adapter: every sized validity property is a catalog entry.
+impl<VP> ProblemEntry for VP
+where
+    VP: ValidityProperty,
+    VP::Input: fmt::Debug,
+    VP::Output: fmt::Debug,
+{
+    fn name(&self) -> String {
+        ValidityProperty::name(self)
+    }
+
+    fn analyze(&self, params: &SystemParams) -> LandscapeRow {
+        row_from_report(&solvability(self, params))
+    }
+}
+
+/// The catalog of binary-proposal problems used across the experiments, in
+/// presentation order.
+///
+/// ```
+/// use ba_core::landscape::binary_catalog;
+/// use ba_core::validity::SystemParams;
+///
+/// let rows: Vec<_> = binary_catalog()
+///     .iter()
+///     .map(|p| p.analyze(&SystemParams::new(4, 1)))
+///     .collect();
+/// assert!(rows.iter().any(|r| r.problem == "weak-validity" && r.authenticated_solvable));
+/// assert!(rows.iter().any(|r| r.problem == "majority-validity" && !r.cc));
+/// ```
+pub fn binary_catalog() -> Vec<Box<dyn ProblemEntry>> {
+    vec![
+        Box::new(WeakValidity::binary()),
+        Box::new(StrongValidity::binary()),
+        Box::new(SenderValidity::new(ProcessId(0), vec![Bit::Zero, Bit::One])),
+        Box::new(MajorityValidity::new()),
+        Box::new(UnanimityOrDefault::new(Bit::Zero)),
+        Box::new(AnythingGoes::new()),
+    ]
+}
+
+/// The extended catalog including multi-valued problems.
+pub fn full_catalog() -> Vec<Box<dyn ProblemEntry>> {
+    let mut catalog = binary_catalog();
+    catalog.push(Box::new(IntervalValidity::new(3)));
+    catalog.push(Box::new(ExternalValidity::new(vec![0u8, 1, 2, 3], [1u8, 3])));
+    catalog
+}
+
+/// Analyzes the full catalog over a grid of parameters, producing the
+/// landscape in row-major order.
+pub fn analyze_grid(params: &[SystemParams]) -> Vec<LandscapeRow> {
+    let catalog = full_catalog();
+    let mut rows = Vec::with_capacity(catalog.len() * params.len());
+    for p in params {
+        for entry in &catalog {
+            rows.push(entry.analyze(p));
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_names_are_unique() {
+        let catalog = full_catalog();
+        let mut names: Vec<String> = catalog.iter().map(|p| p.name()).collect();
+        let total = names.len();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), total, "duplicate catalog names");
+    }
+
+    #[test]
+    fn grid_analysis_matches_direct_solvability() {
+        let params = SystemParams::new(4, 1);
+        let rows = analyze_grid(&[params]);
+        assert_eq!(rows.len(), full_catalog().len());
+        let weak = rows.iter().find(|r| r.problem == "weak-validity").unwrap();
+        assert!(weak.cc && weak.authenticated_solvable && weak.unauthenticated_solvable);
+        assert!(!weak.trivial);
+        let majority = rows.iter().find(|r| r.problem == "majority-validity").unwrap();
+        assert!(!majority.cc);
+        assert!(majority.witness.is_some());
+    }
+
+    #[test]
+    fn rows_render_readably() {
+        let row = binary_catalog()[0].analyze(&SystemParams::new(4, 1));
+        let text = row.to_string();
+        assert!(text.contains("weak-validity"));
+        assert!(text.contains("n=4"));
+    }
+
+    #[test]
+    fn theorem_boundaries_visible_in_the_grid() {
+        let grid = [
+            SystemParams::new(5, 2), // n > 2t, n ≤ 3t
+            SystemParams::new(7, 2), // n > 3t
+            SystemParams::new(4, 2), // n = 2t
+        ];
+        let rows = analyze_grid(&grid);
+        let strong =
+            |n: usize| rows.iter().find(|r| r.problem == "strong-validity" && r.params.n == n);
+        assert!(strong(5).unwrap().authenticated_solvable);
+        assert!(!strong(5).unwrap().unauthenticated_solvable, "5 ≤ 3·2");
+        assert!(strong(7).unwrap().unauthenticated_solvable);
+        assert!(!strong(4).unwrap().authenticated_solvable, "Theorem 5 at n = 2t");
+    }
+}

@@ -1,0 +1,52 @@
+//! # ba-core — the paper's contribution, executable
+//!
+//! This crate is the heart of the reproduction of *All Byzantine Agreement
+//! Problems are Expensive* (Civit, Gilbert, Guerraoui, Komatovic, Paramonov,
+//! Vidigueira; PODC 2024). Each section of the paper maps to a module:
+//!
+//! | Paper | Module |
+//! |---|---|
+//! | §4.1 validity formalism (input configurations, containment `⊒`) | [`validity`] |
+//! | §5 containment condition, general solvability theorem (Thm 4, Thm 5) | [`solvability`] |
+//! | §4.2 Lemma 7 as an executable validity refuter (Thm 4 necessity) | [`refuter`] |
+//! | §5 the solvability landscape as a typed catalog | [`landscape`] |
+//! | §4.2 Algorithm 1 (weak consensus from any non-trivial problem) | [`reduction`] |
+//! | §5.2.2 Algorithm 2 (any CC problem from interactive consistency) | [`reduction`] |
+//! | §3 + Appendix A: isolation (Def. 1), `swap_omission` (Alg. 4), `merge` (Alg. 5), critical round (Lemma 4), and the Ω(t²) argument as a **falsifier** | [`lowerbound`] |
+//!
+//! The falsifier deserves emphasis: it is the Theorem 2 proof *run forward*.
+//! Given any claimed weak-consensus protocol, it constructs the execution
+//! families of the paper's Table 1, applies Lemmas 2–5, and either
+//!
+//! * produces a [`lowerbound::Certificate`] — a concrete, machine-checkable
+//!   omission-only execution in which two correct processes disagree (or a
+//!   correct process never decides, or Weak Validity fails), or
+//! * reports survival with the observed message complexity, which for a
+//!   correct protocol is at least the paper's `t²/32` floor.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ba_core::lowerbound::{falsify, FalsifierConfig, Verdict};
+//! use ba_protocols::broken::LeaderEcho;
+//! use ba_sim::ProcessId;
+//!
+//! // LeaderEcho claims weak consensus with O(n) messages — Theorem 2 says
+//! // that is impossible, and the falsifier proves it concretely:
+//! let cfg = FalsifierConfig::new(12, 4);
+//! let verdict = falsify(&cfg, |_pid| LeaderEcho::new(ProcessId(0))).unwrap();
+//! match verdict {
+//!     Verdict::Violation(cert) => cert.verify().unwrap(),
+//!     Verdict::Survived(report) => panic!("LeaderEcho should not survive: {report:?}"),
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod landscape;
+pub mod lowerbound;
+pub mod reduction;
+pub mod refuter;
+pub mod solvability;
+pub mod validity;

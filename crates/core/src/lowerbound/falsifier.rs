@@ -1,0 +1,926 @@
+//! The Ω(t²) lower-bound argument (paper §3, Theorem 2) as an executable
+//! **falsifier** for claimed weak-consensus protocols.
+//!
+//! The paper's proof assumes a weak-consensus algorithm `A` with message
+//! complexity below `t²/32` and derives a contradiction through a chain of
+//! constructed executions. The falsifier performs the identical chain on a
+//! *real* protocol:
+//!
+//! 1. **Weak Validity / Termination** on the two fully correct uniform
+//!    executions (`E_0` and its all-ones sibling) — also measuring `R_max`;
+//! 2. **Lemma 2** on every isolation execution: an isolated process that
+//!    disagrees with the correct processes and receive-omitted few messages
+//!    is made *correct* via [`swap_omission`], yielding a concrete
+//!    Agreement/Termination violation;
+//! 3. **Lemma 3** on the mergeable pairs `(E_B(1)_0, E_C(1)_0)` and
+//!    `(E_B(1)_0, E_C(1)_1)`: if group `A` decides differently, the
+//!    [`merge`]d execution plus step 2 produces the violation;
+//! 4. **WLOG flip**: if the default bit is 0, the whole argument re-runs on
+//!    the [`BitFlipped`] protocol (Weak Validity is bit-symmetric);
+//! 5. **Lemma 4**: scan for the critical round `R` where `E_B(R)_0` decides
+//!    1 but `E_B(R+1)_0` decides 0;
+//! 6. **Lemma 5**: merge `E_B(R or R+1)_0` with `E_C(R)_0` and apply step 2.
+//!
+//! Each produced [`Certificate`] carries the violating [`Execution`] and is
+//! independently re-checkable with [`Certificate::verify`]. When every step
+//! fails to produce a violation — which, per the paper, *must* happen for
+//! correct protocols and can only happen because they send too many
+//! messages for the Lemma 2 pigeonhole — the falsifier reports
+//! [`SurvivalReport`] with the observed message complexity and the paper's
+//! `t²/32` floor.
+
+use std::collections::BTreeSet;
+use std::error::Error;
+use std::fmt;
+
+use ba_sim::{
+    Bit, Execution, ExecutionInvariantError, ExecutorConfig, Payload, ProcessId, Protocol, Round,
+    SimError,
+};
+
+use super::family::{FamilyRunner, Partition};
+use super::flip::{unflip_execution, BitFlipped};
+use super::merge::{merge, MergeError};
+use super::swap::swap_omission;
+
+/// Parameters of a falsification run.
+#[derive(Clone, Debug)]
+pub struct FalsifierConfig {
+    /// Number of processes.
+    pub n: usize,
+    /// Resilience bound.
+    pub t: usize,
+    /// Fixed execution horizon: all constructed executions run exactly this
+    /// many rounds so they are comparable. Termination certificates assert
+    /// "undecided within the horizon" — generous by default
+    /// (`4·(t + 2) + 8`, ample for every protocol in this repository, all
+    /// of which decide within `3(t + 1) + 1` rounds).
+    pub horizon: u64,
+}
+
+impl FalsifierConfig {
+    /// Creates a configuration with the default horizon.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2 ≤ t < n` and the paper partition fits (see
+    /// [`Partition::paper_default`]).
+    pub fn new(n: usize, t: usize) -> Self {
+        let cfg = FalsifierConfig { n, t, horizon: 4 * (t as u64 + 2) + 8 };
+        let _ = cfg.partition(); // validate early
+        cfg
+    }
+
+    /// The executor configuration used for every constructed execution:
+    /// fixed horizon, no early stopping.
+    pub fn executor_config(&self) -> ExecutorConfig {
+        ExecutorConfig::new(self.n, self.t)
+            .with_max_rounds(self.horizon)
+            .with_stop_when_quiescent(false)
+    }
+
+    /// The `(A, B, C)` partition (paper Table 1).
+    pub fn partition(&self) -> Partition {
+        Partition::paper_default(self.n, self.t)
+    }
+
+    /// The paper's worst-case floor `⌊t²/32⌋` (Lemma 1). Vacuous for very
+    /// small `t`; the falsifier's per-process pigeonhole is sharper.
+    pub fn paper_bound(&self) -> u64 {
+        (self.t as u64 * self.t as u64) / 32
+    }
+}
+
+/// Which weak-consensus property a certificate violates.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ViolationKind {
+    /// Two correct processes decided different values.
+    Agreement {
+        /// A correct process.
+        p: ProcessId,
+        /// Another correct process with a different decision.
+        q: ProcessId,
+    },
+    /// A correct process never decided within the horizon.
+    Termination {
+        /// The undecided correct process.
+        undecided: ProcessId,
+        /// A decided correct process, when one exists (for context).
+        decided: Option<ProcessId>,
+    },
+    /// All processes were correct and proposed the same bit, but some
+    /// process decided the other bit.
+    WeakValidity {
+        /// The offending process.
+        process: ProcessId,
+        /// The bit everyone proposed.
+        proposed: Bit,
+        /// The bit the process decided.
+        decided: Bit,
+    },
+}
+
+impl fmt::Display for ViolationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ViolationKind::Agreement { p, q } => write!(f, "Agreement violated by {p} and {q}"),
+            ViolationKind::Termination { undecided, .. } => {
+                write!(f, "Termination violated by {undecided}")
+            }
+            ViolationKind::WeakValidity { process, proposed, decided } => write!(
+                f,
+                "Weak Validity violated by {process}: all proposed {proposed}, it decided {decided}"
+            ),
+        }
+    }
+}
+
+/// A machine-checkable counterexample: an omission-only execution in which
+/// the claimed weak-consensus protocol violates one of its properties.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Certificate<M> {
+    /// The violating execution (valid per the five execution guarantees).
+    pub execution: Execution<Bit, Bit, M>,
+    /// What is violated, by whom.
+    pub kind: ViolationKind,
+    /// Human-readable derivation: which lemmas produced this execution.
+    pub provenance: Vec<String>,
+}
+
+/// Why a certificate failed verification.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CertificateError {
+    /// The execution violates the model's guarantees.
+    InvalidExecution(ExecutionInvariantError),
+    /// A process named by the violation is not correct in the execution.
+    NamedProcessFaulty(ProcessId),
+    /// The recorded decisions do not exhibit the claimed violation.
+    ClaimMismatch(String),
+}
+
+impl fmt::Display for CertificateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CertificateError::InvalidExecution(e) => write!(f, "invalid execution: {e}"),
+            CertificateError::NamedProcessFaulty(p) => {
+                write!(f, "named process {p} is faulty in the execution")
+            }
+            CertificateError::ClaimMismatch(s) => write!(f, "claim mismatch: {s}"),
+        }
+    }
+}
+
+impl Error for CertificateError {}
+
+impl<M: Payload> Certificate<M> {
+    /// Independently re-checks this certificate: the execution satisfies
+    /// the five execution guarantees with at most `t` omission-faulty
+    /// processes, and the named correct processes exhibit exactly the
+    /// claimed violation.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failed check.
+    pub fn verify(&self) -> Result<(), CertificateError> {
+        let exec = &self.execution;
+        exec.validate().map_err(CertificateError::InvalidExecution)?;
+        let check_correct = |p: ProcessId| {
+            if exec.is_correct(p) {
+                Ok(())
+            } else {
+                Err(CertificateError::NamedProcessFaulty(p))
+            }
+        };
+        match self.kind {
+            ViolationKind::Agreement { p, q } => {
+                check_correct(p)?;
+                check_correct(q)?;
+                let (dp, dq) = (exec.decision_of(p), exec.decision_of(q));
+                match (dp, dq) {
+                    (Some(a), Some(b)) if a != b => Ok(()),
+                    _ => Err(CertificateError::ClaimMismatch(format!(
+                        "decisions of {p} and {q} are {dp:?} and {dq:?}"
+                    ))),
+                }
+            }
+            ViolationKind::Termination { undecided, decided } => {
+                check_correct(undecided)?;
+                if exec.decision_of(undecided).is_some() {
+                    return Err(CertificateError::ClaimMismatch(format!(
+                        "{undecided} actually decided"
+                    )));
+                }
+                if let Some(q) = decided {
+                    check_correct(q)?;
+                    if exec.decision_of(q).is_none() {
+                        return Err(CertificateError::ClaimMismatch(format!(
+                            "{q} is claimed decided but is not"
+                        )));
+                    }
+                }
+                Ok(())
+            }
+            ViolationKind::WeakValidity { process, proposed, decided } => {
+                if !exec.faulty.is_empty() {
+                    return Err(CertificateError::ClaimMismatch(
+                        "weak-validity violations require a fully correct execution".into(),
+                    ));
+                }
+                if exec.records.iter().any(|r| r.proposal != proposed) {
+                    return Err(CertificateError::ClaimMismatch(
+                        "proposals are not uniform".into(),
+                    ));
+                }
+                if proposed == decided {
+                    return Err(CertificateError::ClaimMismatch(
+                        "claimed decision equals the proposal".into(),
+                    ));
+                }
+                if exec.decision_of(process) != Some(&decided) {
+                    return Err(CertificateError::ClaimMismatch(format!(
+                        "{process} did not decide {decided}"
+                    )));
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// The falsifier ran the complete argument without finding a violation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SurvivalReport {
+    /// The largest message complexity observed across all constructed
+    /// executions. For a correct protocol, Theorem 2 puts the *worst-case*
+    /// complexity at ≥ `t²/32`; the observed value is a lower estimate.
+    pub max_message_complexity: u64,
+    /// The paper's floor `⌊t²/32⌋`.
+    pub paper_bound: u64,
+    /// Number of executions constructed and examined.
+    pub executions_explored: usize,
+    /// Notes on why each avenue of the proof failed to produce a violation.
+    pub notes: Vec<String>,
+}
+
+/// The overall outcome of a falsification run.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Verdict<M> {
+    /// A concrete, verifiable counterexample was constructed.
+    Violation(Certificate<M>),
+    /// The protocol survived the full argument.
+    Survived(SurvivalReport),
+}
+
+impl<M: Payload> Verdict<M> {
+    /// The certificate, if a violation was found.
+    pub fn certificate(&self) -> Option<&Certificate<M>> {
+        match self {
+            Verdict::Violation(c) => Some(c),
+            Verdict::Survived(_) => None,
+        }
+    }
+
+    /// `true` iff a violation was found.
+    pub fn is_violation(&self) -> bool {
+        matches!(self, Verdict::Violation(_))
+    }
+}
+
+/// An error while driving the falsifier (distinct from finding or not
+/// finding a violation).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum FalsifyError {
+    /// The simulator rejected a run — the protocol violates the
+    /// computational model itself.
+    Sim(SimError),
+    /// The merge construction failed — typically protocol non-determinism.
+    Merge(MergeError),
+}
+
+impl fmt::Display for FalsifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FalsifyError::Sim(e) => write!(f, "simulation error: {e}"),
+            FalsifyError::Merge(e) => write!(f, "merge error: {e}"),
+        }
+    }
+}
+
+impl Error for FalsifyError {}
+
+impl From<SimError> for FalsifyError {
+    fn from(e: SimError) -> Self {
+        FalsifyError::Sim(e)
+    }
+}
+
+impl From<MergeError> for FalsifyError {
+    fn from(e: MergeError) -> Self {
+        FalsifyError::Merge(e)
+    }
+}
+
+#[derive(Default)]
+struct Stats {
+    max_complexity: u64,
+    explored: usize,
+    notes: Vec<String>,
+}
+
+impl Stats {
+    fn observe<M: Payload>(&mut self, exec: &Execution<Bit, Bit, M>) {
+        self.max_complexity = self.max_complexity.max(exec.message_complexity());
+        self.explored += 1;
+    }
+
+    fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+}
+
+/// Runs the complete Theorem 2 argument against `factory`'s protocol.
+///
+/// # Errors
+///
+/// Returns [`FalsifyError`] only for protocols that violate the
+/// computational model (non-determinism, self-sends, revoked decisions);
+/// "the protocol is broken as weak consensus" is a successful
+/// [`Verdict::Violation`], not an error.
+pub fn falsify<P, F>(cfg: &FalsifierConfig, factory: F) -> Result<Verdict<P::Msg>, FalsifyError>
+where
+    P: Protocol<Input = Bit, Output = Bit>,
+    F: Fn(ProcessId) -> P,
+{
+    let mut stats = Stats::default();
+    if let Some(cert) = attempt(cfg, &factory, &mut stats, false)? {
+        return Ok(Verdict::Violation(cert));
+    }
+    // WLOG step: rerun the whole argument on the bit-flipped protocol.
+    let flipped_factory = |pid: ProcessId| BitFlipped::new(factory(pid));
+    if let Some(cert) = attempt(cfg, &flipped_factory, &mut stats, true)? {
+        return Ok(Verdict::Violation(unflip_certificate(cert)));
+    }
+    Ok(Verdict::Survived(SurvivalReport {
+        max_message_complexity: stats.max_complexity,
+        paper_bound: cfg.paper_bound(),
+        executions_explored: stats.explored,
+        notes: stats.notes,
+    }))
+}
+
+fn unflip_certificate<M: Payload>(cert: Certificate<M>) -> Certificate<M> {
+    let mut provenance = cert.provenance;
+    provenance.push("mapped back from the bit-flipped orientation".into());
+    let kind = match cert.kind {
+        ViolationKind::WeakValidity { process, proposed, decided } => {
+            ViolationKind::WeakValidity { process, proposed: proposed.flip(), decided: decided.flip() }
+        }
+        other => other,
+    };
+    Certificate { execution: unflip_execution(cert.execution), kind, provenance }
+}
+
+/// Either a clean unanimous verdict of the correct processes, or a direct
+/// violation certificate (the execution itself is the counterexample).
+fn correct_verdict<M: Payload>(
+    exec: &Execution<Bit, Bit, M>,
+    provenance: &[String],
+    label: &str,
+) -> Result<Bit, Box<Certificate<M>>> {
+    let mut decided: Option<(Bit, ProcessId)> = None;
+    let mut undecided: Option<ProcessId> = None;
+    for p in exec.correct() {
+        match exec.decision_of(p) {
+            Some(v) => match decided {
+                Some((w, q)) if *v != w => {
+                    return Err(Box::new(Certificate {
+                        execution: exec.clone(),
+                        kind: ViolationKind::Agreement { p: q, q: p },
+                        provenance: with_note(
+                            provenance,
+                            format!("{label}: correct processes disagree directly"),
+                        ),
+                    }));
+                }
+                Some(_) => {}
+                None => decided = Some((*v, p)),
+            },
+            None => undecided = Some(p),
+        }
+    }
+    if let Some(u) = undecided {
+        return Err(Box::new(Certificate {
+            execution: exec.clone(),
+            kind: ViolationKind::Termination { undecided: u, decided: decided.map(|(_, q)| q) },
+            provenance: with_note(
+                provenance,
+                format!("{label}: a correct process never decides within the horizon"),
+            ),
+        }));
+    }
+    Ok(decided.expect("at least one correct process exists").0)
+}
+
+fn with_note(provenance: &[String], note: String) -> Vec<String> {
+    let mut out = provenance.to_vec();
+    out.push(note);
+    out
+}
+
+/// The Lemma 2 engine, exposed for standalone use: given an execution in
+/// which the processes of `group` are faulty (e.g. isolated per
+/// Definition 1) while the rest decided `expected`, find a group member
+/// that disagrees and can be made correct by [`swap_omission`] within the
+/// fault budget — a direct, verifiable violation of weak consensus.
+///
+/// Returns `None` when every disagreeing member receive-omitted messages
+/// from too many senders (the pigeonhole of Lemma 2 does not apply — the
+/// protocol sent too much), which is exactly how correct quadratic
+/// protocols escape.
+///
+/// `provenance` and `label` annotate the certificate's derivation trail.
+pub fn lemma2_violation<M: Payload>(
+    exec: &Execution<Bit, Bit, M>,
+    group: &BTreeSet<ProcessId>,
+    expected: Bit,
+    provenance: &[String],
+    label: &str,
+) -> Option<Certificate<M>> {
+    // Cheapest pivots first: fewer receive-omissions blame fewer senders.
+    let mut candidates: Vec<(usize, ProcessId)> = group
+        .iter()
+        .filter(|p| exec.decision_of(**p) != Some(&expected))
+        .map(|p| (exec.record(*p).all_receive_omitted().count(), *p))
+        .collect();
+    candidates.sort_unstable();
+    for (_, pivot) in candidates {
+        let Ok(swapped) = swap_omission(exec, pivot) else { continue };
+        if swapped.validate().is_err() {
+            continue;
+        }
+        let Some(partner) = swapped
+            .correct()
+            .find(|q| *q != pivot && swapped.decision_of(*q) == Some(&expected))
+        else {
+            continue;
+        };
+        let kind = match swapped.decision_of(pivot) {
+            Some(_) => ViolationKind::Agreement { p: pivot, q: partner },
+            None => ViolationKind::Termination { undecided: pivot, decided: Some(partner) },
+        };
+        return Some(Certificate {
+            execution: swapped,
+            kind,
+            provenance: with_note(
+                provenance,
+                format!(
+                    "{label}: Lemma 2 — swap_omission (Algorithm 4) makes disagreeing \
+                     isolated process {pivot} correct"
+                ),
+            ),
+        });
+    }
+    None
+}
+
+/// One full pass of the argument in one bit orientation.
+#[allow(clippy::too_many_lines)]
+fn attempt<P, F>(
+    cfg: &FalsifierConfig,
+    factory: &F,
+    stats: &mut Stats,
+    flipped: bool,
+) -> Result<Option<Certificate<P::Msg>>, FalsifyError>
+where
+    P: Protocol<Input = Bit, Output = Bit>,
+    F: Fn(ProcessId) -> P,
+{
+    let ecfg = cfg.executor_config();
+    let partition = cfg.partition();
+    let runner = FamilyRunner::new(ecfg, factory, partition.clone());
+    let orientation = if flipped { "flipped" } else { "canonical" };
+    let mut prov = vec![format!("orientation: {orientation}")];
+
+    // Step 1: Weak Validity and Termination on the fully correct uniform
+    // executions; also measure R_max.
+    let mut rmax = Round(1);
+    for bit in Bit::ALL {
+        let e = runner.e0::<P>(bit)?;
+        stats.observe(&e);
+        for p in ProcessId::all(cfg.n) {
+            match e.decision_of(p) {
+                Some(v) if *v != bit => {
+                    return Ok(Some(Certificate {
+                        kind: ViolationKind::WeakValidity {
+                            process: p,
+                            proposed: bit,
+                            decided: *v,
+                        },
+                        execution: e,
+                        provenance: with_note(
+                            &prov,
+                            format!("fully correct all-{bit} execution decides {}", bit.flip()),
+                        ),
+                    }));
+                }
+                Some(_) => {}
+                None => {
+                    let decided = e.correct().find(|q| e.decision_of(*q).is_some());
+                    return Ok(Some(Certificate {
+                        kind: ViolationKind::Termination { undecided: p, decided },
+                        execution: e,
+                        provenance: with_note(
+                            &prov,
+                            format!("fully correct all-{bit} execution: {p} never decides"),
+                        ),
+                    }));
+                }
+            }
+        }
+        rmax = rmax.max(e.all_decided_by().expect("all decided above"));
+    }
+    prov.push(format!("R_max = {} (all correct decide by then in E_0)", rmax.0));
+
+    // Helper: run one isolation execution, require a clean verdict of the
+    // correct processes, and apply the Lemma 2 engine to the isolated group.
+    let examine = |exec: Execution<Bit, Bit, P::Msg>,
+                       group: &BTreeSet<ProcessId>,
+                       label: &str,
+                       prov: &[String],
+                       stats: &mut Stats|
+     -> Result<Bit, Box<Certificate<P::Msg>>> {
+        stats.observe(&exec);
+        debug_assert_eq!(exec.validate(), Ok(()));
+        let verdict = correct_verdict(&exec, prov, label)?;
+        if let Some(cert) = lemma2_violation(&exec, group, verdict, prov, label) {
+            return Err(Box::new(cert));
+        }
+        Ok(verdict)
+    };
+
+    // Step 2/3: the k = 1 isolation executions and the Lemma 3 pairs.
+    let eb1_0 = runner.isolated_b::<P>(Round(1), Bit::Zero)?;
+    let x = match examine(eb1_0.clone(), partition.b(), "E_B(1)_0", &prov, stats) {
+        Ok(v) => v,
+        Err(cert) => return Ok(Some(*cert)),
+    };
+    let ec1_0 = runner.isolated_c::<P>(Round(1), Bit::Zero)?;
+    let y = match examine(ec1_0.clone(), partition.c(), "E_C(1)_0", &prov, stats) {
+        Ok(v) => v,
+        Err(cert) => return Ok(Some(*cert)),
+    };
+    prov.push(format!("A decides {x} in E_B(1)_0 and {y} in E_C(1)_0"));
+    if x != y {
+        prov.push("Lemma 3 violated by (E_B(1)_0, E_C(1)_0): merging".into());
+        return contradict::<P, F>(
+            cfg, factory, &partition, stats, &prov, &eb1_0, Round(1), &ec1_0, Round(1), Bit::Zero,
+        );
+    }
+    let ec1_1 = runner.isolated_c::<P>(Round(1), Bit::One)?;
+    let z = match examine(ec1_1.clone(), partition.c(), "E_C(1)_1", &prov, stats) {
+        Ok(v) => v,
+        Err(cert) => return Ok(Some(*cert)),
+    };
+    prov.push(format!("A decides {z} in E_C(1)_1"));
+    if x != z {
+        prov.push("Lemma 3 violated by (E_B(1)_0, E_C(1)_1): merging".into());
+        return contradict::<P, F>(
+            cfg, factory, &partition, stats, &prov, &eb1_0, Round(1), &ec1_1, Round(1), Bit::One,
+        );
+    }
+
+    // Step 4: the WLOG orientation check.
+    let default_bit = x;
+    if default_bit == Bit::Zero {
+        stats.note(format!(
+            "{orientation}: default bit is 0; Lemma-3 pairs agree; the argument continues in \
+             the other orientation"
+        ));
+        return Ok(None);
+    }
+    prov.push("default bit is 1 (paper's WLOG normal form)".into());
+
+    // Step 5 (Lemma 4): scan for the critical round R.
+    let mut prev = eb1_0;
+    let mut critical: Option<(Round, Execution<Bit, Bit, P::Msg>, Execution<Bit, Bit, P::Msg>)> =
+        None;
+    for k in 2..=rmax.0 + 1 {
+        let e = runner.isolated_b::<P>(Round(k), Bit::Zero)?;
+        let d = match examine(e.clone(), partition.b(), &format!("E_B({k})_0"), &prov, stats) {
+            Ok(v) => v,
+            Err(cert) => return Ok(Some(*cert)),
+        };
+        if d == Bit::Zero {
+            critical = Some((Round(k - 1), prev, e));
+            break;
+        }
+        prev = e;
+    }
+    let Some((r, eb_r, eb_r1)) = critical else {
+        stats.note(format!(
+            "{orientation}: no critical round up to R_max + 1 = {} — A never abandons the \
+             default within the horizon",
+            rmax.0 + 1
+        ));
+        return Ok(None);
+    };
+    prov.push(format!(
+        "Lemma 4: critical round R = {} (A decides 1 in E_B({})_0 and 0 in E_B({})_0)",
+        r.0,
+        r.0,
+        r.0 + 1
+    ));
+
+    // Step 6 (Lemma 5): merge the appropriate pair with E_C(R)_0.
+    let ec_r = runner.isolated_c::<P>(r, Bit::Zero)?;
+    let w = match examine(ec_r.clone(), partition.c(), &format!("E_C({})_0", r.0), &prov, stats) {
+        Ok(v) => v,
+        Err(cert) => return Ok(Some(*cert)),
+    };
+    prov.push(format!("A decides {w} in E_C({})_0", r.0));
+    let outcome = if w == Bit::One {
+        prov.push("merging E_B(R+1)_0 (A: 0) with E_C(R)_0 (A: 1) — Lemma 5".into());
+        contradict::<P, F>(
+            cfg,
+            factory,
+            &partition,
+            stats,
+            &prov,
+            &eb_r1,
+            r.next(),
+            &ec_r,
+            r,
+            Bit::Zero,
+        )
+    } else {
+        prov.push("merging E_B(R)_0 (A: 1) with E_C(R)_0 (A: 0) — Lemma 5".into());
+        contradict::<P, F>(cfg, factory, &partition, stats, &prov, &eb_r, r, &ec_r, r, Bit::Zero)
+    }?;
+    if outcome.is_none() {
+        stats.note(format!(
+            "{orientation}: merged execution around the critical round produced no \
+             low-omission disagreeing process (Lemma 2 pigeonhole holds — the protocol \
+             sends too many messages)"
+        ));
+    }
+    Ok(outcome)
+}
+
+/// The Lemma 3/5 endgame: merge a mergeable pair whose `A`-decisions differ
+/// and extract a violation via the Lemma 2 engine.
+#[allow(clippy::too_many_arguments)]
+fn contradict<P, F>(
+    cfg: &FalsifierConfig,
+    factory: &F,
+    partition: &Partition,
+    stats: &mut Stats,
+    prov: &[String],
+    eb: &Execution<Bit, Bit, P::Msg>,
+    kb: Round,
+    ec: &Execution<Bit, Bit, P::Msg>,
+    kc: Round,
+    b: Bit,
+) -> Result<Option<Certificate<P::Msg>>, FalsifyError>
+where
+    P: Protocol<Input = Bit, Output = Bit>,
+    F: Fn(ProcessId) -> P,
+{
+    let ecfg = cfg.executor_config();
+    let merged = merge::<P, _>(&ecfg, factory, partition, eb, kb, ec, kc, b)?;
+    stats.observe(&merged);
+    debug_assert_eq!(merged.validate(), Ok(()));
+    // Lemma 16 sanity: isolated groups cannot distinguish E* from their
+    // originals, so they decide identically.
+    debug_assert!(partition.b().iter().all(|p| merged.indistinguishable_to(eb, *p)));
+    debug_assert!(partition.c().iter().all(|p| merged.indistinguishable_to(ec, *p)));
+
+    let prov = with_note(
+        prov,
+        format!("merged execution E* (Algorithm 5) with B isolated from {kb}, C from {kc}"),
+    );
+    let a_verdict = match correct_verdict(&merged, &prov, "E*") {
+        Ok(v) => v,
+        Err(cert) => return Ok(Some(*cert)),
+    };
+    let prov = with_note(&prov, format!("group A decides {a_verdict} in E*"));
+    for (group, label) in [(partition.b(), "E*/B"), (partition.c(), "E*/C")] {
+        if let Some(cert) = lemma2_violation(&merged, group, a_verdict, &prov, label) {
+            return Ok(Some(cert));
+        }
+    }
+    stats.note(
+        "merged execution: every disagreeing isolated process receive-omitted messages from \
+         too many correct senders for swap_omission to stay within the fault budget",
+    );
+    Ok(None)
+}
+
+/// The outcome of the standalone Lemma 4 analysis (experiment EXP-L4).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CriticalRoundReport {
+    /// `true` iff the default-1 structure appeared only after the WLOG bit
+    /// flip.
+    pub flipped: bool,
+    /// The bit group `A` decides in `E_B(1)_0` in the canonical
+    /// orientation.
+    pub default_bit_canonical: Bit,
+    /// The round by which all processes decide in the fault-free all-zeros
+    /// execution (of the analyzed orientation).
+    pub r_max: Round,
+    /// The critical round `R`: `A` decides the default in `E_B(R)_0` and
+    /// abandons it in `E_B(R+1)_0`.
+    pub critical_round: Round,
+}
+
+/// Standalone Lemma 4 analysis: locate the critical round of a protocol, if
+/// its isolation behavior has the default-bit structure (in either bit
+/// orientation).
+///
+/// Returns `None` when the structure is absent — e.g. for sender-driven
+/// protocols whose `A`-decision tracks the proposals rather than fault
+/// detection, where the Theorem 2 argument instead proceeds through the
+/// Lemma 3 pair mismatch.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn find_critical_round<P, F>(
+    cfg: &FalsifierConfig,
+    factory: F,
+) -> Result<Option<CriticalRoundReport>, FalsifyError>
+where
+    P: Protocol<Input = Bit, Output = Bit>,
+    F: Fn(ProcessId) -> P,
+{
+    let canonical_default = default_bit::<P, _>(cfg, &factory)?;
+    match canonical_default {
+        Some(Bit::One) => {
+            let found = scan_critical::<P, _>(cfg, &factory)?;
+            Ok(found.map(|(r_max, critical_round)| CriticalRoundReport {
+                flipped: false,
+                default_bit_canonical: Bit::One,
+                r_max,
+                critical_round,
+            }))
+        }
+        Some(Bit::Zero) => {
+            let flipped_factory = |pid: ProcessId| BitFlipped::new(factory(pid));
+            let flipped_default = default_bit::<BitFlipped<P>, _>(cfg, &flipped_factory)?;
+            if flipped_default != Some(Bit::One) {
+                return Ok(None);
+            }
+            let found = scan_critical::<BitFlipped<P>, _>(cfg, &flipped_factory)?;
+            Ok(found.map(|(r_max, critical_round)| CriticalRoundReport {
+                flipped: true,
+                default_bit_canonical: Bit::Zero,
+                r_max,
+                critical_round,
+            }))
+        }
+        None => Ok(None),
+    }
+}
+
+/// The `A`-decision in `E_B(1)_0`, or `None` if `A` is not unanimous.
+fn default_bit<P, F>(cfg: &FalsifierConfig, factory: &F) -> Result<Option<Bit>, FalsifyError>
+where
+    P: Protocol<Input = Bit, Output = Bit>,
+    F: Fn(ProcessId) -> P,
+{
+    let partition = cfg.partition();
+    let runner = FamilyRunner::new(cfg.executor_config(), factory, partition.clone());
+    let eb = runner.isolated_b::<P>(Round(1), Bit::Zero)?;
+    Ok(eb.unanimous_decision(partition.a().iter()))
+}
+
+fn scan_critical<P, F>(
+    cfg: &FalsifierConfig,
+    factory: &F,
+) -> Result<Option<(Round, Round)>, FalsifyError>
+where
+    P: Protocol<Input = Bit, Output = Bit>,
+    F: Fn(ProcessId) -> P,
+{
+    let partition = cfg.partition();
+    let runner = FamilyRunner::new(cfg.executor_config(), factory, partition.clone());
+    let e0 = runner.e0::<P>(Bit::Zero)?;
+    let Some(r_max) = e0.all_decided_by() else { return Ok(None) };
+    for k in 2..=r_max.0 + 1 {
+        let e = runner.isolated_b::<P>(Round(k), Bit::Zero)?;
+        match e.unanimous_decision(partition.a().iter()) {
+            Some(Bit::Zero) => return Ok(Some((r_max, Round(k - 1)))),
+            Some(Bit::One) => {}
+            None => return Ok(None),
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ba_protocols::broken::{LeaderEcho, OneRoundAllToAll, OwnProposal, SilentConstant};
+
+    #[test]
+    fn silent_constant_one_fails_weak_validity() {
+        let cfg = FalsifierConfig::new(8, 2);
+        let verdict = falsify(&cfg, |_| SilentConstant::new(Bit::One)).unwrap();
+        let cert = verdict.certificate().expect("violation expected");
+        cert.verify().unwrap();
+        assert!(matches!(
+            cert.kind,
+            ViolationKind::WeakValidity { proposed: Bit::Zero, decided: Bit::One, .. }
+        ));
+    }
+
+    #[test]
+    fn silent_constant_zero_fails_weak_validity() {
+        let cfg = FalsifierConfig::new(8, 2);
+        let verdict = falsify(&cfg, |_| SilentConstant::new(Bit::Zero)).unwrap();
+        let cert = verdict.certificate().expect("violation expected");
+        cert.verify().unwrap();
+        assert!(matches!(
+            cert.kind,
+            ViolationKind::WeakValidity { proposed: Bit::One, decided: Bit::Zero, .. }
+        ));
+    }
+
+    #[test]
+    fn own_proposal_fails_agreement_via_merge() {
+        let cfg = FalsifierConfig::new(8, 2);
+        let verdict = falsify(&cfg, |_| OwnProposal::new()).unwrap();
+        let cert = verdict.certificate().expect("violation expected");
+        cert.verify().unwrap();
+        assert!(matches!(cert.kind, ViolationKind::Agreement { .. }));
+        // The provenance should show the merge path.
+        assert!(cert.provenance.iter().any(|s| s.contains("merged execution")));
+    }
+
+    #[test]
+    fn leader_echo_fails_agreement_via_lemma_2() {
+        for (n, t) in [(8usize, 2usize), (12, 4), (16, 8)] {
+            let cfg = FalsifierConfig::new(n, t);
+            let verdict = falsify(&cfg, |_| LeaderEcho::new(ProcessId(0))).unwrap();
+            let cert = verdict.certificate().expect("violation expected at n={n}, t={t}");
+            cert.verify().unwrap();
+            assert!(matches!(cert.kind, ViolationKind::Agreement { .. }));
+        }
+    }
+
+    #[test]
+    fn certificates_reject_tampering() {
+        let cfg = FalsifierConfig::new(8, 2);
+        let verdict = falsify(&cfg, |_| LeaderEcho::new(ProcessId(0))).unwrap();
+        let cert = verdict.certificate().unwrap().clone();
+        let ViolationKind::Agreement { p, q } = cert.kind else {
+            panic!("expected an agreement certificate")
+        };
+        // Tamper 1: name a faulty process as the violator.
+        let mut bad = cert.clone();
+        let faulty = *bad.execution.faulty.iter().next().expect("certificate has faults");
+        bad.kind = ViolationKind::Agreement { p: faulty, q };
+        assert!(matches!(bad.verify(), Err(CertificateError::NamedProcessFaulty(_))));
+        // Tamper 2: claim two processes that actually agree.
+        let mut bad = cert.clone();
+        let agree_with_q = bad
+            .execution
+            .correct()
+            .find(|r| *r != q && bad.execution.decision_of(*r) == bad.execution.decision_of(q))
+            .expect("some correct process agrees with q");
+        bad.kind = ViolationKind::Agreement { p: agree_with_q, q };
+        assert!(matches!(bad.verify(), Err(CertificateError::ClaimMismatch(_))));
+        // Tamper 3: excess fault blame breaks the execution guarantees.
+        let mut bad = cert.clone();
+        for pid in ProcessId::all(bad.execution.n) {
+            bad.execution.faulty.insert(pid);
+        }
+        assert!(matches!(bad.verify(), Err(CertificateError::InvalidExecution(_))));
+        // The untampered certificate still verifies.
+        cert.verify().unwrap();
+        let _ = p;
+    }
+
+    #[test]
+    fn one_round_all_to_all_survives_the_paper_recipe() {
+        // n(n-1) messages: the Lemma 2 pigeonhole never applies, exactly as
+        // the theory predicts. (The protocol is still broken — the random
+        // prober finds the violation; see prober tests.)
+        let cfg = FalsifierConfig::new(8, 2);
+        let verdict = falsify(&cfg, |_| OneRoundAllToAll::new()).unwrap();
+        match verdict {
+            Verdict::Survived(report) => {
+                assert!(report.max_message_complexity >= report.paper_bound);
+                assert!(!report.notes.is_empty());
+            }
+            Verdict::Violation(cert) => {
+                panic!("unexpected violation: {:?} / {:?}", cert.kind, cert.provenance)
+            }
+        }
+    }
+
+    #[test]
+    fn config_rejects_t_below_two() {
+        let result = std::panic::catch_unwind(|| FalsifierConfig::new(5, 1));
+        assert!(result.is_err());
+    }
+}

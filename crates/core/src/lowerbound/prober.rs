@@ -1,0 +1,260 @@
+//! Randomized omission fault injection — the complement of the falsifier.
+//!
+//! The falsifier follows the paper's proof, whose pigeonhole step only
+//! bites protocols with fewer than `t²/32` messages. Protocols that send
+//! more can still be incorrect (e.g.
+//! `ba_protocols::broken::OneRoundAllToAll`); this prober finds such
+//! violations by seeded random search over fault sets, proposals, and
+//! omission patterns, and reports them in the same verifiable
+//! [`Certificate`] format.
+
+use std::collections::BTreeSet;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use ba_sim::{
+    run_omission, Bit, ExecutorConfig, Fate, ProcessId, Protocol, RandomOmissionPlan, Round,
+    SimError, TableOmissionPlan,
+};
+
+use super::falsifier::{Certificate, ViolationKind};
+
+/// Aggregate statistics of a probe run.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ProbeReport {
+    /// Trials executed (including the one that found a violation, if any).
+    pub trials: usize,
+    /// The largest message complexity observed.
+    pub max_message_complexity: u64,
+}
+
+/// The outcome of [`probe_weak_consensus`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ProbeOutcome<M> {
+    /// A violating execution was found (and is re-verifiable).
+    Violation(Box<Certificate<M>>, ProbeReport),
+    /// No violation in the given number of trials.
+    Clean(ProbeReport),
+}
+
+impl<M: ba_sim::Payload> ProbeOutcome<M> {
+    /// The certificate, if a violation was found.
+    pub fn certificate(&self) -> Option<&Certificate<M>> {
+        match self {
+            ProbeOutcome::Violation(c, _) => Some(c),
+            ProbeOutcome::Clean(_) => None,
+        }
+    }
+
+    /// The aggregate report.
+    pub fn report(&self) -> &ProbeReport {
+        match self {
+            ProbeOutcome::Violation(_, r) | ProbeOutcome::Clean(r) => r,
+        }
+    }
+}
+
+/// Runs `trials` random omission-fault executions of a claimed weak
+/// consensus protocol, checking Agreement, Termination, and (in fully
+/// correct uniform trials) Weak Validity among correct processes.
+///
+/// Two adversary generators alternate (both seeded and deterministic):
+///
+/// * **random rates** — every message touching a faulty process is dropped
+///   with random per-trial probabilities;
+/// * **sandbagging** — a structured nemesis: one faulty process proposes the
+///   minority value, stays silent for a random prefix of rounds, then
+///   reveals itself to a random strict subset of processes. This is the
+///   shape of attack that separates the omission model from crash (and
+///   breaks e.g. FloodSet); random rates essentially never produce it by
+///   chance.
+///
+/// Deterministic for a fixed `seed`.
+///
+/// # Errors
+///
+/// Propagates simulator errors (protocol bugs).
+pub fn probe_weak_consensus<P, F>(
+    cfg: &ExecutorConfig,
+    factory: F,
+    trials: usize,
+    seed: u64,
+) -> Result<ProbeOutcome<P::Msg>, SimError>
+where
+    P: Protocol<Input = Bit, Output = Bit>,
+    F: Fn(ProcessId) -> P,
+{
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut report = ProbeReport { trials: 0, max_message_complexity: 0 };
+
+    for trial in 0..trials {
+        report.trials = trial + 1;
+
+        // Random fault set of size 0..=t (size 0 exercises Weak Validity).
+        let fault_count = rng.gen_range(0..=cfg.t);
+        let mut ids: Vec<ProcessId> = ProcessId::all(cfg.n).collect();
+        ids.shuffle(&mut rng);
+        let faulty: BTreeSet<ProcessId> = ids.into_iter().take(fault_count).collect();
+
+        // Pick the nemesis for this trial: random rates always available;
+        // the structured ones need at least one faulty process.
+        let nemesis = if faulty.is_empty() { 0 } else { rng.gen_range(0..3u8) };
+
+        // Proposals: uniform in a third of the trials (to probe validity),
+        // random otherwise; the structured nemeses always use uniform
+        // proposals (their attacks target the unanimous case).
+        let uniform = nemesis != 0 || rng.gen_range(0..3u8) == 0;
+        let uniform_bit = Bit::from(rng.gen_bool(0.5));
+        let mut proposals: Vec<Bit> = (0..cfg.n)
+            .map(|_| if uniform { uniform_bit } else { Bit::from(rng.gen_bool(0.5)) })
+            .collect();
+
+        let horizon = cfg.max_rounds.min(4 * (cfg.t as u64 + 2));
+        let exec = match nemesis {
+            // Sandbag: a faulty minority-value proposer hides its sends for
+            // a prefix of rounds, then reveals to a strict subset.
+            1 => {
+                let sandbagger = *faulty.iter().next().expect("non-empty");
+                proposals[sandbagger.index()] = uniform_bit.flip();
+                let reveal_round = rng.gen_range(1..=cfg.t as u64 + 2);
+                let mut plan = TableOmissionPlan::new();
+                let mut receivers: Vec<ProcessId> =
+                    ProcessId::all(cfg.n).filter(|p| *p != sandbagger).collect();
+                receivers.shuffle(&mut rng);
+                let reveal_count = rng.gen_range(1..receivers.len());
+                let hidden: Vec<ProcessId> = receivers.into_iter().skip(reveal_count).collect();
+                for round in 1..=horizon {
+                    for receiver in ProcessId::all(cfg.n).filter(|p| *p != sandbagger) {
+                        if round < reveal_round || hidden.contains(&receiver) {
+                            plan.set(Round(round), sandbagger, receiver, Fate::SendOmit);
+                        }
+                    }
+                }
+                run_omission(cfg, &factory, &proposals, &faulty, &mut plan)?
+            }
+            // Stutter: behave perfectly except for one round, in which the
+            // faulty process send-omits to a strict subset — the minimal
+            // "detectable fault" that splits echo-style protocols.
+            2 => {
+                let stutterer = *faulty.iter().next().expect("non-empty");
+                let stutter_round = rng.gen_range(1..=cfg.t as u64 + 2);
+                let mut plan = TableOmissionPlan::new();
+                let mut receivers: Vec<ProcessId> =
+                    ProcessId::all(cfg.n).filter(|p| *p != stutterer).collect();
+                receivers.shuffle(&mut rng);
+                let omit_count = rng.gen_range(1..receivers.len());
+                for receiver in receivers.into_iter().take(omit_count) {
+                    plan.set(Round(stutter_round), stutterer, receiver, Fate::SendOmit);
+                }
+                run_omission(cfg, &factory, &proposals, &faulty, &mut plan)?
+            }
+            // Random per-message omission rates.
+            _ => {
+                let mut plan = RandomOmissionPlan::new(
+                    faulty.iter().copied(),
+                    rng.gen_range(0.05..0.95),
+                    rng.gen_range(0.05..0.95),
+                    rng.gen(),
+                );
+                run_omission(cfg, &factory, &proposals, &faulty, &mut plan)?
+            }
+        };
+        report.max_message_complexity = report.max_message_complexity.max(exec.message_complexity());
+        let provenance = vec![format!("random omission probe: trial {trial}, seed {seed}")];
+
+        // Termination + Agreement among correct processes.
+        let mut decided: Option<(Bit, ProcessId)> = None;
+        let mut violation: Option<ViolationKind> = None;
+        for p in exec.correct() {
+            match exec.decision_of(p) {
+                None => {
+                    let partner = exec.correct().find(|q| exec.decision_of(*q).is_some());
+                    violation =
+                        Some(ViolationKind::Termination { undecided: p, decided: partner });
+                    break;
+                }
+                Some(v) => match decided {
+                    Some((w, q)) if *v != w => {
+                        violation = Some(ViolationKind::Agreement { p: q, q: p });
+                        break;
+                    }
+                    Some(_) => {}
+                    None => decided = Some((*v, p)),
+                },
+            }
+        }
+        // Weak Validity in fully correct uniform trials.
+        if violation.is_none() && faulty.is_empty() && uniform {
+            if let Some((v, p)) = decided {
+                if v != uniform_bit {
+                    violation = Some(ViolationKind::WeakValidity {
+                        process: p,
+                        proposed: uniform_bit,
+                        decided: v,
+                    });
+                }
+            }
+        }
+        if let Some(kind) = violation {
+            return Ok(ProbeOutcome::Violation(
+                Box::new(Certificate { execution: exec, kind, provenance }),
+                report,
+            ));
+        }
+    }
+    Ok(ProbeOutcome::Clean(report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ba_crypto::Keybook;
+    use ba_protocols::broken::{OneRoundAllToAll, ParanoidEcho};
+    use ba_protocols::DolevStrong;
+
+    #[test]
+    fn prober_finds_one_round_all_to_all_violation() {
+        let cfg = ExecutorConfig::new(6, 2);
+        let outcome = probe_weak_consensus(&cfg, |_| OneRoundAllToAll::new(), 200, 7).unwrap();
+        let cert = outcome.certificate().expect("violation expected");
+        cert.verify().unwrap();
+    }
+
+    #[test]
+    fn prober_finds_paranoid_echo_violation() {
+        let cfg = ExecutorConfig::new(6, 2);
+        let outcome = probe_weak_consensus(&cfg, |_| ParanoidEcho::new(), 600, 11).unwrap();
+        let cert = outcome.certificate().expect("violation expected");
+        cert.verify().unwrap();
+    }
+
+    #[test]
+    fn prober_passes_dolev_strong_weak_consensus() {
+        let (n, t) = (5, 2);
+        let cfg = ExecutorConfig::new(n, t);
+        let book = Keybook::new(n);
+        let outcome = probe_weak_consensus(
+            &cfg,
+            DolevStrong::factory(book, ProcessId(0), Bit::Zero),
+            150,
+            13,
+        )
+        .unwrap();
+        assert!(outcome.certificate().is_none(), "Dolev-Strong must survive: {outcome:?}");
+        assert_eq!(outcome.report().trials, 150);
+    }
+
+    #[test]
+    fn prober_is_deterministic_per_seed() {
+        let cfg = ExecutorConfig::new(5, 2);
+        let run = |seed| {
+            probe_weak_consensus(&cfg, |_| OneRoundAllToAll::new(), 50, seed)
+                .unwrap()
+                .report()
+                .clone()
+        };
+        assert_eq!(run(3), run(3));
+    }
+}

@@ -1,0 +1,275 @@
+//! `swap_omission` (paper Algorithm 4, Lemma 15): re-attribute one
+//! process's receive-omission faults to the senders as send-omission
+//! faults, making that process correct.
+//!
+//! This is the engine of Lemma 2: if an isolated process `p` decides
+//! "wrong" and only few correct processes ever addressed it, the swap
+//! produces a *valid* execution — indistinguishable to every process, hence
+//! with identical decisions — in which `p` is correct, turning the wrong
+//! decision into a genuine Agreement/Termination violation.
+
+use std::collections::BTreeSet;
+use std::error::Error;
+use std::fmt;
+
+use ba_sim::{Execution, Payload, ProcessId, Value};
+
+/// Why a swap could not produce a valid execution.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SwapError {
+    /// The pivot process also committed send-omission faults, so it remains
+    /// faulty after the swap (Lemma 15 requires
+    /// `all_send_omitted(B_i) = ∅`).
+    PivotSendOmitted {
+        /// The pivot process.
+        pivot: ProcessId,
+    },
+    /// The swapped execution would blame more than `t` processes — the
+    /// pigeonhole of Lemma 2 did not hold for this pivot (the protocol sent
+    /// it too many messages).
+    TooManyFaulty {
+        /// Number of faulty processes after the swap.
+        got: usize,
+        /// The resilience bound.
+        t: usize,
+    },
+}
+
+impl fmt::Display for SwapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SwapError::PivotSendOmitted { pivot } => {
+                write!(f, "pivot {pivot} send-omitted messages and would stay faulty")
+            }
+            SwapError::TooManyFaulty { got, t } => {
+                write!(f, "swap would need {got} faulty processes, exceeding t = {t}")
+            }
+        }
+    }
+}
+
+impl Error for SwapError {}
+
+/// Applies Algorithm 4: every message receive-omitted by `pivot` becomes
+/// send-omitted by its sender; `pivot`'s receive-omissions are cleared; the
+/// fault set is recomputed as exactly the processes that still commit
+/// omissions.
+///
+/// The returned execution is indistinguishable from the input to **every**
+/// process (Lemma 15(2)): received messages, states, proposals, and
+/// decisions are untouched — only fault attribution moves.
+///
+/// # Errors
+///
+/// * [`SwapError::PivotSendOmitted`] if the pivot itself send-omitted
+///   (it would stay faulty);
+/// * [`SwapError::TooManyFaulty`] if the recomputed fault set exceeds `t`.
+pub fn swap_omission<I, O, M>(
+    exec: &Execution<I, O, M>,
+    pivot: ProcessId,
+) -> Result<Execution<I, O, M>, SwapError>
+where
+    I: Value,
+    O: Value,
+    M: Payload,
+{
+    if exec.record(pivot).all_send_omitted().next().is_some() {
+        return Err(SwapError::PivotSendOmitted { pivot });
+    }
+
+    let mut out = exec.clone();
+
+    // Collect the (round, sender) index of every message the pivot
+    // receive-omitted, then clear them at the pivot.
+    let dropped: Vec<(usize, ProcessId)> = out.records[pivot.index()]
+        .fragments
+        .iter()
+        .enumerate()
+        .flat_map(|(j, frag)| frag.receive_omitted.keys().map(move |s| (j, *s)))
+        .collect();
+    for frag in &mut out.records[pivot.index()].fragments {
+        frag.receive_omitted.clear();
+    }
+
+    // Re-attribute: the sender send-omitted the message instead.
+    for (j, sender) in dropped {
+        let frag = &mut out.records[sender.index()].fragments[j];
+        let payload = frag
+            .sent
+            .remove(&pivot)
+            .expect("receive-validity: a receive-omitted message was sent");
+        frag.send_omitted.insert(pivot, payload);
+    }
+
+    // Recompute the fault set: exactly the processes still committing
+    // omissions (Algorithm 4 lines 10–11).
+    let faulty: BTreeSet<ProcessId> = ba_sim::ProcessId::all(out.n)
+        .filter(|p| {
+            let rec = &out.records[p.index()];
+            rec.all_send_omitted().next().is_some() || rec.all_receive_omitted().next().is_some()
+        })
+        .collect();
+    if faulty.len() > out.t {
+        return Err(SwapError::TooManyFaulty { got: faulty.len(), t: out.t });
+    }
+    out.faulty = faulty;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ba_sim::{
+        run_omission, Bit, ExecutorConfig, Fate, Inbox, IsolationPlan, Outbox, ProcessCtx,
+        Protocol, Round, TableOmissionPlan,
+    };
+
+    /// Everyone broadcasts its bit each round for `rounds` rounds, then
+    /// decides its own proposal.
+    #[derive(Clone)]
+    struct Broadcaster {
+        proposal: Bit,
+        rounds: u64,
+        decision: Option<Bit>,
+    }
+
+    impl Broadcaster {
+        fn new(rounds: u64) -> Self {
+            Broadcaster { proposal: Bit::Zero, rounds, decision: None }
+        }
+    }
+
+    impl Protocol for Broadcaster {
+        type Input = Bit;
+        type Output = Bit;
+        type Msg = Bit;
+
+        fn propose(&mut self, ctx: &ProcessCtx, proposal: Bit) -> Outbox<Bit> {
+            self.proposal = proposal;
+            let mut out = Outbox::new();
+            out.send_to_all(ctx.others(), proposal);
+            out
+        }
+
+        fn round(&mut self, ctx: &ProcessCtx, round: Round, _: &Inbox<Bit>) -> Outbox<Bit> {
+            if round.0 >= self.rounds {
+                self.decision = Some(self.proposal);
+                return Outbox::new();
+            }
+            let mut out = Outbox::new();
+            out.send_to_all(ctx.others(), self.proposal);
+            out
+        }
+
+        fn decision(&self) -> Option<Bit> {
+            self.decision
+        }
+    }
+
+    fn isolated_run(
+        n: usize,
+        t: usize,
+        group: &[usize],
+        from: Round,
+    ) -> Execution<Bit, Bit, Bit> {
+        let cfg = ExecutorConfig::new(n, t);
+        let group: BTreeSet<ProcessId> = group.iter().map(|i| ProcessId(*i)).collect();
+        let mut plan = IsolationPlan::new(group.iter().copied(), from);
+        run_omission(&cfg, |_| Broadcaster::new(3), &vec![Bit::Zero; n], &group, &mut plan)
+            .unwrap()
+    }
+
+    #[test]
+    fn swap_clears_pivot_and_blames_senders() {
+        let exec = isolated_run(4, 3, &[3], Round(2));
+        let swapped = swap_omission(&exec, ProcessId(3)).unwrap();
+        swapped.validate().unwrap();
+        // The pivot is correct now; the three senders take the blame.
+        assert!(swapped.is_correct(ProcessId(3)));
+        assert_eq!(swapped.faulty, [ProcessId(0), ProcessId(1), ProcessId(2)].into());
+        for sender in [ProcessId(0), ProcessId(1), ProcessId(2)] {
+            assert!(swapped.record(sender).all_send_omitted().next().is_some());
+        }
+    }
+
+    #[test]
+    fn swap_preserves_indistinguishability_for_everyone() {
+        let exec = isolated_run(5, 4, &[4], Round(2));
+        let swapped = swap_omission(&exec, ProcessId(4)).unwrap();
+        for pid in ProcessId::all(5) {
+            assert!(exec.indistinguishable_to(&swapped, pid), "{pid} can distinguish");
+        }
+        // Decisions are untouched.
+        for pid in ProcessId::all(5) {
+            assert_eq!(exec.decision_of(pid), swapped.decision_of(pid));
+        }
+    }
+
+    #[test]
+    fn swap_fails_when_too_many_senders_get_blamed() {
+        // n = 4, t = 1: isolating p3 re-attributes to 3 senders > t.
+        let exec = isolated_run(4, 1, &[3], Round(2));
+        let err = swap_omission(&exec, ProcessId(3)).unwrap_err();
+        assert_eq!(err, SwapError::TooManyFaulty { got: 3, t: 1 });
+    }
+
+    #[test]
+    fn swap_fails_for_send_omitting_pivot() {
+        let cfg = ExecutorConfig::new(3, 1);
+        let faulty: BTreeSet<_> = [ProcessId(2)].into();
+        let mut plan = TableOmissionPlan::new();
+        plan.set(Round(1), ProcessId(2), ProcessId(0), Fate::SendOmit);
+        let exec = run_omission(
+            &cfg,
+            |_| Broadcaster::new(2),
+            &[Bit::Zero; 3],
+            &faulty,
+            &mut plan,
+        )
+        .unwrap();
+        let err = swap_omission(&exec, ProcessId(2)).unwrap_err();
+        assert_eq!(err, SwapError::PivotSendOmitted { pivot: ProcessId(2) });
+    }
+
+    #[test]
+    fn swap_result_passes_execution_validation() {
+        let exec = isolated_run(6, 5, &[5], Round(1));
+        let swapped = swap_omission(&exec, ProcessId(5)).unwrap();
+        swapped.validate().unwrap();
+        // Lemma 15: the pivot's messages are now send-omitted at the exact
+        // rounds they were receive-omitted before.
+        let before: Vec<_> = exec
+            .record(ProcessId(5))
+            .all_receive_omitted()
+            .map(|(r, s, m)| (r, s, m.clone()))
+            .collect();
+        let mut after: Vec<_> = Vec::new();
+        for sender in ProcessId::all(6) {
+            for (r, recv, m) in swapped.record(sender).all_send_omitted() {
+                if recv == ProcessId(5) {
+                    after.push((r, sender, m.clone()));
+                }
+            }
+        }
+        after.sort();
+        let mut before = before;
+        before.sort();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn swap_on_unomitted_process_is_identity_modulo_fault_set() {
+        let exec = isolated_run(4, 2, &[3], Round(2));
+        // p0 never omitted anything; swapping on it only recomputes the
+        // fault set (which shrinks to the truly-omitting processes).
+        let swapped = swap_omission(&exec, ProcessId(0)).unwrap();
+        for pid in ProcessId::all(4) {
+            assert_eq!(
+                exec.record(pid).fragments,
+                swapped.record(pid).fragments,
+                "{pid} fragments changed"
+            );
+        }
+        assert_eq!(swapped.faulty, [ProcessId(3)].into());
+    }
+}

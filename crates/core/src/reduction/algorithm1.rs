@@ -1,0 +1,388 @@
+//! Algorithm 1: weak consensus from any solvable non-trivial agreement
+//! problem, at **zero** additional message cost (paper §4.2).
+//!
+//! The reduction hinges on the paper's Table 2 artifacts, which
+//! [`derive_reduction_inputs`] discovers automatically for a given protocol
+//! `A` solving a `val`-agreement problem `P`:
+//!
+//! * `c0 ∈ I_n` — any fully correct input configuration; running `A` on it
+//!   yields the decision `v'_0`;
+//! * `c*_1 ∈ I` — a configuration with `v'_0 ∉ val(c*_1)` (exists because
+//!   `P` is non-trivial);
+//! * `c1 ∈ I_n` — any fully correct extension of `c*_1` (`c1 ⊒ c*_1`);
+//!   running `A` on it yields `v'_1`, and **Lemma 7/17 guarantees
+//!   `v'_1 ≠ v'_0`** — the fact the reduction exploits.
+//!
+//! [`WeakFromAgreement`] then wraps `A`: proposing `0` means proposing one's
+//! slot of `c0` to `A`, proposing `1` means one's slot of `c1`; deciding
+//! `v'_0` from `A` means deciding `0`, anything else `1`. No message is
+//! added or removed, so a sub-quadratic solution to *any* non-trivial
+//! problem would yield sub-quadratic weak consensus — contradicting
+//! Theorem 2. That is Theorem 3.
+//!
+//! **Corollary 1** (External Validity) uses the same wrapper: any algorithm
+//! with two fully correct executions deciding differently supplies
+//! `(c0, v'_0, c1, v'_1)` directly, regardless of its (formally trivial)
+//! validity property.
+
+use std::collections::BTreeSet;
+use std::error::Error;
+use std::fmt;
+
+use ba_sim::{
+    run_omission, Bit, ExecutorConfig, Inbox, NoFaults, Outbox, ProcessCtx, ProcessId, Protocol,
+    Round, SimError,
+};
+
+use crate::validity::{enumerate_configs, InputConfig, SystemParams, ValidityProperty};
+
+/// The paper's Table 2, materialized for one protocol/problem pair.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ReductionInputs<VI, VO> {
+    /// Fully correct configuration proposed when a process proposes `0`.
+    pub c0: Vec<VI>,
+    /// Fully correct configuration proposed when a process proposes `1`.
+    pub c1: Vec<VI>,
+    /// The value `A` decides in the fully correct execution on `c0`.
+    pub v0: VO,
+    /// The value `A` decides in the fully correct execution on `c1`
+    /// (distinct from `v0` by Lemma 17).
+    pub v1: VO,
+    /// The intermediate witness `c*_1` with `v0 ∉ val(c*_1)`.
+    pub c_star: InputConfig<VI>,
+}
+
+/// Why the reduction inputs could not be derived.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ReductionError {
+    /// The simulator rejected a run (protocol bug).
+    Sim(SimError),
+    /// The underlying protocol failed Termination/Agreement on a fully
+    /// correct execution — it does not solve any agreement problem.
+    NotAnAgreementAlgorithm {
+        /// Description of what went wrong.
+        detail: String,
+    },
+    /// `v0` is admissible in every configuration: the problem is trivial,
+    /// and the reduction (rightly) does not apply.
+    ProblemIsTrivial,
+    /// The protocol decided `v1 = v0` on `c1`, violating Lemma 17 — i.e. it
+    /// does not actually satisfy the claimed validity property.
+    ValidityViolated {
+        /// The common decision.
+        value: String,
+    },
+}
+
+impl fmt::Display for ReductionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReductionError::Sim(e) => write!(f, "simulation failed: {e}"),
+            ReductionError::NotAnAgreementAlgorithm { detail } => {
+                write!(f, "protocol is not an agreement algorithm: {detail}")
+            }
+            ReductionError::ProblemIsTrivial => {
+                write!(f, "v0 is admissible everywhere: the problem is trivial")
+            }
+            ReductionError::ValidityViolated { value } => {
+                write!(f, "protocol decided {value} on both c0 and c1, violating its validity property")
+            }
+        }
+    }
+}
+
+impl Error for ReductionError {}
+
+impl From<SimError> for ReductionError {
+    fn from(e: SimError) -> Self {
+        ReductionError::Sim(e)
+    }
+}
+
+/// Runs the two fully correct executions of the paper's Table 2 and
+/// assembles the reduction inputs.
+///
+/// # Errors
+///
+/// See [`ReductionError`]; notably, [`ReductionError::ProblemIsTrivial`] is
+/// returned when no configuration rejects `v0` — exactly the case the
+/// paper's reduction excludes.
+pub fn derive_reduction_inputs<P, F, VP>(
+    cfg: &ExecutorConfig,
+    factory: F,
+    vp: &VP,
+) -> Result<ReductionInputs<P::Input, P::Output>, ReductionError>
+where
+    P: Protocol,
+    F: Fn(ProcessId) -> P,
+    VP: ValidityProperty<Input = P::Input, Output = P::Output>,
+{
+    let params = SystemParams::new(cfg.n, cfg.t);
+    let domain = vp.input_domain();
+    let fill = domain.first().expect("non-empty domain").clone();
+
+    // E0: fully correct on c0 = (fill, …, fill).
+    let c0 = vec![fill.clone(); cfg.n];
+    let v0 = run_fully_correct(cfg, &factory, &c0)?;
+
+    // c*_1: any configuration with v0 ∉ val(c*_1). Non-triviality ⇔ exists.
+    let c_star = enumerate_configs(&params, &domain)
+        .into_iter()
+        .find(|c| !vp.admissible(&params, c).contains(&v0))
+        .ok_or(ReductionError::ProblemIsTrivial)?;
+
+    // c1 ⊒ c*_1, fully correct.
+    let c1 = c_star
+        .extend_to_full(&params, fill)
+        .as_full_vec(&params)
+        .expect("extended to full");
+    let v1 = run_fully_correct(cfg, &factory, &c1)?;
+
+    if v1 == v0 {
+        return Err(ReductionError::ValidityViolated { value: format!("{v0:?}") });
+    }
+    Ok(ReductionInputs { c0, c1, v0, v1, c_star })
+}
+
+fn run_fully_correct<P, F>(
+    cfg: &ExecutorConfig,
+    factory: &F,
+    proposals: &[P::Input],
+) -> Result<P::Output, ReductionError>
+where
+    P: Protocol,
+    F: Fn(ProcessId) -> P,
+{
+    let exec = run_omission(cfg, factory, proposals, &BTreeSet::new(), &mut NoFaults)?;
+    let all: Vec<ProcessId> = ProcessId::all(cfg.n).collect();
+    exec.unanimous_decision(all.iter()).ok_or_else(|| {
+        ReductionError::NotAnAgreementAlgorithm {
+            detail: "fully correct execution did not reach a unanimous decision".into(),
+        }
+    })
+}
+
+/// Algorithm 1's wrapper: a weak consensus protocol built from any
+/// agreement protocol `P`, with **identical** message complexity.
+///
+/// ```
+/// use ba_core::reduction::{derive_reduction_inputs, WeakFromAgreement};
+/// use ba_core::validity::StrongValidity;
+/// use ba_protocols::PhaseKing;
+/// use ba_sim::{run_omission, Bit, ExecutorConfig, NoFaults};
+/// use std::collections::BTreeSet;
+///
+/// let cfg = ExecutorConfig::new(4, 1);
+/// let inputs = derive_reduction_inputs(
+///     &cfg,
+///     |_| PhaseKing::new(4, 1),
+///     &StrongValidity::binary(),
+/// ).unwrap();
+///
+/// // The wrapped protocol solves weak consensus: all-One fully correct
+/// // execution decides One.
+/// let exec = run_omission(
+///     &cfg,
+///     |_| WeakFromAgreement::new(PhaseKing::new(4, 1), inputs.clone()),
+///     &[Bit::One; 4],
+///     &BTreeSet::new(),
+///     &mut NoFaults,
+/// ).unwrap();
+/// assert!(exec.all_correct_decided(Bit::One));
+/// ```
+#[derive(Clone, Debug)]
+pub struct WeakFromAgreement<P: Protocol> {
+    inner: P,
+    inputs: ReductionInputs<P::Input, P::Output>,
+}
+
+impl<P: Protocol> WeakFromAgreement<P> {
+    /// Wraps `inner` with the derived reduction inputs.
+    pub fn new(inner: P, inputs: ReductionInputs<P::Input, P::Output>) -> Self {
+        WeakFromAgreement { inner, inputs }
+    }
+
+    /// The reduction inputs in use.
+    pub fn inputs(&self) -> &ReductionInputs<P::Input, P::Output> {
+        &self.inputs
+    }
+}
+
+impl<P: Protocol> Protocol for WeakFromAgreement<P> {
+    type Input = Bit;
+    type Output = Bit;
+    type Msg = P::Msg;
+
+    fn propose(&mut self, ctx: &ProcessCtx, proposal: Bit) -> Outbox<P::Msg> {
+        // Line 4–7 of Algorithm 1: forward the proposal from c0 (for 0) or
+        // c1 (for 1).
+        let slot = match proposal {
+            Bit::Zero => self.inputs.c0[ctx.id.index()].clone(),
+            Bit::One => self.inputs.c1[ctx.id.index()].clone(),
+        };
+        self.inner.propose(ctx, slot)
+    }
+
+    fn round(&mut self, ctx: &ProcessCtx, round: Round, inbox: &Inbox<P::Msg>) -> Outbox<P::Msg> {
+        self.inner.round(ctx, round, inbox)
+    }
+
+    fn decision(&self) -> Option<Bit> {
+        // Line 9–12: v'_0 ↦ 0, anything else ↦ 1.
+        self.inner
+            .decision()
+            .map(|v| if v == self.inputs.v0 { Bit::Zero } else { Bit::One })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validity::{AnythingGoes, SenderValidity, StrongValidity};
+    use ba_crypto::Keybook;
+    use ba_protocols::{DolevStrong, PhaseKing};
+
+    #[test]
+    fn table_2_artifacts_for_phase_king() {
+        let cfg = ExecutorConfig::new(4, 1);
+        let inputs =
+            derive_reduction_inputs(&cfg, |_| PhaseKing::new(4, 1), &StrongValidity::binary())
+                .unwrap();
+        assert_eq!(inputs.v0, Bit::Zero);
+        assert_eq!(inputs.v1, Bit::One);
+        assert_ne!(inputs.c0, inputs.c1);
+    }
+
+    #[test]
+    fn table_2_artifacts_for_broadcast() {
+        let cfg = ExecutorConfig::new(4, 1);
+        let book = Keybook::new(4);
+        let vp = SenderValidity::new(ProcessId(0), vec![Bit::Zero, Bit::One]);
+        let inputs = derive_reduction_inputs(
+            &cfg,
+            DolevStrong::factory(book, ProcessId(0), Bit::Zero),
+            &vp,
+        )
+        .unwrap();
+        assert_ne!(inputs.v0, inputs.v1, "Lemma 17");
+        // The witness configuration must reject v0.
+        let params = SystemParams::new(4, 1);
+        assert!(!vp.admissible(&params, &inputs.c_star).contains(&inputs.v0));
+    }
+
+    #[test]
+    fn trivial_problems_are_rejected() {
+        // A protocol that "solves" AnythingGoes by always deciding Zero.
+        #[derive(Clone)]
+        struct AlwaysZero {
+            decision: Option<Bit>,
+        }
+        impl Protocol for AlwaysZero {
+            type Input = Bit;
+            type Output = Bit;
+            type Msg = Bit;
+            fn propose(&mut self, _: &ProcessCtx, _: Bit) -> Outbox<Bit> {
+                self.decision = Some(Bit::Zero);
+                Outbox::new()
+            }
+            fn round(&mut self, _: &ProcessCtx, _: Round, _: &Inbox<Bit>) -> Outbox<Bit> {
+                Outbox::new()
+            }
+            fn decision(&self) -> Option<Bit> {
+                self.decision
+            }
+        }
+        let cfg = ExecutorConfig::new(4, 1);
+        let err = derive_reduction_inputs(
+            &cfg,
+            |_| AlwaysZero { decision: None },
+            &AnythingGoes::new(),
+        )
+        .unwrap_err();
+        assert_eq!(err, ReductionError::ProblemIsTrivial);
+    }
+
+    #[test]
+    fn wrapped_protocol_satisfies_weak_validity_both_ways() {
+        let cfg = ExecutorConfig::new(4, 1);
+        let inputs =
+            derive_reduction_inputs(&cfg, |_| PhaseKing::new(4, 1), &StrongValidity::binary())
+                .unwrap();
+        for bit in Bit::ALL {
+            let exec = run_omission(
+                &cfg,
+                |_| WeakFromAgreement::new(PhaseKing::new(4, 1), inputs.clone()),
+                &[bit; 4],
+                &BTreeSet::new(),
+                &mut NoFaults,
+            )
+            .unwrap();
+            assert!(exec.all_correct_decided(bit), "weak validity for {bit}");
+        }
+    }
+
+    #[test]
+    fn reduction_adds_zero_messages() {
+        // Paper Lemma 18: the wrapper's message complexity is identical to
+        // the wrapped protocol's, execution by execution.
+        let cfg = ExecutorConfig::new(4, 1);
+        let inputs =
+            derive_reduction_inputs(&cfg, |_| PhaseKing::new(4, 1), &StrongValidity::binary())
+                .unwrap();
+        let wrapped = run_omission(
+            &cfg,
+            |_| WeakFromAgreement::new(PhaseKing::new(4, 1), inputs.clone()),
+            &[Bit::Zero; 4],
+            &BTreeSet::new(),
+            &mut NoFaults,
+        )
+        .unwrap();
+        let bare = run_omission(
+            &cfg,
+            |_| PhaseKing::new(4, 1),
+            &inputs.c0,
+            &BTreeSet::new(),
+            &mut NoFaults,
+        )
+        .unwrap();
+        assert_eq!(wrapped.message_complexity(), bare.message_complexity());
+        assert_eq!(wrapped.total_messages(), bare.total_messages());
+    }
+
+    #[test]
+    fn corollary_1_external_validity_reduction() {
+        // An "External Validity" protocol: Phase King deciding among valid
+        // values only. It has two fully correct executions deciding
+        // differently, so Algorithm 1 applies with (c0, v0, c1, v1) taken
+        // from those executions directly — no validity enumeration at all.
+        let cfg = ExecutorConfig::new(4, 1);
+        let run = |proposals: &[Bit; 4]| {
+            run_omission(&cfg, |_| PhaseKing::new(4, 1), proposals, &BTreeSet::new(), &mut NoFaults)
+                .unwrap()
+        };
+        let e0 = run(&[Bit::Zero; 4]);
+        let e1 = run(&[Bit::One; 4]);
+        let all: Vec<ProcessId> = ProcessId::all(4).collect();
+        let v0 = e0.unanimous_decision(all.iter()).unwrap();
+        let v1 = e1.unanimous_decision(all.iter()).unwrap();
+        assert_ne!(v0, v1, "Corollary 1 precondition");
+        let inputs = ReductionInputs {
+            c0: vec![Bit::Zero; 4],
+            c1: vec![Bit::One; 4],
+            v0,
+            v1,
+            c_star: InputConfig::full(vec![Bit::One; 4]),
+        };
+        for bit in Bit::ALL {
+            let exec = run_omission(
+                &cfg,
+                |_| WeakFromAgreement::new(PhaseKing::new(4, 1), inputs.clone()),
+                &[bit; 4],
+                &BTreeSet::new(),
+                &mut NoFaults,
+            )
+            .unwrap();
+            assert!(exec.all_correct_decided(bit));
+        }
+    }
+}

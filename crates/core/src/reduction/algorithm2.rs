@@ -1,0 +1,235 @@
+//! Algorithm 2: solving any containment-condition problem on top of
+//! interactive consistency (paper §5.2.2, Lemma 9).
+//!
+//! The construction is two lines of pseudocode in the paper: forward the
+//! proposal to an IC instance; when IC decides the vector `vec ∈ I_n`,
+//! decide `Γ(vec)`. IC-Validity gives `vec ⊒ c` for the actual input
+//! configuration `c`, and the containment condition gives
+//! `Γ(vec) ∈ val(c)` — so the construction satisfies `val`.
+//!
+//! Combined with the authenticated-solvable-for-any-`t` Dolev-Strong IC and
+//! the unauthenticated `n > 3t` EIG IC (`ba-protocols`), this is the
+//! sufficiency half of the general solvability theorem.
+
+use std::sync::Arc;
+
+use ba_sim::{Inbox, Outbox, ProcessCtx, Protocol, Round, Value};
+
+use crate::solvability::Gamma;
+use crate::validity::InputConfig;
+
+/// The Algorithm 2 wrapper: an agreement protocol for a CC problem, built
+/// from an interactive-consistency protocol `P` and a Γ table.
+///
+/// `P::Output` must be the full proposal vector `Vec<V>` (as produced by
+/// `ba-protocols`' IC constructions); the wrapper decides `Γ` of that
+/// vector.
+#[derive(Clone, Debug)]
+pub struct ViaInteractiveConsistency<P, VO>
+where
+    P: Protocol,
+{
+    inner: P,
+    gamma: Arc<Gamma<P::Input, VO>>,
+}
+
+impl<P, VO> ViaInteractiveConsistency<P, VO>
+where
+    P: Protocol<Output = Vec<<P as Protocol>::Input>>,
+    VO: Value,
+{
+    /// Wraps the IC instance `inner` with the Γ table (obtained from
+    /// [`crate::solvability::check_containment_condition`]).
+    ///
+    /// The table is shared via `Arc`: every process of a run can hold the
+    /// same materialized table cheaply.
+    pub fn new(inner: P, gamma: Arc<Gamma<P::Input, VO>>) -> Self {
+        ViaInteractiveConsistency { inner, gamma }
+    }
+}
+
+impl<P, VO> Protocol for ViaInteractiveConsistency<P, VO>
+where
+    P: Protocol<Output = Vec<<P as Protocol>::Input>>,
+    VO: Value,
+{
+    type Input = P::Input;
+    type Output = VO;
+    type Msg = P::Msg;
+
+    fn propose(&mut self, ctx: &ProcessCtx, proposal: P::Input) -> Outbox<P::Msg> {
+        // Line 4 of Algorithm 2: forward to IC.
+        self.inner.propose(ctx, proposal)
+    }
+
+    fn round(&mut self, ctx: &ProcessCtx, round: Round, inbox: &Inbox<P::Msg>) -> Outbox<P::Msg> {
+        self.inner.round(ctx, round, inbox)
+    }
+
+    fn decision(&self) -> Option<VO> {
+        // Line 6: decide Γ(vec). The decided vector is a full I_n
+        // configuration by construction.
+        self.inner.decision().map(|vec| {
+            let config = InputConfig::full(vec);
+            self.gamma
+                .apply(&config)
+                .cloned()
+                .expect("Γ is total over I ⊇ I_n; IC decided a vector outside the enumerated domain")
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solvability::check_containment_condition;
+    use crate::validity::{
+        IntervalValidity, StrongValidity, SystemParams, ValidityProperty, WeakValidity,
+    };
+    use ba_crypto::Keybook;
+    use ba_protocols::interactive_consistency::{
+        authenticated_ic_factory, unauthenticated_ic_factory,
+    };
+    use ba_sim::{
+        run_byzantine, run_omission, Bit, ByzantineBehavior, ExecutorConfig, NoFaults, ProcessId,
+        SilentByzantine,
+    };
+    use std::collections::{BTreeMap, BTreeSet};
+
+    fn gamma_for<VP: ValidityProperty>(
+        vp: &VP,
+        params: &SystemParams,
+    ) -> Arc<Gamma<VP::Input, VP::Output>> {
+        Arc::new(
+            check_containment_condition(vp, params)
+                .gamma()
+                .cloned()
+                .expect("problem satisfies CC"),
+        )
+    }
+
+    #[test]
+    fn weak_consensus_via_authenticated_ic() {
+        let (n, t) = (4, 1);
+        let params = SystemParams::new(n, t);
+        let gamma = gamma_for(&WeakValidity::binary(), &params);
+        let cfg = ExecutorConfig::new(n, t);
+        for bit in Bit::ALL {
+            let book = Keybook::new(n);
+            let gamma = gamma.clone();
+            let exec = run_omission(
+                &cfg,
+                move |pid| {
+                    ViaInteractiveConsistency::new(
+                        authenticated_ic_factory(book.clone(), Bit::Zero)(pid),
+                        gamma.clone(),
+                    )
+                },
+                &[bit; 4],
+                &BTreeSet::new(),
+                &mut NoFaults,
+            )
+            .unwrap();
+            exec.validate().unwrap();
+            assert!(exec.all_correct_decided(bit), "weak validity for {bit}");
+        }
+    }
+
+    #[test]
+    fn strong_consensus_via_ic_satisfies_val_under_byzantine_fault() {
+        let (n, t) = (4, 1);
+        let params = SystemParams::new(n, t);
+        let vp = StrongValidity::binary();
+        let gamma = gamma_for(&vp, &params);
+        let cfg = ExecutorConfig::new(n, t);
+        let book = Keybook::new(n);
+        let gamma2 = gamma.clone();
+        let behaviors: BTreeMap<_, Box<dyn ByzantineBehavior<Bit, _>>> =
+            [(ProcessId(3), Box::new(SilentByzantine) as Box<_>)].into_iter().collect();
+        let exec = run_byzantine(
+            &cfg,
+            move |pid| {
+                ViaInteractiveConsistency::new(
+                    authenticated_ic_factory(book.clone(), Bit::Zero)(pid),
+                    gamma2.clone(),
+                )
+            },
+            &[Bit::One; 4],
+            behaviors,
+        )
+        .unwrap();
+        exec.validate().unwrap();
+        // Correct processes all proposed One; Strong Validity demands One.
+        for pid in exec.correct() {
+            assert_eq!(exec.decision_of(pid), Some(&Bit::One));
+        }
+    }
+
+    #[test]
+    fn interval_validity_via_unauthenticated_ic() {
+        // Interval validity over {0,1,2} satisfies CC at (4,1); solve it on
+        // top of the n > 3t EIG-based IC.
+        let (n, t) = (4, 1);
+        let params = SystemParams::new(n, t);
+        let vp = IntervalValidity::new(3);
+        let gamma = gamma_for(&vp, &params);
+        let cfg = ExecutorConfig::new(n, t);
+        let proposals = [2u8, 0, 2, 1];
+        let gamma2 = gamma.clone();
+        let exec = run_omission(
+            &cfg,
+            move |pid| {
+                ViaInteractiveConsistency::new(
+                    unauthenticated_ic_factory(n, t, 0u8)(pid),
+                    gamma2.clone(),
+                )
+            },
+            &proposals,
+            &BTreeSet::new(),
+            &mut NoFaults,
+        )
+        .unwrap();
+        exec.validate().unwrap();
+        let config = InputConfig::full(proposals.to_vec());
+        let admissible = vp.admissible(&params, &config);
+        let all: Vec<ProcessId> = ProcessId::all(n).collect();
+        let decided = exec.unanimous_decision(all.iter()).expect("agreement + termination");
+        assert!(admissible.contains(&decided), "decided {decided} ∉ val(c)");
+    }
+
+    #[test]
+    fn reduction_decisions_are_admissible_across_all_full_configs() {
+        // Exhaustive: for every full binary input configuration at (3,1),
+        // the Algorithm 2 construction over authenticated IC decides an
+        // admissible value of strong consensus.
+        let (n, t) = (3, 1);
+        let params = SystemParams::new(n, t);
+        let vp = StrongValidity::binary();
+        let gamma = gamma_for(&vp, &params);
+        let cfg = ExecutorConfig::new(n, t);
+        for mask in 0u32..(1 << n) {
+            let proposals: Vec<Bit> =
+                (0..n).map(|i| Bit::from(mask & (1 << i) != 0)).collect();
+            let book = Keybook::new(n);
+            let gamma2 = gamma.clone();
+            let exec = run_omission(
+                &cfg,
+                move |pid| {
+                    ViaInteractiveConsistency::new(
+                        authenticated_ic_factory(book.clone(), Bit::Zero)(pid),
+                        gamma2.clone(),
+                    )
+                },
+                &proposals,
+                &BTreeSet::new(),
+                &mut NoFaults,
+            )
+            .unwrap();
+            let config = InputConfig::full(proposals.clone());
+            let admissible = vp.admissible(&params, &config);
+            let all: Vec<ProcessId> = ProcessId::all(n).collect();
+            let decided = exec.unanimous_decision(all.iter()).expect("agreement");
+            assert!(admissible.contains(&decided), "proposals {proposals:?}: {decided} inadmissible");
+        }
+    }
+}

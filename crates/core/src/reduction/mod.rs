@@ -1,0 +1,17 @@
+//! The paper's two reductions.
+//!
+//! * [`algorithm1`] — **weak consensus from any solvable non-trivial
+//!   agreement problem** at zero message cost (paper §4.2, Algorithm 1;
+//!   Lemma 6). This is what generalizes the Ω(t²) bound from weak consensus
+//!   to *every* non-trivial problem (Theorem 3), and, through the
+//!   two-fully-correct-executions condition, to External-Validity agreement
+//!   (Corollary 1).
+//! * [`algorithm2`] — **any agreement problem satisfying the containment
+//!   condition, from interactive consistency** (paper §5.2.2, Algorithm 2;
+//!   Lemma 9) — the sufficiency half of the general solvability theorem.
+
+pub mod algorithm1;
+pub mod algorithm2;
+
+pub use algorithm1::{derive_reduction_inputs, ReductionError, ReductionInputs, WeakFromAgreement};
+pub use algorithm2::ViaInteractiveConsistency;

@@ -1,0 +1,304 @@
+//! The executable Lemma 7 argument — the *necessity* half of the general
+//! solvability theorem.
+//!
+//! Lemma 7 (paper §4.2): if an algorithm decides `v` in an execution whose
+//! input configuration is `c`, then `v` must be admissible in **every**
+//! configuration `c' ∈ Cnt(c)` — because an execution in which the
+//! processes of `π(c) \ π(c')` are *declared faulty but behave honestly*
+//! is indistinguishable from the original, yet corresponds to `c'`.
+//!
+//! [`lemma7_refute`] runs this argument against a concrete protocol: it
+//! enumerates fully correct executions, and whenever the decided value is
+//! inadmissible under some contained configuration, it *constructs* the
+//! indistinguishable Byzantine execution (honest-mimic adversaries, see
+//! [`HonestMimic`]) and returns it as a re-verifiable
+//! [`ValidityRefutation`].
+//!
+//! Consequences reproduced here:
+//!
+//! * any claimed solution to a containment-condition-violating problem
+//!   (e.g. majority validity) is refuted mechanically — Lemma 8;
+//! * correct solutions (Algorithm 2 over IC with a genuine Γ) produce no
+//!   refutation, their Γ *is* the containment-condition witness.
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+use ba_sim::{
+    run_byzantine, run_omission, ByzantineBehavior, Execution, ExecutorConfig, FaultMode,
+    HonestMimic, NoFaults, ProcessId, Protocol, SimError,
+};
+
+use crate::validity::{containment_set, InputConfig, SystemParams, ValidityProperty};
+
+/// A mechanical counterexample to a protocol's claimed validity property: a
+/// (Byzantine-mode) execution corresponding to `config` in which the
+/// correct processes decide an inadmissible value.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ValidityRefutation<I, O, M> {
+    /// The execution `E'` (honest-mimic adversaries at `Π \ π(c')`).
+    pub execution: Execution<I, O, M>,
+    /// The input configuration `c'` that `E'` corresponds to.
+    pub config: InputConfig<I>,
+    /// The inadmissible decided value.
+    pub decided: O,
+    /// The full proposal vector of the indistinguishable fully correct
+    /// execution `E` the argument started from.
+    pub base_proposals: Vec<I>,
+    /// Human-readable derivation.
+    pub provenance: Vec<String>,
+}
+
+/// Why a refutation failed re-verification.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RefutationError {
+    /// The execution does not correspond to the claimed configuration.
+    ConfigMismatch(String),
+    /// The correct processes did not all decide the claimed value.
+    DecisionMismatch(String),
+    /// The claimed value is actually admissible.
+    ValueAdmissible,
+}
+
+impl fmt::Display for RefutationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RefutationError::ConfigMismatch(s) => write!(f, "configuration mismatch: {s}"),
+            RefutationError::DecisionMismatch(s) => write!(f, "decision mismatch: {s}"),
+            RefutationError::ValueAdmissible => write!(f, "the decided value is admissible"),
+        }
+    }
+}
+
+impl Error for RefutationError {}
+
+impl<I: ba_sim::Value, O: ba_sim::Value, M: ba_sim::Payload> ValidityRefutation<I, O, M> {
+    /// Independently re-checks the refutation against the validity
+    /// property: the execution's correct set and proposals realize
+    /// `config`, every correct process decided `decided`, and `decided` is
+    /// inadmissible under `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failed check.
+    pub fn verify<VP>(&self, vp: &VP, params: &SystemParams) -> Result<(), RefutationError>
+    where
+        VP: ValidityProperty<Input = I, Output = O>,
+    {
+        // Execution ↔ configuration correspondence (paper §4.1).
+        let correct: Vec<ProcessId> = self.execution.correct().collect();
+        let expected: Vec<ProcessId> = self.config.processes().collect();
+        if correct != expected {
+            return Err(RefutationError::ConfigMismatch(format!(
+                "correct set {correct:?} ≠ π(c') {expected:?}"
+            )));
+        }
+        for pid in &correct {
+            if Some(&self.execution.record(*pid).proposal) != self.config.proposal_of(*pid) {
+                return Err(RefutationError::ConfigMismatch(format!(
+                    "proposal of {pid} differs from c'"
+                )));
+            }
+        }
+        for pid in &correct {
+            if self.execution.decision_of(*pid) != Some(&self.decided) {
+                return Err(RefutationError::DecisionMismatch(format!(
+                    "{pid} did not decide the claimed value"
+                )));
+            }
+        }
+        if vp.admissible(params, &self.config).contains(&self.decided) {
+            return Err(RefutationError::ValueAdmissible);
+        }
+        Ok(())
+    }
+}
+
+/// Runs the Lemma 7 argument against `factory`'s protocol and the claimed
+/// validity property `vp`.
+///
+/// Enumerates all fully correct executions over `vp`'s input domain (there
+/// are `|domain|^n`; keep `n` small), and for each decided value checks
+/// admissibility across the containment set. On the first miss, constructs
+/// the indistinguishable honest-mimic execution and returns the refutation.
+///
+/// Returns `Ok(None)` if every decision is admissible everywhere it must be
+/// — which, per Lemma 8, is guaranteed for genuine solutions.
+///
+/// # Errors
+///
+/// Propagates simulator errors; protocols that break Termination/Agreement
+/// on fully correct executions are reported as
+/// [`SimError`]-wrapped? No — they are skipped with a provenance note, as
+/// they are refuted by more basic means (the falsifier).
+pub fn lemma7_refute<P, F, VP>(
+    cfg: &ExecutorConfig,
+    factory: F,
+    vp: &VP,
+) -> Result<Option<ValidityRefutation<P::Input, P::Output, P::Msg>>, SimError>
+where
+    P: Protocol + 'static,
+    F: Fn(ProcessId) -> P,
+    VP: ValidityProperty<Input = P::Input, Output = P::Output>,
+{
+    let params = SystemParams::new(cfg.n, cfg.t);
+    let domain = vp.input_domain();
+
+    // Mixed-radix enumeration of all full proposal vectors.
+    let mut assignment = vec![0usize; cfg.n];
+    loop {
+        let proposals: Vec<P::Input> =
+            assignment.iter().map(|d| domain[*d].clone()).collect();
+
+        let exec = run_omission(cfg, &factory, &proposals, &Default::default(), &mut NoFaults)?;
+        let all: Vec<ProcessId> = ProcessId::all(cfg.n).collect();
+        if let Some(decided) = exec.unanimous_decision(all.iter()) {
+            let full = InputConfig::full(proposals.clone());
+            for sub in containment_set(&params, &full) {
+                if vp.admissible(&params, &sub).contains(&decided) {
+                    continue;
+                }
+                // Lemma 7's construction: declare Π \ π(c') faulty but run
+                // them honestly — indistinguishable, so the decision stands,
+                // but now it is inadmissible.
+                let behaviors: BTreeMap<
+                    ProcessId,
+                    Box<dyn ByzantineBehavior<P::Input, P::Msg>>,
+                > = ProcessId::all(cfg.n)
+                    .filter(|p| sub.proposal_of(*p).is_none())
+                    .map(|p| {
+                        (
+                            p,
+                            Box::new(HonestMimic::new(factory(p)))
+                                as Box<dyn ByzantineBehavior<P::Input, P::Msg>>,
+                        )
+                    })
+                    .collect();
+                let shadow = run_byzantine(cfg, &factory, &proposals, behaviors)?;
+                debug_assert_eq!(shadow.mode, FaultMode::Byzantine);
+                // Determinism + indistinguishability ⇒ identical decisions.
+                debug_assert!(shadow
+                    .correct()
+                    .all(|p| shadow.decision_of(p) == Some(&decided)));
+                return Ok(Some(ValidityRefutation {
+                    execution: shadow,
+                    config: sub.clone(),
+                    decided,
+                    base_proposals: proposals,
+                    provenance: vec![
+                        "Lemma 7: the fully correct execution E on the base proposals decides v"
+                            .into(),
+                        format!("v is inadmissible under the contained configuration {sub:?}"),
+                        "E' declares the dropped processes faulty but runs them honestly \
+                         (HonestMimic) — indistinguishable from E, so v is still decided"
+                            .into(),
+                    ],
+                }));
+            }
+        }
+
+        // Increment the mixed-radix counter.
+        let mut i = 0;
+        loop {
+            if i == assignment.len() {
+                return Ok(None);
+            }
+            assignment[i] += 1;
+            if assignment[i] < domain.len() {
+                break;
+            }
+            assignment[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reduction::ViaInteractiveConsistency;
+    use crate::solvability::{check_containment_condition, Gamma};
+    use crate::validity::{enumerate_configs, MajorityValidity, StrongValidity};
+    use ba_crypto::Keybook;
+    use ba_protocols::interactive_consistency::authenticated_ic_factory;
+    use ba_sim::Bit;
+    use std::sync::Arc;
+
+    /// A bogus "solution" to majority validity: Algorithm 2 over IC with
+    /// Γ(vec) = majority of the vector (ties → 0). It terminates and agrees,
+    /// but its decisions cannot satisfy majority validity — the problem
+    /// violates the containment condition.
+    fn bogus_majority_factory(
+        n: usize,
+    ) -> impl Fn(ProcessId) -> ViaInteractiveConsistency<
+        ba_protocols::interactive_consistency::AuthenticatedIc<Bit>,
+        Bit,
+    > + Clone {
+        let params = SystemParams::new(n, 1);
+        let table: std::collections::BTreeMap<InputConfig<Bit>, Bit> =
+            enumerate_configs(&params, &[Bit::Zero, Bit::One])
+                .into_iter()
+                .map(|c| {
+                    let ones = c.iter().filter(|(_, v)| **v == Bit::One).count();
+                    let majority = Bit::from(ones * 2 > c.len());
+                    (c, majority)
+                })
+                .collect();
+        let gamma = Arc::new(Gamma::from_table(table));
+        let book = Keybook::new(n);
+        move |pid| {
+            ViaInteractiveConsistency::new(
+                authenticated_ic_factory(book.clone(), Bit::Zero)(pid),
+                gamma.clone(),
+            )
+        }
+    }
+
+    #[test]
+    fn bogus_majority_solution_is_refuted() {
+        let n = 4;
+        let cfg = ExecutorConfig::new(n, 1);
+        let vp = MajorityValidity::new();
+        let refutation = lemma7_refute(&cfg, bogus_majority_factory(n), &vp)
+            .unwrap()
+            .expect("majority validity violates CC, so every solution must be refutable");
+        refutation.verify(&vp, &SystemParams::new(n, 1)).unwrap();
+        // The refuting execution uses honest-mimic adversaries only.
+        assert_eq!(refutation.execution.mode, FaultMode::Byzantine);
+        assert!(!refutation.execution.faulty.is_empty());
+    }
+
+    #[test]
+    fn genuine_strong_consensus_solution_survives() {
+        let n = 4;
+        let cfg = ExecutorConfig::new(n, 1);
+        let params = SystemParams::new(n, 1);
+        let vp = StrongValidity::binary();
+        let gamma =
+            Arc::new(check_containment_condition(&vp, &params).gamma().cloned().unwrap());
+        let book = Keybook::new(n);
+        let factory = move |pid: ProcessId| {
+            ViaInteractiveConsistency::new(
+                authenticated_ic_factory(book.clone(), Bit::Zero)(pid),
+                gamma.clone(),
+            )
+        };
+        let refutation = lemma7_refute(&cfg, factory, &vp).unwrap();
+        assert!(refutation.is_none(), "genuine solution wrongly refuted: {refutation:?}");
+    }
+
+    #[test]
+    fn refutation_verification_rejects_tampering() {
+        let n = 4;
+        let cfg = ExecutorConfig::new(n, 1);
+        let params = SystemParams::new(n, 1);
+        let vp = MajorityValidity::new();
+        let refutation =
+            lemma7_refute(&cfg, bogus_majority_factory(n), &vp).unwrap().unwrap();
+        // Tamper: claim an admissible value instead.
+        let mut bad = refutation.clone();
+        bad.decided = bad.decided.flip();
+        assert!(bad.verify(&vp, &params).is_err());
+    }
+}

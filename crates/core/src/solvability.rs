@@ -1,0 +1,428 @@
+//! The containment condition and the general solvability theorem
+//! (paper §5, Theorem 4; application to strong consensus, Theorem 5).
+//!
+//! A non-trivial agreement problem is *authenticated-solvable* iff it
+//! satisfies the **containment condition** (CC, Definition 3): there is a
+//! computable `Γ : I → V_O` with `Γ(c) ∈ ⋂_{c' ∈ Cnt(c)} val(c')` for every
+//! input configuration `c`. It is *unauthenticated-solvable* iff
+//! additionally `n > 3t`.
+//!
+//! On the finite instances this crate targets, CC is decided *exhaustively*:
+//! [`check_containment_condition`] either materializes the Γ table (used by
+//! the Algorithm 2 reduction in [`crate::reduction`]) or returns a witness
+//! configuration whose containment-set intersection is empty — the shape of
+//! the paper's Theorem 5 proof for strong consensus with `n ≤ 2t`.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use crate::validity::{
+    containment_set, enumerate_configs, InputConfig, SystemParams, ValidityProperty,
+};
+
+/// A materialized `Γ : I → V_O` table (Definition 3), proving CC and
+/// powering the Algorithm 2 reduction.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Gamma<VI, VO> {
+    table: BTreeMap<InputConfig<VI>, VO>,
+}
+
+impl<VI: ba_sim::Value, VO: ba_sim::Value> Gamma<VI, VO> {
+    /// Builds a Γ table directly from a map.
+    ///
+    /// [`check_containment_condition`] produces tables whose values are
+    /// guaranteed admissible; tables built here carry **no such guarantee**
+    /// — they are for plugging *claimed* (possibly bogus) decision rules
+    /// into the Algorithm 2 wrapper, e.g. to exercise the Lemma 7 refuter.
+    pub fn from_table(table: BTreeMap<InputConfig<VI>, VO>) -> Self {
+        Gamma { table }
+    }
+
+    /// The value `Γ(c)`, or `None` if `c` was not in the enumerated domain.
+    pub fn apply(&self, c: &InputConfig<VI>) -> Option<&VO> {
+        self.table.get(c)
+    }
+
+    /// Number of table entries (i.e. `|I|`).
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// `true` iff the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// Iterates over `(c, Γ(c))` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&InputConfig<VI>, &VO)> {
+        self.table.iter()
+    }
+}
+
+/// A violation of the containment condition: a configuration whose
+/// containment-set intersection is empty, optionally refined to two
+/// contained configurations with disjoint admissible sets (the paper's
+/// Theorem 5 witness shape).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CcWitness<VI> {
+    /// The configuration `c` with `⋂_{c' ∈ Cnt(c)} val(c') = ∅`.
+    pub config: InputConfig<VI>,
+    /// Two contained configurations whose admissible sets are disjoint, when
+    /// a single pair suffices to expose the violation.
+    pub disjoint_pair: Option<(InputConfig<VI>, InputConfig<VI>)>,
+}
+
+impl<VI: ba_sim::Value + fmt::Display> fmt::Display for CcWitness<VI> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CC violated at c = {}", self.config)?;
+        if let Some((a, b)) = &self.disjoint_pair {
+            write!(f, "; contained configs {a} and {b} admit disjoint decision sets")?;
+        }
+        Ok(())
+    }
+}
+
+/// The outcome of the exhaustive containment-condition check.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CcResult<VI, VO> {
+    /// CC holds; the Γ table is materialized.
+    Satisfied(Gamma<VI, VO>),
+    /// CC fails at the witnessed configuration.
+    Violated(CcWitness<VI>),
+}
+
+impl<VI: ba_sim::Value, VO: ba_sim::Value> CcResult<VI, VO> {
+    /// `true` iff the condition holds.
+    pub fn holds(&self) -> bool {
+        matches!(self, CcResult::Satisfied(_))
+    }
+
+    /// The Γ table, if CC holds.
+    pub fn gamma(&self) -> Option<&Gamma<VI, VO>> {
+        match self {
+            CcResult::Satisfied(g) => Some(g),
+            CcResult::Violated(_) => None,
+        }
+    }
+
+    /// The witness, if CC fails.
+    pub fn witness(&self) -> Option<&CcWitness<VI>> {
+        match self {
+            CcResult::Satisfied(_) => None,
+            CcResult::Violated(w) => Some(w),
+        }
+    }
+}
+
+/// Exhaustively decides the containment condition (Definition 3) for `vp`
+/// under `params`.
+///
+/// For every `c ∈ I`, intersects `val(c')` over all `c' ∈ Cnt(c)`; CC holds
+/// iff every intersection is non-empty, and `Γ(c)` is chosen as the minimum
+/// of the intersection (any deterministic choice works).
+pub fn check_containment_condition<VP: ValidityProperty>(
+    vp: &VP,
+    params: &SystemParams,
+) -> CcResult<VP::Input, VP::Output> {
+    let domain = vp.input_domain();
+    let mut table = BTreeMap::new();
+    for c in enumerate_configs(params, &domain) {
+        let cnt = containment_set(params, &c);
+        let mut intersection: Option<BTreeSet<VP::Output>> = None;
+        for sub in &cnt {
+            let adm = vp.admissible(params, sub);
+            intersection = Some(match intersection {
+                None => adm,
+                Some(acc) => acc.intersection(&adm).cloned().collect(),
+            });
+            if intersection.as_ref().is_some_and(BTreeSet::is_empty) {
+                break;
+            }
+        }
+        let intersection = intersection.expect("containment sets are non-empty (reflexivity)");
+        match intersection.into_iter().next() {
+            Some(gamma_value) => {
+                table.insert(c, gamma_value);
+            }
+            None => {
+                // Refine: look for a single disjoint pair among Cnt(c).
+                let mut disjoint_pair = None;
+                'outer: for (i, a) in cnt.iter().enumerate() {
+                    let adm_a = vp.admissible(params, a);
+                    for b in cnt.iter().skip(i + 1) {
+                        let adm_b = vp.admissible(params, b);
+                        if adm_a.intersection(&adm_b).next().is_none() {
+                            disjoint_pair = Some((a.clone(), b.clone()));
+                            break 'outer;
+                        }
+                    }
+                }
+                return CcResult::Violated(CcWitness { config: c, disjoint_pair });
+            }
+        }
+    }
+    CcResult::Satisfied(Gamma { table })
+}
+
+/// Decides triviality (paper §4.1): the problem is trivial iff some value is
+/// admissible in *every* input configuration; returns such a value.
+pub fn trivial_value<VP: ValidityProperty>(
+    vp: &VP,
+    params: &SystemParams,
+) -> Option<VP::Output> {
+    let domain = vp.input_domain();
+    let mut candidates: Option<BTreeSet<VP::Output>> = None;
+    for c in enumerate_configs(params, &domain) {
+        let adm = vp.admissible(params, &c);
+        candidates = Some(match candidates {
+            None => adm,
+            Some(acc) => acc.intersection(&adm).cloned().collect(),
+        });
+        if candidates.as_ref().is_some_and(BTreeSet::is_empty) {
+            return None;
+        }
+    }
+    candidates.and_then(|set| set.into_iter().next())
+}
+
+/// The complete Theorem 4 verdict for one problem at one `(n, t)`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SolvabilityReport<VI, VO> {
+    /// The analyzed parameters.
+    pub params: SystemParams,
+    /// The problem's name (from [`ValidityProperty::name`]).
+    pub problem: String,
+    /// A value admissible everywhere, if the problem is trivial.
+    pub trivial_value: Option<VO>,
+    /// The containment-condition outcome (for non-trivial problems this
+    /// decides everything; computed for trivial problems too — CC always
+    /// holds for them).
+    pub cc: CcResult<VI, VO>,
+    /// Theorem 4: authenticated-solvable ⟺ CC (trivial problems are
+    /// vacuously solvable).
+    pub authenticated_solvable: bool,
+    /// Theorem 4: unauthenticated-solvable ⟺ CC ∧ `n > 3t` (except trivial
+    /// problems, solvable without any communication at any resilience —
+    /// Lemma 10's contrapositive).
+    pub unauthenticated_solvable: bool,
+}
+
+impl<VI: ba_sim::Value, VO: ba_sim::Value> SolvabilityReport<VI, VO> {
+    /// `true` iff the problem is trivial at these parameters.
+    pub fn is_trivial(&self) -> bool {
+        self.trivial_value.is_some()
+    }
+}
+
+/// Applies the general solvability theorem (Theorem 4) to `vp` at `params`.
+///
+/// ```
+/// use ba_core::solvability::solvability;
+/// use ba_core::validity::{StrongValidity, SystemParams};
+///
+/// // Theorem 5: strong consensus is authenticated-solvable iff n > 2t.
+/// let ok = solvability(&StrongValidity::binary(), &SystemParams::new(5, 2));
+/// assert!(ok.authenticated_solvable);
+/// let bad = solvability(&StrongValidity::binary(), &SystemParams::new(4, 2));
+/// assert!(!bad.authenticated_solvable);
+/// ```
+pub fn solvability<VP: ValidityProperty>(
+    vp: &VP,
+    params: &SystemParams,
+) -> SolvabilityReport<VP::Input, VP::Output> {
+    let trivial = trivial_value(vp, params);
+    let cc = check_containment_condition(vp, params);
+    let cc_holds = cc.holds();
+    let authenticated = trivial.is_some() || cc_holds;
+    let unauthenticated = trivial.is_some() || (cc_holds && params.n > 3 * params.t);
+    SolvabilityReport {
+        params: *params,
+        problem: vp.name(),
+        trivial_value: trivial,
+        cc,
+        authenticated_solvable: authenticated,
+        unauthenticated_solvable: unauthenticated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validity::{
+        AnythingGoes, ExternalValidity, IcValidity, IntervalValidity, MajorityValidity,
+        SenderValidity, StrongValidity, WeakValidity,
+    };
+    use ba_sim::{Bit, ProcessId};
+
+    #[test]
+    fn weak_consensus_satisfies_cc_and_gamma_is_admissible() {
+        let params = SystemParams::new(4, 1);
+        let vp = WeakValidity::binary();
+        let cc = check_containment_condition(&vp, &params);
+        let gamma = cc.gamma().expect("weak consensus satisfies CC");
+        for (c, v) in gamma.iter() {
+            // Γ(c) must be admissible in every contained configuration.
+            for sub in containment_set(&params, c) {
+                assert!(vp.admissible(&params, &sub).contains(v));
+            }
+        }
+    }
+
+    #[test]
+    fn weak_consensus_is_not_trivial() {
+        let params = SystemParams::new(4, 1);
+        assert_eq!(trivial_value(&WeakValidity::binary(), &params), None);
+    }
+
+    #[test]
+    fn anything_goes_is_trivial() {
+        let params = SystemParams::new(4, 1);
+        assert!(trivial_value(&AnythingGoes::new(), &params).is_some());
+        let report = solvability(&AnythingGoes::new(), &params);
+        assert!(report.is_trivial());
+        assert!(report.authenticated_solvable);
+        assert!(report.unauthenticated_solvable);
+    }
+
+    #[test]
+    fn theorem_5_strong_consensus_fails_cc_iff_n_le_2t() {
+        // The paper's Theorem 5 witness, checked exhaustively.
+        for (n, t) in [(4usize, 2usize), (2, 1), (6, 3), (5, 3)] {
+            let report = solvability(&StrongValidity::binary(), &SystemParams::new(n, t));
+            assert!(!report.cc.holds(), "strong consensus must fail CC at n={n}, t={t}");
+            assert!(!report.authenticated_solvable);
+        }
+        for (n, t) in [(3usize, 1usize), (5, 2), (7, 3)] {
+            let report = solvability(&StrongValidity::binary(), &SystemParams::new(n, t));
+            assert!(report.cc.holds(), "strong consensus must satisfy CC at n={n}, t={t}");
+            assert!(report.authenticated_solvable);
+        }
+    }
+
+    #[test]
+    fn theorem_5_witness_matches_paper_construction() {
+        // n = 2t = 4: c = (0,0,1,1) contains c0 = (0,0) with val = {0} and
+        // c1 = (1,1) with val = {1}.
+        let params = SystemParams::new(4, 2);
+        let cc = check_containment_condition(&StrongValidity::binary(), &params);
+        let witness = cc.witness().expect("CC must fail");
+        let (a, b) = witness.disjoint_pair.as_ref().expect("a disjoint pair exists");
+        let vp = StrongValidity::binary();
+        let adm_a = vp.admissible(&params, a);
+        let adm_b = vp.admissible(&params, b);
+        assert!(adm_a.intersection(&adm_b).next().is_none());
+        assert!(witness.config.contains(a) && witness.config.contains(b));
+    }
+
+    #[test]
+    fn unauthenticated_solvability_needs_n_over_3t() {
+        let weak = WeakValidity::binary();
+        let ok = solvability(&weak, &SystemParams::new(4, 1));
+        assert!(ok.unauthenticated_solvable);
+        let bad = solvability(&weak, &SystemParams::new(3, 1));
+        assert!(bad.cc.holds(), "CC still holds");
+        assert!(bad.authenticated_solvable);
+        assert!(!bad.unauthenticated_solvable, "n = 3t is not enough");
+    }
+
+    #[test]
+    fn sender_validity_satisfies_cc_for_any_t() {
+        // Byzantine broadcast is authenticated-solvable for any t < n [52].
+        for (n, t) in [(3usize, 1usize), (3, 2), (4, 3), (5, 4)] {
+            let vp = SenderValidity::new(ProcessId(0), vec![Bit::Zero, Bit::One]);
+            let report = solvability(&vp, &SystemParams::new(n, t));
+            assert!(report.authenticated_solvable, "broadcast solvable at n={n}, t={t}");
+            assert!(!report.is_trivial());
+        }
+    }
+
+    #[test]
+    fn ic_validity_satisfies_cc_for_any_t() {
+        for (n, t) in [(3usize, 1usize), (3, 2), (4, 2)] {
+            let vp = IcValidity::new(vec![Bit::Zero, Bit::One]);
+            let report = solvability(&vp, &SystemParams::new(n, t));
+            assert!(report.authenticated_solvable, "IC solvable at n={n}, t={t}");
+            assert!(!report.is_trivial());
+        }
+    }
+
+    #[test]
+    fn ic_gamma_extends_partial_configs() {
+        let params = SystemParams::new(3, 1);
+        let vp = IcValidity::new(vec![Bit::Zero, Bit::One]);
+        let gamma = check_containment_condition(&vp, &params)
+            .gamma()
+            .cloned()
+            .expect("IC satisfies CC");
+        let partial =
+            InputConfig::new(&params, [(ProcessId(0), Bit::One), (ProcessId(2), Bit::One)]);
+        let vec = gamma.apply(&partial).expect("in domain").clone();
+        assert_eq!(vec[0], Bit::One);
+        assert_eq!(vec[2], Bit::One);
+    }
+
+    #[test]
+    fn majority_validity_fails_cc_even_at_small_t() {
+        // A full config with a 2-2 tie contains two majority-pinned
+        // sub-configs with opposite verdicts.
+        let report = solvability(&MajorityValidity::new(), &SystemParams::new(4, 1));
+        assert!(!report.cc.holds());
+        assert!(!report.authenticated_solvable);
+    }
+
+    #[test]
+    fn interval_validity_graded_solvability() {
+        // Solvable at t = 1 (n = 4), unsolvable at t = 2 (n = 4): two
+        // disjoint sub-configs pin disjoint intervals.
+        let ok = solvability(&IntervalValidity::new(3), &SystemParams::new(4, 1));
+        assert!(ok.cc.holds());
+        let bad = solvability(&IntervalValidity::new(3), &SystemParams::new(4, 2));
+        assert!(!bad.cc.holds());
+    }
+
+    #[test]
+    fn external_validity_is_formally_trivial() {
+        // Paper §4.3: the formalism classifies External Validity as trivial.
+        let vp = ExternalValidity::new(vec![0u8, 1, 2, 3], [2u8]);
+        let report = solvability(&vp, &SystemParams::new(4, 1));
+        assert_eq!(report.trivial_value, Some(2));
+    }
+
+    #[test]
+    fn unanimity_or_default_is_unsolvable() {
+        // Over-specified validity: every configuration pins one value, and
+        // the pins conflict across the containment order.
+        use crate::validity::UnanimityOrDefault;
+        for (n, t) in [(3usize, 1usize), (4, 1), (5, 2)] {
+            let report =
+                solvability(&UnanimityOrDefault::new(Bit::Zero), &SystemParams::new(n, t));
+            assert!(!report.cc.holds(), "must fail CC at n={n}, t={t}");
+            assert!(!report.authenticated_solvable);
+            assert!(!report.is_trivial());
+            let witness = report.cc.witness().unwrap();
+            let (a, b) = witness.disjoint_pair.as_ref().expect("a disjoint pair exists");
+            assert!(witness.config.contains(a) && witness.config.contains(b));
+        }
+    }
+
+    #[test]
+    fn gamma_table_covers_all_of_i() {
+        let params = SystemParams::new(4, 1);
+        let vp = WeakValidity::binary();
+        let gamma = check_containment_condition(&vp, &params).gamma().cloned().unwrap();
+        let configs = enumerate_configs(&params, &vp.input_domain());
+        assert_eq!(gamma.len(), configs.len());
+        for c in &configs {
+            assert!(gamma.apply(c).is_some());
+        }
+    }
+
+    #[test]
+    fn cc_witness_displays() {
+        let params = SystemParams::new(4, 2);
+        let cc = check_containment_condition(&StrongValidity::binary(), &params);
+        let text = cc.witness().unwrap().to_string();
+        assert!(text.contains("CC violated"));
+        assert!(text.contains("disjoint"));
+    }
+}

@@ -1,0 +1,909 @@
+//! The validity-property formalism of paper §4.1.
+//!
+//! A *validity property* maps the proposals of correct processes — an
+//! **input configuration** — to the set of admissible decisions. The exact
+//! validity property uniquely defines a specific Byzantine agreement
+//! problem; this module provides the formalism (configurations, the
+//! containment relation `⊒`, enumeration of `I`) and a catalog of the
+//! validity properties discussed in the paper.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use ba_sim::{Bit, ProcessId, Value};
+
+/// The `(n, t)` system parameters a validity property is interpreted under.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct SystemParams {
+    /// Number of processes.
+    pub n: usize,
+    /// Resilience bound `t < n`.
+    pub t: usize,
+}
+
+impl SystemParams {
+    /// Creates system parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < n`, `t < n`.
+    pub fn new(n: usize, t: usize) -> Self {
+        assert!(n > 0, "need at least one process");
+        assert!(t < n, "require t < n (got t = {t}, n = {n})");
+        SystemParams { n, t }
+    }
+
+    /// The minimum number of correct processes, `n − t`.
+    pub fn min_correct(&self) -> usize {
+        self.n - self.t
+    }
+}
+
+/// An input configuration `c ∈ I`: an assignment of proposals to the
+/// correct processes, with `n − t ≤ |π(c)| ≤ n` (paper §4.1).
+///
+/// ```
+/// use ba_core::validity::{InputConfig, SystemParams};
+/// use ba_sim::{Bit, ProcessId};
+///
+/// let params = SystemParams::new(4, 1);
+/// let full = InputConfig::full(vec![Bit::Zero; 4]);
+/// let sub = InputConfig::new(
+///     &params,
+///     [(ProcessId(0), Bit::Zero), (ProcessId(1), Bit::Zero), (ProcessId(2), Bit::Zero)],
+/// );
+/// assert!(full.contains(&sub));   // full ⊒ sub
+/// assert!(!sub.contains(&full));
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct InputConfig<V> {
+    entries: BTreeMap<ProcessId, V>,
+}
+
+impl<V: Value> InputConfig<V> {
+    /// Creates a configuration, validating the size bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of process-proposal pairs is outside
+    /// `[n − t, n]` or a process id is out of range.
+    pub fn new<E>(params: &SystemParams, entries: E) -> Self
+    where
+        E: IntoIterator<Item = (ProcessId, V)>,
+    {
+        let entries: BTreeMap<ProcessId, V> = entries.into_iter().collect();
+        assert!(
+            entries.len() >= params.min_correct() && entries.len() <= params.n,
+            "input configuration must assign between n - t = {} and n = {} proposals (got {})",
+            params.min_correct(),
+            params.n,
+            entries.len()
+        );
+        assert!(
+            entries.keys().all(|p| p.index() < params.n),
+            "process id out of range in input configuration"
+        );
+        InputConfig { entries }
+    }
+
+    /// The configuration in which all `n` processes are correct with the
+    /// given proposals (an element of `I_n`).
+    pub fn full(proposals: Vec<V>) -> Self {
+        InputConfig {
+            entries: proposals
+                .into_iter()
+                .enumerate()
+                .map(|(i, v)| (ProcessId(i), v))
+                .collect(),
+        }
+    }
+
+    /// The proposal of `pid` — the paper's `c[i]`, `None` for `⊥`.
+    pub fn proposal_of(&self, pid: ProcessId) -> Option<&V> {
+        self.entries.get(&pid)
+    }
+
+    /// The correct processes according to this configuration — the paper's
+    /// `π(c)`.
+    pub fn processes(&self) -> impl Iterator<Item = ProcessId> + '_ {
+        self.entries.keys().copied()
+    }
+
+    /// The set `π(c)` as a `BTreeSet`.
+    pub fn process_set(&self) -> BTreeSet<ProcessId> {
+        self.entries.keys().copied().collect()
+    }
+
+    /// Number of process-proposal pairs.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` iff the configuration is empty (never valid under any
+    /// `SystemParams`).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// `true` iff all `n` processes are correct according to this
+    /// configuration (i.e. `c ∈ I_n`).
+    pub fn is_full(&self, params: &SystemParams) -> bool {
+        self.entries.len() == params.n
+    }
+
+    /// Iterates over `(process, proposal)` pairs in process order.
+    pub fn iter(&self) -> impl Iterator<Item = (ProcessId, &V)> {
+        self.entries.iter().map(|(p, v)| (*p, v))
+    }
+
+    /// The **containment relation** `self ⊒ other` (paper §4.2): every
+    /// process of `other` appears in `self` with an identical proposal.
+    pub fn contains(&self, other: &InputConfig<V>) -> bool {
+        other
+            .entries
+            .iter()
+            .all(|(p, v)| self.entries.get(p) == Some(v))
+    }
+
+    /// The restriction of this configuration to `keep ∩ π(c)`.
+    ///
+    /// The result is a configuration the original *contains*; it is only an
+    /// element of `I` if it retains at least `n − t` pairs (the caller
+    /// checks, e.g. via [`containment_set`]).
+    pub fn restrict(&self, keep: &BTreeSet<ProcessId>) -> InputConfig<V> {
+        InputConfig {
+            entries: self
+                .entries
+                .iter()
+                .filter(|(p, _)| keep.contains(p))
+                .map(|(p, v)| (*p, v.clone()))
+                .collect(),
+        }
+    }
+
+    /// Extends this configuration to a full `I_n` configuration, filling
+    /// missing processes with `fill`. Used by the paper's Table 2 step
+    /// "`c1 ⊒ c*1` with `π(c1) = Π`".
+    pub fn extend_to_full(&self, params: &SystemParams, fill: V) -> InputConfig<V> {
+        let mut entries = self.entries.clone();
+        for pid in ProcessId::all(params.n) {
+            entries.entry(pid).or_insert_with(|| fill.clone());
+        }
+        InputConfig { entries }
+    }
+
+    /// The proposals as a dense vector, or `None` unless the configuration
+    /// is full.
+    pub fn as_full_vec(&self, params: &SystemParams) -> Option<Vec<V>> {
+        if !self.is_full(params) {
+            return None;
+        }
+        Some(self.entries.values().cloned().collect())
+    }
+}
+
+impl<V: Value + fmt::Display> fmt::Display for InputConfig<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, (p, v)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "({p}, {v})")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Enumerates the complete set `I` of input configurations for `params`
+/// over the given proposal domain.
+///
+/// Size: `Σ_{s = n-t}^{n} C(n, s)·|domain|^s`; intended for the small
+/// instances on which the solvability theorems are checked exhaustively.
+///
+/// # Panics
+///
+/// Panics if `n > 20` (the enumeration would be astronomically large).
+pub fn enumerate_configs<V: Value>(params: &SystemParams, domain: &[V]) -> Vec<InputConfig<V>> {
+    assert!(params.n <= 20, "enumeration is exhaustive; n = {} is too large", params.n);
+    assert!(!domain.is_empty(), "empty proposal domain");
+    let mut out = Vec::new();
+    for mask in 0u32..(1 << params.n) {
+        let members: Vec<ProcessId> = ProcessId::all(params.n)
+            .filter(|p| mask & (1 << p.index()) != 0)
+            .collect();
+        if members.len() < params.min_correct() {
+            continue;
+        }
+        // Every |domain|^|members| assignment.
+        let mut assignment = vec![0usize; members.len()];
+        loop {
+            out.push(InputConfig {
+                entries: members
+                    .iter()
+                    .zip(&assignment)
+                    .map(|(p, d)| (*p, domain[*d].clone()))
+                    .collect(),
+            });
+            // Increment the mixed-radix counter.
+            let mut i = 0;
+            loop {
+                if i == assignment.len() {
+                    break;
+                }
+                assignment[i] += 1;
+                if assignment[i] < domain.len() {
+                    break;
+                }
+                assignment[i] = 0;
+                i += 1;
+            }
+            if i == assignment.len() {
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// The containment set `Cnt(c)` (paper §4.2): all input configurations that
+/// `c` contains, i.e. all restrictions of `c` to at least `n − t` of its
+/// processes. Always includes `c` itself (containment is reflexive).
+pub fn containment_set<V: Value>(
+    params: &SystemParams,
+    c: &InputConfig<V>,
+) -> Vec<InputConfig<V>> {
+    let members: Vec<ProcessId> = c.processes().collect();
+    let mut out = Vec::new();
+    for mask in 0u32..(1 << members.len()) {
+        let keep: BTreeSet<ProcessId> = members
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, p)| *p)
+            .collect();
+        if keep.len() < params.min_correct() {
+            continue;
+        }
+        out.push(c.restrict(&keep));
+    }
+    out
+}
+
+/// A validity property `val : I → 2^{V_O}` (paper §4.1): the defining
+/// component of a specific Byzantine agreement problem.
+///
+/// Implementations must return a non-empty admissible set for every valid
+/// input configuration, and expose finite input/output domains so that the
+/// solvability machinery can enumerate exhaustively.
+pub trait ValidityProperty {
+    /// The proposal domain `V_I`.
+    type Input: Value;
+    /// The decision domain `V_O`.
+    type Output: Value;
+
+    /// A short human-readable name for reports.
+    fn name(&self) -> String;
+
+    /// The set of admissible decisions `val(c)` for configuration `c`.
+    fn admissible(
+        &self,
+        params: &SystemParams,
+        c: &InputConfig<Self::Input>,
+    ) -> BTreeSet<Self::Output>;
+
+    /// The (finite) proposal domain used for exhaustive enumeration.
+    fn input_domain(&self) -> Vec<Self::Input>;
+
+    /// The (finite) decision domain used for exhaustive enumeration.
+    fn output_domain(&self, params: &SystemParams) -> Vec<Self::Output>;
+}
+
+fn all_outputs<VP: ValidityProperty + ?Sized>(
+    vp: &VP,
+    params: &SystemParams,
+) -> BTreeSet<VP::Output> {
+    vp.output_domain(params).into_iter().collect()
+}
+
+/// **Weak Validity** (paper §1, §3): if all processes are correct and all
+/// propose the same value, that value must be decided; anything goes
+/// otherwise. The weakest non-trivial agreement problem (paper Lemma 6).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct WeakValidity<V> {
+    domain: Vec<V>,
+}
+
+impl<V: Value> WeakValidity<V> {
+    /// Creates the property over the given proposal/decision domain.
+    pub fn new(domain: Vec<V>) -> Self {
+        assert!(domain.len() >= 2, "a one-value domain makes every problem trivial");
+        WeakValidity { domain }
+    }
+}
+
+impl WeakValidity<Bit> {
+    /// The binary weak consensus of the paper's §3.
+    pub fn binary() -> Self {
+        WeakValidity::new(vec![Bit::Zero, Bit::One])
+    }
+}
+
+impl<V: Value> ValidityProperty for WeakValidity<V> {
+    type Input = V;
+    type Output = V;
+
+    fn name(&self) -> String {
+        "weak-validity".into()
+    }
+
+    fn admissible(&self, params: &SystemParams, c: &InputConfig<V>) -> BTreeSet<V> {
+        if c.is_full(params) {
+            let mut values = c.iter().map(|(_, v)| v);
+            if let Some(first) = values.next() {
+                if values.all(|v| v == first) {
+                    return [first.clone()].into();
+                }
+            }
+        }
+        all_outputs(self, params)
+    }
+
+    fn input_domain(&self) -> Vec<V> {
+        self.domain.clone()
+    }
+
+    fn output_domain(&self, _: &SystemParams) -> Vec<V> {
+        self.domain.clone()
+    }
+}
+
+/// **Strong Validity** (paper §1): if all *correct* processes propose the
+/// same value, that value must be decided.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct StrongValidity<V> {
+    domain: Vec<V>,
+}
+
+impl<V: Value> StrongValidity<V> {
+    /// Creates the property over the given domain.
+    pub fn new(domain: Vec<V>) -> Self {
+        assert!(domain.len() >= 2, "a one-value domain makes every problem trivial");
+        StrongValidity { domain }
+    }
+}
+
+impl StrongValidity<Bit> {
+    /// Binary strong consensus.
+    pub fn binary() -> Self {
+        StrongValidity::new(vec![Bit::Zero, Bit::One])
+    }
+}
+
+impl<V: Value> ValidityProperty for StrongValidity<V> {
+    type Input = V;
+    type Output = V;
+
+    fn name(&self) -> String {
+        "strong-validity".into()
+    }
+
+    fn admissible(&self, params: &SystemParams, c: &InputConfig<V>) -> BTreeSet<V> {
+        let mut values = c.iter().map(|(_, v)| v);
+        if let Some(first) = values.next() {
+            if values.all(|v| v == first) {
+                return [first.clone()].into();
+            }
+        }
+        all_outputs(self, params)
+    }
+
+    fn input_domain(&self) -> Vec<V> {
+        self.domain.clone()
+    }
+
+    fn output_domain(&self, _: &SystemParams) -> Vec<V> {
+        self.domain.clone()
+    }
+}
+
+/// **Sender Validity** (Byzantine broadcast, paper §1): if the designated
+/// sender is correct, its proposal must be decided.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SenderValidity<V> {
+    sender: ProcessId,
+    domain: Vec<V>,
+}
+
+impl<V: Value> SenderValidity<V> {
+    /// Creates the property with the given designated sender.
+    pub fn new(sender: ProcessId, domain: Vec<V>) -> Self {
+        assert!(domain.len() >= 2, "a one-value domain makes every problem trivial");
+        SenderValidity { sender, domain }
+    }
+
+    /// The designated sender.
+    pub fn sender(&self) -> ProcessId {
+        self.sender
+    }
+}
+
+impl<V: Value> ValidityProperty for SenderValidity<V> {
+    type Input = V;
+    type Output = V;
+
+    fn name(&self) -> String {
+        format!("sender-validity({})", self.sender)
+    }
+
+    fn admissible(&self, params: &SystemParams, c: &InputConfig<V>) -> BTreeSet<V> {
+        match c.proposal_of(self.sender) {
+            Some(v) => [v.clone()].into(),
+            None => all_outputs(self, params),
+        }
+    }
+
+    fn input_domain(&self) -> Vec<V> {
+        self.domain.clone()
+    }
+
+    fn output_domain(&self, _: &SystemParams) -> Vec<V> {
+        self.domain.clone()
+    }
+}
+
+/// **IC-Validity** (interactive consistency, paper §5.2.2): decisions are
+/// full `n`-vectors; the decided vector must hold each correct process's
+/// proposal at its index. Formally `IC-Validity(c) = {c' ∈ I_n | c' ⊒ c}`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct IcValidity<V> {
+    domain: Vec<V>,
+}
+
+impl<V: Value> IcValidity<V> {
+    /// Creates the property over the given per-slot domain.
+    pub fn new(domain: Vec<V>) -> Self {
+        assert!(!domain.is_empty(), "empty domain");
+        IcValidity { domain }
+    }
+}
+
+impl<V: Value> ValidityProperty for IcValidity<V> {
+    type Input = V;
+    type Output = Vec<V>;
+
+    fn name(&self) -> String {
+        "ic-validity".into()
+    }
+
+    fn admissible(&self, params: &SystemParams, c: &InputConfig<V>) -> BTreeSet<Vec<V>> {
+        self.output_domain(params)
+            .into_iter()
+            .filter(|vec| {
+                c.iter().all(|(p, v)| &vec[p.index()] == v)
+            })
+            .collect()
+    }
+
+    fn input_domain(&self) -> Vec<V> {
+        self.domain.clone()
+    }
+
+    fn output_domain(&self, params: &SystemParams) -> Vec<Vec<V>> {
+        // All |domain|^n full vectors.
+        let mut out: Vec<Vec<V>> = vec![Vec::new()];
+        for _ in 0..params.n {
+            out = out
+                .into_iter()
+                .flat_map(|prefix| {
+                    self.domain.iter().map(move |v| {
+                        let mut next = prefix.clone();
+                        next.push(v.clone());
+                        next
+                    })
+                })
+                .collect();
+        }
+        out
+    }
+}
+
+/// **Majority Validity**: if a strict majority of correct processes propose
+/// `v`, then `v` must be decided. Included in the catalog because it fails
+/// the containment condition for every `n`, `t ≥ 1` with `n` even (two
+/// disjoint sub-configurations can have opposite majorities) — an
+/// *unsolvable-by-Theorem-4* exhibit.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct MajorityValidity;
+
+impl MajorityValidity {
+    /// Creates the (binary) property.
+    pub fn new() -> Self {
+        MajorityValidity
+    }
+}
+
+impl ValidityProperty for MajorityValidity {
+    type Input = Bit;
+    type Output = Bit;
+
+    fn name(&self) -> String {
+        "majority-validity".into()
+    }
+
+    fn admissible(&self, params: &SystemParams, c: &InputConfig<Bit>) -> BTreeSet<Bit> {
+        let ones = c.iter().filter(|(_, v)| **v == Bit::One).count();
+        let zeros = c.len() - ones;
+        if ones * 2 > c.len() {
+            [Bit::One].into()
+        } else if zeros * 2 > c.len() {
+            [Bit::Zero].into()
+        } else {
+            all_outputs(self, params)
+        }
+    }
+
+    fn input_domain(&self) -> Vec<Bit> {
+        vec![Bit::Zero, Bit::One]
+    }
+
+    fn output_domain(&self, _: &SystemParams) -> Vec<Bit> {
+        vec![Bit::Zero, Bit::One]
+    }
+}
+
+/// **Interval (range) Validity** over an ordered numeric domain: the decided
+/// value must lie between the minimum and maximum proposal of correct
+/// processes. Solvable for small `t`, unsolvable once `t ≥ n/2` (two
+/// disjoint sub-configurations pin disjoint intervals) — a graded exhibit
+/// for the solvability landscape.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct IntervalValidity {
+    domain: Vec<u8>,
+}
+
+impl IntervalValidity {
+    /// Creates the property over `0..levels` (e.g. `levels = 3` gives the
+    /// domain `{0, 1, 2}`).
+    pub fn new(levels: u8) -> Self {
+        assert!(levels >= 2, "need at least two levels");
+        IntervalValidity { domain: (0..levels).collect() }
+    }
+}
+
+impl ValidityProperty for IntervalValidity {
+    type Input = u8;
+    type Output = u8;
+
+    fn name(&self) -> String {
+        format!("interval-validity({})", self.domain.len())
+    }
+
+    fn admissible(&self, _: &SystemParams, c: &InputConfig<u8>) -> BTreeSet<u8> {
+        let min = c.iter().map(|(_, v)| *v).min().expect("configs are non-empty");
+        let max = c.iter().map(|(_, v)| *v).max().expect("configs are non-empty");
+        self.domain.iter().copied().filter(|v| (min..=max).contains(v)).collect()
+    }
+
+    fn input_domain(&self) -> Vec<u8> {
+        self.domain.clone()
+    }
+
+    fn output_domain(&self, _: &SystemParams) -> Vec<u8> {
+        self.domain.clone()
+    }
+}
+
+/// **External Validity** (paper §4.3): any decision satisfying a global
+/// predicate is admissible, *independently of the proposals*.
+///
+/// As the paper observes, the §4.1 formalism classifies this property as
+/// **trivial** — any fixed valid value is admissible in every configuration
+/// — even though blockchain systems cannot actually decide a value they
+/// have never learned (cryptographic hardness lives outside the formalism).
+/// The quadratic bound is recovered through Corollary 1, implemented in
+/// [`crate::reduction`]: any external-validity *algorithm* with two
+/// differing fully-correct executions yields weak consensus at zero cost.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ExternalValidity<V> {
+    valid: BTreeSet<V>,
+    domain: Vec<V>,
+}
+
+impl<V: Value> ExternalValidity<V> {
+    /// Creates the property: `valid` is the image of the globally
+    /// verifiable predicate over `domain`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no domain value is valid (the problem would be
+    /// unsatisfiable).
+    pub fn new<I: IntoIterator<Item = V>>(domain: Vec<V>, valid: I) -> Self {
+        let valid: BTreeSet<V> = valid.into_iter().collect();
+        assert!(!valid.is_empty(), "at least one valid value required");
+        ExternalValidity { valid, domain }
+    }
+}
+
+impl<V: Value> ValidityProperty for ExternalValidity<V> {
+    type Input = V;
+    type Output = V;
+
+    fn name(&self) -> String {
+        "external-validity".into()
+    }
+
+    fn admissible(&self, _: &SystemParams, _: &InputConfig<V>) -> BTreeSet<V> {
+        self.valid.clone()
+    }
+
+    fn input_domain(&self) -> Vec<V> {
+        self.domain.clone()
+    }
+
+    fn output_domain(&self, _: &SystemParams) -> Vec<V> {
+        self.domain.clone()
+    }
+}
+
+/// **Unanimity-or-default**: if the correct processes are unanimous their
+/// value must be decided, otherwise a fixed default must be decided.
+///
+/// Looks innocuous, but *pins* exactly one admissible value in every
+/// configuration — and fails the containment condition whenever a
+/// non-unanimous configuration contains a unanimous one pinning a different
+/// value (e.g. `n = 3, t = 1`: `c = (0,1,1)` pins the default while its
+/// sub-configuration `(1,1)` pins `1`). A cautionary catalog entry: making
+/// validity *more* specific can make the problem unsolvable.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct UnanimityOrDefault {
+    default: Bit,
+}
+
+impl UnanimityOrDefault {
+    /// Creates the property with the given default.
+    pub fn new(default: Bit) -> Self {
+        UnanimityOrDefault { default }
+    }
+}
+
+impl ValidityProperty for UnanimityOrDefault {
+    type Input = Bit;
+    type Output = Bit;
+
+    fn name(&self) -> String {
+        format!("unanimity-or-default({})", self.default)
+    }
+
+    fn admissible(&self, _: &SystemParams, c: &InputConfig<Bit>) -> BTreeSet<Bit> {
+        let mut values = c.iter().map(|(_, v)| v);
+        let first = values.next().expect("configs are non-empty");
+        if values.all(|v| v == first) {
+            [*first].into()
+        } else {
+            [self.default].into()
+        }
+    }
+
+    fn input_domain(&self) -> Vec<Bit> {
+        vec![Bit::Zero, Bit::One]
+    }
+
+    fn output_domain(&self, _: &SystemParams) -> Vec<Bit> {
+        vec![Bit::Zero, Bit::One]
+    }
+}
+
+/// The always-permissive property: every output is admissible everywhere.
+/// The canonical **trivial** problem (decide a constant, zero messages).
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct AnythingGoes;
+
+impl AnythingGoes {
+    /// Creates the property.
+    pub fn new() -> Self {
+        AnythingGoes
+    }
+}
+
+impl ValidityProperty for AnythingGoes {
+    type Input = Bit;
+    type Output = Bit;
+
+    fn name(&self) -> String {
+        "anything-goes".into()
+    }
+
+    fn admissible(&self, params: &SystemParams, _: &InputConfig<Bit>) -> BTreeSet<Bit> {
+        all_outputs(self, params)
+    }
+
+    fn input_domain(&self) -> Vec<Bit> {
+        vec![Bit::Zero, Bit::One]
+    }
+
+    fn output_domain(&self, _: &SystemParams) -> Vec<Bit> {
+        vec![Bit::Zero, Bit::One]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId(i)
+    }
+
+    #[test]
+    fn config_size_bounds_are_enforced() {
+        let params = SystemParams::new(4, 1);
+        // 3 = n - t is fine.
+        let _ = InputConfig::new(&params, (0..3).map(|i| (p(i), Bit::Zero)));
+    }
+
+    #[test]
+    #[should_panic(expected = "between")]
+    fn too_small_config_is_rejected() {
+        let params = SystemParams::new(4, 1);
+        let _ = InputConfig::new(&params, [(p(0), Bit::Zero), (p(1), Bit::Zero)]);
+    }
+
+    #[test]
+    fn containment_matches_paper_example() {
+        // Paper §4.2: with n = 3, t = 1, [(p1,v1),(p2,v2),(p3,v3)] contains
+        // [(p1,v1),(p3,v3)] but not [(p1,v1),(p3,v3′ ≠ v3)].
+        let params = SystemParams::new(3, 1);
+        let c = InputConfig::new(&params, [(p(0), 1u8), (p(1), 2u8), (p(2), 3u8)]);
+        let contained = InputConfig::new(&params, [(p(0), 1u8), (p(2), 3u8)]);
+        let not_contained = InputConfig::new(&params, [(p(0), 1u8), (p(2), 4u8)]);
+        assert!(c.contains(&contained));
+        assert!(!c.contains(&not_contained));
+        assert!(c.contains(&c), "containment is reflexive");
+    }
+
+    #[test]
+    fn containment_is_a_partial_order() {
+        let params = SystemParams::new(4, 2);
+        let configs = enumerate_configs(&params, &[Bit::Zero, Bit::One]);
+        for a in configs.iter().take(40) {
+            assert!(a.contains(a));
+            for b in configs.iter().take(40) {
+                if a.contains(b) && b.contains(a) {
+                    assert_eq!(a, b, "antisymmetry");
+                }
+                for c in configs.iter().take(40) {
+                    if a.contains(b) && b.contains(c) {
+                        assert!(a.contains(c), "transitivity");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn enumeration_counts_match_formula() {
+        // n = 3, t = 1, binary: C(3,2)·4 + C(3,3)·8 = 12 + 8 = 20.
+        let params = SystemParams::new(3, 1);
+        assert_eq!(enumerate_configs(&params, &[Bit::Zero, Bit::One]).len(), 20);
+        // n = 4, t = 2: C(4,2)·4 + C(4,3)·8 + C(4,4)·16 = 24 + 32 + 16 = 72.
+        let params = SystemParams::new(4, 2);
+        assert_eq!(enumerate_configs(&params, &[Bit::Zero, Bit::One]).len(), 72);
+    }
+
+    #[test]
+    fn containment_set_contains_self_and_only_contained() {
+        let params = SystemParams::new(4, 1);
+        let c = InputConfig::full(vec![Bit::Zero, Bit::Zero, Bit::One, Bit::One]);
+        let cnt = containment_set(&params, &c);
+        // C(4,3) + C(4,4) = 5 members.
+        assert_eq!(cnt.len(), 5);
+        assert!(cnt.contains(&c));
+        for sub in &cnt {
+            assert!(c.contains(sub));
+        }
+    }
+
+    #[test]
+    fn weak_validity_pins_only_unanimous_full_configs() {
+        let params = SystemParams::new(3, 1);
+        let vp = WeakValidity::binary();
+        let unanimous = InputConfig::full(vec![Bit::One; 3]);
+        assert_eq!(vp.admissible(&params, &unanimous), [Bit::One].into());
+        let partial = InputConfig::new(&params, [(p(0), Bit::One), (p(1), Bit::One)]);
+        assert_eq!(vp.admissible(&params, &partial).len(), 2, "not full ⇒ anything goes");
+        let mixed = InputConfig::full(vec![Bit::One, Bit::Zero, Bit::One]);
+        assert_eq!(vp.admissible(&params, &mixed).len(), 2);
+    }
+
+    #[test]
+    fn strong_validity_pins_unanimous_partial_configs_too() {
+        let params = SystemParams::new(3, 1);
+        let vp = StrongValidity::binary();
+        let partial = InputConfig::new(&params, [(p(0), Bit::One), (p(1), Bit::One)]);
+        assert_eq!(vp.admissible(&params, &partial), [Bit::One].into());
+    }
+
+    #[test]
+    fn sender_validity_pins_exactly_when_sender_is_correct() {
+        let params = SystemParams::new(3, 1);
+        let vp = SenderValidity::new(p(1), vec![Bit::Zero, Bit::One]);
+        let with_sender = InputConfig::new(&params, [(p(0), Bit::Zero), (p(1), Bit::One)]);
+        assert_eq!(vp.admissible(&params, &with_sender), [Bit::One].into());
+        let without_sender = InputConfig::new(&params, [(p(0), Bit::Zero), (p(2), Bit::Zero)]);
+        assert_eq!(vp.admissible(&params, &without_sender).len(), 2);
+    }
+
+    #[test]
+    fn ic_validity_is_the_containment_upset() {
+        let params = SystemParams::new(3, 1);
+        let vp = IcValidity::new(vec![Bit::Zero, Bit::One]);
+        let c = InputConfig::new(&params, [(p(0), Bit::One), (p(2), Bit::Zero)]);
+        let admissible = vp.admissible(&params, &c);
+        // Free slot 1 ⇒ exactly two admissible vectors.
+        assert_eq!(admissible.len(), 2);
+        for vec in &admissible {
+            assert_eq!(vec[0], Bit::One);
+            assert_eq!(vec[2], Bit::Zero);
+        }
+    }
+
+    #[test]
+    fn majority_validity_pins_strict_majorities() {
+        let params = SystemParams::new(4, 1);
+        let vp = MajorityValidity::new();
+        let majority_one =
+            InputConfig::new(&params, [(p(0), Bit::One), (p(1), Bit::One), (p(2), Bit::Zero)]);
+        assert_eq!(vp.admissible(&params, &majority_one), [Bit::One].into());
+        let tie = InputConfig::full(vec![Bit::Zero, Bit::Zero, Bit::One, Bit::One]);
+        assert_eq!(vp.admissible(&params, &tie).len(), 2);
+    }
+
+    #[test]
+    fn interval_validity_bounds_by_min_max() {
+        let params = SystemParams::new(4, 1);
+        let vp = IntervalValidity::new(3);
+        let c = InputConfig::new(&params, [(p(0), 0u8), (p(1), 2u8), (p(2), 0u8)]);
+        assert_eq!(vp.admissible(&params, &c), [0u8, 1, 2].into());
+        let tight = InputConfig::new(&params, [(p(0), 1u8), (p(1), 1u8), (p(2), 1u8)]);
+        assert_eq!(vp.admissible(&params, &tight), [1u8].into());
+    }
+
+    #[test]
+    fn external_validity_ignores_proposals() {
+        let params = SystemParams::new(3, 1);
+        let vp = ExternalValidity::new(vec![0u8, 1, 2, 3], [1u8, 3]);
+        for c in enumerate_configs(&params, &vp.input_domain()).iter().take(10) {
+            assert_eq!(vp.admissible(&params, c), [1u8, 3].into());
+        }
+    }
+
+    #[test]
+    fn unanimity_or_default_pins_exactly_one_value() {
+        let params = SystemParams::new(3, 1);
+        let vp = UnanimityOrDefault::new(Bit::Zero);
+        for c in enumerate_configs(&params, &vp.input_domain()) {
+            assert_eq!(vp.admissible(&params, &c).len(), 1);
+        }
+        let unanimous = InputConfig::new(&params, [(p(1), Bit::One), (p(2), Bit::One)]);
+        assert_eq!(vp.admissible(&params, &unanimous), [Bit::One].into());
+        let mixed = InputConfig::full(vec![Bit::Zero, Bit::One, Bit::One]);
+        assert_eq!(vp.admissible(&params, &mixed), [Bit::Zero].into());
+    }
+
+    #[test]
+    fn extend_to_full_produces_containing_full_config() {
+        let params = SystemParams::new(4, 2);
+        let partial = InputConfig::new(&params, [(p(1), Bit::One), (p(3), Bit::One)]);
+        let full = partial.extend_to_full(&params, Bit::Zero);
+        assert!(full.is_full(&params));
+        assert!(full.contains(&partial));
+        assert_eq!(full.as_full_vec(&params).unwrap(), vec![Bit::Zero, Bit::One, Bit::Zero, Bit::One]);
+    }
+
+    #[test]
+    fn display_formats_configs() {
+        let c = InputConfig::full(vec![Bit::Zero, Bit::One]);
+        assert_eq!(c.to_string(), "[(p0, 0), (p1, 1)]");
+    }
+}

@@ -1,0 +1,351 @@
+//! # ba-crypto — idealized authentication
+//!
+//! The paper's authenticated setting (§5.1) assumes *idealized digital
+//! signatures* in the sense of Canetti's certification model \[30\]: a
+//! process can sign its messages so that no other process can forge its
+//! signature, while anyone can verify and anyone can *replay* an observed
+//! signature.
+//!
+//! This crate realizes that model without real cryptography, by
+//! construction:
+//!
+//! * a [`Signature`] has **no public constructor** — the only way to mint a
+//!   signature of process `p` is through `p`'s [`Keychain`], and the
+//!   executor hands each (honest or Byzantine) process only its *own*
+//!   keychain;
+//! * verification is deterministic: [`Keybook::verify`] recomputes the
+//!   digest and compares;
+//! * replay is possible (signatures are `Clone` and carried inside message
+//!   payloads), matching the idealized model exactly — this is the attack
+//!   surface protocols like Dolev-Strong are designed around.
+//!
+//! The digest is a stable 64-bit hash, deterministic within and across runs
+//! (it uses [`std::hash::DefaultHasher`] with its fixed default keys), which
+//! keeps executions reproducible.
+//!
+//! ## Example
+//!
+//! ```
+//! use ba_crypto::Keybook;
+//! use ba_sim::ProcessId;
+//!
+//! let book = Keybook::new(3);
+//! let kc = book.keychain(ProcessId(1));
+//! let sig = kc.sign(&"block #7");
+//! assert!(book.verify(&sig, &"block #7"));
+//! assert!(!book.verify(&sig, &"block #8"));       // wrong message
+//! assert_eq!(sig.signer(), ProcessId(1));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::hash::{DefaultHasher, Hash, Hasher};
+
+use ba_sim::ProcessId;
+
+/// Types that can be fed to the signing/verification digest.
+///
+/// Blanket-implemented for every `Hash` type; implement `Hash` for your
+/// message content and signing works.
+pub trait SignBytes: Hash {}
+
+impl<T: Hash + ?Sized> SignBytes for T {}
+
+/// An idealized, unforgeable signature by one process over one message.
+///
+/// There is no public constructor: signatures can only be produced by the
+/// signer's [`Keychain`] and only over data the signer chose to sign.
+/// Cloning (replay) is allowed, as in the idealized model.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Signature {
+    signer: ProcessId,
+    digest: u64,
+}
+
+impl Signature {
+    /// The process that produced this signature.
+    pub fn signer(&self) -> ProcessId {
+        self.signer
+    }
+}
+
+impl fmt::Display for Signature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "σ({}, {:016x})", self.signer, self.digest)
+    }
+}
+
+fn digest_for<T: SignBytes + ?Sized>(signer: ProcessId, data: &T) -> u64 {
+    // DefaultHasher::new() uses fixed keys, so digests are deterministic
+    // across processes and runs — a requirement for reproducible executions.
+    let mut h = DefaultHasher::new();
+    signer.index().hash(&mut h);
+    data.hash(&mut h);
+    h.finish()
+}
+
+/// The signing capability of a single process.
+///
+/// The executor's factory gives each process (honest or Byzantine) exactly
+/// its own keychain; unforgeability then holds by construction.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Keychain {
+    owner: ProcessId,
+}
+
+impl Keychain {
+    /// The process this keychain signs for.
+    pub fn owner(&self) -> ProcessId {
+        self.owner
+    }
+
+    /// Signs `data` as the keychain's owner.
+    pub fn sign<T: SignBytes + ?Sized>(&self, data: &T) -> Signature {
+        Signature { signer: self.owner, digest: digest_for(self.owner, data) }
+    }
+}
+
+/// The public verification side: maps any claimed signature back to its
+/// digest and checks it.
+///
+/// A `Keybook` is cheap to clone and carries no secrets; every process
+/// (and every test) may hold one.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Keybook {
+    n: usize,
+}
+
+impl Keybook {
+    /// Creates the verification book for an `n`-process system.
+    pub fn new(n: usize) -> Self {
+        Keybook { n }
+    }
+
+    /// The number of processes registered.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Issues the keychain of `owner`.
+    ///
+    /// This is the trusted-setup step: the system constructor calls it once
+    /// per process and hands each process only its own keychain. (Nothing
+    /// prevents test code from issuing arbitrary keychains — the *security
+    /// argument* is that adversarial behaviors are only ever given their
+    /// own.)
+    ///
+    /// # Panics
+    ///
+    /// Panics if `owner` is out of range.
+    pub fn keychain(&self, owner: ProcessId) -> Keychain {
+        assert!(owner.index() < self.n, "process {owner} out of range (n = {})", self.n);
+        Keychain { owner }
+    }
+
+    /// Verifies that `sig` is a valid signature over `data` by
+    /// `sig.signer()`.
+    pub fn verify<T: SignBytes + ?Sized>(&self, sig: &Signature, data: &T) -> bool {
+        sig.signer.index() < self.n && sig.digest == digest_for(sig.signer, data)
+    }
+}
+
+/// A chain of signatures over a value, as used by Dolev-Strong broadcast:
+/// the `k`-th signer endorses the value *and* the identities of the previous
+/// `k − 1` signers.
+///
+/// Chain validity (checked by [`SignatureChain::valid`]):
+/// 1. the chain is non-empty and its first signer is the designated sender;
+/// 2. all signers are distinct;
+/// 3. each signature verifies over `(value, previous signer list)`.
+///
+/// ```
+/// use ba_crypto::{Keybook, SignatureChain};
+/// use ba_sim::ProcessId;
+///
+/// let book = Keybook::new(4);
+/// let sender = ProcessId(0);
+/// let chain = SignatureChain::originate(&book.keychain(sender), &7u8);
+/// let chain = chain.extend(&book.keychain(ProcessId(2)), &7u8);
+/// assert!(chain.valid(&book, sender, &7u8));
+/// assert!(!chain.valid(&book, ProcessId(1), &7u8)); // wrong sender
+/// assert_eq!(chain.len(), 2);
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct SignatureChain {
+    sigs: Vec<Signature>,
+}
+
+/// What the `k`-th chain link signs: the value plus the previous signers.
+fn chain_link_payload<V: SignBytes>(value: &V, previous: &[Signature]) -> (u64, Vec<ProcessId>) {
+    let mut h = DefaultHasher::new();
+    value.hash(&mut h);
+    (h.finish(), previous.iter().map(Signature::signer).collect())
+}
+
+impl SignatureChain {
+    /// Starts a chain: the designated sender signs the value.
+    pub fn originate<V: SignBytes>(sender: &Keychain, value: &V) -> Self {
+        let payload = chain_link_payload(value, &[]);
+        SignatureChain { sigs: vec![sender.sign(&payload)] }
+    }
+
+    /// Appends `signer`'s endorsement of `value` under this chain.
+    pub fn extend<V: SignBytes>(&self, signer: &Keychain, value: &V) -> Self {
+        let payload = chain_link_payload(value, &self.sigs);
+        let mut sigs = self.sigs.clone();
+        sigs.push(signer.sign(&payload));
+        SignatureChain { sigs }
+    }
+
+    /// The number of signatures in the chain.
+    pub fn len(&self) -> usize {
+        self.sigs.len()
+    }
+
+    /// `true` iff the chain holds no signatures (never produced by the
+    /// constructors).
+    pub fn is_empty(&self) -> bool {
+        self.sigs.is_empty()
+    }
+
+    /// The signers, in signing order.
+    pub fn signers(&self) -> impl Iterator<Item = ProcessId> + '_ {
+        self.sigs.iter().map(Signature::signer)
+    }
+
+    /// `true` iff `pid` already signed this chain.
+    pub fn contains_signer(&self, pid: ProcessId) -> bool {
+        self.signers().any(|s| s == pid)
+    }
+
+    /// Full chain validity for `value` with designated `sender` (see type
+    /// docs for the three conditions).
+    pub fn valid<V: SignBytes>(&self, book: &Keybook, sender: ProcessId, value: &V) -> bool {
+        if self.sigs.is_empty() || self.sigs[0].signer() != sender {
+            return false;
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        for (i, sig) in self.sigs.iter().enumerate() {
+            if !seen.insert(sig.signer()) {
+                return false; // duplicate signer
+            }
+            let payload = chain_link_payload(value, &self.sigs[..i]);
+            if !book.verify(sig, &payload) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sign_verify_round_trip() {
+        let book = Keybook::new(2);
+        let sig = book.keychain(ProcessId(0)).sign("msg");
+        assert!(book.verify(&sig, "msg"));
+        assert!(!book.verify(&sig, "other"));
+    }
+
+    #[test]
+    fn signatures_bind_the_signer() {
+        let book = Keybook::new(2);
+        let s0 = book.keychain(ProcessId(0)).sign("msg");
+        let s1 = book.keychain(ProcessId(1)).sign("msg");
+        assert_ne!(s0, s1);
+        assert_eq!(s0.signer(), ProcessId(0));
+        assert_eq!(s1.signer(), ProcessId(1));
+    }
+
+    #[test]
+    fn signatures_are_deterministic() {
+        let book = Keybook::new(1);
+        let kc = book.keychain(ProcessId(0));
+        assert_eq!(kc.sign(&42u64), kc.sign(&42u64));
+    }
+
+    #[test]
+    fn out_of_range_signer_fails_verification() {
+        let small = Keybook::new(1);
+        let large = Keybook::new(3);
+        let sig = large.keychain(ProcessId(2)).sign("m");
+        assert!(large.verify(&sig, "m"));
+        assert!(!small.verify(&sig, "m"));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn keychain_for_unknown_process_panics() {
+        let _ = Keybook::new(2).keychain(ProcessId(5));
+    }
+
+    #[test]
+    fn chain_originate_and_extend_are_valid() {
+        let book = Keybook::new(4);
+        let chain = SignatureChain::originate(&book.keychain(ProcessId(1)), &"v");
+        assert!(chain.valid(&book, ProcessId(1), &"v"));
+        let chain2 = chain.extend(&book.keychain(ProcessId(3)), &"v");
+        assert!(chain2.valid(&book, ProcessId(1), &"v"));
+        assert_eq!(chain2.signers().collect::<Vec<_>>(), vec![ProcessId(1), ProcessId(3)]);
+    }
+
+    #[test]
+    fn chain_rejects_wrong_sender() {
+        let book = Keybook::new(4);
+        let chain = SignatureChain::originate(&book.keychain(ProcessId(1)), &"v");
+        assert!(!chain.valid(&book, ProcessId(0), &"v"));
+    }
+
+    #[test]
+    fn chain_rejects_wrong_value() {
+        let book = Keybook::new(4);
+        let chain = SignatureChain::originate(&book.keychain(ProcessId(1)), &"v");
+        assert!(!chain.valid(&book, ProcessId(1), &"w"));
+    }
+
+    #[test]
+    fn chain_rejects_duplicate_signers() {
+        let book = Keybook::new(4);
+        let kc = book.keychain(ProcessId(1));
+        let chain = SignatureChain::originate(&kc, &"v").extend(&kc, &"v");
+        assert!(!chain.valid(&book, ProcessId(1), &"v"));
+    }
+
+    #[test]
+    fn chain_extension_binds_prefix() {
+        // A signature minted for one prefix must not validate under another:
+        // splice p2's endorsement from a 1-link chain onto a 2-link chain.
+        let book = Keybook::new(4);
+        let base = SignatureChain::originate(&book.keychain(ProcessId(0)), &"v");
+        let via_p1 = base.extend(&book.keychain(ProcessId(1)), &"v");
+        let p2_on_base = base.extend(&book.keychain(ProcessId(2)), &"v");
+        let mut spliced = via_p1.clone();
+        spliced.sigs.push(p2_on_base.sigs[1]);
+        assert!(!spliced.valid(&book, ProcessId(0), &"v"));
+    }
+
+    #[test]
+    fn contains_signer_reports_membership() {
+        let book = Keybook::new(4);
+        let chain = SignatureChain::originate(&book.keychain(ProcessId(0)), &"v");
+        assert!(chain.contains_signer(ProcessId(0)));
+        assert!(!chain.contains_signer(ProcessId(1)));
+    }
+
+    #[test]
+    fn chain_signature_count_tracks_extensions() {
+        let book = Keybook::new(4);
+        let mut chain = SignatureChain::originate(&book.keychain(ProcessId(0)), &1u8);
+        for i in 1..4 {
+            chain = chain.extend(&book.keychain(ProcessId(i)), &1u8);
+        }
+        assert_eq!(chain.len(), 4);
+        assert!(!chain.is_empty());
+        assert!(chain.valid(&book, ProcessId(0), &1u8));
+    }
+}

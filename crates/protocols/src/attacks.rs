@@ -1,0 +1,313 @@
+//! Protocol-specific Byzantine strategies used to validate the correct
+//! protocols under adversarial pressure.
+//!
+//! Every attack here is constructed from capabilities the adversary
+//! legitimately has: its own keychain, messages it observed, and arbitrary
+//! scheduling of type-correct payloads. None can forge signatures
+//! (`ba-crypto` prevents it by construction).
+
+use ba_crypto::Keychain;
+use ba_sim::{
+    Bit, ByzantineBehavior, Inbox, Outbox, ProcessCtx, ProcessId, Round, Value,
+};
+
+use crate::dolev_strong::DsEntry;
+use crate::phase_king::PkMsg;
+use ba_crypto::SignatureChain;
+
+/// An equivocating Dolev-Strong *sender*: signs `v0` for even-indexed peers
+/// and `v1` for odd-indexed peers in round 1, then stays silent.
+///
+/// A correct Dolev-Strong run detects the equivocation (two valid chains
+/// exist) and every correct process decides the default — Agreement is
+/// preserved, which the tests assert.
+#[derive(Clone, Debug)]
+pub struct TwoFacedSender<V> {
+    keychain: Keychain,
+    v0: V,
+    v1: V,
+}
+
+impl<V: Value> TwoFacedSender<V> {
+    /// Creates the attacker; `keychain` must be the designated sender's own.
+    pub fn new(keychain: Keychain, v0: V, v1: V) -> Self {
+        TwoFacedSender { keychain, v0, v1 }
+    }
+}
+
+impl<V: Value> ByzantineBehavior<V, Vec<DsEntry<V>>> for TwoFacedSender<V> {
+    fn propose(&mut self, ctx: &ProcessCtx, _: V) -> Outbox<Vec<DsEntry<V>>> {
+        let chain0 = SignatureChain::originate(&self.keychain, &self.v0);
+        let chain1 = SignatureChain::originate(&self.keychain, &self.v1);
+        let mut out = Outbox::new();
+        for peer in ctx.others() {
+            let entry = if peer.index() % 2 == 0 {
+                DsEntry { value: self.v0.clone(), chain: chain0.clone() }
+            } else {
+                DsEntry { value: self.v1.clone(), chain: chain1.clone() }
+            };
+            out.send(peer, vec![entry]);
+        }
+        out
+    }
+
+    fn round(&mut self, _: &ProcessCtx, _: Round, _: &Inbox<Vec<DsEntry<V>>>) -> Outbox<Vec<DsEntry<V>>> {
+        Outbox::new()
+    }
+}
+
+/// A colluding pair attacking Dolev-Strong: the faulty *sender* gives its
+/// signed value only to a faulty *accomplice*, which withholds it until
+/// round `inject_at` and then reveals the 2-link chain to a single target.
+///
+/// With the full `t + 1` rounds the target still relays in time and
+/// Agreement survives — demonstrating why Dolev-Strong needs `t + 1` rounds.
+/// This behavior plays the **accomplice**; pair it with a silent sender and
+/// construct it with both keychains (both processes are faulty, so the
+/// adversary legitimately holds both).
+#[derive(Clone, Debug)]
+pub struct LateInjector<V> {
+    sender_keychain: Keychain,
+    own_keychain: Keychain,
+    value: V,
+    inject_at: Round,
+    target: ProcessId,
+}
+
+impl<V: Value> LateInjector<V> {
+    /// Creates the accomplice. `inject_at` must be ≤ 2 for the 2-link chain
+    /// to pass the length-≥-round check at the target.
+    pub fn new(
+        sender_keychain: Keychain,
+        own_keychain: Keychain,
+        value: V,
+        inject_at: Round,
+        target: ProcessId,
+    ) -> Self {
+        LateInjector { sender_keychain, own_keychain, value, inject_at, target }
+    }
+}
+
+impl<V: Value> ByzantineBehavior<V, Vec<DsEntry<V>>> for LateInjector<V> {
+    fn propose(&mut self, _: &ProcessCtx, _: V) -> Outbox<Vec<DsEntry<V>>> {
+        Outbox::new()
+    }
+
+    fn round(&mut self, _: &ProcessCtx, round: Round, _: &Inbox<Vec<DsEntry<V>>>) -> Outbox<Vec<DsEntry<V>>> {
+        let mut out = Outbox::new();
+        // Emitting in round `k` processing means delivery in round `k + 1`.
+        if round.next() == self.inject_at {
+            let chain = SignatureChain::originate(&self.sender_keychain, &self.value)
+                .extend(&self.own_keychain, &self.value);
+            out.send(self.target, vec![DsEntry { value: self.value.clone(), chain }]);
+        }
+        out
+    }
+}
+
+/// An equivocating EIG general: sends `v0` to even-indexed peers and `v1`
+/// to odd-indexed peers in round 1, then relays nothing.
+///
+/// Unlike the Dolev-Strong sender, no signatures constrain it — the EIG
+/// tree's majority resolution (with `n > 3t`) is what keeps correct
+/// processes in agreement, which the tests assert.
+#[derive(Clone, Debug)]
+pub struct TwoFacedGeneral<V> {
+    v0: V,
+    v1: V,
+}
+
+impl<V: Value> TwoFacedGeneral<V> {
+    /// Creates the attacker (it must be the designated general to matter).
+    pub fn new(v0: V, v1: V) -> Self {
+        TwoFacedGeneral { v0, v1 }
+    }
+}
+
+impl<V: Value> ByzantineBehavior<V, crate::eig::EigMsg<V>> for TwoFacedGeneral<V> {
+    fn propose(&mut self, ctx: &ProcessCtx, _: V) -> Outbox<crate::eig::EigMsg<V>> {
+        let mut out = Outbox::new();
+        for peer in ctx.others() {
+            let v = if peer.index() % 2 == 0 { self.v0.clone() } else { self.v1.clone() };
+            let msg: crate::eig::EigMsg<V> = [(Vec::new(), v)].into_iter().collect();
+            out.send(peer, msg);
+        }
+        out
+    }
+
+    fn round(
+        &mut self,
+        _: &ProcessCtx,
+        _: Round,
+        _: &Inbox<crate::eig::EigMsg<V>>,
+    ) -> Outbox<crate::eig::EigMsg<V>> {
+        Outbox::new()
+    }
+}
+
+/// A Phase-King equivocator: reports `0` to even peers and `1` to odd peers
+/// in every exchange, claims `UNSURE` support, and stays silent as king.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SplitReporter;
+
+impl SplitReporter {
+    /// Creates the attacker.
+    pub fn new() -> Self {
+        SplitReporter
+    }
+
+    fn split(ctx: &ProcessCtx) -> Outbox<PkMsg> {
+        let mut out = Outbox::new();
+        for peer in ctx.others() {
+            let bit = if peer.index() % 2 == 0 { Bit::Zero } else { Bit::One };
+            out.send(peer, PkMsg::Report(bit));
+        }
+        out
+    }
+}
+
+impl ByzantineBehavior<Bit, PkMsg> for SplitReporter {
+    fn propose(&mut self, ctx: &ProcessCtx, _: Bit) -> Outbox<PkMsg> {
+        Self::split(ctx)
+    }
+
+    fn round(&mut self, ctx: &ProcessCtx, round: Round, _: &Inbox<PkMsg>) -> Outbox<PkMsg> {
+        match round.0 % 3 {
+            // Next round is an exchange-2: claim contradictory support.
+            1 => {
+                let mut out = Outbox::new();
+                for peer in ctx.others() {
+                    let w = if peer.index() % 2 == 0 { 0u8 } else { 1u8 };
+                    out.send(peer, PkMsg::Support(w));
+                }
+                out
+            }
+            // Next round is a king round: stay silent (worst case if we are
+            // king).
+            2 => Outbox::new(),
+            // Next round is an exchange-1 of the following phase.
+            _ => Self::split(ctx),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DolevStrong;
+    use ba_crypto::Keybook;
+    use ba_sim::{run_byzantine, ExecutorConfig, SilentByzantine};
+    use std::collections::{BTreeMap, BTreeSet};
+
+    #[test]
+    fn two_faced_sender_is_caught_and_default_decided() {
+        let (n, t) = (5, 2);
+        let book = Keybook::new(n);
+        let cfg = ExecutorConfig::new(n, t);
+        let behaviors: BTreeMap<_, Box<dyn ByzantineBehavior<Bit, Vec<DsEntry<Bit>>>>> = [(
+            ProcessId(0),
+            Box::new(TwoFacedSender::new(book.keychain(ProcessId(0)), Bit::Zero, Bit::One))
+                as Box<_>,
+        )]
+        .into_iter()
+        .collect();
+        let exec = run_byzantine(
+            &cfg,
+            DolevStrong::factory(book, ProcessId(0), Bit::Zero),
+            &[Bit::One; 5],
+            behaviors,
+        )
+        .unwrap();
+        exec.validate().unwrap();
+        // Equivocation detected: every correct process extracts both values
+        // and decides the default 0, preserving Agreement.
+        for pid in exec.correct() {
+            assert_eq!(exec.decision_of(pid), Some(&Bit::Zero));
+        }
+    }
+
+    #[test]
+    fn two_faced_eig_general_cannot_split_correct_processes() {
+        use crate::eig::{EigBroadcast, EigMsg};
+        let (n, t) = (4, 1);
+        let cfg = ExecutorConfig::new(n, t);
+        let behaviors: BTreeMap<_, Box<dyn ByzantineBehavior<Bit, EigMsg<Bit>>>> = [(
+            ProcessId(0),
+            Box::new(TwoFacedGeneral::new(Bit::Zero, Bit::One)) as Box<_>,
+        )]
+        .into_iter()
+        .collect();
+        let exec = run_byzantine(
+            &cfg,
+            |_| EigBroadcast::new(n, t, ProcessId(0), Bit::Zero),
+            &[Bit::Zero; 4],
+            behaviors,
+        )
+        .unwrap();
+        exec.validate().unwrap();
+        let decisions: BTreeSet<_> = exec.correct().map(|p| exec.decision_of(p).cloned()).collect();
+        assert_eq!(decisions.len(), 1, "agreement violated by equivocating general");
+        assert!(decisions.iter().all(|d| d.is_some()));
+    }
+
+    #[test]
+    fn two_faced_eig_general_at_larger_scale() {
+        use crate::eig::{EigBroadcast, EigMsg};
+        let (n, t) = (7, 2);
+        let cfg = ExecutorConfig::new(n, t);
+        let behaviors: BTreeMap<_, Box<dyn ByzantineBehavior<Bit, EigMsg<Bit>>>> = [
+            (
+                ProcessId(0),
+                Box::new(TwoFacedGeneral::new(Bit::Zero, Bit::One))
+                    as Box<dyn ByzantineBehavior<Bit, EigMsg<Bit>>>,
+            ),
+            (ProcessId(6), Box::new(SilentByzantine) as Box<_>),
+        ]
+        .into_iter()
+        .collect();
+        let exec = run_byzantine(
+            &cfg,
+            |_| EigBroadcast::new(n, t, ProcessId(0), Bit::Zero),
+            &[Bit::One; 7],
+            behaviors,
+        )
+        .unwrap();
+        let decisions: BTreeSet<_> = exec.correct().map(|p| exec.decision_of(p).cloned()).collect();
+        assert_eq!(decisions.len(), 1, "agreement violated");
+    }
+
+    #[test]
+    fn late_injection_still_reaches_everyone_within_t_plus_one_rounds() {
+        let (n, t) = (5, 2);
+        let book = Keybook::new(n);
+        let cfg = ExecutorConfig::new(n, t);
+        let behaviors: BTreeMap<_, Box<dyn ByzantineBehavior<Bit, Vec<DsEntry<Bit>>>>> = [
+            (ProcessId(0), Box::new(SilentByzantine) as Box<_>),
+            (
+                ProcessId(1),
+                Box::new(LateInjector::new(
+                    book.keychain(ProcessId(0)),
+                    book.keychain(ProcessId(1)),
+                    Bit::One,
+                    Round(2),
+                    ProcessId(2),
+                )) as Box<_>,
+            ),
+        ]
+        .into_iter()
+        .collect();
+        let exec = run_byzantine(
+            &cfg,
+            DolevStrong::factory(book, ProcessId(0), Bit::Zero),
+            &[Bit::Zero; 5],
+            behaviors,
+        )
+        .unwrap();
+        exec.validate().unwrap();
+        // The injected value propagates from the target to every correct
+        // process by round t + 1 = 3, so all agree on One.
+        let decisions: BTreeSet<_> = exec.correct().map(|p| exec.decision_of(p).cloned()).collect();
+        assert_eq!(decisions.len(), 1, "agreement violated");
+        assert_eq!(decisions.into_iter().next().unwrap(), Some(Bit::One));
+    }
+}

@@ -1,0 +1,342 @@
+//! Dolev-Strong authenticated Byzantine broadcast (\[52\] in the paper).
+//!
+//! The classic `t + 1`-round protocol tolerating any `t < n` Byzantine
+//! faults in the idealized authenticated setting, and — instantiated with
+//! sender `p_0` — the canonical *weak consensus* algorithm with `Θ(n²)`
+//! message complexity, i.e. the kind of algorithm the paper's Ω(t²) lower
+//! bound proves optimal up to constants.
+//!
+//! ## Algorithm
+//!
+//! * **Round 1.** The designated sender signs its proposal and sends the
+//!   1-link signature chain to everyone.
+//! * **Round `k ∈ [1, t+1]`.** A process that receives a valid chain of at
+//!   least `k` signatures over a value it has not yet *extracted* adds the
+//!   value to its extracted set; if this is only its first or second
+//!   extraction and `k ≤ t`, it appends its own signature and relays the
+//!   chain to everyone in round `k + 1`.
+//! * **End of round `t + 1`.** Decide the unique extracted value, or the
+//!   default if zero or several values were extracted (several extractions
+//!   prove sender equivocation).
+//!
+//! Relaying stops after two distinct values because two valid chains already
+//! convince every correct process that the sender equivocated; this caps
+//! message complexity at `≤ 2 n (n - 1) + (n - 1)` messages.
+//!
+//! ## Why this solves weak consensus
+//!
+//! With sender `p_0` broadcasting its own proposal: in a fully correct
+//! execution where all processes propose `v`, the correct sender broadcasts
+//! `v` and every process decides `v` — Weak Validity holds; Agreement and
+//! Termination are the broadcast's own guarantees. (Sender Validity is much
+//! stronger than needed, which is exactly the paper's point: even the *weak*
+//! problem costs Ω(t²).)
+
+use std::collections::BTreeSet;
+
+use ba_crypto::{Keybook, Keychain, SignatureChain};
+use ba_sim::{Inbox, Outbox, ProcessCtx, ProcessId, Protocol, Round, Value};
+
+/// One (value, signature-chain) pair carried inside a Dolev-Strong message.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct DsEntry<V> {
+    /// The broadcast value this chain endorses.
+    pub value: V,
+    /// The endorsement chain, starting with the designated sender.
+    pub chain: SignatureChain,
+}
+
+/// Dolev-Strong authenticated Byzantine broadcast.
+///
+/// `Input` is the proposal of *this* process; only the designated sender's
+/// proposal influences the outcome. Message payloads are batches of
+/// [`DsEntry`] so that a round's (at most two) relays fit the model's
+/// one-message-per-receiver rule.
+///
+/// ```
+/// use ba_crypto::Keybook;
+/// use ba_protocols::DolevStrong;
+/// use ba_sim::{run_omission, Bit, ExecutorConfig, NoFaults, ProcessId};
+/// use std::collections::BTreeSet;
+///
+/// let (n, t) = (4, 1);
+/// let book = Keybook::new(n);
+/// let cfg = ExecutorConfig::new(n, t);
+/// let exec = run_omission(
+///     &cfg,
+///     DolevStrong::factory(book, ProcessId(0), Bit::Zero),
+///     &[Bit::One; 4],
+///     &BTreeSet::new(),
+///     &mut NoFaults,
+/// ).unwrap();
+/// assert!(exec.all_correct_decided(Bit::One));
+/// ```
+#[derive(Clone, Debug)]
+pub struct DolevStrong<V> {
+    book: Keybook,
+    keychain: Keychain,
+    sender: ProcessId,
+    default: V,
+    extracted: BTreeSet<V>,
+    decision: Option<V>,
+}
+
+impl<V: Value> DolevStrong<V> {
+    /// Creates the instance run by the owner of `keychain`.
+    ///
+    /// `sender` is the designated broadcaster; `default` is decided when the
+    /// sender is caught equivocating (or stays silent).
+    pub fn new(book: Keybook, keychain: Keychain, sender: ProcessId, default: V) -> Self {
+        DolevStrong {
+            book,
+            keychain,
+            sender,
+            default,
+            extracted: BTreeSet::new(),
+            decision: None,
+        }
+    }
+
+    /// A per-process factory suitable for the executors: each process gets
+    /// its own keychain (and only its own — unforgeability by construction).
+    pub fn factory(
+        book: Keybook,
+        sender: ProcessId,
+        default: V,
+    ) -> impl Fn(ProcessId) -> DolevStrong<V> + Clone {
+        move |pid| DolevStrong::new(book.clone(), book.keychain(pid), sender, default.clone())
+    }
+
+    /// The designated sender.
+    pub fn sender(&self) -> ProcessId {
+        self.sender
+    }
+
+    /// The values extracted so far (at most two are tracked).
+    pub fn extracted(&self) -> &BTreeSet<V> {
+        &self.extracted
+    }
+
+    fn deciding_round(&self, ctx: &ProcessCtx) -> u64 {
+        ctx.t as u64 + 1
+    }
+}
+
+impl<V: Value> Protocol for DolevStrong<V> {
+    type Input = V;
+    type Output = V;
+    type Msg = Vec<DsEntry<V>>;
+
+    fn propose(&mut self, ctx: &ProcessCtx, proposal: V) -> Outbox<Self::Msg> {
+        let mut out = Outbox::new();
+        if ctx.id == self.sender {
+            self.extracted.insert(proposal.clone());
+            let chain = SignatureChain::originate(&self.keychain, &proposal);
+            let entry = DsEntry { value: proposal, chain };
+            out.send_to_all(ctx.others(), vec![entry]);
+        }
+        out
+    }
+
+    fn round(&mut self, ctx: &ProcessCtx, round: Round, inbox: &Inbox<Self::Msg>) -> Outbox<Self::Msg> {
+        let deciding = self.deciding_round(ctx);
+        let mut out = Outbox::new();
+        if round.0 > deciding {
+            return out;
+        }
+
+        let mut relays: Vec<DsEntry<V>> = Vec::new();
+        for (_, batch) in inbox.iter() {
+            for entry in batch {
+                // Cap at two extracted values: a second value already proves
+                // equivocation, further values cannot change the outcome.
+                if self.extracted.len() >= 2 {
+                    break;
+                }
+                let fresh = !self.extracted.contains(&entry.value);
+                let timely = entry.chain.len() as u64 >= round.0;
+                if fresh && timely && entry.chain.valid(&self.book, self.sender, &entry.value) {
+                    self.extracted.insert(entry.value.clone());
+                    // Relay with our endorsement so the chain reaches length
+                    // ≥ k + 1 by round k + 1; pointless after round t.
+                    if round.0 <= ctx.t as u64 && !entry.chain.contains_signer(ctx.id) {
+                        relays.push(DsEntry {
+                            value: entry.value.clone(),
+                            chain: entry.chain.extend(&self.keychain, &entry.value),
+                        });
+                    }
+                }
+            }
+        }
+        if !relays.is_empty() {
+            relays.sort();
+            out.send_to_all(ctx.others(), relays);
+        }
+
+        if round.0 == deciding {
+            self.decision = Some(if self.extracted.len() == 1 {
+                self.extracted.iter().next().expect("len == 1").clone()
+            } else {
+                self.default.clone()
+            });
+        }
+        out
+    }
+
+    fn decision(&self) -> Option<V> {
+        self.decision.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ba_sim::{
+        run_byzantine, run_omission, Bit, ByzantineBehavior, ExecutorConfig, IsolationPlan,
+        NoFaults, SilentByzantine,
+    };
+    use std::collections::{BTreeMap, BTreeSet};
+
+    fn setup(n: usize, t: usize) -> (ExecutorConfig, Keybook) {
+        (ExecutorConfig::new(n, t), Keybook::new(n))
+    }
+
+    #[test]
+    fn correct_sender_value_is_decided_by_all() {
+        let (cfg, book) = setup(5, 2);
+        let exec = run_omission(
+            &cfg,
+            DolevStrong::factory(book, ProcessId(0), Bit::Zero),
+            &[Bit::One; 5],
+            &BTreeSet::new(),
+            &mut NoFaults,
+        )
+        .unwrap();
+        exec.validate().unwrap();
+        assert!(exec.all_correct_decided(Bit::One));
+        assert!(exec.quiescent);
+    }
+
+    #[test]
+    fn decision_lands_at_round_t_plus_one() {
+        let (cfg, book) = setup(5, 2);
+        let exec = run_omission(
+            &cfg,
+            DolevStrong::factory(book, ProcessId(0), Bit::Zero),
+            &[Bit::One; 5],
+            &BTreeSet::new(),
+            &mut NoFaults,
+        )
+        .unwrap();
+        // Decision appears in the state at the start of round t + 2,
+        // i.e. after processing round t + 1 = 3.
+        for pid in exec.correct() {
+            let (_, round) = exec.record(pid).decision.clone().unwrap();
+            assert_eq!(round, Round(4));
+        }
+    }
+
+    #[test]
+    fn silent_sender_yields_default_for_all() {
+        let (cfg, book) = setup(4, 1);
+        let behaviors: BTreeMap<_, Box<dyn ByzantineBehavior<Bit, _>>> =
+            [(ProcessId(0), Box::new(SilentByzantine) as Box<_>)].into_iter().collect();
+        let exec = run_byzantine(
+            &cfg,
+            DolevStrong::factory(book, ProcessId(0), Bit::Zero),
+            &[Bit::One; 4],
+            behaviors,
+        )
+        .unwrap();
+        exec.validate().unwrap();
+        for pid in exec.correct() {
+            assert_eq!(exec.decision_of(pid), Some(&Bit::Zero));
+        }
+    }
+
+    #[test]
+    fn message_complexity_is_quadratic_not_more() {
+        for (n, t) in [(4, 1), (8, 2), (8, 7), (12, 4)] {
+            let (cfg, book) = setup(n, t);
+            let exec = run_omission(
+                &cfg,
+                DolevStrong::factory(book, ProcessId(0), Bit::Zero),
+                &vec![Bit::One; n],
+                &BTreeSet::new(),
+                &mut NoFaults,
+            )
+            .unwrap();
+            let bound = (2 * n * (n - 1) + (n - 1)) as u64;
+            assert!(exec.message_complexity() <= bound);
+        }
+    }
+
+    #[test]
+    fn isolated_receiver_still_agrees_with_majority_or_is_faulty() {
+        // Isolate one process (faulty, omission model) from round 1: it
+        // extracts nothing and decides the default — which the weak
+        // consensus guarantees allow, since it is faulty.
+        let (cfg, book) = setup(5, 2);
+        let faulty: BTreeSet<_> = [ProcessId(4)].into_iter().collect();
+        let mut plan = IsolationPlan::new([ProcessId(4)], Round(1));
+        let exec = run_omission(
+            &cfg,
+            DolevStrong::factory(book, ProcessId(0), Bit::Zero),
+            &[Bit::One; 5],
+            &faulty,
+            &mut plan,
+        )
+        .unwrap();
+        exec.validate().unwrap();
+        for pid in exec.correct() {
+            assert_eq!(exec.decision_of(pid), Some(&Bit::One));
+        }
+        assert_eq!(exec.decision_of(ProcessId(4)), Some(&Bit::Zero));
+    }
+
+    #[test]
+    fn weak_validity_holds_in_fully_correct_uniform_executions() {
+        for bit in Bit::ALL {
+            let (cfg, book) = setup(4, 1);
+            let exec = run_omission(
+                &cfg,
+                DolevStrong::factory(book, ProcessId(0), Bit::Zero),
+                &[bit; 4],
+                &BTreeSet::new(),
+                &mut NoFaults,
+            )
+            .unwrap();
+            assert!(exec.all_correct_decided(bit), "weak validity for {bit}");
+        }
+    }
+
+    #[test]
+    fn multivalued_broadcast_works() {
+        let (cfg, book) = setup(4, 1);
+        let exec = run_omission(
+            &cfg,
+            DolevStrong::factory(book, ProcessId(2), 0u32),
+            &[10, 20, 30, 40],
+            &BTreeSet::new(),
+            &mut NoFaults,
+        )
+        .unwrap();
+        assert!(exec.all_correct_decided(30u32));
+    }
+
+    #[test]
+    fn executions_are_deterministic() {
+        let run = || {
+            let (cfg, book) = setup(6, 2);
+            run_omission(
+                &cfg,
+                DolevStrong::factory(book, ProcessId(0), Bit::Zero),
+                &[Bit::One; 6],
+                &BTreeSet::new(),
+                &mut NoFaults,
+            )
+            .unwrap()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,211 @@
+//! Interactive consistency (\[78\], \[18\]; paper §5.2.2): processes agree
+//! on a full vector of `n` proposals, one slot per process.
+//!
+//! IC is the *universal substrate* of the paper's general solvability
+//! theorem: Algorithm 2 reduces **any** non-trivial agreement problem
+//! satisfying the containment condition to IC by deciding `Γ(vec)`. This
+//! module provides the two classic constructions:
+//!
+//! * **Authenticated** (any `t < n`): `n` parallel [`DolevStrong`]
+//!   broadcasts, one per designated sender — Dolev & Strong \[52\].
+//! * **Unauthenticated** (`n > 3t`): `n` parallel [`EigBroadcast`]
+//!   instances — Pease, Shostak & Lamport \[78\], Fischer-Lynch-Merritt
+//!   \[55\] for the matching impossibility.
+//!
+//! The decided vector satisfies **IC-Validity**: if a correct process `p_i`
+//! proposed `v`, every decided vector holds `v` at index `i`.
+
+use ba_crypto::Keybook;
+use ba_sim::{ProcessId, Value};
+
+use crate::dolev_strong::DolevStrong;
+use crate::eig::EigBroadcast;
+use crate::parallel::ParallelInstances;
+
+/// Authenticated interactive consistency: `n` parallel Dolev-Strong
+/// broadcasts. Decides `Vec<V>` of length `n`.
+pub type AuthenticatedIc<V> = ParallelInstances<DolevStrong<V>>;
+
+/// Unauthenticated interactive consistency: `n` parallel EIG broadcasts.
+/// Requires `n > 3t`. Decides `Vec<V>` of length `n`.
+pub type UnauthenticatedIc<V> = ParallelInstances<EigBroadcast<V>>;
+
+/// A per-process factory for [`AuthenticatedIc`], suitable for the
+/// executors.
+///
+/// Slot `i` of the decided vector is the outcome of the broadcast whose
+/// designated sender is `p_i`; `default` fills slots of equivocating or
+/// silent senders.
+///
+/// ```
+/// use ba_crypto::Keybook;
+/// use ba_protocols::interactive_consistency::authenticated_ic_factory;
+/// use ba_sim::{run_omission, Bit, ExecutorConfig, NoFaults};
+/// use std::collections::BTreeSet;
+///
+/// let (n, t) = (4, 1);
+/// let cfg = ExecutorConfig::new(n, t);
+/// let proposals = [Bit::One, Bit::Zero, Bit::Zero, Bit::One];
+/// let exec = run_omission(
+///     &cfg,
+///     authenticated_ic_factory(Keybook::new(n), Bit::Zero),
+///     &proposals,
+///     &BTreeSet::new(),
+///     &mut NoFaults,
+/// ).unwrap();
+/// assert!(exec.all_correct_decided(proposals.to_vec())); // IC-Validity
+/// ```
+pub fn authenticated_ic_factory<V: Value>(
+    book: Keybook,
+    default: V,
+) -> impl Fn(ProcessId) -> AuthenticatedIc<V> + Clone {
+    move |pid| {
+        let n = book.n();
+        ParallelInstances::new(
+            (0..n)
+                .map(|sender| {
+                    DolevStrong::new(
+                        book.clone(),
+                        book.keychain(pid),
+                        ProcessId(sender),
+                        default.clone(),
+                    )
+                })
+                .collect(),
+        )
+    }
+}
+
+/// A per-process factory for [`UnauthenticatedIc`].
+///
+/// # Panics
+///
+/// The underlying [`EigBroadcast`] constructor panics unless `n > 3t`,
+/// matching the paper's Theorem 4 (unauthenticated solvability requires
+/// `n > 3t`).
+pub fn unauthenticated_ic_factory<V: Value>(
+    n: usize,
+    t: usize,
+    default: V,
+) -> impl Fn(ProcessId) -> UnauthenticatedIc<V> + Clone {
+    move |_pid| {
+        ParallelInstances::new(
+            (0..n)
+                .map(|sender| EigBroadcast::new(n, t, ProcessId(sender), default.clone()))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ba_sim::{
+        run_byzantine, run_omission, Bit, ByzantineBehavior, ExecutorConfig, NoFaults,
+        SilentByzantine,
+    };
+    use std::collections::{BTreeMap, BTreeSet};
+
+    #[test]
+    fn authenticated_ic_decides_the_proposal_vector() {
+        let (n, t) = (4, 1);
+        let cfg = ExecutorConfig::new(n, t);
+        let proposals = [Bit::One, Bit::Zero, Bit::One, Bit::Zero];
+        let exec = run_omission(
+            &cfg,
+            authenticated_ic_factory(Keybook::new(n), Bit::Zero),
+            &proposals,
+            &BTreeSet::new(),
+            &mut NoFaults,
+        )
+        .unwrap();
+        exec.validate().unwrap();
+        assert!(exec.all_correct_decided(proposals.to_vec()));
+    }
+
+    #[test]
+    fn authenticated_ic_tolerates_dishonest_majority() {
+        // Authenticated IC works for any t < n: here t = 2 of n = 4 with two
+        // silent Byzantine processes.
+        let (n, t) = (4, 2);
+        let cfg = ExecutorConfig::new(n, t);
+        let behaviors: BTreeMap<_, Box<dyn ByzantineBehavior<Bit, _>>> = [
+            (ProcessId(2), Box::new(SilentByzantine) as Box<_>),
+            (ProcessId(3), Box::new(SilentByzantine) as Box<_>),
+        ]
+        .into_iter()
+        .collect();
+        let exec = run_byzantine(
+            &cfg,
+            authenticated_ic_factory(Keybook::new(n), Bit::Zero),
+            &[Bit::One, Bit::One, Bit::One, Bit::One],
+            behaviors,
+        )
+        .unwrap();
+        exec.validate().unwrap();
+        // IC-Validity: correct slots hold the proposals; silent slots hold
+        // the default.
+        let expected = vec![Bit::One, Bit::One, Bit::Zero, Bit::Zero];
+        for pid in exec.correct() {
+            assert_eq!(exec.decision_of(pid), Some(&expected));
+        }
+    }
+
+    #[test]
+    fn unauthenticated_ic_decides_the_proposal_vector() {
+        let (n, t) = (4, 1);
+        let cfg = ExecutorConfig::new(n, t);
+        let proposals = [Bit::Zero, Bit::One, Bit::One, Bit::Zero];
+        let exec = run_omission(
+            &cfg,
+            unauthenticated_ic_factory(n, t, Bit::Zero),
+            &proposals,
+            &BTreeSet::new(),
+            &mut NoFaults,
+        )
+        .unwrap();
+        exec.validate().unwrap();
+        assert!(exec.all_correct_decided(proposals.to_vec()));
+    }
+
+    #[test]
+    fn unauthenticated_ic_preserves_ic_validity_under_byzantine_fault() {
+        let (n, t) = (4, 1);
+        let cfg = ExecutorConfig::new(n, t);
+        let behaviors: BTreeMap<_, Box<dyn ByzantineBehavior<Bit, _>>> =
+            [(ProcessId(1), Box::new(SilentByzantine) as Box<_>)].into_iter().collect();
+        let exec = run_byzantine(
+            &cfg,
+            unauthenticated_ic_factory(n, t, Bit::Zero),
+            &[Bit::One; 4],
+            behaviors,
+        )
+        .unwrap();
+        exec.validate().unwrap();
+        let decisions: BTreeSet<_> = exec.correct().map(|p| exec.decision_of(p).cloned()).collect();
+        assert_eq!(decisions.len(), 1, "agreement violated");
+        let vec = decisions.into_iter().next().unwrap().unwrap();
+        // Correct slots must hold the correct processes' proposals.
+        assert_eq!(vec[0], Bit::One);
+        assert_eq!(vec[2], Bit::One);
+        assert_eq!(vec[3], Bit::One);
+    }
+
+    #[test]
+    fn ic_message_complexity_is_quadratic_per_round_block() {
+        // Bundled parallel composition: one physical message per (sender,
+        // receiver, round) regardless of instance count.
+        let (n, t) = (4, 1);
+        let cfg = ExecutorConfig::new(n, t);
+        let exec = run_omission(
+            &cfg,
+            authenticated_ic_factory(Keybook::new(n), Bit::Zero),
+            &[Bit::One; 4],
+            &BTreeSet::new(),
+            &mut NoFaults,
+        )
+        .unwrap();
+        // At most (t + 1) rounds of all-to-all bundles.
+        assert!(exec.message_complexity() <= ((t as u64 + 1) * (n * (n - 1)) as u64));
+    }
+}

@@ -1,0 +1,56 @@
+//! # ba-protocols — the Byzantine agreement protocol landscape
+//!
+//! Concrete [`ba_sim::Protocol`] implementations surrounding
+//! *All Byzantine Agreement Problems are Expensive* (PODC 2024):
+//!
+//! **Upper bounds (correct protocols):**
+//!
+//! * [`DolevStrong`] — authenticated Byzantine broadcast in `t + 1` rounds
+//!   for any `t < n` (Dolev & Strong 1983), built on `ba-crypto` signature
+//!   chains. Instantiated with sender `p_0` it is also the canonical
+//!   *quadratic-message weak consensus* — the protocol family the paper's
+//!   Ω(t²) bound says cannot be beaten.
+//! * [`EigConsensus`] / [`EigBroadcast`] — unauthenticated strong consensus /
+//!   Byzantine generals via exponential information gathering
+//!   (Lamport-Shostak-Pease / Bar-Noy et al.), `n > 3t`, `t + 1` rounds.
+//! * [`PhaseKing`] — unauthenticated binary strong consensus
+//!   (Berman-Garay-Perry), `n > 3t`, `3(t + 1)` rounds, `O(t·n²)` messages.
+//! * [`FloodSet`] — the classic `t + 1`-round **crash**-tolerant consensus;
+//!   included as the failure-model boundary exhibit (it breaks under the
+//!   general-omission adversary the paper's proof wields).
+//! * [`ParallelInstances`] — generic parallel composition; with
+//!   [`DolevStrong`] per sender it yields authenticated **interactive
+//!   consistency** ([`interactive_consistency::authenticated_ic_factory`]),
+//!   with [`EigBroadcast`] the unauthenticated variant — the substrate of
+//!   the paper's Algorithm 2.
+//!
+//! **Sub-quadratic baselines (deliberately broken weak consensus):**
+//!
+//! * [`broken::SilentConstant`], [`broken::OwnProposal`],
+//!   [`broken::LeaderEcho`], [`broken::OneRoundAllToAll`] — cheap protocols
+//!   whose existence the paper's Theorem 2 forbids; `ba-core`'s falsifier
+//!   finds concrete violating executions for them, reproducing the proof.
+//!
+//! **Adversaries:**
+//!
+//! * [`attacks`] — protocol-specific Byzantine strategies (equivocating
+//!   Dolev-Strong sender, colluding late injection) used to validate the
+//!   correct protocols under attack.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attacks;
+pub mod broken;
+mod dolev_strong;
+pub(crate) mod eig;
+mod flood_set;
+pub mod interactive_consistency;
+mod parallel;
+mod phase_king;
+
+pub use dolev_strong::{DolevStrong, DsEntry};
+pub use eig::{EigBroadcast, EigConsensus, EigMsg, Path};
+pub use flood_set::FloodSet;
+pub use parallel::ParallelInstances;
+pub use phase_king::{PhaseKing, PkMsg, UNSURE};

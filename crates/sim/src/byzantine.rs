@@ -1,0 +1,219 @@
+//! Byzantine adversary behaviors.
+//!
+//! In the Byzantine model (paper §2), a corrupted process "can behave
+//! arbitrarily". The executor realizes this by replacing the faulty
+//! process's state machine with a [`ByzantineBehavior`], which sees the same
+//! interface as an honest process (its proposal, its inbox each round) and
+//! may emit any outbox — subject only to the structural rules of the model
+//! (at most one message per receiver per round, no self-sends) and to
+//! unforgeability of signatures, which `ba-crypto` enforces by construction
+//! (a behavior only ever holds its own keychain).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::ids::Round;
+use crate::mailbox::{Inbox, Outbox};
+use crate::protocol::{ProcessCtx, Protocol};
+use crate::value::{Payload, Value};
+
+/// An arbitrary (adversarial) process behavior.
+///
+/// The type parameters match the protocol under attack so that crafted
+/// messages type-check; unforgeable signature objects inside `M` still
+/// cannot be fabricated.
+pub trait ByzantineBehavior<I: Value, M: Payload>: Send {
+    /// Called before round 1 with the proposal the adversary's process was
+    /// handed (which it is free to ignore); returns the round-1 outbox.
+    fn propose(&mut self, ctx: &ProcessCtx, proposal: I) -> Outbox<M>;
+
+    /// Called each round with the messages actually addressed to this
+    /// process; returns the outbox for the next round.
+    fn round(&mut self, ctx: &ProcessCtx, round: Round, inbox: &Inbox<M>) -> Outbox<M>;
+}
+
+/// The silent adversary: sends nothing, ever. Equivalent to a process that
+/// crashed before the execution started.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct SilentByzantine;
+
+impl<I: Value, M: Payload> ByzantineBehavior<I, M> for SilentByzantine {
+    fn propose(&mut self, _: &ProcessCtx, _: I) -> Outbox<M> {
+        Outbox::new()
+    }
+
+    fn round(&mut self, _: &ProcessCtx, _: Round, _: &Inbox<M>) -> Outbox<M> {
+        Outbox::new()
+    }
+}
+
+/// Runs the honest protocol faithfully until (and excluding) `crash_at`,
+/// then goes silent — the classic crash-failure adversary expressed as a
+/// Byzantine behavior.
+#[derive(Clone, Debug)]
+pub struct FollowThenCrash<P> {
+    inner: P,
+    crash_at: Round,
+}
+
+impl<P: Protocol> FollowThenCrash<P> {
+    /// Wraps `inner`, crashing at the start of `crash_at`: no message of
+    /// round `crash_at` or later is sent.
+    pub fn new(inner: P, crash_at: Round) -> Self {
+        FollowThenCrash { inner, crash_at }
+    }
+}
+
+impl<P: Protocol> ByzantineBehavior<P::Input, P::Msg> for FollowThenCrash<P> {
+    fn propose(&mut self, ctx: &ProcessCtx, proposal: P::Input) -> Outbox<P::Msg> {
+        let out = self.inner.propose(ctx, proposal);
+        if Round::FIRST >= self.crash_at {
+            Outbox::new()
+        } else {
+            out
+        }
+    }
+
+    fn round(&mut self, ctx: &ProcessCtx, round: Round, inbox: &Inbox<P::Msg>) -> Outbox<P::Msg> {
+        let out = self.inner.round(ctx, round, inbox);
+        if round.next() >= self.crash_at {
+            Outbox::new()
+        } else {
+            out
+        }
+    }
+}
+
+/// The "honest mimic": a Byzantine behavior that simply runs the honest
+/// protocol.
+///
+/// This is the adversary behind the paper's Lemma 7: an execution in which
+/// some processes are *declared* faulty but behave exactly like correct
+/// ones is indistinguishable from the fully correct execution — so the
+/// correct processes decide the same value, which must therefore be
+/// admissible under the *smaller* input configuration. `ba-core`'s
+/// `lemma7_refute` uses this to refute algorithms whose validity property
+/// violates the containment condition.
+#[derive(Clone, Debug)]
+pub struct HonestMimic<P> {
+    inner: P,
+}
+
+impl<P: Protocol> HonestMimic<P> {
+    /// Wraps the honest protocol instance this "adversary" will run.
+    pub fn new(inner: P) -> Self {
+        HonestMimic { inner }
+    }
+}
+
+impl<P: Protocol> ByzantineBehavior<P::Input, P::Msg> for HonestMimic<P> {
+    fn propose(&mut self, ctx: &ProcessCtx, proposal: P::Input) -> Outbox<P::Msg> {
+        self.inner.propose(ctx, proposal)
+    }
+
+    fn round(&mut self, ctx: &ProcessCtx, round: Round, inbox: &Inbox<P::Msg>) -> Outbox<P::Msg> {
+        self.inner.round(ctx, round, inbox)
+    }
+}
+
+/// A replay adversary: each round it re-sends, to randomly chosen peers,
+/// random messages it has *observed* (received) so far.
+///
+/// This is the strongest generic attack available against authenticated
+/// protocols — it cannot forge signatures, only replay them out of context —
+/// and a useful smoke test for any protocol's tolerance of stale or
+/// misdirected traffic. Deterministic for a fixed seed.
+#[derive(Clone, Debug)]
+pub struct ReplayByzantine<M> {
+    observed: Vec<M>,
+    rng: StdRng,
+    sends_per_round: usize,
+}
+
+impl<M: Payload> ReplayByzantine<M> {
+    /// Creates a replay adversary sending up to `sends_per_round` replayed
+    /// messages each round, seeded with `seed`.
+    pub fn new(seed: u64, sends_per_round: usize) -> Self {
+        ReplayByzantine {
+            observed: Vec::new(),
+            rng: StdRng::seed_from_u64(seed),
+            sends_per_round,
+        }
+    }
+
+    fn emit(&mut self, ctx: &ProcessCtx) -> Outbox<M> {
+        let mut out = Outbox::new();
+        if self.observed.is_empty() {
+            return out;
+        }
+        let peers: Vec<_> = ctx.others().collect();
+        for _ in 0..self.sends_per_round {
+            let msg = self.observed[self.rng.gen_range(0..self.observed.len())].clone();
+            let peer = peers[self.rng.gen_range(0..peers.len())];
+            // Respect the one-message-per-receiver rule: skip peers already
+            // addressed this round.
+            if out.iter().all(|(p, _)| p != peer) {
+                out.send(peer, msg);
+            }
+        }
+        out
+    }
+}
+
+impl<I: Value, M: Payload> ByzantineBehavior<I, M> for ReplayByzantine<M> {
+    fn propose(&mut self, ctx: &ProcessCtx, _: I) -> Outbox<M> {
+        self.emit(ctx)
+    }
+
+    fn round(&mut self, ctx: &ProcessCtx, _: Round, inbox: &Inbox<M>) -> Outbox<M> {
+        self.observed.extend(inbox.iter().map(|(_, m)| m.clone()));
+        self.emit(ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::ProcessId;
+
+    #[test]
+    fn silent_sends_nothing() {
+        let ctx = ProcessCtx::new(ProcessId(0), 3, 1);
+        let mut b = SilentByzantine;
+        let out: Outbox<u8> = ByzantineBehavior::<u8, u8>::propose(&mut b, &ctx, 0);
+        assert!(out.is_empty());
+        let out: Outbox<u8> =
+            ByzantineBehavior::<u8, u8>::round(&mut b, &ctx, Round(1), &Inbox::new());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn replay_only_resends_observed_messages() {
+        let ctx = ProcessCtx::new(ProcessId(0), 4, 1);
+        let mut b = ReplayByzantine::<u8>::new(11, 3);
+        // Nothing observed yet: nothing to send.
+        let out = ByzantineBehavior::<u8, u8>::propose(&mut b, &ctx, 0);
+        assert!(out.is_empty());
+        let inbox = Inbox::from_map([(ProcessId(1), 42u8)].into_iter().collect());
+        let out = ByzantineBehavior::<u8, u8>::round(&mut b, &ctx, Round(1), &inbox);
+        for (_, m) in out.iter() {
+            assert_eq!(*m, 42);
+        }
+    }
+
+    #[test]
+    fn replay_is_deterministic_per_seed() {
+        let run = |seed| {
+            let ctx = ProcessCtx::new(ProcessId(0), 4, 1);
+            let mut b = ReplayByzantine::<u8>::new(seed, 2);
+            let inbox = Inbox::from_map([(ProcessId(1), 7u8), (ProcessId(2), 9u8)].into_iter().collect());
+            let mut sent = Vec::new();
+            for k in 1..6 {
+                let out = ByzantineBehavior::<u8, u8>::round(&mut b, &ctx, Round(k), &inbox);
+                sent.extend(out.iter().map(|(p, m)| (p, *m)).collect::<Vec<_>>());
+            }
+            sent
+        };
+        assert_eq!(run(5), run(5));
+    }
+}

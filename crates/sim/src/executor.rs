@@ -1,0 +1,703 @@
+//! The lock-step synchronous executor.
+//!
+//! [`run_omission`] drives deterministic state machines under an
+//! [`OmissionPlan`]; [`run_byzantine`] drives a mix of honest state machines
+//! and arbitrary [`ByzantineBehavior`]s. Both produce trace-complete
+//! [`Execution`] values that satisfy the model's execution guarantees by
+//! construction (and are re-checkable via [`Execution::validate`]).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::byzantine::ByzantineBehavior;
+use crate::error::SimError;
+use crate::execution::{Execution, FaultMode, ProcessRecord, RoundFragment};
+use crate::ids::{ProcessId, Round};
+use crate::mailbox::{Inbox, Outbox};
+use crate::plan::{Fate, OmissionPlan};
+use crate::protocol::{ProcessCtx, Protocol};
+use crate::value::Payload;
+
+/// Static configuration of an execution run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ExecutorConfig {
+    /// Number of processes `n`.
+    pub n: usize,
+    /// Resilience bound `t < n`.
+    pub t: usize,
+    /// Hard horizon: the executor runs at most this many rounds.
+    ///
+    /// The paper works with infinite executions; a finite prefix suffices
+    /// because every quantity the proofs inspect stabilizes once all correct
+    /// processes have decided and no messages are in flight. The executor
+    /// detects that quiescent point and stops early (see
+    /// [`ExecutorConfig::stop_when_quiescent`]); `max_rounds` bounds
+    /// protocols that never quiesce.
+    pub max_rounds: u64,
+    /// Stop as soon as every correct process has decided and no process
+    /// emitted a message for the next round. Defaults to `true`.
+    pub stop_when_quiescent: bool,
+}
+
+impl ExecutorConfig {
+    /// Default horizon multiplier: `max_rounds = HORIZON_FACTOR * (t + 2)`.
+    /// Every protocol in this repository decides within `t + 2` rounds; the
+    /// slack catches slow-downs introduced by adversaries.
+    pub const HORIZON_FACTOR: u64 = 4;
+
+    /// Creates a configuration with the default horizon.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `t < n`.
+    pub fn new(n: usize, t: usize) -> Self {
+        assert!(t < n, "require t < n (got t = {t}, n = {n})");
+        ExecutorConfig {
+            n,
+            t,
+            max_rounds: Self::HORIZON_FACTOR * (t as u64 + 2) + 8,
+            stop_when_quiescent: true,
+        }
+    }
+
+    /// Sets the hard horizon.
+    pub fn with_max_rounds(mut self, max_rounds: u64) -> Self {
+        self.max_rounds = max_rounds;
+        self
+    }
+
+    /// Enables or disables early stopping at quiescence.
+    pub fn with_stop_when_quiescent(mut self, stop: bool) -> Self {
+        self.stop_when_quiescent = stop;
+        self
+    }
+}
+
+/// One process slot during a run: either an honest protocol instance or a
+/// Byzantine behavior.
+enum Slot<P: Protocol> {
+    Honest(P),
+    Byzantine(Box<dyn ByzantineBehavior<P::Input, P::Msg>>),
+}
+
+impl<P: Protocol> Slot<P> {
+    fn propose(&mut self, ctx: &ProcessCtx, proposal: P::Input) -> Outbox<P::Msg> {
+        match self {
+            Slot::Honest(p) => p.propose(ctx, proposal),
+            Slot::Byzantine(b) => b.propose(ctx, proposal),
+        }
+    }
+
+    fn round(&mut self, ctx: &ProcessCtx, round: Round, inbox: &Inbox<P::Msg>) -> Outbox<P::Msg> {
+        match self {
+            Slot::Honest(p) => p.round(ctx, round, inbox),
+            Slot::Byzantine(b) => b.round(ctx, round, inbox),
+        }
+    }
+
+    fn decision(&self) -> Option<P::Output> {
+        match self {
+            Slot::Honest(p) => p.decision(),
+            Slot::Byzantine(_) => None,
+        }
+    }
+}
+
+/// Runs an execution in the **omission** failure model (paper §3).
+///
+/// Every process — correct or faulty — runs the protocol produced by
+/// `factory`; `plan` decides the fate of each message, and may only blame
+/// processes in `faulty`.
+///
+/// # Errors
+///
+/// Returns an error if the protocol violates the model (self-sends, invalid
+/// receivers, decision changes), if the plan blames a correct process, or if
+/// the inputs are inconsistent (`proposals.len() != n`, `|faulty| > t`).
+pub fn run_omission<P, F>(
+    cfg: &ExecutorConfig,
+    factory: F,
+    proposals: &[P::Input],
+    faulty: &BTreeSet<ProcessId>,
+    plan: &mut dyn OmissionPlan<P::Msg>,
+) -> Result<Execution<P::Input, P::Output, P::Msg>, SimError>
+where
+    P: Protocol,
+    F: Fn(ProcessId) -> P,
+{
+    let slots: Vec<Slot<P>> =
+        ProcessId::all(cfg.n).map(|pid| Slot::Honest(factory(pid))).collect();
+    run_inner(cfg, slots, proposals, faulty, plan, FaultMode::Omission)
+}
+
+/// Runs an execution in the **Byzantine** failure model (paper §2).
+///
+/// Processes listed in `behaviors` are faulty and driven by the supplied
+/// arbitrary behavior; all others run the protocol from `factory`. Messages
+/// are always delivered (Byzantine processes "omit" by simply not sending).
+///
+/// # Errors
+///
+/// Returns an error if the protocol or a behavior violates the model, or if
+/// the inputs are inconsistent.
+pub fn run_byzantine<P, F>(
+    cfg: &ExecutorConfig,
+    factory: F,
+    proposals: &[P::Input],
+    behaviors: BTreeMap<ProcessId, Box<dyn ByzantineBehavior<P::Input, P::Msg>>>,
+) -> Result<Execution<P::Input, P::Output, P::Msg>, SimError>
+where
+    P: Protocol,
+    F: Fn(ProcessId) -> P,
+{
+    let faulty: BTreeSet<ProcessId> = behaviors.keys().copied().collect();
+    let mut behaviors = behaviors;
+    let slots: Vec<Slot<P>> = ProcessId::all(cfg.n)
+        .map(|pid| match behaviors.remove(&pid) {
+            Some(b) => Slot::Byzantine(b),
+            None => Slot::Honest(factory(pid)),
+        })
+        .collect();
+    let mut no_omissions = crate::plan::NoFaults;
+    run_inner(cfg, slots, proposals, &faulty, &mut no_omissions, FaultMode::Byzantine)
+}
+
+fn run_inner<P: Protocol>(
+    cfg: &ExecutorConfig,
+    mut slots: Vec<Slot<P>>,
+    proposals: &[P::Input],
+    faulty: &BTreeSet<ProcessId>,
+    plan: &mut dyn OmissionPlan<P::Msg>,
+    mode: FaultMode,
+) -> Result<Execution<P::Input, P::Output, P::Msg>, SimError> {
+    let n = cfg.n;
+    if proposals.len() != n {
+        return Err(SimError::ProposalCount { got: proposals.len(), expected: n });
+    }
+    if faulty.len() > cfg.t {
+        return Err(SimError::TooManyFaulty { got: faulty.len(), t: cfg.t });
+    }
+    if let Some(p) = faulty.iter().find(|p| p.index() >= n) {
+        return Err(SimError::BehaviorMismatch { process: *p });
+    }
+
+    let ctxs: Vec<ProcessCtx> =
+        ProcessId::all(n).map(|pid| ProcessCtx::new(pid, n, cfg.t)).collect();
+
+    let mut records: Vec<ProcessRecord<P::Input, P::Output, P::Msg>> = proposals
+        .iter()
+        .map(|v| ProcessRecord { proposal: v.clone(), decision: None, fragments: Vec::new() })
+        .collect();
+
+    // Round-1 outboxes come from `propose` (paper §A.1.3: first-round
+    // messages depend only on the initial state).
+    let mut outboxes: Vec<BTreeMap<ProcessId, P::Msg>> = Vec::with_capacity(n);
+    for (i, slot) in slots.iter_mut().enumerate() {
+        let out = slot.propose(&ctxs[i], proposals[i].clone());
+        validate_outbox(ProcessId(i), &out, n, Round::FIRST)?;
+        outboxes.push(out.into_inner());
+        observe_decision(&mut records[i], slot, ProcessId(i), Round::FIRST)?;
+    }
+
+    let mut rounds_run = 0u64;
+    let mut quiescent = false;
+
+    for round in Round::up_to(cfg.max_rounds) {
+        rounds_run = round.0;
+
+        // Allocate this round's fragments.
+        for rec in &mut records {
+            rec.fragments.push(RoundFragment::empty());
+        }
+
+        // Route every emitted message through the omission plan, in
+        // deterministic (sender, receiver) order.
+        let mut inboxes: Vec<BTreeMap<ProcessId, P::Msg>> = vec![BTreeMap::new(); n];
+        for sender in ProcessId::all(n) {
+            let outbox = std::mem::take(&mut outboxes[sender.index()]);
+            for (receiver, payload) in outbox {
+                let fate = match mode {
+                    FaultMode::Omission => plan.fate(round, sender, receiver, &payload),
+                    FaultMode::Byzantine => Fate::Deliver,
+                };
+                if let Some(blamed) = fate.blamed(sender, receiver) {
+                    if !faulty.contains(&blamed) {
+                        return Err(SimError::OmissionByCorrect { process: blamed, round });
+                    }
+                }
+                let frag_idx = round.index();
+                match fate {
+                    Fate::Deliver => {
+                        records[sender.index()].fragments[frag_idx]
+                            .sent
+                            .insert(receiver, payload.clone());
+                        inboxes[receiver.index()].insert(sender, payload);
+                    }
+                    Fate::SendOmit => {
+                        records[sender.index()].fragments[frag_idx]
+                            .send_omitted
+                            .insert(receiver, payload);
+                    }
+                    Fate::ReceiveOmit => {
+                        records[sender.index()].fragments[frag_idx]
+                            .sent
+                            .insert(receiver, payload.clone());
+                        records[receiver.index()].fragments[frag_idx]
+                            .receive_omitted
+                            .insert(sender, payload);
+                    }
+                }
+            }
+        }
+
+        // Deliver inboxes and compute next-round outboxes.
+        let mut any_pending = false;
+        for (i, slot) in slots.iter_mut().enumerate() {
+            let inbox_map = std::mem::take(&mut inboxes[i]);
+            records[i].fragments[round.index()].received = inbox_map.clone();
+            let inbox = Inbox::from_map(inbox_map);
+            let out = slot.round(&ctxs[i], round, &inbox);
+            validate_outbox(ProcessId(i), &out, n, round.next())?;
+            any_pending |= !out.is_empty();
+            outboxes[i] = out.into_inner();
+            observe_decision(&mut records[i], slot, ProcessId(i), round.next())?;
+        }
+
+        // Quiescence: nothing in flight and every correct process decided.
+        if cfg.stop_when_quiescent && !any_pending {
+            let all_correct_decided = ProcessId::all(n)
+                .filter(|p| !faulty.contains(p))
+                .all(|p| records[p.index()].decision.is_some());
+            if all_correct_decided {
+                quiescent = true;
+                break;
+            }
+        }
+    }
+
+    if !quiescent {
+        // The horizon was reached; the prefix is still a valid execution,
+        // but flag whether messages were pending beyond it.
+        quiescent = outboxes.iter().all(BTreeMap::is_empty);
+    }
+
+    Ok(Execution {
+        n,
+        t: cfg.t,
+        mode,
+        faulty: faulty.clone(),
+        records,
+        rounds: rounds_run,
+        quiescent,
+    })
+}
+
+fn validate_outbox<M: Payload>(
+    sender: ProcessId,
+    out: &Outbox<M>,
+    n: usize,
+    round: Round,
+) -> Result<(), SimError> {
+    for (receiver, _) in out.iter() {
+        if receiver == sender {
+            return Err(SimError::SelfSend { process: sender, round });
+        }
+        if receiver.index() >= n {
+            return Err(SimError::InvalidReceiver { process: sender, receiver, n });
+        }
+    }
+    Ok(())
+}
+
+fn observe_decision<P: Protocol>(
+    record: &mut ProcessRecord<P::Input, P::Output, P::Msg>,
+    slot: &Slot<P>,
+    pid: ProcessId,
+    round: Round,
+) -> Result<(), SimError> {
+    match (slot.decision(), &record.decision) {
+        (Some(v), None) => {
+            record.decision = Some((v, round));
+            Ok(())
+        }
+        (Some(v), Some((prev, _))) if &v != prev => {
+            Err(SimError::DecisionChanged { process: pid, round })
+        }
+        (None, Some(_)) => Err(SimError::DecisionChanged { process: pid, round }),
+        _ => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{IsolationPlan, NoFaults};
+    use crate::value::Bit;
+
+    /// Broadcast-your-proposal-every-round protocol that decides its own
+    /// proposal at the start of round `decide_at`.
+    #[derive(Clone)]
+    struct Chatter {
+        proposal: Bit,
+        decision: Option<Bit>,
+        decide_at: u64,
+        stop_after: u64,
+    }
+
+    impl Chatter {
+        fn new(decide_at: u64, stop_after: u64) -> Self {
+            Chatter { proposal: Bit::Zero, decision: None, decide_at, stop_after }
+        }
+    }
+
+    impl Protocol for Chatter {
+        type Input = Bit;
+        type Output = Bit;
+        type Msg = Bit;
+
+        fn propose(&mut self, ctx: &ProcessCtx, proposal: Bit) -> Outbox<Bit> {
+            self.proposal = proposal;
+            if self.decide_at <= 1 {
+                self.decision = Some(self.proposal);
+            }
+            let mut out = Outbox::new();
+            out.send_to_all(ctx.others(), proposal);
+            out
+        }
+
+        fn round(&mut self, ctx: &ProcessCtx, round: Round, _: &Inbox<Bit>) -> Outbox<Bit> {
+            if round.next().0 >= self.decide_at {
+                self.decision = Some(self.proposal);
+            }
+            let mut out = Outbox::new();
+            if round.0 < self.stop_after {
+                out.send_to_all(ctx.others(), self.proposal);
+            }
+            out
+        }
+
+        fn decision(&self) -> Option<Bit> {
+            self.decision
+        }
+    }
+
+    #[test]
+    fn fault_free_run_is_valid_and_quiescent() {
+        let cfg = ExecutorConfig::new(4, 1);
+        let exec = run_omission(
+            &cfg,
+            |_| Chatter::new(3, 3),
+            &[Bit::One; 4],
+            &BTreeSet::new(),
+            &mut NoFaults,
+        )
+        .unwrap();
+        exec.validate().unwrap();
+        assert!(exec.quiescent);
+        assert!(exec.all_correct_decided(Bit::One));
+        // 3 rounds of sends × 4 processes × 3 peers.
+        assert_eq!(exec.message_complexity(), 36);
+    }
+
+    #[test]
+    fn executions_are_deterministic() {
+        let cfg = ExecutorConfig::new(5, 2);
+        let run = || {
+            run_omission(
+                &cfg,
+                |_| Chatter::new(2, 4),
+                &[Bit::Zero, Bit::One, Bit::Zero, Bit::One, Bit::Zero],
+                &BTreeSet::new(),
+                &mut NoFaults,
+            )
+            .unwrap()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn isolation_produces_valid_omission_execution() {
+        let cfg = ExecutorConfig::new(4, 2);
+        let faulty: BTreeSet<_> = [ProcessId(3)].into_iter().collect();
+        let mut plan = IsolationPlan::new([ProcessId(3)], Round(2));
+        let exec = run_omission(
+            &cfg,
+            |_| Chatter::new(3, 3),
+            &[Bit::Zero; 4],
+            &faulty,
+            &mut plan,
+        )
+        .unwrap();
+        exec.validate().unwrap();
+        // p3 received round-1 traffic but nothing from round 2 onward.
+        let rec = exec.record(ProcessId(3));
+        assert_eq!(rec.fragments[0].received.len(), 3);
+        assert_eq!(rec.fragments[1].received.len(), 0);
+        assert_eq!(rec.fragments[1].receive_omitted.len(), 3);
+        // Senders recorded the receive-omitted messages as sent.
+        assert_eq!(exec.record(ProcessId(0)).fragments[1].sent.len(), 3);
+    }
+
+    #[test]
+    fn plan_blaming_correct_process_errors() {
+        let cfg = ExecutorConfig::new(3, 1);
+        let mut plan = IsolationPlan::new([ProcessId(2)], Round(1));
+        let err = run_omission(
+            &cfg,
+            |_| Chatter::new(2, 2),
+            &[Bit::Zero; 3],
+            &BTreeSet::new(), // p2 not declared faulty
+            &mut plan,
+        )
+        .unwrap_err();
+        assert!(matches!(err, SimError::OmissionByCorrect { .. }));
+    }
+
+    #[test]
+    fn too_many_faulty_is_rejected() {
+        let cfg = ExecutorConfig::new(3, 1);
+        let faulty: BTreeSet<_> = [ProcessId(0), ProcessId(1)].into_iter().collect();
+        let err = run_omission(
+            &cfg,
+            |_| Chatter::new(2, 2),
+            &[Bit::Zero; 3],
+            &faulty,
+            &mut NoFaults,
+        )
+        .unwrap_err();
+        assert_eq!(err, SimError::TooManyFaulty { got: 2, t: 1 });
+    }
+
+    #[test]
+    fn proposal_count_mismatch_is_rejected() {
+        let cfg = ExecutorConfig::new(3, 1);
+        let err = run_omission(
+            &cfg,
+            |_| Chatter::new(2, 2),
+            &[Bit::Zero; 2],
+            &BTreeSet::new(),
+            &mut NoFaults,
+        )
+        .unwrap_err();
+        assert_eq!(err, SimError::ProposalCount { got: 2, expected: 3 });
+    }
+
+    #[test]
+    fn self_send_is_rejected() {
+        #[derive(Clone)]
+        struct SelfSender;
+        impl Protocol for SelfSender {
+            type Input = Bit;
+            type Output = Bit;
+            type Msg = Bit;
+            fn propose(&mut self, ctx: &ProcessCtx, _: Bit) -> Outbox<Bit> {
+                let mut out = Outbox::new();
+                out.send(ctx.id, Bit::Zero);
+                out
+            }
+            fn round(&mut self, _: &ProcessCtx, _: Round, _: &Inbox<Bit>) -> Outbox<Bit> {
+                Outbox::new()
+            }
+            fn decision(&self) -> Option<Bit> {
+                Some(Bit::Zero)
+            }
+        }
+        let cfg = ExecutorConfig::new(2, 1);
+        let err = run_omission(&cfg, |_| SelfSender, &[Bit::Zero; 2], &BTreeSet::new(), &mut NoFaults)
+            .unwrap_err();
+        assert!(matches!(err, SimError::SelfSend { .. }));
+    }
+
+    #[test]
+    fn decision_change_is_rejected() {
+        #[derive(Clone)]
+        struct FlipFlopper {
+            round: u64,
+        }
+        impl Protocol for FlipFlopper {
+            type Input = Bit;
+            type Output = Bit;
+            type Msg = Bit;
+            fn propose(&mut self, _: &ProcessCtx, _: Bit) -> Outbox<Bit> {
+                Outbox::new()
+            }
+            fn round(&mut self, _: &ProcessCtx, _: Round, _: &Inbox<Bit>) -> Outbox<Bit> {
+                self.round += 1;
+                Outbox::new()
+            }
+            fn decision(&self) -> Option<Bit> {
+                Some(if self.round < 2 { Bit::Zero } else { Bit::One })
+            }
+        }
+        let cfg = ExecutorConfig::new(2, 1).with_stop_when_quiescent(false).with_max_rounds(4);
+        let err =
+            run_omission(&cfg, |_| FlipFlopper { round: 0 }, &[Bit::Zero; 2], &BTreeSet::new(), &mut NoFaults)
+                .unwrap_err();
+        assert!(matches!(err, SimError::DecisionChanged { .. }));
+    }
+
+    #[test]
+    fn byzantine_silent_process_is_recorded_without_decisions() {
+        use crate::byzantine::SilentByzantine;
+        let cfg = ExecutorConfig::new(3, 1);
+        let behaviors: BTreeMap<_, Box<dyn ByzantineBehavior<Bit, Bit>>> =
+            [(ProcessId(2), Box::new(SilentByzantine) as Box<dyn ByzantineBehavior<Bit, Bit>>)]
+                .into_iter()
+                .collect();
+        let exec = run_byzantine(&cfg, |_| Chatter::new(3, 3), &[Bit::One; 3], behaviors).unwrap();
+        exec.validate().unwrap();
+        assert_eq!(exec.mode, FaultMode::Byzantine);
+        assert!(exec.decision_of(ProcessId(2)).is_none());
+        assert_eq!(exec.record(ProcessId(2)).total_sent(), 0);
+        // The two honest processes still decide.
+        assert_eq!(exec.decision_of(ProcessId(0)), Some(&Bit::One));
+        assert_eq!(exec.decision_of(ProcessId(1)), Some(&Bit::One));
+    }
+
+    #[test]
+    fn horizon_caps_non_quiescent_protocols() {
+        let cfg = ExecutorConfig::new(2, 1).with_max_rounds(5);
+        // stop_after = u64::MAX: never stops sending; never decides.
+        #[derive(Clone)]
+        struct Forever;
+        impl Protocol for Forever {
+            type Input = Bit;
+            type Output = Bit;
+            type Msg = Bit;
+            fn propose(&mut self, ctx: &ProcessCtx, _: Bit) -> Outbox<Bit> {
+                let mut out = Outbox::new();
+                out.send_to_all(ctx.others(), Bit::Zero);
+                out
+            }
+            fn round(&mut self, ctx: &ProcessCtx, _: Round, _: &Inbox<Bit>) -> Outbox<Bit> {
+                let mut out = Outbox::new();
+                out.send_to_all(ctx.others(), Bit::Zero);
+                out
+            }
+            fn decision(&self) -> Option<Bit> {
+                None
+            }
+        }
+        let exec =
+            run_omission(&cfg, |_| Forever, &[Bit::Zero; 2], &BTreeSet::new(), &mut NoFaults).unwrap();
+        assert_eq!(exec.rounds, 5);
+        assert!(!exec.quiescent);
+        exec.validate().unwrap();
+    }
+
+    #[test]
+    fn t_zero_systems_run_fault_free_only() {
+        // t = 0: the fault set must be empty, and protocols sized for t = 0
+        // decide immediately after their first exchange.
+        let cfg = ExecutorConfig::new(3, 0);
+        let exec = run_omission(
+            &cfg,
+            |_| Chatter::new(2, 1),
+            &[Bit::One; 3],
+            &BTreeSet::new(),
+            &mut NoFaults,
+        )
+        .unwrap();
+        exec.validate().unwrap();
+        assert!(exec.all_correct_decided(Bit::One));
+        // Any declared fault exceeds t = 0.
+        let err = run_omission(
+            &cfg,
+            |_| Chatter::new(2, 1),
+            &[Bit::One; 3],
+            &[ProcessId(0)].into(),
+            &mut NoFaults,
+        )
+        .unwrap_err();
+        assert_eq!(err, SimError::TooManyFaulty { got: 1, t: 0 });
+    }
+
+    #[test]
+    fn two_process_system_works() {
+        let cfg = ExecutorConfig::new(2, 1);
+        let exec = run_omission(
+            &cfg,
+            |_| Chatter::new(2, 1),
+            &[Bit::Zero, Bit::One],
+            &BTreeSet::new(),
+            &mut NoFaults,
+        )
+        .unwrap();
+        exec.validate().unwrap();
+        assert_eq!(exec.record(ProcessId(0)).fragments[0].sent.len(), 1);
+    }
+
+    #[test]
+    fn invalid_receiver_is_rejected() {
+        #[derive(Clone)]
+        struct WildSender;
+        impl Protocol for WildSender {
+            type Input = Bit;
+            type Output = Bit;
+            type Msg = Bit;
+            fn propose(&mut self, _: &ProcessCtx, _: Bit) -> Outbox<Bit> {
+                let mut out = Outbox::new();
+                out.send(ProcessId(99), Bit::Zero);
+                out
+            }
+            fn round(&mut self, _: &ProcessCtx, _: Round, _: &Inbox<Bit>) -> Outbox<Bit> {
+                Outbox::new()
+            }
+            fn decision(&self) -> Option<Bit> {
+                Some(Bit::Zero)
+            }
+        }
+        let cfg = ExecutorConfig::new(2, 1);
+        let err =
+            run_omission(&cfg, |_| WildSender, &[Bit::Zero; 2], &BTreeSet::new(), &mut NoFaults)
+                .unwrap_err();
+        assert!(matches!(err, SimError::InvalidReceiver { .. }));
+    }
+
+    #[test]
+    fn byzantine_behavior_for_undeclared_process_is_rejected() {
+        use crate::byzantine::SilentByzantine;
+        let cfg = ExecutorConfig::new(3, 1);
+        let behaviors: BTreeMap<_, Box<dyn ByzantineBehavior<Bit, Bit>>> = [
+            (ProcessId(1), Box::new(SilentByzantine) as Box<dyn ByzantineBehavior<Bit, Bit>>),
+            (ProcessId(2), Box::new(SilentByzantine) as Box<_>),
+        ]
+        .into_iter()
+        .collect();
+        // Two behaviors exceed t = 1.
+        let err = run_byzantine(&cfg, |_| Chatter::new(2, 2), &[Bit::Zero; 3], behaviors)
+            .unwrap_err();
+        assert_eq!(err, SimError::TooManyFaulty { got: 2, t: 1 });
+    }
+
+    #[test]
+    fn fixed_horizon_mode_runs_exactly_max_rounds() {
+        let cfg = ExecutorConfig::new(3, 1).with_stop_when_quiescent(false).with_max_rounds(7);
+        let exec = run_omission(
+            &cfg,
+            |_| Chatter::new(2, 2),
+            &[Bit::Zero; 3],
+            &BTreeSet::new(),
+            &mut NoFaults,
+        )
+        .unwrap();
+        assert_eq!(exec.rounds, 7);
+        assert!(exec.quiescent, "nothing in flight at the horizon");
+        assert_eq!(exec.record(ProcessId(0)).fragments.len(), 7);
+    }
+
+    #[test]
+    fn quiescent_early_stop_records_round_count() {
+        let cfg = ExecutorConfig::new(3, 1);
+        let exec = run_omission(
+            &cfg,
+            |_| Chatter::new(2, 2),
+            &[Bit::Zero; 3],
+            &BTreeSet::new(),
+            &mut NoFaults,
+        )
+        .unwrap();
+        assert!(exec.quiescent);
+        assert!(exec.rounds <= 3);
+        assert_eq!(exec.all_decided_by(), Some(Round(2)));
+    }
+}

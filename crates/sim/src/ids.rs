@@ -1,0 +1,134 @@
+//! Process and round identifiers.
+
+use std::fmt;
+
+/// Identifier of a process in the static system `Π = {p_0, …, p_{n-1}}`.
+///
+/// The paper indexes processes from 1; we index from 0, so `ProcessId(i)`
+/// corresponds to the paper's `p_{i+1}`.
+///
+/// ```
+/// use ba_sim::ProcessId;
+/// let ids: Vec<_> = ProcessId::all(3).collect();
+/// assert_eq!(ids, vec![ProcessId(0), ProcessId(1), ProcessId(2)]);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct ProcessId(pub usize);
+
+impl ProcessId {
+    /// The zero-based index of this process.
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Iterates over all process identifiers of an `n`-process system.
+    pub fn all(n: usize) -> impl DoubleEndedIterator<Item = ProcessId> + Clone {
+        (0..n).map(ProcessId)
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl From<usize> for ProcessId {
+    fn from(i: usize) -> Self {
+        ProcessId(i)
+    }
+}
+
+/// A synchronous round number. Rounds are 1-based, as in the paper.
+///
+/// ```
+/// use ba_sim::Round;
+/// assert_eq!(Round::FIRST.next(), Round(2));
+/// assert_eq!(Round(3).index(), 2);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Round(pub u64);
+
+impl Round {
+    /// The first round of every execution.
+    pub const FIRST: Round = Round(1);
+
+    /// The round immediately after this one.
+    pub fn next(self) -> Round {
+        Round(self.0 + 1)
+    }
+
+    /// The round immediately before this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on [`Round::FIRST`] (there is no round 0).
+    pub fn prev(self) -> Round {
+        assert!(self.0 > 1, "round 1 has no predecessor");
+        Round(self.0 - 1)
+    }
+
+    /// Zero-based index of this round, suitable for indexing fragment
+    /// vectors (`fragments[round.index()]` is the fragment of `round`).
+    pub fn index(self) -> usize {
+        (self.0 - 1) as usize
+    }
+
+    /// Iterates over rounds `1..=last`.
+    pub fn up_to(last: u64) -> impl DoubleEndedIterator<Item = Round> + Clone {
+        (1..=last).map(Round)
+    }
+}
+
+impl fmt::Display for Round {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "round {}", self.0)
+    }
+}
+
+impl Default for Round {
+    fn default() -> Self {
+        Round::FIRST
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn process_ids_enumerate_in_order() {
+        let ids: Vec<_> = ProcessId::all(4).collect();
+        assert_eq!(ids, vec![ProcessId(0), ProcessId(1), ProcessId(2), ProcessId(3)]);
+    }
+
+    #[test]
+    fn process_id_display() {
+        assert_eq!(ProcessId(7).to_string(), "p7");
+    }
+
+    #[test]
+    fn rounds_are_one_based() {
+        assert_eq!(Round::FIRST, Round(1));
+        assert_eq!(Round::FIRST.index(), 0);
+        assert_eq!(Round(5).next(), Round(6));
+        assert_eq!(Round(5).prev(), Round(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "no predecessor")]
+    fn round_one_has_no_predecessor() {
+        let _ = Round::FIRST.prev();
+    }
+
+    #[test]
+    fn up_to_covers_inclusive_range() {
+        let rounds: Vec<_> = Round::up_to(3).collect();
+        assert_eq!(rounds, vec![Round(1), Round(2), Round(3)]);
+    }
+
+    #[test]
+    fn up_to_zero_is_empty() {
+        assert_eq!(Round::up_to(0).count(), 0);
+    }
+}

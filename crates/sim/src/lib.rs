@@ -1,0 +1,110 @@
+//! # ba-sim — the synchronous execution model, as a simulator
+//!
+//! This crate implements, executably, the computational model of
+//! *All Byzantine Agreement Problems are Expensive* (Civit, Gilbert,
+//! Guerraoui, Komatovic, Paramonov, Vidigueira; PODC 2024), §2 and
+//! Appendix A.1:
+//!
+//! * a static system `Π = {p_0, …, p_{n-1}}` of deterministic state machines
+//!   ([`Protocol`]) advancing in lock-step synchronous rounds;
+//! * per-round **fragments** recording, for every process, the messages it
+//!   (successfully) sent, send-omitted, received, and receive-omitted
+//!   ([`RoundFragment`], paper §A.1.4);
+//! * **behaviors** — the per-process timeline of fragments
+//!   ([`ProcessRecord`], paper §A.1.5);
+//! * **executions** — a fault set plus one behavior per process, subject to
+//!   the five execution guarantees (*faulty processes*, *composition*,
+//!   *send-validity*, *receive-validity*, *omission-validity*;
+//!   [`Execution::validate`], paper §A.1.6);
+//! * the **omission adversary** (paper §3): a static corruption of up to `t`
+//!   processes that may send-omit or receive-omit messages, driven by an
+//!   [`OmissionPlan`] — including the *isolation* plan of Definition 1;
+//! * the **Byzantine adversary** (paper §2): faulty processes replaced by
+//!   arbitrary [`ByzantineBehavior`]s.
+//!
+//! The simulator is trace-complete: everything the paper's proofs inspect
+//! (indistinguishability, message complexity, decision rounds) is recorded
+//! and checkable after the fact. The proof constructions themselves
+//! (`swap_omission`, `merge`, the Ω(t²) falsifier) live in `ba-core` and
+//! operate on the [`Execution`] values produced here.
+//!
+//! ## Example
+//!
+//! ```
+//! use ba_sim::{run_omission, ExecutorConfig, NoFaults, Protocol, ProcessCtx,
+//!              Inbox, Outbox, Round, ProcessId, Bit};
+//! use std::collections::BTreeSet;
+//!
+//! /// A toy protocol: everyone broadcasts its proposal in round 1 and
+//! /// decides 0 iff it hears 0 from everybody (including itself).
+//! #[derive(Clone)]
+//! struct Echo { proposal: Bit, decision: Option<Bit> }
+//!
+//! impl Protocol for Echo {
+//!     type Input = Bit;
+//!     type Output = Bit;
+//!     type Msg = Bit;
+//!     fn propose(&mut self, ctx: &ProcessCtx, proposal: Bit) -> Outbox<Bit> {
+//!         self.proposal = proposal;
+//!         let mut out = Outbox::new();
+//!         for peer in ctx.others() { out.send(peer, proposal); }
+//!         out
+//!     }
+//!     fn round(&mut self, ctx: &ProcessCtx, round: Round, inbox: &Inbox<Bit>) -> Outbox<Bit> {
+//!         if round == Round::FIRST {
+//!             let all_zero = self.proposal == Bit::Zero
+//!                 && inbox.len() == ctx.n - 1
+//!                 && inbox.iter().all(|(_, b)| *b == Bit::Zero);
+//!             self.decision = Some(if all_zero { Bit::Zero } else { Bit::One });
+//!         }
+//!         Outbox::new()
+//!     }
+//!     fn decision(&self) -> Option<Bit> { self.decision }
+//! }
+//!
+//! let cfg = ExecutorConfig::new(4, 1);
+//! let exec = run_omission(
+//!     &cfg,
+//!     |_pid| Echo { proposal: Bit::Zero, decision: None },
+//!     &[Bit::Zero; 4],
+//!     &BTreeSet::new(),
+//!     &mut NoFaults,
+//! ).unwrap();
+//! exec.validate().unwrap();
+//! assert!(exec.all_correct_decided(Bit::Zero));
+//! assert_eq!(exec.message_complexity(), 12); // 4 processes × 3 peers
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod byzantine;
+mod error;
+mod execution;
+mod executor;
+mod ids;
+mod mailbox;
+mod plan;
+mod protocol;
+mod trace;
+mod value;
+
+pub use byzantine::{
+    ByzantineBehavior, FollowThenCrash, HonestMimic, ReplayByzantine, SilentByzantine,
+};
+pub use error::SimError;
+pub use execution::{
+    DecisionOutcome, Execution, ExecutionInvariantError, FaultMode, ProcessRecord, RoundFragment,
+};
+pub use executor::{run_byzantine, run_omission, ExecutorConfig};
+pub use ids::{ProcessId, Round};
+pub use mailbox::{Inbox, Outbox};
+pub use plan::{
+    CrashPlan, DoubleIsolationPlan, Fate, FnPlan, IsolationPlan, NoFaults, OmissionPlan,
+    RandomOmissionPlan, TableOmissionPlan,
+};
+pub use protocol::{ProcessCtx, Protocol};
+pub use trace::{
+    first_inbox_divergence, render_divergence, render_execution, round_stats, RoundStats,
+};
+pub use value::{Bit, Payload, Value};

@@ -1,0 +1,229 @@
+//! Per-round message containers: the [`Outbox`] a process fills when sending
+//! and the [`Inbox`] it drains when receiving.
+//!
+//! The computational model (paper §A.1) allows each process to send *at most
+//! one* message to any specific process in a single round and forbids
+//! self-sends. [`Outbox`] enforces the former structurally (it is keyed by
+//! receiver) and the executor rejects the latter.
+
+use std::collections::BTreeMap;
+
+use crate::ids::ProcessId;
+use crate::value::Payload;
+
+/// The set of messages a process emits for one round, keyed by receiver.
+///
+/// ```
+/// use ba_sim::{Outbox, ProcessId};
+/// let mut out = Outbox::new();
+/// out.send(ProcessId(1), "hello");
+/// out.send(ProcessId(2), "world");
+/// assert_eq!(out.len(), 2);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Outbox<M> {
+    msgs: BTreeMap<ProcessId, M>,
+}
+
+impl<M: Payload> Outbox<M> {
+    /// Creates an empty outbox.
+    pub fn new() -> Self {
+        Outbox { msgs: BTreeMap::new() }
+    }
+
+    /// Queues `msg` for delivery to `to` in this round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a message for `to` was already queued: the model allows at
+    /// most one message per (sender, receiver, round), so a duplicate send is
+    /// a protocol bug.
+    pub fn send(&mut self, to: ProcessId, msg: M) -> &mut Self {
+        let prev = self.msgs.insert(to, msg);
+        assert!(prev.is_none(), "duplicate message to {to} in one round");
+        self
+    }
+
+    /// Queues `msg` for every process in `peers` (clone per receiver).
+    pub fn send_to_all<I>(&mut self, peers: I, msg: M) -> &mut Self
+    where
+        I: IntoIterator<Item = ProcessId>,
+    {
+        for peer in peers {
+            self.send(peer, msg.clone());
+        }
+        self
+    }
+
+    /// The number of queued messages.
+    pub fn len(&self) -> usize {
+        self.msgs.len()
+    }
+
+    /// `true` iff no message is queued.
+    pub fn is_empty(&self) -> bool {
+        self.msgs.is_empty()
+    }
+
+    /// Iterates over `(receiver, payload)` pairs in receiver order.
+    pub fn iter(&self) -> impl Iterator<Item = (ProcessId, &M)> {
+        self.msgs.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// Consumes the outbox, yielding its receiver → payload map.
+    pub fn into_inner(self) -> BTreeMap<ProcessId, M> {
+        self.msgs
+    }
+
+    /// Merges another outbox into this one using `combine` to resolve
+    /// receivers addressed by both.
+    ///
+    /// Used by parallel-composition combinators that must fold the outboxes
+    /// of several sub-protocol instances into one physical message per
+    /// receiver.
+    pub fn merge_with<F>(&mut self, other: Outbox<M>, mut combine: F)
+    where
+        F: FnMut(M, M) -> M,
+    {
+        for (to, msg) in other.msgs {
+            match self.msgs.remove(&to) {
+                None => {
+                    self.msgs.insert(to, msg);
+                }
+                Some(existing) => {
+                    self.msgs.insert(to, combine(existing, msg));
+                }
+            }
+        }
+    }
+}
+
+impl<M: Payload> Default for Outbox<M> {
+    fn default() -> Self {
+        Outbox::new()
+    }
+}
+
+impl<M: Payload> FromIterator<(ProcessId, M)> for Outbox<M> {
+    fn from_iter<I: IntoIterator<Item = (ProcessId, M)>>(iter: I) -> Self {
+        let mut out = Outbox::new();
+        for (to, msg) in iter {
+            out.send(to, msg);
+        }
+        out
+    }
+}
+
+/// The set of messages a process receives in one round, keyed by sender.
+///
+/// Receive-omitted messages never appear here: an inbox holds exactly the
+/// messages the process's state machine observes, which is what the paper's
+/// indistinguishability relation compares.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Inbox<M> {
+    msgs: BTreeMap<ProcessId, M>,
+}
+
+impl<M: Payload> Inbox<M> {
+    /// Creates an empty inbox.
+    pub fn new() -> Self {
+        Inbox { msgs: BTreeMap::new() }
+    }
+
+    /// Builds an inbox from a sender → payload map.
+    pub fn from_map(msgs: BTreeMap<ProcessId, M>) -> Self {
+        Inbox { msgs }
+    }
+
+    /// The message received from `sender` in this round, if any.
+    pub fn from_sender(&self, sender: ProcessId) -> Option<&M> {
+        self.msgs.get(&sender)
+    }
+
+    /// The number of received messages.
+    pub fn len(&self) -> usize {
+        self.msgs.len()
+    }
+
+    /// `true` iff nothing was received.
+    pub fn is_empty(&self) -> bool {
+        self.msgs.is_empty()
+    }
+
+    /// Iterates over `(sender, payload)` pairs in sender order.
+    pub fn iter(&self) -> impl Iterator<Item = (ProcessId, &M)> {
+        self.msgs.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// Iterates over the senders heard from this round.
+    pub fn senders(&self) -> impl Iterator<Item = ProcessId> + '_ {
+        self.msgs.keys().copied()
+    }
+
+    /// A reference to the underlying sender → payload map.
+    pub fn as_map(&self) -> &BTreeMap<ProcessId, M> {
+        &self.msgs
+    }
+
+    /// Consumes the inbox, yielding its sender → payload map.
+    pub fn into_inner(self) -> BTreeMap<ProcessId, M> {
+        self.msgs
+    }
+}
+
+impl<M: Payload> Default for Inbox<M> {
+    fn default() -> Self {
+        Inbox::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outbox_records_messages_by_receiver() {
+        let mut out = Outbox::new();
+        out.send(ProcessId(2), 7u32).send(ProcessId(0), 9u32);
+        let pairs: Vec<_> = out.iter().map(|(p, m)| (p, *m)).collect();
+        assert_eq!(pairs, vec![(ProcessId(0), 9), (ProcessId(2), 7)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate message")]
+    fn outbox_rejects_duplicate_receiver() {
+        let mut out = Outbox::new();
+        out.send(ProcessId(1), 1u32);
+        out.send(ProcessId(1), 2u32);
+    }
+
+    #[test]
+    fn send_to_all_clones_payload() {
+        let mut out = Outbox::new();
+        out.send_to_all(ProcessId::all(3), "x");
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn merge_with_combines_collisions() {
+        let mut a: Outbox<u32> = [(ProcessId(0), 1), (ProcessId(1), 2)].into_iter().collect();
+        let b: Outbox<u32> = [(ProcessId(1), 10), (ProcessId(2), 20)].into_iter().collect();
+        a.merge_with(b, |x, y| x + y);
+        let pairs: Vec<_> = a.iter().map(|(p, m)| (p, *m)).collect();
+        assert_eq!(pairs, vec![(ProcessId(0), 1), (ProcessId(1), 12), (ProcessId(2), 20)]);
+    }
+
+    #[test]
+    fn inbox_lookup_by_sender() {
+        let inbox = Inbox::from_map([(ProcessId(3), "m")].into_iter().collect());
+        assert_eq!(inbox.from_sender(ProcessId(3)), Some(&"m"));
+        assert_eq!(inbox.from_sender(ProcessId(1)), None);
+        assert_eq!(inbox.senders().collect::<Vec<_>>(), vec![ProcessId(3)]);
+    }
+
+    #[test]
+    fn empty_boxes_report_empty() {
+        assert!(Outbox::<u8>::new().is_empty());
+        assert!(Inbox::<u8>::new().is_empty());
+    }
+}

@@ -1,0 +1,404 @@
+//! Omission adversaries: per-message fate decisions.
+//!
+//! The omission failure model (paper §3) lets the static adversary corrupt up
+//! to `t` processes that may *send-omit* or *receive-omit* messages while
+//! otherwise following their state machine. An [`OmissionPlan`] encodes the
+//! adversary's strategy as a function from `(round, sender, receiver,
+//! payload)` to a [`Fate`]. The executor enforces *omission-validity*: a fate
+//! other than [`Fate::Deliver`] is only legal if the blamed process is in the
+//! execution's fault set.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::ids::{ProcessId, Round};
+use crate::value::Payload;
+
+/// What happens to one message in transit.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Fate {
+    /// The message is sent and received normally.
+    Deliver,
+    /// The (faulty) sender omits sending: the message appears in the
+    /// sender's `send_omitted` set and the receiver never sees it.
+    SendOmit,
+    /// The message is sent, but the (faulty) receiver omits receiving it: it
+    /// appears in the sender's `sent` set and the receiver's
+    /// `receive_omitted` set.
+    ReceiveOmit,
+}
+
+impl Fate {
+    /// Which process is blamed for a non-delivery, if any.
+    pub fn blamed(self, sender: ProcessId, receiver: ProcessId) -> Option<ProcessId> {
+        match self {
+            Fate::Deliver => None,
+            Fate::SendOmit => Some(sender),
+            Fate::ReceiveOmit => Some(receiver),
+        }
+    }
+}
+
+/// An omission-adversary strategy.
+///
+/// `fate` is consulted once for every message the protocol emits, in a
+/// deterministic order (ascending round, then sender, then receiver), so
+/// stateful plans (e.g. seeded random plans) are reproducible.
+pub trait OmissionPlan<M> {
+    /// Decides the fate of the message `payload` sent from `sender` to
+    /// `receiver` in `round`.
+    fn fate(&mut self, round: Round, sender: ProcessId, receiver: ProcessId, payload: &M) -> Fate;
+}
+
+/// The fault-free plan: every message is delivered.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct NoFaults;
+
+impl<M> OmissionPlan<M> for NoFaults {
+    fn fate(&mut self, _: Round, _: ProcessId, _: ProcessId, _: &M) -> Fate {
+        Fate::Deliver
+    }
+}
+
+/// Group isolation, Definition 1 of the paper.
+///
+/// A group `G ⊊ Π` is *isolated from round k* iff every `p ∈ G` is faulty,
+/// never send-omits, and receive-omits exactly the messages sent to it by
+/// processes outside `G` in rounds `≥ k`.
+///
+/// ```
+/// use ba_sim::{IsolationPlan, OmissionPlan, Fate, ProcessId, Round};
+/// let mut plan = IsolationPlan::new([ProcessId(2), ProcessId(3)], Round(2));
+/// // Round 1: everything delivered.
+/// assert_eq!(plan.fate(Round(1), ProcessId(0), ProcessId(2), &()), Fate::Deliver);
+/// // Round 2 onward: messages from outside the group are receive-omitted…
+/// assert_eq!(plan.fate(Round(2), ProcessId(0), ProcessId(2), &()), Fate::ReceiveOmit);
+/// // …but intra-group traffic and traffic to the outside still flow.
+/// assert_eq!(plan.fate(Round(5), ProcessId(3), ProcessId(2), &()), Fate::Deliver);
+/// assert_eq!(plan.fate(Round(5), ProcessId(2), ProcessId(0), &()), Fate::Deliver);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct IsolationPlan {
+    group: BTreeSet<ProcessId>,
+    from: Round,
+}
+
+impl IsolationPlan {
+    /// Isolates `group` from round `from` (inclusive).
+    pub fn new<I: IntoIterator<Item = ProcessId>>(group: I, from: Round) -> Self {
+        IsolationPlan { group: group.into_iter().collect(), from }
+    }
+
+    /// The isolated group.
+    pub fn group(&self) -> &BTreeSet<ProcessId> {
+        &self.group
+    }
+
+    /// The first round in which the group drops outside messages.
+    pub fn from_round(&self) -> Round {
+        self.from
+    }
+}
+
+impl<M> OmissionPlan<M> for IsolationPlan {
+    fn fate(&mut self, round: Round, sender: ProcessId, receiver: ProcessId, _: &M) -> Fate {
+        if round >= self.from && self.group.contains(&receiver) && !self.group.contains(&sender) {
+            Fate::ReceiveOmit
+        } else {
+            Fate::Deliver
+        }
+    }
+}
+
+/// Two groups isolated independently — the shape of the paper's merged
+/// execution `E^{B(k_1), C(k_2)}` (Figure 2) when driven directly as an
+/// omission plan.
+///
+/// Note that the *proof's* merged execution is constructed by re-running the
+/// two original executions' behaviors (`ba-core`'s `merge`); this plan
+/// produces the same execution only because the protocols are deterministic,
+/// and it is used for cross-validation and direct experiments.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DoubleIsolationPlan {
+    first: IsolationPlan,
+    second: IsolationPlan,
+}
+
+impl DoubleIsolationPlan {
+    /// Isolates `b` from round `kb` and `c` from round `kc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two groups intersect.
+    pub fn new(b: IsolationPlan, c: IsolationPlan) -> Self {
+        assert!(
+            b.group().is_disjoint(c.group()),
+            "isolated groups must be disjoint"
+        );
+        DoubleIsolationPlan { first: b, second: c }
+    }
+
+    /// The two constituent isolation plans.
+    pub fn parts(&self) -> (&IsolationPlan, &IsolationPlan) {
+        (&self.first, &self.second)
+    }
+}
+
+impl<M> OmissionPlan<M> for DoubleIsolationPlan {
+    fn fate(&mut self, round: Round, sender: ProcessId, receiver: ProcessId, payload: &M) -> Fate {
+        match self.first.fate(round, sender, receiver, payload) {
+            Fate::Deliver => self.second.fate(round, sender, receiver, payload),
+            other => other,
+        }
+    }
+}
+
+/// An explicit table of exceptions over a default of [`Fate::Deliver`].
+///
+/// Useful for hand-crafted counterexample executions in tests.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct TableOmissionPlan {
+    entries: BTreeMap<(Round, ProcessId, ProcessId), Fate>,
+}
+
+impl TableOmissionPlan {
+    /// Creates an empty table (all messages delivered).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the fate of the message from `sender` to `receiver` in `round`.
+    pub fn set(&mut self, round: Round, sender: ProcessId, receiver: ProcessId, fate: Fate) -> &mut Self {
+        self.entries.insert((round, sender, receiver), fate);
+        self
+    }
+
+    /// The number of explicit entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` iff the table has no exceptions.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl<M> OmissionPlan<M> for TableOmissionPlan {
+    fn fate(&mut self, round: Round, sender: ProcessId, receiver: ProcessId, _: &M) -> Fate {
+        self.entries
+            .get(&(round, sender, receiver))
+            .copied()
+            .unwrap_or(Fate::Deliver)
+    }
+}
+
+/// A seeded random omission adversary: every message touching a faulty
+/// process is dropped with the configured probabilities.
+///
+/// Deterministic for a fixed seed because the executor consults plans in a
+/// deterministic message order. Used for failure-injection testing.
+#[derive(Clone, Debug)]
+pub struct RandomOmissionPlan {
+    faulty: BTreeSet<ProcessId>,
+    p_send_omit: f64,
+    p_receive_omit: f64,
+    rng: StdRng,
+}
+
+impl RandomOmissionPlan {
+    /// Creates a plan in which each message from a faulty sender is
+    /// send-omitted with probability `p_send_omit`, and (otherwise) each
+    /// message to a faulty receiver is receive-omitted with probability
+    /// `p_receive_omit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a probability is outside `[0, 1]`.
+    pub fn new<I: IntoIterator<Item = ProcessId>>(
+        faulty: I,
+        p_send_omit: f64,
+        p_receive_omit: f64,
+        seed: u64,
+    ) -> Self {
+        assert!((0.0..=1.0).contains(&p_send_omit), "p_send_omit out of range");
+        assert!((0.0..=1.0).contains(&p_receive_omit), "p_receive_omit out of range");
+        RandomOmissionPlan {
+            faulty: faulty.into_iter().collect(),
+            p_send_omit,
+            p_receive_omit,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The corrupted processes this plan may blame.
+    pub fn faulty(&self) -> &BTreeSet<ProcessId> {
+        &self.faulty
+    }
+}
+
+impl<M> OmissionPlan<M> for RandomOmissionPlan {
+    fn fate(&mut self, _: Round, sender: ProcessId, receiver: ProcessId, _: &M) -> Fate {
+        if self.faulty.contains(&sender) && self.rng.gen_bool(self.p_send_omit) {
+            Fate::SendOmit
+        } else if self.faulty.contains(&receiver) && self.rng.gen_bool(self.p_receive_omit) {
+            Fate::ReceiveOmit
+        } else {
+            Fate::Deliver
+        }
+    }
+}
+
+/// The crash adversary, expressed in the omission model: each listed
+/// process send-omits (and receive-omits) everything from its crash round
+/// onward — the classic crash-stop failure, strictly weaker than general
+/// omission.
+///
+/// Useful for protocols like FloodSet that tolerate crashes but *not*
+/// general omission: the distinction is exactly the adversarial power the
+/// paper's lower-bound proof draws on.
+///
+/// ```
+/// use ba_sim::{CrashPlan, OmissionPlan, Fate, ProcessId, Round};
+/// let mut plan = CrashPlan::new([(ProcessId(1), Round(2))]);
+/// assert_eq!(plan.fate(Round(1), ProcessId(1), ProcessId(0), &()), Fate::Deliver);
+/// assert_eq!(plan.fate(Round(2), ProcessId(1), ProcessId(0), &()), Fate::SendOmit);
+/// assert_eq!(plan.fate(Round(3), ProcessId(0), ProcessId(1), &()), Fate::ReceiveOmit);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct CrashPlan {
+    crashes: BTreeMap<ProcessId, Round>,
+}
+
+impl CrashPlan {
+    /// Creates a plan crashing each listed process at the start of its
+    /// round (inclusive).
+    pub fn new<I: IntoIterator<Item = (ProcessId, Round)>>(crashes: I) -> Self {
+        CrashPlan { crashes: crashes.into_iter().collect() }
+    }
+
+    /// The processes this plan crashes (all must be in the execution's
+    /// fault set).
+    pub fn crashed(&self) -> impl Iterator<Item = ProcessId> + '_ {
+        self.crashes.keys().copied()
+    }
+}
+
+impl<M> OmissionPlan<M> for CrashPlan {
+    fn fate(&mut self, round: Round, sender: ProcessId, receiver: ProcessId, _: &M) -> Fate {
+        if self.crashes.get(&sender).is_some_and(|r| round >= *r) {
+            Fate::SendOmit
+        } else if self.crashes.get(&receiver).is_some_and(|r| round >= *r) {
+            Fate::ReceiveOmit
+        } else {
+            Fate::Deliver
+        }
+    }
+}
+
+/// Adapts a closure into an [`OmissionPlan`].
+///
+/// ```
+/// use ba_sim::{FnPlan, OmissionPlan, Fate, ProcessId, Round};
+/// let mut drop_all_to_p0 = FnPlan(|_round, _s, r: ProcessId, _m: &u8| {
+///     if r == ProcessId(0) { Fate::ReceiveOmit } else { Fate::Deliver }
+/// });
+/// assert_eq!(drop_all_to_p0.fate(Round(1), ProcessId(1), ProcessId(0), &3), Fate::ReceiveOmit);
+/// ```
+#[derive(Clone, Debug)]
+pub struct FnPlan<F>(pub F);
+
+impl<M, F> OmissionPlan<M> for FnPlan<F>
+where
+    F: FnMut(Round, ProcessId, ProcessId, &M) -> Fate,
+    M: Payload,
+{
+    fn fate(&mut self, round: Round, sender: ProcessId, receiver: ProcessId, payload: &M) -> Fate {
+        (self.0)(round, sender, receiver, payload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fate_blames_the_right_process() {
+        let (s, r) = (ProcessId(1), ProcessId(2));
+        assert_eq!(Fate::Deliver.blamed(s, r), None);
+        assert_eq!(Fate::SendOmit.blamed(s, r), Some(s));
+        assert_eq!(Fate::ReceiveOmit.blamed(s, r), Some(r));
+    }
+
+    #[test]
+    fn isolation_blocks_only_inbound_cross_group_after_start() {
+        let mut plan = IsolationPlan::new([ProcessId(1)], Round(3));
+        // Before the start round everything is delivered.
+        assert_eq!(plan.fate(Round(2), ProcessId(0), ProcessId(1), &()), Fate::Deliver);
+        // From the start round, inbound cross-group messages are dropped.
+        assert_eq!(plan.fate(Round(3), ProcessId(0), ProcessId(1), &()), Fate::ReceiveOmit);
+        assert_eq!(plan.fate(Round(9), ProcessId(2), ProcessId(1), &()), Fate::ReceiveOmit);
+        // The isolated group never send-omits.
+        assert_eq!(plan.fate(Round(9), ProcessId(1), ProcessId(0), &()), Fate::Deliver);
+    }
+
+    #[test]
+    fn double_isolation_combines_independent_groups() {
+        let b = IsolationPlan::new([ProcessId(1)], Round(2));
+        let c = IsolationPlan::new([ProcessId(2)], Round(4));
+        let mut plan = DoubleIsolationPlan::new(b, c);
+        assert_eq!(plan.fate(Round(2), ProcessId(0), ProcessId(1), &()), Fate::ReceiveOmit);
+        assert_eq!(plan.fate(Round(2), ProcessId(0), ProcessId(2), &()), Fate::Deliver);
+        assert_eq!(plan.fate(Round(4), ProcessId(0), ProcessId(2), &()), Fate::ReceiveOmit);
+        // Cross-isolated-group traffic is blocked for the receiver's group.
+        assert_eq!(plan.fate(Round(4), ProcessId(1), ProcessId(2), &()), Fate::ReceiveOmit);
+    }
+
+    #[test]
+    #[should_panic(expected = "disjoint")]
+    fn double_isolation_rejects_overlap() {
+        let b = IsolationPlan::new([ProcessId(1)], Round(1));
+        let c = IsolationPlan::new([ProcessId(1)], Round(2));
+        let _ = DoubleIsolationPlan::new(b, c);
+    }
+
+    #[test]
+    fn table_plan_defaults_to_deliver() {
+        let mut plan = TableOmissionPlan::new();
+        plan.set(Round(1), ProcessId(0), ProcessId(1), Fate::SendOmit);
+        assert_eq!(OmissionPlan::<u8>::fate(&mut plan, Round(1), ProcessId(0), ProcessId(1), &0), Fate::SendOmit);
+        assert_eq!(OmissionPlan::<u8>::fate(&mut plan, Round(2), ProcessId(0), ProcessId(1), &0), Fate::Deliver);
+        assert_eq!(plan.len(), 1);
+    }
+
+    #[test]
+    fn random_plan_is_deterministic_per_seed() {
+        let observe = |seed: u64| -> Vec<Fate> {
+            let mut plan = RandomOmissionPlan::new([ProcessId(0)], 0.5, 0.5, seed);
+            (0..32)
+                .map(|i| {
+                    OmissionPlan::<u8>::fate(
+                        &mut plan,
+                        Round(1),
+                        ProcessId(i % 3),
+                        ProcessId((i + 1) % 3),
+                        &0,
+                    )
+                })
+                .collect()
+        };
+        assert_eq!(observe(7), observe(7));
+        assert_ne!(observe(7), observe(8), "different seeds should differ (w.h.p.)");
+    }
+
+    #[test]
+    fn random_plan_never_blames_correct_processes() {
+        let mut plan = RandomOmissionPlan::new([ProcessId(2)], 1.0, 1.0, 3);
+        // Message between two correct processes is always delivered.
+        assert_eq!(OmissionPlan::<u8>::fate(&mut plan, Round(1), ProcessId(0), ProcessId(1), &0), Fate::Deliver);
+        // Faulty sender always send-omits at p = 1.
+        assert_eq!(OmissionPlan::<u8>::fate(&mut plan, Round(1), ProcessId(2), ProcessId(1), &0), Fate::SendOmit);
+    }
+}

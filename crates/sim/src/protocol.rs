@@ -1,0 +1,115 @@
+//! The deterministic state-machine interface every agreement protocol
+//! implements (paper §2 "Processes & adversary" and §A.1.3).
+
+use crate::ids::{ProcessId, Round};
+use crate::mailbox::{Inbox, Outbox};
+use crate::value::{Payload, Value};
+
+/// Static information a process knows about the system it runs in.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ProcessCtx {
+    /// This process's identifier.
+    pub id: ProcessId,
+    /// Total number of processes `n`.
+    pub n: usize,
+    /// Upper bound `t < n` on the number of faulty processes.
+    pub t: usize,
+}
+
+impl ProcessCtx {
+    /// Creates a context.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `t < n` and `id < n`.
+    pub fn new(id: ProcessId, n: usize, t: usize) -> Self {
+        assert!(t < n, "require t < n (got t = {t}, n = {n})");
+        assert!(id.index() < n, "process id {id} out of range for n = {n}");
+        ProcessCtx { id, n, t }
+    }
+
+    /// Iterates over every process except this one — the legal receivers of
+    /// this process's messages (the model forbids self-sends).
+    pub fn others(&self) -> impl Iterator<Item = ProcessId> + '_ {
+        let me = self.id;
+        ProcessId::all(self.n).filter(move |p| *p != me)
+    }
+
+    /// Iterates over every process, including this one.
+    pub fn all(&self) -> impl Iterator<Item = ProcessId> + Clone {
+        ProcessId::all(self.n)
+    }
+}
+
+/// A deterministic agreement-protocol state machine exposing the paper's
+/// `propose(v ∈ V_I)` / `decide(v' ∈ V_O)` interface.
+///
+/// The paper's state-transition function `A(s, M_R) = (s', M_S)` maps a
+/// process's state at the start of round `k` plus the messages it received in
+/// round `k` to its state at the start of round `k + 1` plus the messages it
+/// sends in round `k + 1` (§A.1.3). This trait mirrors that discipline:
+///
+/// * [`Protocol::propose`] is invoked once, before round 1, with the
+///   process's proposal; it returns the messages sent **in round 1**
+///   (the paper's `M⁰_i` / `M¹_i` — round-1 messages depend only on the
+///   initial state).
+/// * [`Protocol::round`] is invoked once per round `k` with the inbox of
+///   round `k`; it returns the messages sent **in round `k + 1`**.
+/// * [`Protocol::decision`] exposes the decision component of the state;
+///   once `Some`, it must never change (decision irrevocability, condition
+///   (6) on behaviors). The executor enforces this.
+///
+/// Implementations must be deterministic — identical proposal and inbox
+/// sequences must yield identical outboxes and decisions. The proof
+/// machinery in `ba-core` (isolation families, `merge`, the falsifier)
+/// relies on re-running cloned state machines and demands exact agreement.
+pub trait Protocol: Clone + Send {
+    /// The proposal domain `V_I`.
+    type Input: Value;
+    /// The decision domain `V_O` (for interactive consistency this is a
+    /// vector type, distinct from `V_I`).
+    type Output: Value;
+    /// Message payload exchanged by the protocol.
+    type Msg: Payload;
+
+    /// Records the proposal and returns the messages to send in round 1.
+    fn propose(&mut self, ctx: &ProcessCtx, proposal: Self::Input) -> Outbox<Self::Msg>;
+
+    /// Processes the messages received in `round` and returns the messages
+    /// to send in `round + 1`.
+    fn round(&mut self, ctx: &ProcessCtx, round: Round, inbox: &Inbox<Self::Msg>) -> Outbox<Self::Msg>;
+
+    /// The value this process has decided, if any. Must be stable: once
+    /// `Some(v)`, every later call must return `Some(v)`.
+    fn decision(&self) -> Option<Self::Output>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ctx_others_excludes_self() {
+        let ctx = ProcessCtx::new(ProcessId(1), 4, 1);
+        let others: Vec<_> = ctx.others().collect();
+        assert_eq!(others, vec![ProcessId(0), ProcessId(2), ProcessId(3)]);
+    }
+
+    #[test]
+    fn ctx_all_includes_self() {
+        let ctx = ProcessCtx::new(ProcessId(0), 3, 1);
+        assert_eq!(ctx.all().count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "t < n")]
+    fn ctx_rejects_t_equal_n() {
+        let _ = ProcessCtx::new(ProcessId(0), 3, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn ctx_rejects_id_out_of_range() {
+        let _ = ProcessCtx::new(ProcessId(5), 3, 1);
+    }
+}

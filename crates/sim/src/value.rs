@@ -1,0 +1,121 @@
+//! Value and payload marker traits, plus the binary value type [`Bit`].
+
+use std::fmt;
+use std::hash::Hash;
+
+/// A value that can be proposed to or decided from an agreement protocol.
+///
+/// This is a marker trait, blanket-implemented for every type with the
+/// required structural capabilities. Weak consensus uses [`Bit`]; interactive
+/// consistency uses `Vec<V>`; anything `Clone + Eq + Ord + Hash + Debug`
+/// works.
+pub trait Value: Clone + Eq + Ord + Hash + fmt::Debug + Send + Sync + 'static {}
+
+impl<T> Value for T where T: Clone + Eq + Ord + Hash + fmt::Debug + Send + Sync + 'static {}
+
+/// A message payload exchanged by a protocol.
+///
+/// Payload equality is load-bearing: the `merge` construction (paper
+/// Algorithm 5) re-runs executions and checks that the exact messages
+/// received in the original executions are sent again, by equality.
+pub trait Payload: Clone + Eq + Ord + Hash + fmt::Debug + Send + Sync + 'static {}
+
+impl<T> Payload for T where T: Clone + Eq + Ord + Hash + fmt::Debug + Send + Sync + 'static {}
+
+/// A binary value, the proposal/decision domain of weak consensus
+/// (paper §3: `V_I = V_O = {0, 1}`).
+///
+/// ```
+/// use ba_sim::Bit;
+/// assert_eq!(Bit::Zero.flip(), Bit::One);
+/// assert_eq!(Bit::from(true), Bit::One);
+/// assert_eq!(u8::from(Bit::One), 1);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub enum Bit {
+    /// The bit 0.
+    #[default]
+    Zero,
+    /// The bit 1.
+    One,
+}
+
+impl Bit {
+    /// Both bits, in order `[Zero, One]`.
+    pub const ALL: [Bit; 2] = [Bit::Zero, Bit::One];
+
+    /// The complement bit (`1 - b` in the paper's notation).
+    pub fn flip(self) -> Bit {
+        match self {
+            Bit::Zero => Bit::One,
+            Bit::One => Bit::Zero,
+        }
+    }
+
+    /// `true` iff this is [`Bit::One`].
+    pub fn is_one(self) -> bool {
+        self == Bit::One
+    }
+}
+
+impl From<bool> for Bit {
+    fn from(b: bool) -> Self {
+        if b {
+            Bit::One
+        } else {
+            Bit::Zero
+        }
+    }
+}
+
+impl From<Bit> for u8 {
+    fn from(b: Bit) -> Self {
+        match b {
+            Bit::Zero => 0,
+            Bit::One => 1,
+        }
+    }
+}
+
+impl fmt::Display for Bit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", u8::from(*self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flip_is_involutive() {
+        for b in Bit::ALL {
+            assert_eq!(b.flip().flip(), b);
+            assert_ne!(b.flip(), b);
+        }
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(Bit::from(false), Bit::Zero);
+        assert_eq!(Bit::from(true), Bit::One);
+        assert_eq!(u8::from(Bit::Zero), 0);
+        assert_eq!(u8::from(Bit::One), 1);
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(Bit::default(), Bit::Zero);
+    }
+
+    #[test]
+    fn display_matches_numeric() {
+        assert_eq!(Bit::Zero.to_string(), "0");
+        assert_eq!(Bit::One.to_string(), "1");
+    }
+
+    #[test]
+    fn ordering_places_zero_first() {
+        assert!(Bit::Zero < Bit::One);
+    }
+}

@@ -1,0 +1,83 @@
+//! Property tests of the plan algebra and the adversary hierarchy:
+//! crash ⊊ omission, isolation composition, and fate determinism.
+
+use proptest::prelude::*;
+
+use ba_sim::{
+    CrashPlan, DoubleIsolationPlan, Fate, IsolationPlan, OmissionPlan, ProcessId, Round,
+};
+
+fn triple() -> impl Strategy<Value = (u64, usize, usize, usize)> {
+    // (round, sender, receiver, n) with sender ≠ receiver.
+    (1u64..8, 0usize..6, 0usize..6, 6usize..=6).prop_filter("sender != receiver", |(_, s, r, _)| s != r)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// A crash plan's fates are exactly those of an omission adversary that
+    /// send-omits everything from the crash round: crash is expressible in
+    /// (hence weaker than) the omission model.
+    #[test]
+    fn crash_is_an_omission_special_case((round, s, r, _) in triple(), crash_round in 1u64..6) {
+        let crashed = ProcessId(0);
+        let mut plan = CrashPlan::new([(crashed, Round(crash_round))]);
+        let fate = plan.fate(Round(round), ProcessId(s), ProcessId(r), &());
+        let expected = if s == 0 && round >= crash_round {
+            Fate::SendOmit
+        } else if r == 0 && round >= crash_round {
+            Fate::ReceiveOmit
+        } else {
+            Fate::Deliver
+        };
+        prop_assert_eq!(fate, expected);
+        // Blame always lands on the crashed process.
+        if let Some(blamed) = fate.blamed(ProcessId(s), ProcessId(r)) {
+            prop_assert_eq!(blamed, crashed);
+        }
+    }
+
+    /// Isolation plans are stateless and deterministic: the same query
+    /// always yields the same fate, and the fate matches Definition 1.
+    #[test]
+    fn isolation_fate_matches_definition((round, s, r, _) in triple(), from in 1u64..6) {
+        let group = [ProcessId(4), ProcessId(5)];
+        let mut plan = IsolationPlan::new(group, Round(from));
+        let f1 = plan.fate(Round(round), ProcessId(s), ProcessId(r), &());
+        let f2 = plan.fate(Round(round), ProcessId(s), ProcessId(r), &());
+        prop_assert_eq!(f1, f2, "stateless determinism");
+        let in_group = |i: usize| i >= 4;
+        let expected = if round >= from && in_group(r) && !in_group(s) {
+            Fate::ReceiveOmit
+        } else {
+            Fate::Deliver
+        };
+        prop_assert_eq!(f1, expected);
+    }
+
+    /// Double isolation of disjoint groups equals applying each isolation
+    /// independently: no message's fate depends on the other group.
+    #[test]
+    fn double_isolation_is_componentwise((round, s, r, _) in triple(), kb in 1u64..5, kc in 1u64..5) {
+        let b = IsolationPlan::new([ProcessId(4)], Round(kb));
+        let c = IsolationPlan::new([ProcessId(5)], Round(kc));
+        let mut combined = DoubleIsolationPlan::new(b.clone(), c.clone());
+        let (mut b, mut c) = (b, c);
+        let combined_fate = combined.fate(Round(round), ProcessId(s), ProcessId(r), &());
+        let fb = b.fate(Round(round), ProcessId(s), ProcessId(r), &());
+        let fc = c.fate(Round(round), ProcessId(s), ProcessId(r), &());
+        let expected = if fb != Fate::Deliver { fb } else { fc };
+        prop_assert_eq!(combined_fate, expected);
+        // Disjointness means at most one component ever omits.
+        prop_assert!(fb == Fate::Deliver || fc == Fate::Deliver);
+    }
+
+    /// Fate::blamed is total and correct for the three variants.
+    #[test]
+    fn blame_assignment((_, s, r, _) in triple()) {
+        let (s, r) = (ProcessId(s), ProcessId(r));
+        prop_assert_eq!(Fate::Deliver.blamed(s, r), None);
+        prop_assert_eq!(Fate::SendOmit.blamed(s, r), Some(s));
+        prop_assert_eq!(Fate::ReceiveOmit.blamed(s, r), Some(r));
+    }
+}

@@ -1,0 +1,157 @@
+//! The paper's §4.3 blockchain scenario: validators agree on a block under
+//! **External Validity** — the decided block must satisfy a globally
+//! verifiable predicate (e.g. "all transactions correctly signed") — and why
+//! even this problem costs Ω(t²) messages (Corollary 1).
+//!
+//! Run with `cargo run --bin blockchain_external_validity`.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use ba_core::reduction::{ReductionInputs, WeakFromAgreement};
+use ba_core::solvability::solvability;
+use ba_core::validity::{ExternalValidity, InputConfig, SystemParams};
+use ba_crypto::Keybook;
+use ba_examples::banner;
+use ba_protocols::interactive_consistency::{authenticated_ic_factory, AuthenticatedIc};
+use ba_sim::{
+    run_byzantine, run_omission, Bit, ByzantineBehavior, ExecutorConfig, Inbox, NoFaults, Outbox,
+    ProcessCtx, ProcessId, Protocol, Round, SilentByzantine,
+};
+
+/// A block identifier. Even ids are "correctly signed" (valid); odd ids are
+/// forgeries.
+type BlockId = u8;
+
+fn valid(block: BlockId) -> bool {
+    block % 2 == 0
+}
+
+/// Block agreement with External Validity, built the way the paper's §4.3
+/// describes real systems: agree on everyone's proposals (interactive
+/// consistency), then deterministically pick the first *valid* proposed
+/// block — falling back to the well-known empty block `0`.
+///
+/// The decision always satisfies `valid(·)`; and crucially the protocol has
+/// fully correct executions deciding different blocks, which is all
+/// Corollary 1 needs.
+#[derive(Clone, Debug)]
+struct BlockAgreement {
+    inner: AuthenticatedIc<BlockId>,
+    fallback: BlockId,
+}
+
+impl BlockAgreement {
+    fn factory(book: Keybook) -> impl Fn(ProcessId) -> BlockAgreement + Clone {
+        move |pid| BlockAgreement {
+            inner: authenticated_ic_factory(book.clone(), 0)(pid),
+            fallback: 0,
+        }
+    }
+}
+
+impl Protocol for BlockAgreement {
+    type Input = BlockId;
+    type Output = BlockId;
+    type Msg = <AuthenticatedIc<BlockId> as Protocol>::Msg;
+
+    fn propose(&mut self, ctx: &ProcessCtx, proposal: BlockId) -> Outbox<Self::Msg> {
+        self.inner.propose(ctx, proposal)
+    }
+
+    fn round(&mut self, ctx: &ProcessCtx, round: Round, inbox: &Inbox<Self::Msg>) -> Outbox<Self::Msg> {
+        self.inner.round(ctx, round, inbox)
+    }
+
+    fn decision(&self) -> Option<BlockId> {
+        self.inner
+            .decision()
+            .map(|vec| vec.into_iter().find(|b| valid(*b)).unwrap_or(self.fallback))
+    }
+}
+
+fn main() {
+    let (n, t) = (7, 2);
+    let cfg = ExecutorConfig::new(n, t);
+    let book = Keybook::new(n);
+
+    print!("{}", banner("the validity formalism classifies External Validity as trivial"));
+    let vp = ExternalValidity::new((0u8..8).collect(), (0u8..8).filter(|b| valid(*b)));
+    let report = solvability(&vp, &SystemParams::new(4, 1));
+    println!(
+        "  solvability oracle: trivial value = {:?} — any fixed valid block is",
+        report.trivial_value
+    );
+    println!("  admissible everywhere (paper §4.3: the formalism cannot see that");
+    println!("  validators must first *learn* a block before deciding it).");
+
+    print!("{}", banner("block agreement among 7 validators, 2 Byzantine"));
+    let proposals: Vec<BlockId> = vec![4, 4, 6, 4, 2, 9, 9]; // p5, p6 propose forgeries
+    let behaviors: BTreeMap<ProcessId, Box<dyn ByzantineBehavior<BlockId, _>>> = [
+        (ProcessId(5), Box::new(SilentByzantine) as Box<_>),
+        (ProcessId(6), Box::new(SilentByzantine) as Box<_>),
+    ]
+    .into_iter()
+    .collect();
+    let exec = run_byzantine(&cfg, BlockAgreement::factory(book.clone()), &proposals, behaviors)
+        .expect("simulation");
+    exec.validate().expect("execution guarantees");
+    let decided: BTreeSet<_> = exec.correct().map(|p| exec.decision_of(p).copied()).collect();
+    println!("  proposals: {proposals:?} (9 = forged block)");
+    println!("  correct validators decided: {decided:?}");
+    let block = decided.iter().next().copied().flatten().expect("termination");
+    assert_eq!(decided.len(), 1, "agreement");
+    assert!(valid(block), "external validity");
+    println!("  agreement ✓, decided block is valid ✓, messages: {}", exec.message_complexity());
+
+    print!("{}", banner("Corollary 1: two differing executions ⇒ weak consensus for free"));
+    let run = |block: BlockId| {
+        run_omission(
+            &cfg,
+            BlockAgreement::factory(book.clone()),
+            &vec![block; n],
+            &BTreeSet::new(),
+            &mut NoFaults,
+        )
+        .expect("simulation")
+    };
+    let e0 = run(2);
+    let e1 = run(6);
+    let ids: Vec<ProcessId> = ProcessId::all(n).collect();
+    let v0 = e0.unanimous_decision(ids.iter()).expect("agreement");
+    let v1 = e1.unanimous_decision(ids.iter()).expect("agreement");
+    println!("  all propose block 2 → decide {v0}; all propose block 6 → decide {v1}");
+    assert_ne!(v0, v1);
+
+    let inputs = ReductionInputs {
+        c0: vec![2; n],
+        c1: vec![6; n],
+        v0,
+        v1,
+        c_star: InputConfig::full(vec![6; n]),
+    };
+    let book2 = book.clone();
+    let inputs2 = inputs.clone();
+    for bit in Bit::ALL {
+        let book2 = book2.clone();
+        let inputs2 = inputs2.clone();
+        let wrapped = run_omission(
+            &cfg,
+            move |pid| {
+                WeakFromAgreement::new(BlockAgreement::factory(book2.clone())(pid), inputs2.clone())
+            },
+            &vec![bit; n],
+            &BTreeSet::new(),
+            &mut NoFaults,
+        )
+        .expect("simulation");
+        assert!(wrapped.all_correct_decided(bit));
+        println!(
+            "  Algorithm 1 wrapper: all propose {bit} → decide {bit} with {} messages \
+             (same as the block agreement itself)",
+            wrapped.message_complexity()
+        );
+    }
+    println!();
+    println!("  The wrapper adds zero messages, so by Theorem 2 the block agreement");
+    println!("  protocol inherits the Ω(t²) floor — blockchain agreement is expensive.");
+}

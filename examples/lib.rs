@@ -1,0 +1,31 @@
+//! Shared pretty-printing helpers for the runnable examples.
+
+use ba_sim::{Execution, Payload, Value};
+
+/// Renders a one-line summary of each process's proposal → decision.
+pub fn decision_table<I, O, M>(exec: &Execution<I, O, M>) -> String
+where
+    I: Value + std::fmt::Display,
+    O: Value + std::fmt::Display,
+    M: Payload,
+{
+    let mut out = String::new();
+    for pid in ba_sim::ProcessId::all(exec.n) {
+        let rec = exec.record(pid);
+        let role = if exec.is_correct(pid) { "correct" } else { "faulty " };
+        let decision = match &rec.decision {
+            Some((v, r)) => format!("decided {v} (at start of round {})", r.0),
+            None => "undecided".to_string(),
+        };
+        out.push_str(&format!(
+            "  {pid:>4} [{role}] proposed {} → {decision}\n",
+            rec.proposal
+        ));
+    }
+    out
+}
+
+/// Renders a header line for example sections.
+pub fn banner(title: &str) -> String {
+    format!("\n=== {title} {}\n", "=".repeat(66usize.saturating_sub(title.len())))
+}

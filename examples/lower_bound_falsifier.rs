@@ -1,0 +1,73 @@
+//! The Ω(t²) lower bound, run forward (EXP-T2 / EXP-F2).
+//!
+//! For each claimed weak-consensus protocol, the falsifier executes the
+//! Theorem 2 proof: sub-quadratic protocols are refuted with a concrete,
+//! verified counterexample execution; quadratic ones survive, with the
+//! observed message complexity printed against the paper's `t²/32` floor.
+//!
+//! Run with `cargo run --bin lower_bound_falsifier`.
+
+use ba_core::lowerbound::{falsify, FalsifierConfig, Verdict};
+use ba_crypto::Keybook;
+use ba_examples::banner;
+use ba_protocols::broken::{LeaderEcho, OneRoundAllToAll, OwnProposal, SilentConstant};
+use ba_protocols::DolevStrong;
+use ba_sim::{Bit, Payload, ProcessId, Protocol};
+
+fn report<P, F>(name: &str, cfg: &FalsifierConfig, factory: F)
+where
+    P: Protocol<Input = Bit, Output = Bit>,
+    P::Msg: Payload,
+    F: Fn(ProcessId) -> P,
+{
+    print!("{}", banner(name));
+    match falsify(cfg, factory).expect("falsifier run") {
+        Verdict::Violation(cert) => {
+            cert.verify().expect("certificate verification");
+            println!("  REFUTED: {}", cert.kind);
+            println!("  violating execution: {} faulty of n = {} (t = {}), {} messages total",
+                cert.execution.faulty.len(), cert.execution.n, cert.execution.t,
+                cert.execution.total_messages());
+            println!("  derivation:");
+            for step in &cert.provenance {
+                println!("    - {step}");
+            }
+            println!("  certificate independently re-verified ✓");
+        }
+        Verdict::Survived(r) => {
+            println!(
+                "  SURVIVED the full Theorem 2 argument ({} executions explored)",
+                r.executions_explored
+            );
+            println!(
+                "  max observed message complexity: {} (paper floor t²/32 = {})",
+                r.max_message_complexity, r.paper_bound
+            );
+            for note in &r.notes {
+                println!("    note: {note}");
+            }
+        }
+    }
+}
+
+fn main() {
+    let (n, t) = (16, 8);
+    println!("system: n = {n}, t = {t}; partition |B| = |C| = {}", (t / 4).max(1));
+    let cfg = FalsifierConfig::new(n, t);
+
+    report("SilentConstant(1) — 0 messages", &cfg, |_| SilentConstant::new(Bit::One));
+    report("OwnProposal — 0 messages", &cfg, |_| OwnProposal::new());
+    report("LeaderEcho — 2(n−1) messages", &cfg, |_| LeaderEcho::new(ProcessId(0)));
+    report("OneRoundAllToAll — n(n−1) messages", &cfg, |_| OneRoundAllToAll::new());
+    let book = Keybook::new(n);
+    report(
+        "Dolev-Strong weak consensus — Θ(n²) messages (correct)",
+        &cfg,
+        DolevStrong::factory(book, ProcessId(0), Bit::Zero),
+    );
+
+    println!();
+    println!("Every sub-quadratic protocol above is refuted with a concrete execution;");
+    println!("the protocols that survive are exactly the ones whose message complexity");
+    println!("clears the paper's Ω(t²) floor — Theorem 2, reproduced.");
+}

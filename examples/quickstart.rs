@@ -1,0 +1,59 @@
+//! Quickstart: weak consensus with the canonical quadratic algorithm
+//! (Dolev-Strong broadcast of `p_0`'s proposal), fault-free and under a
+//! Byzantine equivocating sender.
+//!
+//! Run with `cargo run --bin quickstart`.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use ba_crypto::Keybook;
+use ba_examples::{banner, decision_table};
+use ba_protocols::attacks::TwoFacedSender;
+use ba_protocols::DolevStrong;
+use ba_sim::{
+    run_byzantine, run_omission, Bit, ByzantineBehavior, ExecutorConfig, NoFaults, ProcessId,
+};
+
+fn main() {
+    let (n, t) = (7, 2);
+    let cfg = ExecutorConfig::new(n, t);
+    let book = Keybook::new(n);
+    let sender = ProcessId(0);
+
+    print!("{}", banner("weak consensus via Dolev-Strong: fault-free, all propose 1"));
+    let exec = run_omission(
+        &cfg,
+        DolevStrong::factory(book.clone(), sender, Bit::Zero),
+        &vec![Bit::One; n],
+        &BTreeSet::new(),
+        &mut NoFaults,
+    )
+    .expect("simulation");
+    exec.validate().expect("execution guarantees");
+    print!("{}", decision_table(&exec));
+    println!(
+        "  message complexity: {} (t²/32 floor: {})",
+        exec.message_complexity(),
+        (t * t) / 32
+    );
+    assert!(exec.all_correct_decided(Bit::One), "weak validity");
+
+    print!("{}", banner("same protocol under an equivocating Byzantine sender"));
+    let behaviors: BTreeMap<ProcessId, Box<dyn ByzantineBehavior<Bit, _>>> = [(
+        sender,
+        Box::new(TwoFacedSender::new(book.keychain(sender), Bit::Zero, Bit::One)) as Box<_>,
+    )]
+    .into_iter()
+    .collect();
+    let exec = run_byzantine(
+        &cfg,
+        DolevStrong::factory(book, sender, Bit::Zero),
+        &vec![Bit::One; n],
+        behaviors,
+    )
+    .expect("simulation");
+    exec.validate().expect("execution guarantees");
+    print!("{}", decision_table(&exec));
+    println!("  the equivocation is detected: every correct process falls back to the default 0,");
+    println!("  preserving Agreement — at quadratic message cost, as Theorem 2 demands.");
+}

@@ -1,0 +1,75 @@
+//! The general solvability theorem as a landscape table (EXP-T4 / EXP-T5).
+//!
+//! For every validity property in the catalog and a grid of `(n, t)`, print
+//! triviality, the containment condition, and the Theorem 4 verdicts; for
+//! unsolvable cells, print the CC witness in the shape of the paper's
+//! Theorem 5 proof.
+//!
+//! Run with `cargo run --bin solvability_landscape`.
+
+use ba_core::solvability::{solvability, CcResult};
+use ba_core::validity::{
+    AnythingGoes, ExternalValidity, IntervalValidity, MajorityValidity, SenderValidity,
+    StrongValidity, SystemParams, UnanimityOrDefault, ValidityProperty, WeakValidity,
+};
+use ba_examples::banner;
+use ba_sim::{Bit, ProcessId, Value};
+
+fn row<VP>(vp: &VP, n: usize, t: usize)
+where
+    VP: ValidityProperty,
+    VP::Output: std::fmt::Debug,
+    VP::Input: Value + std::fmt::Display,
+{
+    let params = SystemParams::new(n, t);
+    let report = solvability(vp, &params);
+    let trivial = match &report.trivial_value {
+        Some(v) => format!("trivial({v:?})"),
+        None => "non-trivial".into(),
+    };
+    let cc = if report.cc.holds() { "CC ✓" } else { "CC ✗" };
+    println!(
+        "  {:<24} n={n:<2} t={t:<2} {:<14} {:<5} auth={:<5} unauth={}",
+        vp.name(),
+        trivial,
+        cc,
+        report.authenticated_solvable,
+        report.unauthenticated_solvable,
+    );
+    if let CcResult::Violated(witness) = &report.cc {
+        println!("      witness: c = {}", witness.config);
+        if let Some((a, b)) = &witness.disjoint_pair {
+            println!("      contains {a} and {b} with disjoint admissible sets");
+        }
+    }
+}
+
+fn main() {
+    print!("{}", banner("Theorem 4: the solvability landscape"));
+    println!("  problem                  params  triviality     CC    authenticated / unauthenticated\n");
+
+    for (n, t) in [(4usize, 1usize), (5, 2), (4, 2), (6, 2), (7, 2), (6, 3)] {
+        row(&WeakValidity::binary(), n, t);
+        row(&StrongValidity::binary(), n, t);
+        row(&SenderValidity::new(ProcessId(0), vec![Bit::Zero, Bit::One]), n, t);
+        row(&MajorityValidity::new(), n, t);
+        row(&UnanimityOrDefault::new(Bit::Zero), n, t);
+        row(&IntervalValidity::new(3), n, t);
+        row(&ExternalValidity::new(vec![0u8, 1, 2, 3], [1u8, 3]), n, t);
+        row(&AnythingGoes::new(), n, t);
+        println!();
+    }
+
+    print!("{}", banner("Theorem 5: strong consensus needs n > 2t"));
+    for (n, t) in [(3usize, 1usize), (4, 2), (5, 2), (6, 3), (7, 3)] {
+        row(&StrongValidity::binary(), n, t);
+    }
+    println!("\n  CC fails exactly when n ≤ 2t, via the paper's witness: a balanced");
+    println!("  configuration containing two disjoint unanimous sub-configurations.");
+
+    print!("{}", banner("notes"));
+    println!("  * external-validity is classified trivial by the §4.1 formalism (paper §4.3);");
+    println!("    its Ω(t²) bound is recovered through Corollary 1 — see `reduction_demo`.");
+    println!("  * unauthenticated solvability additionally requires n > 3t (Lemma 10 /");
+    println!("    Fischer-Lynch-Merritt), visible in the n = 6, t = 2 rows.");
+}

@@ -1,0 +1,55 @@
+//! Shared helpers for the cross-crate integration tests.
+//!
+//! The actual tests live in `tests/*.rs`; this library hosts small utilities
+//! they share (decision summaries, certificate assertions).
+
+use std::collections::BTreeSet;
+
+use ba_core::lowerbound::Certificate;
+use ba_sim::{Bit, Execution, Payload, ProcessId, Value};
+
+/// The set of distinct decisions reached by correct processes.
+pub fn correct_decisions<I: Value, O: Value, M: Payload>(
+    exec: &Execution<I, O, M>,
+) -> BTreeSet<Option<O>> {
+    exec.correct().map(|p| exec.decision_of(p).cloned()).collect()
+}
+
+/// Asserts that an execution satisfies Termination and Agreement among
+/// correct processes and returns the common decision.
+///
+/// # Panics
+///
+/// Panics (with context) if either property is violated.
+pub fn assert_agreement<I: Value, O: Value, M: Payload>(exec: &Execution<I, O, M>) -> O {
+    let decisions = correct_decisions(exec);
+    assert_eq!(decisions.len(), 1, "correct processes disagree: {decisions:?}");
+    decisions
+        .into_iter()
+        .next()
+        .unwrap()
+        .expect("a correct process never decided")
+}
+
+/// Asserts a certificate is internally verifiable and names an omission-only
+/// execution within the fault budget.
+///
+/// # Panics
+///
+/// Panics if verification fails.
+pub fn assert_certificate<M: Payload>(cert: &Certificate<M>) {
+    cert.verify().unwrap_or_else(|e| {
+        panic!("certificate failed verification: {e}\nprovenance: {:#?}", cert.provenance)
+    });
+    assert!(cert.execution.faulty.len() <= cert.execution.t);
+}
+
+/// All-same proposals helper.
+pub fn uniform(n: usize, bit: Bit) -> Vec<Bit> {
+    vec![bit; n]
+}
+
+/// A process id shorthand.
+pub fn pid(i: usize) -> ProcessId {
+    ProcessId(i)
+}

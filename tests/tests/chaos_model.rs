@@ -1,0 +1,191 @@
+//! Chaos testing of the computational model: an *arbitrary* (but
+//! deterministic) protocol, driven under random omission plans, must still
+//! produce executions satisfying the five guarantees, and the trace surgery
+//! (swap_omission) must preserve every process's observations — the model's
+//! invariants cannot depend on protocols being sensible.
+
+use std::collections::BTreeSet;
+use std::hash::{DefaultHasher, Hash, Hasher};
+
+use proptest::prelude::*;
+
+use ba_core::lowerbound::swap_omission;
+use ba_sim::{
+    run_omission, Bit, ExecutorConfig, Inbox, Outbox, ProcessCtx, ProcessId, Protocol,
+    RandomOmissionPlan, Round,
+};
+
+fn mix(parts: &[u64]) -> u64 {
+    let mut h = DefaultHasher::new();
+    parts.hash(&mut h);
+    h.finish()
+}
+
+/// A protocol whose sending/deciding behavior is an arbitrary deterministic
+/// function of everything it has observed.
+#[derive(Clone, Debug)]
+struct Chaos {
+    seed: u64,
+    state: u64,
+    active_rounds: u64,
+    decision: Option<Bit>,
+}
+
+impl Chaos {
+    fn new(seed: u64) -> Self {
+        Chaos { seed, state: 0, active_rounds: seed % 5 + 1, decision: None }
+    }
+
+    fn maybe_decide(&mut self) {
+        if self.decision.is_none() && self.state % 3 == 0 {
+            self.decision = Some(Bit::from(self.state % 2 == 1));
+        }
+    }
+
+    fn emit(&self, ctx: &ProcessCtx, round: u64) -> Outbox<u64> {
+        let mut out = Outbox::new();
+        if round > self.active_rounds {
+            return out;
+        }
+        for peer in ctx.others() {
+            let tag = mix(&[self.state, peer.index() as u64, round]);
+            if tag % 3 != 0 {
+                out.send(peer, tag);
+            }
+        }
+        out
+    }
+}
+
+impl Protocol for Chaos {
+    type Input = Bit;
+    type Output = Bit;
+    type Msg = u64;
+
+    fn propose(&mut self, ctx: &ProcessCtx, proposal: Bit) -> Outbox<u64> {
+        self.state = mix(&[self.seed, ctx.id.index() as u64, u64::from(u8::from(proposal))]);
+        self.maybe_decide();
+        self.emit(ctx, 1)
+    }
+
+    fn round(&mut self, ctx: &ProcessCtx, round: Round, inbox: &Inbox<u64>) -> Outbox<u64> {
+        let mut parts = vec![self.state, round.0];
+        for (sender, payload) in inbox.iter() {
+            parts.push(sender.index() as u64);
+            parts.push(*payload);
+        }
+        self.state = mix(&parts);
+        self.maybe_decide();
+        self.emit(ctx, round.0 + 1)
+    }
+
+    fn decision(&self) -> Option<Bit> {
+        self.decision
+    }
+}
+
+fn chaos_system() -> impl Strategy<Value = (usize, usize, u64, u64, Vec<bool>, Vec<bool>)> {
+    (3usize..=7).prop_flat_map(|n| {
+        (1usize..n).prop_flat_map(move |t| {
+            (
+                Just(n),
+                Just(t),
+                any::<u64>(), // protocol seed
+                any::<u64>(), // plan seed
+                proptest::collection::vec(any::<bool>(), n),
+                proptest::collection::vec(any::<bool>(), n),
+            )
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Arbitrary protocols + random omission plans still yield executions
+    /// satisfying the five guarantees, and the runs are reproducible.
+    #[test]
+    fn chaos_executions_satisfy_the_model(
+        (n, t, pseed, planseed, props, mask) in chaos_system()
+    ) {
+        let faulty: BTreeSet<ProcessId> = ProcessId::all(n)
+            .zip(&mask)
+            .filter(|(_, m)| **m)
+            .map(|(p, _)| p)
+            .take(t)
+            .collect();
+        let proposals: Vec<Bit> = props.iter().map(|b| Bit::from(*b)).collect();
+        let cfg = ExecutorConfig::new(n, t).with_max_rounds(12);
+        let run = || {
+            let mut plan = RandomOmissionPlan::new(faulty.iter().copied(), 0.4, 0.4, planseed);
+            run_omission(&cfg, |_| Chaos::new(pseed), &proposals, &faulty, &mut plan).unwrap()
+        };
+        let exec = run();
+        prop_assert_eq!(exec.validate(), Ok(()));
+        // Reproducibility: the full trace is identical across reruns.
+        prop_assert_eq!(&exec, &run());
+        // Message accounting is internally consistent.
+        prop_assert!(exec.message_complexity() <= exec.total_messages());
+    }
+
+    /// swap_omission preserves observations even for chaos protocols.
+    #[test]
+    fn chaos_swap_preserves_observations(
+        (n, t, pseed, planseed, props, mask) in chaos_system()
+    ) {
+        let faulty: BTreeSet<ProcessId> = ProcessId::all(n)
+            .zip(&mask)
+            .filter(|(_, m)| **m)
+            .map(|(p, _)| p)
+            .take(t)
+            .collect();
+        prop_assume!(!faulty.is_empty());
+        let proposals: Vec<Bit> = props.iter().map(|b| Bit::from(*b)).collect();
+        let cfg = ExecutorConfig::new(n, t).with_max_rounds(10);
+        // Receive-omissions only, so pivots have no send-omissions.
+        let mut plan = RandomOmissionPlan::new(faulty.iter().copied(), 0.0, 0.5, planseed);
+        let exec = run_omission(&cfg, |_| Chaos::new(pseed), &proposals, &faulty, &mut plan)
+            .unwrap();
+        for pivot in &faulty {
+            if let Ok(swapped) = swap_omission(&exec, *pivot) {
+                prop_assert_eq!(swapped.validate(), Ok(()));
+                prop_assert!(swapped.is_correct(*pivot));
+                for pid in ProcessId::all(n) {
+                    prop_assert!(exec.indistinguishable_to(&swapped, pid));
+                    prop_assert_eq!(exec.decision_of(pid), swapped.decision_of(pid));
+                }
+            }
+        }
+    }
+
+    /// Isolation is exactly what Definition 1 says, for arbitrary traffic:
+    /// the isolated group receives nothing from outside from round k on,
+    /// everything before, and never send-omits.
+    #[test]
+    fn chaos_isolation_matches_definition_1(
+        (n, t, pseed, _planseed, props, _mask) in chaos_system(),
+        k in 1u64..4,
+    ) {
+        let group: BTreeSet<ProcessId> = [ProcessId(n - 1)].into();
+        prop_assume!(t >= 1);
+        let proposals: Vec<Bit> = props.iter().map(|b| Bit::from(*b)).collect();
+        let cfg = ExecutorConfig::new(n, t).with_max_rounds(10);
+        let mut plan = ba_sim::IsolationPlan::new(group.iter().copied(), Round(k));
+        let exec = run_omission(&cfg, |_| Chaos::new(pseed), &proposals, &group, &mut plan)
+            .unwrap();
+        let member = ProcessId(n - 1);
+        let rec = exec.record(member);
+        prop_assert!(rec.all_send_omitted().next().is_none(), "isolated never send-omits");
+        for (i, frag) in rec.fragments.iter().enumerate() {
+            let round = i as u64 + 1;
+            if round >= k {
+                prop_assert!(
+                    frag.received.keys().all(|s| group.contains(s)),
+                    "outside message received after isolation"
+                );
+            } else {
+                prop_assert!(frag.receive_omitted.is_empty(), "omission before isolation");
+            }
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! The failure-model boundary: crash ⊊ omission ⊊ Byzantine.
+//!
+//! The paper proves its Ω(t²) bound in the *omission* model, and the power
+//! it draws on — honest-looking processes silently dropping messages — is
+//! exactly what separates omission from crash. FloodSet makes the boundary
+//! concrete: correct under crashes, broken under omission.
+
+use std::collections::BTreeSet;
+
+use ba_core::lowerbound::{falsify, probe_weak_consensus, FalsifierConfig, ProbeOutcome, Verdict};
+use ba_protocols::FloodSet;
+use ba_sim::{
+    run_omission, Bit, CrashPlan, ExecutorConfig, Fate, ProcessId, Round, TableOmissionPlan,
+};
+use ba_tests::{assert_agreement, assert_certificate, correct_decisions, uniform};
+
+#[test]
+fn floodset_agreement_under_exhaustive_crash_schedules() {
+    // Sweep every crash schedule of two processes over the first t+2
+    // rounds: agreement must hold in all of them.
+    let (n, t) = (5, 2);
+    let cfg = ExecutorConfig::new(n, t);
+    for r1 in 1..=(t as u64 + 2) {
+        for r2 in 1..=(t as u64 + 2) {
+            let faulty: BTreeSet<_> = [ProcessId(3), ProcessId(4)].into();
+            let mut plan = CrashPlan::new([(ProcessId(3), Round(r1)), (ProcessId(4), Round(r2))]);
+            let exec = run_omission(
+                &cfg,
+                |_| FloodSet::new(),
+                &[Bit::One, Bit::One, Bit::One, Bit::Zero, Bit::Zero],
+                &faulty,
+                &mut plan,
+            )
+            .unwrap();
+            exec.validate().unwrap();
+            assert_agreement(&exec);
+        }
+    }
+}
+
+#[test]
+fn floodset_breaks_under_omission_sandbagging() {
+    // The explicit sandbagger: hide a value behind send-omissions until the
+    // last round, then reveal it to exactly one correct process.
+    let (n, t) = (5, 2);
+    let last = t as u64 + 1;
+    let cfg = ExecutorConfig::new(n, t);
+    let faulty: BTreeSet<_> = [ProcessId(4)].into();
+    let mut plan = TableOmissionPlan::new();
+    for round in 1..=last {
+        for receiver in 0..n - 1 {
+            if round < last || receiver != 0 {
+                plan.set(Round(round), ProcessId(4), ProcessId(receiver), Fate::SendOmit);
+            }
+        }
+    }
+    let exec = run_omission(
+        &cfg,
+        |_| FloodSet::new(),
+        &[Bit::One, Bit::One, Bit::One, Bit::One, Bit::Zero],
+        &faulty,
+        &mut plan,
+    )
+    .unwrap();
+    exec.validate().unwrap();
+    let decisions = correct_decisions(&exec);
+    assert_eq!(decisions.len(), 2, "sandbagging must split the correct processes");
+}
+
+#[test]
+fn floodset_survives_the_falsifier_as_it_is_quadratic() {
+    // FloodSet sends (t+1)·n(n−1) messages — far above the floor — so the
+    // Theorem 2 recipe rightly cannot refute it, even though it is broken
+    // under general omission (the falsifier's isolation adversary never
+    // sandbags: isolated processes receive-omit, they do not send-omit).
+    for (n, t) in [(8usize, 2usize), (12, 4)] {
+        let cfg = FalsifierConfig::new(n, t);
+        let verdict = falsify(&cfg, |_| FloodSet::new()).unwrap();
+        match verdict {
+            Verdict::Survived(report) => {
+                assert!(report.max_message_complexity >= report.paper_bound);
+            }
+            Verdict::Violation(cert) => {
+                panic!("unexpected refutation at n={n}, t={t}: {:?}", cert.kind)
+            }
+        }
+    }
+}
+
+#[test]
+fn random_prober_finds_floodset_omission_violations() {
+    // Random send/receive omissions *can* stumble into the sandbagging
+    // pattern; with enough trials the prober exhibits the violation and the
+    // certificate verifies.
+    let cfg = ExecutorConfig::new(5, 2);
+    let outcome = probe_weak_consensus(&cfg, |_| FloodSet::new(), 400, 17).unwrap();
+    match outcome {
+        ProbeOutcome::Violation(cert, report) => {
+            assert_certificate(&cert);
+            assert!(report.trials <= 400);
+        }
+        ProbeOutcome::Clean(report) => panic!(
+            "expected the prober to break FloodSet under omission within {} trials",
+            report.trials
+        ),
+    }
+}
+
+#[test]
+fn floodset_is_weak_consensus_in_fault_free_runs() {
+    let (n, t) = (6, 2);
+    let cfg = ExecutorConfig::new(n, t);
+    for bit in Bit::ALL {
+        let exec = run_omission(
+            &cfg,
+            |_| FloodSet::new(),
+            &uniform(n, bit),
+            &BTreeSet::new(),
+            &mut ba_sim::NoFaults,
+        )
+        .unwrap();
+        assert!(exec.all_correct_decided(bit));
+    }
+}

@@ -1,0 +1,181 @@
+//! End-to-end Theorem 2 (EXP-T2): the falsifier defeats every sub-quadratic
+//! weak-consensus claim in the catalog and produces machine-checkable
+//! certificates; correct (quadratic) protocols survive with message
+//! complexity consistent with the bound.
+
+use ba_core::lowerbound::{falsify, FalsifierConfig, Verdict, ViolationKind};
+use ba_crypto::Keybook;
+use ba_protocols::broken::{
+    LeaderEcho, OneRoundAllToAll, OwnProposal, ParanoidEcho, SilentConstant,
+};
+use ba_protocols::DolevStrong;
+use ba_sim::{Bit, ProcessId};
+use ba_tests::assert_certificate;
+
+#[test]
+fn silent_constants_fail_weak_validity_at_every_scale() {
+    for (n, t) in [(5usize, 2usize), (8, 3), (16, 8), (24, 16)] {
+        for bit in Bit::ALL {
+            let cfg = FalsifierConfig::new(n, t);
+            let verdict = falsify(&cfg, |_| SilentConstant::new(bit)).unwrap();
+            let cert = verdict.certificate().unwrap_or_else(|| {
+                panic!("SilentConstant({bit}) must be refuted at n={n}, t={t}")
+            });
+            assert_certificate(cert);
+            assert!(matches!(cert.kind, ViolationKind::WeakValidity { .. }));
+            // Zero messages in the certificate execution.
+            assert_eq!(cert.execution.total_messages(), 0);
+        }
+    }
+}
+
+#[test]
+fn own_proposal_fails_agreement_at_every_scale() {
+    for (n, t) in [(5usize, 2usize), (9, 4), (16, 8)] {
+        let cfg = FalsifierConfig::new(n, t);
+        let verdict = falsify(&cfg, |_| OwnProposal::new()).unwrap();
+        let cert =
+            verdict.certificate().unwrap_or_else(|| panic!("must be refuted at n={n}, t={t}"));
+        assert_certificate(cert);
+        assert!(matches!(cert.kind, ViolationKind::Agreement { .. }));
+    }
+}
+
+#[test]
+fn leader_echo_fails_for_every_leader_position() {
+    // The partition puts the isolation groups at the top of the id range;
+    // the refutation must not depend on the leader sitting in group A.
+    let (n, t) = (10, 4);
+    for leader in [0usize, 3, 8, 9] {
+        let cfg = FalsifierConfig::new(n, t);
+        let verdict = falsify(&cfg, |_| LeaderEcho::new(ProcessId(leader))).unwrap();
+        let cert = verdict
+            .certificate()
+            .unwrap_or_else(|| panic!("LeaderEcho(leader=p{leader}) must be refuted"));
+        assert_certificate(cert);
+    }
+}
+
+#[test]
+fn leader_echo_certificate_has_linear_messages() {
+    // The violating execution itself exhibits the sub-quadratic complexity
+    // that made the protocol refutable.
+    let (n, t) = (16, 8);
+    let cfg = FalsifierConfig::new(n, t);
+    let verdict = falsify(&cfg, |_| LeaderEcho::new(ProcessId(0))).unwrap();
+    let cert = verdict.certificate().expect("refuted");
+    assert!(cert.execution.total_messages() <= 2 * (n as u64) - 2);
+    assert!(
+        cert.execution.total_messages() < cfg.paper_bound().max(1) * 32,
+        "certificate execution is cheap, as the theorem requires"
+    );
+}
+
+#[test]
+fn provenance_traces_the_proof_structure() {
+    let cfg = FalsifierConfig::new(12, 4);
+    let verdict = falsify(&cfg, |_| OwnProposal::new()).unwrap();
+    let cert = verdict.certificate().expect("refuted");
+    let text = cert.provenance.join("\n");
+    // The derivation must reference the proof artifacts it used.
+    assert!(text.contains("R_max"), "missing R_max note:\n{text}");
+    assert!(text.contains("Lemma"), "missing lemma reference:\n{text}");
+    assert!(text.contains("E_B(1)_0"), "missing family reference:\n{text}");
+}
+
+#[test]
+fn dolev_strong_weak_consensus_survives() {
+    for (n, t) in [(6usize, 2usize), (8, 3), (10, 4)] {
+        let cfg = FalsifierConfig::new(n, t);
+        let book = Keybook::new(n);
+        let verdict =
+            falsify(&cfg, DolevStrong::factory(book, ProcessId(0), Bit::Zero)).unwrap();
+        match verdict {
+            Verdict::Survived(report) => {
+                assert!(report.executions_explored >= 6);
+                // The observed complexity must sit above the paper floor
+                // (which is tiny at these t, but the relation must hold).
+                assert!(report.max_message_complexity >= report.paper_bound);
+            }
+            Verdict::Violation(cert) => panic!(
+                "Dolev-Strong wrongly refuted at n={n}, t={t}: {:?}\n{:#?}",
+                cert.kind, cert.provenance
+            ),
+        }
+    }
+}
+
+#[test]
+fn paranoid_echo_survives_paper_recipe_but_exercises_critical_round() {
+    // ParanoidEcho has the default-1 structure: the falsifier must walk the
+    // Lemma 4 critical-round scan and the Lemma 5 merge, then survive
+    // because the protocol is quadratic.
+    let (n, t) = (8, 2);
+    let cfg = FalsifierConfig::new(n, t);
+    let verdict = falsify(&cfg, |_| ParanoidEcho::new()).unwrap();
+    match verdict {
+        Verdict::Survived(report) => {
+            let text = report.notes.join("\n");
+            assert!(
+                text.contains("merged execution"),
+                "the merge endgame should have run:\n{text}"
+            );
+            assert!(report.max_message_complexity >= report.paper_bound);
+        }
+        Verdict::Violation(cert) =>
+
+            panic!("unexpected refutation: {:?}\n{:#?}", cert.kind, cert.provenance),
+    }
+}
+
+#[test]
+fn one_round_all_to_all_survival_is_explained() {
+    let cfg = FalsifierConfig::new(8, 2);
+    let verdict = falsify(&cfg, |_| OneRoundAllToAll::new()).unwrap();
+    let Verdict::Survived(report) = verdict else { panic!("expected survival") };
+    // The survival notes must record that the pigeonhole failed, which is
+    // the honest outcome for an n(n-1)-message protocol.
+    assert!(report
+        .notes
+        .iter()
+        .any(|s| s.contains("too many") || s.contains("pigeonhole") || s.contains("omission")));
+}
+
+#[test]
+fn echo_chain_family_exercises_critical_rounds_at_every_depth() {
+    // EchoChain(s) is quadratic and default-1: the falsifier must walk the
+    // Lemma 4 scan to depth s − 1 and the Lemma 5 merge in every instance,
+    // then survive.
+    use ba_protocols::broken::EchoChain;
+    let (n, t) = (8, 2);
+    for stages in 2..=5u64 {
+        let cfg = FalsifierConfig::new(n, t);
+        let verdict = falsify(&cfg, move |_| EchoChain::new(stages)).unwrap();
+        match verdict {
+            Verdict::Survived(report) => {
+                assert!(
+                    report.notes.iter().any(|s| s.contains("merged execution")),
+                    "stages {stages}: merge endgame missing: {:?}",
+                    report.notes
+                );
+            }
+            Verdict::Violation(cert) => {
+                panic!("EchoChain({stages}) wrongly refuted: {:?}", cert.kind)
+            }
+        }
+    }
+}
+
+#[test]
+fn falsifier_is_deterministic() {
+    let cfg = FalsifierConfig::new(10, 4);
+    let v1 = falsify(&cfg, |_| LeaderEcho::new(ProcessId(0))).unwrap();
+    let v2 = falsify(&cfg, |_| LeaderEcho::new(ProcessId(0))).unwrap();
+    match (v1, v2) {
+        (Verdict::Violation(a), Verdict::Violation(b)) => {
+            assert_eq!(a.kind, b.kind);
+            assert_eq!(a.execution, b.execution);
+        }
+        _ => panic!("expected identical violations"),
+    }
+}

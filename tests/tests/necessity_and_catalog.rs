@@ -1,0 +1,133 @@
+//! The necessity half of Theorem 4 (Lemma 7/8) and the typed landscape
+//! catalog, exercised end to end.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use ba_core::landscape::{analyze_grid, binary_catalog, full_catalog};
+use ba_core::refuter::lemma7_refute;
+use ba_core::reduction::ViaInteractiveConsistency;
+use ba_core::solvability::Gamma;
+use ba_core::validity::{
+    enumerate_configs, InputConfig, IntervalValidity, SystemParams, UnanimityOrDefault,
+    ValidityProperty,
+};
+use ba_protocols::interactive_consistency::unauthenticated_ic_factory;
+use ba_sim::{Bit, ExecutorConfig, ProcessId};
+
+/// A bogus "solution" for interval validity at t ≥ n/2 (where CC fails):
+/// Algorithm 2 over unauthenticated IC with Γ = median of the decided
+/// vector. Lemma 7 must refute it.
+#[test]
+fn bogus_interval_median_solution_is_refuted() {
+    let (n, t) = (4, 2);
+    let params = SystemParams::new(n, t);
+    let vp = IntervalValidity::new(3);
+
+    // Γ = median (lower of the two middles), defined on every configuration.
+    let table: BTreeMap<InputConfig<u8>, u8> = enumerate_configs(&params, &vp.input_domain())
+        .into_iter()
+        .map(|c| {
+            let mut vals: Vec<u8> = c.iter().map(|(_, v)| *v).collect();
+            vals.sort_unstable();
+            let median = vals[(vals.len() - 1) / 2];
+            (c, median)
+        })
+        .collect();
+    let gamma = Arc::new(Gamma::from_table(table));
+
+    // Unauthenticated IC needs n > 3t; our t here is the *validity* budget.
+    // Use the real protocol sized for 1 Byzantine fault but analyze the
+    // validity property at t = 2 — the mismatch is irrelevant for Lemma 7,
+    // which only runs fully correct and honest-mimic executions.
+    let cfg = ExecutorConfig::new(n, t);
+    let factory = move |pid: ProcessId| {
+        ViaInteractiveConsistency::new(unauthenticated_ic_factory(n, 1, 0u8)(pid), gamma.clone())
+    };
+    let refutation = lemma7_refute(&cfg, factory, &vp)
+        .unwrap()
+        .expect("interval validity violates CC at t = n/2; the median rule must fail");
+    refutation.verify(&vp, &params).unwrap();
+    // The refuting execution's configuration is a genuine strict
+    // sub-configuration.
+    assert!(refutation.config.len() >= params.min_correct());
+    assert!(refutation.config.len() < n);
+}
+
+/// A bogus unanimity-or-default "solution" (decide the default whenever the
+/// vector is mixed) is refuted because a unanimous sub-configuration pins
+/// the other value.
+#[test]
+fn bogus_unanimity_or_default_solution_is_refuted() {
+    let (n, t) = (4, 1);
+    let params = SystemParams::new(n, t);
+    let vp = UnanimityOrDefault::new(Bit::Zero);
+    let table: BTreeMap<InputConfig<Bit>, Bit> = enumerate_configs(&params, &vp.input_domain())
+        .into_iter()
+        .map(|c| {
+            let decided = {
+                let mut values = c.iter().map(|(_, v)| *v);
+                let first = values.next().expect("non-empty");
+                if values.all(|v| v == first) {
+                    first
+                } else {
+                    Bit::Zero
+                }
+            };
+            (c, decided)
+        })
+        .collect();
+    let gamma = Arc::new(Gamma::from_table(table));
+    let cfg = ExecutorConfig::new(n, t);
+    let book = ba_crypto::Keybook::new(n);
+    let factory = move |pid: ProcessId| {
+        ViaInteractiveConsistency::new(
+            ba_protocols::interactive_consistency::authenticated_ic_factory(
+                book.clone(),
+                Bit::Zero,
+            )(pid),
+            gamma.clone(),
+        )
+    };
+    let refutation = lemma7_refute(&cfg, factory, &vp)
+        .unwrap()
+        .expect("unanimity-or-default violates CC; every claimed solution must be refutable");
+    refutation.verify(&vp, &params).unwrap();
+}
+
+#[test]
+fn catalog_grids_are_consistent_across_parameters() {
+    let grid = [
+        SystemParams::new(4, 1),
+        SystemParams::new(5, 2),
+        SystemParams::new(7, 2),
+    ];
+    let rows = analyze_grid(&grid);
+    assert_eq!(rows.len(), grid.len() * full_catalog().len());
+    for row in &rows {
+        // Theorem 4 internal consistency: unauthenticated ⊆ authenticated.
+        assert!(
+            !row.unauthenticated_solvable || row.authenticated_solvable,
+            "{row}: unauthenticated without authenticated"
+        );
+        // Trivial problems are always solvable.
+        if row.trivial {
+            assert!(row.authenticated_solvable && row.unauthenticated_solvable, "{row}");
+        }
+        // Unauthenticated solvability of non-trivial problems needs n > 3t.
+        if !row.trivial && row.unauthenticated_solvable {
+            assert!(row.params.n > 3 * row.params.t, "{row}");
+        }
+        // Witnesses exactly for CC failures.
+        assert_eq!(row.cc, row.witness.is_none(), "{row}");
+    }
+}
+
+#[test]
+fn binary_catalog_spans_the_interesting_outcomes() {
+    let params = SystemParams::new(4, 1);
+    let rows: Vec<_> = binary_catalog().iter().map(|p| p.analyze(&params)).collect();
+    assert!(rows.iter().any(|r| r.trivial), "a trivial problem");
+    assert!(rows.iter().any(|r| !r.trivial && r.cc), "a solvable non-trivial problem");
+    assert!(rows.iter().any(|r| !r.cc), "an unsolvable problem");
+}

@@ -1,0 +1,182 @@
+//! EXP-F1 / EXP-F2 / EXP-TAB1: the proof's execution constructions, checked
+//! across several real protocols.
+
+use ba_core::lowerbound::{
+    find_critical_round, merge, swap_omission, FamilyRunner, Partition,
+};
+use ba_crypto::Keybook;
+use ba_protocols::broken::{LeaderEcho, ParanoidEcho};
+use ba_protocols::DolevStrong;
+use ba_sim::{Bit, ExecutorConfig, ProcessId, Protocol, Round};
+
+fn ecfg(n: usize, t: usize) -> ExecutorConfig {
+    ExecutorConfig::new(n, t).with_stop_when_quiescent(false).with_max_rounds(16)
+}
+
+/// Table 1 families are valid omission executions for every protocol here.
+#[test]
+fn table_1_families_are_valid_for_all_protocols() {
+    let (n, t) = (8, 2);
+    let partition = Partition::paper_default(n, t);
+
+    fn check<P, F>(cfg: ExecutorConfig, factory: F, partition: &Partition)
+    where
+        P: Protocol<Input = Bit, Output = Bit>,
+        F: Fn(ProcessId) -> P,
+    {
+        let runner = FamilyRunner::new(cfg, &factory, partition.clone());
+        for bit in Bit::ALL {
+            runner.e0::<P>(bit).unwrap().validate().unwrap();
+        }
+        for k in 1..=4u64 {
+            runner.isolated_b::<P>(Round(k), Bit::Zero).unwrap().validate().unwrap();
+            runner.isolated_c::<P>(Round(k), Bit::Zero).unwrap().validate().unwrap();
+        }
+        runner.isolated_c::<P>(Round(1), Bit::One).unwrap().validate().unwrap();
+    }
+
+    check(ecfg(n, t), DolevStrong::factory(Keybook::new(n), ProcessId(0), Bit::Zero), &partition);
+    check(ecfg(n, t), |_| LeaderEcho::new(ProcessId(0)), &partition);
+    check(ecfg(n, t), |_| ParanoidEcho::new(), &partition);
+}
+
+/// Figure 1 (EXP-F1): divergence from the fault-free execution propagates
+/// no faster than the paper's anatomy — the isolated group's sends diverge
+/// from round R + 1 at the earliest, everyone else's from R + 2.
+#[test]
+fn figure_1_divergence_respects_isolation_anatomy() {
+    let (n, t) = (8, 2);
+    let partition = Partition::paper_default(n, t);
+    let factory = |_| ParanoidEcho::new();
+    let runner = FamilyRunner::new(ecfg(n, t), &factory, partition.clone());
+    let e0 = runner.e0::<ParanoidEcho>(Bit::Zero).unwrap();
+    for r in 1..=3u64 {
+        let eb = runner.isolated_b::<ParanoidEcho>(Round(r), Bit::Zero).unwrap();
+        for pid in ProcessId::all(n) {
+            if let Some(div) = e0.first_send_divergence(&eb, pid) {
+                if partition.b().contains(&pid) {
+                    assert!(div.0 >= r + 1, "{pid} diverged at {div} < R+1 (R = {r})");
+                } else {
+                    assert!(div.0 >= r + 2, "{pid} diverged at {div} < R+2 (R = {r})");
+                }
+            }
+        }
+    }
+}
+
+/// Lemma 16 (EXP-F2 rows 2 & 4): in the merged execution, isolated groups
+/// cannot distinguish it from their originals and decide identically —
+/// across protocols and isolation offsets.
+#[test]
+fn merged_execution_rows_match_originals() {
+    let (n, t) = (8, 2);
+    let partition = Partition::paper_default(n, t);
+    let cfg = ecfg(n, t);
+
+    let book = Keybook::new(n);
+    let factory = DolevStrong::factory(book, ProcessId(0), Bit::Zero);
+    let runner = FamilyRunner::new(cfg, &factory, partition.clone());
+    for (kb, kc, b) in [(1u64, 1u64, Bit::One), (2, 2, Bit::Zero), (3, 2, Bit::Zero), (2, 3, Bit::Zero)]
+    {
+        let eb = runner.isolated_b::<DolevStrong<Bit>>(Round(kb), Bit::Zero).unwrap();
+        let ec = runner.isolated_c::<DolevStrong<Bit>>(Round(kc), b).unwrap();
+        let merged =
+            merge(&cfg, &factory, &partition, &eb, Round(kb), &ec, Round(kc), b).unwrap();
+        merged.validate().unwrap();
+        for pid in partition.b() {
+            assert!(merged.indistinguishable_to(&eb, *pid));
+            assert_eq!(merged.decision_of(*pid), eb.decision_of(*pid));
+        }
+        for pid in partition.c() {
+            assert!(merged.indistinguishable_to(&ec, *pid));
+            assert_eq!(merged.decision_of(*pid), ec.decision_of(*pid));
+        }
+    }
+}
+
+/// Lemma 15: swap_omission preserves indistinguishability (hence decisions)
+/// for every process, and produces a valid execution whenever the blamed
+/// set fits the fault budget.
+#[test]
+fn swap_preserves_everything_observable() {
+    let (n, t) = (8, 4);
+    let partition = Partition::paper_default(n, t);
+    let factory = |_| LeaderEcho::new(ProcessId(0));
+    let runner = FamilyRunner::new(ecfg(n, t), &factory, partition.clone());
+    let eb = runner.isolated_b::<LeaderEcho>(Round(1), Bit::Zero).unwrap();
+    for pivot in partition.b() {
+        let swapped = swap_omission(&eb, *pivot).unwrap();
+        swapped.validate().unwrap();
+        assert!(swapped.is_correct(*pivot));
+        for pid in ProcessId::all(n) {
+            assert!(eb.indistinguishable_to(&swapped, pid));
+            assert_eq!(eb.decision_of(pid), swapped.decision_of(pid));
+        }
+    }
+}
+
+/// Lemma 4 (EXP-L4): ParanoidEcho has the default-1 structure with critical
+/// round R = 1; sender-driven protocols have no such structure.
+#[test]
+fn critical_round_structure_detection() {
+    let (n, t) = (8, 2);
+    let fcfg = ba_core::lowerbound::FalsifierConfig::new(n, t);
+
+    let report = find_critical_round(&fcfg, |_| ParanoidEcho::new()).unwrap();
+    let report = report.expect("ParanoidEcho has the default-bit structure");
+    assert!(!report.flipped);
+    assert_eq!(report.default_bit_canonical, Bit::One);
+    assert_eq!(report.critical_round, Round(1));
+    assert!(report.r_max >= Round(3));
+
+    // Dolev-Strong weak consensus: A's decision tracks the sender's
+    // proposal, so E_B(1)_0 decides 0 in the canonical orientation and 0
+    // again after flipping — no critical-round structure.
+    let book = Keybook::new(n);
+    let report =
+        find_critical_round(&fcfg, DolevStrong::factory(book, ProcessId(0), Bit::Zero)).unwrap();
+    assert!(report.is_none());
+}
+
+/// The standalone Lemma 2 engine: applied directly to an isolation
+/// execution of a star-topology protocol, it produces a verified violation
+/// without running the whole falsifier.
+#[test]
+fn lemma2_engine_standalone() {
+    use ba_core::lowerbound::lemma2_violation;
+    let (n, t) = (10, 4);
+    let partition = Partition::paper_default(n, t);
+    let factory = |_| LeaderEcho::new(ProcessId(0));
+    let runner = FamilyRunner::new(ecfg(n, t), &factory, partition.clone());
+    let eb = runner.isolated_b::<LeaderEcho>(Round(1), Bit::Zero).unwrap();
+    // Correct processes (A ∪ C) decide 0; B misses the verdict and falls
+    // back to 1: Lemma 2 converts that into a real violation.
+    let cert = lemma2_violation(&eb, partition.b(), Bit::Zero, &[], "standalone")
+        .expect("LeaderEcho is refutable by Lemma 2 alone");
+    cert.verify().unwrap();
+    assert!(matches!(cert.kind, ba_core::lowerbound::ViolationKind::Agreement { .. }));
+    // And it correctly reports nothing for protocols whose isolated group
+    // agrees (Dolev-Strong decides the default, same as... the sender value
+    // here differs, but every B member omitted too much for a swap).
+    let book = Keybook::new(n);
+    let ds_factory = DolevStrong::factory(book, ProcessId(0), Bit::Zero);
+    let runner = FamilyRunner::new(ecfg(n, t), &ds_factory, partition.clone());
+    let ec = runner.isolated_c::<DolevStrong<Bit>>(Round(1), Bit::One).unwrap();
+    assert!(lemma2_violation(&ec, partition.c(), Bit::One, &[], "standalone").is_none());
+}
+
+/// The mergeable relation (Definition 2) drives which pairs merge: a
+/// non-mergeable pair must be rejected even when everything else lines up.
+#[test]
+fn non_mergeable_pairs_are_rejected_for_real_protocols() {
+    let (n, t) = (8, 2);
+    let partition = Partition::paper_default(n, t);
+    let cfg = ecfg(n, t);
+    let factory = |_| ParanoidEcho::new();
+    let runner = FamilyRunner::new(cfg, &factory, partition.clone());
+    let eb = runner.isolated_b::<ParanoidEcho>(Round(3), Bit::Zero).unwrap();
+    let ec = runner.isolated_c::<ParanoidEcho>(Round(1), Bit::Zero).unwrap();
+    let err = merge(&cfg, &factory, &partition, &eb, Round(3), &ec, Round(1), Bit::Zero)
+        .unwrap_err();
+    assert!(matches!(err, ba_core::lowerbound::MergeError::NotMergeable { .. }));
+}

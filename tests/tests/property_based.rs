@@ -1,0 +1,208 @@
+//! Property-based tests (proptest) over the model's invariants.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use ba_core::lowerbound::swap_omission;
+use ba_core::reduction::ViaInteractiveConsistency;
+use ba_core::solvability::check_containment_condition;
+use ba_core::validity::{
+    containment_set, enumerate_configs, InputConfig, StrongValidity, SystemParams,
+    ValidityProperty, WeakValidity,
+};
+use ba_crypto::Keybook;
+use ba_protocols::interactive_consistency::authenticated_ic_factory;
+use ba_protocols::DolevStrong;
+use ba_sim::{
+    run_omission, Bit, ExecutorConfig, NoFaults, ProcessId, RandomOmissionPlan,
+};
+
+/// Strategy: system sizes with a random fault set and proposals.
+fn system() -> impl Strategy<Value = (usize, usize, Vec<bool>, Vec<bool>, u64)> {
+    (4usize..=8)
+        .prop_flat_map(|n| {
+            (Just(n), 1usize..n).prop_flat_map(move |(n, t)| {
+                (
+                    Just(n),
+                    Just(t),
+                    proptest::collection::vec(any::<bool>(), n), // proposals
+                    proptest::collection::vec(any::<bool>(), n), // faulty mask
+                    any::<u64>(),                                 // plan seed
+                )
+            })
+        })
+        .prop_map(|(n, t, props, mask, seed)| (n, t, props, mask, seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any random omission plan against Dolev-Strong yields an execution
+    /// satisfying the five guarantees, and Agreement holds among correct
+    /// processes.
+    #[test]
+    fn random_omission_executions_are_valid_and_agree(
+        (n, t, props, mask, seed) in system()
+    ) {
+        let faulty: BTreeSet<ProcessId> = ProcessId::all(n)
+            .zip(&mask)
+            .filter(|(_, m)| **m)
+            .map(|(p, _)| p)
+            .take(t)
+            .collect();
+        let proposals: Vec<Bit> = props.iter().map(|b| Bit::from(*b)).collect();
+        let cfg = ExecutorConfig::new(n, t);
+        let book = Keybook::new(n);
+        let mut plan = RandomOmissionPlan::new(faulty.iter().copied(), 0.3, 0.3, seed);
+        let exec = run_omission(
+            &cfg,
+            DolevStrong::factory(book, ProcessId(0), Bit::Zero),
+            &proposals,
+            &faulty,
+            &mut plan,
+        ).unwrap();
+        prop_assert_eq!(exec.validate(), Ok(()));
+        let decisions: BTreeSet<_> = exec.correct().map(|p| exec.decision_of(p).cloned()).collect();
+        prop_assert_eq!(decisions.len(), 1, "agreement violated");
+        prop_assert!(decisions.iter().all(Option::is_some), "termination violated");
+    }
+
+    /// swap_omission never changes what any process observes: proposals,
+    /// inboxes, decisions are all preserved, and the result revalidates.
+    #[test]
+    fn swap_preserves_observations((n, t, props, mask, seed) in system()) {
+        let faulty: BTreeSet<ProcessId> = ProcessId::all(n)
+            .zip(&mask)
+            .filter(|(_, m)| **m)
+            .map(|(p, _)| p)
+            .take(t)
+            .collect();
+        prop_assume!(!faulty.is_empty());
+        let proposals: Vec<Bit> = props.iter().map(|b| Bit::from(*b)).collect();
+        let cfg = ExecutorConfig::new(n, t);
+        let book = Keybook::new(n);
+        let mut plan = RandomOmissionPlan::new(faulty.iter().copied(), 0.0, 0.5, seed);
+        let exec = run_omission(
+            &cfg,
+            DolevStrong::factory(book, ProcessId(0), Bit::Zero),
+            &proposals,
+            &faulty,
+            &mut plan,
+        ).unwrap();
+        let pivot = *faulty.iter().next().unwrap();
+        if let Ok(swapped) = swap_omission(&exec, pivot) {
+            prop_assert_eq!(swapped.validate(), Ok(()));
+            prop_assert!(swapped.is_correct(pivot));
+            for pid in ProcessId::all(n) {
+                prop_assert!(exec.indistinguishable_to(&swapped, pid));
+                prop_assert_eq!(exec.decision_of(pid), swapped.decision_of(pid));
+            }
+        }
+    }
+
+    /// Containment is a partial order and `containment_set` returns exactly
+    /// the contained configurations.
+    #[test]
+    fn containment_set_is_sound_and_complete(
+        n in 3usize..=5,
+        t in 1usize..=2,
+        idx in any::<prop::sample::Index>(),
+    ) {
+        prop_assume!(t < n);
+        let params = SystemParams::new(n, t);
+        let all = enumerate_configs(&params, &[Bit::Zero, Bit::One]);
+        let c = all[idx.index(all.len())].clone();
+        let cnt = containment_set(&params, &c);
+        // Sound: everything returned is contained.
+        for sub in &cnt {
+            prop_assert!(c.contains(sub));
+        }
+        // Complete: every enumerated configuration contained by c is
+        // returned.
+        for other in &all {
+            if c.contains(other) {
+                prop_assert!(cnt.contains(other), "missing {other:?}");
+            }
+        }
+        // Reflexive.
+        prop_assert!(cnt.contains(&c));
+    }
+
+    /// Γ(c) is admissible in every configuration c contains — the defining
+    /// property of the containment condition.
+    #[test]
+    fn gamma_values_are_admissible_in_contained_configs(
+        n in 3usize..=4,
+        t in 1usize..=2,
+        idx in any::<prop::sample::Index>(),
+    ) {
+        prop_assume!(t < n);
+        let params = SystemParams::new(n, t);
+        let vp = WeakValidity::binary();
+        let gamma = check_containment_condition(&vp, &params).gamma().cloned().unwrap();
+        let all = enumerate_configs(&params, &vp.input_domain());
+        let c = &all[idx.index(all.len())];
+        let v = gamma.apply(c).unwrap();
+        for sub in containment_set(&params, c) {
+            prop_assert!(vp.admissible(&params, &sub).contains(v));
+        }
+    }
+
+    /// Algorithm 2 over authenticated IC decides admissible values for
+    /// random proposal vectors (strong consensus instance).
+    #[test]
+    fn algorithm2_decides_admissibly(props in proptest::collection::vec(any::<bool>(), 4)) {
+        let (n, t) = (4, 1);
+        let params = SystemParams::new(n, t);
+        let vp = StrongValidity::binary();
+        let gamma = Arc::new(check_containment_condition(&vp, &params).gamma().cloned().unwrap());
+        let proposals: Vec<Bit> = props.iter().map(|b| Bit::from(*b)).collect();
+        let book = Keybook::new(n);
+        let cfg = ExecutorConfig::new(n, t);
+        let exec = run_omission(
+            &cfg,
+            move |pid| ViaInteractiveConsistency::new(
+                authenticated_ic_factory(book.clone(), Bit::Zero)(pid),
+                gamma.clone(),
+            ),
+            &proposals,
+            &BTreeSet::new(),
+            &mut NoFaults,
+        ).unwrap();
+        let all_ids: Vec<ProcessId> = ProcessId::all(n).collect();
+        let decided = exec.unanimous_decision(all_ids.iter()).expect("agreement");
+        let config = InputConfig::full(proposals);
+        prop_assert!(vp.admissible(&params, &config).contains(&decided));
+    }
+
+    /// Message complexity only counts correct senders, and is monotone
+    /// under growing the fault set (fixing the trace).
+    #[test]
+    fn message_complexity_accounting((n, t, props, mask, seed) in system()) {
+        let faulty: BTreeSet<ProcessId> = ProcessId::all(n)
+            .zip(&mask)
+            .filter(|(_, m)| **m)
+            .map(|(p, _)| p)
+            .take(t)
+            .collect();
+        let proposals: Vec<Bit> = props.iter().map(|b| Bit::from(*b)).collect();
+        let cfg = ExecutorConfig::new(n, t);
+        let book = Keybook::new(n);
+        let mut plan = RandomOmissionPlan::new(faulty.iter().copied(), 0.2, 0.2, seed);
+        let exec = run_omission(
+            &cfg,
+            DolevStrong::factory(book, ProcessId(0), Bit::Zero),
+            &proposals,
+            &faulty,
+            &mut plan,
+        ).unwrap();
+        let by_hand: u64 = exec
+            .correct()
+            .map(|p| exec.record(p).fragments.iter().map(|f| f.sent.len() as u64).sum::<u64>())
+            .sum();
+        prop_assert_eq!(exec.message_complexity(), by_hand);
+        prop_assert!(exec.message_complexity() <= exec.total_messages());
+    }
+}

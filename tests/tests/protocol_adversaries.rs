@@ -1,0 +1,197 @@
+//! Cross-protocol adversarial coverage: crash-during-protocol behaviors,
+//! replay storms, and combined strategies against every correct protocol in
+//! the landscape.
+
+use std::collections::BTreeMap;
+
+use ba_crypto::Keybook;
+use ba_protocols::interactive_consistency::authenticated_ic_factory;
+use ba_protocols::{DolevStrong, EigConsensus, PhaseKing};
+use ba_sim::{
+    run_byzantine, Bit, ByzantineBehavior, ExecutorConfig, FollowThenCrash, ProcessId,
+    ReplayByzantine, Round,
+};
+use ba_tests::assert_agreement;
+
+/// Dolev-Strong under a sender that crashes mid-broadcast (after relaying
+/// round 1): everyone still agrees (on the value — it was already signed
+/// and out).
+#[test]
+fn dolev_strong_sender_crash_after_round_one() {
+    let (n, t) = (5, 2);
+    let book = Keybook::new(n);
+    let cfg = ExecutorConfig::new(n, t);
+    for crash_at in 2..=4u64 {
+        let behaviors: BTreeMap<_, Box<dyn ByzantineBehavior<Bit, _>>> = [(
+            ProcessId(0),
+            Box::new(FollowThenCrash::new(
+                DolevStrong::new(book.clone(), book.keychain(ProcessId(0)), ProcessId(0), Bit::Zero),
+                Round(crash_at),
+            )) as Box<_>,
+        )]
+        .into_iter()
+        .collect();
+        let exec = run_byzantine(
+            &cfg,
+            DolevStrong::factory(book.clone(), ProcessId(0), Bit::Zero),
+            &[Bit::One; 5],
+            behaviors,
+        )
+        .unwrap();
+        exec.validate().unwrap();
+        let decided = assert_agreement(&exec);
+        // The sender's signed value escaped in round 1, so the decision is
+        // the broadcast value.
+        assert_eq!(decided, Bit::One, "crash at {crash_at}");
+    }
+}
+
+/// Dolev-Strong sender that crashes *before* sending anything is
+/// indistinguishable from a silent sender: default decided.
+#[test]
+fn dolev_strong_sender_crash_before_sending() {
+    let (n, t) = (5, 2);
+    let book = Keybook::new(n);
+    let cfg = ExecutorConfig::new(n, t);
+    let behaviors: BTreeMap<_, Box<dyn ByzantineBehavior<Bit, _>>> = [(
+        ProcessId(0),
+        Box::new(FollowThenCrash::new(
+            DolevStrong::new(book.clone(), book.keychain(ProcessId(0)), ProcessId(0), Bit::Zero),
+            Round(1),
+        )) as Box<_>,
+    )]
+    .into_iter()
+    .collect();
+    let exec = run_byzantine(
+        &cfg,
+        DolevStrong::factory(book, ProcessId(0), Bit::Zero),
+        &[Bit::One; 5],
+        behaviors,
+    )
+    .unwrap();
+    assert_eq!(assert_agreement(&exec), Bit::Zero);
+}
+
+/// Phase King with processes crashing at every possible phase boundary.
+#[test]
+fn phase_king_crash_sweep() {
+    let (n, t) = (7, 2);
+    let cfg = ExecutorConfig::new(n, t);
+    for crash_at in 1..=PhaseKing::total_rounds(t) {
+        let behaviors: BTreeMap<_, Box<dyn ByzantineBehavior<Bit, _>>> = [
+            (
+                ProcessId(0), // king of phase 1
+                Box::new(FollowThenCrash::new(PhaseKing::new(n, t), Round(crash_at)))
+                    as Box<dyn ByzantineBehavior<Bit, _>>,
+            ),
+            (
+                ProcessId(1), // king of phase 2
+                Box::new(FollowThenCrash::new(PhaseKing::new(n, t), Round(crash_at.max(2) - 1)))
+                    as Box<_>,
+            ),
+        ]
+        .into_iter()
+        .collect();
+        let exec = run_byzantine(
+            &cfg,
+            |_| PhaseKing::new(n, t),
+            &[Bit::One, Bit::Zero, Bit::One, Bit::Zero, Bit::One, Bit::Zero, Bit::One],
+            behaviors,
+        )
+        .unwrap();
+        exec.validate().unwrap();
+        assert_agreement(&exec);
+    }
+}
+
+/// Replay storms against every correct protocol: stale messages must never
+/// break agreement.
+#[test]
+fn replay_storm_against_the_landscape() {
+    let (n, t) = (5, 1);
+    let cfg = ExecutorConfig::new(n, t);
+    let book = Keybook::new(n);
+
+    for seed in 0..8u64 {
+        // Dolev-Strong.
+        let behaviors: BTreeMap<_, Box<dyn ByzantineBehavior<Bit, _>>> =
+            [(ProcessId(4), Box::new(ReplayByzantine::new(seed, 3)) as Box<_>)]
+                .into_iter()
+                .collect();
+        let exec = run_byzantine(
+            &cfg,
+            DolevStrong::factory(book.clone(), ProcessId(0), Bit::Zero),
+            &[Bit::One; 5],
+            behaviors,
+        )
+        .unwrap();
+        assert_eq!(assert_agreement(&exec), Bit::One, "DS, seed {seed}");
+
+        // EIG consensus.
+        let behaviors: BTreeMap<_, Box<dyn ByzantineBehavior<Bit, _>>> =
+            [(ProcessId(4), Box::new(ReplayByzantine::new(seed, 3)) as Box<_>)]
+                .into_iter()
+                .collect();
+        let exec = run_byzantine(
+            &cfg,
+            |_| EigConsensus::new(n, t, Bit::Zero),
+            &[Bit::One; 5],
+            behaviors,
+        )
+        .unwrap();
+        assert_eq!(assert_agreement(&exec), Bit::One, "EIG, seed {seed}");
+
+        // Phase King.
+        let behaviors: BTreeMap<_, Box<dyn ByzantineBehavior<Bit, _>>> =
+            [(ProcessId(4), Box::new(ReplayByzantine::new(seed, 3)) as Box<_>)]
+                .into_iter()
+                .collect();
+        let exec =
+            run_byzantine(&cfg, |_| PhaseKing::new(n, t), &[Bit::One; 5], behaviors).unwrap();
+        assert_eq!(assert_agreement(&exec), Bit::One, "PK, seed {seed}");
+
+        // Authenticated IC: IC-validity for the correct slots.
+        let behaviors: BTreeMap<_, Box<dyn ByzantineBehavior<Bit, _>>> =
+            [(ProcessId(4), Box::new(ReplayByzantine::new(seed, 3)) as Box<_>)]
+                .into_iter()
+                .collect();
+        let exec = run_byzantine(
+            &cfg,
+            authenticated_ic_factory(book.clone(), Bit::Zero),
+            &[Bit::One; 5],
+            behaviors,
+        )
+        .unwrap();
+        let vec = assert_agreement(&exec);
+        for i in 0..4 {
+            assert_eq!(vec[i], Bit::One, "IC slot {i}, seed {seed}");
+        }
+    }
+}
+
+/// Combined adversaries at full budget: silent + replay against Dolev-Strong
+/// with a dishonest majority (t = n − 1 is legal for authenticated
+/// broadcast).
+#[test]
+fn dolev_strong_dishonest_majority() {
+    let (n, t) = (4, 3);
+    let book = Keybook::new(n);
+    let cfg = ExecutorConfig::new(n, t);
+    let behaviors: BTreeMap<_, Box<dyn ByzantineBehavior<Bit, _>>> = [
+        (ProcessId(1), Box::new(ba_sim::SilentByzantine) as Box<dyn ByzantineBehavior<Bit, _>>),
+        (ProcessId(2), Box::new(ReplayByzantine::new(3, 2)) as Box<_>),
+        (ProcessId(3), Box::new(ReplayByzantine::new(4, 2)) as Box<_>),
+    ]
+    .into_iter()
+    .collect();
+    let exec = run_byzantine(
+        &cfg,
+        DolevStrong::factory(book, ProcessId(0), Bit::Zero),
+        &[Bit::One; 4],
+        behaviors,
+    )
+    .unwrap();
+    exec.validate().unwrap();
+    // p0 is the only correct process; it must decide its own broadcast.
+    assert_eq!(exec.decision_of(ProcessId(0)), Some(&Bit::One));
+}

@@ -1,0 +1,197 @@
+//! EXP-T4 / EXP-T5: the general solvability theorem, cross-validated
+//! against reality.
+//!
+//! For every catalog problem and `(n, t)` in the grid: when Theorem 4 says
+//! *solvable*, we actually construct the solution via Algorithm 2 over a
+//! real interactive-consistency protocol and verify it (under fault-free,
+//! omission, and Byzantine executions); when it says *unsolvable*, we check
+//! the CC witness is genuine (two contained configurations with disjoint
+//! admissible sets, or an empty intersection).
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use ba_core::reduction::ViaInteractiveConsistency;
+use ba_core::solvability::{check_containment_condition, solvability, Gamma};
+use ba_core::validity::{
+    containment_set, InputConfig, IntervalValidity, MajorityValidity, SenderValidity,
+    StrongValidity, SystemParams, ValidityProperty, WeakValidity,
+};
+use ba_crypto::Keybook;
+use ba_protocols::interactive_consistency::{
+    authenticated_ic_factory, unauthenticated_ic_factory,
+};
+use ba_sim::{
+    run_byzantine, Bit, ByzantineBehavior, ExecutorConfig, ProcessId, ReplayByzantine,
+    SilentByzantine,
+};
+use ba_tests::assert_agreement;
+
+/// Exhaustively validates an Algorithm 2 solution for `vp` over
+/// authenticated IC: every full proposal assignment × a set of Byzantine
+/// strategies; decisions must be unanimous and admissible.
+fn validate_solution_binary<VP>(vp: &VP, n: usize, t: usize)
+where
+    VP: ValidityProperty<Input = Bit>,
+    VP::Output: Clone,
+{
+    let params = SystemParams::new(n, t);
+    let gamma: Arc<Gamma<Bit, VP::Output>> = Arc::new(
+        check_containment_condition(vp, &params)
+            .gamma()
+            .cloned()
+            .expect("solvable problems satisfy CC"),
+    );
+    let cfg = ExecutorConfig::new(n, t);
+
+    for mask in 0u32..(1 << n) {
+        let proposals: Vec<Bit> = (0..n).map(|i| Bit::from(mask & (1 << i) != 0)).collect();
+        for byz in 0..2u8 {
+            let book = Keybook::new(n);
+            let gamma = gamma.clone();
+            let factory = move |pid: ProcessId| {
+                ViaInteractiveConsistency::new(
+                    authenticated_ic_factory(book.clone(), Bit::Zero)(pid),
+                    gamma.clone(),
+                )
+            };
+            // Corrupt the last process with a rotating strategy (the
+            // fault-free case is covered by the exhaustive Algorithm 2 unit
+            // tests).
+            let target = ProcessId(n - 1);
+            let behavior: Box<dyn ByzantineBehavior<Bit, _>> = match byz {
+                0 => Box::new(SilentByzantine),
+                _ => Box::new(ReplayByzantine::new(u64::from(mask) + 1, 2)),
+            };
+            let behaviors: BTreeMap<ProcessId, Box<dyn ByzantineBehavior<Bit, _>>> =
+                [(target, behavior)].into_iter().collect();
+            let exec = run_byzantine(&cfg, factory, &proposals, behaviors).unwrap();
+            exec.validate().unwrap();
+            let decided = assert_agreement(&exec);
+            let config = InputConfig::new(
+                &params,
+                exec.correct().map(|p| (p, proposals[p.index()])),
+            );
+            let admissible = vp.admissible(&params, &config);
+            assert!(
+                admissible.contains(&decided),
+                "{}: decided {decided:?} ∉ val({config}) at n={n}, t={t}",
+                vp.name()
+            );
+        }
+    }
+}
+
+/// Checks a CC witness is genuine.
+fn validate_witness<VP: ValidityProperty>(vp: &VP, n: usize, t: usize) {
+    let params = SystemParams::new(n, t);
+    let cc = check_containment_condition(vp, &params);
+    let witness = cc.witness().expect("expected a CC violation");
+    // The intersection over the containment set must indeed be empty.
+    let mut intersection: Option<std::collections::BTreeSet<VP::Output>> = None;
+    for sub in containment_set(&params, &witness.config) {
+        let adm = vp.admissible(&params, &sub);
+        intersection = Some(match intersection {
+            None => adm,
+            Some(acc) => acc.intersection(&adm).cloned().collect(),
+        });
+    }
+    assert!(intersection.unwrap().is_empty(), "witness intersection is non-empty");
+    if let Some((a, b)) = &witness.disjoint_pair {
+        assert!(witness.config.contains(a));
+        assert!(witness.config.contains(b));
+        let adm_a = vp.admissible(&params, a);
+        let adm_b = vp.admissible(&params, b);
+        assert!(adm_a.intersection(&adm_b).next().is_none());
+    }
+}
+
+#[test]
+fn weak_consensus_solvable_and_constructed_everywhere() {
+    for (n, t) in [(3usize, 1usize), (4, 1), (4, 2)] {
+        let vp = WeakValidity::binary();
+        let report = solvability(&vp, &SystemParams::new(n, t));
+        assert!(report.authenticated_solvable);
+        validate_solution_binary(&vp, n, t);
+    }
+}
+
+#[test]
+fn strong_consensus_constructed_where_theorem_5_allows() {
+    let vp = StrongValidity::binary();
+    for (n, t) in [(3usize, 1usize), (4, 1), (5, 2)] {
+        assert!(solvability(&vp, &SystemParams::new(n, t)).authenticated_solvable);
+        validate_solution_binary(&vp, n, t);
+    }
+    for (n, t) in [(4usize, 2usize), (6, 3)] {
+        let report = solvability(&vp, &SystemParams::new(n, t));
+        assert!(!report.authenticated_solvable, "Theorem 5 at n={n}, t={t}");
+        validate_witness(&vp, n, t);
+    }
+}
+
+#[test]
+fn broadcast_constructed_even_with_dishonest_majority() {
+    // Sender validity is authenticated-solvable for any t < n [52]; check a
+    // dishonest-majority instance end to end.
+    let vp = SenderValidity::new(ProcessId(0), vec![Bit::Zero, Bit::One]);
+    for (n, t) in [(4usize, 2usize), (4, 3)] {
+        assert!(solvability(&vp, &SystemParams::new(n, t)).authenticated_solvable);
+        validate_solution_binary(&vp, n, t);
+    }
+}
+
+#[test]
+fn majority_validity_unsolvable_with_genuine_witness() {
+    for (n, t) in [(4usize, 1usize), (4, 2), (6, 2)] {
+        let vp = MajorityValidity::new();
+        let report = solvability(&vp, &SystemParams::new(n, t));
+        assert!(!report.authenticated_solvable, "majority validity at n={n}, t={t}");
+        validate_witness(&vp, n, t);
+    }
+}
+
+#[test]
+fn interval_validity_crossover_matches_theory() {
+    // Solvable at t < n/2, witness at t ≥ n/2 — and at the solvable point
+    // the Algorithm 2 construction over *unauthenticated* IC works when
+    // n > 3t.
+    let vp = IntervalValidity::new(3);
+    let params_ok = SystemParams::new(4, 1);
+    let report = solvability(&vp, &params_ok);
+    assert!(report.authenticated_solvable && report.unauthenticated_solvable);
+    validate_witness(&vp, 4, 2);
+
+    // Unauthenticated construction at (4, 1).
+    let gamma = Arc::new(
+        check_containment_condition(&vp, &params_ok).gamma().cloned().unwrap(),
+    );
+    let cfg = ExecutorConfig::new(4, 1);
+    for proposals in [[0u8, 1, 2, 0], [2, 2, 2, 2], [0, 0, 1, 1]] {
+        let gamma = gamma.clone();
+        let factory = move |pid: ProcessId| {
+            ViaInteractiveConsistency::new(
+                unauthenticated_ic_factory(4, 1, 0u8)(pid),
+                gamma.clone(),
+            )
+        };
+        let behaviors: BTreeMap<ProcessId, Box<dyn ByzantineBehavior<u8, _>>> =
+            [(ProcessId(3), Box::new(SilentByzantine) as Box<_>)].into_iter().collect();
+        let exec = run_byzantine(&cfg, factory, &proposals, behaviors).unwrap();
+        let decided = assert_agreement(&exec);
+        let params = SystemParams::new(4, 1);
+        let config =
+            InputConfig::new(&params, exec.correct().map(|p| (p, proposals[p.index()])));
+        assert!(vp.admissible(&params, &config).contains(&decided));
+    }
+}
+
+#[test]
+fn unauthenticated_boundary_is_n_over_3t() {
+    let vp = WeakValidity::binary();
+    let at_boundary = solvability(&vp, &SystemParams::new(6, 2));
+    assert!(!at_boundary.unauthenticated_solvable, "n = 3t must be unsolvable");
+    assert!(at_boundary.authenticated_solvable);
+    let above = solvability(&vp, &SystemParams::new(7, 2));
+    assert!(above.unauthenticated_solvable);
+}
