@@ -1,82 +1,83 @@
-//! Criterion benches for the Theorem 2 falsifier (EXP-T2 timing companion):
+//! Benches for the Theorem 2 falsifier (EXP-T2 timing companion):
 //! how long the full proof chain takes against refutable and surviving
-//! protocols.
+//! protocols, plus a Campaign-parallel grid sweep. Uses
+//! `ba_bench::harness` (no criterion; the workspace builds offline).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
+use ba_bench::falsifier_sweep;
+use ba_bench::harness::BenchGroup;
 use ba_core::lowerbound::{falsify, probe_weak_consensus, FalsifierConfig};
 use ba_crypto::Keybook;
 use ba_protocols::broken::{LeaderEcho, OwnProposal, ParanoidEcho};
 use ba_protocols::DolevStrong;
 use ba_sim::{Bit, ExecutorConfig, ProcessId};
 
-fn bench_falsify_refutable(c: &mut Criterion) {
-    let mut group = c.benchmark_group("falsify_refutable");
+fn bench_falsify_refutable() {
+    let group = BenchGroup::new("falsify_refutable");
     for (n, t) in [(8usize, 2usize), (12, 4), (16, 8), (24, 8)] {
-        group.bench_with_input(
-            BenchmarkId::new("leader_echo", format!("n{n}_t{t}")),
-            &(n, t),
-            |b, &(n, t)| {
-                let cfg = FalsifierConfig::new(n, t);
-                b.iter(|| falsify(&cfg, |_| LeaderEcho::new(ProcessId(0))).unwrap());
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("own_proposal", format!("n{n}_t{t}")),
-            &(n, t),
-            |b, &(n, t)| {
-                let cfg = FalsifierConfig::new(n, t);
-                b.iter(|| falsify(&cfg, |_| OwnProposal::new()).unwrap());
-            },
-        );
+        let cfg = FalsifierConfig::new(n, t);
+        group.bench(&format!("leader_echo/n{n}_t{t}"), || {
+            falsify(&cfg, |_| LeaderEcho::new(ProcessId(0))).unwrap()
+        });
+        group.bench(&format!("own_proposal/n{n}_t{t}"), || {
+            falsify(&cfg, |_| OwnProposal::new()).unwrap()
+        });
     }
-    group.finish();
 }
 
-fn bench_falsify_survivors(c: &mut Criterion) {
-    let mut group = c.benchmark_group("falsify_survivors");
+fn bench_falsify_survivors() {
+    let group = BenchGroup::new("falsify_survivors");
     for (n, t) in [(8usize, 2usize), (12, 4)] {
-        group.bench_with_input(
-            BenchmarkId::new("dolev_strong", format!("n{n}_t{t}")),
-            &(n, t),
-            |b, &(n, t)| {
-                let cfg = FalsifierConfig::new(n, t);
-                let book = Keybook::new(n);
-                b.iter(|| {
-                    falsify(&cfg, DolevStrong::factory(book.clone(), ProcessId(0), Bit::Zero))
-                        .unwrap()
-                });
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("paranoid_echo", format!("n{n}_t{t}")),
-            &(n, t),
-            |b, &(n, t)| {
-                let cfg = FalsifierConfig::new(n, t);
-                b.iter(|| falsify(&cfg, |_| ParanoidEcho::new()).unwrap());
-            },
-        );
-    }
-    group.finish();
-}
-
-fn bench_prober(c: &mut Criterion) {
-    let mut group = c.benchmark_group("random_prober");
-    group.bench_function("dolev_strong_n6_t2_50trials", |b| {
-        let cfg = ExecutorConfig::new(6, 2);
-        let book = Keybook::new(6);
-        b.iter(|| {
-            probe_weak_consensus(
+        let cfg = FalsifierConfig::new(n, t);
+        let book = Keybook::new(n);
+        group.bench(&format!("dolev_strong/n{n}_t{t}"), || {
+            falsify(
                 &cfg,
                 DolevStrong::factory(book.clone(), ProcessId(0), Bit::Zero),
-                50,
-                9,
             )
             .unwrap()
         });
-    });
-    group.finish();
+        group.bench(&format!("paranoid_echo/n{n}_t{t}"), || {
+            falsify(&cfg, |_| ParanoidEcho::new()).unwrap()
+        });
+    }
 }
 
-criterion_group!(benches, bench_falsify_refutable, bench_falsify_survivors, bench_prober);
-criterion_main!(benches);
+fn bench_campaign_sweep() {
+    // The Campaign-parallel grid sweep vs. the same grid serially: the
+    // interesting number is the wall-clock ratio on multi-core machines.
+    let group = BenchGroup::new("falsifier_grid_sweep");
+    let grid = [(8usize, 2usize), (10, 2), (12, 4), (16, 8)];
+    group.bench("campaign_parallel_4pts", || {
+        falsifier_sweep(&grid, |_| |_: ProcessId| LeaderEcho::new(ProcessId(0)))
+    });
+    group.bench("serial_4pts", || {
+        for &(n, t) in &grid {
+            falsify(&FalsifierConfig::new(n, t), |_| {
+                LeaderEcho::new(ProcessId(0))
+            })
+            .unwrap();
+        }
+    });
+}
+
+fn bench_prober() {
+    let group = BenchGroup::new("random_prober");
+    let cfg = ExecutorConfig::new(6, 2);
+    let book = Keybook::new(6);
+    group.bench("dolev_strong_n6_t2_50trials", || {
+        probe_weak_consensus(
+            &cfg,
+            DolevStrong::factory(book.clone(), ProcessId(0), Bit::Zero),
+            50,
+            9,
+        )
+        .unwrap()
+    });
+}
+
+fn main() {
+    bench_falsify_refutable();
+    bench_falsify_survivors();
+    bench_campaign_sweep();
+    bench_prober();
+}

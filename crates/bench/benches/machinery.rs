@@ -1,9 +1,9 @@
-//! Criterion benches for the proof machinery (EXP-F1/F2/TAB1 timing
-//! companion): execution-family construction, merge, swap, validation, and
-//! indistinguishability checking.
+//! Benches for the proof machinery (EXP-F1/F2/TAB1 timing companion):
+//! execution-family construction, merge, swap, validation, and
+//! indistinguishability checking. Uses `ba_bench::harness` (no criterion;
+//! the workspace builds offline).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
+use ba_bench::harness::{BenchConfig, BenchGroup};
 use ba_core::lowerbound::{
     exhaustive_omission_check, merge, swap_omission, ExhaustiveConfig, FamilyRunner, Partition,
 };
@@ -14,91 +14,107 @@ use ba_sim::{Bit, ExecutorConfig, ProcessId, Round};
 fn setup(
     n: usize,
     t: usize,
-) -> (ExecutorConfig, impl Fn(ProcessId) -> DolevStrong<Bit> + Clone, Partition) {
-    let cfg = ExecutorConfig::new(n, t).with_stop_when_quiescent(false).with_max_rounds(16);
+) -> (
+    ExecutorConfig,
+    impl Fn(ProcessId) -> DolevStrong<Bit> + Clone,
+    Partition,
+) {
+    let cfg = ExecutorConfig::new(n, t)
+        .with_stop_when_quiescent(false)
+        .with_max_rounds(16);
     let factory = DolevStrong::factory(Keybook::new(n), ProcessId(0), Bit::Zero);
     (cfg, factory, Partition::paper_default(n, t))
 }
 
-fn bench_family(c: &mut Criterion) {
-    let mut group = c.benchmark_group("family_construction");
+fn bench_family() {
+    let group = BenchGroup::new("family_construction");
     for (n, t) in [(8usize, 2usize), (16, 4), (24, 8)] {
-        group.bench_with_input(BenchmarkId::from_parameter(format!("n{n}_t{t}")), &(n, t), |b, &(n, t)| {
-            let (cfg, factory, partition) = setup(n, t);
-            let runner = FamilyRunner::new(cfg, &factory, partition);
-            b.iter(|| runner.isolated_b::<DolevStrong<Bit>>(Round(2), Bit::Zero).unwrap());
+        let (cfg, factory, partition) = setup(n, t);
+        let runner = FamilyRunner::new(cfg, &factory, partition);
+        group.bench(&format!("n{n}_t{t}"), || {
+            runner
+                .isolated_b::<DolevStrong<Bit>>(Round(2), Bit::Zero)
+                .unwrap()
         });
     }
-    group.finish();
 }
 
-fn bench_merge(c: &mut Criterion) {
-    let mut group = c.benchmark_group("merge");
+fn bench_merge() {
+    let group = BenchGroup::new("merge");
     for (n, t) in [(8usize, 2usize), (16, 4), (24, 8)] {
-        group.bench_with_input(BenchmarkId::from_parameter(format!("n{n}_t{t}")), &(n, t), |b, &(n, t)| {
-            let (cfg, factory, partition) = setup(n, t);
-            let runner = FamilyRunner::new(cfg, &factory, partition.clone());
-            let eb = runner.isolated_b::<DolevStrong<Bit>>(Round(2), Bit::Zero).unwrap();
-            let ec = runner.isolated_c::<DolevStrong<Bit>>(Round(2), Bit::Zero).unwrap();
-            b.iter(|| {
-                merge(&cfg, &factory, &partition, &eb, Round(2), &ec, Round(2), Bit::Zero)
-                    .unwrap()
-            });
+        let (cfg, factory, partition) = setup(n, t);
+        let runner = FamilyRunner::new(cfg, &factory, partition.clone());
+        let eb = runner
+            .isolated_b::<DolevStrong<Bit>>(Round(2), Bit::Zero)
+            .unwrap();
+        let ec = runner
+            .isolated_c::<DolevStrong<Bit>>(Round(2), Bit::Zero)
+            .unwrap();
+        group.bench(&format!("n{n}_t{t}"), || {
+            merge(
+                &cfg,
+                &factory,
+                &partition,
+                &eb,
+                Round(2),
+                &ec,
+                Round(2),
+                Bit::Zero,
+            )
+            .unwrap()
         });
     }
-    group.finish();
 }
 
-fn bench_swap_and_checks(c: &mut Criterion) {
-    let mut group = c.benchmark_group("swap_and_validation");
+fn bench_swap_and_checks() {
+    let group = BenchGroup::new("swap_and_validation");
     let (n, t) = (16, 8);
     let (cfg, factory, partition) = setup(n, t);
     let runner = FamilyRunner::new(cfg, &factory, partition.clone());
-    let eb = runner.isolated_b::<DolevStrong<Bit>>(Round(1), Bit::Zero).unwrap();
+    let eb = runner
+        .isolated_b::<DolevStrong<Bit>>(Round(1), Bit::Zero)
+        .unwrap();
     let pivot = *partition.b().iter().next().unwrap();
 
-    group.bench_function("swap_omission_n16_t8", |b| {
-        b.iter(|| swap_omission(&eb, pivot));
+    group.bench("swap_omission_n16_t8", || swap_omission(&eb, pivot));
+    group.bench("validate_n16_t8", || eb.validate().unwrap());
+    let e2 = eb.clone();
+    group.bench("indistinguishability_n16_t8", || {
+        ProcessId::all(n)
+            .filter(|p| eb.indistinguishable_to(&e2, *p))
+            .count()
     });
-    group.bench_function("validate_n16_t8", |b| {
-        b.iter(|| eb.validate().unwrap());
-    });
-    group.bench_function("indistinguishability_n16_t8", |b| {
-        let e2 = eb.clone();
-        b.iter(|| {
-            ProcessId::all(n).filter(|p| eb.indistinguishable_to(&e2, *p)).count()
-        });
-    });
-    group.finish();
 }
 
-fn bench_exhaustive(c: &mut Criterion) {
-    let mut group = c.benchmark_group("exhaustive_model_check");
-    group.sample_size(10);
+fn bench_exhaustive() {
     // 2^(2·3·r) adversaries at n = 4: r = 1 → 64, r = 2 → 4096.
+    let group = BenchGroup::with_config(
+        "exhaustive_model_check",
+        BenchConfig {
+            warmup_iters: 1,
+            iters: 5,
+        },
+    );
     for rounds in [1u64, 2] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("ds_n4_t1_r{rounds}")),
-            &rounds,
-            |b, &rounds| {
-                let cfg = ExecutorConfig::new(4, 1);
-                let book = Keybook::new(4);
-                let bounds = ExhaustiveConfig::new(rounds);
-                b.iter(|| {
-                    exhaustive_omission_check(
-                        &cfg,
-                        DolevStrong::factory(book.clone(), ProcessId(0), Bit::Zero),
-                        &[Bit::One; 4],
-                        ProcessId(3),
-                        &bounds,
-                    )
-                    .unwrap()
-                });
-            },
-        );
+        let cfg = ExecutorConfig::new(4, 1);
+        let book = Keybook::new(4);
+        let bounds = ExhaustiveConfig::new(rounds);
+        group.bench(&format!("ds_n4_t1_r{rounds}"), || {
+            exhaustive_omission_check(
+                &cfg,
+                DolevStrong::factory(book.clone(), ProcessId(0), Bit::Zero),
+                &[Bit::One; 4],
+                ProcessId(3),
+                &bounds,
+            )
+            .unwrap()
+        });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_family, bench_merge, bench_swap_and_checks, bench_exhaustive);
-criterion_main!(benches);
+fn main() {
+    bench_family();
+    bench_merge();
+    bench_swap_and_checks();
+    bench_exhaustive();
+}

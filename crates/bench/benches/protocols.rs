@@ -1,72 +1,67 @@
-//! Criterion benches for the protocol landscape (EXP-UB timing companion):
+//! Benches for the protocol landscape (EXP-UB timing companion):
 //! wall-clock cost of simulating one fault-free execution of each protocol
-//! across system sizes.
+//! across system sizes. Uses `ba_bench::harness` (no criterion; the
+//! workspace builds offline).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
+use ba_bench::harness::BenchGroup;
 use ba_bench::run_fault_free;
 use ba_crypto::Keybook;
 use ba_protocols::interactive_consistency::authenticated_ic_factory;
 use ba_protocols::{DolevStrong, EigConsensus, PhaseKing};
 use ba_sim::{Bit, ProcessId};
 
-fn bench_dolev_strong(c: &mut Criterion) {
-    let mut group = c.benchmark_group("dolev_strong");
+fn bench_dolev_strong() {
+    let group = BenchGroup::new("dolev_strong");
     for (n, t) in [(8usize, 2usize), (16, 5), (32, 10), (48, 15)] {
-        group.bench_with_input(BenchmarkId::from_parameter(format!("n{n}_t{t}")), &(n, t), |b, &(n, t)| {
-            let book = Keybook::new(n);
-            b.iter(|| {
-                run_fault_free(
-                    n,
-                    t,
-                    DolevStrong::factory(book.clone(), ProcessId(0), Bit::Zero),
-                    Bit::One,
-                )
-            });
+        let book = Keybook::new(n);
+        group.bench(&format!("n{n}_t{t}"), || {
+            run_fault_free(
+                n,
+                t,
+                DolevStrong::factory(book.clone(), ProcessId(0), Bit::Zero),
+                Bit::One,
+            )
         });
     }
-    group.finish();
 }
 
-fn bench_eig(c: &mut Criterion) {
-    let mut group = c.benchmark_group("eig_consensus");
+fn bench_eig() {
+    let group = BenchGroup::new("eig_consensus");
     // EIG payloads grow exponentially with t: keep t small, sweep n.
     for (n, t) in [(4usize, 1usize), (7, 2), (10, 2), (10, 3)] {
-        group.bench_with_input(BenchmarkId::from_parameter(format!("n{n}_t{t}")), &(n, t), |b, &(n, t)| {
-            b.iter(|| run_fault_free(n, t, |_| EigConsensus::new(n, t, Bit::Zero), Bit::One));
+        group.bench(&format!("n{n}_t{t}"), || {
+            run_fault_free(n, t, |_| EigConsensus::new(n, t, Bit::Zero), Bit::One)
         });
     }
-    group.finish();
 }
 
-fn bench_phase_king(c: &mut Criterion) {
-    let mut group = c.benchmark_group("phase_king");
+fn bench_phase_king() {
+    let group = BenchGroup::new("phase_king");
     for (n, t) in [(4usize, 1usize), (10, 3), (16, 5), (32, 10)] {
-        group.bench_with_input(BenchmarkId::from_parameter(format!("n{n}_t{t}")), &(n, t), |b, &(n, t)| {
-            b.iter(|| run_fault_free(n, t, |_| PhaseKing::new(n, t), Bit::One));
+        group.bench(&format!("n{n}_t{t}"), || {
+            run_fault_free(n, t, |_| PhaseKing::new(n, t), Bit::One)
         });
     }
-    group.finish();
 }
 
-fn bench_interactive_consistency(c: &mut Criterion) {
-    let mut group = c.benchmark_group("authenticated_ic");
+fn bench_interactive_consistency() {
+    let group = BenchGroup::new("authenticated_ic");
     for (n, t) in [(4usize, 1usize), (8, 2), (12, 4), (16, 5)] {
-        group.bench_with_input(BenchmarkId::from_parameter(format!("n{n}_t{t}")), &(n, t), |b, &(n, t)| {
-            let book = Keybook::new(n);
-            b.iter(|| {
-                run_fault_free(n, t, authenticated_ic_factory(book.clone(), Bit::Zero), Bit::One)
-            });
+        let book = Keybook::new(n);
+        group.bench(&format!("n{n}_t{t}"), || {
+            run_fault_free(
+                n,
+                t,
+                authenticated_ic_factory(book.clone(), Bit::Zero),
+                Bit::One,
+            )
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_dolev_strong,
-    bench_eig,
-    bench_phase_king,
-    bench_interactive_consistency
-);
-criterion_main!(benches);
+fn main() {
+    bench_dolev_strong();
+    bench_eig();
+    bench_phase_king();
+    bench_interactive_consistency();
+}

@@ -1,77 +1,60 @@
-//! Criterion benches for the solvability machinery (EXP-T4/T5 timing
-//! companion): exhaustive containment-condition checking cost as the
-//! configuration space `I` grows.
+//! Benches for the solvability machinery (EXP-T4/T5 timing companion):
+//! exhaustive containment-condition checking cost as the configuration
+//! space `I` grows. Uses `ba_bench::harness` (no criterion; the workspace
+//! builds offline).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
+use ba_bench::harness::BenchGroup;
 use ba_core::solvability::{check_containment_condition, solvability, trivial_value};
 use ba_core::validity::{
     enumerate_configs, IcValidity, StrongValidity, SystemParams, WeakValidity,
 };
 use ba_sim::Bit;
 
-fn bench_cc_checker(c: &mut Criterion) {
-    let mut group = c.benchmark_group("cc_checker");
+fn bench_cc_checker() {
+    let group = BenchGroup::new("cc_checker");
     for (n, t) in [(3usize, 1usize), (4, 1), (5, 1), (5, 2), (6, 2)] {
-        group.bench_with_input(
-            BenchmarkId::new("weak_validity", format!("n{n}_t{t}")),
-            &(n, t),
-            |b, &(n, t)| {
-                let params = SystemParams::new(n, t);
-                let vp = WeakValidity::binary();
-                b.iter(|| check_containment_condition(&vp, &params));
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("strong_validity", format!("n{n}_t{t}")),
-            &(n, t),
-            |b, &(n, t)| {
-                let params = SystemParams::new(n, t);
-                let vp = StrongValidity::binary();
-                b.iter(|| check_containment_condition(&vp, &params));
-            },
-        );
+        let params = SystemParams::new(n, t);
+        let weak = WeakValidity::binary();
+        group.bench(&format!("weak_validity/n{n}_t{t}"), || {
+            check_containment_condition(&weak, &params)
+        });
+        let strong = StrongValidity::binary();
+        group.bench(&format!("strong_validity/n{n}_t{t}"), || {
+            check_containment_condition(&strong, &params)
+        });
     }
     // IC-validity has an exponential output domain: bench the small cases.
     for (n, t) in [(3usize, 1usize), (4, 1)] {
-        group.bench_with_input(
-            BenchmarkId::new("ic_validity", format!("n{n}_t{t}")),
-            &(n, t),
-            |b, &(n, t)| {
-                let params = SystemParams::new(n, t);
-                let vp = IcValidity::new(vec![Bit::Zero, Bit::One]);
-                b.iter(|| check_containment_condition(&vp, &params));
-            },
-        );
-    }
-    group.finish();
-}
-
-fn bench_enumeration(c: &mut Criterion) {
-    let mut group = c.benchmark_group("config_enumeration");
-    for (n, t) in [(4usize, 2usize), (6, 2), (6, 3), (8, 2)] {
-        group.bench_with_input(BenchmarkId::from_parameter(format!("n{n}_t{t}")), &(n, t), |b, &(n, t)| {
-            let params = SystemParams::new(n, t);
-            b.iter(|| enumerate_configs(&params, &[Bit::Zero, Bit::One]));
+        let params = SystemParams::new(n, t);
+        let vp = IcValidity::new(vec![Bit::Zero, Bit::One]);
+        group.bench(&format!("ic_validity/n{n}_t{t}"), || {
+            check_containment_condition(&vp, &params)
         });
     }
-    group.finish();
 }
 
-fn bench_full_solvability(c: &mut Criterion) {
-    let mut group = c.benchmark_group("solvability_report");
-    group.bench_function("strong_validity_n5_t2", |b| {
-        let params = SystemParams::new(5, 2);
-        let vp = StrongValidity::binary();
-        b.iter(|| solvability(&vp, &params));
-    });
-    group.bench_function("triviality_weak_n6_t2", |b| {
-        let params = SystemParams::new(6, 2);
-        let vp = WeakValidity::binary();
-        b.iter(|| trivial_value(&vp, &params));
-    });
-    group.finish();
+fn bench_enumeration() {
+    let group = BenchGroup::new("config_enumeration");
+    for (n, t) in [(4usize, 2usize), (6, 2), (6, 3), (8, 2)] {
+        let params = SystemParams::new(n, t);
+        group.bench(&format!("n{n}_t{t}"), || {
+            enumerate_configs(&params, &[Bit::Zero, Bit::One])
+        });
+    }
 }
 
-criterion_group!(benches, bench_cc_checker, bench_enumeration, bench_full_solvability);
-criterion_main!(benches);
+fn bench_full_solvability() {
+    let group = BenchGroup::new("solvability_report");
+    let params = SystemParams::new(5, 2);
+    let strong = StrongValidity::binary();
+    group.bench("strong_validity_n5_t2", || solvability(&strong, &params));
+    let params = SystemParams::new(6, 2);
+    let weak = WeakValidity::binary();
+    group.bench("triviality_weak_n6_t2", || trivial_value(&weak, &params));
+}
+
+fn main() {
+    bench_cc_checker();
+    bench_enumeration();
+    bench_full_solvability();
+}

@@ -11,7 +11,7 @@
 
 use std::collections::BTreeSet;
 
-use ba_bench::measure_family_complexity;
+use ba_bench::{falsifier_sweep, measure_family_complexity};
 use ba_core::lowerbound::{
     exhaustive_omission_check, falsify, find_critical_round, merge, ExhaustiveConfig,
     ExhaustiveOutcome, FalsifierConfig, FamilyRunner, Partition, Verdict,
@@ -19,9 +19,8 @@ use ba_core::lowerbound::{
 use ba_core::reduction::{derive_reduction_inputs, ReductionInputs, WeakFromAgreement};
 use ba_core::solvability::solvability;
 use ba_core::validity::{
-    AnythingGoes, ExternalValidity, IcValidity, IntervalValidity, MajorityValidity,
-    SenderValidity, StrongValidity, SystemParams, UnanimityOrDefault, ValidityProperty,
-    WeakValidity,
+    AnythingGoes, ExternalValidity, IcValidity, IntervalValidity, MajorityValidity, SenderValidity,
+    StrongValidity, SystemParams, UnanimityOrDefault, ValidityProperty, WeakValidity,
 };
 use ba_crypto::Keybook;
 use ba_protocols::broken::{
@@ -29,9 +28,7 @@ use ba_protocols::broken::{
 };
 use ba_protocols::interactive_consistency::authenticated_ic_factory;
 use ba_protocols::{DolevStrong, EigConsensus, FloodSet, PhaseKing};
-use ba_sim::{
-    run_omission, Bit, ExecutorConfig, NoFaults, Payload, ProcessId, Protocol, Round,
-};
+use ba_sim::{Bit, ExecutorConfig, Payload, ProcessId, Protocol, Round, Scenario};
 
 fn header(id: &str, title: &str) {
     println!("\n{}", "=".repeat(78));
@@ -83,20 +80,30 @@ fn main() {
 
 /// EXP-F1 — Figure 1: isolation anatomy.
 fn fig1() {
-    header("EXP-F1", "Figure 1: behavior divergence under isolation (E_0 vs E_G(R))");
+    header(
+        "EXP-F1",
+        "Figure 1: behavior divergence under isolation (E_0 vs E_G(R))",
+    );
     let (n, t) = (8, 2);
     let partition = Partition::paper_default(n, t);
-    let cfg = ExecutorConfig::new(n, t).with_stop_when_quiescent(false).with_max_rounds(10);
+    let cfg = ExecutorConfig::new(n, t)
+        .with_stop_when_quiescent(false)
+        .with_max_rounds(10);
     let factory = |_| ParanoidEcho::new();
     let runner = FamilyRunner::new(cfg, &factory, partition.clone());
     let e0 = runner.e0::<ParanoidEcho>(Bit::Zero).unwrap();
     println!("protocol: ParanoidEcho (2-stage echo, default 1); n = {n}, t = {t}");
     println!("R = isolation start round of group B; cells show each group's first");
     println!("round whose *sent* messages differ from E_0 (- = never):\n");
-    println!("{:>3} | {:>10} | {:>10} | {:>10}", "R", "group B", "group A", "group C");
+    println!(
+        "{:>3} | {:>10} | {:>10} | {:>10}",
+        "R", "group B", "group A", "group C"
+    );
     println!("{}", "-".repeat(44));
     for r in 1..=3u64 {
-        let eb = runner.isolated_b::<ParanoidEcho>(Round(r), Bit::Zero).unwrap();
+        let eb = runner
+            .isolated_b::<ParanoidEcho>(Round(r), Bit::Zero)
+            .unwrap();
         let first_div = |group: &BTreeSet<ProcessId>| -> String {
             group
                 .iter()
@@ -119,25 +126,35 @@ fn fig1() {
 /// EXP-F2 — Figure 2: the merged execution rows and (for sub-quadratic
 /// protocols) the completed contradiction.
 fn fig2() {
-    header("EXP-F2", "Figure 2: merged execution E_B(R+1),C(R) and the Lemma 3/5 endgame");
+    header(
+        "EXP-F2",
+        "Figure 2: merged execution E_B(R+1),C(R) and the Lemma 3/5 endgame",
+    );
     let (n, t) = (8, 2);
     let partition = Partition::paper_default(n, t);
-    let cfg = ExecutorConfig::new(n, t).with_stop_when_quiescent(false).with_max_rounds(12);
+    let cfg = ExecutorConfig::new(n, t)
+        .with_stop_when_quiescent(false)
+        .with_max_rounds(12);
 
     // Quadratic default-1 protocol: the rows line up, no contradiction.
     println!("-- ParanoidEcho (quadratic): rows agree, no contradiction possible --");
     let factory = |_| ParanoidEcho::new();
     let runner = FamilyRunner::new(cfg, &factory, partition.clone());
     let r = Round(1); // critical round of ParanoidEcho
-    let eb = runner.isolated_b::<ParanoidEcho>(r.next(), Bit::Zero).unwrap();
+    let eb = runner
+        .isolated_b::<ParanoidEcho>(r.next(), Bit::Zero)
+        .unwrap();
     let ec = runner.isolated_c::<ParanoidEcho>(r, Bit::Zero).unwrap();
-    let merged = merge(&cfg, &factory, &partition, &eb, r.next(), &ec, r, Bit::Zero).unwrap();
+    let merged = merge(&cfg, factory, &partition, &eb, r.next(), &ec, r, Bit::Zero).unwrap();
     let show = |label: &str, exec: &ba_sim::Execution<Bit, Bit, _>| {
         println!(
             "  {label:<24} A → {:?}  B → {:?}  C → {:?}",
-            exec.unanimous_decision(partition.a().iter()).map(|b| b.to_string()),
-            exec.unanimous_decision(partition.b().iter()).map(|b| b.to_string()),
-            exec.unanimous_decision(partition.c().iter()).map(|b| b.to_string()),
+            exec.unanimous_decision(partition.a().iter())
+                .map(|b| b.to_string()),
+            exec.unanimous_decision(partition.b().iter())
+                .map(|b| b.to_string()),
+            exec.unanimous_decision(partition.c().iter())
+                .map(|b| b.to_string()),
         );
     };
     show("row 1: E_B(R+1)_0", &eb);
@@ -163,14 +180,23 @@ fn fig2() {
 
 /// EXP-TAB1 — Table 1: the execution families.
 fn tab1() {
-    header("EXP-TAB1", "Table 1: execution families for Dolev-Strong weak consensus");
+    header(
+        "EXP-TAB1",
+        "Table 1: execution families for Dolev-Strong weak consensus",
+    );
     let (n, t) = (8, 2);
     let partition = Partition::paper_default(n, t);
-    let cfg = ExecutorConfig::new(n, t).with_stop_when_quiescent(false).with_max_rounds(14);
+    let cfg = ExecutorConfig::new(n, t)
+        .with_stop_when_quiescent(false)
+        .with_max_rounds(14);
     let factory = DolevStrong::factory(Keybook::new(n), ProcessId(0), Bit::Zero);
     let runner = FamilyRunner::new(cfg, &factory, partition.clone());
 
-    println!("n = {n}, t = {t}; A = {:?}-sized, |B| = |C| = {}\n", partition.a().len(), partition.b().len());
+    println!(
+        "n = {n}, t = {t}; A = {:?}-sized, |B| = |C| = {}\n",
+        partition.a().len(),
+        partition.b().len()
+    );
     println!(
         "{:<14} {:>9} {:>8} {:>8} {:>8} {:>10} {:>7}",
         "execution", "proposals", "dec(A)", "dec(B)", "dec(C)", "messages", "valid"
@@ -189,29 +215,50 @@ fn tab1() {
             d(partition.b()),
             d(partition.c()),
             exec.message_complexity(),
-            if exec.validate().is_ok() { "✓" } else { "✗" },
+            if exec.validate().is_ok() {
+                "✓"
+            } else {
+                "✗"
+            },
         );
     };
-    show("E_0", &runner.e0::<DolevStrong<Bit>>(Bit::Zero).unwrap(), "all 0");
+    show(
+        "E_0",
+        &runner.e0::<DolevStrong<Bit>>(Bit::Zero).unwrap(),
+        "all 0",
+    );
     for k in [1u64, 2, 3] {
         show(
             &format!("E_B({k})_0"),
-            &runner.isolated_b::<DolevStrong<Bit>>(Round(k), Bit::Zero).unwrap(),
+            &runner
+                .isolated_b::<DolevStrong<Bit>>(Round(k), Bit::Zero)
+                .unwrap(),
             "all 0",
         );
         show(
             &format!("E_C({k})_0"),
-            &runner.isolated_c::<DolevStrong<Bit>>(Round(k), Bit::Zero).unwrap(),
+            &runner
+                .isolated_c::<DolevStrong<Bit>>(Round(k), Bit::Zero)
+                .unwrap(),
             "all 0",
         );
     }
-    show("E_C(1)_1", &runner.isolated_c::<DolevStrong<Bit>>(Round(1), Bit::One).unwrap(), "all 1");
+    show(
+        "E_C(1)_1",
+        &runner
+            .isolated_c::<DolevStrong<Bit>>(Round(1), Bit::One)
+            .unwrap(),
+        "all 1",
+    );
     println!("\nEvery family member is a valid omission execution (five guarantees ✓).");
 }
 
 /// EXP-TAB2 — Table 2: reduction inputs.
 fn tab2() {
-    header("EXP-TAB2", "Table 2: Algorithm 1 inputs (c0, v'0, c*1, c1, v'1) per problem");
+    header(
+        "EXP-TAB2",
+        "Table 2: Algorithm 1 inputs (c0, v'0, c*1, c1, v'1) per problem",
+    );
     let (n, t) = (4, 1);
     let cfg = ExecutorConfig::new(n, t);
 
@@ -228,13 +275,21 @@ fn tab2() {
                 println!("{name}:");
                 println!("  c0 = {:?} → v'0 = {:?}", inputs.c0, inputs.v0);
                 println!("  c*1 = {} (v'0 inadmissible)", inputs.c_star);
-                println!("  c1 = {:?} → v'1 = {:?}  (v'1 ≠ v'0 — Lemma 17 ✓)", inputs.c1, inputs.v1);
+                println!(
+                    "  c1 = {:?} → v'1 = {:?}  (v'1 ≠ v'0 — Lemma 17 ✓)",
+                    inputs.c1, inputs.v1
+                );
             }
             Err(e) => println!("{name}: {e}"),
         }
     }
 
-    show(&cfg, "Phase King / strong validity", |_| PhaseKing::new(n, t), &StrongValidity::binary());
+    show(
+        &cfg,
+        "Phase King / strong validity",
+        |_| PhaseKing::new(n, t),
+        &StrongValidity::binary(),
+    );
     show(
         &cfg,
         "EIG / strong validity",
@@ -257,61 +312,71 @@ fn tab2() {
 }
 
 /// EXP-T2 — Theorem 2: the falsifier verdict table + the complexity
-/// landscape.
+/// landscape. Each protocol is swept over the `(n, t)` grid **in parallel**
+/// by a `ba_sim::Campaign` (see [`falsifier_sweep`]).
 fn thm2() {
-    header("EXP-T2", "Theorem 2: falsifier verdicts and message-complexity landscape");
-    let grid = [(8usize, 2usize), (12, 4), (16, 8)];
+    header(
+        "EXP-T2",
+        "Theorem 2: falsifier verdicts and message-complexity landscape",
+    );
+    // The small grid plus one large-t instance where the paper's floor
+    // itself condemns the sub-quadratic protocols: at (96, 88),
+    // leader-echo's 2(n-1) = 190 messages sit BELOW t²/32 = 242, so
+    // Lemma 1 directly forbids it.
+    let grid = [(8usize, 2usize), (12, 4), (16, 8), (96, 88)];
 
     println!(
-        "{:<22} {:>7} {:>12} {:>12} {:>24}",
+        "{:<22} {:>8} {:>12} {:>12} {:>24}",
         "protocol", "(n,t)", "max msgs", "t²/32", "falsifier verdict"
     );
-    println!("{}", "-".repeat(82));
+    println!("{}", "-".repeat(84));
 
-    fn row<P, F>(label: &str, n: usize, t: usize, factory: F)
+    fn rows<P, F>(label: &str, grid: &[(usize, usize)], factory: F)
     where
         P: Protocol<Input = Bit, Output = Bit>,
         P::Msg: Payload,
-        F: Fn(ProcessId) -> P + Clone,
+        F: Fn(ProcessId) -> P + Clone + Sync,
     {
-        let m = measure_family_complexity(label, n, t, factory.clone());
-        let fcfg = FalsifierConfig::new(n, t);
-        let verdict = match falsify(&fcfg, factory).unwrap() {
-            Verdict::Violation(cert) => {
-                cert.verify().unwrap();
-                format!("REFUTED ({})", cert.kind)
-            }
-            Verdict::Survived(_) => "survived".to_string(),
+        // The falsifier runs at every grid point concurrently; the family
+        // complexity measurement follows serially per point.
+        let sweep = {
+            let factory = factory.clone();
+            falsifier_sweep(grid, move |_point| factory.clone())
         };
-        println!(
-            "{:<22} {:>7} {:>12} {:>12} {:>24}",
-            label,
-            format!("({n},{t})"),
-            m.observed_max,
-            m.paper_bound,
-            verdict
-        );
-    }
-
-    for (n, t) in grid {
-        row("silent-constant(1)", n, t, |_| SilentConstant::new(Bit::One));
-        row("own-proposal", n, t, |_| OwnProposal::new());
-        row("leader-echo", n, t, |_: ProcessId| LeaderEcho::new(ProcessId(0)));
-        row("one-round-all-to-all", n, t, |_| OneRoundAllToAll::new());
-        row("paranoid-echo", n, t, |_| ParanoidEcho::new());
-        row("flood-set (correct)", n, t, |_| FloodSet::new());
-        let book = Keybook::new(n);
-        row("dolev-strong (correct)", n, t, DolevStrong::factory(book, ProcessId(0), Bit::Zero));
+        for r in sweep {
+            let m = measure_family_complexity(label, r.point.n, r.point.t, factory.clone());
+            println!(
+                "{:<22} {:>8} {:>12} {:>12} {:>24}",
+                label,
+                format!("({},{})", r.point.n, r.point.t),
+                m.observed_max,
+                r.paper_bound,
+                r.verdict
+            );
+        }
         println!();
     }
-    // One large-t instance where the paper's floor itself condemns the
-    // sub-quadratic protocols: at (96, 88), leader-echo's 2(n-1) = 190
-    // messages sit BELOW t²/32 = 242, so Lemma 1 directly forbids it.
-    let (n, t) = (96usize, 88usize);
-    row("silent-constant(1)", n, t, |_| SilentConstant::new(Bit::One));
-    row("own-proposal", n, t, |_| OwnProposal::new());
-    row("leader-echo", n, t, |_: ProcessId| LeaderEcho::new(ProcessId(0)));
-    println!();
+
+    rows("silent-constant(1)", &grid, |_| {
+        SilentConstant::new(Bit::One)
+    });
+    rows("own-proposal", &grid, |_| OwnProposal::new());
+    rows("leader-echo", &grid, |_: ProcessId| {
+        LeaderEcho::new(ProcessId(0))
+    });
+    // The remaining protocols are too slow at (96, 88); sweep the small grid.
+    let small = &grid[..3];
+    rows("one-round-all-to-all", small, |_| OneRoundAllToAll::new());
+    rows("paranoid-echo", small, |_| ParanoidEcho::new());
+    rows("flood-set (correct)", small, |_| FloodSet::new());
+    for (n, t) in small.iter().copied() {
+        let book = Keybook::new(n);
+        rows(
+            "dolev-strong (correct)",
+            &[(n, t)],
+            DolevStrong::factory(book, ProcessId(0), Bit::Zero),
+        );
+    }
     println!("Shape check (paper): every refuted protocol sits below the quadratic");
     println!("envelope; every survivor's observed complexity ≥ the t²/32 floor. In");
     println!("the (96,88) rows the floor t²/32 = 242 exceeds leader-echo's total");
@@ -320,10 +385,16 @@ fn thm2() {
 
 /// EXP-L4 — Lemma 4: the critical round.
 fn lemma4() {
-    header("EXP-L4", "Lemma 4: critical rounds R (decide 1 in E_B(R)_0, 0 in E_B(R+1)_0)");
+    header(
+        "EXP-L4",
+        "Lemma 4: critical rounds R (decide 1 in E_B(R)_0, 0 in E_B(R+1)_0)",
+    );
     let (n, t) = (8, 2);
     let fcfg = FalsifierConfig::new(n, t);
-    println!("{:<22} {:>10} {:>8} {:>8} {:>9}", "protocol", "default", "R_max", "R", "flipped");
+    println!(
+        "{:<22} {:>10} {:>8} {:>8} {:>9}",
+        "protocol", "default", "R_max", "R", "flipped"
+    );
     println!("{}", "-".repeat(62));
     let show = |label: &str, report: Option<ba_core::lowerbound::CriticalRoundReport>| match report
     {
@@ -335,7 +406,10 @@ fn lemma4() {
             r.critical_round.0,
             r.flipped
         ),
-        None => println!("{label:<22} {:>10} {:>8} {:>8} {:>9}", "-", "-", "none", "-"),
+        None => println!(
+            "{label:<22} {:>10} {:>8} {:>8} {:>9}",
+            "-", "-", "none", "-"
+        ),
     };
     for stages in 1..=6u64 {
         let report = find_critical_round(&fcfg, move |_| EchoChain::new(stages)).unwrap();
@@ -356,33 +430,36 @@ fn lemma4() {
 
 /// EXP-T3 — Theorem 3: zero-cost generalization.
 fn thm3() {
-    header("EXP-T3", "Theorem 3: Algorithm 1 adds zero messages (bound transfers)");
+    header(
+        "EXP-T3",
+        "Theorem 3: Algorithm 1 adds zero messages (bound transfers)",
+    );
     let (n, t) = (7, 2);
     let cfg = ExecutorConfig::new(n, t);
     let inputs =
-        derive_reduction_inputs(&cfg, |_| PhaseKing::new(n, t), &StrongValidity::binary())
-            .unwrap();
+        derive_reduction_inputs(&cfg, |_| PhaseKing::new(n, t), &StrongValidity::binary()).unwrap();
     println!("wrapping Phase King (strong consensus) into weak consensus; n = {n}, t = {t}\n");
-    println!("{:<22} {:>16} {:>16}", "execution", "wrapped msgs", "bare msgs");
+    println!(
+        "{:<22} {:>16} {:>16}",
+        "execution", "wrapped msgs", "bare msgs"
+    );
     println!("{}", "-".repeat(56));
     for bit in Bit::ALL {
-        let wrapped = run_omission(
-            &cfg,
-            |_| WeakFromAgreement::new(PhaseKing::new(n, t), inputs.clone()),
-            &vec![bit; n],
-            &BTreeSet::new(),
-            &mut NoFaults,
-        )
-        .unwrap();
-        let bare_proposals = if bit == Bit::Zero { &inputs.c0 } else { &inputs.c1 };
-        let bare = run_omission(
-            &cfg,
-            |_| PhaseKing::new(n, t),
-            bare_proposals,
-            &BTreeSet::new(),
-            &mut NoFaults,
-        )
-        .unwrap();
+        let wrapped = Scenario::config(&cfg)
+            .protocol(|_| WeakFromAgreement::new(PhaseKing::new(n, t), inputs.clone()))
+            .uniform_input(bit)
+            .run()
+            .unwrap();
+        let bare_proposals = if bit == Bit::Zero {
+            &inputs.c0
+        } else {
+            &inputs.c1
+        };
+        let bare = Scenario::config(&cfg)
+            .protocol(|_| PhaseKing::new(n, t))
+            .inputs(bare_proposals.iter().copied())
+            .run()
+            .unwrap();
         println!(
             "{:<22} {:>16} {:>16}",
             format!("all propose {bit}"),
@@ -397,14 +474,20 @@ fn thm3() {
 
 /// EXP-C1 — Corollary 1: External Validity.
 fn cor1() {
-    header("EXP-C1", "Corollary 1: External-Validity agreement is also quadratic");
+    header(
+        "EXP-C1",
+        "Corollary 1: External-Validity agreement is also quadratic",
+    );
     let (n, t) = (13, 4);
     let cfg = ExecutorConfig::new(n, t);
     // Phase King playing the external-validity algorithm: all its decisions
     // satisfy valid(·) (the predicate accepts both bits), and it has two
     // fully correct executions deciding differently.
     let run = |proposals: Vec<Bit>| {
-        run_omission(&cfg, |_| PhaseKing::new(n, t), &proposals, &BTreeSet::new(), &mut NoFaults)
+        Scenario::config(&cfg)
+            .protocol(|_| PhaseKing::new(n, t))
+            .inputs(proposals)
+            .run()
             .unwrap()
     };
     let e0 = run(vec![Bit::Zero; n]);
@@ -433,7 +516,10 @@ fn cor1() {
 
 /// EXP-T4 — Theorem 4: the solvability landscape.
 fn thm4() {
-    header("EXP-T4", "Theorem 4: solvability landscape (trivial / CC / auth / unauth)");
+    header(
+        "EXP-T4",
+        "Theorem 4: solvability landscape (trivial / CC / auth / unauth)",
+    );
     println!(
         "{:<26} {:>7} {:>10} {:>5} {:>6} {:>7}",
         "problem", "(n,t)", "trivial", "CC", "auth", "unauth"
@@ -450,7 +536,11 @@ fn thm4() {
             "{:<26} {:>7} {:>10} {:>5} {:>6} {:>7}",
             vp.name(),
             format!("({n},{t})"),
-            if report.trivial_value.is_some() { "yes" } else { "no" },
+            if report.trivial_value.is_some() {
+                "yes"
+            } else {
+                "no"
+            },
             if report.cc.holds() { "✓" } else { "✗" },
             report.authenticated_solvable,
             report.unauthenticated_solvable,
@@ -460,7 +550,11 @@ fn thm4() {
     for (n, t) in [(4usize, 1usize), (5, 2), (4, 2), (6, 2), (7, 2)] {
         row(&WeakValidity::binary(), n, t);
         row(&StrongValidity::binary(), n, t);
-        row(&SenderValidity::new(ProcessId(0), vec![Bit::Zero, Bit::One]), n, t);
+        row(
+            &SenderValidity::new(ProcessId(0), vec![Bit::Zero, Bit::One]),
+            n,
+            t,
+        );
         row(&MajorityValidity::new(), n, t);
         row(&UnanimityOrDefault::new(Bit::Zero), n, t);
         row(&IntervalValidity::new(3), n, t);
@@ -475,7 +569,10 @@ fn thm4() {
 
 /// EXP-T5 — Theorem 5: strong consensus boundary.
 fn thm5() {
-    header("EXP-T5", "Theorem 5: strong consensus is authenticated-solvable iff n > 2t");
+    header(
+        "EXP-T5",
+        "Theorem 5: strong consensus is authenticated-solvable iff n > 2t",
+    );
     println!("CC verdict grid for binary strong consensus ('✓' = satisfiable):\n");
     print!("      ");
     for t in 1..=3usize {
@@ -504,7 +601,10 @@ fn thm5() {
 
 /// EXP-UB — §6 context: the upper-bound protocols.
 fn upper() {
-    header("EXP-UB", "Upper bounds: rounds and messages of the classic protocols");
+    header(
+        "EXP-UB",
+        "Upper bounds: rounds and messages of the classic protocols",
+    );
     println!(
         "{:<28} {:>7} {:>10} {:>12} {:>14}",
         "protocol", "(n,t)", "rounds", "messages", "formula"
@@ -527,7 +627,8 @@ fn upper() {
             "O(n²)"
         );
         if n > 3 * t {
-            let eig = ba_bench::run_fault_free(n, t, |_| EigConsensus::new(n, t, Bit::Zero), Bit::One);
+            let eig =
+                ba_bench::run_fault_free(n, t, |_| EigConsensus::new(n, t, Bit::Zero), Bit::One);
             println!(
                 "{:<28} {:>7} {:>10} {:>12} {:>14}",
                 "EIG strong consensus",
@@ -555,12 +656,8 @@ fn upper() {
             fs.message_complexity(),
             format!("(t+1)n(n-1)={}", (t + 1) * n * (n - 1))
         );
-        let ic = ba_bench::run_fault_free(
-            n,
-            t,
-            authenticated_ic_factory(book, Bit::Zero),
-            Bit::One,
-        );
+        let ic =
+            ba_bench::run_fault_free(n, t, authenticated_ic_factory(book, Bit::Zero), Bit::One);
         println!(
             "{:<28} {:>7} {:>10} {:>12} {:>14}",
             "authenticated IC (n × DS)",
@@ -628,16 +725,32 @@ fn exhaustive() {
     }
 
     let two_rounds = ExhaustiveConfig::new(2);
-    row("one-round-all-to-all", &cfg, &two_rounds, ProcessId(3), |_| OneRoundAllToAll::new());
-    row("paranoid-echo", &cfg, &two_rounds, ProcessId(3), |_| ParanoidEcho::new());
+    row(
+        "one-round-all-to-all",
+        &cfg,
+        &two_rounds,
+        ProcessId(3),
+        |_| OneRoundAllToAll::new(),
+    );
+    row("paranoid-echo", &cfg, &two_rounds, ProcessId(3), |_| {
+        ParanoidEcho::new()
+    });
     // Corrupting a follower cannot hurt the star topology…
-    row("leader-echo (follower)", &cfg, &two_rounds, ProcessId(3), |_: ProcessId| {
-        LeaderEcho::new(ProcessId(0))
-    });
+    row(
+        "leader-echo (follower)",
+        &cfg,
+        &two_rounds,
+        ProcessId(3),
+        |_: ProcessId| LeaderEcho::new(ProcessId(0)),
+    );
     // …corrupting the leader splits it with one omission.
-    row("leader-echo (leader)", &cfg, &two_rounds, ProcessId(0), |_: ProcessId| {
-        LeaderEcho::new(ProcessId(0))
-    });
+    row(
+        "leader-echo (leader)",
+        &cfg,
+        &two_rounds,
+        ProcessId(0),
+        |_: ProcessId| LeaderEcho::new(ProcessId(0)),
+    );
     let book = Keybook::new(4);
     row(
         "dolev-strong (correct)",

@@ -1,0 +1,123 @@
+//! A tiny wall-clock benchmarking harness.
+//!
+//! The workspace builds with zero external dependencies, so the benches use
+//! this instead of criterion: warm up, run a fixed number of timed
+//! iterations, and print min/mean/max per iteration. Invoke with
+//! `cargo bench -p ba-bench` (the bench targets set `harness = false`).
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Per-bench iteration counts.
+#[derive(Clone, Copy, Debug)]
+pub struct BenchConfig {
+    /// Untimed warm-up iterations.
+    pub warmup_iters: u32,
+    /// Timed iterations.
+    pub iters: u32,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        BenchConfig {
+            warmup_iters: 3,
+            iters: 10,
+        }
+    }
+}
+
+/// A named group of benchmarks, printed as an aligned table.
+pub struct BenchGroup {
+    name: String,
+    config: BenchConfig,
+}
+
+impl BenchGroup {
+    /// Starts a group with the default iteration counts.
+    pub fn new(name: &str) -> Self {
+        Self::with_config(name, BenchConfig::default())
+    }
+
+    /// Starts a group with explicit iteration counts.
+    pub fn with_config(name: &str, config: BenchConfig) -> Self {
+        println!("\n== {name} ==");
+        println!(
+            "{:<44} {:>12} {:>12} {:>12}",
+            "benchmark", "min", "mean", "max"
+        );
+        BenchGroup {
+            name: name.to_string(),
+            config,
+        }
+    }
+
+    /// The group's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Times `f` and prints one row. The closure's return value is passed
+    /// through [`black_box`] so the work is not optimized away.
+    pub fn bench<R>(&self, label: &str, mut f: impl FnMut() -> R) {
+        for _ in 0..self.config.warmup_iters {
+            black_box(f());
+        }
+        let mut samples = Vec::with_capacity(self.config.iters as usize);
+        for _ in 0..self.config.iters {
+            let start = Instant::now();
+            black_box(f());
+            samples.push(start.elapsed());
+        }
+        let min = samples.iter().min().copied().unwrap_or_default();
+        let max = samples.iter().max().copied().unwrap_or_default();
+        let mean = samples.iter().sum::<Duration>() / samples.len().max(1) as u32;
+        println!(
+            "{:<44} {:>12} {:>12} {:>12}",
+            label,
+            format_duration(min),
+            format_duration(mean),
+            format_duration(max)
+        );
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn durations_format_with_sensible_units() {
+        assert_eq!(format_duration(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(format_duration(Duration::from_micros(3)), "3.00 µs");
+        assert_eq!(format_duration(Duration::from_millis(7)), "7.00 ms");
+        assert_eq!(format_duration(Duration::from_secs(2)), "2.00 s");
+    }
+
+    #[test]
+    fn bench_runs_the_closure() {
+        let group = BenchGroup::with_config(
+            "test",
+            BenchConfig {
+                warmup_iters: 1,
+                iters: 2,
+            },
+        );
+        let mut calls = 0u32;
+        group.bench("counter", || calls += 1);
+        assert_eq!(calls, 3);
+        assert_eq!(group.name(), "test");
+    }
+}

@@ -1,12 +1,13 @@
 //! Shared measurement helpers for the benches and the `paper-experiments`
-//! binary.
+//! binary: Campaign-driven sweeps plus a dependency-free timing harness
+//! (the workspace builds offline, so there is no criterion).
 
-use std::collections::BTreeSet;
-
-use ba_core::lowerbound::{FamilyRunner, Partition};
+use ba_core::lowerbound::{falsify, FalsifierConfig, FamilyRunner, Partition, Verdict};
 use ba_sim::{
-    run_omission, Bit, ExecutorConfig, NoFaults, Payload, ProcessId, Protocol, Round,
+    Bit, Campaign, CampaignPoint, ExecutorConfig, Payload, ProcessId, Protocol, Round, Scenario,
 };
+
+pub mod harness;
 
 /// A labeled measurement of one protocol's observed message complexity.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -63,9 +64,11 @@ where
     };
 
     for bit in Bit::ALL {
-        let exec =
-            run_omission(&cfg, &factory, &vec![bit; n], &BTreeSet::new(), &mut NoFaults)
-                .expect("fault-free run");
+        let exec = Scenario::config(&cfg)
+            .protocol(&factory)
+            .uniform_input(bit)
+            .run()
+            .expect("fault-free run");
         observe(exec.message_complexity());
     }
     if t >= 2 {
@@ -106,9 +109,70 @@ where
     P::Msg: Payload,
     F: Fn(ProcessId) -> P,
 {
-    let cfg = ExecutorConfig::new(n, t);
-    run_omission(&cfg, &factory, &vec![proposal; n], &BTreeSet::new(), &mut NoFaults)
+    Scenario::new(n, t)
+        .protocol(factory)
+        .uniform_input(proposal)
+        .run()
         .expect("fault-free run")
+}
+
+/// One grid point's result of a parallel falsifier sweep.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct FalsifierSweepPoint {
+    /// The swept grid point.
+    pub point: CampaignPoint,
+    /// `true` iff the falsifier produced a verified violation certificate.
+    pub refuted: bool,
+    /// The falsifier's one-line verdict.
+    pub verdict: String,
+    /// The largest message complexity the falsifier observed.
+    pub max_message_complexity: u64,
+    /// The paper's `⌊t²/32⌋` floor at this point.
+    pub paper_bound: u64,
+}
+
+/// Runs the Theorem 2 falsifier over a grid of `(n, t)` points **in
+/// parallel** via [`Campaign::map`] — the batchable sweep interface the
+/// old per-point loops in `paper_experiments` hand-rolled.
+///
+/// `factory` builds, per grid point, the per-process protocol factory.
+///
+/// # Panics
+///
+/// Panics on simulator errors (protocol bugs).
+pub fn falsifier_sweep<P, F, G>(nts: &[(usize, usize)], factory: G) -> Vec<FalsifierSweepPoint>
+where
+    P: Protocol<Input = Bit, Output = Bit>,
+    F: Fn(ProcessId) -> P,
+    G: Fn(&CampaignPoint) -> F + Sync,
+{
+    Campaign::grid(nts.iter().copied(), &["theorem-2-families"], &["uniform"])
+        .map(|point| {
+            let cfg = FalsifierConfig::new(point.n, point.t);
+            let verdict = falsify(&cfg, factory(point)).expect("falsifier run");
+            match verdict {
+                Verdict::Violation(cert) => {
+                    cert.verify().expect("certificate must re-verify");
+                    FalsifierSweepPoint {
+                        point: point.clone(),
+                        refuted: true,
+                        verdict: format!("REFUTED ({})", cert.kind),
+                        max_message_complexity: cert.execution.message_complexity(),
+                        paper_bound: cfg.paper_bound(),
+                    }
+                }
+                Verdict::Survived(report) => FalsifierSweepPoint {
+                    point: point.clone(),
+                    refuted: false,
+                    verdict: "survived".into(),
+                    max_message_complexity: report.max_message_complexity,
+                    paper_bound: cfg.paper_bound(),
+                },
+            }
+        })
+        .into_iter()
+        .map(|(_, r)| r)
+        .collect()
 }
 
 #[cfg(test)]
@@ -121,9 +185,8 @@ mod tests {
     #[test]
     fn family_complexity_orders_protocols_correctly() {
         let (n, t) = (12, 4);
-        let cheap = measure_family_complexity("leader-echo", n, t, |_| {
-            LeaderEcho::new(ProcessId(0))
-        });
+        let cheap =
+            measure_family_complexity("leader-echo", n, t, |_| LeaderEcho::new(ProcessId(0)));
         let quadratic = measure_family_complexity(
             "dolev-strong",
             n,
@@ -144,5 +207,20 @@ mod tests {
             Bit::One,
         );
         assert!(exec.all_correct_decided(Bit::One));
+    }
+
+    #[test]
+    fn falsifier_sweep_refutes_leader_echo_on_a_grid() {
+        // A Campaign grid sweep of the falsifier over four (n, t) points,
+        // executed in parallel.
+        let points = [(8usize, 2usize), (10, 2), (12, 4), (16, 8)];
+        let results = falsifier_sweep(&points, |_point| {
+            |_: ProcessId| LeaderEcho::new(ProcessId(0))
+        });
+        assert_eq!(results.len(), 4);
+        for r in &results {
+            assert!(r.refuted, "leader-echo must be refuted at {}", r.point);
+            assert!(r.verdict.starts_with("REFUTED"));
+        }
     }
 }

@@ -124,7 +124,10 @@ pub fn binary_catalog() -> Vec<Box<dyn ProblemEntry>> {
 pub fn full_catalog() -> Vec<Box<dyn ProblemEntry>> {
     let mut catalog = binary_catalog();
     catalog.push(Box::new(IntervalValidity::new(3)));
-    catalog.push(Box::new(ExternalValidity::new(vec![0u8, 1, 2, 3], [1u8, 3])));
+    catalog.push(Box::new(ExternalValidity::new(
+        vec![0u8, 1, 2, 3],
+        [1u8, 3],
+    )));
     catalog
 }
 
@@ -163,7 +166,10 @@ mod tests {
         let weak = rows.iter().find(|r| r.problem == "weak-validity").unwrap();
         assert!(weak.cc && weak.authenticated_solvable && weak.unauthenticated_solvable);
         assert!(!weak.trivial);
-        let majority = rows.iter().find(|r| r.problem == "majority-validity").unwrap();
+        let majority = rows
+            .iter()
+            .find(|r| r.problem == "majority-validity")
+            .unwrap();
         assert!(!majority.cc);
         assert!(majority.witness.is_some());
     }
@@ -184,11 +190,16 @@ mod tests {
             SystemParams::new(4, 2), // n = 2t
         ];
         let rows = analyze_grid(&grid);
-        let strong =
-            |n: usize| rows.iter().find(|r| r.problem == "strong-validity" && r.params.n == n);
+        let strong = |n: usize| {
+            rows.iter()
+                .find(|r| r.problem == "strong-validity" && r.params.n == n)
+        };
         assert!(strong(5).unwrap().authenticated_solvable);
         assert!(!strong(5).unwrap().unauthenticated_solvable, "5 ≤ 3·2");
         assert!(strong(7).unwrap().unauthenticated_solvable);
-        assert!(!strong(4).unwrap().authenticated_solvable, "Theorem 5 at n = 2t");
+        assert!(
+            !strong(4).unwrap().authenticated_solvable,
+            "Theorem 5 at n = 2t"
+        );
     }
 }

@@ -19,10 +19,8 @@
 //! is strictly a small-`n`, few-rounds tool; [`ExhaustiveConfig`] caps the
 //! space and the checker refuses blow-ups.
 
-use std::collections::BTreeSet;
-
 use ba_sim::{
-    run_omission, Bit, ExecutorConfig, Fate, FnPlan, ProcessId, Protocol, Round, SimError,
+    Adversary, Bit, ExecutorConfig, Fate, FnPlan, ProcessId, Protocol, Round, Scenario, SimError,
 };
 
 use super::falsifier::{Certificate, ViolationKind};
@@ -60,8 +58,7 @@ impl ExhaustiveConfig {
     }
 
     fn bits(&self, n: usize) -> u32 {
-        let directions =
-            usize::from(self.send_omissions) + usize::from(self.receive_omissions);
+        let directions = usize::from(self.send_omissions) + usize::from(self.receive_omissions);
         (directions * (n - 1) * self.omission_rounds as usize) as u32
     }
 }
@@ -140,7 +137,6 @@ where
     );
 
     let peers: Vec<ProcessId> = ProcessId::all(n).filter(|p| *p != corrupted).collect();
-    let faulty: BTreeSet<ProcessId> = [corrupted].into();
     let proposal_mask = proposals
         .iter()
         .enumerate()
@@ -151,35 +147,49 @@ where
     let mut masks: Vec<u64> = (0..space).collect();
     masks.sort_by_key(|m| m.count_ones());
 
-    let mut report = ExhaustiveReport { adversaries: 0, corrupted, proposal_mask };
+    let mut report = ExhaustiveReport {
+        adversaries: 0,
+        corrupted,
+        proposal_mask,
+    };
     for mask in masks {
         report.adversaries += 1;
         // Bit layout: round-major, then peer, then direction
         // (send first if enabled).
-        let mut plan = FnPlan(|round: Round, sender: ProcessId, receiver: ProcessId, _: &P::Msg| {
-            if round.0 > bounds.omission_rounds {
-                return Fate::Deliver;
-            }
-            let directions =
-                usize::from(bounds.send_omissions) + usize::from(bounds.receive_omissions);
-            let per_round = directions * peers.len();
-            let base = (round.0 as usize - 1) * per_round;
-            if bounds.send_omissions && sender == corrupted {
-                let peer_idx = peers.iter().position(|p| *p == receiver).expect("peer");
-                if mask >> (base + peer_idx) & 1 == 1 {
-                    return Fate::SendOmit;
+        let plan = FnPlan(
+            |round: Round, sender: ProcessId, receiver: ProcessId, _: &P::Msg| {
+                if round.0 > bounds.omission_rounds {
+                    return Fate::Deliver;
                 }
-            }
-            if bounds.receive_omissions && receiver == corrupted {
-                let peer_idx = peers.iter().position(|p| *p == sender).expect("peer");
-                let offset = if bounds.send_omissions { peers.len() } else { 0 };
-                if mask >> (base + offset + peer_idx) & 1 == 1 {
-                    return Fate::ReceiveOmit;
+                let directions =
+                    usize::from(bounds.send_omissions) + usize::from(bounds.receive_omissions);
+                let per_round = directions * peers.len();
+                let base = (round.0 as usize - 1) * per_round;
+                if bounds.send_omissions && sender == corrupted {
+                    let peer_idx = peers.iter().position(|p| *p == receiver).expect("peer");
+                    if mask >> (base + peer_idx) & 1 == 1 {
+                        return Fate::SendOmit;
+                    }
                 }
-            }
-            Fate::Deliver
-        });
-        let exec = run_omission(cfg, &factory, proposals, &faulty, &mut plan)?;
+                if bounds.receive_omissions && receiver == corrupted {
+                    let peer_idx = peers.iter().position(|p| *p == sender).expect("peer");
+                    let offset = if bounds.send_omissions {
+                        peers.len()
+                    } else {
+                        0
+                    };
+                    if mask >> (base + offset + peer_idx) & 1 == 1 {
+                        return Fate::ReceiveOmit;
+                    }
+                }
+                Fate::Deliver
+            },
+        );
+        let exec = Scenario::config(cfg)
+            .protocol(&factory)
+            .inputs(proposals.iter().cloned())
+            .adversary(Adversary::omission([corrupted], plan))
+            .run()?;
 
         // Check Termination and Agreement among correct processes.
         let mut decided: Option<(Bit, ProcessId)> = None;
@@ -188,7 +198,10 @@ where
             match exec.decision_of(p) {
                 None => {
                     let partner = exec.correct().find(|q| exec.decision_of(*q).is_some());
-                    violation = Some(ViolationKind::Termination { undecided: p, decided: partner });
+                    violation = Some(ViolationKind::Termination {
+                        undecided: p,
+                        decided: partner,
+                    });
                     break;
                 }
                 Some(v) => match decided {
@@ -291,7 +304,10 @@ mod tests {
                     assert_eq!(report.adversaries, 1 << 12); // 2·3·2 bits
                 }
                 ExhaustiveOutcome::Violation(cert, _) => {
-                    panic!("DS wrongly refuted: {:?}\n{:#?}", cert.kind, cert.provenance)
+                    panic!(
+                        "DS wrongly refuted: {:?}\n{:#?}",
+                        cert.kind, cert.provenance
+                    )
                 }
             }
         }
@@ -320,7 +336,10 @@ mod tests {
     #[should_panic(expected = "exceeds the cap")]
     fn oversized_search_spaces_are_refused() {
         let cfg = ExecutorConfig::new(8, 1);
-        let bounds = ExhaustiveConfig { max_adversaries: 1 << 10, ..ExhaustiveConfig::new(4) };
+        let bounds = ExhaustiveConfig {
+            max_adversaries: 1 << 10,
+            ..ExhaustiveConfig::new(4)
+        };
         let _ = exhaustive_omission_check(
             &cfg,
             |_| OneRoundAllToAll::new(),

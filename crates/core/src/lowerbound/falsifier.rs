@@ -66,7 +66,11 @@ impl FalsifierConfig {
     /// Panics unless `2 ≤ t < n` and the paper partition fits (see
     /// [`Partition::paper_default`]).
     pub fn new(n: usize, t: usize) -> Self {
-        let cfg = FalsifierConfig { n, t, horizon: 4 * (t as u64 + 2) + 8 };
+        let cfg = FalsifierConfig {
+            n,
+            t,
+            horizon: 4 * (t as u64 + 2) + 8,
+        };
         let _ = cfg.partition(); // validate early
         cfg
     }
@@ -127,7 +131,11 @@ impl fmt::Display for ViolationKind {
             ViolationKind::Termination { undecided, .. } => {
                 write!(f, "Termination violated by {undecided}")
             }
-            ViolationKind::WeakValidity { process, proposed, decided } => write!(
+            ViolationKind::WeakValidity {
+                process,
+                proposed,
+                decided,
+            } => write!(
                 f,
                 "Weak Validity violated by {process}: all proposed {proposed}, it decided {decided}"
             ),
@@ -183,7 +191,8 @@ impl<M: Payload> Certificate<M> {
     /// Returns the first failed check.
     pub fn verify(&self) -> Result<(), CertificateError> {
         let exec = &self.execution;
-        exec.validate().map_err(CertificateError::InvalidExecution)?;
+        exec.validate()
+            .map_err(CertificateError::InvalidExecution)?;
         let check_correct = |p: ProcessId| {
             if exec.is_correct(p) {
                 Ok(())
@@ -220,7 +229,11 @@ impl<M: Payload> Certificate<M> {
                 }
                 Ok(())
             }
-            ViolationKind::WeakValidity { process, proposed, decided } => {
+            ViolationKind::WeakValidity {
+                process,
+                proposed,
+                decided,
+            } => {
                 if !exec.faulty.is_empty() {
                     return Err(CertificateError::ClaimMismatch(
                         "weak-validity violations require a fully correct execution".into(),
@@ -372,12 +385,22 @@ fn unflip_certificate<M: Payload>(cert: Certificate<M>) -> Certificate<M> {
     let mut provenance = cert.provenance;
     provenance.push("mapped back from the bit-flipped orientation".into());
     let kind = match cert.kind {
-        ViolationKind::WeakValidity { process, proposed, decided } => {
-            ViolationKind::WeakValidity { process, proposed: proposed.flip(), decided: decided.flip() }
-        }
+        ViolationKind::WeakValidity {
+            process,
+            proposed,
+            decided,
+        } => ViolationKind::WeakValidity {
+            process,
+            proposed: proposed.flip(),
+            decided: decided.flip(),
+        },
         other => other,
     };
-    Certificate { execution: unflip_execution(cert.execution), kind, provenance }
+    Certificate {
+        execution: unflip_execution(cert.execution),
+        kind,
+        provenance,
+    }
 }
 
 /// Either a clean unanimous verdict of the correct processes, or a direct
@@ -411,7 +434,10 @@ fn correct_verdict<M: Payload>(
     if let Some(u) = undecided {
         return Err(Box::new(Certificate {
             execution: exec.clone(),
-            kind: ViolationKind::Termination { undecided: u, decided: decided.map(|(_, q)| q) },
+            kind: ViolationKind::Termination {
+                undecided: u,
+                decided: decided.map(|(_, q)| q),
+            },
             provenance: with_note(
                 provenance,
                 format!("{label}: a correct process never decides within the horizon"),
@@ -454,7 +480,9 @@ pub fn lemma2_violation<M: Payload>(
         .collect();
     candidates.sort_unstable();
     for (_, pivot) in candidates {
-        let Ok(swapped) = swap_omission(exec, pivot) else { continue };
+        let Ok(swapped) = swap_omission(exec, pivot) else {
+            continue;
+        };
         if swapped.validate().is_err() {
             continue;
         }
@@ -465,8 +493,14 @@ pub fn lemma2_violation<M: Payload>(
             continue;
         };
         let kind = match swapped.decision_of(pivot) {
-            Some(_) => ViolationKind::Agreement { p: pivot, q: partner },
-            None => ViolationKind::Termination { undecided: pivot, decided: Some(partner) },
+            Some(_) => ViolationKind::Agreement {
+                p: pivot,
+                q: partner,
+            },
+            None => ViolationKind::Termination {
+                undecided: pivot,
+                decided: Some(partner),
+            },
         };
         return Some(Certificate {
             execution: swapped,
@@ -484,7 +518,7 @@ pub fn lemma2_violation<M: Payload>(
 }
 
 /// One full pass of the argument in one bit orientation.
-#[allow(clippy::too_many_lines)]
+#[allow(clippy::too_many_lines, clippy::type_complexity)]
 fn attempt<P, F>(
     cfg: &FalsifierConfig,
     factory: &F,
@@ -527,7 +561,10 @@ where
                 None => {
                     let decided = e.correct().find(|q| e.decision_of(*q).is_some());
                     return Ok(Some(Certificate {
-                        kind: ViolationKind::Termination { undecided: p, decided },
+                        kind: ViolationKind::Termination {
+                            undecided: p,
+                            decided,
+                        },
                         execution: e,
                         provenance: with_note(
                             &prov,
@@ -539,15 +576,18 @@ where
         }
         rmax = rmax.max(e.all_decided_by().expect("all decided above"));
     }
-    prov.push(format!("R_max = {} (all correct decide by then in E_0)", rmax.0));
+    prov.push(format!(
+        "R_max = {} (all correct decide by then in E_0)",
+        rmax.0
+    ));
 
     // Helper: run one isolation execution, require a clean verdict of the
     // correct processes, and apply the Lemma 2 engine to the isolated group.
     let examine = |exec: Execution<Bit, Bit, P::Msg>,
-                       group: &BTreeSet<ProcessId>,
-                       label: &str,
-                       prov: &[String],
-                       stats: &mut Stats|
+                   group: &BTreeSet<ProcessId>,
+                   label: &str,
+                   prov: &[String],
+                   stats: &mut Stats|
      -> Result<Bit, Box<Certificate<P::Msg>>> {
         stats.observe(&exec);
         debug_assert_eq!(exec.validate(), Ok(()));
@@ -573,7 +613,16 @@ where
     if x != y {
         prov.push("Lemma 3 violated by (E_B(1)_0, E_C(1)_0): merging".into());
         return contradict::<P, F>(
-            cfg, factory, &partition, stats, &prov, &eb1_0, Round(1), &ec1_0, Round(1), Bit::Zero,
+            cfg,
+            factory,
+            &partition,
+            stats,
+            &prov,
+            &eb1_0,
+            Round(1),
+            &ec1_0,
+            Round(1),
+            Bit::Zero,
         );
     }
     let ec1_1 = runner.isolated_c::<P>(Round(1), Bit::One)?;
@@ -585,7 +634,16 @@ where
     if x != z {
         prov.push("Lemma 3 violated by (E_B(1)_0, E_C(1)_1): merging".into());
         return contradict::<P, F>(
-            cfg, factory, &partition, stats, &prov, &eb1_0, Round(1), &ec1_1, Round(1), Bit::One,
+            cfg,
+            factory,
+            &partition,
+            stats,
+            &prov,
+            &eb1_0,
+            Round(1),
+            &ec1_1,
+            Round(1),
+            Bit::One,
         );
     }
 
@@ -602,11 +660,20 @@ where
 
     // Step 5 (Lemma 4): scan for the critical round R.
     let mut prev = eb1_0;
-    let mut critical: Option<(Round, Execution<Bit, Bit, P::Msg>, Execution<Bit, Bit, P::Msg>)> =
-        None;
+    let mut critical: Option<(
+        Round,
+        Execution<Bit, Bit, P::Msg>,
+        Execution<Bit, Bit, P::Msg>,
+    )> = None;
     for k in 2..=rmax.0 + 1 {
         let e = runner.isolated_b::<P>(Round(k), Bit::Zero)?;
-        let d = match examine(e.clone(), partition.b(), &format!("E_B({k})_0"), &prov, stats) {
+        let d = match examine(
+            e.clone(),
+            partition.b(),
+            &format!("E_B({k})_0"),
+            &prov,
+            stats,
+        ) {
             Ok(v) => v,
             Err(cert) => return Ok(Some(*cert)),
         };
@@ -633,7 +700,13 @@ where
 
     // Step 6 (Lemma 5): merge the appropriate pair with E_C(R)_0.
     let ec_r = runner.isolated_c::<P>(r, Bit::Zero)?;
-    let w = match examine(ec_r.clone(), partition.c(), &format!("E_C({})_0", r.0), &prov, stats) {
+    let w = match examine(
+        ec_r.clone(),
+        partition.c(),
+        &format!("E_C({})_0", r.0),
+        &prov,
+        stats,
+    ) {
         Ok(v) => v,
         Err(cert) => return Ok(Some(*cert)),
     };
@@ -654,7 +727,18 @@ where
         )
     } else {
         prov.push("merging E_B(R)_0 (A: 1) with E_C(R)_0 (A: 0) — Lemma 5".into());
-        contradict::<P, F>(cfg, factory, &partition, stats, &prov, &eb_r, r, &ec_r, r, Bit::Zero)
+        contradict::<P, F>(
+            cfg,
+            factory,
+            &partition,
+            stats,
+            &prov,
+            &eb_r,
+            r,
+            &ec_r,
+            r,
+            Bit::Zero,
+        )
     }?;
     if outcome.is_none() {
         stats.note(format!(
@@ -691,8 +775,14 @@ where
     debug_assert_eq!(merged.validate(), Ok(()));
     // Lemma 16 sanity: isolated groups cannot distinguish E* from their
     // originals, so they decide identically.
-    debug_assert!(partition.b().iter().all(|p| merged.indistinguishable_to(eb, *p)));
-    debug_assert!(partition.c().iter().all(|p| merged.indistinguishable_to(ec, *p)));
+    debug_assert!(partition
+        .b()
+        .iter()
+        .all(|p| merged.indistinguishable_to(eb, *p)));
+    debug_assert!(partition
+        .c()
+        .iter()
+        .all(|p| merged.indistinguishable_to(ec, *p)));
 
     let prov = with_note(
         prov,
@@ -804,7 +894,9 @@ where
     let partition = cfg.partition();
     let runner = FamilyRunner::new(cfg.executor_config(), factory, partition.clone());
     let e0 = runner.e0::<P>(Bit::Zero)?;
-    let Some(r_max) = e0.all_decided_by() else { return Ok(None) };
+    let Some(r_max) = e0.all_decided_by() else {
+        return Ok(None);
+    };
     for k in 2..=r_max.0 + 1 {
         let e = runner.isolated_b::<P>(Round(k), Bit::Zero)?;
         match e.unanimous_decision(partition.a().iter()) {
@@ -829,7 +921,11 @@ mod tests {
         cert.verify().unwrap();
         assert!(matches!(
             cert.kind,
-            ViolationKind::WeakValidity { proposed: Bit::Zero, decided: Bit::One, .. }
+            ViolationKind::WeakValidity {
+                proposed: Bit::Zero,
+                decided: Bit::One,
+                ..
+            }
         ));
     }
 
@@ -841,7 +937,11 @@ mod tests {
         cert.verify().unwrap();
         assert!(matches!(
             cert.kind,
-            ViolationKind::WeakValidity { proposed: Bit::One, decided: Bit::Zero, .. }
+            ViolationKind::WeakValidity {
+                proposed: Bit::One,
+                decided: Bit::Zero,
+                ..
+            }
         ));
     }
 
@@ -853,7 +953,10 @@ mod tests {
         cert.verify().unwrap();
         assert!(matches!(cert.kind, ViolationKind::Agreement { .. }));
         // The provenance should show the merge path.
-        assert!(cert.provenance.iter().any(|s| s.contains("merged execution")));
+        assert!(cert
+            .provenance
+            .iter()
+            .any(|s| s.contains("merged execution")));
     }
 
     #[test]
@@ -861,7 +964,9 @@ mod tests {
         for (n, t) in [(8usize, 2usize), (12, 4), (16, 8)] {
             let cfg = FalsifierConfig::new(n, t);
             let verdict = falsify(&cfg, |_| LeaderEcho::new(ProcessId(0))).unwrap();
-            let cert = verdict.certificate().expect("violation expected at n={n}, t={t}");
+            let cert = verdict
+                .certificate()
+                .expect("violation expected at n={n}, t={t}");
             cert.verify().unwrap();
             assert!(matches!(cert.kind, ViolationKind::Agreement { .. }));
         }
@@ -877,9 +982,17 @@ mod tests {
         };
         // Tamper 1: name a faulty process as the violator.
         let mut bad = cert.clone();
-        let faulty = *bad.execution.faulty.iter().next().expect("certificate has faults");
+        let faulty = *bad
+            .execution
+            .faulty
+            .iter()
+            .next()
+            .expect("certificate has faults");
         bad.kind = ViolationKind::Agreement { p: faulty, q };
-        assert!(matches!(bad.verify(), Err(CertificateError::NamedProcessFaulty(_))));
+        assert!(matches!(
+            bad.verify(),
+            Err(CertificateError::NamedProcessFaulty(_))
+        ));
         // Tamper 2: claim two processes that actually agree.
         let mut bad = cert.clone();
         let agree_with_q = bad
@@ -888,13 +1001,19 @@ mod tests {
             .find(|r| *r != q && bad.execution.decision_of(*r) == bad.execution.decision_of(q))
             .expect("some correct process agrees with q");
         bad.kind = ViolationKind::Agreement { p: agree_with_q, q };
-        assert!(matches!(bad.verify(), Err(CertificateError::ClaimMismatch(_))));
+        assert!(matches!(
+            bad.verify(),
+            Err(CertificateError::ClaimMismatch(_))
+        ));
         // Tamper 3: excess fault blame breaks the execution guarantees.
         let mut bad = cert.clone();
         for pid in ProcessId::all(bad.execution.n) {
             bad.execution.faulty.insert(pid);
         }
-        assert!(matches!(bad.verify(), Err(CertificateError::InvalidExecution(_))));
+        assert!(matches!(
+            bad.verify(),
+            Err(CertificateError::InvalidExecution(_))
+        ));
         // The untampered certificate still verifies.
         cert.verify().unwrap();
         let _ = p;
@@ -913,7 +1032,10 @@ mod tests {
                 assert!(!report.notes.is_empty());
             }
             Verdict::Violation(cert) => {
-                panic!("unexpected violation: {:?} / {:?}", cert.kind, cert.provenance)
+                panic!(
+                    "unexpected violation: {:?} / {:?}",
+                    cert.kind, cert.provenance
+                )
             }
         }
     }

@@ -4,8 +4,7 @@
 use std::collections::BTreeSet;
 
 use ba_sim::{
-    run_omission, Bit, Execution, ExecutorConfig, IsolationPlan, NoFaults, ProcessId, Protocol,
-    Round, SimError,
+    Adversary, Bit, Execution, ExecutorConfig, ProcessId, Protocol, Round, Scenario, SimError,
 };
 
 /// A partition `(A, B, C)` of `Π` with `B` and `C` the isolation groups
@@ -33,7 +32,10 @@ impl Partition {
         c: BTreeSet<ProcessId>,
     ) -> Self {
         assert!(!a.is_empty(), "group A must be non-empty");
-        assert!(!b.is_empty() && !c.is_empty(), "isolation groups must be non-empty");
+        assert!(
+            !b.is_empty() && !c.is_empty(),
+            "isolation groups must be non-empty"
+        );
         assert!(b.len() + c.len() <= t, "require |B| + |C| ≤ t");
         let mut all = BTreeSet::new();
         for set in [&a, &b, &c] {
@@ -55,7 +57,10 @@ impl Partition {
     /// Panics unless `t ≥ 2` (two disjoint non-empty groups must fit in the
     /// fault budget) and `n ≥ 2·max(1, ⌊t/4⌋) + 1`.
     pub fn paper_default(n: usize, t: usize) -> Self {
-        assert!(t >= 2, "the merged execution needs |B| + |C| ≤ t with both non-empty; t = {t} < 2");
+        assert!(
+            t >= 2,
+            "the merged execution needs |B| + |C| ≤ t with both non-empty; t = {t} < 2"
+        );
         let g = (t / 4).max(1);
         assert!(n > 2 * g, "need n > 2·{g} for a non-empty group A");
         let c: BTreeSet<ProcessId> = (n - g..n).map(ProcessId).collect();
@@ -93,7 +98,11 @@ pub struct FamilyRunner<'f, F> {
 impl<'f, F> FamilyRunner<'f, F> {
     /// Creates a runner.
     pub fn new(cfg: ExecutorConfig, factory: &'f F, partition: Partition) -> Self {
-        FamilyRunner { cfg, factory, partition }
+        FamilyRunner {
+            cfg,
+            factory,
+            partition,
+        }
     }
 
     /// The partition in use.
@@ -119,13 +128,10 @@ impl<'f, F> FamilyRunner<'f, F> {
         P: Protocol<Input = Bit, Output = Bit>,
         F: Fn(ProcessId) -> P,
     {
-        run_omission(
-            &self.cfg,
-            self.factory,
-            &vec![bit; self.cfg.n],
-            &BTreeSet::new(),
-            &mut NoFaults,
-        )
+        Scenario::config(&self.cfg)
+            .protocol(self.factory)
+            .uniform_input(bit)
+            .run()
     }
 
     /// `E_B(k)_bit`: all processes propose `bit`; group `B` is isolated from
@@ -134,11 +140,7 @@ impl<'f, F> FamilyRunner<'f, F> {
     /// # Errors
     ///
     /// Propagates simulator errors.
-    pub fn isolated_b<P>(
-        &self,
-        k: Round,
-        bit: Bit,
-    ) -> Result<Execution<Bit, Bit, P::Msg>, SimError>
+    pub fn isolated_b<P>(&self, k: Round, bit: Bit) -> Result<Execution<Bit, Bit, P::Msg>, SimError>
     where
         P: Protocol<Input = Bit, Output = Bit>,
         F: Fn(ProcessId) -> P,
@@ -152,11 +154,7 @@ impl<'f, F> FamilyRunner<'f, F> {
     /// # Errors
     ///
     /// Propagates simulator errors.
-    pub fn isolated_c<P>(
-        &self,
-        k: Round,
-        bit: Bit,
-    ) -> Result<Execution<Bit, Bit, P::Msg>, SimError>
+    pub fn isolated_c<P>(&self, k: Round, bit: Bit) -> Result<Execution<Bit, Bit, P::Msg>, SimError>
     where
         P: Protocol<Input = Bit, Output = Bit>,
         F: Fn(ProcessId) -> P,
@@ -174,8 +172,11 @@ impl<'f, F> FamilyRunner<'f, F> {
         P: Protocol<Input = Bit, Output = Bit>,
         F: Fn(ProcessId) -> P,
     {
-        let mut plan = IsolationPlan::new(group.iter().copied(), k);
-        run_omission(&self.cfg, self.factory, &vec![bit; self.cfg.n], &group, &mut plan)
+        Scenario::config(&self.cfg)
+            .protocol(self.factory)
+            .uniform_input(bit)
+            .adversary(Adversary::isolation(group, k))
+            .run()
     }
 }
 
@@ -186,7 +187,9 @@ mod tests {
     use ba_protocols::DolevStrong;
 
     fn runner_cfg(n: usize, t: usize) -> ExecutorConfig {
-        ExecutorConfig::new(n, t).with_stop_when_quiescent(false).with_max_rounds(12)
+        ExecutorConfig::new(n, t)
+            .with_stop_when_quiescent(false)
+            .with_max_rounds(12)
     }
 
     #[test]
@@ -233,13 +236,18 @@ mod tests {
         e0.validate().unwrap();
         assert!(e0.all_correct_decided(Bit::Zero));
 
-        let eb = runner.isolated_b::<DolevStrong<Bit>>(Round(2), Bit::Zero).unwrap();
+        let eb = runner
+            .isolated_b::<DolevStrong<Bit>>(Round(2), Bit::Zero)
+            .unwrap();
         eb.validate().unwrap();
         // B is faulty and receives nothing from outside from round 2 on.
         let b_member = *runner.partition().b().iter().next().unwrap();
         assert!(!eb.is_correct(b_member));
         let frag = &eb.record(b_member).fragments[1];
-        assert!(frag.received.keys().all(|s| runner.partition().b().contains(s)));
+        assert!(frag
+            .received
+            .keys()
+            .all(|s| runner.partition().b().contains(s)));
     }
 
     #[test]
@@ -249,10 +257,15 @@ mod tests {
         let factory = DolevStrong::factory(Keybook::new(n), ProcessId(0), Bit::Zero);
         let partition = Partition::paper_default(n, t);
         let runner = FamilyRunner::new(cfg, &factory, partition);
-        let ec = runner.isolated_c::<DolevStrong<Bit>>(Round(1), Bit::One).unwrap();
+        let ec = runner
+            .isolated_c::<DolevStrong<Bit>>(Round(1), Bit::One)
+            .unwrap();
         let c_member = *runner.partition().c().iter().next().unwrap();
         for frag in &ec.record(c_member).fragments {
-            assert!(frag.received.keys().all(|s| runner.partition().c().contains(s)));
+            assert!(frag
+                .received
+                .keys()
+                .all(|s| runner.partition().c().contains(s)));
         }
         // C never extracts the sender's value and decides the default 0,
         // while A ∪ B decide the broadcast value 1.

@@ -72,8 +72,7 @@ pub fn unflip_execution<M: Payload>(mut exec: Execution<Bit, Bit, M>) -> Executi
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ba_sim::{run_omission, ExecutorConfig, NoFaults, ProcessId};
-    use std::collections::BTreeSet;
+    use ba_sim::{ProcessId, Scenario};
 
     /// Broadcast proposal once; decide own proposal.
     #[derive(Clone)]
@@ -104,69 +103,53 @@ mod tests {
 
     #[test]
     fn flipped_protocol_flips_proposals_and_decisions() {
-        let cfg = ExecutorConfig::new(3, 1);
-        let exec = run_omission(
-            &cfg,
-            |_| BitFlipped::new(Echo { decision: None }),
-            &[Bit::Zero; 3],
-            &BTreeSet::new(),
-            &mut NoFaults,
-        )
-        .unwrap();
+        let exec = Scenario::new(3, 1)
+            .protocol(|_| BitFlipped::new(Echo { decision: None }))
+            .uniform_input(Bit::Zero)
+            .run()
+            .unwrap();
         // Inner protocol saw One (flipped), decided One, reported flipped
         // back as Zero.
         assert!(exec.all_correct_decided(Bit::Zero));
         // But the *messages* carry the inner value One.
         assert_eq!(
-            exec.record(ProcessId(0)).fragments[0].sent.get(&ProcessId(1)),
+            exec.record(ProcessId(0)).fragments[0]
+                .sent
+                .get(&ProcessId(1)),
             Some(&Bit::One)
         );
     }
 
     #[test]
     fn unflip_recovers_inner_execution() {
-        let cfg = ExecutorConfig::new(3, 1);
-        let flipped = run_omission(
-            &cfg,
-            |_| BitFlipped::new(Echo { decision: None }),
-            &[Bit::Zero; 3],
-            &BTreeSet::new(),
-            &mut NoFaults,
-        )
-        .unwrap();
+        let flipped = Scenario::new(3, 1)
+            .protocol(|_| BitFlipped::new(Echo { decision: None }))
+            .uniform_input(Bit::Zero)
+            .run()
+            .unwrap();
         let unflipped = unflip_execution(flipped);
         // The unflipped execution is exactly what running Echo on all-One
         // proposals produces.
-        let direct = run_omission(
-            &cfg,
-            |_| Echo { decision: None },
-            &[Bit::One; 3],
-            &BTreeSet::new(),
-            &mut NoFaults,
-        )
-        .unwrap();
+        let direct = Scenario::new(3, 1)
+            .protocol(|_| Echo { decision: None })
+            .uniform_input(Bit::One)
+            .run()
+            .unwrap();
         assert_eq!(unflipped, direct);
     }
 
     #[test]
     fn double_flip_is_identity_on_behavior() {
-        let cfg = ExecutorConfig::new(3, 1);
-        let twice = run_omission(
-            &cfg,
-            |_| BitFlipped::new(BitFlipped::new(Echo { decision: None })),
-            &[Bit::One, Bit::Zero, Bit::One],
-            &BTreeSet::new(),
-            &mut NoFaults,
-        )
-        .unwrap();
-        let direct = run_omission(
-            &cfg,
-            |_| Echo { decision: None },
-            &[Bit::One, Bit::Zero, Bit::One],
-            &BTreeSet::new(),
-            &mut NoFaults,
-        )
-        .unwrap();
+        let twice = Scenario::new(3, 1)
+            .protocol(|_| BitFlipped::new(BitFlipped::new(Echo { decision: None })))
+            .inputs([Bit::One, Bit::Zero, Bit::One])
+            .run()
+            .unwrap();
+        let direct = Scenario::new(3, 1)
+            .protocol(|_| Echo { decision: None })
+            .inputs([Bit::One, Bit::Zero, Bit::One])
+            .run()
+            .unwrap();
         assert_eq!(twice, direct);
     }
 }

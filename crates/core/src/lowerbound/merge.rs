@@ -15,7 +15,7 @@ use std::error::Error;
 use std::fmt;
 
 use ba_sim::{
-    run_omission, Bit, Execution, ExecutorConfig, Fate, FnPlan, ProcessId, Protocol, Round,
+    Adversary, Bit, Execution, ExecutorConfig, Fate, FnPlan, ProcessId, Protocol, Round, Scenario,
     SimError,
 };
 
@@ -51,11 +51,18 @@ impl fmt::Display for MergeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MergeError::NotMergeable { kb, kc, b } => {
-                write!(f, "executions E_B({}) and E_C({})_{b} are not mergeable", kb.0, kc.0)
+                write!(
+                    f,
+                    "executions E_B({}) and E_C({})_{b} are not mergeable",
+                    kb.0, kc.0
+                )
             }
             MergeError::Sim(e) => write!(f, "merged run failed: {e}"),
             MergeError::Diverged { process, round } => {
-                write!(f, "merged inbox of {process} diverged from the original in {round}")
+                write!(
+                    f,
+                    "merged inbox of {process} diverged from the original in {round}"
+                )
             }
         }
     }
@@ -89,6 +96,7 @@ pub fn mergeable(kb: Round, kc: Round, b: Bit) -> bool {
 /// # Errors
 ///
 /// See [`MergeError`].
+#[allow(clippy::too_many_arguments)]
 pub fn merge<P, F>(
     cfg: &ExecutorConfig,
     factory: F,
@@ -109,32 +117,45 @@ where
 
     // Proposals: A ∪ B propose 0, C proposes b (Algorithm 5 lines 4–7).
     let proposals: Vec<Bit> = ProcessId::all(cfg.n)
-        .map(|p| if partition.c().contains(&p) { b } else { Bit::Zero })
+        .map(|p| {
+            if partition.c().contains(&p) {
+                b
+            } else {
+                Bit::Zero
+            }
+        })
         .collect();
-    let faulty = partition.b().union(partition.c()).copied().collect();
+    let faulty: std::collections::BTreeSet<ProcessId> =
+        partition.b().union(partition.c()).copied().collect();
 
     // Delivery: A receives everything; B and C receive exactly their
     // original inboxes (lines 10–18).
-    let mut plan = FnPlan(|round: Round, sender: ProcessId, receiver: ProcessId, payload: &P::Msg| {
-        let original = if partition.b().contains(&receiver) {
-            eb
-        } else if partition.c().contains(&receiver) {
-            ec
-        } else {
-            return Fate::Deliver;
-        };
-        let received_originally = original
-            .record(receiver)
-            .fragment(round)
-            .is_some_and(|frag| frag.received.get(&sender) == Some(payload));
-        if received_originally {
-            Fate::Deliver
-        } else {
-            Fate::ReceiveOmit
-        }
-    });
+    let plan = FnPlan(
+        |round: Round, sender: ProcessId, receiver: ProcessId, payload: &P::Msg| {
+            let original = if partition.b().contains(&receiver) {
+                eb
+            } else if partition.c().contains(&receiver) {
+                ec
+            } else {
+                return Fate::Deliver;
+            };
+            let received_originally = original
+                .record(receiver)
+                .fragment(round)
+                .is_some_and(|frag| frag.received.get(&sender) == Some(payload));
+            if received_originally {
+                Fate::Deliver
+            } else {
+                Fate::ReceiveOmit
+            }
+        },
+    );
 
-    let merged = run_omission(cfg, &factory, &proposals, &faulty, &mut plan)?;
+    let merged = Scenario::config(cfg)
+        .protocol(&factory)
+        .inputs(proposals)
+        .adversary(Adversary::omission(faulty, plan))
+        .run()?;
 
     // Lemma 16's receive-validity claim, checked: each isolated process
     // received exactly its original inbox, round by round.
@@ -146,7 +167,10 @@ where
                 let want = original.record(*pid).fragment(round).map(|f| &f.received);
                 let empty = std::collections::BTreeMap::new();
                 if got.unwrap_or(&empty) != want.unwrap_or(&empty) {
-                    return Err(MergeError::Diverged { process: *pid, round });
+                    return Err(MergeError::Diverged {
+                        process: *pid,
+                        round,
+                    });
                 }
             }
         }
@@ -164,8 +188,14 @@ mod tests {
     fn setup(
         n: usize,
         t: usize,
-    ) -> (ExecutorConfig, impl Fn(ProcessId) -> DolevStrong<Bit>, Partition) {
-        let cfg = ExecutorConfig::new(n, t).with_stop_when_quiescent(false).with_max_rounds(10);
+    ) -> (
+        ExecutorConfig,
+        impl Fn(ProcessId) -> DolevStrong<Bit>,
+        Partition,
+    ) {
+        let cfg = ExecutorConfig::new(n, t)
+            .with_stop_when_quiescent(false)
+            .with_max_rounds(10);
         let factory = DolevStrong::factory(Keybook::new(n), ProcessId(0), Bit::Zero);
         let partition = Partition::paper_default(n, t);
         (cfg, factory, partition)
@@ -178,8 +208,14 @@ mod tests {
         assert!(mergeable(Round(4), Round(3), Bit::Zero));
         assert!(mergeable(Round(3), Round(3), Bit::Zero));
         assert!(mergeable(Round(3), Round(4), Bit::Zero));
-        assert!(!mergeable(Round(4), Round(2), Bit::Zero), "two rounds apart");
-        assert!(!mergeable(Round(2), Round(2), Bit::One), "b = 1 requires k = 1");
+        assert!(
+            !mergeable(Round(4), Round(2), Bit::Zero),
+            "two rounds apart"
+        );
+        assert!(
+            !mergeable(Round(2), Round(2), Bit::One),
+            "b = 1 requires k = 1"
+        );
         assert!(!mergeable(Round(1), Round(2), Bit::One));
     }
 
@@ -187,10 +223,23 @@ mod tests {
     fn merge_rejects_non_mergeable_inputs() {
         let (cfg, factory, partition) = setup(6, 2);
         let runner = FamilyRunner::new(cfg, &factory, partition.clone());
-        let eb = runner.isolated_b::<DolevStrong<Bit>>(Round(4), Bit::Zero).unwrap();
-        let ec = runner.isolated_c::<DolevStrong<Bit>>(Round(2), Bit::Zero).unwrap();
-        let err =
-            merge(&cfg, &factory, &partition, &eb, Round(4), &ec, Round(2), Bit::Zero).unwrap_err();
+        let eb = runner
+            .isolated_b::<DolevStrong<Bit>>(Round(4), Bit::Zero)
+            .unwrap();
+        let ec = runner
+            .isolated_c::<DolevStrong<Bit>>(Round(2), Bit::Zero)
+            .unwrap();
+        let err = merge(
+            &cfg,
+            &factory,
+            &partition,
+            &eb,
+            Round(4),
+            &ec,
+            Round(2),
+            Bit::Zero,
+        )
+        .unwrap_err();
         assert!(matches!(err, MergeError::NotMergeable { .. }));
     }
 
@@ -198,12 +247,28 @@ mod tests {
     fn merged_execution_is_valid_and_isolates_both_groups() {
         let (cfg, factory, partition) = setup(6, 2);
         let runner = FamilyRunner::new(cfg, &factory, partition.clone());
-        let eb = runner.isolated_b::<DolevStrong<Bit>>(Round(2), Bit::Zero).unwrap();
-        let ec = runner.isolated_c::<DolevStrong<Bit>>(Round(2), Bit::Zero).unwrap();
-        let merged =
-            merge(&cfg, &factory, &partition, &eb, Round(2), &ec, Round(2), Bit::Zero).unwrap();
+        let eb = runner
+            .isolated_b::<DolevStrong<Bit>>(Round(2), Bit::Zero)
+            .unwrap();
+        let ec = runner
+            .isolated_c::<DolevStrong<Bit>>(Round(2), Bit::Zero)
+            .unwrap();
+        let merged = merge(
+            &cfg,
+            &factory,
+            &partition,
+            &eb,
+            Round(2),
+            &ec,
+            Round(2),
+            Bit::Zero,
+        )
+        .unwrap();
         merged.validate().unwrap();
-        assert_eq!(merged.faulty, partition.b().union(partition.c()).copied().collect());
+        assert_eq!(
+            merged.faulty,
+            partition.b().union(partition.c()).copied().collect()
+        );
         // Both groups receive nothing from outside their group from round 2.
         for group in [partition.b(), partition.c()] {
             for pid in group {
@@ -218,15 +283,34 @@ mod tests {
     fn lemma_16_indistinguishability_for_isolated_groups() {
         let (cfg, factory, partition) = setup(6, 2);
         let runner = FamilyRunner::new(cfg, &factory, partition.clone());
-        let eb = runner.isolated_b::<DolevStrong<Bit>>(Round(1), Bit::Zero).unwrap();
-        let ec = runner.isolated_c::<DolevStrong<Bit>>(Round(1), Bit::One).unwrap();
-        let merged =
-            merge(&cfg, &factory, &partition, &eb, Round(1), &ec, Round(1), Bit::One).unwrap();
+        let eb = runner
+            .isolated_b::<DolevStrong<Bit>>(Round(1), Bit::Zero)
+            .unwrap();
+        let ec = runner
+            .isolated_c::<DolevStrong<Bit>>(Round(1), Bit::One)
+            .unwrap();
+        let merged = merge(
+            &cfg,
+            &factory,
+            &partition,
+            &eb,
+            Round(1),
+            &ec,
+            Round(1),
+            Bit::One,
+        )
+        .unwrap();
         for pid in partition.b() {
-            assert!(merged.indistinguishable_to(&eb, *pid), "{pid} distinguishes E* from E_B");
+            assert!(
+                merged.indistinguishable_to(&eb, *pid),
+                "{pid} distinguishes E* from E_B"
+            );
         }
         for pid in partition.c() {
-            assert!(merged.indistinguishable_to(&ec, *pid), "{pid} distinguishes E* from E_C");
+            assert!(
+                merged.indistinguishable_to(&ec, *pid),
+                "{pid} distinguishes E* from E_C"
+            );
         }
         // Consequence: isolated groups decide in E* exactly as in their
         // originals.
@@ -242,10 +326,23 @@ mod tests {
     fn merge_one_round_apart_works() {
         let (cfg, factory, partition) = setup(6, 2);
         let runner = FamilyRunner::new(cfg, &factory, partition.clone());
-        let eb = runner.isolated_b::<DolevStrong<Bit>>(Round(3), Bit::Zero).unwrap();
-        let ec = runner.isolated_c::<DolevStrong<Bit>>(Round(2), Bit::Zero).unwrap();
-        let merged =
-            merge(&cfg, &factory, &partition, &eb, Round(3), &ec, Round(2), Bit::Zero).unwrap();
+        let eb = runner
+            .isolated_b::<DolevStrong<Bit>>(Round(3), Bit::Zero)
+            .unwrap();
+        let ec = runner
+            .isolated_c::<DolevStrong<Bit>>(Round(2), Bit::Zero)
+            .unwrap();
+        let merged = merge(
+            &cfg,
+            &factory,
+            &partition,
+            &eb,
+            Round(3),
+            &ec,
+            Round(2),
+            Bit::Zero,
+        )
+        .unwrap();
         merged.validate().unwrap();
         for pid in partition.b() {
             assert!(merged.indistinguishable_to(&eb, *pid));
@@ -259,12 +356,28 @@ mod tests {
     fn merged_message_complexity_counts_only_group_a() {
         let (cfg, factory, partition) = setup(6, 2);
         let runner = FamilyRunner::new(cfg, &factory, partition.clone());
-        let eb = runner.isolated_b::<DolevStrong<Bit>>(Round(1), Bit::Zero).unwrap();
-        let ec = runner.isolated_c::<DolevStrong<Bit>>(Round(1), Bit::Zero).unwrap();
-        let merged =
-            merge(&cfg, &factory, &partition, &eb, Round(1), &ec, Round(1), Bit::Zero).unwrap();
-        let a_sent: u64 =
-            partition.a().iter().map(|p| merged.record(*p).total_sent()).sum();
+        let eb = runner
+            .isolated_b::<DolevStrong<Bit>>(Round(1), Bit::Zero)
+            .unwrap();
+        let ec = runner
+            .isolated_c::<DolevStrong<Bit>>(Round(1), Bit::Zero)
+            .unwrap();
+        let merged = merge(
+            &cfg,
+            &factory,
+            &partition,
+            &eb,
+            Round(1),
+            &ec,
+            Round(1),
+            Bit::Zero,
+        )
+        .unwrap();
+        let a_sent: u64 = partition
+            .a()
+            .iter()
+            .map(|p| merged.record(*p).total_sent())
+            .sum();
         assert_eq!(merged.message_complexity(), a_sent);
     }
 }

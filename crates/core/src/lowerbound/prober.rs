@@ -10,13 +10,9 @@
 
 use std::collections::BTreeSet;
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
-
 use ba_sim::{
-    run_omission, Bit, ExecutorConfig, Fate, ProcessId, Protocol, RandomOmissionPlan, Round,
-    SimError, TableOmissionPlan,
+    Adversary, Bit, ExecutorConfig, Fate, ProcessId, Protocol, RandomOmissionPlan, Round, Scenario,
+    SimError, SimRng, TableOmissionPlan,
 };
 
 use super::falsifier::{Certificate, ViolationKind};
@@ -86,44 +82,58 @@ where
     P: Protocol<Input = Bit, Output = Bit>,
     F: Fn(ProcessId) -> P,
 {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut report = ProbeReport { trials: 0, max_message_complexity: 0 };
+    let mut rng = SimRng::seed_from_u64(seed);
+    let mut report = ProbeReport {
+        trials: 0,
+        max_message_complexity: 0,
+    };
 
     for trial in 0..trials {
         report.trials = trial + 1;
 
         // Random fault set of size 0..=t (size 0 exercises Weak Validity).
-        let fault_count = rng.gen_range(0..=cfg.t);
+        let fault_count = rng.gen_index(0, cfg.t + 1);
         let mut ids: Vec<ProcessId> = ProcessId::all(cfg.n).collect();
-        ids.shuffle(&mut rng);
+        rng.shuffle(&mut ids);
         let faulty: BTreeSet<ProcessId> = ids.into_iter().take(fault_count).collect();
 
         // Pick the nemesis for this trial: random rates always available;
         // the structured ones need at least one faulty process.
-        let nemesis = if faulty.is_empty() { 0 } else { rng.gen_range(0..3u8) };
+        let nemesis = if faulty.is_empty() {
+            0
+        } else {
+            rng.gen_index(0, 3)
+        };
 
         // Proposals: uniform in a third of the trials (to probe validity),
         // random otherwise; the structured nemeses always use uniform
         // proposals (their attacks target the unanimous case).
-        let uniform = nemesis != 0 || rng.gen_range(0..3u8) == 0;
+        let uniform = nemesis != 0 || rng.gen_index(0, 3) == 0;
         let uniform_bit = Bit::from(rng.gen_bool(0.5));
         let mut proposals: Vec<Bit> = (0..cfg.n)
-            .map(|_| if uniform { uniform_bit } else { Bit::from(rng.gen_bool(0.5)) })
+            .map(|_| {
+                if uniform {
+                    uniform_bit
+                } else {
+                    Bit::from(rng.gen_bool(0.5))
+                }
+            })
             .collect();
 
         let horizon = cfg.max_rounds.min(4 * (cfg.t as u64 + 2));
+        let scenario = Scenario::config(cfg).protocol(&factory);
         let exec = match nemesis {
             // Sandbag: a faulty minority-value proposer hides its sends for
             // a prefix of rounds, then reveals to a strict subset.
             1 => {
                 let sandbagger = *faulty.iter().next().expect("non-empty");
                 proposals[sandbagger.index()] = uniform_bit.flip();
-                let reveal_round = rng.gen_range(1..=cfg.t as u64 + 2);
+                let reveal_round = rng.gen_range(1, cfg.t as u64 + 3);
                 let mut plan = TableOmissionPlan::new();
                 let mut receivers: Vec<ProcessId> =
                     ProcessId::all(cfg.n).filter(|p| *p != sandbagger).collect();
-                receivers.shuffle(&mut rng);
-                let reveal_count = rng.gen_range(1..receivers.len());
+                rng.shuffle(&mut receivers);
+                let reveal_count = rng.gen_index(1, receivers.len());
                 let hidden: Vec<ProcessId> = receivers.into_iter().skip(reveal_count).collect();
                 for round in 1..=horizon {
                     for receiver in ProcessId::all(cfg.n).filter(|p| *p != sandbagger) {
@@ -132,36 +142,46 @@ where
                         }
                     }
                 }
-                run_omission(cfg, &factory, &proposals, &faulty, &mut plan)?
+                scenario
+                    .inputs(proposals.iter().cloned())
+                    .adversary(Adversary::omission(faulty.iter().copied(), plan))
+                    .run()?
             }
             // Stutter: behave perfectly except for one round, in which the
             // faulty process send-omits to a strict subset — the minimal
             // "detectable fault" that splits echo-style protocols.
             2 => {
                 let stutterer = *faulty.iter().next().expect("non-empty");
-                let stutter_round = rng.gen_range(1..=cfg.t as u64 + 2);
+                let stutter_round = rng.gen_range(1, cfg.t as u64 + 3);
                 let mut plan = TableOmissionPlan::new();
                 let mut receivers: Vec<ProcessId> =
                     ProcessId::all(cfg.n).filter(|p| *p != stutterer).collect();
-                receivers.shuffle(&mut rng);
-                let omit_count = rng.gen_range(1..receivers.len());
+                rng.shuffle(&mut receivers);
+                let omit_count = rng.gen_index(1, receivers.len());
                 for receiver in receivers.into_iter().take(omit_count) {
                     plan.set(Round(stutter_round), stutterer, receiver, Fate::SendOmit);
                 }
-                run_omission(cfg, &factory, &proposals, &faulty, &mut plan)?
+                scenario
+                    .inputs(proposals.iter().cloned())
+                    .adversary(Adversary::omission(faulty.iter().copied(), plan))
+                    .run()?
             }
             // Random per-message omission rates.
             _ => {
-                let mut plan = RandomOmissionPlan::new(
+                let plan = RandomOmissionPlan::new(
                     faulty.iter().copied(),
-                    rng.gen_range(0.05..0.95),
-                    rng.gen_range(0.05..0.95),
-                    rng.gen(),
+                    rng.gen_f64(0.05, 0.95),
+                    rng.gen_f64(0.05, 0.95),
+                    rng.next_u64(),
                 );
-                run_omission(cfg, &factory, &proposals, &faulty, &mut plan)?
+                scenario
+                    .inputs(proposals.iter().cloned())
+                    .adversary(Adversary::omission(faulty.iter().copied(), plan))
+                    .run()?
             }
         };
-        report.max_message_complexity = report.max_message_complexity.max(exec.message_complexity());
+        report.max_message_complexity =
+            report.max_message_complexity.max(exec.message_complexity());
         let provenance = vec![format!("random omission probe: trial {trial}, seed {seed}")];
 
         // Termination + Agreement among correct processes.
@@ -171,8 +191,10 @@ where
             match exec.decision_of(p) {
                 None => {
                     let partner = exec.correct().find(|q| exec.decision_of(*q).is_some());
-                    violation =
-                        Some(ViolationKind::Termination { undecided: p, decided: partner });
+                    violation = Some(ViolationKind::Termination {
+                        undecided: p,
+                        decided: partner,
+                    });
                     break;
                 }
                 Some(v) => match decided {
@@ -199,7 +221,11 @@ where
         }
         if let Some(kind) = violation {
             return Ok(ProbeOutcome::Violation(
-                Box::new(Certificate { execution: exec, kind, provenance }),
+                Box::new(Certificate {
+                    execution: exec,
+                    kind,
+                    provenance,
+                }),
                 report,
             ));
         }
@@ -242,7 +268,10 @@ mod tests {
             13,
         )
         .unwrap();
-        assert!(outcome.certificate().is_none(), "Dolev-Strong must survive: {outcome:?}");
+        assert!(
+            outcome.certificate().is_none(),
+            "Dolev-Strong must survive: {outcome:?}"
+        );
         assert_eq!(outcome.report().trials, 150);
     }
 

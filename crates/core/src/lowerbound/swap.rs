@@ -39,10 +39,16 @@ impl fmt::Display for SwapError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SwapError::PivotSendOmitted { pivot } => {
-                write!(f, "pivot {pivot} send-omitted messages and would stay faulty")
+                write!(
+                    f,
+                    "pivot {pivot} send-omitted messages and would stay faulty"
+                )
             }
             SwapError::TooManyFaulty { got, t } => {
-                write!(f, "swap would need {got} faulty processes, exceeding t = {t}")
+                write!(
+                    f,
+                    "swap would need {got} faulty processes, exceeding t = {t}"
+                )
             }
         }
     }
@@ -110,7 +116,10 @@ where
         })
         .collect();
     if faulty.len() > out.t {
-        return Err(SwapError::TooManyFaulty { got: faulty.len(), t: out.t });
+        return Err(SwapError::TooManyFaulty {
+            got: faulty.len(),
+            t: out.t,
+        });
     }
     out.faulty = faulty;
     Ok(out)
@@ -120,8 +129,8 @@ where
 mod tests {
     use super::*;
     use ba_sim::{
-        run_omission, Bit, ExecutorConfig, Fate, Inbox, IsolationPlan, Outbox, ProcessCtx,
-        Protocol, Round, TableOmissionPlan,
+        Adversary, Bit, Fate, Inbox, Outbox, ProcessCtx, Protocol, Round, Scenario,
+        TableOmissionPlan,
     };
 
     /// Everyone broadcasts its bit each round for `rounds` rounds, then
@@ -135,7 +144,11 @@ mod tests {
 
     impl Broadcaster {
         fn new(rounds: u64) -> Self {
-            Broadcaster { proposal: Bit::Zero, rounds, decision: None }
+            Broadcaster {
+                proposal: Bit::Zero,
+                rounds,
+                decision: None,
+            }
         }
     }
 
@@ -166,16 +179,13 @@ mod tests {
         }
     }
 
-    fn isolated_run(
-        n: usize,
-        t: usize,
-        group: &[usize],
-        from: Round,
-    ) -> Execution<Bit, Bit, Bit> {
-        let cfg = ExecutorConfig::new(n, t);
+    fn isolated_run(n: usize, t: usize, group: &[usize], from: Round) -> Execution<Bit, Bit, Bit> {
         let group: BTreeSet<ProcessId> = group.iter().map(|i| ProcessId(*i)).collect();
-        let mut plan = IsolationPlan::new(group.iter().copied(), from);
-        run_omission(&cfg, |_| Broadcaster::new(3), &vec![Bit::Zero; n], &group, &mut plan)
+        Scenario::new(n, t)
+            .protocol(|_| Broadcaster::new(3))
+            .uniform_input(Bit::Zero)
+            .adversary(Adversary::isolation(group, from))
+            .run()
             .unwrap()
     }
 
@@ -186,7 +196,10 @@ mod tests {
         swapped.validate().unwrap();
         // The pivot is correct now; the three senders take the blame.
         assert!(swapped.is_correct(ProcessId(3)));
-        assert_eq!(swapped.faulty, [ProcessId(0), ProcessId(1), ProcessId(2)].into());
+        assert_eq!(
+            swapped.faulty,
+            [ProcessId(0), ProcessId(1), ProcessId(2)].into()
+        );
         for sender in [ProcessId(0), ProcessId(1), ProcessId(2)] {
             assert!(swapped.record(sender).all_send_omitted().next().is_some());
         }
@@ -197,7 +210,10 @@ mod tests {
         let exec = isolated_run(5, 4, &[4], Round(2));
         let swapped = swap_omission(&exec, ProcessId(4)).unwrap();
         for pid in ProcessId::all(5) {
-            assert!(exec.indistinguishable_to(&swapped, pid), "{pid} can distinguish");
+            assert!(
+                exec.indistinguishable_to(&swapped, pid),
+                "{pid} can distinguish"
+            );
         }
         // Decisions are untouched.
         for pid in ProcessId::all(5) {
@@ -215,20 +231,21 @@ mod tests {
 
     #[test]
     fn swap_fails_for_send_omitting_pivot() {
-        let cfg = ExecutorConfig::new(3, 1);
-        let faulty: BTreeSet<_> = [ProcessId(2)].into();
         let mut plan = TableOmissionPlan::new();
         plan.set(Round(1), ProcessId(2), ProcessId(0), Fate::SendOmit);
-        let exec = run_omission(
-            &cfg,
-            |_| Broadcaster::new(2),
-            &[Bit::Zero; 3],
-            &faulty,
-            &mut plan,
-        )
-        .unwrap();
+        let exec = Scenario::new(3, 1)
+            .protocol(|_| Broadcaster::new(2))
+            .uniform_input(Bit::Zero)
+            .adversary(Adversary::omission([ProcessId(2)], plan))
+            .run()
+            .unwrap();
         let err = swap_omission(&exec, ProcessId(2)).unwrap_err();
-        assert_eq!(err, SwapError::PivotSendOmitted { pivot: ProcessId(2) });
+        assert_eq!(
+            err,
+            SwapError::PivotSendOmitted {
+                pivot: ProcessId(2)
+            }
+        );
     }
 
     #[test]
@@ -241,13 +258,13 @@ mod tests {
         let before: Vec<_> = exec
             .record(ProcessId(5))
             .all_receive_omitted()
-            .map(|(r, s, m)| (r, s, m.clone()))
+            .map(|(r, s, m)| (r, s, *m))
             .collect();
         let mut after: Vec<_> = Vec::new();
         for sender in ProcessId::all(6) {
             for (r, recv, m) in swapped.record(sender).all_send_omitted() {
                 if recv == ProcessId(5) {
-                    after.push((r, sender, m.clone()));
+                    after.push((r, sender, *m));
                 }
             }
         }

@@ -25,13 +25,11 @@
 //! `(c0, v'_0, c1, v'_1)` directly, regardless of its (formally trivial)
 //! validity property.
 
-use std::collections::BTreeSet;
 use std::error::Error;
 use std::fmt;
 
 use ba_sim::{
-    run_omission, Bit, ExecutorConfig, Inbox, NoFaults, Outbox, ProcessCtx, ProcessId, Protocol,
-    Round, SimError,
+    Bit, ExecutorConfig, Inbox, Outbox, ProcessCtx, ProcessId, Protocol, Round, Scenario, SimError,
 };
 
 use crate::validity::{enumerate_configs, InputConfig, SystemParams, ValidityProperty};
@@ -85,7 +83,10 @@ impl fmt::Display for ReductionError {
                 write!(f, "v0 is admissible everywhere: the problem is trivial")
             }
             ReductionError::ValidityViolated { value } => {
-                write!(f, "protocol decided {value} on both c0 and c1, violating its validity property")
+                write!(
+                    f,
+                    "protocol decided {value} on both c0 and c1, violating its validity property"
+                )
             }
         }
     }
@@ -139,9 +140,17 @@ where
     let v1 = run_fully_correct(cfg, &factory, &c1)?;
 
     if v1 == v0 {
-        return Err(ReductionError::ValidityViolated { value: format!("{v0:?}") });
+        return Err(ReductionError::ValidityViolated {
+            value: format!("{v0:?}"),
+        });
     }
-    Ok(ReductionInputs { c0, c1, v0, v1, c_star })
+    Ok(ReductionInputs {
+        c0,
+        c1,
+        v0,
+        v1,
+        c_star,
+    })
 }
 
 fn run_fully_correct<P, F>(
@@ -153,13 +162,15 @@ where
     P: Protocol,
     F: Fn(ProcessId) -> P,
 {
-    let exec = run_omission(cfg, factory, proposals, &BTreeSet::new(), &mut NoFaults)?;
+    let exec = Scenario::config(cfg)
+        .protocol(factory)
+        .inputs(proposals.iter().cloned())
+        .run()?;
     let all: Vec<ProcessId> = ProcessId::all(cfg.n).collect();
-    exec.unanimous_decision(all.iter()).ok_or_else(|| {
-        ReductionError::NotAnAgreementAlgorithm {
+    exec.unanimous_decision(all.iter())
+        .ok_or_else(|| ReductionError::NotAnAgreementAlgorithm {
             detail: "fully correct execution did not reach a unanimous decision".into(),
-        }
-    })
+        })
 }
 
 /// Algorithm 1's wrapper: a weak consensus protocol built from any
@@ -169,8 +180,7 @@ where
 /// use ba_core::reduction::{derive_reduction_inputs, WeakFromAgreement};
 /// use ba_core::validity::StrongValidity;
 /// use ba_protocols::PhaseKing;
-/// use ba_sim::{run_omission, Bit, ExecutorConfig, NoFaults};
-/// use std::collections::BTreeSet;
+/// use ba_sim::{Bit, ExecutorConfig, Scenario};
 ///
 /// let cfg = ExecutorConfig::new(4, 1);
 /// let inputs = derive_reduction_inputs(
@@ -181,13 +191,11 @@ where
 ///
 /// // The wrapped protocol solves weak consensus: all-One fully correct
 /// // execution decides One.
-/// let exec = run_omission(
-///     &cfg,
-///     |_| WeakFromAgreement::new(PhaseKing::new(4, 1), inputs.clone()),
-///     &[Bit::One; 4],
-///     &BTreeSet::new(),
-///     &mut NoFaults,
-/// ).unwrap();
+/// let exec = Scenario::config(&cfg)
+///     .protocol(|_| WeakFromAgreement::new(PhaseKing::new(4, 1), inputs.clone()))
+///     .uniform_input(Bit::One)
+///     .run()
+///     .unwrap();
 /// assert!(exec.all_correct_decided(Bit::One));
 /// ```
 #[derive(Clone, Debug)]
@@ -229,9 +237,13 @@ impl<P: Protocol> Protocol for WeakFromAgreement<P> {
 
     fn decision(&self) -> Option<Bit> {
         // Line 9–12: v'_0 ↦ 0, anything else ↦ 1.
-        self.inner
-            .decision()
-            .map(|v| if v == self.inputs.v0 { Bit::Zero } else { Bit::One })
+        self.inner.decision().map(|v| {
+            if v == self.inputs.v0 {
+                Bit::Zero
+            } else {
+                Bit::One
+            }
+        })
     }
 }
 
@@ -309,14 +321,11 @@ mod tests {
             derive_reduction_inputs(&cfg, |_| PhaseKing::new(4, 1), &StrongValidity::binary())
                 .unwrap();
         for bit in Bit::ALL {
-            let exec = run_omission(
-                &cfg,
-                |_| WeakFromAgreement::new(PhaseKing::new(4, 1), inputs.clone()),
-                &[bit; 4],
-                &BTreeSet::new(),
-                &mut NoFaults,
-            )
-            .unwrap();
+            let exec = Scenario::config(&cfg)
+                .protocol(|_| WeakFromAgreement::new(PhaseKing::new(4, 1), inputs.clone()))
+                .uniform_input(bit)
+                .run()
+                .unwrap();
             assert!(exec.all_correct_decided(bit), "weak validity for {bit}");
         }
     }
@@ -329,22 +338,16 @@ mod tests {
         let inputs =
             derive_reduction_inputs(&cfg, |_| PhaseKing::new(4, 1), &StrongValidity::binary())
                 .unwrap();
-        let wrapped = run_omission(
-            &cfg,
-            |_| WeakFromAgreement::new(PhaseKing::new(4, 1), inputs.clone()),
-            &[Bit::Zero; 4],
-            &BTreeSet::new(),
-            &mut NoFaults,
-        )
-        .unwrap();
-        let bare = run_omission(
-            &cfg,
-            |_| PhaseKing::new(4, 1),
-            &inputs.c0,
-            &BTreeSet::new(),
-            &mut NoFaults,
-        )
-        .unwrap();
+        let wrapped = Scenario::config(&cfg)
+            .protocol(|_| WeakFromAgreement::new(PhaseKing::new(4, 1), inputs.clone()))
+            .uniform_input(Bit::Zero)
+            .run()
+            .unwrap();
+        let bare = Scenario::config(&cfg)
+            .protocol(|_| PhaseKing::new(4, 1))
+            .inputs(inputs.c0.iter().cloned())
+            .run()
+            .unwrap();
         assert_eq!(wrapped.message_complexity(), bare.message_complexity());
         assert_eq!(wrapped.total_messages(), bare.total_messages());
     }
@@ -357,7 +360,10 @@ mod tests {
         // from those executions directly — no validity enumeration at all.
         let cfg = ExecutorConfig::new(4, 1);
         let run = |proposals: &[Bit; 4]| {
-            run_omission(&cfg, |_| PhaseKing::new(4, 1), proposals, &BTreeSet::new(), &mut NoFaults)
+            Scenario::config(&cfg)
+                .protocol(|_| PhaseKing::new(4, 1))
+                .inputs(proposals.iter().copied())
+                .run()
                 .unwrap()
         };
         let e0 = run(&[Bit::Zero; 4]);
@@ -374,14 +380,11 @@ mod tests {
             c_star: InputConfig::full(vec![Bit::One; 4]),
         };
         for bit in Bit::ALL {
-            let exec = run_omission(
-                &cfg,
-                |_| WeakFromAgreement::new(PhaseKing::new(4, 1), inputs.clone()),
-                &[bit; 4],
-                &BTreeSet::new(),
-                &mut NoFaults,
-            )
-            .unwrap();
+            let exec = Scenario::config(&cfg)
+                .protocol(|_| WeakFromAgreement::new(PhaseKing::new(4, 1), inputs.clone()))
+                .uniform_input(bit)
+                .run()
+                .unwrap();
             assert!(exec.all_correct_decided(bit));
         }
     }

@@ -71,10 +71,9 @@ where
         // configuration by construction.
         self.inner.decision().map(|vec| {
             let config = InputConfig::full(vec);
-            self.gamma
-                .apply(&config)
-                .cloned()
-                .expect("Γ is total over I ⊇ I_n; IC decided a vector outside the enumerated domain")
+            self.gamma.apply(&config).cloned().expect(
+                "Γ is total over I ⊇ I_n; IC decided a vector outside the enumerated domain",
+            )
         })
     }
 }
@@ -90,11 +89,7 @@ mod tests {
     use ba_protocols::interactive_consistency::{
         authenticated_ic_factory, unauthenticated_ic_factory,
     };
-    use ba_sim::{
-        run_byzantine, run_omission, Bit, ByzantineBehavior, ExecutorConfig, NoFaults, ProcessId,
-        SilentByzantine,
-    };
-    use std::collections::{BTreeMap, BTreeSet};
+    use ba_sim::{Adversary, Bit, ProcessId, Scenario, SilentByzantine};
 
     fn gamma_for<VP: ValidityProperty>(
         vp: &VP,
@@ -113,23 +108,19 @@ mod tests {
         let (n, t) = (4, 1);
         let params = SystemParams::new(n, t);
         let gamma = gamma_for(&WeakValidity::binary(), &params);
-        let cfg = ExecutorConfig::new(n, t);
         for bit in Bit::ALL {
             let book = Keybook::new(n);
             let gamma = gamma.clone();
-            let exec = run_omission(
-                &cfg,
-                move |pid| {
+            let exec = Scenario::new(n, t)
+                .protocol(move |pid| {
                     ViaInteractiveConsistency::new(
                         authenticated_ic_factory(book.clone(), Bit::Zero)(pid),
                         gamma.clone(),
                     )
-                },
-                &[bit; 4],
-                &BTreeSet::new(),
-                &mut NoFaults,
-            )
-            .unwrap();
+                })
+                .uniform_input(bit)
+                .run()
+                .unwrap();
             exec.validate().unwrap();
             assert!(exec.all_correct_decided(bit), "weak validity for {bit}");
         }
@@ -141,23 +132,19 @@ mod tests {
         let params = SystemParams::new(n, t);
         let vp = StrongValidity::binary();
         let gamma = gamma_for(&vp, &params);
-        let cfg = ExecutorConfig::new(n, t);
         let book = Keybook::new(n);
         let gamma2 = gamma.clone();
-        let behaviors: BTreeMap<_, Box<dyn ByzantineBehavior<Bit, _>>> =
-            [(ProcessId(3), Box::new(SilentByzantine) as Box<_>)].into_iter().collect();
-        let exec = run_byzantine(
-            &cfg,
-            move |pid| {
+        let exec = Scenario::new(n, t)
+            .protocol(move |pid| {
                 ViaInteractiveConsistency::new(
                     authenticated_ic_factory(book.clone(), Bit::Zero)(pid),
                     gamma2.clone(),
                 )
-            },
-            &[Bit::One; 4],
-            behaviors,
-        )
-        .unwrap();
+            })
+            .uniform_input(Bit::One)
+            .adversary(Adversary::one_byzantine(ProcessId(3), SilentByzantine))
+            .run()
+            .unwrap();
         exec.validate().unwrap();
         // Correct processes all proposed One; Strong Validity demands One.
         for pid in exec.correct() {
@@ -173,27 +160,25 @@ mod tests {
         let params = SystemParams::new(n, t);
         let vp = IntervalValidity::new(3);
         let gamma = gamma_for(&vp, &params);
-        let cfg = ExecutorConfig::new(n, t);
         let proposals = [2u8, 0, 2, 1];
         let gamma2 = gamma.clone();
-        let exec = run_omission(
-            &cfg,
-            move |pid| {
+        let exec = Scenario::new(n, t)
+            .protocol(move |pid| {
                 ViaInteractiveConsistency::new(
                     unauthenticated_ic_factory(n, t, 0u8)(pid),
                     gamma2.clone(),
                 )
-            },
-            &proposals,
-            &BTreeSet::new(),
-            &mut NoFaults,
-        )
-        .unwrap();
+            })
+            .inputs(proposals)
+            .run()
+            .unwrap();
         exec.validate().unwrap();
         let config = InputConfig::full(proposals.to_vec());
         let admissible = vp.admissible(&params, &config);
         let all: Vec<ProcessId> = ProcessId::all(n).collect();
-        let decided = exec.unanimous_decision(all.iter()).expect("agreement + termination");
+        let decided = exec
+            .unanimous_decision(all.iter())
+            .expect("agreement + termination");
         assert!(admissible.contains(&decided), "decided {decided} ∉ val(c)");
     }
 
@@ -206,30 +191,28 @@ mod tests {
         let params = SystemParams::new(n, t);
         let vp = StrongValidity::binary();
         let gamma = gamma_for(&vp, &params);
-        let cfg = ExecutorConfig::new(n, t);
         for mask in 0u32..(1 << n) {
-            let proposals: Vec<Bit> =
-                (0..n).map(|i| Bit::from(mask & (1 << i) != 0)).collect();
+            let proposals: Vec<Bit> = (0..n).map(|i| Bit::from(mask & (1 << i) != 0)).collect();
             let book = Keybook::new(n);
             let gamma2 = gamma.clone();
-            let exec = run_omission(
-                &cfg,
-                move |pid| {
+            let exec = Scenario::new(n, t)
+                .protocol(move |pid| {
                     ViaInteractiveConsistency::new(
                         authenticated_ic_factory(book.clone(), Bit::Zero)(pid),
                         gamma2.clone(),
                     )
-                },
-                &proposals,
-                &BTreeSet::new(),
-                &mut NoFaults,
-            )
-            .unwrap();
+                })
+                .inputs(proposals.iter().copied())
+                .run()
+                .unwrap();
             let config = InputConfig::full(proposals.clone());
             let admissible = vp.admissible(&params, &config);
             let all: Vec<ProcessId> = ProcessId::all(n).collect();
             let decided = exec.unanimous_decision(all.iter()).expect("agreement");
-            assert!(admissible.contains(&decided), "proposals {proposals:?}: {decided} inadmissible");
+            assert!(
+                admissible.contains(&decided),
+                "proposals {proposals:?}: {decided} inadmissible"
+            );
         }
     }
 }

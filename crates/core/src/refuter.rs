@@ -21,13 +21,12 @@
 //! * correct solutions (Algorithm 2 over IC with a genuine Γ) produce no
 //!   refutation, their Γ *is* the containment-condition witness.
 
-use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
 
 use ba_sim::{
-    run_byzantine, run_omission, ByzantineBehavior, Execution, ExecutorConfig, FaultMode,
-    HonestMimic, NoFaults, ProcessId, Protocol, SimError,
+    Adversary, BoxedBehavior, Execution, ExecutorConfig, FaultMode, HonestMimic, ProcessId,
+    Protocol, Scenario, SimError,
 };
 
 use crate::validity::{containment_set, InputConfig, SystemParams, ValidityProperty};
@@ -132,6 +131,7 @@ impl<I: ba_sim::Value, O: ba_sim::Value, M: ba_sim::Payload> ValidityRefutation<
 /// on fully correct executions are reported as
 /// [`SimError`]-wrapped? No — they are skipped with a provenance note, as
 /// they are refuted by more basic means (the falsifier).
+#[allow(clippy::type_complexity)]
 pub fn lemma7_refute<P, F, VP>(
     cfg: &ExecutorConfig,
     factory: F,
@@ -148,10 +148,12 @@ where
     // Mixed-radix enumeration of all full proposal vectors.
     let mut assignment = vec![0usize; cfg.n];
     loop {
-        let proposals: Vec<P::Input> =
-            assignment.iter().map(|d| domain[*d].clone()).collect();
+        let proposals: Vec<P::Input> = assignment.iter().map(|d| domain[*d].clone()).collect();
 
-        let exec = run_omission(cfg, &factory, &proposals, &Default::default(), &mut NoFaults)?;
+        let exec = Scenario::config(cfg)
+            .protocol(&factory)
+            .inputs(proposals.iter().cloned())
+            .run()?;
         let all: Vec<ProcessId> = ProcessId::all(cfg.n).collect();
         if let Some(decided) = exec.unanimous_decision(all.iter()) {
             let full = InputConfig::full(proposals.clone());
@@ -162,20 +164,20 @@ where
                 // Lemma 7's construction: declare Π \ π(c') faulty but run
                 // them honestly — indistinguishable, so the decision stands,
                 // but now it is inadmissible.
-                let behaviors: BTreeMap<
-                    ProcessId,
-                    Box<dyn ByzantineBehavior<P::Input, P::Msg>>,
-                > = ProcessId::all(cfg.n)
+                let behaviors = ProcessId::all(cfg.n)
                     .filter(|p| sub.proposal_of(*p).is_none())
                     .map(|p| {
                         (
                             p,
                             Box::new(HonestMimic::new(factory(p)))
-                                as Box<dyn ByzantineBehavior<P::Input, P::Msg>>,
+                                as BoxedBehavior<'_, P::Input, P::Msg>,
                         )
-                    })
-                    .collect();
-                let shadow = run_byzantine(cfg, &factory, &proposals, behaviors)?;
+                    });
+                let shadow = Scenario::config(cfg)
+                    .protocol(&factory)
+                    .inputs(proposals.iter().cloned())
+                    .adversary(Adversary::byzantine(behaviors))
+                    .run()?;
                 debug_assert_eq!(shadow.mode, FaultMode::Byzantine);
                 // Determinism + indistinguishability ⇒ identical decisions.
                 debug_assert!(shadow
@@ -231,7 +233,9 @@ mod tests {
     /// violates the containment condition.
     fn bogus_majority_factory(
         n: usize,
-    ) -> impl Fn(ProcessId) -> ViaInteractiveConsistency<
+    ) -> impl Fn(
+        ProcessId,
+    ) -> ViaInteractiveConsistency<
         ba_protocols::interactive_consistency::AuthenticatedIc<Bit>,
         Bit,
     > + Clone {
@@ -275,8 +279,12 @@ mod tests {
         let cfg = ExecutorConfig::new(n, 1);
         let params = SystemParams::new(n, 1);
         let vp = StrongValidity::binary();
-        let gamma =
-            Arc::new(check_containment_condition(&vp, &params).gamma().cloned().unwrap());
+        let gamma = Arc::new(
+            check_containment_condition(&vp, &params)
+                .gamma()
+                .cloned()
+                .unwrap(),
+        );
         let book = Keybook::new(n);
         let factory = move |pid: ProcessId| {
             ViaInteractiveConsistency::new(
@@ -285,7 +293,10 @@ mod tests {
             )
         };
         let refutation = lemma7_refute(&cfg, factory, &vp).unwrap();
-        assert!(refutation.is_none(), "genuine solution wrongly refuted: {refutation:?}");
+        assert!(
+            refutation.is_none(),
+            "genuine solution wrongly refuted: {refutation:?}"
+        );
     }
 
     #[test]
@@ -294,8 +305,9 @@ mod tests {
         let cfg = ExecutorConfig::new(n, 1);
         let params = SystemParams::new(n, 1);
         let vp = MajorityValidity::new();
-        let refutation =
-            lemma7_refute(&cfg, bogus_majority_factory(n), &vp).unwrap().unwrap();
+        let refutation = lemma7_refute(&cfg, bogus_majority_factory(n), &vp)
+            .unwrap()
+            .unwrap();
         // Tamper: claim an admissible value instead.
         let mut bad = refutation.clone();
         bad.decided = bad.decided.flip();

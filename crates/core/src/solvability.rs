@@ -76,7 +76,10 @@ impl<VI: ba_sim::Value + fmt::Display> fmt::Display for CcWitness<VI> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "CC violated at c = {}", self.config)?;
         if let Some((a, b)) = &self.disjoint_pair {
-            write!(f, "; contained configs {a} and {b} admit disjoint decision sets")?;
+            write!(
+                f,
+                "; contained configs {a} and {b} admit disjoint decision sets"
+            )?;
         }
         Ok(())
     }
@@ -157,7 +160,10 @@ pub fn check_containment_condition<VP: ValidityProperty>(
                         }
                     }
                 }
-                return CcResult::Violated(CcWitness { config: c, disjoint_pair });
+                return CcResult::Violated(CcWitness {
+                    config: c,
+                    disjoint_pair,
+                });
             }
         }
     }
@@ -166,10 +172,7 @@ pub fn check_containment_condition<VP: ValidityProperty>(
 
 /// Decides triviality (paper §4.1): the problem is trivial iff some value is
 /// admissible in *every* input configuration; returns such a value.
-pub fn trivial_value<VP: ValidityProperty>(
-    vp: &VP,
-    params: &SystemParams,
-) -> Option<VP::Output> {
+pub fn trivial_value<VP: ValidityProperty>(vp: &VP, params: &SystemParams) -> Option<VP::Output> {
     let domain = vp.input_domain();
     let mut candidates: Option<BTreeSet<VP::Output>> = None;
     for c in enumerate_configs(params, &domain) {
@@ -289,12 +292,18 @@ mod tests {
         // The paper's Theorem 5 witness, checked exhaustively.
         for (n, t) in [(4usize, 2usize), (2, 1), (6, 3), (5, 3)] {
             let report = solvability(&StrongValidity::binary(), &SystemParams::new(n, t));
-            assert!(!report.cc.holds(), "strong consensus must fail CC at n={n}, t={t}");
+            assert!(
+                !report.cc.holds(),
+                "strong consensus must fail CC at n={n}, t={t}"
+            );
             assert!(!report.authenticated_solvable);
         }
         for (n, t) in [(3usize, 1usize), (5, 2), (7, 3)] {
             let report = solvability(&StrongValidity::binary(), &SystemParams::new(n, t));
-            assert!(report.cc.holds(), "strong consensus must satisfy CC at n={n}, t={t}");
+            assert!(
+                report.cc.holds(),
+                "strong consensus must satisfy CC at n={n}, t={t}"
+            );
             assert!(report.authenticated_solvable);
         }
     }
@@ -306,7 +315,10 @@ mod tests {
         let params = SystemParams::new(4, 2);
         let cc = check_containment_condition(&StrongValidity::binary(), &params);
         let witness = cc.witness().expect("CC must fail");
-        let (a, b) = witness.disjoint_pair.as_ref().expect("a disjoint pair exists");
+        let (a, b) = witness
+            .disjoint_pair
+            .as_ref()
+            .expect("a disjoint pair exists");
         let vp = StrongValidity::binary();
         let adm_a = vp.admissible(&params, a);
         let adm_b = vp.admissible(&params, b);
@@ -331,7 +343,10 @@ mod tests {
         for (n, t) in [(3usize, 1usize), (3, 2), (4, 3), (5, 4)] {
             let vp = SenderValidity::new(ProcessId(0), vec![Bit::Zero, Bit::One]);
             let report = solvability(&vp, &SystemParams::new(n, t));
-            assert!(report.authenticated_solvable, "broadcast solvable at n={n}, t={t}");
+            assert!(
+                report.authenticated_solvable,
+                "broadcast solvable at n={n}, t={t}"
+            );
             assert!(!report.is_trivial());
         }
     }
@@ -354,8 +369,10 @@ mod tests {
             .gamma()
             .cloned()
             .expect("IC satisfies CC");
-        let partial =
-            InputConfig::new(&params, [(ProcessId(0), Bit::One), (ProcessId(2), Bit::One)]);
+        let partial = InputConfig::new(
+            &params,
+            [(ProcessId(0), Bit::One), (ProcessId(2), Bit::One)],
+        );
         let vec = gamma.apply(&partial).expect("in domain").clone();
         assert_eq!(vec[0], Bit::One);
         assert_eq!(vec[2], Bit::One);
@@ -394,13 +411,18 @@ mod tests {
         // the pins conflict across the containment order.
         use crate::validity::UnanimityOrDefault;
         for (n, t) in [(3usize, 1usize), (4, 1), (5, 2)] {
-            let report =
-                solvability(&UnanimityOrDefault::new(Bit::Zero), &SystemParams::new(n, t));
+            let report = solvability(
+                &UnanimityOrDefault::new(Bit::Zero),
+                &SystemParams::new(n, t),
+            );
             assert!(!report.cc.holds(), "must fail CC at n={n}, t={t}");
             assert!(!report.authenticated_solvable);
             assert!(!report.is_trivial());
             let witness = report.cc.witness().unwrap();
-            let (a, b) = witness.disjoint_pair.as_ref().expect("a disjoint pair exists");
+            let (a, b) = witness
+                .disjoint_pair
+                .as_ref()
+                .expect("a disjoint pair exists");
             assert!(witness.config.contains(a) && witness.config.contains(b));
         }
     }
@@ -409,7 +431,10 @@ mod tests {
     fn gamma_table_covers_all_of_i() {
         let params = SystemParams::new(4, 1);
         let vp = WeakValidity::binary();
-        let gamma = check_containment_condition(&vp, &params).gamma().cloned().unwrap();
+        let gamma = check_containment_condition(&vp, &params)
+            .gamma()
+            .cloned()
+            .unwrap();
         let configs = enumerate_configs(&params, &vp.input_domain());
         assert_eq!(gamma.len(), configs.len());
         for c in &configs {

@@ -205,7 +205,11 @@ impl<V: Value + fmt::Display> fmt::Display for InputConfig<V> {
 ///
 /// Panics if `n > 20` (the enumeration would be astronomically large).
 pub fn enumerate_configs<V: Value>(params: &SystemParams, domain: &[V]) -> Vec<InputConfig<V>> {
-    assert!(params.n <= 20, "enumeration is exhaustive; n = {} is too large", params.n);
+    assert!(
+        params.n <= 20,
+        "enumeration is exhaustive; n = {} is too large",
+        params.n
+    );
     assert!(!domain.is_empty(), "empty proposal domain");
     let mut out = Vec::new();
     for mask in 0u32..(1 << params.n) {
@@ -249,10 +253,7 @@ pub fn enumerate_configs<V: Value>(params: &SystemParams, domain: &[V]) -> Vec<I
 /// The containment set `Cnt(c)` (paper §4.2): all input configurations that
 /// `c` contains, i.e. all restrictions of `c` to at least `n − t` of its
 /// processes. Always includes `c` itself (containment is reflexive).
-pub fn containment_set<V: Value>(
-    params: &SystemParams,
-    c: &InputConfig<V>,
-) -> Vec<InputConfig<V>> {
+pub fn containment_set<V: Value>(params: &SystemParams, c: &InputConfig<V>) -> Vec<InputConfig<V>> {
     let members: Vec<ProcessId> = c.processes().collect();
     let mut out = Vec::new();
     for mask in 0u32..(1 << members.len()) {
@@ -317,7 +318,10 @@ pub struct WeakValidity<V> {
 impl<V: Value> WeakValidity<V> {
     /// Creates the property over the given proposal/decision domain.
     pub fn new(domain: Vec<V>) -> Self {
-        assert!(domain.len() >= 2, "a one-value domain makes every problem trivial");
+        assert!(
+            domain.len() >= 2,
+            "a one-value domain makes every problem trivial"
+        );
         WeakValidity { domain }
     }
 }
@@ -368,7 +372,10 @@ pub struct StrongValidity<V> {
 impl<V: Value> StrongValidity<V> {
     /// Creates the property over the given domain.
     pub fn new(domain: Vec<V>) -> Self {
-        assert!(domain.len() >= 2, "a one-value domain makes every problem trivial");
+        assert!(
+            domain.len() >= 2,
+            "a one-value domain makes every problem trivial"
+        );
         StrongValidity { domain }
     }
 }
@@ -418,7 +425,10 @@ pub struct SenderValidity<V> {
 impl<V: Value> SenderValidity<V> {
     /// Creates the property with the given designated sender.
     pub fn new(sender: ProcessId, domain: Vec<V>) -> Self {
-        assert!(domain.len() >= 2, "a one-value domain makes every problem trivial");
+        assert!(
+            domain.len() >= 2,
+            "a one-value domain makes every problem trivial"
+        );
         SenderValidity { sender, domain }
     }
 
@@ -479,9 +489,7 @@ impl<V: Value> ValidityProperty for IcValidity<V> {
     fn admissible(&self, params: &SystemParams, c: &InputConfig<V>) -> BTreeSet<Vec<V>> {
         self.output_domain(params)
             .into_iter()
-            .filter(|vec| {
-                c.iter().all(|(p, v)| &vec[p.index()] == v)
-            })
+            .filter(|vec| c.iter().all(|(p, v)| &vec[p.index()] == v))
             .collect()
     }
 
@@ -567,7 +575,9 @@ impl IntervalValidity {
     /// domain `{0, 1, 2}`).
     pub fn new(levels: u8) -> Self {
         assert!(levels >= 2, "need at least two levels");
-        IntervalValidity { domain: (0..levels).collect() }
+        IntervalValidity {
+            domain: (0..levels).collect(),
+        }
     }
 }
 
@@ -580,9 +590,21 @@ impl ValidityProperty for IntervalValidity {
     }
 
     fn admissible(&self, _: &SystemParams, c: &InputConfig<u8>) -> BTreeSet<u8> {
-        let min = c.iter().map(|(_, v)| *v).min().expect("configs are non-empty");
-        let max = c.iter().map(|(_, v)| *v).max().expect("configs are non-empty");
-        self.domain.iter().copied().filter(|v| (min..=max).contains(v)).collect()
+        let min = c
+            .iter()
+            .map(|(_, v)| *v)
+            .min()
+            .expect("configs are non-empty");
+        let max = c
+            .iter()
+            .map(|(_, v)| *v)
+            .max()
+            .expect("configs are non-empty");
+        self.domain
+            .iter()
+            .copied()
+            .filter(|v| (min..=max).contains(v))
+            .collect()
     }
 
     fn input_domain(&self) -> Vec<u8> {
@@ -811,7 +833,11 @@ mod tests {
         let unanimous = InputConfig::full(vec![Bit::One; 3]);
         assert_eq!(vp.admissible(&params, &unanimous), [Bit::One].into());
         let partial = InputConfig::new(&params, [(p(0), Bit::One), (p(1), Bit::One)]);
-        assert_eq!(vp.admissible(&params, &partial).len(), 2, "not full ⇒ anything goes");
+        assert_eq!(
+            vp.admissible(&params, &partial).len(),
+            2,
+            "not full ⇒ anything goes"
+        );
         let mixed = InputConfig::full(vec![Bit::One, Bit::Zero, Bit::One]);
         assert_eq!(vp.admissible(&params, &mixed).len(), 2);
     }
@@ -852,8 +878,10 @@ mod tests {
     fn majority_validity_pins_strict_majorities() {
         let params = SystemParams::new(4, 1);
         let vp = MajorityValidity::new();
-        let majority_one =
-            InputConfig::new(&params, [(p(0), Bit::One), (p(1), Bit::One), (p(2), Bit::Zero)]);
+        let majority_one = InputConfig::new(
+            &params,
+            [(p(0), Bit::One), (p(1), Bit::One), (p(2), Bit::Zero)],
+        );
         assert_eq!(vp.admissible(&params, &majority_one), [Bit::One].into());
         let tie = InputConfig::full(vec![Bit::Zero, Bit::Zero, Bit::One, Bit::One]);
         assert_eq!(vp.admissible(&params, &tie).len(), 2);
@@ -873,7 +901,10 @@ mod tests {
     fn external_validity_ignores_proposals() {
         let params = SystemParams::new(3, 1);
         let vp = ExternalValidity::new(vec![0u8, 1, 2, 3], [1u8, 3]);
-        for c in enumerate_configs(&params, &vp.input_domain()).iter().take(10) {
+        for c in enumerate_configs(&params, &vp.input_domain())
+            .iter()
+            .take(10)
+        {
             assert_eq!(vp.admissible(&params, c), [1u8, 3].into());
         }
     }
@@ -898,7 +929,10 @@ mod tests {
         let full = partial.extend_to_full(&params, Bit::Zero);
         assert!(full.is_full(&params));
         assert!(full.contains(&partial));
-        assert_eq!(full.as_full_vec(&params).unwrap(), vec![Bit::Zero, Bit::One, Bit::Zero, Bit::One]);
+        assert_eq!(
+            full.as_full_vec(&params).unwrap(),
+            vec![Bit::Zero, Bit::One, Bit::Zero, Bit::One]
+        );
     }
 
     #[test]

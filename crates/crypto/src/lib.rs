@@ -103,7 +103,10 @@ impl Keychain {
 
     /// Signs `data` as the keychain's owner.
     pub fn sign<T: SignBytes + ?Sized>(&self, data: &T) -> Signature {
-        Signature { signer: self.owner, digest: digest_for(self.owner, data) }
+        Signature {
+            signer: self.owner,
+            digest: digest_for(self.owner, data),
+        }
     }
 }
 
@@ -140,7 +143,11 @@ impl Keybook {
     ///
     /// Panics if `owner` is out of range.
     pub fn keychain(&self, owner: ProcessId) -> Keychain {
-        assert!(owner.index() < self.n, "process {owner} out of range (n = {})", self.n);
+        assert!(
+            owner.index() < self.n,
+            "process {owner} out of range (n = {})",
+            self.n
+        );
         Keychain { owner }
     }
 
@@ -188,7 +195,9 @@ impl SignatureChain {
     /// Starts a chain: the designated sender signs the value.
     pub fn originate<V: SignBytes>(sender: &Keychain, value: &V) -> Self {
         let payload = chain_link_payload(value, &[]);
-        SignatureChain { sigs: vec![sender.sign(&payload)] }
+        SignatureChain {
+            sigs: vec![sender.sign(&payload)],
+        }
     }
 
     /// Appends `signer`'s endorsement of `value` under this chain.
@@ -291,7 +300,10 @@ mod tests {
         assert!(chain.valid(&book, ProcessId(1), &"v"));
         let chain2 = chain.extend(&book.keychain(ProcessId(3)), &"v");
         assert!(chain2.valid(&book, ProcessId(1), &"v"));
-        assert_eq!(chain2.signers().collect::<Vec<_>>(), vec![ProcessId(1), ProcessId(3)]);
+        assert_eq!(
+            chain2.signers().collect::<Vec<_>>(),
+            vec![ProcessId(1), ProcessId(3)]
+        );
     }
 
     #[test]

@@ -7,9 +7,7 @@
 //! (`ba-crypto` prevents it by construction).
 
 use ba_crypto::Keychain;
-use ba_sim::{
-    Bit, ByzantineBehavior, Inbox, Outbox, ProcessCtx, ProcessId, Round, Value,
-};
+use ba_sim::{Bit, ByzantineBehavior, Inbox, Outbox, ProcessCtx, ProcessId, Round, Value};
 
 use crate::dolev_strong::DsEntry;
 use crate::phase_king::PkMsg;
@@ -42,16 +40,27 @@ impl<V: Value> ByzantineBehavior<V, Vec<DsEntry<V>>> for TwoFacedSender<V> {
         let mut out = Outbox::new();
         for peer in ctx.others() {
             let entry = if peer.index() % 2 == 0 {
-                DsEntry { value: self.v0.clone(), chain: chain0.clone() }
+                DsEntry {
+                    value: self.v0.clone(),
+                    chain: chain0.clone(),
+                }
             } else {
-                DsEntry { value: self.v1.clone(), chain: chain1.clone() }
+                DsEntry {
+                    value: self.v1.clone(),
+                    chain: chain1.clone(),
+                }
             };
             out.send(peer, vec![entry]);
         }
         out
     }
 
-    fn round(&mut self, _: &ProcessCtx, _: Round, _: &Inbox<Vec<DsEntry<V>>>) -> Outbox<Vec<DsEntry<V>>> {
+    fn round(
+        &mut self,
+        _: &ProcessCtx,
+        _: Round,
+        _: &Inbox<Vec<DsEntry<V>>>,
+    ) -> Outbox<Vec<DsEntry<V>>> {
         Outbox::new()
     }
 }
@@ -84,7 +93,13 @@ impl<V: Value> LateInjector<V> {
         inject_at: Round,
         target: ProcessId,
     ) -> Self {
-        LateInjector { sender_keychain, own_keychain, value, inject_at, target }
+        LateInjector {
+            sender_keychain,
+            own_keychain,
+            value,
+            inject_at,
+            target,
+        }
     }
 }
 
@@ -93,13 +108,24 @@ impl<V: Value> ByzantineBehavior<V, Vec<DsEntry<V>>> for LateInjector<V> {
         Outbox::new()
     }
 
-    fn round(&mut self, _: &ProcessCtx, round: Round, _: &Inbox<Vec<DsEntry<V>>>) -> Outbox<Vec<DsEntry<V>>> {
+    fn round(
+        &mut self,
+        _: &ProcessCtx,
+        round: Round,
+        _: &Inbox<Vec<DsEntry<V>>>,
+    ) -> Outbox<Vec<DsEntry<V>>> {
         let mut out = Outbox::new();
         // Emitting in round `k` processing means delivery in round `k + 1`.
         if round.next() == self.inject_at {
             let chain = SignatureChain::originate(&self.sender_keychain, &self.value)
                 .extend(&self.own_keychain, &self.value);
-            out.send(self.target, vec![DsEntry { value: self.value.clone(), chain }]);
+            out.send(
+                self.target,
+                vec![DsEntry {
+                    value: self.value.clone(),
+                    chain,
+                }],
+            );
         }
         out
     }
@@ -128,7 +154,11 @@ impl<V: Value> ByzantineBehavior<V, crate::eig::EigMsg<V>> for TwoFacedGeneral<V
     fn propose(&mut self, ctx: &ProcessCtx, _: V) -> Outbox<crate::eig::EigMsg<V>> {
         let mut out = Outbox::new();
         for peer in ctx.others() {
-            let v = if peer.index() % 2 == 0 { self.v0.clone() } else { self.v1.clone() };
+            let v = if peer.index() % 2 == 0 {
+                self.v0.clone()
+            } else {
+                self.v1.clone()
+            };
             let msg: crate::eig::EigMsg<V> = [(Vec::new(), v)].into_iter().collect();
             out.send(peer, msg);
         }
@@ -159,7 +189,11 @@ impl SplitReporter {
     fn split(ctx: &ProcessCtx) -> Outbox<PkMsg> {
         let mut out = Outbox::new();
         for peer in ctx.others() {
-            let bit = if peer.index() % 2 == 0 { Bit::Zero } else { Bit::One };
+            let bit = if peer.index() % 2 == 0 {
+                Bit::Zero
+            } else {
+                Bit::One
+            };
             out.send(peer, PkMsg::Report(bit));
         }
         out
@@ -196,28 +230,22 @@ mod tests {
     use super::*;
     use crate::DolevStrong;
     use ba_crypto::Keybook;
-    use ba_sim::{run_byzantine, ExecutorConfig, SilentByzantine};
-    use std::collections::{BTreeMap, BTreeSet};
+    use ba_sim::{Adversary, Scenario, SilentByzantine};
+    use std::collections::BTreeSet;
 
     #[test]
     fn two_faced_sender_is_caught_and_default_decided() {
         let (n, t) = (5, 2);
         let book = Keybook::new(n);
-        let cfg = ExecutorConfig::new(n, t);
-        let behaviors: BTreeMap<_, Box<dyn ByzantineBehavior<Bit, Vec<DsEntry<Bit>>>>> = [(
-            ProcessId(0),
-            Box::new(TwoFacedSender::new(book.keychain(ProcessId(0)), Bit::Zero, Bit::One))
-                as Box<_>,
-        )]
-        .into_iter()
-        .collect();
-        let exec = run_byzantine(
-            &cfg,
-            DolevStrong::factory(book, ProcessId(0), Bit::Zero),
-            &[Bit::One; 5],
-            behaviors,
-        )
-        .unwrap();
+        let exec = Scenario::new(n, t)
+            .protocol(DolevStrong::factory(book.clone(), ProcessId(0), Bit::Zero))
+            .uniform_input(Bit::One)
+            .adversary(Adversary::one_byzantine(
+                ProcessId(0),
+                TwoFacedSender::new(book.keychain(ProcessId(0)), Bit::Zero, Bit::One),
+            ))
+            .run()
+            .unwrap();
         exec.validate().unwrap();
         // Equivocation detected: every correct process extracts both values
         // and decides the default 0, preserving Agreement.
@@ -228,51 +256,50 @@ mod tests {
 
     #[test]
     fn two_faced_eig_general_cannot_split_correct_processes() {
-        use crate::eig::{EigBroadcast, EigMsg};
+        use crate::eig::EigBroadcast;
         let (n, t) = (4, 1);
-        let cfg = ExecutorConfig::new(n, t);
-        let behaviors: BTreeMap<_, Box<dyn ByzantineBehavior<Bit, EigMsg<Bit>>>> = [(
-            ProcessId(0),
-            Box::new(TwoFacedGeneral::new(Bit::Zero, Bit::One)) as Box<_>,
-        )]
-        .into_iter()
-        .collect();
-        let exec = run_byzantine(
-            &cfg,
-            |_| EigBroadcast::new(n, t, ProcessId(0), Bit::Zero),
-            &[Bit::Zero; 4],
-            behaviors,
-        )
-        .unwrap();
+        let exec = Scenario::new(n, t)
+            .protocol(move |_| EigBroadcast::new(n, t, ProcessId(0), Bit::Zero))
+            .uniform_input(Bit::Zero)
+            .adversary(Adversary::one_byzantine(
+                ProcessId(0),
+                TwoFacedGeneral::new(Bit::Zero, Bit::One),
+            ))
+            .run()
+            .unwrap();
         exec.validate().unwrap();
-        let decisions: BTreeSet<_> = exec.correct().map(|p| exec.decision_of(p).cloned()).collect();
-        assert_eq!(decisions.len(), 1, "agreement violated by equivocating general");
+        let decisions: BTreeSet<_> = exec
+            .correct()
+            .map(|p| exec.decision_of(p).cloned())
+            .collect();
+        assert_eq!(
+            decisions.len(),
+            1,
+            "agreement violated by equivocating general"
+        );
         assert!(decisions.iter().all(|d| d.is_some()));
     }
 
     #[test]
     fn two_faced_eig_general_at_larger_scale() {
-        use crate::eig::{EigBroadcast, EigMsg};
+        use crate::eig::EigBroadcast;
         let (n, t) = (7, 2);
-        let cfg = ExecutorConfig::new(n, t);
-        let behaviors: BTreeMap<_, Box<dyn ByzantineBehavior<Bit, EigMsg<Bit>>>> = [
-            (
-                ProcessId(0),
-                Box::new(TwoFacedGeneral::new(Bit::Zero, Bit::One))
-                    as Box<dyn ByzantineBehavior<Bit, EigMsg<Bit>>>,
-            ),
-            (ProcessId(6), Box::new(SilentByzantine) as Box<_>),
-        ]
-        .into_iter()
-        .collect();
-        let exec = run_byzantine(
-            &cfg,
-            |_| EigBroadcast::new(n, t, ProcessId(0), Bit::Zero),
-            &[Bit::One; 7],
-            behaviors,
-        )
-        .unwrap();
-        let decisions: BTreeSet<_> = exec.correct().map(|p| exec.decision_of(p).cloned()).collect();
+        let exec = Scenario::new(n, t)
+            .protocol(move |_| EigBroadcast::new(n, t, ProcessId(0), Bit::Zero))
+            .uniform_input(Bit::One)
+            .adversary(Adversary::byzantine([
+                (
+                    ProcessId(0),
+                    Box::new(TwoFacedGeneral::new(Bit::Zero, Bit::One)) as _,
+                ),
+                (ProcessId(6), Box::new(SilentByzantine) as _),
+            ]))
+            .run()
+            .unwrap();
+        let decisions: BTreeSet<_> = exec
+            .correct()
+            .map(|p| exec.decision_of(p).cloned())
+            .collect();
         assert_eq!(decisions.len(), 1, "agreement violated");
     }
 
@@ -280,33 +307,31 @@ mod tests {
     fn late_injection_still_reaches_everyone_within_t_plus_one_rounds() {
         let (n, t) = (5, 2);
         let book = Keybook::new(n);
-        let cfg = ExecutorConfig::new(n, t);
-        let behaviors: BTreeMap<_, Box<dyn ByzantineBehavior<Bit, Vec<DsEntry<Bit>>>>> = [
-            (ProcessId(0), Box::new(SilentByzantine) as Box<_>),
-            (
-                ProcessId(1),
-                Box::new(LateInjector::new(
-                    book.keychain(ProcessId(0)),
-                    book.keychain(ProcessId(1)),
-                    Bit::One,
-                    Round(2),
-                    ProcessId(2),
-                )) as Box<_>,
-            ),
-        ]
-        .into_iter()
-        .collect();
-        let exec = run_byzantine(
-            &cfg,
-            DolevStrong::factory(book, ProcessId(0), Bit::Zero),
-            &[Bit::Zero; 5],
-            behaviors,
-        )
-        .unwrap();
+        let exec = Scenario::new(n, t)
+            .protocol(DolevStrong::factory(book.clone(), ProcessId(0), Bit::Zero))
+            .uniform_input(Bit::Zero)
+            .adversary(Adversary::byzantine([
+                (ProcessId(0), Box::new(SilentByzantine) as _),
+                (
+                    ProcessId(1),
+                    Box::new(LateInjector::new(
+                        book.keychain(ProcessId(0)),
+                        book.keychain(ProcessId(1)),
+                        Bit::One,
+                        Round(2),
+                        ProcessId(2),
+                    )) as _,
+                ),
+            ]))
+            .run()
+            .unwrap();
         exec.validate().unwrap();
         // The injected value propagates from the target to every correct
         // process by round t + 1 = 3, so all agree on One.
-        let decisions: BTreeSet<_> = exec.correct().map(|p| exec.decision_of(p).cloned()).collect();
+        let decisions: BTreeSet<_> = exec
+            .correct()
+            .map(|p| exec.decision_of(p).cloned())
+            .collect();
         assert_eq!(decisions.len(), 1, "agreement violated");
         assert_eq!(decisions.into_iter().next().unwrap(), Some(Bit::One));
     }

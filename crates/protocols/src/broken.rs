@@ -25,7 +25,10 @@ pub struct SilentConstant {
 impl SilentConstant {
     /// Creates the protocol that always decides `constant`.
     pub fn new(constant: Bit) -> Self {
-        SilentConstant { constant, decision: None }
+        SilentConstant {
+            constant,
+            decision: None,
+        }
     }
 }
 
@@ -113,7 +116,12 @@ pub enum LeaderEchoMsg {
 impl LeaderEcho {
     /// Creates an instance with the given leader.
     pub fn new(leader: ProcessId) -> Self {
-        LeaderEcho { leader, proposal: Bit::Zero, verdict: None, decision: None }
+        LeaderEcho {
+            leader,
+            proposal: Bit::Zero,
+            verdict: None,
+            decision: None,
+        }
     }
 }
 
@@ -131,20 +139,23 @@ impl Protocol for LeaderEcho {
         out
     }
 
-    fn round(&mut self, ctx: &ProcessCtx, round: Round, inbox: &Inbox<LeaderEchoMsg>) -> Outbox<LeaderEchoMsg> {
+    fn round(
+        &mut self,
+        ctx: &ProcessCtx,
+        round: Round,
+        inbox: &Inbox<LeaderEchoMsg>,
+    ) -> Outbox<LeaderEchoMsg> {
         let mut out = Outbox::new();
         match round.0 {
-            1 => {
-                if ctx.id == self.leader {
-                    let mut zeros = usize::from(self.proposal == Bit::Zero);
-                    zeros += inbox
-                        .iter()
-                        .filter(|(_, m)| matches!(m, LeaderEchoMsg::Report(Bit::Zero)))
-                        .count();
-                    let verdict = if zeros == ctx.n { Bit::Zero } else { Bit::One };
-                    self.verdict = Some(verdict);
-                    out.send_to_all(ctx.others(), LeaderEchoMsg::Verdict(verdict));
-                }
+            1 if ctx.id == self.leader => {
+                let mut zeros = usize::from(self.proposal == Bit::Zero);
+                zeros += inbox
+                    .iter()
+                    .filter(|(_, m)| matches!(m, LeaderEchoMsg::Report(Bit::Zero)))
+                    .count();
+                let verdict = if zeros == ctx.n { Bit::Zero } else { Bit::One };
+                self.verdict = Some(verdict);
+                out.send_to_all(ctx.others(), LeaderEchoMsg::Verdict(verdict));
             }
             2 => {
                 self.decision = Some(if ctx.id == self.leader {
@@ -261,13 +272,20 @@ impl Protocol for ParanoidEcho {
         out
     }
 
-    fn round(&mut self, ctx: &ProcessCtx, round: Round, inbox: &Inbox<ParanoidEchoMsg>) -> Outbox<ParanoidEchoMsg> {
+    fn round(
+        &mut self,
+        ctx: &ProcessCtx,
+        round: Round,
+        inbox: &Inbox<ParanoidEchoMsg>,
+    ) -> Outbox<ParanoidEchoMsg> {
         let mut out = Outbox::new();
         match round.0 {
             1 => {
                 let all_zero = self.proposal == Bit::Zero
                     && inbox.len() == ctx.n - 1
-                    && inbox.iter().all(|(_, m)| matches!(m, ParanoidEchoMsg::Report(Bit::Zero)));
+                    && inbox
+                        .iter()
+                        .all(|(_, m)| matches!(m, ParanoidEchoMsg::Report(Bit::Zero)));
                 self.tentative = if all_zero { Bit::Zero } else { Bit::One };
                 out.send_to_all(ctx.others(), ParanoidEchoMsg::Tentative(self.tentative));
             }
@@ -314,7 +332,11 @@ impl EchoChain {
     /// Panics if `stages == 0`.
     pub fn new(stages: u64) -> Self {
         assert!(stages >= 1, "need at least one stage");
-        EchoChain { stages, clean: true, decision: None }
+        EchoChain {
+            stages,
+            clean: true,
+            decision: None,
+        }
     }
 
     /// The configured number of stages.
@@ -366,20 +388,15 @@ impl Protocol for EchoChain {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ba_sim::{run_omission, ExecutorConfig, Fate, NoFaults, TableOmissionPlan};
-    use std::collections::BTreeSet;
+    use ba_sim::{Adversary, Fate, Scenario, TableOmissionPlan};
 
     #[test]
     fn silent_constant_violates_weak_validity() {
-        let cfg = ExecutorConfig::new(4, 1);
-        let exec = run_omission(
-            &cfg,
-            |_| SilentConstant::new(Bit::One),
-            &[Bit::Zero; 4],
-            &BTreeSet::new(),
-            &mut NoFaults,
-        )
-        .unwrap();
+        let exec = Scenario::new(4, 1)
+            .protocol(|_| SilentConstant::new(Bit::One))
+            .uniform_input(Bit::Zero)
+            .run()
+            .unwrap();
         // All correct, all propose 0 — yet everyone decides 1.
         assert!(exec.all_correct_decided(Bit::One));
         assert_eq!(exec.message_complexity(), 0);
@@ -387,15 +404,11 @@ mod tests {
 
     #[test]
     fn own_proposal_violates_agreement_with_mixed_proposals() {
-        let cfg = ExecutorConfig::new(4, 1);
-        let exec = run_omission(
-            &cfg,
-            |_| OwnProposal::new(),
-            &[Bit::Zero, Bit::One, Bit::Zero, Bit::One],
-            &BTreeSet::new(),
-            &mut NoFaults,
-        )
-        .unwrap();
+        let exec = Scenario::new(4, 1)
+            .protocol(|_| OwnProposal::new())
+            .inputs([Bit::Zero, Bit::One, Bit::Zero, Bit::One])
+            .run()
+            .unwrap();
         assert_eq!(exec.decision_of(ProcessId(0)), Some(&Bit::Zero));
         assert_eq!(exec.decision_of(ProcessId(1)), Some(&Bit::One));
     }
@@ -403,15 +416,11 @@ mod tests {
     #[test]
     fn leader_echo_is_fine_without_faults() {
         for bit in Bit::ALL {
-            let cfg = ExecutorConfig::new(5, 2);
-            let exec = run_omission(
-                &cfg,
-                |_| LeaderEcho::new(ProcessId(0)),
-                &[bit; 5],
-                &BTreeSet::new(),
-                &mut NoFaults,
-            )
-            .unwrap();
+            let exec = Scenario::new(5, 2)
+                .protocol(|_| LeaderEcho::new(ProcessId(0)))
+                .uniform_input(bit)
+                .run()
+                .unwrap();
             exec.validate().unwrap();
             assert!(exec.all_correct_decided(bit));
             assert_eq!(exec.message_complexity(), 8); // 2(n − 1)
@@ -421,15 +430,11 @@ mod tests {
     #[test]
     fn leader_echo_message_complexity_is_linear() {
         for n in [4usize, 8, 16, 32] {
-            let cfg = ExecutorConfig::new(n, n / 2);
-            let exec = run_omission(
-                &cfg,
-                |_| LeaderEcho::new(ProcessId(0)),
-                &vec![Bit::Zero; n],
-                &BTreeSet::new(),
-                &mut NoFaults,
-            )
-            .unwrap();
+            let exec = Scenario::new(n, n / 2)
+                .protocol(|_| LeaderEcho::new(ProcessId(0)))
+                .uniform_input(Bit::Zero)
+                .run()
+                .unwrap();
             assert_eq!(exec.message_complexity(), 2 * (n as u64 - 1));
         }
     }
@@ -439,19 +444,14 @@ mod tests {
         // p0 (faulty, 0-proposer) omits its report to p1: p1 decides 1,
         // every other correct process decides 0 — Agreement violated among
         // correct processes p1 and p2.
-        let n = 4;
-        let cfg = ExecutorConfig::new(n, 1);
-        let faulty: BTreeSet<_> = [ProcessId(0)].into_iter().collect();
         let mut plan = TableOmissionPlan::new();
         plan.set(Round(1), ProcessId(0), ProcessId(1), Fate::SendOmit);
-        let exec = run_omission(
-            &cfg,
-            |_| OneRoundAllToAll::new(),
-            &vec![Bit::Zero; n],
-            &faulty,
-            &mut plan,
-        )
-        .unwrap();
+        let exec = Scenario::new(4, 1)
+            .protocol(|_| OneRoundAllToAll::new())
+            .uniform_input(Bit::Zero)
+            .adversary(Adversary::omission([ProcessId(0)], plan))
+            .run()
+            .unwrap();
         exec.validate().unwrap();
         assert_eq!(exec.decision_of(ProcessId(1)), Some(&Bit::One));
         assert_eq!(exec.decision_of(ProcessId(2)), Some(&Bit::Zero));
@@ -461,15 +461,11 @@ mod tests {
     #[test]
     fn one_round_all_to_all_is_fine_without_faults() {
         for bit in Bit::ALL {
-            let cfg = ExecutorConfig::new(4, 1);
-            let exec = run_omission(
-                &cfg,
-                |_| OneRoundAllToAll::new(),
-                &[bit; 4],
-                &BTreeSet::new(),
-                &mut NoFaults,
-            )
-            .unwrap();
+            let exec = Scenario::new(4, 1)
+                .protocol(|_| OneRoundAllToAll::new())
+                .uniform_input(bit)
+                .run()
+                .unwrap();
             assert!(exec.all_correct_decided(bit));
         }
     }
@@ -477,15 +473,11 @@ mod tests {
     #[test]
     fn paranoid_echo_is_fine_without_faults() {
         for bit in Bit::ALL {
-            let cfg = ExecutorConfig::new(4, 1);
-            let exec = run_omission(
-                &cfg,
-                |_| ParanoidEcho::new(),
-                &[bit; 4],
-                &BTreeSet::new(),
-                &mut NoFaults,
-            )
-            .unwrap();
+            let exec = Scenario::new(4, 1)
+                .protocol(|_| ParanoidEcho::new())
+                .uniform_input(bit)
+                .run()
+                .unwrap();
             exec.validate().unwrap();
             assert!(exec.all_correct_decided(bit));
             assert_eq!(exec.message_complexity(), 2 * 4 * 3);
@@ -497,15 +489,11 @@ mod tests {
         // EchoChain(2) and ParanoidEcho decide identically in fault-free
         // uniform executions and under a round-2 send omission.
         for bit in Bit::ALL {
-            let cfg = ExecutorConfig::new(5, 1);
-            let exec = run_omission(
-                &cfg,
-                |_| EchoChain::new(2),
-                &[bit; 5],
-                &BTreeSet::new(),
-                &mut NoFaults,
-            )
-            .unwrap();
+            let exec = Scenario::new(5, 1)
+                .protocol(|_| EchoChain::new(2))
+                .uniform_input(bit)
+                .run()
+                .unwrap();
             exec.validate().unwrap();
             assert!(exec.all_correct_decided(bit));
             assert_eq!(exec.message_complexity(), 2 * 5 * 4);
@@ -515,15 +503,11 @@ mod tests {
     #[test]
     fn echo_chain_decides_at_stage_count() {
         for stages in [1u64, 2, 4, 6] {
-            let cfg = ExecutorConfig::new(4, 1);
-            let exec = run_omission(
-                &cfg,
-                |_| EchoChain::new(stages),
-                &[Bit::Zero; 4],
-                &BTreeSet::new(),
-                &mut NoFaults,
-            )
-            .unwrap();
+            let exec = Scenario::new(4, 1)
+                .protocol(move |_| EchoChain::new(stages))
+                .uniform_input(Bit::Zero)
+                .run()
+                .unwrap();
             assert_eq!(exec.all_decided_by(), Some(Round(stages + 1)));
             assert_eq!(exec.message_complexity(), stages * 4 * 3);
         }
@@ -533,19 +517,14 @@ mod tests {
     fn paranoid_echo_breaks_with_one_round_two_send_omission() {
         // All propose 0; p0 (faulty) send-omits its round-2 tentative to
         // p1: p1 decides 1, p2 decides 0 — both correct.
-        let n = 4;
-        let cfg = ExecutorConfig::new(n, 1);
-        let faulty: BTreeSet<_> = [ProcessId(0)].into_iter().collect();
         let mut plan = TableOmissionPlan::new();
         plan.set(Round(2), ProcessId(0), ProcessId(1), Fate::SendOmit);
-        let exec = run_omission(
-            &cfg,
-            |_| ParanoidEcho::new(),
-            &vec![Bit::Zero; n],
-            &faulty,
-            &mut plan,
-        )
-        .unwrap();
+        let exec = Scenario::new(4, 1)
+            .protocol(|_| ParanoidEcho::new())
+            .uniform_input(Bit::Zero)
+            .adversary(Adversary::omission([ProcessId(0)], plan))
+            .run()
+            .unwrap();
         exec.validate().unwrap();
         assert_eq!(exec.decision_of(ProcessId(1)), Some(&Bit::One));
         assert_eq!(exec.decision_of(ProcessId(2)), Some(&Bit::Zero));

@@ -56,19 +56,15 @@ pub struct DsEntry<V> {
 /// ```
 /// use ba_crypto::Keybook;
 /// use ba_protocols::DolevStrong;
-/// use ba_sim::{run_omission, Bit, ExecutorConfig, NoFaults, ProcessId};
-/// use std::collections::BTreeSet;
+/// use ba_sim::{Bit, ProcessId, Scenario};
 ///
 /// let (n, t) = (4, 1);
 /// let book = Keybook::new(n);
-/// let cfg = ExecutorConfig::new(n, t);
-/// let exec = run_omission(
-///     &cfg,
-///     DolevStrong::factory(book, ProcessId(0), Bit::Zero),
-///     &[Bit::One; 4],
-///     &BTreeSet::new(),
-///     &mut NoFaults,
-/// ).unwrap();
+/// let exec = Scenario::new(n, t)
+///     .protocol(DolevStrong::factory(book, ProcessId(0), Bit::Zero))
+///     .uniform_input(Bit::One)
+///     .run()
+///     .unwrap();
 /// assert!(exec.all_correct_decided(Bit::One));
 /// ```
 #[derive(Clone, Debug)]
@@ -132,13 +128,21 @@ impl<V: Value> Protocol for DolevStrong<V> {
         if ctx.id == self.sender {
             self.extracted.insert(proposal.clone());
             let chain = SignatureChain::originate(&self.keychain, &proposal);
-            let entry = DsEntry { value: proposal, chain };
+            let entry = DsEntry {
+                value: proposal,
+                chain,
+            };
             out.send_to_all(ctx.others(), vec![entry]);
         }
         out
     }
 
-    fn round(&mut self, ctx: &ProcessCtx, round: Round, inbox: &Inbox<Self::Msg>) -> Outbox<Self::Msg> {
+    fn round(
+        &mut self,
+        ctx: &ProcessCtx,
+        round: Round,
+        inbox: &Inbox<Self::Msg>,
+    ) -> Outbox<Self::Msg> {
         let deciding = self.deciding_round(ctx);
         let mut out = Outbox::new();
         if round.0 > deciding {
@@ -191,27 +195,19 @@ impl<V: Value> Protocol for DolevStrong<V> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ba_sim::{
-        run_byzantine, run_omission, Bit, ByzantineBehavior, ExecutorConfig, IsolationPlan,
-        NoFaults, SilentByzantine,
-    };
-    use std::collections::{BTreeMap, BTreeSet};
-
-    fn setup(n: usize, t: usize) -> (ExecutorConfig, Keybook) {
-        (ExecutorConfig::new(n, t), Keybook::new(n))
-    }
+    use ba_sim::{Adversary, Bit, Scenario, SilentByzantine};
 
     #[test]
     fn correct_sender_value_is_decided_by_all() {
-        let (cfg, book) = setup(5, 2);
-        let exec = run_omission(
-            &cfg,
-            DolevStrong::factory(book, ProcessId(0), Bit::Zero),
-            &[Bit::One; 5],
-            &BTreeSet::new(),
-            &mut NoFaults,
-        )
-        .unwrap();
+        let exec = Scenario::new(5, 2)
+            .protocol(DolevStrong::factory(
+                Keybook::new(5),
+                ProcessId(0),
+                Bit::Zero,
+            ))
+            .uniform_input(Bit::One)
+            .run()
+            .unwrap();
         exec.validate().unwrap();
         assert!(exec.all_correct_decided(Bit::One));
         assert!(exec.quiescent);
@@ -219,35 +215,35 @@ mod tests {
 
     #[test]
     fn decision_lands_at_round_t_plus_one() {
-        let (cfg, book) = setup(5, 2);
-        let exec = run_omission(
-            &cfg,
-            DolevStrong::factory(book, ProcessId(0), Bit::Zero),
-            &[Bit::One; 5],
-            &BTreeSet::new(),
-            &mut NoFaults,
-        )
-        .unwrap();
+        let exec = Scenario::new(5, 2)
+            .protocol(DolevStrong::factory(
+                Keybook::new(5),
+                ProcessId(0),
+                Bit::Zero,
+            ))
+            .uniform_input(Bit::One)
+            .run()
+            .unwrap();
         // Decision appears in the state at the start of round t + 2,
         // i.e. after processing round t + 1 = 3.
         for pid in exec.correct() {
-            let (_, round) = exec.record(pid).decision.clone().unwrap();
+            let (_, round) = exec.record(pid).decision.unwrap();
             assert_eq!(round, Round(4));
         }
     }
 
     #[test]
     fn silent_sender_yields_default_for_all() {
-        let (cfg, book) = setup(4, 1);
-        let behaviors: BTreeMap<_, Box<dyn ByzantineBehavior<Bit, _>>> =
-            [(ProcessId(0), Box::new(SilentByzantine) as Box<_>)].into_iter().collect();
-        let exec = run_byzantine(
-            &cfg,
-            DolevStrong::factory(book, ProcessId(0), Bit::Zero),
-            &[Bit::One; 4],
-            behaviors,
-        )
-        .unwrap();
+        let exec = Scenario::new(4, 1)
+            .protocol(DolevStrong::factory(
+                Keybook::new(4),
+                ProcessId(0),
+                Bit::Zero,
+            ))
+            .uniform_input(Bit::One)
+            .adversary(Adversary::one_byzantine(ProcessId(0), SilentByzantine))
+            .run()
+            .unwrap();
         exec.validate().unwrap();
         for pid in exec.correct() {
             assert_eq!(exec.decision_of(pid), Some(&Bit::Zero));
@@ -257,15 +253,15 @@ mod tests {
     #[test]
     fn message_complexity_is_quadratic_not_more() {
         for (n, t) in [(4, 1), (8, 2), (8, 7), (12, 4)] {
-            let (cfg, book) = setup(n, t);
-            let exec = run_omission(
-                &cfg,
-                DolevStrong::factory(book, ProcessId(0), Bit::Zero),
-                &vec![Bit::One; n],
-                &BTreeSet::new(),
-                &mut NoFaults,
-            )
-            .unwrap();
+            let exec = Scenario::new(n, t)
+                .protocol(DolevStrong::factory(
+                    Keybook::new(n),
+                    ProcessId(0),
+                    Bit::Zero,
+                ))
+                .uniform_input(Bit::One)
+                .run()
+                .unwrap();
             let bound = (2 * n * (n - 1) + (n - 1)) as u64;
             assert!(exec.message_complexity() <= bound);
         }
@@ -276,17 +272,16 @@ mod tests {
         // Isolate one process (faulty, omission model) from round 1: it
         // extracts nothing and decides the default — which the weak
         // consensus guarantees allow, since it is faulty.
-        let (cfg, book) = setup(5, 2);
-        let faulty: BTreeSet<_> = [ProcessId(4)].into_iter().collect();
-        let mut plan = IsolationPlan::new([ProcessId(4)], Round(1));
-        let exec = run_omission(
-            &cfg,
-            DolevStrong::factory(book, ProcessId(0), Bit::Zero),
-            &[Bit::One; 5],
-            &faulty,
-            &mut plan,
-        )
-        .unwrap();
+        let exec = Scenario::new(5, 2)
+            .protocol(DolevStrong::factory(
+                Keybook::new(5),
+                ProcessId(0),
+                Bit::Zero,
+            ))
+            .uniform_input(Bit::One)
+            .adversary(Adversary::isolation([ProcessId(4)], Round(1)))
+            .run()
+            .unwrap();
         exec.validate().unwrap();
         for pid in exec.correct() {
             assert_eq!(exec.decision_of(pid), Some(&Bit::One));
@@ -297,46 +292,70 @@ mod tests {
     #[test]
     fn weak_validity_holds_in_fully_correct_uniform_executions() {
         for bit in Bit::ALL {
-            let (cfg, book) = setup(4, 1);
-            let exec = run_omission(
-                &cfg,
-                DolevStrong::factory(book, ProcessId(0), Bit::Zero),
-                &[bit; 4],
-                &BTreeSet::new(),
-                &mut NoFaults,
-            )
-            .unwrap();
+            let exec = Scenario::new(4, 1)
+                .protocol(DolevStrong::factory(
+                    Keybook::new(4),
+                    ProcessId(0),
+                    Bit::Zero,
+                ))
+                .uniform_input(bit)
+                .run()
+                .unwrap();
             assert!(exec.all_correct_decided(bit), "weak validity for {bit}");
         }
     }
 
     #[test]
     fn multivalued_broadcast_works() {
-        let (cfg, book) = setup(4, 1);
-        let exec = run_omission(
-            &cfg,
-            DolevStrong::factory(book, ProcessId(2), 0u32),
-            &[10, 20, 30, 40],
-            &BTreeSet::new(),
-            &mut NoFaults,
-        )
-        .unwrap();
+        let exec = Scenario::new(4, 1)
+            .protocol(DolevStrong::factory(Keybook::new(4), ProcessId(2), 0u32))
+            .inputs([10, 20, 30, 40])
+            .run()
+            .unwrap();
         assert!(exec.all_correct_decided(30u32));
     }
 
     #[test]
     fn executions_are_deterministic() {
         let run = || {
-            let (cfg, book) = setup(6, 2);
-            run_omission(
-                &cfg,
-                DolevStrong::factory(book, ProcessId(0), Bit::Zero),
-                &[Bit::One; 6],
-                &BTreeSet::new(),
-                &mut NoFaults,
-            )
-            .unwrap()
+            Scenario::new(6, 2)
+                .protocol(DolevStrong::factory(
+                    Keybook::new(6),
+                    ProcessId(0),
+                    Bit::Zero,
+                ))
+                .uniform_input(Bit::One)
+                .run()
+                .unwrap()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn mixed_fault_assignment_silent_sender_plus_isolated_receiver() {
+        // A mixed adversary the legacy dual entry points could not express:
+        // the designated sender is Byzantine-silent while p4 is
+        // omission-faulty (isolated from round 1) in the same execution.
+        // The remaining correct processes extract nothing and decide the
+        // default.
+        let exec = Scenario::new(5, 2)
+            .protocol(DolevStrong::factory(
+                Keybook::new(5),
+                ProcessId(0),
+                Bit::Zero,
+            ))
+            .uniform_input(Bit::One)
+            .adversary(Adversary::mixed(
+                [(ProcessId(0), Box::new(SilentByzantine) as _)],
+                [ProcessId(4)],
+                ba_sim::IsolationPlan::new([ProcessId(4)], Round(1)),
+            ))
+            .run()
+            .unwrap();
+        exec.validate().unwrap();
+        assert_eq!(exec.mode, ba_sim::FaultMode::Mixed);
+        for pid in exec.correct() {
+            assert_eq!(exec.decision_of(pid), Some(&Bit::Zero));
+        }
     }
 }

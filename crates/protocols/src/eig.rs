@@ -59,7 +59,12 @@ struct EigCore<V> {
 
 impl<V: Value> EigCore<V> {
     fn new(scope: Scope, default: V) -> Self {
-        EigCore { scope, default, vals: BTreeMap::new(), decision: None }
+        EigCore {
+            scope,
+            default,
+            vals: BTreeMap::new(),
+            decision: None,
+        }
     }
 
     fn last_round(ctx: &ProcessCtx) -> u64 {
@@ -85,7 +90,12 @@ impl<V: Value> EigCore<V> {
         out
     }
 
-    fn round(&mut self, ctx: &ProcessCtx, round: Round, inbox: &Inbox<EigMsg<V>>) -> Outbox<EigMsg<V>> {
+    fn round(
+        &mut self,
+        ctx: &ProcessCtx,
+        round: Round,
+        inbox: &Inbox<EigMsg<V>>,
+    ) -> Outbox<EigMsg<V>> {
         let last = Self::last_round(ctx);
         let mut out = Outbox::new();
         if round.0 > last {
@@ -159,7 +169,11 @@ impl<V: Value> EigCore<V> {
     fn resolve(&self, path: &[ProcessId], ctx: &ProcessCtx) -> V {
         let leaf_level = (ctx.t + 1).max(1);
         if path.len() >= leaf_level {
-            return self.vals.get(path).cloned().unwrap_or_else(|| self.default.clone());
+            return self
+                .vals
+                .get(path)
+                .cloned()
+                .unwrap_or_else(|| self.default.clone());
         }
         let mut counts: BTreeMap<V, usize> = BTreeMap::new();
         let mut children = 0usize;
@@ -187,17 +201,13 @@ impl<V: Value> EigCore<V> {
 ///
 /// ```
 /// use ba_protocols::EigConsensus;
-/// use ba_sim::{run_omission, Bit, ExecutorConfig, NoFaults};
-/// use std::collections::BTreeSet;
+/// use ba_sim::{Bit, Scenario};
 ///
-/// let cfg = ExecutorConfig::new(4, 1);
-/// let exec = run_omission(
-///     &cfg,
-///     |_| EigConsensus::new(4, 1, Bit::Zero),
-///     &[Bit::One; 4],
-///     &BTreeSet::new(),
-///     &mut NoFaults,
-/// ).unwrap();
+/// let exec = Scenario::new(4, 1)
+///     .protocol(|_| EigConsensus::new(4, 1, Bit::Zero))
+///     .uniform_input(Bit::One)
+///     .run()
+///     .unwrap();
 /// assert!(exec.all_correct_decided(Bit::One)); // strong validity
 /// ```
 #[derive(Clone, Debug)]
@@ -215,8 +225,13 @@ impl<V: Value> EigConsensus<V> {
     /// paper's Theorem 4 shows is inherent to every unauthenticated
     /// non-trivial agreement problem.
     pub fn new(n: usize, t: usize, default: V) -> Self {
-        assert!(n > 3 * t, "EIG consensus requires n > 3t (got n = {n}, t = {t})");
-        EigConsensus { core: EigCore::new(Scope::Consensus, default) }
+        assert!(
+            n > 3 * t,
+            "EIG consensus requires n > 3t (got n = {n}, t = {t})"
+        );
+        EigConsensus {
+            core: EigCore::new(Scope::Consensus, default),
+        }
     }
 }
 
@@ -229,7 +244,12 @@ impl<V: Value> Protocol for EigConsensus<V> {
         self.core.propose(ctx, proposal)
     }
 
-    fn round(&mut self, ctx: &ProcessCtx, round: Round, inbox: &Inbox<Self::Msg>) -> Outbox<Self::Msg> {
+    fn round(
+        &mut self,
+        ctx: &ProcessCtx,
+        round: Round,
+        inbox: &Inbox<Self::Msg>,
+    ) -> Outbox<Self::Msg> {
         self.core.round(ctx, round, inbox)
     }
 
@@ -252,9 +272,14 @@ impl<V: Value> EigBroadcast<V> {
     ///
     /// Panics unless `n > 3t`.
     pub fn new(n: usize, t: usize, general: ProcessId, default: V) -> Self {
-        assert!(n > 3 * t, "EIG broadcast requires n > 3t (got n = {n}, t = {t})");
+        assert!(
+            n > 3 * t,
+            "EIG broadcast requires n > 3t (got n = {n}, t = {t})"
+        );
         assert!(general.index() < n, "general {general} out of range");
-        EigBroadcast { core: EigCore::new(Scope::Broadcast(general), default) }
+        EigBroadcast {
+            core: EigCore::new(Scope::Broadcast(general), default),
+        }
     }
 
     /// The designated general.
@@ -275,7 +300,12 @@ impl<V: Value> Protocol for EigBroadcast<V> {
         self.core.propose(ctx, proposal)
     }
 
-    fn round(&mut self, ctx: &ProcessCtx, round: Round, inbox: &Inbox<Self::Msg>) -> Outbox<Self::Msg> {
+    fn round(
+        &mut self,
+        ctx: &ProcessCtx,
+        round: Round,
+        inbox: &Inbox<Self::Msg>,
+    ) -> Outbox<Self::Msg> {
         self.core.round(ctx, round, inbox)
     }
 
@@ -287,24 +317,17 @@ impl<V: Value> Protocol for EigBroadcast<V> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ba_sim::{
-        run_byzantine, run_omission, Bit, ByzantineBehavior, ExecutorConfig, NoFaults,
-        SilentByzantine,
-    };
-    use std::collections::{BTreeMap, BTreeSet};
+    use ba_sim::{Adversary, Bit, ByzantineBehavior, Scenario, SilentByzantine};
+    use std::collections::BTreeSet;
 
     #[test]
     fn consensus_strong_validity_fault_free() {
         for bit in Bit::ALL {
-            let cfg = ExecutorConfig::new(4, 1);
-            let exec = run_omission(
-                &cfg,
-                |_| EigConsensus::new(4, 1, Bit::Zero),
-                &[bit; 4],
-                &BTreeSet::new(),
-                &mut NoFaults,
-            )
-            .unwrap();
+            let exec = Scenario::new(4, 1)
+                .protocol(|_| EigConsensus::new(4, 1, Bit::Zero))
+                .uniform_input(bit)
+                .run()
+                .unwrap();
             exec.validate().unwrap();
             assert!(exec.all_correct_decided(bit));
         }
@@ -313,16 +336,12 @@ mod tests {
     #[test]
     fn consensus_strong_validity_under_silent_byzantine() {
         // All correct propose One; the Byzantine process is silent.
-        let cfg = ExecutorConfig::new(4, 1);
-        let behaviors: BTreeMap<_, Box<dyn ByzantineBehavior<Bit, EigMsg<Bit>>>> =
-            [(ProcessId(3), Box::new(SilentByzantine) as Box<_>)].into_iter().collect();
-        let exec = run_byzantine(
-            &cfg,
-            |_| EigConsensus::new(4, 1, Bit::Zero),
-            &[Bit::One; 4],
-            behaviors,
-        )
-        .unwrap();
+        let exec = Scenario::new(4, 1)
+            .protocol(|_| EigConsensus::new(4, 1, Bit::Zero))
+            .uniform_input(Bit::One)
+            .adversary(Adversary::one_byzantine(ProcessId(3), SilentByzantine))
+            .run()
+            .unwrap();
         exec.validate().unwrap();
         for pid in exec.correct() {
             assert_eq!(exec.decision_of(pid), Some(&Bit::One));
@@ -331,53 +350,51 @@ mod tests {
 
     #[test]
     fn consensus_agreement_with_mixed_proposals_and_fault() {
-        let cfg = ExecutorConfig::new(7, 2);
-        let behaviors: BTreeMap<_, Box<dyn ByzantineBehavior<Bit, EigMsg<Bit>>>> = [
-            (ProcessId(5), Box::new(SilentByzantine) as Box<_>),
-            (ProcessId(6), Box::new(SilentByzantine) as Box<_>),
-        ]
-        .into_iter()
-        .collect();
-        let exec = run_byzantine(
-            &cfg,
-            |_| EigConsensus::new(7, 2, Bit::Zero),
-            &[Bit::One, Bit::Zero, Bit::One, Bit::Zero, Bit::One, Bit::Zero, Bit::One],
-            behaviors,
-        )
-        .unwrap();
+        let exec = Scenario::new(7, 2)
+            .protocol(|_| EigConsensus::new(7, 2, Bit::Zero))
+            .inputs([
+                Bit::One,
+                Bit::Zero,
+                Bit::One,
+                Bit::Zero,
+                Bit::One,
+                Bit::Zero,
+                Bit::One,
+            ])
+            .adversary(Adversary::byzantine([
+                (ProcessId(5), Box::new(SilentByzantine) as _),
+                (ProcessId(6), Box::new(SilentByzantine) as _),
+            ]))
+            .run()
+            .unwrap();
         exec.validate().unwrap();
-        let decisions: BTreeSet<_> = exec.correct().map(|p| exec.decision_of(p).cloned()).collect();
+        let decisions: BTreeSet<_> = exec
+            .correct()
+            .map(|p| exec.decision_of(p).cloned())
+            .collect();
         assert_eq!(decisions.len(), 1, "agreement violated: {decisions:?}");
         assert!(decisions.iter().all(|d| d.is_some()));
     }
 
     #[test]
     fn broadcast_delivers_correct_generals_value() {
-        let cfg = ExecutorConfig::new(4, 1);
-        let exec = run_omission(
-            &cfg,
-            |_| EigBroadcast::new(4, 1, ProcessId(2), Bit::Zero),
-            &[Bit::Zero, Bit::Zero, Bit::One, Bit::Zero],
-            &BTreeSet::new(),
-            &mut NoFaults,
-        )
-        .unwrap();
+        let exec = Scenario::new(4, 1)
+            .protocol(|_| EigBroadcast::new(4, 1, ProcessId(2), Bit::Zero))
+            .inputs([Bit::Zero, Bit::Zero, Bit::One, Bit::Zero])
+            .run()
+            .unwrap();
         exec.validate().unwrap();
         assert!(exec.all_correct_decided(Bit::One));
     }
 
     #[test]
     fn broadcast_silent_general_yields_default() {
-        let cfg = ExecutorConfig::new(4, 1);
-        let behaviors: BTreeMap<_, Box<dyn ByzantineBehavior<Bit, EigMsg<Bit>>>> =
-            [(ProcessId(0), Box::new(SilentByzantine) as Box<_>)].into_iter().collect();
-        let exec = run_byzantine(
-            &cfg,
-            |_| EigBroadcast::new(4, 1, ProcessId(0), Bit::Zero),
-            &[Bit::One; 4],
-            behaviors,
-        )
-        .unwrap();
+        let exec = Scenario::new(4, 1)
+            .protocol(|_| EigBroadcast::new(4, 1, ProcessId(0), Bit::Zero))
+            .uniform_input(Bit::One)
+            .adversary(Adversary::one_byzantine(ProcessId(0), SilentByzantine))
+            .run()
+            .unwrap();
         for pid in exec.correct() {
             assert_eq!(exec.decision_of(pid), Some(&Bit::Zero));
         }
@@ -388,15 +405,11 @@ mod tests {
         // Fault-free consensus: every process broadcasts in each of the
         // t + 1 rounds ⇒ (t + 1) · n · (n − 1) messages.
         let (n, t) = (5, 1);
-        let cfg = ExecutorConfig::new(n, t);
-        let exec = run_omission(
-            &cfg,
-            |_| EigConsensus::new(n, t, Bit::Zero),
-            &vec![Bit::One; n],
-            &BTreeSet::new(),
-            &mut NoFaults,
-        )
-        .unwrap();
+        let exec = Scenario::new(n, t)
+            .protocol(move |_| EigConsensus::new(n, t, Bit::Zero))
+            .uniform_input(Bit::One)
+            .run()
+            .unwrap();
         assert_eq!(exec.message_complexity(), ((t + 1) * n * (n - 1)) as u64);
     }
 
@@ -438,20 +451,21 @@ mod tests {
                 out.send_to_all(ctx.others(), garbage);
                 out
             }
-            fn round(&mut self, _: &ProcessCtx, _: Round, _: &Inbox<EigMsg<Bit>>) -> Outbox<EigMsg<Bit>> {
+            fn round(
+                &mut self,
+                _: &ProcessCtx,
+                _: Round,
+                _: &Inbox<EigMsg<Bit>>,
+            ) -> Outbox<EigMsg<Bit>> {
                 Outbox::new()
             }
         }
-        let cfg = ExecutorConfig::new(4, 1);
-        let behaviors: BTreeMap<_, Box<dyn ByzantineBehavior<Bit, EigMsg<Bit>>>> =
-            [(ProcessId(3), Box::new(GarbageSender) as Box<_>)].into_iter().collect();
-        let exec = run_byzantine(
-            &cfg,
-            |_| EigConsensus::new(4, 1, Bit::Zero),
-            &[Bit::One; 4],
-            behaviors,
-        )
-        .unwrap();
+        let exec = Scenario::new(4, 1)
+            .protocol(|_| EigConsensus::new(4, 1, Bit::Zero))
+            .uniform_input(Bit::One)
+            .adversary(Adversary::one_byzantine(ProcessId(3), GarbageSender))
+            .run()
+            .unwrap();
         for pid in exec.correct() {
             assert_eq!(exec.decision_of(pid), Some(&Bit::One));
         }

@@ -29,17 +29,13 @@ use ba_sim::{Inbox, Outbox, ProcessCtx, Protocol, Round, Value};
 ///
 /// ```
 /// use ba_protocols::FloodSet;
-/// use ba_sim::{run_omission, Bit, ExecutorConfig, NoFaults};
-/// use std::collections::BTreeSet;
+/// use ba_sim::{Bit, Scenario};
 ///
-/// let cfg = ExecutorConfig::new(4, 1);
-/// let exec = run_omission(
-///     &cfg,
-///     |_| FloodSet::new(),
-///     &[Bit::One; 4],
-///     &BTreeSet::new(),
-///     &mut NoFaults,
-/// ).unwrap();
+/// let exec = Scenario::new(4, 1)
+///     .protocol(|_| FloodSet::new())
+///     .uniform_input(Bit::One)
+///     .run()
+///     .unwrap();
 /// assert!(exec.all_correct_decided(Bit::One));
 /// ```
 #[derive(Clone, PartialEq, Eq, Debug, Default)]
@@ -51,7 +47,10 @@ pub struct FloodSet<V> {
 impl<V: Value> FloodSet<V> {
     /// Creates the protocol.
     pub fn new() -> Self {
-        FloodSet { known: BTreeSet::new(), decision: None }
+        FloodSet {
+            known: BTreeSet::new(),
+            decision: None,
+        }
     }
 
     /// The set of values seen so far.
@@ -72,7 +71,12 @@ impl<V: Value> Protocol for FloodSet<V> {
         out
     }
 
-    fn round(&mut self, ctx: &ProcessCtx, round: Round, inbox: &Inbox<Self::Msg>) -> Outbox<Self::Msg> {
+    fn round(
+        &mut self,
+        ctx: &ProcessCtx,
+        round: Round,
+        inbox: &Inbox<Self::Msg>,
+    ) -> Outbox<Self::Msg> {
         let last = ctx.t as u64 + 1;
         let mut out = Outbox::new();
         if round.0 > last {
@@ -84,8 +88,13 @@ impl<V: Value> Protocol for FloodSet<V> {
         if round.0 < last {
             out.send_to_all(ctx.others(), self.known.clone());
         } else {
-            self.decision =
-                Some(self.known.iter().next().expect("own proposal is always known").clone());
+            self.decision = Some(
+                self.known
+                    .iter()
+                    .next()
+                    .expect("own proposal is always known")
+                    .clone(),
+            );
         }
         out
     }
@@ -98,23 +107,16 @@ impl<V: Value> Protocol for FloodSet<V> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ba_sim::{
-        run_omission, Bit, CrashPlan, ExecutorConfig, Fate, NoFaults, ProcessId,
-        TableOmissionPlan,
-    };
+    use ba_sim::{Adversary, Bit, Fate, ProcessId, Scenario, TableOmissionPlan};
     use std::collections::BTreeSet as Set;
 
     #[test]
     fn fault_free_decides_minimum() {
-        let cfg = ExecutorConfig::new(4, 1);
-        let exec = run_omission(
-            &cfg,
-            |_| FloodSet::new(),
-            &[Bit::One, Bit::Zero, Bit::One, Bit::One],
-            &Set::new(),
-            &mut NoFaults,
-        )
-        .unwrap();
+        let exec = Scenario::new(4, 1)
+            .protocol(|_| FloodSet::new())
+            .inputs([Bit::One, Bit::Zero, Bit::One, Bit::One])
+            .run()
+            .unwrap();
         exec.validate().unwrap();
         assert!(exec.all_correct_decided(Bit::Zero));
     }
@@ -122,10 +124,11 @@ mod tests {
     #[test]
     fn weak_validity_holds() {
         for bit in Bit::ALL {
-            let cfg = ExecutorConfig::new(5, 2);
-            let exec =
-                run_omission(&cfg, |_| FloodSet::new(), &[bit; 5], &Set::new(), &mut NoFaults)
-                    .unwrap();
+            let exec = Scenario::new(5, 2)
+                .protocol(|_| FloodSet::new())
+                .uniform_input(bit)
+                .run()
+                .unwrap();
             assert!(exec.all_correct_decided(bit));
         }
     }
@@ -133,15 +136,11 @@ mod tests {
     #[test]
     fn message_complexity_matches_formula() {
         let (n, t) = (6, 2);
-        let cfg = ExecutorConfig::new(n, t);
-        let exec = run_omission(
-            &cfg,
-            |_| FloodSet::<Bit>::new(),
-            &vec![Bit::One; n],
-            &Set::new(),
-            &mut NoFaults,
-        )
-        .unwrap();
+        let exec = Scenario::new(n, t)
+            .protocol(|_| FloodSet::<Bit>::new())
+            .uniform_input(Bit::One)
+            .run()
+            .unwrap();
         assert_eq!(exec.message_complexity(), ((t + 1) * n * (n - 1)) as u64);
     }
 
@@ -149,23 +148,26 @@ mod tests {
     fn agreement_survives_crashes() {
         // Crash two processes at adversarial rounds: correct processes still
         // agree (the crash-free round equalizes the sets).
-        let (n, t) = (6, 2);
-        let cfg = ExecutorConfig::new(n, t);
         for (r1, r2) in [(1u64, 1u64), (1, 2), (2, 3), (3, 3)] {
-            let faulty: Set<_> = [ProcessId(4), ProcessId(5)].into();
-            let mut plan =
-                CrashPlan::new([(ProcessId(4), Round(r1)), (ProcessId(5), Round(r2))]);
-            let exec = run_omission(
-                &cfg,
-                |_| FloodSet::new(),
-                &[Bit::One, Bit::One, Bit::One, Bit::One, Bit::Zero, Bit::Zero],
-                &faulty,
-                &mut plan,
-            )
-            .unwrap();
+            let exec = Scenario::new(6, 2)
+                .protocol(|_| FloodSet::new())
+                .inputs([Bit::One, Bit::One, Bit::One, Bit::One, Bit::Zero, Bit::Zero])
+                .adversary(Adversary::crash([
+                    (ProcessId(4), Round(r1)),
+                    (ProcessId(5), Round(r2)),
+                ]))
+                .run()
+                .unwrap();
             exec.validate().unwrap();
-            let decisions: Set<_> = exec.correct().map(|p| exec.decision_of(p).cloned()).collect();
-            assert_eq!(decisions.len(), 1, "disagreement under crash at ({r1},{r2})");
+            let decisions: Set<_> = exec
+                .correct()
+                .map(|p| exec.decision_of(p).cloned())
+                .collect();
+            assert_eq!(
+                decisions.len(),
+                1,
+                "disagreement under crash at ({r1},{r2})"
+            );
             assert!(decisions.iter().all(Option::is_some));
         }
     }
@@ -178,26 +180,27 @@ mod tests {
         // decide 1 — FloodSet is NOT omission-tolerant.
         let (n, t) = (4, 2);
         let last = t as u64 + 1;
-        let cfg = ExecutorConfig::new(n, t);
-        let faulty: Set<_> = [ProcessId(3)].into();
         let mut plan = TableOmissionPlan::new();
         for round in 1..=last {
             for receiver in 0..n - 1 {
                 // Hide from everyone in rounds 1..t; in round t+1 reveal to
                 // p0 only.
                 if round < last || receiver != 0 {
-                    plan.set(Round(round), ProcessId(3), ProcessId(receiver), Fate::SendOmit);
+                    plan.set(
+                        Round(round),
+                        ProcessId(3),
+                        ProcessId(receiver),
+                        Fate::SendOmit,
+                    );
                 }
             }
         }
-        let exec = run_omission(
-            &cfg,
-            |_| FloodSet::new(),
-            &[Bit::One, Bit::One, Bit::One, Bit::Zero],
-            &faulty,
-            &mut plan,
-        )
-        .unwrap();
+        let exec = Scenario::new(n, t)
+            .protocol(|_| FloodSet::new())
+            .inputs([Bit::One, Bit::One, Bit::One, Bit::Zero])
+            .adversary(Adversary::omission([ProcessId(3)], plan))
+            .run()
+            .unwrap();
         exec.validate().unwrap();
         assert_eq!(exec.decision_of(ProcessId(0)), Some(&Bit::Zero));
         assert_eq!(exec.decision_of(ProcessId(1)), Some(&Bit::One));
@@ -206,30 +209,22 @@ mod tests {
 
     #[test]
     fn multivalued_floodset_works() {
-        let cfg = ExecutorConfig::new(4, 1);
-        let exec = run_omission(
-            &cfg,
-            |_| FloodSet::new(),
-            &[30u32, 10, 20, 40],
-            &Set::new(),
-            &mut NoFaults,
-        )
-        .unwrap();
+        let exec = Scenario::new(4, 1)
+            .protocol(|_| FloodSet::new())
+            .inputs([30u32, 10, 20, 40])
+            .run()
+            .unwrap();
         assert!(exec.all_correct_decided(10u32));
     }
 
     #[test]
     fn decision_round_is_t_plus_two() {
         let (n, t) = (5, 2);
-        let cfg = ExecutorConfig::new(n, t);
-        let exec = run_omission(
-            &cfg,
-            |_| FloodSet::<Bit>::new(),
-            &vec![Bit::Zero; n],
-            &Set::new(),
-            &mut NoFaults,
-        )
-        .unwrap();
+        let exec = Scenario::new(n, t)
+            .protocol(|_| FloodSet::<Bit>::new())
+            .uniform_input(Bit::Zero)
+            .run()
+            .unwrap();
         assert_eq!(exec.all_decided_by(), Some(Round(t as u64 + 2)));
     }
 }

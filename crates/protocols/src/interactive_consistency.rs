@@ -40,19 +40,15 @@ pub type UnauthenticatedIc<V> = ParallelInstances<EigBroadcast<V>>;
 /// ```
 /// use ba_crypto::Keybook;
 /// use ba_protocols::interactive_consistency::authenticated_ic_factory;
-/// use ba_sim::{run_omission, Bit, ExecutorConfig, NoFaults};
-/// use std::collections::BTreeSet;
+/// use ba_sim::{Bit, Scenario};
 ///
 /// let (n, t) = (4, 1);
-/// let cfg = ExecutorConfig::new(n, t);
 /// let proposals = [Bit::One, Bit::Zero, Bit::Zero, Bit::One];
-/// let exec = run_omission(
-///     &cfg,
-///     authenticated_ic_factory(Keybook::new(n), Bit::Zero),
-///     &proposals,
-///     &BTreeSet::new(),
-///     &mut NoFaults,
-/// ).unwrap();
+/// let exec = Scenario::new(n, t)
+///     .protocol(authenticated_ic_factory(Keybook::new(n), Bit::Zero))
+///     .inputs(proposals)
+///     .run()
+///     .unwrap();
 /// assert!(exec.all_correct_decided(proposals.to_vec())); // IC-Validity
 /// ```
 pub fn authenticated_ic_factory<V: Value>(
@@ -100,25 +96,18 @@ pub fn unauthenticated_ic_factory<V: Value>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ba_sim::{
-        run_byzantine, run_omission, Bit, ByzantineBehavior, ExecutorConfig, NoFaults,
-        SilentByzantine,
-    };
-    use std::collections::{BTreeMap, BTreeSet};
+    use ba_sim::{Adversary, Bit, Scenario, SilentByzantine};
+    use std::collections::BTreeSet;
 
     #[test]
     fn authenticated_ic_decides_the_proposal_vector() {
         let (n, t) = (4, 1);
-        let cfg = ExecutorConfig::new(n, t);
         let proposals = [Bit::One, Bit::Zero, Bit::One, Bit::Zero];
-        let exec = run_omission(
-            &cfg,
-            authenticated_ic_factory(Keybook::new(n), Bit::Zero),
-            &proposals,
-            &BTreeSet::new(),
-            &mut NoFaults,
-        )
-        .unwrap();
+        let exec = Scenario::new(n, t)
+            .protocol(authenticated_ic_factory(Keybook::new(n), Bit::Zero))
+            .inputs(proposals)
+            .run()
+            .unwrap();
         exec.validate().unwrap();
         assert!(exec.all_correct_decided(proposals.to_vec()));
     }
@@ -128,20 +117,15 @@ mod tests {
         // Authenticated IC works for any t < n: here t = 2 of n = 4 with two
         // silent Byzantine processes.
         let (n, t) = (4, 2);
-        let cfg = ExecutorConfig::new(n, t);
-        let behaviors: BTreeMap<_, Box<dyn ByzantineBehavior<Bit, _>>> = [
-            (ProcessId(2), Box::new(SilentByzantine) as Box<_>),
-            (ProcessId(3), Box::new(SilentByzantine) as Box<_>),
-        ]
-        .into_iter()
-        .collect();
-        let exec = run_byzantine(
-            &cfg,
-            authenticated_ic_factory(Keybook::new(n), Bit::Zero),
-            &[Bit::One, Bit::One, Bit::One, Bit::One],
-            behaviors,
-        )
-        .unwrap();
+        let exec = Scenario::new(n, t)
+            .protocol(authenticated_ic_factory(Keybook::new(n), Bit::Zero))
+            .uniform_input(Bit::One)
+            .adversary(Adversary::byzantine([
+                (ProcessId(2), Box::new(SilentByzantine) as _),
+                (ProcessId(3), Box::new(SilentByzantine) as _),
+            ]))
+            .run()
+            .unwrap();
         exec.validate().unwrap();
         // IC-Validity: correct slots hold the proposals; silent slots hold
         // the default.
@@ -154,16 +138,12 @@ mod tests {
     #[test]
     fn unauthenticated_ic_decides_the_proposal_vector() {
         let (n, t) = (4, 1);
-        let cfg = ExecutorConfig::new(n, t);
         let proposals = [Bit::Zero, Bit::One, Bit::One, Bit::Zero];
-        let exec = run_omission(
-            &cfg,
-            unauthenticated_ic_factory(n, t, Bit::Zero),
-            &proposals,
-            &BTreeSet::new(),
-            &mut NoFaults,
-        )
-        .unwrap();
+        let exec = Scenario::new(n, t)
+            .protocol(unauthenticated_ic_factory(n, t, Bit::Zero))
+            .inputs(proposals)
+            .run()
+            .unwrap();
         exec.validate().unwrap();
         assert!(exec.all_correct_decided(proposals.to_vec()));
     }
@@ -171,18 +151,17 @@ mod tests {
     #[test]
     fn unauthenticated_ic_preserves_ic_validity_under_byzantine_fault() {
         let (n, t) = (4, 1);
-        let cfg = ExecutorConfig::new(n, t);
-        let behaviors: BTreeMap<_, Box<dyn ByzantineBehavior<Bit, _>>> =
-            [(ProcessId(1), Box::new(SilentByzantine) as Box<_>)].into_iter().collect();
-        let exec = run_byzantine(
-            &cfg,
-            unauthenticated_ic_factory(n, t, Bit::Zero),
-            &[Bit::One; 4],
-            behaviors,
-        )
-        .unwrap();
+        let exec = Scenario::new(n, t)
+            .protocol(unauthenticated_ic_factory(n, t, Bit::Zero))
+            .uniform_input(Bit::One)
+            .adversary(Adversary::one_byzantine(ProcessId(1), SilentByzantine))
+            .run()
+            .unwrap();
         exec.validate().unwrap();
-        let decisions: BTreeSet<_> = exec.correct().map(|p| exec.decision_of(p).cloned()).collect();
+        let decisions: BTreeSet<_> = exec
+            .correct()
+            .map(|p| exec.decision_of(p).cloned())
+            .collect();
         assert_eq!(decisions.len(), 1, "agreement violated");
         let vec = decisions.into_iter().next().unwrap().unwrap();
         // Correct slots must hold the correct processes' proposals.
@@ -196,15 +175,11 @@ mod tests {
         // Bundled parallel composition: one physical message per (sender,
         // receiver, round) regardless of instance count.
         let (n, t) = (4, 1);
-        let cfg = ExecutorConfig::new(n, t);
-        let exec = run_omission(
-            &cfg,
-            authenticated_ic_factory(Keybook::new(n), Bit::Zero),
-            &[Bit::One; 4],
-            &BTreeSet::new(),
-            &mut NoFaults,
-        )
-        .unwrap();
+        let exec = Scenario::new(n, t)
+            .protocol(authenticated_ic_factory(Keybook::new(n), Bit::Zero))
+            .uniform_input(Bit::One)
+            .run()
+            .unwrap();
         // At most (t + 1) rounds of all-to-all bundles.
         assert!(exec.message_complexity() <= ((t as u64 + 1) * (n * (n - 1)) as u64));
     }

@@ -35,7 +35,10 @@ impl<P: Protocol> ParallelInstances<P> {
     /// Panics if `instances` is empty.
     pub fn new(instances: Vec<P>) -> Self {
         assert!(!instances.is_empty(), "at least one instance required");
-        ParallelInstances { instances, decision: None }
+        ParallelInstances {
+            instances,
+            decision: None,
+        }
     }
 
     /// Number of composed instances.
@@ -64,7 +67,9 @@ impl<P: Protocol> ParallelInstances<P> {
         }
     }
 
-    fn seal(combined: BTreeMap<ProcessId, BTreeMap<usize, P::Msg>>) -> Outbox<BTreeMap<usize, P::Msg>> {
+    fn seal(
+        combined: BTreeMap<ProcessId, BTreeMap<usize, P::Msg>>,
+    ) -> Outbox<BTreeMap<usize, P::Msg>> {
         combined.into_iter().collect()
     }
 
@@ -95,14 +100,17 @@ impl<P: Protocol> Protocol for ParallelInstances<P> {
         Self::seal(combined)
     }
 
-    fn round(&mut self, ctx: &ProcessCtx, round: Round, inbox: &Inbox<Self::Msg>) -> Outbox<Self::Msg> {
+    fn round(
+        &mut self,
+        ctx: &ProcessCtx,
+        round: Round,
+        inbox: &Inbox<Self::Msg>,
+    ) -> Outbox<Self::Msg> {
         let mut combined = BTreeMap::new();
         for (idx, instance) in self.instances.iter_mut().enumerate() {
             let sub_inbox: BTreeMap<ProcessId, P::Msg> = inbox
                 .iter()
-                .filter_map(|(sender, bundle)| {
-                    bundle.get(&idx).map(|msg| (sender, msg.clone()))
-                })
+                .filter_map(|(sender, bundle)| bundle.get(&idx).map(|msg| (sender, msg.clone())))
                 .collect();
             let out = instance.round(ctx, round, &Inbox::from_map(sub_inbox));
             Self::merge_outbox(&mut combined, idx, out);
@@ -119,8 +127,7 @@ impl<P: Protocol> Protocol for ParallelInstances<P> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ba_sim::{run_omission, Bit, ExecutorConfig, NoFaults};
-    use std::collections::BTreeSet;
+    use ba_sim::{Bit, Scenario};
 
     /// Echoes the proposal of a designated source to everyone; decides the
     /// source's value (or a default when silent) after round 1.
@@ -160,7 +167,10 @@ mod tests {
         move |_pid| {
             ParallelInstances::new(
                 (0..n)
-                    .map(|i| OneShotRelay { source: ProcessId(i), decision: None })
+                    .map(|i| OneShotRelay {
+                        source: ProcessId(i),
+                        decision: None,
+                    })
                     .collect(),
             )
         }
@@ -169,11 +179,12 @@ mod tests {
     #[test]
     fn parallel_relays_produce_the_proposal_vector() {
         let n = 4;
-        let cfg = ExecutorConfig::new(n, 1);
         let proposals = [Bit::One, Bit::Zero, Bit::One, Bit::Zero];
-        let exec =
-            run_omission(&cfg, relay_factory(n), &proposals, &BTreeSet::new(), &mut NoFaults)
-                .unwrap();
+        let exec = Scenario::new(n, 1)
+            .protocol(relay_factory(n))
+            .inputs(proposals)
+            .run()
+            .unwrap();
         exec.validate().unwrap();
         let expected: Vec<Bit> = proposals.to_vec();
         assert!(exec.all_correct_decided(expected));
@@ -182,15 +193,11 @@ mod tests {
     #[test]
     fn bundling_keeps_one_physical_message_per_receiver() {
         let n = 4;
-        let cfg = ExecutorConfig::new(n, 1);
-        let exec = run_omission(
-            &cfg,
-            relay_factory(n),
-            &[Bit::Zero; 4],
-            &BTreeSet::new(),
-            &mut NoFaults,
-        )
-        .unwrap();
+        let exec = Scenario::new(n, 1)
+            .protocol(relay_factory(n))
+            .uniform_input(Bit::Zero)
+            .run()
+            .unwrap();
         // Round 1: each process sends exactly one bundled message to each
         // peer (its own relay instance), despite n instances running.
         for pid in exec.correct() {
@@ -207,8 +214,14 @@ mod tests {
     #[test]
     fn instance_accessors() {
         let p = ParallelInstances::new(vec![
-            OneShotRelay { source: ProcessId(0), decision: None },
-            OneShotRelay { source: ProcessId(1), decision: None },
+            OneShotRelay {
+                source: ProcessId(0),
+                decision: None,
+            },
+            OneShotRelay {
+                source: ProcessId(1),
+                decision: None,
+            },
         ]);
         assert_eq!(p.len(), 2);
         assert!(!p.is_empty());

@@ -40,17 +40,13 @@ pub enum PkMsg {
 ///
 /// ```
 /// use ba_protocols::PhaseKing;
-/// use ba_sim::{run_omission, Bit, ExecutorConfig, NoFaults};
-/// use std::collections::BTreeSet;
+/// use ba_sim::{Bit, Scenario};
 ///
-/// let cfg = ExecutorConfig::new(4, 1);
-/// let exec = run_omission(
-///     &cfg,
-///     |_| PhaseKing::new(4, 1),
-///     &[Bit::One; 4],
-///     &BTreeSet::new(),
-///     &mut NoFaults,
-/// ).unwrap();
+/// let exec = Scenario::new(4, 1)
+///     .protocol(|_| PhaseKing::new(4, 1))
+///     .uniform_input(Bit::One)
+///     .run()
+///     .unwrap();
 /// assert!(exec.all_correct_decided(Bit::One)); // strong validity
 /// ```
 #[derive(Clone, Debug)]
@@ -70,7 +66,10 @@ impl PhaseKing {
     /// Panics unless `n > 3t` (the protocol's resilience requirement, shown
     /// inherent by the paper's Theorem 4).
     pub fn new(n: usize, t: usize) -> Self {
-        assert!(n > 3 * t, "Phase King requires n > 3t (got n = {n}, t = {t})");
+        assert!(
+            n > 3 * t,
+            "Phase King requires n > 3t (got n = {n}, t = {t})"
+        );
         PhaseKing {
             value: Bit::Zero,
             candidate: UNSURE,
@@ -190,23 +189,17 @@ impl Protocol for PhaseKing {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ba_sim::{
-        run_byzantine, run_omission, ByzantineBehavior, ExecutorConfig, NoFaults, SilentByzantine,
-    };
-    use std::collections::{BTreeMap, BTreeSet};
+    use ba_sim::{Adversary, Scenario, SilentByzantine};
+    use std::collections::BTreeSet;
 
     #[test]
     fn strong_validity_fault_free() {
         for bit in Bit::ALL {
-            let cfg = ExecutorConfig::new(4, 1);
-            let exec = run_omission(
-                &cfg,
-                |_| PhaseKing::new(4, 1),
-                &[bit; 4],
-                &BTreeSet::new(),
-                &mut NoFaults,
-            )
-            .unwrap();
+            let exec = Scenario::new(4, 1)
+                .protocol(|_| PhaseKing::new(4, 1))
+                .uniform_input(bit)
+                .run()
+                .unwrap();
             exec.validate().unwrap();
             assert!(exec.all_correct_decided(bit));
         }
@@ -214,28 +207,36 @@ mod tests {
 
     #[test]
     fn agreement_with_mixed_proposals() {
-        let cfg = ExecutorConfig::new(7, 2);
-        let exec = run_omission(
-            &cfg,
-            |_| PhaseKing::new(7, 2),
-            &[Bit::One, Bit::Zero, Bit::One, Bit::Zero, Bit::One, Bit::Zero, Bit::One],
-            &BTreeSet::new(),
-            &mut NoFaults,
-        )
-        .unwrap();
+        let exec = Scenario::new(7, 2)
+            .protocol(|_| PhaseKing::new(7, 2))
+            .inputs([
+                Bit::One,
+                Bit::Zero,
+                Bit::One,
+                Bit::Zero,
+                Bit::One,
+                Bit::Zero,
+                Bit::One,
+            ])
+            .run()
+            .unwrap();
         exec.validate().unwrap();
-        let decisions: BTreeSet<_> = exec.correct().map(|p| exec.decision_of(p).cloned()).collect();
+        let decisions: BTreeSet<_> = exec
+            .correct()
+            .map(|p| exec.decision_of(p).cloned())
+            .collect();
         assert_eq!(decisions.len(), 1, "agreement violated");
     }
 
     #[test]
     fn strong_validity_with_silent_byzantine_king() {
         // p0 is king of phase 1 and Byzantine-silent; all correct propose One.
-        let cfg = ExecutorConfig::new(4, 1);
-        let behaviors: BTreeMap<_, Box<dyn ByzantineBehavior<Bit, PkMsg>>> =
-            [(ProcessId(0), Box::new(SilentByzantine) as Box<_>)].into_iter().collect();
-        let exec =
-            run_byzantine(&cfg, |_| PhaseKing::new(4, 1), &[Bit::One; 4], behaviors).unwrap();
+        let exec = Scenario::new(4, 1)
+            .protocol(|_| PhaseKing::new(4, 1))
+            .uniform_input(Bit::One)
+            .adversary(Adversary::one_byzantine(ProcessId(0), SilentByzantine))
+            .run()
+            .unwrap();
         exec.validate().unwrap();
         for pid in exec.correct() {
             assert_eq!(exec.decision_of(pid), Some(&Bit::One));
@@ -245,39 +246,47 @@ mod tests {
     #[test]
     fn agreement_under_equivocating_byzantine() {
         use crate::attacks::SplitReporter;
-        let cfg = ExecutorConfig::new(7, 2);
-        let behaviors: BTreeMap<_, Box<dyn ByzantineBehavior<Bit, PkMsg>>> = [
-            (ProcessId(6), Box::new(SplitReporter::new()) as Box<_>),
-            (ProcessId(5), Box::new(SplitReporter::new()) as Box<_>),
-        ]
-        .into_iter()
-        .collect();
-        let exec = run_byzantine(
-            &cfg,
-            |_| PhaseKing::new(7, 2),
-            &[Bit::One, Bit::Zero, Bit::One, Bit::Zero, Bit::One, Bit::Zero, Bit::One],
-            behaviors,
-        )
-        .unwrap();
+        let exec = Scenario::new(7, 2)
+            .protocol(|_| PhaseKing::new(7, 2))
+            .inputs([
+                Bit::One,
+                Bit::Zero,
+                Bit::One,
+                Bit::Zero,
+                Bit::One,
+                Bit::Zero,
+                Bit::One,
+            ])
+            .adversary(Adversary::byzantine([
+                (ProcessId(6), Box::new(SplitReporter::new()) as _),
+                (ProcessId(5), Box::new(SplitReporter::new()) as _),
+            ]))
+            .run()
+            .unwrap();
         exec.validate().unwrap();
-        let decisions: BTreeSet<_> = exec.correct().map(|p| exec.decision_of(p).cloned()).collect();
+        let decisions: BTreeSet<_> = exec
+            .correct()
+            .map(|p| exec.decision_of(p).cloned())
+            .collect();
         assert_eq!(decisions.len(), 1, "agreement violated under equivocation");
-        assert!(decisions.iter().all(|d| d.is_some()), "termination violated");
+        assert!(
+            decisions.iter().all(|d| d.is_some()),
+            "termination violated"
+        );
     }
 
     #[test]
     fn rounds_and_message_complexity_match_formula() {
         let (n, t) = (7, 2);
-        let cfg = ExecutorConfig::new(n, t);
-        let exec = run_omission(
-            &cfg,
-            |_| PhaseKing::new(n, t),
-            &vec![Bit::One; n],
-            &BTreeSet::new(),
-            &mut NoFaults,
-        )
-        .unwrap();
-        assert_eq!(exec.all_decided_by(), Some(Round(PhaseKing::total_rounds(t) + 1)));
+        let exec = Scenario::new(n, t)
+            .protocol(move |_| PhaseKing::new(n, t))
+            .uniform_input(Bit::One)
+            .run()
+            .unwrap();
+        assert_eq!(
+            exec.all_decided_by(),
+            Some(Round(PhaseKing::total_rounds(t) + 1))
+        );
         // (t+1) phases × (2 all-to-all exchanges + 1 king broadcast).
         let expected = ((t + 1) * (2 * n * (n - 1) + (n - 1))) as u64;
         assert_eq!(exec.message_complexity(), expected);

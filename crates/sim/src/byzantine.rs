@@ -9,12 +9,10 @@
 //! unforgeability of signatures, which `ba-crypto` enforces by construction
 //! (a behavior only ever holds its own keychain).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use crate::ids::Round;
 use crate::mailbox::{Inbox, Outbox};
 use crate::protocol::{ProcessCtx, Protocol};
+use crate::rng::SimRng;
 use crate::value::{Payload, Value};
 
 /// An arbitrary (adversarial) process behavior.
@@ -126,7 +124,7 @@ impl<P: Protocol> ByzantineBehavior<P::Input, P::Msg> for HonestMimic<P> {
 #[derive(Clone, Debug)]
 pub struct ReplayByzantine<M> {
     observed: Vec<M>,
-    rng: StdRng,
+    rng: SimRng,
     sends_per_round: usize,
 }
 
@@ -136,7 +134,7 @@ impl<M: Payload> ReplayByzantine<M> {
     pub fn new(seed: u64, sends_per_round: usize) -> Self {
         ReplayByzantine {
             observed: Vec::new(),
-            rng: StdRng::seed_from_u64(seed),
+            rng: SimRng::seed_from_u64(seed),
             sends_per_round,
         }
     }
@@ -148,8 +146,8 @@ impl<M: Payload> ReplayByzantine<M> {
         }
         let peers: Vec<_> = ctx.others().collect();
         for _ in 0..self.sends_per_round {
-            let msg = self.observed[self.rng.gen_range(0..self.observed.len())].clone();
-            let peer = peers[self.rng.gen_range(0..peers.len())];
+            let msg = self.observed[self.rng.gen_index(0, self.observed.len())].clone();
+            let peer = peers[self.rng.gen_index(0, peers.len())];
             // Respect the one-message-per-receiver rule: skip peers already
             // addressed this round.
             if out.iter().all(|(p, _)| p != peer) {
@@ -206,7 +204,11 @@ mod tests {
         let run = |seed| {
             let ctx = ProcessCtx::new(ProcessId(0), 4, 1);
             let mut b = ReplayByzantine::<u8>::new(seed, 2);
-            let inbox = Inbox::from_map([(ProcessId(1), 7u8), (ProcessId(2), 9u8)].into_iter().collect());
+            let inbox = Inbox::from_map(
+                [(ProcessId(1), 7u8), (ProcessId(2), 9u8)]
+                    .into_iter()
+                    .collect(),
+            );
             let mut sent = Vec::new();
             for k in 1..6 {
                 let out = ByzantineBehavior::<u8, u8>::round(&mut b, &ctx, Round(k), &inbox);

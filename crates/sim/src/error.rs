@@ -12,6 +12,13 @@ use crate::ids::{ProcessId, Round};
 /// surfaces them instead of producing an invalid execution.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum SimError {
+    /// The resilience bound is invalid: the model requires `t < n`.
+    InvalidResilience {
+        /// Number of processes in the system.
+        n: usize,
+        /// The offending resilience bound.
+        t: usize,
+    },
     /// A process addressed a message to itself, which the model forbids.
     SelfSend {
         /// The offending process.
@@ -68,14 +75,30 @@ pub enum SimError {
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            SimError::InvalidResilience { n, t } => {
+                write!(
+                    f,
+                    "invalid resilience bound: require t < n (got t = {t}, n = {n})"
+                )
+            }
             SimError::SelfSend { process, round } => {
                 write!(f, "{process} sent a message to itself in {round}")
             }
-            SimError::InvalidReceiver { process, receiver, n } => {
-                write!(f, "{process} addressed non-existent receiver {receiver} (n = {n})")
+            SimError::InvalidReceiver {
+                process,
+                receiver,
+                n,
+            } => {
+                write!(
+                    f,
+                    "{process} addressed non-existent receiver {receiver} (n = {n})"
+                )
             }
             SimError::OmissionByCorrect { process, round } => {
-                write!(f, "omission plan blamed correct process {process} in {round}")
+                write!(
+                    f,
+                    "omission plan blamed correct process {process} in {round}"
+                )
             }
             SimError::DecisionChanged { process, round } => {
                 write!(f, "{process} changed its decision at the start of {round}")
@@ -87,7 +110,10 @@ impl fmt::Display for SimError {
                 write!(f, "{got} faulty processes exceed the bound t = {t}")
             }
             SimError::BehaviorMismatch { process } => {
-                write!(f, "behavior assignment for {process} is inconsistent with the fault set")
+                write!(
+                    f,
+                    "behavior assignment for {process} is inconsistent with the fault set"
+                )
             }
         }
     }
@@ -101,7 +127,10 @@ mod tests {
 
     #[test]
     fn errors_display_informatively() {
-        let e = SimError::SelfSend { process: ProcessId(3), round: Round(2) };
+        let e = SimError::SelfSend {
+            process: ProcessId(3),
+            round: Round(2),
+        };
         assert_eq!(e.to_string(), "p3 sent a message to itself in round 2");
         let e = SimError::TooManyFaulty { got: 5, t: 2 };
         assert!(e.to_string().contains("exceed"));

@@ -14,8 +14,8 @@ use std::fmt;
 use crate::ids::{ProcessId, Round};
 use crate::value::{Payload, Value};
 
-/// Whether an execution was produced under the omission or the Byzantine
-/// adversary.
+/// Whether an execution was produced under the omission, Byzantine, or a
+/// mixed adversary.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum FaultMode {
     /// Faulty processes follow their state machine but may omit sending or
@@ -23,6 +23,10 @@ pub enum FaultMode {
     Omission,
     /// Faulty processes behave arbitrarily (paper §2).
     Byzantine,
+    /// Per-process mixed corruption: some faulty processes are Byzantine,
+    /// the rest omission-faulty, in one execution
+    /// (see [`Adversary::Mixed`](crate::Adversary::Mixed)).
+    Mixed,
 }
 
 /// Everything that happened at one process in one round, from the
@@ -198,7 +202,10 @@ impl<I: Value, O: Value, M: Payload> Execution<I, O, M> {
     /// The decision outcome of `pid`.
     pub fn outcome(&self, pid: ProcessId) -> DecisionOutcome<O> {
         match &self.record(pid).decision {
-            Some((v, r)) => DecisionOutcome::Decided { value: v.clone(), round: *r },
+            Some((v, r)) => DecisionOutcome::Decided {
+                value: v.clone(),
+                round: *r,
+            },
             None => DecisionOutcome::Undecided,
         }
     }
@@ -325,11 +332,17 @@ impl<I: Value, O: Value, M: Payload> Execution<I, O, M> {
         use ExecutionInvariantError as E;
 
         if self.records.len() != self.n {
-            return Err(E::RecordCount { got: self.records.len(), expected: self.n });
+            return Err(E::RecordCount {
+                got: self.records.len(),
+                expected: self.n,
+            });
         }
         // Guarantee: faulty processes.
         if self.faulty.len() > self.t {
-            return Err(E::TooManyFaulty { got: self.faulty.len(), t: self.t });
+            return Err(E::TooManyFaulty {
+                got: self.faulty.len(),
+                t: self.t,
+            });
         }
         if let Some(p) = self.faulty.iter().find(|p| p.index() >= self.n) {
             return Err(E::UnknownProcess { process: *p });
@@ -338,23 +351,38 @@ impl<I: Value, O: Value, M: Payload> Execution<I, O, M> {
         for pid in ProcessId::all(self.n) {
             let rec = self.record(pid);
             for round in Round::up_to(self.rounds) {
-                let Some(frag) = rec.fragment(round) else { continue };
+                let Some(frag) = rec.fragment(round) else {
+                    continue;
+                };
 
                 // Composition / fragment well-formedness: disjoint
                 // sent/send-omitted receivers and received/receive-omitted
                 // senders; no self traffic.
                 if frag.sent.keys().any(|r| frag.send_omitted.contains_key(r)) {
-                    return Err(E::OverlappingSendSets { process: pid, round });
+                    return Err(E::OverlappingSendSets {
+                        process: pid,
+                        round,
+                    });
                 }
-                if frag.received.keys().any(|s| frag.receive_omitted.contains_key(s)) {
-                    return Err(E::OverlappingReceiveSets { process: pid, round });
+                if frag
+                    .received
+                    .keys()
+                    .any(|s| frag.receive_omitted.contains_key(s))
+                {
+                    return Err(E::OverlappingReceiveSets {
+                        process: pid,
+                        round,
+                    });
                 }
                 if frag.sent.contains_key(&pid)
                     || frag.send_omitted.contains_key(&pid)
                     || frag.received.contains_key(&pid)
                     || frag.receive_omitted.contains_key(&pid)
                 {
-                    return Err(E::SelfMessage { process: pid, round });
+                    return Err(E::SelfMessage {
+                        process: pid,
+                        round,
+                    });
                 }
 
                 // Send-validity: a sent message is received or
@@ -364,12 +392,16 @@ impl<I: Value, O: Value, M: Payload> Execution<I, O, M> {
                         return Err(E::UnknownProcess { process: *receiver });
                     }
                     let rf = self.record(*receiver).fragment(round);
-                    let seen = rf.map_or(false, |rf| {
+                    let seen = rf.is_some_and(|rf| {
                         rf.received.get(&pid) == Some(payload)
                             || rf.receive_omitted.get(&pid) == Some(payload)
                     });
                     if !seen {
-                        return Err(E::SendValidity { sender: pid, receiver: *receiver, round });
+                        return Err(E::SendValidity {
+                            sender: pid,
+                            receiver: *receiver,
+                            round,
+                        });
                     }
                 }
 
@@ -380,9 +412,13 @@ impl<I: Value, O: Value, M: Payload> Execution<I, O, M> {
                         return Err(E::UnknownProcess { process: *sender });
                     }
                     let sf = self.record(*sender).fragment(round);
-                    let sent = sf.map_or(false, |sf| sf.sent.get(&pid) == Some(payload));
+                    let sent = sf.is_some_and(|sf| sf.sent.get(&pid) == Some(payload));
                     if !sent {
-                        return Err(E::ReceiveValidity { sender: *sender, receiver: pid, round });
+                        return Err(E::ReceiveValidity {
+                            sender: *sender,
+                            receiver: pid,
+                            round,
+                        });
                     }
                 }
 
@@ -390,7 +426,10 @@ impl<I: Value, O: Value, M: Payload> Execution<I, O, M> {
                 if (!frag.send_omitted.is_empty() || !frag.receive_omitted.is_empty())
                     && !self.faulty.contains(&pid)
                 {
-                    return Err(E::OmissionByCorrect { process: pid, round });
+                    return Err(E::OmissionByCorrect {
+                        process: pid,
+                        round,
+                    });
                 }
             }
         }
@@ -482,22 +521,45 @@ impl fmt::Display for ExecutionInvariantError {
             }
             E::UnknownProcess { process } => write!(f, "unknown process {process}"),
             E::OverlappingSendSets { process, round } => {
-                write!(f, "{process} has overlapping sent/send-omitted sets in {round}")
+                write!(
+                    f,
+                    "{process} has overlapping sent/send-omitted sets in {round}"
+                )
             }
             E::OverlappingReceiveSets { process, round } => {
-                write!(f, "{process} has overlapping received/receive-omitted sets in {round}")
+                write!(
+                    f,
+                    "{process} has overlapping received/receive-omitted sets in {round}"
+                )
             }
             E::SelfMessage { process, round } => {
                 write!(f, "{process} has a self-addressed message in {round}")
             }
-            E::SendValidity { sender, receiver, round } => {
-                write!(f, "send-validity violated for {sender} → {receiver} in {round}")
+            E::SendValidity {
+                sender,
+                receiver,
+                round,
+            } => {
+                write!(
+                    f,
+                    "send-validity violated for {sender} → {receiver} in {round}"
+                )
             }
-            E::ReceiveValidity { sender, receiver, round } => {
-                write!(f, "receive-validity violated for {sender} → {receiver} in {round}")
+            E::ReceiveValidity {
+                sender,
+                receiver,
+                round,
+            } => {
+                write!(
+                    f,
+                    "receive-validity violated for {sender} → {receiver} in {round}"
+                )
             }
             E::OmissionByCorrect { process, round } => {
-                write!(f, "correct process {process} committed an omission fault in {round}")
+                write!(
+                    f,
+                    "correct process {process} committed an omission fault in {round}"
+                )
             }
         }
     }
@@ -527,7 +589,11 @@ mod tests {
             mode: FaultMode::Omission,
             faulty: BTreeSet::new(),
             records: vec![
-                ProcessRecord { proposal: Bit::Zero, decision: None, fragments: vec![f0] },
+                ProcessRecord {
+                    proposal: Bit::Zero,
+                    decision: None,
+                    fragments: vec![f0],
+                },
                 ProcessRecord {
                     proposal: Bit::Zero,
                     decision: Some((Bit::One, Round(2))),
@@ -576,7 +642,9 @@ mod tests {
     #[test]
     fn receive_validity_detects_forged_message() {
         let mut exec = tiny_execution();
-        exec.records[0].fragments[0].received.insert(ProcessId(1), 9);
+        exec.records[0].fragments[0]
+            .received
+            .insert(ProcessId(1), 9);
         assert_eq!(
             exec.validate(),
             Err(ExecutionInvariantError::ReceiveValidity {
@@ -590,7 +658,10 @@ mod tests {
     #[test]
     fn receive_validity_detects_payload_mismatch() {
         let mut exec = tiny_execution();
-        *exec.records[1].fragments[0].received.get_mut(&ProcessId(0)).unwrap() = 8;
+        *exec.records[1].fragments[0]
+            .received
+            .get_mut(&ProcessId(0))
+            .unwrap() = 8;
         assert!(exec.validate().is_err());
     }
 
@@ -599,8 +670,13 @@ mod tests {
         let mut exec = tiny_execution();
         // Reclassify the delivery as a receive-omission without marking p1
         // faulty.
-        let payload = exec.records[1].fragments[0].received.remove(&ProcessId(0)).unwrap();
-        exec.records[1].fragments[0].receive_omitted.insert(ProcessId(0), payload);
+        let payload = exec.records[1].fragments[0]
+            .received
+            .remove(&ProcessId(0))
+            .unwrap();
+        exec.records[1].fragments[0]
+            .receive_omitted
+            .insert(ProcessId(0), payload);
         assert_eq!(
             exec.validate(),
             Err(ExecutionInvariantError::OmissionByCorrect {
@@ -626,10 +702,15 @@ mod tests {
     #[test]
     fn self_message_is_rejected() {
         let mut exec = tiny_execution();
-        exec.records[0].fragments[0].received.insert(ProcessId(0), 1);
+        exec.records[0].fragments[0]
+            .received
+            .insert(ProcessId(0), 1);
         assert_eq!(
             exec.validate(),
-            Err(ExecutionInvariantError::SelfMessage { process: ProcessId(0), round: Round(1) })
+            Err(ExecutionInvariantError::SelfMessage {
+                process: ProcessId(0),
+                round: Round(1)
+            })
         );
     }
 
@@ -687,8 +768,13 @@ mod tests {
         // state-machine output, so it must not register as divergence.
         let a = tiny_execution();
         let mut b = tiny_execution();
-        let payload = b.records[0].fragments[0].sent.remove(&ProcessId(1)).unwrap();
-        b.records[0].fragments[0].send_omitted.insert(ProcessId(1), payload);
+        let payload = b.records[0].fragments[0]
+            .sent
+            .remove(&ProcessId(1))
+            .unwrap();
+        b.records[0].fragments[0]
+            .send_omitted
+            .insert(ProcessId(1), payload);
         b.records[1].fragments[0].received.clear();
         assert_eq!(a.first_send_divergence(&b, ProcessId(0)), None);
     }
@@ -704,10 +790,13 @@ mod tests {
     #[test]
     fn record_accessors() {
         let exec = tiny_execution();
-        assert_eq!(exec.outcome(ProcessId(1)), DecisionOutcome::Decided {
-            value: Bit::One,
-            round: Round(2)
-        });
+        assert_eq!(
+            exec.outcome(ProcessId(1)),
+            DecisionOutcome::Decided {
+                value: Bit::One,
+                round: Round(2)
+            }
+        );
         assert_eq!(exec.outcome(ProcessId(0)), DecisionOutcome::Undecided);
         assert_eq!(exec.correct().count(), 2);
         assert!(exec.is_correct(ProcessId(0)));
@@ -717,8 +806,13 @@ mod tests {
     fn omission_iterators_enumerate_all_rounds() {
         let mut exec = tiny_execution();
         exec.faulty.insert(ProcessId(1));
-        let payload = exec.records[1].fragments[0].received.remove(&ProcessId(0)).unwrap();
-        exec.records[1].fragments[0].receive_omitted.insert(ProcessId(0), payload);
+        let payload = exec.records[1].fragments[0]
+            .received
+            .remove(&ProcessId(0))
+            .unwrap();
+        exec.records[1].fragments[0]
+            .receive_omitted
+            .insert(ProcessId(0), payload);
         let ro: Vec<_> = exec.records[1].all_receive_omitted().collect();
         assert_eq!(ro, vec![(Round(1), ProcessId(0), &7u8)]);
         assert_eq!(exec.records[1].all_send_omitted().count(), 0);

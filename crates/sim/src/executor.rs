@@ -1,10 +1,15 @@
 //! The lock-step synchronous executor.
 //!
-//! [`run_omission`] drives deterministic state machines under an
-//! [`OmissionPlan`]; [`run_byzantine`] drives a mix of honest state machines
-//! and arbitrary [`ByzantineBehavior`]s. Both produce trace-complete
-//! [`Execution`] values that satisfy the model's execution guarantees by
-//! construction (and are re-checkable via [`Execution::validate`]).
+//! All executions are driven by one engine, [`run_slots`], reached through
+//! the [`Scenario`](crate::Scenario) builder: honest state machines and
+//! Byzantine behaviors occupy per-process slots, and an
+//! [`OmissionPlan`] decides each message's fate. The engine produces
+//! trace-complete [`Execution`] values that satisfy the model's execution
+//! guarantees by construction (and are re-checkable via
+//! [`Execution::validate`]).
+//!
+//! The legacy free functions [`run_omission`] and [`run_byzantine`] are
+//! deprecated one-line shims over the builder.
 
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -13,8 +18,9 @@ use crate::error::SimError;
 use crate::execution::{Execution, FaultMode, ProcessRecord, RoundFragment};
 use crate::ids::{ProcessId, Round};
 use crate::mailbox::{Inbox, Outbox};
-use crate::plan::{Fate, OmissionPlan};
+use crate::plan::OmissionPlan;
 use crate::protocol::{ProcessCtx, Protocol};
+use crate::scenario::{Adversary, BoxedBehavior, Scenario, ScenarioResult};
 use crate::value::Payload;
 
 /// Static configuration of an execution run.
@@ -44,19 +50,33 @@ impl ExecutorConfig {
     /// slack catches slow-downs introduced by adversaries.
     pub const HORIZON_FACTOR: u64 = 4;
 
-    /// Creates a configuration with the default horizon.
+    /// Creates a configuration with the default horizon, reporting an
+    /// invalid resilience bound as a typed error.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics unless `t < n`.
-    pub fn new(n: usize, t: usize) -> Self {
-        assert!(t < n, "require t < n (got t = {t}, n = {n})");
-        ExecutorConfig {
+    /// Returns [`SimError::InvalidResilience`] unless `t < n`.
+    pub fn try_new(n: usize, t: usize) -> Result<Self, SimError> {
+        if t >= n {
+            return Err(SimError::InvalidResilience { n, t });
+        }
+        Ok(ExecutorConfig {
             n,
             t,
             max_rounds: Self::HORIZON_FACTOR * (t as u64 + 2) + 8,
             stop_when_quiescent: true,
-        }
+        })
+    }
+
+    /// Creates a configuration with the default horizon.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `t < n`. Fallible callers (and
+    /// [`Scenario::run`](crate::ProtocolScenario::run), which never panics
+    /// on bad parameters) use [`ExecutorConfig::try_new`].
+    pub fn new(n: usize, t: usize) -> Self {
+        Self::try_new(n, t).unwrap_or_else(|_| panic!("require t < n (got t = {t}, n = {n})"))
     }
 
     /// Sets the hard horizon.
@@ -74,12 +94,12 @@ impl ExecutorConfig {
 
 /// One process slot during a run: either an honest protocol instance or a
 /// Byzantine behavior.
-enum Slot<P: Protocol> {
+pub(crate) enum Slot<'a, P: Protocol> {
     Honest(P),
-    Byzantine(Box<dyn ByzantineBehavior<P::Input, P::Msg>>),
+    Byzantine(BoxedBehavior<'a, P::Input, P::Msg>),
 }
 
-impl<P: Protocol> Slot<P> {
+impl<P: Protocol> Slot<'_, P> {
     fn propose(&mut self, ctx: &ProcessCtx, proposal: P::Input) -> Outbox<P::Msg> {
         match self {
             Slot::Honest(p) => p.propose(ctx, proposal),
@@ -104,88 +124,105 @@ impl<P: Protocol> Slot<P> {
 
 /// Runs an execution in the **omission** failure model (paper §3).
 ///
-/// Every process — correct or faulty — runs the protocol produced by
-/// `factory`; `plan` decides the fate of each message, and may only blame
-/// processes in `faulty`.
+/// Deprecated shim over the [`Scenario`](crate::Scenario) builder.
 ///
 /// # Errors
 ///
-/// Returns an error if the protocol violates the model (self-sends, invalid
-/// receivers, decision changes), if the plan blames a correct process, or if
-/// the inputs are inconsistent (`proposals.len() != n`, `|faulty| > t`).
+/// As [`ProtocolScenario::run`](crate::ProtocolScenario::run).
+#[deprecated(
+    since = "0.1.0",
+    note = "use Scenario::new(n, t)…adversary(Adversary::omission(…)).run()"
+)]
 pub fn run_omission<P, F>(
     cfg: &ExecutorConfig,
     factory: F,
     proposals: &[P::Input],
     faulty: &BTreeSet<ProcessId>,
     plan: &mut dyn OmissionPlan<P::Msg>,
-) -> Result<Execution<P::Input, P::Output, P::Msg>, SimError>
+) -> ScenarioResult<P>
 where
     P: Protocol,
     F: Fn(ProcessId) -> P,
 {
-    let slots: Vec<Slot<P>> =
-        ProcessId::all(cfg.n).map(|pid| Slot::Honest(factory(pid))).collect();
-    run_inner(cfg, slots, proposals, faulty, plan, FaultMode::Omission)
+    Scenario::config(cfg)
+        .protocol(factory)
+        .inputs(proposals.iter().cloned())
+        .adversary(Adversary::omission(faulty.iter().copied(), plan))
+        .run()
 }
 
 /// Runs an execution in the **Byzantine** failure model (paper §2).
 ///
-/// Processes listed in `behaviors` are faulty and driven by the supplied
-/// arbitrary behavior; all others run the protocol from `factory`. Messages
-/// are always delivered (Byzantine processes "omit" by simply not sending).
+/// Deprecated shim over the [`Scenario`](crate::Scenario) builder.
 ///
 /// # Errors
 ///
-/// Returns an error if the protocol or a behavior violates the model, or if
-/// the inputs are inconsistent.
+/// As [`ProtocolScenario::run`](crate::ProtocolScenario::run).
+#[deprecated(
+    since = "0.1.0",
+    note = "use Scenario::new(n, t)…adversary(Adversary::byzantine(…)).run()"
+)]
 pub fn run_byzantine<P, F>(
     cfg: &ExecutorConfig,
     factory: F,
     proposals: &[P::Input],
     behaviors: BTreeMap<ProcessId, Box<dyn ByzantineBehavior<P::Input, P::Msg>>>,
-) -> Result<Execution<P::Input, P::Output, P::Msg>, SimError>
+) -> ScenarioResult<P>
 where
     P: Protocol,
     F: Fn(ProcessId) -> P,
 {
-    let faulty: BTreeSet<ProcessId> = behaviors.keys().copied().collect();
-    let mut behaviors = behaviors;
-    let slots: Vec<Slot<P>> = ProcessId::all(cfg.n)
-        .map(|pid| match behaviors.remove(&pid) {
-            Some(b) => Slot::Byzantine(b),
-            None => Slot::Honest(factory(pid)),
-        })
-        .collect();
-    let mut no_omissions = crate::plan::NoFaults;
-    run_inner(cfg, slots, proposals, &faulty, &mut no_omissions, FaultMode::Byzantine)
+    Scenario::config(cfg)
+        .protocol(factory)
+        .inputs(proposals.iter().cloned())
+        .adversary(Adversary::byzantine(
+            behaviors
+                .into_iter()
+                .map(|(p, b)| (p, b as BoxedBehavior<'static, _, _>)),
+        ))
+        .run()
 }
 
-fn run_inner<P: Protocol>(
+/// The execution engine: drives the slots round by round, routing every
+/// message through `plan` and enforcing the model's guarantees. All
+/// adversary flavors — none, omission, Byzantine, crash, mixed — reduce to a
+/// slot assignment plus a plan.
+pub(crate) fn run_slots<P: Protocol>(
     cfg: &ExecutorConfig,
-    mut slots: Vec<Slot<P>>,
+    mut slots: Vec<Slot<'_, P>>,
     proposals: &[P::Input],
     faulty: &BTreeSet<ProcessId>,
     plan: &mut dyn OmissionPlan<P::Msg>,
     mode: FaultMode,
-) -> Result<Execution<P::Input, P::Output, P::Msg>, SimError> {
+) -> ScenarioResult<P> {
     let n = cfg.n;
     if proposals.len() != n {
-        return Err(SimError::ProposalCount { got: proposals.len(), expected: n });
+        return Err(SimError::ProposalCount {
+            got: proposals.len(),
+            expected: n,
+        });
     }
     if faulty.len() > cfg.t {
-        return Err(SimError::TooManyFaulty { got: faulty.len(), t: cfg.t });
+        return Err(SimError::TooManyFaulty {
+            got: faulty.len(),
+            t: cfg.t,
+        });
     }
     if let Some(p) = faulty.iter().find(|p| p.index() >= n) {
         return Err(SimError::BehaviorMismatch { process: *p });
     }
 
-    let ctxs: Vec<ProcessCtx> =
-        ProcessId::all(n).map(|pid| ProcessCtx::new(pid, n, cfg.t)).collect();
+    let ctxs: Vec<ProcessCtx> = ProcessId::all(n)
+        .map(|pid| ProcessCtx::new(pid, n, cfg.t))
+        .collect();
 
     let mut records: Vec<ProcessRecord<P::Input, P::Output, P::Msg>> = proposals
         .iter()
-        .map(|v| ProcessRecord { proposal: v.clone(), decision: None, fragments: Vec::new() })
+        .map(|v| ProcessRecord {
+            proposal: v.clone(),
+            decision: None,
+            fragments: Vec::new(),
+        })
         .collect();
 
     // Round-1 outboxes come from `propose` (paper §A.1.3: first-round
@@ -215,29 +252,29 @@ fn run_inner<P: Protocol>(
         for sender in ProcessId::all(n) {
             let outbox = std::mem::take(&mut outboxes[sender.index()]);
             for (receiver, payload) in outbox {
-                let fate = match mode {
-                    FaultMode::Omission => plan.fate(round, sender, receiver, &payload),
-                    FaultMode::Byzantine => Fate::Deliver,
-                };
+                let fate = plan.fate(round, sender, receiver, &payload);
                 if let Some(blamed) = fate.blamed(sender, receiver) {
                     if !faulty.contains(&blamed) {
-                        return Err(SimError::OmissionByCorrect { process: blamed, round });
+                        return Err(SimError::OmissionByCorrect {
+                            process: blamed,
+                            round,
+                        });
                     }
                 }
                 let frag_idx = round.index();
                 match fate {
-                    Fate::Deliver => {
+                    crate::plan::Fate::Deliver => {
                         records[sender.index()].fragments[frag_idx]
                             .sent
                             .insert(receiver, payload.clone());
                         inboxes[receiver.index()].insert(sender, payload);
                     }
-                    Fate::SendOmit => {
+                    crate::plan::Fate::SendOmit => {
                         records[sender.index()].fragments[frag_idx]
                             .send_omitted
                             .insert(receiver, payload);
                     }
-                    Fate::ReceiveOmit => {
+                    crate::plan::Fate::ReceiveOmit => {
                         records[sender.index()].fragments[frag_idx]
                             .sent
                             .insert(receiver, payload.clone());
@@ -299,10 +336,17 @@ fn validate_outbox<M: Payload>(
 ) -> Result<(), SimError> {
     for (receiver, _) in out.iter() {
         if receiver == sender {
-            return Err(SimError::SelfSend { process: sender, round });
+            return Err(SimError::SelfSend {
+                process: sender,
+                round,
+            });
         }
         if receiver.index() >= n {
-            return Err(SimError::InvalidReceiver { process: sender, receiver, n });
+            return Err(SimError::InvalidReceiver {
+                process: sender,
+                receiver,
+                n,
+            });
         }
     }
     Ok(())
@@ -310,7 +354,7 @@ fn validate_outbox<M: Payload>(
 
 fn observe_decision<P: Protocol>(
     record: &mut ProcessRecord<P::Input, P::Output, P::Msg>,
-    slot: &Slot<P>,
+    slot: &Slot<'_, P>,
     pid: ProcessId,
     round: Round,
 ) -> Result<(), SimError> {
@@ -319,10 +363,14 @@ fn observe_decision<P: Protocol>(
             record.decision = Some((v, round));
             Ok(())
         }
-        (Some(v), Some((prev, _))) if &v != prev => {
-            Err(SimError::DecisionChanged { process: pid, round })
-        }
-        (None, Some(_)) => Err(SimError::DecisionChanged { process: pid, round }),
+        (Some(v), Some((prev, _))) if &v != prev => Err(SimError::DecisionChanged {
+            process: pid,
+            round,
+        }),
+        (None, Some(_)) => Err(SimError::DecisionChanged {
+            process: pid,
+            round,
+        }),
         _ => Ok(()),
     }
 }
@@ -345,7 +393,12 @@ mod tests {
 
     impl Chatter {
         fn new(decide_at: u64, stop_after: u64) -> Self {
-            Chatter { proposal: Bit::Zero, decision: None, decide_at, stop_after }
+            Chatter {
+                proposal: Bit::Zero,
+                decision: None,
+                decide_at,
+                stop_after,
+            }
         }
     }
 
@@ -380,17 +433,21 @@ mod tests {
         }
     }
 
+    fn chatter_scenario(
+        n: usize,
+        t: usize,
+        decide_at: u64,
+        stop_after: u64,
+        bit: Bit,
+    ) -> crate::ProtocolScenario<'static, Chatter, impl Fn(ProcessId) -> Chatter> {
+        Scenario::new(n, t)
+            .protocol(move |_| Chatter::new(decide_at, stop_after))
+            .uniform_input(bit)
+    }
+
     #[test]
     fn fault_free_run_is_valid_and_quiescent() {
-        let cfg = ExecutorConfig::new(4, 1);
-        let exec = run_omission(
-            &cfg,
-            |_| Chatter::new(3, 3),
-            &[Bit::One; 4],
-            &BTreeSet::new(),
-            &mut NoFaults,
-        )
-        .unwrap();
+        let exec = chatter_scenario(4, 1, 3, 3, Bit::One).run().unwrap();
         exec.validate().unwrap();
         assert!(exec.quiescent);
         assert!(exec.all_correct_decided(Bit::One));
@@ -400,33 +457,24 @@ mod tests {
 
     #[test]
     fn executions_are_deterministic() {
-        let cfg = ExecutorConfig::new(5, 2);
         let run = || {
-            run_omission(
-                &cfg,
-                |_| Chatter::new(2, 4),
-                &[Bit::Zero, Bit::One, Bit::Zero, Bit::One, Bit::Zero],
-                &BTreeSet::new(),
-                &mut NoFaults,
-            )
-            .unwrap()
+            Scenario::new(5, 2)
+                .protocol(|_| Chatter::new(2, 4))
+                .inputs([Bit::Zero, Bit::One, Bit::Zero, Bit::One, Bit::Zero])
+                .run()
+                .unwrap()
         };
         assert_eq!(run(), run());
     }
 
     #[test]
     fn isolation_produces_valid_omission_execution() {
-        let cfg = ExecutorConfig::new(4, 2);
-        let faulty: BTreeSet<_> = [ProcessId(3)].into_iter().collect();
-        let mut plan = IsolationPlan::new([ProcessId(3)], Round(2));
-        let exec = run_omission(
-            &cfg,
-            |_| Chatter::new(3, 3),
-            &[Bit::Zero; 4],
-            &faulty,
-            &mut plan,
-        )
-        .unwrap();
+        let exec = Scenario::new(4, 2)
+            .protocol(|_| Chatter::new(3, 3))
+            .uniform_input(Bit::Zero)
+            .adversary(Adversary::isolation([ProcessId(3)], Round(2)))
+            .run()
+            .unwrap();
         exec.validate().unwrap();
         // p3 received round-1 traffic but nothing from round 2 onward.
         let rec = exec.record(ProcessId(3));
@@ -439,46 +487,44 @@ mod tests {
 
     #[test]
     fn plan_blaming_correct_process_errors() {
-        let cfg = ExecutorConfig::new(3, 1);
-        let mut plan = IsolationPlan::new([ProcessId(2)], Round(1));
-        let err = run_omission(
-            &cfg,
-            |_| Chatter::new(2, 2),
-            &[Bit::Zero; 3],
-            &BTreeSet::new(), // p2 not declared faulty
-            &mut plan,
-        )
-        .unwrap_err();
+        let err = Scenario::new(3, 1)
+            .protocol(|_| Chatter::new(2, 2))
+            .uniform_input(Bit::Zero)
+            // p2 isolated by the plan but not declared faulty.
+            .adversary(Adversary::omission(
+                [],
+                IsolationPlan::new([ProcessId(2)], Round(1)),
+            ))
+            .run()
+            .unwrap_err();
         assert!(matches!(err, SimError::OmissionByCorrect { .. }));
     }
 
     #[test]
     fn too_many_faulty_is_rejected() {
-        let cfg = ExecutorConfig::new(3, 1);
-        let faulty: BTreeSet<_> = [ProcessId(0), ProcessId(1)].into_iter().collect();
-        let err = run_omission(
-            &cfg,
-            |_| Chatter::new(2, 2),
-            &[Bit::Zero; 3],
-            &faulty,
-            &mut NoFaults,
-        )
-        .unwrap_err();
+        let err = Scenario::new(3, 1)
+            .protocol(|_| Chatter::new(2, 2))
+            .uniform_input(Bit::Zero)
+            .adversary(Adversary::omission([ProcessId(0), ProcessId(1)], NoFaults))
+            .run()
+            .unwrap_err();
         assert_eq!(err, SimError::TooManyFaulty { got: 2, t: 1 });
     }
 
     #[test]
     fn proposal_count_mismatch_is_rejected() {
-        let cfg = ExecutorConfig::new(3, 1);
-        let err = run_omission(
-            &cfg,
-            |_| Chatter::new(2, 2),
-            &[Bit::Zero; 2],
-            &BTreeSet::new(),
-            &mut NoFaults,
-        )
-        .unwrap_err();
-        assert_eq!(err, SimError::ProposalCount { got: 2, expected: 3 });
+        let err = Scenario::new(3, 1)
+            .protocol(|_| Chatter::new(2, 2))
+            .inputs([Bit::Zero; 2])
+            .run()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SimError::ProposalCount {
+                got: 2,
+                expected: 3
+            }
+        );
     }
 
     #[test]
@@ -501,8 +547,10 @@ mod tests {
                 Some(Bit::Zero)
             }
         }
-        let cfg = ExecutorConfig::new(2, 1);
-        let err = run_omission(&cfg, |_| SelfSender, &[Bit::Zero; 2], &BTreeSet::new(), &mut NoFaults)
+        let err = Scenario::new(2, 1)
+            .protocol(|_| SelfSender)
+            .uniform_input(Bit::Zero)
+            .run()
             .unwrap_err();
         assert!(matches!(err, SimError::SelfSend { .. }));
     }
@@ -528,22 +576,25 @@ mod tests {
                 Some(if self.round < 2 { Bit::Zero } else { Bit::One })
             }
         }
-        let cfg = ExecutorConfig::new(2, 1).with_stop_when_quiescent(false).with_max_rounds(4);
-        let err =
-            run_omission(&cfg, |_| FlipFlopper { round: 0 }, &[Bit::Zero; 2], &BTreeSet::new(), &mut NoFaults)
-                .unwrap_err();
+        let err = Scenario::new(2, 1)
+            .protocol(|_| FlipFlopper { round: 0 })
+            .uniform_input(Bit::Zero)
+            .stop_when_quiescent(false)
+            .max_rounds(4)
+            .run()
+            .unwrap_err();
         assert!(matches!(err, SimError::DecisionChanged { .. }));
     }
 
     #[test]
     fn byzantine_silent_process_is_recorded_without_decisions() {
         use crate::byzantine::SilentByzantine;
-        let cfg = ExecutorConfig::new(3, 1);
-        let behaviors: BTreeMap<_, Box<dyn ByzantineBehavior<Bit, Bit>>> =
-            [(ProcessId(2), Box::new(SilentByzantine) as Box<dyn ByzantineBehavior<Bit, Bit>>)]
-                .into_iter()
-                .collect();
-        let exec = run_byzantine(&cfg, |_| Chatter::new(3, 3), &[Bit::One; 3], behaviors).unwrap();
+        let exec = Scenario::new(3, 1)
+            .protocol(|_| Chatter::new(3, 3))
+            .uniform_input(Bit::One)
+            .adversary(Adversary::one_byzantine(ProcessId(2), SilentByzantine))
+            .run()
+            .unwrap();
         exec.validate().unwrap();
         assert_eq!(exec.mode, FaultMode::Byzantine);
         assert!(exec.decision_of(ProcessId(2)).is_none());
@@ -555,8 +606,7 @@ mod tests {
 
     #[test]
     fn horizon_caps_non_quiescent_protocols() {
-        let cfg = ExecutorConfig::new(2, 1).with_max_rounds(5);
-        // stop_after = u64::MAX: never stops sending; never decides.
+        // Never stops sending; never decides.
         #[derive(Clone)]
         struct Forever;
         impl Protocol for Forever {
@@ -577,8 +627,12 @@ mod tests {
                 None
             }
         }
-        let exec =
-            run_omission(&cfg, |_| Forever, &[Bit::Zero; 2], &BTreeSet::new(), &mut NoFaults).unwrap();
+        let exec = Scenario::new(2, 1)
+            .protocol(|_| Forever)
+            .uniform_input(Bit::Zero)
+            .max_rounds(5)
+            .run()
+            .unwrap();
         assert_eq!(exec.rounds, 5);
         assert!(!exec.quiescent);
         exec.validate().unwrap();
@@ -588,40 +642,24 @@ mod tests {
     fn t_zero_systems_run_fault_free_only() {
         // t = 0: the fault set must be empty, and protocols sized for t = 0
         // decide immediately after their first exchange.
-        let cfg = ExecutorConfig::new(3, 0);
-        let exec = run_omission(
-            &cfg,
-            |_| Chatter::new(2, 1),
-            &[Bit::One; 3],
-            &BTreeSet::new(),
-            &mut NoFaults,
-        )
-        .unwrap();
+        let exec = chatter_scenario(3, 0, 2, 1, Bit::One).run().unwrap();
         exec.validate().unwrap();
         assert!(exec.all_correct_decided(Bit::One));
         // Any declared fault exceeds t = 0.
-        let err = run_omission(
-            &cfg,
-            |_| Chatter::new(2, 1),
-            &[Bit::One; 3],
-            &[ProcessId(0)].into(),
-            &mut NoFaults,
-        )
-        .unwrap_err();
+        let err = chatter_scenario(3, 0, 2, 1, Bit::One)
+            .adversary(Adversary::omission([ProcessId(0)], NoFaults))
+            .run()
+            .unwrap_err();
         assert_eq!(err, SimError::TooManyFaulty { got: 1, t: 0 });
     }
 
     #[test]
     fn two_process_system_works() {
-        let cfg = ExecutorConfig::new(2, 1);
-        let exec = run_omission(
-            &cfg,
-            |_| Chatter::new(2, 1),
-            &[Bit::Zero, Bit::One],
-            &BTreeSet::new(),
-            &mut NoFaults,
-        )
-        .unwrap();
+        let exec = Scenario::new(2, 1)
+            .protocol(|_| Chatter::new(2, 1))
+            .inputs([Bit::Zero, Bit::One])
+            .run()
+            .unwrap();
         exec.validate().unwrap();
         assert_eq!(exec.record(ProcessId(0)).fragments[0].sent.len(), 1);
     }
@@ -646,40 +684,37 @@ mod tests {
                 Some(Bit::Zero)
             }
         }
-        let cfg = ExecutorConfig::new(2, 1);
-        let err =
-            run_omission(&cfg, |_| WildSender, &[Bit::Zero; 2], &BTreeSet::new(), &mut NoFaults)
-                .unwrap_err();
+        let err = Scenario::new(2, 1)
+            .protocol(|_| WildSender)
+            .uniform_input(Bit::Zero)
+            .run()
+            .unwrap_err();
         assert!(matches!(err, SimError::InvalidReceiver { .. }));
     }
 
     #[test]
-    fn byzantine_behavior_for_undeclared_process_is_rejected() {
+    fn byzantine_behaviors_beyond_the_budget_are_rejected() {
         use crate::byzantine::SilentByzantine;
-        let cfg = ExecutorConfig::new(3, 1);
-        let behaviors: BTreeMap<_, Box<dyn ByzantineBehavior<Bit, Bit>>> = [
-            (ProcessId(1), Box::new(SilentByzantine) as Box<dyn ByzantineBehavior<Bit, Bit>>),
-            (ProcessId(2), Box::new(SilentByzantine) as Box<_>),
-        ]
-        .into_iter()
-        .collect();
         // Two behaviors exceed t = 1.
-        let err = run_byzantine(&cfg, |_| Chatter::new(2, 2), &[Bit::Zero; 3], behaviors)
+        let err = Scenario::new(3, 1)
+            .protocol(|_| Chatter::new(2, 2))
+            .uniform_input(Bit::Zero)
+            .adversary(Adversary::byzantine([
+                (ProcessId(1), Box::new(SilentByzantine) as _),
+                (ProcessId(2), Box::new(SilentByzantine) as _),
+            ]))
+            .run()
             .unwrap_err();
         assert_eq!(err, SimError::TooManyFaulty { got: 2, t: 1 });
     }
 
     #[test]
     fn fixed_horizon_mode_runs_exactly_max_rounds() {
-        let cfg = ExecutorConfig::new(3, 1).with_stop_when_quiescent(false).with_max_rounds(7);
-        let exec = run_omission(
-            &cfg,
-            |_| Chatter::new(2, 2),
-            &[Bit::Zero; 3],
-            &BTreeSet::new(),
-            &mut NoFaults,
-        )
-        .unwrap();
+        let exec = chatter_scenario(3, 1, 2, 2, Bit::Zero)
+            .stop_when_quiescent(false)
+            .max_rounds(7)
+            .run()
+            .unwrap();
         assert_eq!(exec.rounds, 7);
         assert!(exec.quiescent, "nothing in flight at the horizon");
         assert_eq!(exec.record(ProcessId(0)).fragments.len(), 7);
@@ -687,17 +722,44 @@ mod tests {
 
     #[test]
     fn quiescent_early_stop_records_round_count() {
-        let cfg = ExecutorConfig::new(3, 1);
+        let exec = chatter_scenario(3, 1, 2, 2, Bit::Zero).run().unwrap();
+        assert!(exec.quiescent);
+        assert!(exec.rounds <= 3);
+        assert_eq!(exec.all_decided_by(), Some(Round(2)));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_still_drive_the_engine() {
+        let cfg = ExecutorConfig::new(4, 1);
         let exec = run_omission(
             &cfg,
-            |_| Chatter::new(2, 2),
-            &[Bit::Zero; 3],
+            |_| Chatter::new(3, 3),
+            &[Bit::One; 4],
             &BTreeSet::new(),
             &mut NoFaults,
         )
         .unwrap();
-        assert!(exec.quiescent);
-        assert!(exec.rounds <= 3);
-        assert_eq!(exec.all_decided_by(), Some(Round(2)));
+        assert!(exec.all_correct_decided(Bit::One));
+
+        use crate::byzantine::SilentByzantine;
+        let behaviors: BTreeMap<_, Box<dyn ByzantineBehavior<Bit, Bit>>> = [(
+            ProcessId(2),
+            Box::new(SilentByzantine) as Box<dyn ByzantineBehavior<Bit, Bit>>,
+        )]
+        .into_iter()
+        .collect();
+        let cfg = ExecutorConfig::new(3, 1);
+        let exec = run_byzantine(&cfg, |_| Chatter::new(3, 3), &[Bit::One; 3], behaviors).unwrap();
+        assert_eq!(exec.mode, FaultMode::Byzantine);
+    }
+
+    #[test]
+    fn try_new_reports_invalid_resilience() {
+        assert_eq!(
+            ExecutorConfig::try_new(3, 3).unwrap_err(),
+            SimError::InvalidResilience { n: 3, t: 3 }
+        );
+        assert!(ExecutorConfig::try_new(3, 2).is_ok());
     }
 }

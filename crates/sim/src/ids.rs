@@ -99,7 +99,10 @@ mod tests {
     #[test]
     fn process_ids_enumerate_in_order() {
         let ids: Vec<_> = ProcessId::all(4).collect();
-        assert_eq!(ids, vec![ProcessId(0), ProcessId(1), ProcessId(2), ProcessId(3)]);
+        assert_eq!(
+            ids,
+            vec![ProcessId(0), ProcessId(1), ProcessId(2), ProcessId(3)]
+        );
     }
 
     #[test]

@@ -16,13 +16,15 @@
 //!   the five execution guarantees (*faulty processes*, *composition*,
 //!   *send-validity*, *receive-validity*, *omission-validity*;
 //!   [`Execution::validate`], paper §A.1.6);
-//! * the **omission adversary** (paper §3): a static corruption of up to `t`
-//!   processes that may send-omit or receive-omit messages, driven by an
-//!   [`OmissionPlan`] — including the *isolation* plan of Definition 1;
-//! * the **Byzantine adversary** (paper §2): faulty processes replaced by
-//!   arbitrary [`ByzantineBehavior`]s.
+//! * a unified [`Adversary`]: the **omission** adversary of paper §3 (driven
+//!   by an [`OmissionPlan`], including the *isolation* plan of Definition 1),
+//!   the **Byzantine** adversary of §2 ([`ByzantineBehavior`]), the crash
+//!   adversary, and **mixed** per-process assignments combining Byzantine
+//!   and omission faults in one execution.
 //!
-//! The simulator is trace-complete: everything the paper's proofs inspect
+//! Executions are constructed through the [`Scenario`] builder, and grids of
+//! scenarios are swept in parallel by the [`Campaign`] runner. The simulator
+//! is trace-complete: everything the paper's proofs inspect
 //! (indistinguishability, message complexity, decision rounds) is recorded
 //! and checkable after the fact. The proof constructions themselves
 //! (`swap_omission`, `merge`, the Ω(t²) falsifier) live in `ba-core` and
@@ -31,9 +33,8 @@
 //! ## Example
 //!
 //! ```
-//! use ba_sim::{run_omission, ExecutorConfig, NoFaults, Protocol, ProcessCtx,
-//!              Inbox, Outbox, Round, ProcessId, Bit};
-//! use std::collections::BTreeSet;
+//! use ba_sim::{Scenario, Adversary, Protocol, ProcessCtx, Inbox, Outbox,
+//!              Round, ProcessId, Bit};
 //!
 //! /// A toy protocol: everyone broadcasts its proposal in round 1 and
 //! /// decides 0 iff it hears 0 from everybody (including itself).
@@ -62,40 +63,75 @@
 //!     fn decision(&self) -> Option<Bit> { self.decision }
 //! }
 //!
-//! let cfg = ExecutorConfig::new(4, 1);
-//! let exec = run_omission(
-//!     &cfg,
-//!     |_pid| Echo { proposal: Bit::Zero, decision: None },
-//!     &[Bit::Zero; 4],
-//!     &BTreeSet::new(),
-//!     &mut NoFaults,
-//! ).unwrap();
+//! let exec = Scenario::new(4, 1)
+//!     .protocol(|_pid| Echo { proposal: Bit::Zero, decision: None })
+//!     .uniform_input(Bit::Zero)
+//!     .adversary(Adversary::none())
+//!     .run()
+//!     .unwrap();
 //! exec.validate().unwrap();
 //! assert!(exec.all_correct_decided(Bit::Zero));
 //! assert_eq!(exec.message_complexity(), 12); // 4 processes × 3 peers
+//! ```
+//!
+//! Sweeping a grid of scenarios in parallel:
+//!
+//! ```
+//! # use ba_sim::{Scenario, Campaign, Protocol, ProcessCtx, Inbox, Outbox,
+//! #              Round, ProcessId, Bit};
+//! # #[derive(Clone)]
+//! # struct Echo { proposal: Bit, decision: Option<Bit> }
+//! # impl Protocol for Echo {
+//! #     type Input = Bit; type Output = Bit; type Msg = Bit;
+//! #     fn propose(&mut self, ctx: &ProcessCtx, proposal: Bit) -> Outbox<Bit> {
+//! #         self.proposal = proposal;
+//! #         let mut out = Outbox::new();
+//! #         for peer in ctx.others() { out.send(peer, proposal); }
+//! #         out
+//! #     }
+//! #     fn round(&mut self, _: &ProcessCtx, round: Round, _: &Inbox<Bit>) -> Outbox<Bit> {
+//! #         if round == Round::FIRST { self.decision = Some(self.proposal); }
+//! #         Outbox::new()
+//! #     }
+//! #     fn decision(&self) -> Option<Bit> { self.decision }
+//! # }
+//! let report = Campaign::grid([(4, 1), (6, 2), (8, 2)], &["none"], &["zeros"])
+//!     .run_scenarios(|point| {
+//!         Scenario::new(point.n, point.t)
+//!             .protocol(|_| Echo { proposal: Bit::Zero, decision: None })
+//!             .uniform_input(Bit::Zero)
+//!     });
+//! assert!(report.all_clean());
+//! assert_eq!(report.max_message_complexity(), 8 * 7);
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod byzantine;
+mod campaign;
 mod error;
 mod execution;
 mod executor;
 mod ids;
 mod mailbox;
+mod par;
 mod plan;
 mod protocol;
+mod rng;
+mod scenario;
 mod trace;
 mod value;
 
 pub use byzantine::{
     ByzantineBehavior, FollowThenCrash, HonestMimic, ReplayByzantine, SilentByzantine,
 };
+pub use campaign::{Campaign, CampaignPoint, CampaignReport, ScenarioOutcome, ScenarioStats};
 pub use error::SimError;
 pub use execution::{
     DecisionOutcome, Execution, ExecutionInvariantError, FaultMode, ProcessRecord, RoundFragment,
 };
+#[allow(deprecated)]
 pub use executor::{run_byzantine, run_omission, ExecutorConfig};
 pub use ids::{ProcessId, Round};
 pub use mailbox::{Inbox, Outbox};
@@ -104,6 +140,10 @@ pub use plan::{
     RandomOmissionPlan, TableOmissionPlan,
 };
 pub use protocol::{ProcessCtx, Protocol};
+pub use rng::SimRng;
+pub use scenario::{
+    Adversary, BoxedBehavior, BoxedPlan, ProtocolScenario, Scenario, ScenarioResult,
+};
 pub use trace::{
     first_inbox_divergence, render_divergence, render_execution, round_stats, RoundStats,
 };

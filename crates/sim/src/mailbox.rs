@@ -28,7 +28,9 @@ pub struct Outbox<M> {
 impl<M: Payload> Outbox<M> {
     /// Creates an empty outbox.
     pub fn new() -> Self {
-        Outbox { msgs: BTreeMap::new() }
+        Outbox {
+            msgs: BTreeMap::new(),
+        }
     }
 
     /// Queues `msg` for delivery to `to` in this round.
@@ -127,7 +129,9 @@ pub struct Inbox<M> {
 impl<M: Payload> Inbox<M> {
     /// Creates an empty inbox.
     pub fn new() -> Self {
-        Inbox { msgs: BTreeMap::new() }
+        Inbox {
+            msgs: BTreeMap::new(),
+        }
     }
 
     /// Builds an inbox from a sender → payload map.
@@ -207,10 +211,15 @@ mod tests {
     #[test]
     fn merge_with_combines_collisions() {
         let mut a: Outbox<u32> = [(ProcessId(0), 1), (ProcessId(1), 2)].into_iter().collect();
-        let b: Outbox<u32> = [(ProcessId(1), 10), (ProcessId(2), 20)].into_iter().collect();
+        let b: Outbox<u32> = [(ProcessId(1), 10), (ProcessId(2), 20)]
+            .into_iter()
+            .collect();
         a.merge_with(b, |x, y| x + y);
         let pairs: Vec<_> = a.iter().map(|(p, m)| (p, *m)).collect();
-        assert_eq!(pairs, vec![(ProcessId(0), 1), (ProcessId(1), 12), (ProcessId(2), 20)]);
+        assert_eq!(
+            pairs,
+            vec![(ProcessId(0), 1), (ProcessId(1), 12), (ProcessId(2), 20)]
+        );
     }
 
     #[test]

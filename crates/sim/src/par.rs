@@ -1,0 +1,101 @@
+//! A minimal scoped-thread work pool.
+//!
+//! The Campaign runner needs data parallelism but the workspace builds with
+//! zero external dependencies, so instead of rayon this module drives a
+//! `std::thread::scope` worker pool over a shared atomic work index. Results
+//! come back in input order regardless of scheduling.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The number of workers to use when the caller asked for "auto" (`0`):
+/// the machine's available parallelism, capped by the number of items.
+fn resolve_threads(requested: usize, items: usize) -> usize {
+    let hw = std::thread::available_parallelism().map_or(1, usize::from);
+    let chosen = if requested == 0 { hw } else { requested };
+    chosen.clamp(1, items.max(1))
+}
+
+/// Applies `f` to every item on a pool of `threads` workers (0 = auto),
+/// returning results in input order.
+///
+/// # Panics
+///
+/// Propagates the first worker panic.
+pub(crate) fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = resolve_threads(threads, items.len());
+    if threads <= 1 || items.len() <= 1 {
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut indexed: Vec<(usize, R)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut chunk = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        chunk.push((i, f(i, &items[i])));
+                    }
+                    chunk
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+            .collect()
+    });
+    indexed.sort_unstable_by_key(|(i, _)| *i);
+    indexed.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        let items: Vec<usize> = (0..64).collect();
+        let out = par_map(&items, 4, |i, item| {
+            assert_eq!(i, *item);
+            item * 2
+        });
+        assert_eq!(out, (0..64).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_threaded_and_parallel_agree() {
+        let items: Vec<u64> = (0..33).collect();
+        let serial = par_map(&items, 1, |_, x| x * x);
+        let parallel = par_map(&items, 8, |_, x| x * x);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let items: Vec<u8> = Vec::new();
+        let out: Vec<u8> = par_map(&items, 0, |_, x| *x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn auto_thread_count_is_sane() {
+        assert!(resolve_threads(0, 100) >= 1);
+        assert_eq!(resolve_threads(16, 3), 3);
+        assert_eq!(resolve_threads(2, 100), 2);
+        assert_eq!(resolve_threads(5, 0), 1);
+    }
+}

@@ -10,10 +10,8 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use crate::ids::{ProcessId, Round};
+use crate::rng::SimRng;
 use crate::value::Payload;
 
 /// What happens to one message in transit.
@@ -52,6 +50,18 @@ pub trait OmissionPlan<M> {
     fn fate(&mut self, round: Round, sender: ProcessId, receiver: ProcessId, payload: &M) -> Fate;
 }
 
+impl<M, T: OmissionPlan<M> + ?Sized> OmissionPlan<M> for &mut T {
+    fn fate(&mut self, round: Round, sender: ProcessId, receiver: ProcessId, payload: &M) -> Fate {
+        (**self).fate(round, sender, receiver, payload)
+    }
+}
+
+impl<M, T: OmissionPlan<M> + ?Sized> OmissionPlan<M> for Box<T> {
+    fn fate(&mut self, round: Round, sender: ProcessId, receiver: ProcessId, payload: &M) -> Fate {
+        (**self).fate(round, sender, receiver, payload)
+    }
+}
+
 /// The fault-free plan: every message is delivered.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct NoFaults;
@@ -88,7 +98,10 @@ pub struct IsolationPlan {
 impl IsolationPlan {
     /// Isolates `group` from round `from` (inclusive).
     pub fn new<I: IntoIterator<Item = ProcessId>>(group: I, from: Round) -> Self {
-        IsolationPlan { group: group.into_iter().collect(), from }
+        IsolationPlan {
+            group: group.into_iter().collect(),
+            from,
+        }
     }
 
     /// The isolated group.
@@ -137,7 +150,10 @@ impl DoubleIsolationPlan {
             b.group().is_disjoint(c.group()),
             "isolated groups must be disjoint"
         );
-        DoubleIsolationPlan { first: b, second: c }
+        DoubleIsolationPlan {
+            first: b,
+            second: c,
+        }
     }
 
     /// The two constituent isolation plans.
@@ -170,7 +186,13 @@ impl TableOmissionPlan {
     }
 
     /// Sets the fate of the message from `sender` to `receiver` in `round`.
-    pub fn set(&mut self, round: Round, sender: ProcessId, receiver: ProcessId, fate: Fate) -> &mut Self {
+    pub fn set(
+        &mut self,
+        round: Round,
+        sender: ProcessId,
+        receiver: ProcessId,
+        fate: Fate,
+    ) -> &mut Self {
         self.entries.insert((round, sender, receiver), fate);
         self
     }
@@ -205,7 +227,7 @@ pub struct RandomOmissionPlan {
     faulty: BTreeSet<ProcessId>,
     p_send_omit: f64,
     p_receive_omit: f64,
-    rng: StdRng,
+    rng: SimRng,
 }
 
 impl RandomOmissionPlan {
@@ -223,13 +245,19 @@ impl RandomOmissionPlan {
         p_receive_omit: f64,
         seed: u64,
     ) -> Self {
-        assert!((0.0..=1.0).contains(&p_send_omit), "p_send_omit out of range");
-        assert!((0.0..=1.0).contains(&p_receive_omit), "p_receive_omit out of range");
+        assert!(
+            (0.0..=1.0).contains(&p_send_omit),
+            "p_send_omit out of range"
+        );
+        assert!(
+            (0.0..=1.0).contains(&p_receive_omit),
+            "p_receive_omit out of range"
+        );
         RandomOmissionPlan {
             faulty: faulty.into_iter().collect(),
             p_send_omit,
             p_receive_omit,
-            rng: StdRng::seed_from_u64(seed),
+            rng: SimRng::seed_from_u64(seed),
         }
     }
 
@@ -276,7 +304,9 @@ impl CrashPlan {
     /// Creates a plan crashing each listed process at the start of its
     /// round (inclusive).
     pub fn new<I: IntoIterator<Item = (ProcessId, Round)>>(crashes: I) -> Self {
-        CrashPlan { crashes: crashes.into_iter().collect() }
+        CrashPlan {
+            crashes: crashes.into_iter().collect(),
+        }
     }
 
     /// The processes this plan crashes (all must be in the execution's
@@ -336,12 +366,24 @@ mod tests {
     fn isolation_blocks_only_inbound_cross_group_after_start() {
         let mut plan = IsolationPlan::new([ProcessId(1)], Round(3));
         // Before the start round everything is delivered.
-        assert_eq!(plan.fate(Round(2), ProcessId(0), ProcessId(1), &()), Fate::Deliver);
+        assert_eq!(
+            plan.fate(Round(2), ProcessId(0), ProcessId(1), &()),
+            Fate::Deliver
+        );
         // From the start round, inbound cross-group messages are dropped.
-        assert_eq!(plan.fate(Round(3), ProcessId(0), ProcessId(1), &()), Fate::ReceiveOmit);
-        assert_eq!(plan.fate(Round(9), ProcessId(2), ProcessId(1), &()), Fate::ReceiveOmit);
+        assert_eq!(
+            plan.fate(Round(3), ProcessId(0), ProcessId(1), &()),
+            Fate::ReceiveOmit
+        );
+        assert_eq!(
+            plan.fate(Round(9), ProcessId(2), ProcessId(1), &()),
+            Fate::ReceiveOmit
+        );
         // The isolated group never send-omits.
-        assert_eq!(plan.fate(Round(9), ProcessId(1), ProcessId(0), &()), Fate::Deliver);
+        assert_eq!(
+            plan.fate(Round(9), ProcessId(1), ProcessId(0), &()),
+            Fate::Deliver
+        );
     }
 
     #[test]
@@ -349,11 +391,23 @@ mod tests {
         let b = IsolationPlan::new([ProcessId(1)], Round(2));
         let c = IsolationPlan::new([ProcessId(2)], Round(4));
         let mut plan = DoubleIsolationPlan::new(b, c);
-        assert_eq!(plan.fate(Round(2), ProcessId(0), ProcessId(1), &()), Fate::ReceiveOmit);
-        assert_eq!(plan.fate(Round(2), ProcessId(0), ProcessId(2), &()), Fate::Deliver);
-        assert_eq!(plan.fate(Round(4), ProcessId(0), ProcessId(2), &()), Fate::ReceiveOmit);
+        assert_eq!(
+            plan.fate(Round(2), ProcessId(0), ProcessId(1), &()),
+            Fate::ReceiveOmit
+        );
+        assert_eq!(
+            plan.fate(Round(2), ProcessId(0), ProcessId(2), &()),
+            Fate::Deliver
+        );
+        assert_eq!(
+            plan.fate(Round(4), ProcessId(0), ProcessId(2), &()),
+            Fate::ReceiveOmit
+        );
         // Cross-isolated-group traffic is blocked for the receiver's group.
-        assert_eq!(plan.fate(Round(4), ProcessId(1), ProcessId(2), &()), Fate::ReceiveOmit);
+        assert_eq!(
+            plan.fate(Round(4), ProcessId(1), ProcessId(2), &()),
+            Fate::ReceiveOmit
+        );
     }
 
     #[test]
@@ -368,8 +422,14 @@ mod tests {
     fn table_plan_defaults_to_deliver() {
         let mut plan = TableOmissionPlan::new();
         plan.set(Round(1), ProcessId(0), ProcessId(1), Fate::SendOmit);
-        assert_eq!(OmissionPlan::<u8>::fate(&mut plan, Round(1), ProcessId(0), ProcessId(1), &0), Fate::SendOmit);
-        assert_eq!(OmissionPlan::<u8>::fate(&mut plan, Round(2), ProcessId(0), ProcessId(1), &0), Fate::Deliver);
+        assert_eq!(
+            OmissionPlan::<u8>::fate(&mut plan, Round(1), ProcessId(0), ProcessId(1), &0),
+            Fate::SendOmit
+        );
+        assert_eq!(
+            OmissionPlan::<u8>::fate(&mut plan, Round(2), ProcessId(0), ProcessId(1), &0),
+            Fate::Deliver
+        );
         assert_eq!(plan.len(), 1);
     }
 
@@ -390,15 +450,25 @@ mod tests {
                 .collect()
         };
         assert_eq!(observe(7), observe(7));
-        assert_ne!(observe(7), observe(8), "different seeds should differ (w.h.p.)");
+        assert_ne!(
+            observe(7),
+            observe(8),
+            "different seeds should differ (w.h.p.)"
+        );
     }
 
     #[test]
     fn random_plan_never_blames_correct_processes() {
         let mut plan = RandomOmissionPlan::new([ProcessId(2)], 1.0, 1.0, 3);
         // Message between two correct processes is always delivered.
-        assert_eq!(OmissionPlan::<u8>::fate(&mut plan, Round(1), ProcessId(0), ProcessId(1), &0), Fate::Deliver);
+        assert_eq!(
+            OmissionPlan::<u8>::fate(&mut plan, Round(1), ProcessId(0), ProcessId(1), &0),
+            Fate::Deliver
+        );
         // Faulty sender always send-omits at p = 1.
-        assert_eq!(OmissionPlan::<u8>::fate(&mut plan, Round(1), ProcessId(2), ProcessId(1), &0), Fate::SendOmit);
+        assert_eq!(
+            OmissionPlan::<u8>::fate(&mut plan, Round(1), ProcessId(2), ProcessId(1), &0),
+            Fate::SendOmit
+        );
     }
 }

@@ -77,7 +77,12 @@ pub trait Protocol: Clone + Send {
 
     /// Processes the messages received in `round` and returns the messages
     /// to send in `round + 1`.
-    fn round(&mut self, ctx: &ProcessCtx, round: Round, inbox: &Inbox<Self::Msg>) -> Outbox<Self::Msg>;
+    fn round(
+        &mut self,
+        ctx: &ProcessCtx,
+        round: Round,
+        inbox: &Inbox<Self::Msg>,
+    ) -> Outbox<Self::Msg>;
 
     /// The value this process has decided, if any. Must be stable: once
     /// `Some(v)`, every later call must return `Some(v)`.

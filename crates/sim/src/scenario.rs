@@ -1,0 +1,620 @@
+//! The [`Scenario`] builder — the single entry point for constructing
+//! executions.
+//!
+//! The paper's model (§2, §A.1) is *one* execution model with
+//! interchangeable adversaries. `Scenario` exposes it that way: pick the
+//! system size, the protocol, the inputs, and an [`Adversary`], then `run()`.
+//! The legacy free functions `run_omission` / `run_byzantine` survive only as
+//! deprecated shims over this builder. See the crate-level documentation for
+//! a complete runnable example.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use crate::byzantine::ByzantineBehavior;
+use crate::error::SimError;
+use crate::execution::{Execution, FaultMode};
+use crate::executor::{run_slots, ExecutorConfig, Slot};
+use crate::ids::{ProcessId, Round};
+use crate::plan::{CrashPlan, IsolationPlan, NoFaults, OmissionPlan};
+use crate::protocol::Protocol;
+use crate::value::{Payload, Value};
+
+/// A boxed omission strategy, as stored in an [`Adversary`].
+pub type BoxedPlan<'a, M> = Box<dyn OmissionPlan<M> + 'a>;
+
+/// The result of running a scenario of protocol `P`: the trace-complete
+/// execution, or the first model violation.
+pub type ScenarioResult<P> = Result<
+    Execution<<P as Protocol>::Input, <P as Protocol>::Output, <P as Protocol>::Msg>,
+    SimError,
+>;
+
+/// A boxed Byzantine behavior, as stored in an [`Adversary`].
+pub type BoxedBehavior<'a, I, M> = Box<dyn ByzantineBehavior<I, M> + 'a>;
+
+/// The unified adversary of a [`Scenario`]: who is corrupted, and how.
+///
+/// The paper's omission adversary (§3), Byzantine adversary (§2), the crash
+/// adversary (omission restricted to crash-stop), and — beyond what the old
+/// dual entry points could express — **mixed** per-process assignments in
+/// which some processes are Byzantine while others are omission-faulty in
+/// the *same* execution.
+pub enum Adversary<'a, I, M> {
+    /// Every process is correct; every message is delivered.
+    NoFaults,
+    /// Up to `t` processes are omission-faulty; `plan` decides each
+    /// message's fate and may only blame processes in `faulty`.
+    Omission {
+        /// The corrupted processes the plan may blame.
+        faulty: BTreeSet<ProcessId>,
+        /// The omission strategy.
+        plan: BoxedPlan<'a, M>,
+    },
+    /// The listed processes behave arbitrarily; all other messages are
+    /// delivered.
+    Byzantine {
+        /// Behavior per corrupted process.
+        behaviors: BTreeMap<ProcessId, BoxedBehavior<'a, I, M>>,
+    },
+    /// Mixed corruption: `behaviors` are Byzantine, `omission_faulty` run
+    /// the protocol but `plan` may drop their messages. The two sets must be
+    /// disjoint and jointly at most `t`.
+    Mixed {
+        /// Behavior per Byzantine process.
+        behaviors: BTreeMap<ProcessId, BoxedBehavior<'a, I, M>>,
+        /// The omission-faulty processes.
+        omission_faulty: BTreeSet<ProcessId>,
+        /// The omission strategy (may also blame Byzantine processes).
+        plan: BoxedPlan<'a, M>,
+    },
+}
+
+impl<'a, I: Value, M: Payload> Adversary<'a, I, M> {
+    /// The fault-free adversary.
+    pub fn none() -> Self {
+        Adversary::NoFaults
+    }
+
+    /// An omission adversary corrupting `faulty`, driven by `plan`.
+    pub fn omission(
+        faulty: impl IntoIterator<Item = ProcessId>,
+        plan: impl OmissionPlan<M> + 'a,
+    ) -> Self {
+        Adversary::Omission {
+            faulty: faulty.into_iter().collect(),
+            plan: Box::new(plan),
+        }
+    }
+
+    /// Group isolation (paper Definition 1): `group` is faulty and
+    /// receive-omits all outside traffic from round `from` on.
+    pub fn isolation(group: impl IntoIterator<Item = ProcessId> + Clone, from: Round) -> Self {
+        Adversary::omission(group.clone(), IsolationPlan::new(group, from))
+    }
+
+    /// The crash adversary: each listed process crash-stops at its round.
+    pub fn crash(crashes: impl IntoIterator<Item = (ProcessId, Round)> + Clone) -> Self {
+        let faulty: BTreeSet<ProcessId> = crashes.clone().into_iter().map(|(p, _)| p).collect();
+        Adversary::Omission {
+            faulty,
+            plan: Box::new(CrashPlan::new(crashes)),
+        }
+    }
+
+    /// A Byzantine adversary with the given per-process behaviors.
+    pub fn byzantine(
+        behaviors: impl IntoIterator<Item = (ProcessId, BoxedBehavior<'a, I, M>)>,
+    ) -> Self {
+        Adversary::Byzantine {
+            behaviors: behaviors.into_iter().collect(),
+        }
+    }
+
+    /// A Byzantine adversary corrupting a single process.
+    pub fn one_byzantine(pid: ProcessId, behavior: impl ByzantineBehavior<I, M> + 'a) -> Self {
+        Adversary::Byzantine {
+            behaviors: [(pid, Box::new(behavior) as _)].into_iter().collect(),
+        }
+    }
+
+    /// A mixed adversary: `behaviors` are Byzantine while `omission_faulty`
+    /// follow the protocol under `plan` — inexpressible with the legacy
+    /// `run_omission` / `run_byzantine` split.
+    pub fn mixed(
+        behaviors: impl IntoIterator<Item = (ProcessId, BoxedBehavior<'a, I, M>)>,
+        omission_faulty: impl IntoIterator<Item = ProcessId>,
+        plan: impl OmissionPlan<M> + 'a,
+    ) -> Self {
+        Adversary::Mixed {
+            behaviors: behaviors.into_iter().collect(),
+            omission_faulty: omission_faulty.into_iter().collect(),
+            plan: Box::new(plan),
+        }
+    }
+
+    /// The complete set of corrupted processes.
+    pub fn faulty_set(&self) -> BTreeSet<ProcessId> {
+        match self {
+            Adversary::NoFaults => BTreeSet::new(),
+            Adversary::Omission { faulty, .. } => faulty.clone(),
+            Adversary::Byzantine { behaviors } => behaviors.keys().copied().collect(),
+            Adversary::Mixed {
+                behaviors,
+                omission_faulty,
+                ..
+            } => behaviors
+                .keys()
+                .copied()
+                .chain(omission_faulty.iter().copied())
+                .collect(),
+        }
+    }
+
+    /// The [`FaultMode`] stamped on produced executions.
+    pub fn fault_mode(&self) -> FaultMode {
+        match self {
+            Adversary::NoFaults | Adversary::Omission { .. } => FaultMode::Omission,
+            Adversary::Byzantine { .. } => FaultMode::Byzantine,
+            Adversary::Mixed { .. } => FaultMode::Mixed,
+        }
+    }
+}
+
+impl<I, M> fmt::Debug for Adversary<'_, I, M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Adversary::NoFaults => write!(f, "Adversary::NoFaults"),
+            Adversary::Omission { faulty, .. } => {
+                write!(f, "Adversary::Omission {{ faulty: {faulty:?} }}")
+            }
+            Adversary::Byzantine { behaviors } => {
+                write!(f, "Adversary::Byzantine {{ {:?} }}", behaviors.keys())
+            }
+            Adversary::Mixed {
+                behaviors,
+                omission_faulty,
+                ..
+            } => write!(
+                f,
+                "Adversary::Mixed {{ byzantine: {:?}, omission: {omission_faulty:?} }}",
+                behaviors.keys()
+            ),
+        }
+    }
+}
+
+/// The first stage of the builder: system size and executor knobs, before a
+/// protocol type is bound.
+///
+/// Validation is deferred to [`ProtocolScenario::run`], which reports
+/// problems as typed [`SimError`]s instead of panicking.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Scenario {
+    n: usize,
+    t: usize,
+    max_rounds: Option<u64>,
+    stop_when_quiescent: Option<bool>,
+}
+
+impl Scenario {
+    /// Starts a scenario over `n` processes with resilience bound `t`.
+    pub fn new(n: usize, t: usize) -> Self {
+        Scenario {
+            n,
+            t,
+            max_rounds: None,
+            stop_when_quiescent: None,
+        }
+    }
+
+    /// Starts a scenario adopting every knob of an existing
+    /// [`ExecutorConfig`].
+    pub fn config(cfg: &ExecutorConfig) -> Self {
+        Scenario {
+            n: cfg.n,
+            t: cfg.t,
+            max_rounds: Some(cfg.max_rounds),
+            stop_when_quiescent: Some(cfg.stop_when_quiescent),
+        }
+    }
+
+    /// Sets the hard horizon (default: `ExecutorConfig`'s derived horizon).
+    pub fn max_rounds(mut self, max_rounds: u64) -> Self {
+        self.max_rounds = Some(max_rounds);
+        self
+    }
+
+    /// Enables or disables early stopping at quiescence (default: enabled).
+    pub fn stop_when_quiescent(mut self, stop: bool) -> Self {
+        self.stop_when_quiescent = Some(stop);
+        self
+    }
+
+    /// Binds the protocol under test, by factory.
+    pub fn protocol<'a, P, F>(self, factory: F) -> ProtocolScenario<'a, P, F>
+    where
+        P: Protocol,
+        F: Fn(ProcessId) -> P,
+    {
+        ProtocolScenario {
+            base: self,
+            factory,
+            inputs: None,
+            adversary: Adversary::NoFaults,
+        }
+    }
+
+    /// Resolves the executor configuration, reporting invalid `(n, t)` as a
+    /// typed error.
+    fn resolve_config(self) -> Result<ExecutorConfig, SimError> {
+        let mut cfg = ExecutorConfig::try_new(self.n, self.t)?;
+        if let Some(r) = self.max_rounds {
+            cfg.max_rounds = r;
+        }
+        if let Some(s) = self.stop_when_quiescent {
+            cfg.stop_when_quiescent = s;
+        }
+        Ok(cfg)
+    }
+}
+
+/// The protocol-bound stage of the builder; see [`Scenario`].
+pub struct ProtocolScenario<'a, P: Protocol, F> {
+    base: Scenario,
+    factory: F,
+    inputs: Option<Vec<P::Input>>,
+    adversary: Adversary<'a, P::Input, P::Msg>,
+}
+
+impl<'a, P, F> ProtocolScenario<'a, P, F>
+where
+    P: Protocol,
+    F: Fn(ProcessId) -> P,
+{
+    /// Sets the proposal of each process, in process-id order. Must have
+    /// exactly `n` entries by `run()` time.
+    pub fn inputs(mut self, inputs: impl IntoIterator<Item = P::Input>) -> Self {
+        self.inputs = Some(inputs.into_iter().collect());
+        self
+    }
+
+    /// Every process proposes the same value.
+    pub fn uniform_input(mut self, value: P::Input) -> Self {
+        self.inputs = Some(vec![value; self.base.n]);
+        self
+    }
+
+    /// Installs the adversary (default: [`Adversary::NoFaults`]).
+    pub fn adversary(mut self, adversary: Adversary<'a, P::Input, P::Msg>) -> Self {
+        self.adversary = adversary;
+        self
+    }
+
+    /// Sets the hard horizon.
+    pub fn max_rounds(mut self, max_rounds: u64) -> Self {
+        self.base = self.base.max_rounds(max_rounds);
+        self
+    }
+
+    /// Enables or disables early stopping at quiescence.
+    pub fn stop_when_quiescent(mut self, stop: bool) -> Self {
+        self.base = self.base.stop_when_quiescent(stop);
+        self
+    }
+
+    /// Drives the execution to quiescence or the horizon.
+    ///
+    /// # Errors
+    ///
+    /// All validation is routed through [`SimError`]: invalid `(n, t)`,
+    /// wrong input count, out-of-range or overlapping fault assignments,
+    /// oversize fault sets, and every model violation the executor detects.
+    pub fn run(self) -> ScenarioResult<P> {
+        let cfg = self.base.resolve_config()?;
+        let inputs = self.inputs.ok_or(SimError::ProposalCount {
+            got: 0,
+            expected: cfg.n,
+        })?;
+
+        let faulty = self.adversary.faulty_set();
+        let mode = self.adversary.fault_mode();
+        #[allow(clippy::type_complexity)]
+        let (mut behaviors, mut plan): (
+            BTreeMap<ProcessId, BoxedBehavior<'a, P::Input, P::Msg>>,
+            BoxedPlan<'a, P::Msg>,
+        ) = match self.adversary {
+            Adversary::NoFaults => (BTreeMap::new(), Box::new(NoFaults)),
+            Adversary::Omission { plan, .. } => (BTreeMap::new(), plan),
+            Adversary::Byzantine { behaviors } => (behaviors, Box::new(NoFaults)),
+            Adversary::Mixed {
+                behaviors,
+                omission_faulty,
+                plan,
+            } => {
+                if let Some(overlap) = behaviors.keys().find(|p| omission_faulty.contains(p)) {
+                    return Err(SimError::BehaviorMismatch { process: *overlap });
+                }
+                (behaviors, plan)
+            }
+        };
+
+        let slots: Vec<Slot<'a, P>> = ProcessId::all(cfg.n)
+            .map(|pid| match behaviors.remove(&pid) {
+                Some(b) => Slot::Byzantine(b),
+                None => Slot::Honest((self.factory)(pid)),
+            })
+            .collect();
+        if let Some((stray, _)) = behaviors.into_iter().next() {
+            // A behavior was assigned to a process outside 0..n.
+            return Err(SimError::BehaviorMismatch { process: stray });
+        }
+        run_slots(&cfg, slots, &inputs, &faulty, plan.as_mut(), mode)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::byzantine::SilentByzantine;
+    use crate::ids::Round;
+    use crate::mailbox::{Inbox, Outbox};
+    use crate::plan::{Fate, TableOmissionPlan};
+    use crate::protocol::ProcessCtx;
+    use crate::value::Bit;
+
+    /// Broadcast-own-proposal-every-round; decides own proposal at
+    /// `decide_at`; stops sending after `stop_after`.
+    #[derive(Clone)]
+    struct Chatter {
+        proposal: Bit,
+        decision: Option<Bit>,
+        decide_at: u64,
+        stop_after: u64,
+    }
+
+    impl Chatter {
+        fn new(decide_at: u64, stop_after: u64) -> Self {
+            Chatter {
+                proposal: Bit::Zero,
+                decision: None,
+                decide_at,
+                stop_after,
+            }
+        }
+    }
+
+    impl Protocol for Chatter {
+        type Input = Bit;
+        type Output = Bit;
+        type Msg = Bit;
+
+        fn propose(&mut self, ctx: &ProcessCtx, proposal: Bit) -> Outbox<Bit> {
+            self.proposal = proposal;
+            if self.decide_at <= 1 {
+                self.decision = Some(self.proposal);
+            }
+            let mut out = Outbox::new();
+            out.send_to_all(ctx.others(), proposal);
+            out
+        }
+
+        fn round(&mut self, ctx: &ProcessCtx, round: Round, _: &Inbox<Bit>) -> Outbox<Bit> {
+            if round.next().0 >= self.decide_at {
+                self.decision = Some(self.proposal);
+            }
+            let mut out = Outbox::new();
+            if round.0 < self.stop_after {
+                out.send_to_all(ctx.others(), self.proposal);
+            }
+            out
+        }
+
+        fn decision(&self) -> Option<Bit> {
+            self.decision
+        }
+    }
+
+    #[test]
+    fn fault_free_scenario_matches_legacy_omission_run() {
+        let exec = Scenario::new(4, 1)
+            .protocol(|_| Chatter::new(3, 3))
+            .uniform_input(Bit::One)
+            .run()
+            .unwrap();
+        exec.validate().unwrap();
+        assert!(exec.quiescent);
+        assert!(exec.all_correct_decided(Bit::One));
+        assert_eq!(exec.message_complexity(), 36);
+        assert_eq!(exec.mode, FaultMode::Omission);
+    }
+
+    #[test]
+    fn invalid_resilience_is_a_typed_error_not_a_panic() {
+        let err = Scenario::new(3, 3)
+            .protocol(|_| Chatter::new(2, 2))
+            .uniform_input(Bit::Zero)
+            .run()
+            .unwrap_err();
+        assert_eq!(err, SimError::InvalidResilience { n: 3, t: 3 });
+    }
+
+    #[test]
+    fn missing_inputs_is_a_typed_error() {
+        let err = Scenario::new(3, 1)
+            .protocol(|_| Chatter::new(2, 2))
+            .run()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SimError::ProposalCount {
+                got: 0,
+                expected: 3
+            }
+        );
+    }
+
+    #[test]
+    fn isolation_sugar_matches_explicit_plan() {
+        let group = [ProcessId(3)];
+        let explicit = Scenario::new(4, 2)
+            .protocol(|_| Chatter::new(3, 3))
+            .uniform_input(Bit::Zero)
+            .adversary(Adversary::omission(
+                group,
+                IsolationPlan::new(group, Round(2)),
+            ))
+            .run()
+            .unwrap();
+        let sugar = Scenario::new(4, 2)
+            .protocol(|_| Chatter::new(3, 3))
+            .uniform_input(Bit::Zero)
+            .adversary(Adversary::isolation(group, Round(2)))
+            .run()
+            .unwrap();
+        assert_eq!(explicit, sugar);
+    }
+
+    #[test]
+    fn byzantine_adversary_is_stamped_byzantine() {
+        let exec = Scenario::new(3, 1)
+            .protocol(|_| Chatter::new(3, 3))
+            .uniform_input(Bit::One)
+            .adversary(Adversary::one_byzantine(ProcessId(2), SilentByzantine))
+            .run()
+            .unwrap();
+        exec.validate().unwrap();
+        assert_eq!(exec.mode, FaultMode::Byzantine);
+        assert!(exec.decision_of(ProcessId(2)).is_none());
+        assert_eq!(exec.decision_of(ProcessId(0)), Some(&Bit::One));
+    }
+
+    #[test]
+    fn mixed_adversary_combines_byzantine_and_omission_faults() {
+        // p3 is Byzantine-silent, p2 is omission-faulty (send-omits its
+        // round-1 messages) — one execution, two fault flavors. The legacy
+        // API could not express this.
+        let mut plan = TableOmissionPlan::new();
+        for receiver in [ProcessId(0), ProcessId(1), ProcessId(3)] {
+            plan.set(Round(1), ProcessId(2), receiver, Fate::SendOmit);
+        }
+        let exec = Scenario::new(4, 2)
+            .protocol(|_| Chatter::new(3, 3))
+            .uniform_input(Bit::One)
+            .adversary(Adversary::mixed(
+                [(ProcessId(3), Box::new(SilentByzantine) as _)],
+                [ProcessId(2)],
+                plan,
+            ))
+            .run()
+            .unwrap();
+        exec.validate().unwrap();
+        assert_eq!(exec.mode, FaultMode::Mixed);
+        assert_eq!(
+            exec.faulty,
+            [ProcessId(2), ProcessId(3)].into_iter().collect()
+        );
+        // p3 sent nothing (Byzantine-silent), p2 send-omitted in round 1.
+        assert_eq!(exec.record(ProcessId(3)).total_sent(), 0);
+        assert_eq!(exec.record(ProcessId(2)).fragments[0].send_omitted.len(), 3);
+        // Correct processes still decide.
+        assert_eq!(exec.decision_of(ProcessId(0)), Some(&Bit::One));
+        assert_eq!(exec.decision_of(ProcessId(1)), Some(&Bit::One));
+    }
+
+    #[test]
+    fn mixed_adversary_rejects_overlapping_assignments() {
+        let err = Scenario::new(4, 2)
+            .protocol(|_| Chatter::new(2, 2))
+            .uniform_input(Bit::Zero)
+            .adversary(Adversary::mixed(
+                [(ProcessId(1), Box::new(SilentByzantine) as _)],
+                [ProcessId(1)],
+                NoFaults,
+            ))
+            .run()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SimError::BehaviorMismatch {
+                process: ProcessId(1)
+            }
+        );
+    }
+
+    #[test]
+    fn mixed_adversary_respects_the_joint_fault_budget() {
+        let err = Scenario::new(4, 1)
+            .protocol(|_| Chatter::new(2, 2))
+            .uniform_input(Bit::Zero)
+            .adversary(Adversary::mixed(
+                [(ProcessId(3), Box::new(SilentByzantine) as _)],
+                [ProcessId(2)],
+                NoFaults,
+            ))
+            .run()
+            .unwrap_err();
+        assert_eq!(err, SimError::TooManyFaulty { got: 2, t: 1 });
+    }
+
+    #[test]
+    fn out_of_range_behavior_is_rejected() {
+        let err = Scenario::new(3, 1)
+            .protocol(|_| Chatter::new(2, 2))
+            .uniform_input(Bit::Zero)
+            .adversary(Adversary::one_byzantine(ProcessId(9), SilentByzantine))
+            .run()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SimError::BehaviorMismatch {
+                process: ProcessId(9)
+            }
+        );
+    }
+
+    #[test]
+    fn crash_sugar_crashes_at_the_given_round() {
+        let exec = Scenario::new(4, 1)
+            .protocol(|_| Chatter::new(3, 3))
+            .uniform_input(Bit::Zero)
+            .adversary(Adversary::crash([(ProcessId(1), Round(2))]))
+            .run()
+            .unwrap();
+        exec.validate().unwrap();
+        let rec = exec.record(ProcessId(1));
+        assert_eq!(rec.fragments[0].send_omitted.len(), 0);
+        assert_eq!(rec.fragments[1].send_omitted.len(), 3);
+    }
+
+    #[test]
+    fn config_adoption_preserves_all_knobs() {
+        let cfg = ExecutorConfig::new(3, 1)
+            .with_stop_when_quiescent(false)
+            .with_max_rounds(7);
+        let exec = Scenario::config(&cfg)
+            .protocol(|_| Chatter::new(2, 2))
+            .uniform_input(Bit::Zero)
+            .run()
+            .unwrap();
+        assert_eq!(exec.rounds, 7);
+        assert_eq!(exec.record(ProcessId(0)).fragments.len(), 7);
+    }
+
+    #[test]
+    fn plans_can_be_passed_by_mutable_reference() {
+        // `&mut P` implements `OmissionPlan`, so a caller can keep the plan
+        // and inspect it after the run.
+        let mut plan = TableOmissionPlan::new();
+        plan.set(Round(1), ProcessId(2), ProcessId(0), Fate::SendOmit);
+        let exec = Scenario::new(3, 1)
+            .protocol(|_| Chatter::new(3, 3))
+            .uniform_input(Bit::Zero)
+            .adversary(Adversary::omission([ProcessId(2)], &mut plan))
+            .run()
+            .unwrap();
+        exec.validate().unwrap();
+        assert_eq!(plan.len(), 1);
+        assert_eq!(exec.record(ProcessId(2)).fragments[0].send_omitted.len(), 1);
+    }
+}

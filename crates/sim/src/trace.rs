@@ -22,9 +22,7 @@ pub struct RoundStats {
 }
 
 /// Computes [`RoundStats`] for every executed round.
-pub fn round_stats<I: Value, O: Value, M: Payload>(
-    exec: &Execution<I, O, M>,
-) -> Vec<RoundStats> {
+pub fn round_stats<I: Value, O: Value, M: Payload>(exec: &Execution<I, O, M>) -> Vec<RoundStats> {
     let mut stats = vec![RoundStats::default(); exec.rounds as usize];
     for pid in ProcessId::all(exec.n) {
         let rec = exec.record(pid);
@@ -49,9 +47,8 @@ pub fn round_stats<I: Value, O: Value, M: Payload>(
 /// colored bands in the paper's Figures 1 and 2.
 ///
 /// ```
-/// use ba_sim::{render_execution, run_omission, Bit, ExecutorConfig, NoFaults,
-///              Inbox, Outbox, ProcessCtx, Protocol, Round};
-/// use std::collections::BTreeSet;
+/// use ba_sim::{render_execution, Bit, Inbox, Outbox, ProcessCtx, Protocol,
+///              Round, Scenario};
 ///
 /// #[derive(Clone)]
 /// struct Noop;
@@ -62,8 +59,11 @@ pub fn round_stats<I: Value, O: Value, M: Payload>(
 ///     fn decision(&self) -> Option<Bit> { Some(Bit::Zero) }
 /// }
 ///
-/// let cfg = ExecutorConfig::new(2, 1);
-/// let exec = run_omission(&cfg, |_| Noop, &[Bit::Zero; 2], &BTreeSet::new(), &mut NoFaults).unwrap();
+/// let exec = Scenario::new(2, 1)
+///     .protocol(|_| Noop)
+///     .uniform_input(Bit::Zero)
+///     .run()
+///     .unwrap();
 /// let text = render_execution(&exec);
 /// assert!(text.contains("faulty: none"));
 /// ```
@@ -77,7 +77,11 @@ where
     let faulty = if exec.faulty.is_empty() {
         "none".to_string()
     } else {
-        exec.faulty.iter().map(ToString::to_string).collect::<Vec<_>>().join(", ")
+        exec.faulty
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(", ")
     };
     let _ = writeln!(
         out,
@@ -92,13 +96,14 @@ where
         exec.total_messages()
     );
 
-    let _ = writeln!(out, "round | delivered | send-omit | recv-omit | newly decided");
+    let _ = writeln!(
+        out,
+        "round | delivered | send-omit | recv-omit | newly decided"
+    );
     let stats = round_stats(exec);
     let last_active = stats
         .iter()
-        .rposition(|s| {
-            s.delivered + s.send_omitted + s.receive_omitted + s.newly_decided > 0
-        })
+        .rposition(|s| s.delivered + s.send_omitted + s.receive_omitted + s.newly_decided > 0)
         .map_or(0, |i| i + 1);
     for (i, s) in stats.iter().enumerate().take(last_active) {
         let _ = writeln!(
@@ -112,13 +117,22 @@ where
         );
     }
     if (last_active as u64) < exec.rounds {
-        let _ = writeln!(out, "rounds {}..{} quiet (no traffic, no new decisions)", last_active + 1, exec.rounds);
+        let _ = writeln!(
+            out,
+            "rounds {}..{} quiet (no traffic, no new decisions)",
+            last_active + 1,
+            exec.rounds
+        );
     }
 
     let _ = writeln!(out, "decisions:");
     for pid in ProcessId::all(exec.n) {
         let rec = exec.record(pid);
-        let role = if exec.is_correct(pid) { "correct" } else { "FAULTY " };
+        let role = if exec.is_correct(pid) {
+            "correct"
+        } else {
+            "FAULTY "
+        };
         match &rec.decision {
             Some((v, r)) => {
                 let _ = writeln!(
@@ -128,7 +142,11 @@ where
                 );
             }
             None => {
-                let _ = writeln!(out, "  {pid:>4} [{role}] proposed {:?} UNDECIDED", rec.proposal);
+                let _ = writeln!(
+                    out,
+                    "  {pid:>4} [{role}] proposed {:?} UNDECIDED",
+                    rec.proposal
+                );
             }
         }
     }
@@ -145,7 +163,10 @@ where
     M: Payload,
 {
     let mut out = String::new();
-    let _ = writeln!(out, "indistinguishability frontier (first differing inbox):");
+    let _ = writeln!(
+        out,
+        "indistinguishability frontier (first differing inbox):"
+    );
     for pid in ProcessId::all(a.n.min(b.n)) {
         let frontier = first_inbox_divergence(a, b, pid);
         match frontier {
@@ -176,8 +197,14 @@ where
     let horizon = a.rounds.max(b.rounds);
     for round in Round::up_to(horizon) {
         let empty = std::collections::BTreeMap::new();
-        let fa = a.record(pid).fragment(round).map_or(&empty, |f| &f.received);
-        let fb = b.record(pid).fragment(round).map_or(&empty, |f| &f.received);
+        let fa = a
+            .record(pid)
+            .fragment(round)
+            .map_or(&empty, |f| &f.received);
+        let fb = b
+            .record(pid)
+            .fragment(round)
+            .map_or(&empty, |f| &f.received);
         if fa != fb {
             return Some(round);
         }
@@ -188,12 +215,10 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::executor::{run_omission, ExecutorConfig};
     use crate::mailbox::{Inbox, Outbox};
-    use crate::plan::{IsolationPlan, NoFaults};
     use crate::protocol::{ProcessCtx, Protocol};
+    use crate::scenario::{Adversary, Scenario};
     use crate::value::Bit;
-    use std::collections::BTreeSet;
 
     #[derive(Clone)]
     struct Gossip {
@@ -213,8 +238,7 @@ mod tests {
 
         fn round(&mut self, _: &ProcessCtx, round: Round, inbox: &Inbox<Bit>) -> Outbox<Bit> {
             if round == Round::FIRST {
-                self.decision =
-                    Some(Bit::from(inbox.iter().any(|(_, b)| *b == Bit::One)));
+                self.decision = Some(Bit::from(inbox.iter().any(|(_, b)| *b == Bit::One)));
             }
             Outbox::new()
         }
@@ -225,22 +249,15 @@ mod tests {
     }
 
     fn sample(faulty: bool) -> Execution<Bit, Bit, Bit> {
-        let cfg = ExecutorConfig::new(3, 1);
-        if faulty {
-            let group: BTreeSet<_> = [ProcessId(2)].into();
-            let mut plan = IsolationPlan::new(group.iter().copied(), Round(1));
-            run_omission(&cfg, |_| Gossip { decision: None }, &[Bit::One; 3], &group, &mut plan)
-                .unwrap()
+        let scenario = Scenario::new(3, 1)
+            .protocol(|_| Gossip { decision: None })
+            .uniform_input(Bit::One);
+        let scenario = if faulty {
+            scenario.adversary(Adversary::isolation([ProcessId(2)], Round(1)))
         } else {
-            run_omission(
-                &cfg,
-                |_| Gossip { decision: None },
-                &[Bit::One; 3],
-                &BTreeSet::new(),
-                &mut NoFaults,
-            )
-            .unwrap()
-        }
+            scenario
+        };
+        scenario.run().unwrap()
     }
 
     #[test]
@@ -256,7 +273,10 @@ mod tests {
     fn round_stats_count_omissions() {
         let exec = sample(true);
         let stats = round_stats(&exec);
-        assert_eq!(stats[0].receive_omitted, 2, "p2 receive-omits from p0 and p1");
+        assert_eq!(
+            stats[0].receive_omitted, 2,
+            "p2 receive-omits from p0 and p1"
+        );
         assert_eq!(stats[0].delivered, 4);
     }
 
@@ -273,7 +293,10 @@ mod tests {
     fn divergence_frontier_localizes_differences() {
         let clean = sample(false);
         let isolated = sample(true);
-        assert_eq!(first_inbox_divergence(&clean, &isolated, ProcessId(0)), None);
+        assert_eq!(
+            first_inbox_divergence(&clean, &isolated, ProcessId(0)),
+            None
+        );
         assert_eq!(
             first_inbox_divergence(&clean, &isolated, ProcessId(2)),
             Some(Round(1))

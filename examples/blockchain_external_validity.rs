@@ -3,9 +3,9 @@
 //! verifiable predicate (e.g. "all transactions correctly signed") — and why
 //! even this problem costs Ω(t²) messages (Corollary 1).
 //!
-//! Run with `cargo run --bin blockchain_external_validity`.
+//! Run with `cargo run -p ba-examples --example blockchain_external_validity`.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 
 use ba_core::reduction::{ReductionInputs, WeakFromAgreement};
 use ba_core::solvability::solvability;
@@ -14,8 +14,8 @@ use ba_crypto::Keybook;
 use ba_examples::banner;
 use ba_protocols::interactive_consistency::{authenticated_ic_factory, AuthenticatedIc};
 use ba_sim::{
-    run_byzantine, run_omission, Bit, ByzantineBehavior, ExecutorConfig, Inbox, NoFaults, Outbox,
-    ProcessCtx, ProcessId, Protocol, Round, SilentByzantine,
+    Adversary, Bit, ExecutorConfig, Inbox, Outbox, ProcessCtx, ProcessId, Protocol, Round,
+    Scenario, SilentByzantine,
 };
 
 /// A block identifier. Even ids are "correctly signed" (valid); odd ids are
@@ -58,7 +58,12 @@ impl Protocol for BlockAgreement {
         self.inner.propose(ctx, proposal)
     }
 
-    fn round(&mut self, ctx: &ProcessCtx, round: Round, inbox: &Inbox<Self::Msg>) -> Outbox<Self::Msg> {
+    fn round(
+        &mut self,
+        ctx: &ProcessCtx,
+        round: Round,
+        inbox: &Inbox<Self::Msg>,
+    ) -> Outbox<Self::Msg> {
         self.inner.round(ctx, round, inbox)
     }
 
@@ -74,7 +79,10 @@ fn main() {
     let cfg = ExecutorConfig::new(n, t);
     let book = Keybook::new(n);
 
-    print!("{}", banner("the validity formalism classifies External Validity as trivial"));
+    print!(
+        "{}",
+        banner("the validity formalism classifies External Validity as trivial")
+    );
     let vp = ExternalValidity::new((0u8..8).collect(), (0u8..8).filter(|b| valid(*b)));
     let report = solvability(&vp, &SystemParams::new(4, 1));
     println!(
@@ -84,35 +92,50 @@ fn main() {
     println!("  admissible everywhere (paper §4.3: the formalism cannot see that");
     println!("  validators must first *learn* a block before deciding it).");
 
-    print!("{}", banner("block agreement among 7 validators, 2 Byzantine"));
+    print!(
+        "{}",
+        banner("block agreement among 7 validators, 2 Byzantine")
+    );
     let proposals: Vec<BlockId> = vec![4, 4, 6, 4, 2, 9, 9]; // p5, p6 propose forgeries
-    let behaviors: BTreeMap<ProcessId, Box<dyn ByzantineBehavior<BlockId, _>>> = [
-        (ProcessId(5), Box::new(SilentByzantine) as Box<_>),
-        (ProcessId(6), Box::new(SilentByzantine) as Box<_>),
-    ]
-    .into_iter()
-    .collect();
-    let exec = run_byzantine(&cfg, BlockAgreement::factory(book.clone()), &proposals, behaviors)
+    let exec = Scenario::config(&cfg)
+        .protocol(BlockAgreement::factory(book.clone()))
+        .inputs(proposals.iter().copied())
+        .adversary(Adversary::byzantine([
+            (ProcessId(5), Box::new(SilentByzantine) as _),
+            (ProcessId(6), Box::new(SilentByzantine) as _),
+        ]))
+        .run()
         .expect("simulation");
     exec.validate().expect("execution guarantees");
-    let decided: BTreeSet<_> = exec.correct().map(|p| exec.decision_of(p).copied()).collect();
+    let decided: BTreeSet<_> = exec
+        .correct()
+        .map(|p| exec.decision_of(p).copied())
+        .collect();
     println!("  proposals: {proposals:?} (9 = forged block)");
     println!("  correct validators decided: {decided:?}");
-    let block = decided.iter().next().copied().flatten().expect("termination");
+    let block = decided
+        .iter()
+        .next()
+        .copied()
+        .flatten()
+        .expect("termination");
     assert_eq!(decided.len(), 1, "agreement");
     assert!(valid(block), "external validity");
-    println!("  agreement ✓, decided block is valid ✓, messages: {}", exec.message_complexity());
+    println!(
+        "  agreement ✓, decided block is valid ✓, messages: {}",
+        exec.message_complexity()
+    );
 
-    print!("{}", banner("Corollary 1: two differing executions ⇒ weak consensus for free"));
+    print!(
+        "{}",
+        banner("Corollary 1: two differing executions ⇒ weak consensus for free")
+    );
     let run = |block: BlockId| {
-        run_omission(
-            &cfg,
-            BlockAgreement::factory(book.clone()),
-            &vec![block; n],
-            &BTreeSet::new(),
-            &mut NoFaults,
-        )
-        .expect("simulation")
+        Scenario::config(&cfg)
+            .protocol(BlockAgreement::factory(book.clone()))
+            .uniform_input(block)
+            .run()
+            .expect("simulation")
     };
     let e0 = run(2);
     let e1 = run(6);
@@ -134,16 +157,13 @@ fn main() {
     for bit in Bit::ALL {
         let book2 = book2.clone();
         let inputs2 = inputs2.clone();
-        let wrapped = run_omission(
-            &cfg,
-            move |pid| {
+        let wrapped = Scenario::config(&cfg)
+            .protocol(move |pid| {
                 WeakFromAgreement::new(BlockAgreement::factory(book2.clone())(pid), inputs2.clone())
-            },
-            &vec![bit; n],
-            &BTreeSet::new(),
-            &mut NoFaults,
-        )
-        .expect("simulation");
+            })
+            .uniform_input(bit)
+            .run()
+            .expect("simulation");
         assert!(wrapped.all_correct_decided(bit));
         println!(
             "  Algorithm 1 wrapper: all propose {bit} → decide {bit} with {} messages \

@@ -15,7 +15,10 @@ use ba_sim::{render_execution, Bit, ExecutorConfig, ProcessId};
 fn main() {
     let (n, t) = (8, 4);
 
-    print!("{}", banner("a falsifier certificate, dissected (LeaderEcho, n = 8, t = 4)"));
+    print!(
+        "{}",
+        banner("a falsifier certificate, dissected (LeaderEcho, n = 8, t = 4)")
+    );
     let cfg = FalsifierConfig::new(n, t);
     let verdict = falsify(&cfg, |_| LeaderEcho::new(ProcessId(0))).expect("falsifier run");
     let Verdict::Violation(cert) = verdict else {
@@ -30,7 +33,10 @@ fn main() {
     println!("\nthe violating execution, round by round:\n");
     print!("{}", render_execution(&cert.execution));
 
-    print!("{}", banner("the minimal adversary, by exhaustive enumeration"));
+    print!(
+        "{}",
+        banner("the minimal adversary, by exhaustive enumeration")
+    );
     println!("OneRoundAllToAll at n = 4, t = 1: enumerate EVERY send-omission pattern");
     println!("of one corrupted process and report the smallest that splits the");
     println!("correct processes:\n");

@@ -12,13 +12,21 @@ use ba_sim::{Bit, ExecutorConfig, ProcessId, Round};
 fn main() {
     let (n, t) = (8, 2);
     let partition = Partition::paper_default(n, t);
-    let cfg = ExecutorConfig::new(n, t).with_stop_when_quiescent(false).with_max_rounds(8);
+    let cfg = ExecutorConfig::new(n, t)
+        .with_stop_when_quiescent(false)
+        .with_max_rounds(8);
     let factory = |_| ParanoidEcho::new();
     let runner = FamilyRunner::new(cfg, &factory, partition.clone());
 
-    print!("{}", banner("Figure 1: isolation anatomy (ParanoidEcho, n = 8, t = 2)"));
+    print!(
+        "{}",
+        banner("Figure 1: isolation anatomy (ParanoidEcho, n = 8, t = 2)")
+    );
     let names = |g: &std::collections::BTreeSet<ProcessId>| {
-        g.iter().map(ToString::to_string).collect::<Vec<_>>().join(", ")
+        g.iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(", ")
     };
     println!(
         "  groups: A = {{{}}}, B = {{{}}}, C = {{{}}}\n",
@@ -28,11 +36,15 @@ fn main() {
     );
 
     let e0 = runner.e0::<ParanoidEcho>(Bit::Zero).expect("simulation");
-    println!("  E0 (fault-free, all propose 0): everyone decides 0 by round {}\n",
-        e0.all_decided_by().expect("all decide").0);
+    println!(
+        "  E0 (fault-free, all propose 0): everyone decides 0 by round {}\n",
+        e0.all_decided_by().expect("all decide").0
+    );
 
     for r in [1u64, 2] {
-        let eb = runner.isolated_b::<ParanoidEcho>(Round(r), Bit::Zero).expect("simulation");
+        let eb = runner
+            .isolated_b::<ParanoidEcho>(Round(r), Bit::Zero)
+            .expect("simulation");
         println!("  E_B({r})_0 — group B isolated from round {r}:");
         println!("    per-process first round whose *sent* messages differ from E0:");
         for pid in ProcessId::all(n) {

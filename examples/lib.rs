@@ -12,7 +12,11 @@ where
     let mut out = String::new();
     for pid in ba_sim::ProcessId::all(exec.n) {
         let rec = exec.record(pid);
-        let role = if exec.is_correct(pid) { "correct" } else { "faulty " };
+        let role = if exec.is_correct(pid) {
+            "correct"
+        } else {
+            "faulty "
+        };
         let decision = match &rec.decision {
             Some((v, r)) => format!("decided {v} (at start of round {})", r.0),
             None => "undecided".to_string(),
@@ -27,5 +31,8 @@ where
 
 /// Renders a header line for example sections.
 pub fn banner(title: &str) -> String {
-    format!("\n=== {title} {}\n", "=".repeat(66usize.saturating_sub(title.len())))
+    format!(
+        "\n=== {title} {}\n",
+        "=".repeat(66usize.saturating_sub(title.len()))
+    )
 }

@@ -25,9 +25,13 @@ where
         Verdict::Violation(cert) => {
             cert.verify().expect("certificate verification");
             println!("  REFUTED: {}", cert.kind);
-            println!("  violating execution: {} faulty of n = {} (t = {}), {} messages total",
-                cert.execution.faulty.len(), cert.execution.n, cert.execution.t,
-                cert.execution.total_messages());
+            println!(
+                "  violating execution: {} faulty of n = {} (t = {}), {} messages total",
+                cert.execution.faulty.len(),
+                cert.execution.n,
+                cert.execution.t,
+                cert.execution.total_messages()
+            );
             println!("  derivation:");
             for step in &cert.provenance {
                 println!("    - {step}");
@@ -52,13 +56,22 @@ where
 
 fn main() {
     let (n, t) = (16, 8);
-    println!("system: n = {n}, t = {t}; partition |B| = |C| = {}", (t / 4).max(1));
+    println!(
+        "system: n = {n}, t = {t}; partition |B| = |C| = {}",
+        (t / 4).max(1)
+    );
     let cfg = FalsifierConfig::new(n, t);
 
-    report("SilentConstant(1) — 0 messages", &cfg, |_| SilentConstant::new(Bit::One));
+    report("SilentConstant(1) — 0 messages", &cfg, |_| {
+        SilentConstant::new(Bit::One)
+    });
     report("OwnProposal — 0 messages", &cfg, |_| OwnProposal::new());
-    report("LeaderEcho — 2(n−1) messages", &cfg, |_| LeaderEcho::new(ProcessId(0)));
-    report("OneRoundAllToAll — n(n−1) messages", &cfg, |_| OneRoundAllToAll::new());
+    report("LeaderEcho — 2(n−1) messages", &cfg, |_| {
+        LeaderEcho::new(ProcessId(0))
+    });
+    report("OneRoundAllToAll — n(n−1) messages", &cfg, |_| {
+        OneRoundAllToAll::new()
+    });
     let book = Keybook::new(n);
     report(
         "Dolev-Strong weak consensus — Θ(n²) messages (correct)",

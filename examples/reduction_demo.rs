@@ -1,45 +1,54 @@
 //! Algorithm 1 and Corollary 1 (EXP-TAB2 / EXP-T3 / EXP-C1): weak consensus
 //! from any non-trivial agreement problem, at zero message cost.
 //!
-//! Run with `cargo run --bin reduction_demo`.
-
-use std::collections::BTreeSet;
+//! Run with `cargo run -p ba-examples --example reduction_demo`.
 
 use ba_core::reduction::{derive_reduction_inputs, WeakFromAgreement};
 use ba_core::validity::{SenderValidity, StrongValidity};
 use ba_crypto::Keybook;
 use ba_examples::banner;
 use ba_protocols::{DolevStrong, PhaseKing};
-use ba_sim::{run_omission, Bit, ExecutorConfig, NoFaults, ProcessId};
+use ba_sim::{Bit, ExecutorConfig, ProcessId, Scenario};
 
 fn main() {
     let (n, t) = (7, 2);
     let cfg = ExecutorConfig::new(n, t);
 
-    print!("{}", banner("Table 2: reduction inputs for strong consensus (Phase King)"));
-    let inputs =
-        derive_reduction_inputs(&cfg, |_| PhaseKing::new(n, t), &StrongValidity::binary())
-            .expect("strong consensus is non-trivial");
+    print!(
+        "{}",
+        banner("Table 2: reduction inputs for strong consensus (Phase King)")
+    );
+    let inputs = derive_reduction_inputs(&cfg, |_| PhaseKing::new(n, t), &StrongValidity::binary())
+        .expect("strong consensus is non-trivial");
     println!("  c0 = {:?}", inputs.c0);
-    println!("  v'0 = {} (decided in the fully correct execution E0 on c0)", inputs.v0);
+    println!(
+        "  v'0 = {} (decided in the fully correct execution E0 on c0)",
+        inputs.v0
+    );
     println!("  c*1 = {} (v'0 is inadmissible here)", inputs.c_star);
     println!("  c1 = {:?} (a fully correct extension of c*1)", inputs.c1);
     println!("  v'1 = {} ≠ v'0 — Lemma 17 holds", inputs.v1);
 
-    print!("{}", banner("Algorithm 1: the wrapped protocol solves weak consensus"));
+    print!(
+        "{}",
+        banner("Algorithm 1: the wrapped protocol solves weak consensus")
+    );
     for bit in Bit::ALL {
-        let wrapped = run_omission(
-            &cfg,
-            |_| WeakFromAgreement::new(PhaseKing::new(n, t), inputs.clone()),
-            &vec![bit; n],
-            &BTreeSet::new(),
-            &mut NoFaults,
-        )
-        .expect("simulation");
-        let bare_proposals = if bit == Bit::Zero { &inputs.c0 } else { &inputs.c1 };
-        let bare =
-            run_omission(&cfg, |_| PhaseKing::new(n, t), bare_proposals, &BTreeSet::new(), &mut NoFaults)
-                .expect("simulation");
+        let wrapped = Scenario::config(&cfg)
+            .protocol(|_| WeakFromAgreement::new(PhaseKing::new(n, t), inputs.clone()))
+            .uniform_input(bit)
+            .run()
+            .expect("simulation");
+        let bare_proposals = if bit == Bit::Zero {
+            &inputs.c0
+        } else {
+            &inputs.c1
+        };
+        let bare = Scenario::config(&cfg)
+            .protocol(|_| PhaseKing::new(n, t))
+            .inputs(bare_proposals.iter().copied())
+            .run()
+            .expect("simulation");
         println!(
             "  all propose {bit}: wrapped decides {bit} with {} messages; bare Phase King on the \
              corresponding configuration: {} messages (identical — zero-cost reduction)",
@@ -50,7 +59,10 @@ fn main() {
         assert_eq!(wrapped.message_complexity(), bare.message_complexity());
     }
 
-    print!("{}", banner("the same wrapper over Byzantine broadcast (Dolev-Strong)"));
+    print!(
+        "{}",
+        banner("the same wrapper over Byzantine broadcast (Dolev-Strong)")
+    );
     let book = Keybook::new(n);
     let vp = SenderValidity::new(ProcessId(0), vec![Bit::Zero, Bit::One]);
     let inputs = derive_reduction_inputs(
@@ -59,23 +71,23 @@ fn main() {
         &vp,
     )
     .expect("broadcast is non-trivial");
-    println!("  v'0 = {}, v'1 = {} — broadcast also yields weak consensus", inputs.v0, inputs.v1);
+    println!(
+        "  v'0 = {}, v'1 = {} — broadcast also yields weak consensus",
+        inputs.v0, inputs.v1
+    );
     for bit in Bit::ALL {
         let book = book.clone();
         let inputs_c = inputs.clone();
-        let exec = run_omission(
-            &cfg,
-            move |pid| {
+        let exec = Scenario::config(&cfg)
+            .protocol(move |pid| {
                 WeakFromAgreement::new(
                     DolevStrong::factory(book.clone(), ProcessId(0), Bit::Zero)(pid),
                     inputs_c.clone(),
                 )
-            },
-            &vec![bit; n],
-            &BTreeSet::new(),
-            &mut NoFaults,
-        )
-        .expect("simulation");
+            })
+            .uniform_input(bit)
+            .run()
+            .expect("simulation");
         assert!(exec.all_correct_decided(bit));
         println!("  all propose {bit}: decided {bit} ✓");
     }

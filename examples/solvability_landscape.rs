@@ -27,7 +27,11 @@ where
         Some(v) => format!("trivial({v:?})"),
         None => "non-trivial".into(),
     };
-    let cc = if report.cc.holds() { "CC ✓" } else { "CC ✗" };
+    let cc = if report.cc.holds() {
+        "CC ✓"
+    } else {
+        "CC ✗"
+    };
     println!(
         "  {:<24} n={n:<2} t={t:<2} {:<14} {:<5} auth={:<5} unauth={}",
         vp.name(),
@@ -46,12 +50,18 @@ where
 
 fn main() {
     print!("{}", banner("Theorem 4: the solvability landscape"));
-    println!("  problem                  params  triviality     CC    authenticated / unauthenticated\n");
+    println!(
+        "  problem                  params  triviality     CC    authenticated / unauthenticated\n"
+    );
 
     for (n, t) in [(4usize, 1usize), (5, 2), (4, 2), (6, 2), (7, 2), (6, 3)] {
         row(&WeakValidity::binary(), n, t);
         row(&StrongValidity::binary(), n, t);
-        row(&SenderValidity::new(ProcessId(0), vec![Bit::Zero, Bit::One]), n, t);
+        row(
+            &SenderValidity::new(ProcessId(0), vec![Bit::Zero, Bit::One]),
+            n,
+            t,
+        );
         row(&MajorityValidity::new(), n, t);
         row(&UnanimityOrDefault::new(Bit::Zero), n, t);
         row(&IntervalValidity::new(3), n, t);

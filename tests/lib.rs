@@ -12,7 +12,9 @@ use ba_sim::{Bit, Execution, Payload, ProcessId, Value};
 pub fn correct_decisions<I: Value, O: Value, M: Payload>(
     exec: &Execution<I, O, M>,
 ) -> BTreeSet<Option<O>> {
-    exec.correct().map(|p| exec.decision_of(p).cloned()).collect()
+    exec.correct()
+        .map(|p| exec.decision_of(p).cloned())
+        .collect()
 }
 
 /// Asserts that an execution satisfies Termination and Agreement among
@@ -23,7 +25,11 @@ pub fn correct_decisions<I: Value, O: Value, M: Payload>(
 /// Panics (with context) if either property is violated.
 pub fn assert_agreement<I: Value, O: Value, M: Payload>(exec: &Execution<I, O, M>) -> O {
     let decisions = correct_decisions(exec);
-    assert_eq!(decisions.len(), 1, "correct processes disagree: {decisions:?}");
+    assert_eq!(
+        decisions.len(),
+        1,
+        "correct processes disagree: {decisions:?}"
+    );
     decisions
         .into_iter()
         .next()
@@ -39,7 +45,10 @@ pub fn assert_agreement<I: Value, O: Value, M: Payload>(exec: &Execution<I, O, M
 /// Panics if verification fails.
 pub fn assert_certificate<M: Payload>(cert: &Certificate<M>) {
     cert.verify().unwrap_or_else(|e| {
-        panic!("certificate failed verification: {e}\nprovenance: {:#?}", cert.provenance)
+        panic!(
+            "certificate failed verification: {e}\nprovenance: {:#?}",
+            cert.provenance
+        )
     });
     assert!(cert.execution.faulty.len() <= cert.execution.t);
 }

@@ -5,13 +5,9 @@
 //! exactly what separates omission from crash. FloodSet makes the boundary
 //! concrete: correct under crashes, broken under omission.
 
-use std::collections::BTreeSet;
-
 use ba_core::lowerbound::{falsify, probe_weak_consensus, FalsifierConfig, ProbeOutcome, Verdict};
 use ba_protocols::FloodSet;
-use ba_sim::{
-    run_omission, Bit, CrashPlan, ExecutorConfig, Fate, ProcessId, Round, TableOmissionPlan,
-};
+use ba_sim::{Adversary, Bit, ExecutorConfig, Fate, ProcessId, Round, Scenario, TableOmissionPlan};
 use ba_tests::{assert_agreement, assert_certificate, correct_decisions, uniform};
 
 #[test]
@@ -19,19 +15,17 @@ fn floodset_agreement_under_exhaustive_crash_schedules() {
     // Sweep every crash schedule of two processes over the first t+2
     // rounds: agreement must hold in all of them.
     let (n, t) = (5, 2);
-    let cfg = ExecutorConfig::new(n, t);
     for r1 in 1..=(t as u64 + 2) {
         for r2 in 1..=(t as u64 + 2) {
-            let faulty: BTreeSet<_> = [ProcessId(3), ProcessId(4)].into();
-            let mut plan = CrashPlan::new([(ProcessId(3), Round(r1)), (ProcessId(4), Round(r2))]);
-            let exec = run_omission(
-                &cfg,
-                |_| FloodSet::new(),
-                &[Bit::One, Bit::One, Bit::One, Bit::Zero, Bit::Zero],
-                &faulty,
-                &mut plan,
-            )
-            .unwrap();
+            let exec = Scenario::new(n, t)
+                .protocol(|_| FloodSet::new())
+                .inputs([Bit::One, Bit::One, Bit::One, Bit::Zero, Bit::Zero])
+                .adversary(Adversary::crash([
+                    (ProcessId(3), Round(r1)),
+                    (ProcessId(4), Round(r2)),
+                ]))
+                .run()
+                .unwrap();
             exec.validate().unwrap();
             assert_agreement(&exec);
         }
@@ -44,27 +38,32 @@ fn floodset_breaks_under_omission_sandbagging() {
     // last round, then reveal it to exactly one correct process.
     let (n, t) = (5, 2);
     let last = t as u64 + 1;
-    let cfg = ExecutorConfig::new(n, t);
-    let faulty: BTreeSet<_> = [ProcessId(4)].into();
     let mut plan = TableOmissionPlan::new();
     for round in 1..=last {
         for receiver in 0..n - 1 {
             if round < last || receiver != 0 {
-                plan.set(Round(round), ProcessId(4), ProcessId(receiver), Fate::SendOmit);
+                plan.set(
+                    Round(round),
+                    ProcessId(4),
+                    ProcessId(receiver),
+                    Fate::SendOmit,
+                );
             }
         }
     }
-    let exec = run_omission(
-        &cfg,
-        |_| FloodSet::new(),
-        &[Bit::One, Bit::One, Bit::One, Bit::One, Bit::Zero],
-        &faulty,
-        &mut plan,
-    )
-    .unwrap();
+    let exec = Scenario::new(n, t)
+        .protocol(|_| FloodSet::new())
+        .inputs([Bit::One, Bit::One, Bit::One, Bit::One, Bit::Zero])
+        .adversary(Adversary::omission([ProcessId(4)], plan))
+        .run()
+        .unwrap();
     exec.validate().unwrap();
     let decisions = correct_decisions(&exec);
-    assert_eq!(decisions.len(), 2, "sandbagging must split the correct processes");
+    assert_eq!(
+        decisions.len(),
+        2,
+        "sandbagging must split the correct processes"
+    );
 }
 
 #[test]
@@ -109,16 +108,12 @@ fn random_prober_finds_floodset_omission_violations() {
 #[test]
 fn floodset_is_weak_consensus_in_fault_free_runs() {
     let (n, t) = (6, 2);
-    let cfg = ExecutorConfig::new(n, t);
     for bit in Bit::ALL {
-        let exec = run_omission(
-            &cfg,
-            |_| FloodSet::new(),
-            &uniform(n, bit),
-            &BTreeSet::new(),
-            &mut ba_sim::NoFaults,
-        )
-        .unwrap();
+        let exec = Scenario::new(n, t)
+            .protocol(|_| FloodSet::new())
+            .inputs(uniform(n, bit))
+            .run()
+            .unwrap();
         assert!(exec.all_correct_decided(bit));
     }
 }

@@ -18,9 +18,9 @@ fn silent_constants_fail_weak_validity_at_every_scale() {
         for bit in Bit::ALL {
             let cfg = FalsifierConfig::new(n, t);
             let verdict = falsify(&cfg, |_| SilentConstant::new(bit)).unwrap();
-            let cert = verdict.certificate().unwrap_or_else(|| {
-                panic!("SilentConstant({bit}) must be refuted at n={n}, t={t}")
-            });
+            let cert = verdict
+                .certificate()
+                .unwrap_or_else(|| panic!("SilentConstant({bit}) must be refuted at n={n}, t={t}"));
             assert_certificate(cert);
             assert!(matches!(cert.kind, ViolationKind::WeakValidity { .. }));
             // Zero messages in the certificate execution.
@@ -34,8 +34,9 @@ fn own_proposal_fails_agreement_at_every_scale() {
     for (n, t) in [(5usize, 2usize), (9, 4), (16, 8)] {
         let cfg = FalsifierConfig::new(n, t);
         let verdict = falsify(&cfg, |_| OwnProposal::new()).unwrap();
-        let cert =
-            verdict.certificate().unwrap_or_else(|| panic!("must be refuted at n={n}, t={t}"));
+        let cert = verdict
+            .certificate()
+            .unwrap_or_else(|| panic!("must be refuted at n={n}, t={t}"));
         assert_certificate(cert);
         assert!(matches!(cert.kind, ViolationKind::Agreement { .. }));
     }
@@ -80,7 +81,10 @@ fn provenance_traces_the_proof_structure() {
     // The derivation must reference the proof artifacts it used.
     assert!(text.contains("R_max"), "missing R_max note:\n{text}");
     assert!(text.contains("Lemma"), "missing lemma reference:\n{text}");
-    assert!(text.contains("E_B(1)_0"), "missing family reference:\n{text}");
+    assert!(
+        text.contains("E_B(1)_0"),
+        "missing family reference:\n{text}"
+    );
 }
 
 #[test]
@@ -88,8 +92,7 @@ fn dolev_strong_weak_consensus_survives() {
     for (n, t) in [(6usize, 2usize), (8, 3), (10, 4)] {
         let cfg = FalsifierConfig::new(n, t);
         let book = Keybook::new(n);
-        let verdict =
-            falsify(&cfg, DolevStrong::factory(book, ProcessId(0), Bit::Zero)).unwrap();
+        let verdict = falsify(&cfg, DolevStrong::factory(book, ProcessId(0), Bit::Zero)).unwrap();
         match verdict {
             Verdict::Survived(report) => {
                 assert!(report.executions_explored >= 6);
@@ -122,9 +125,10 @@ fn paranoid_echo_survives_paper_recipe_but_exercises_critical_round() {
             );
             assert!(report.max_message_complexity >= report.paper_bound);
         }
-        Verdict::Violation(cert) =>
-
-            panic!("unexpected refutation: {:?}\n{:#?}", cert.kind, cert.provenance),
+        Verdict::Violation(cert) => panic!(
+            "unexpected refutation: {:?}\n{:#?}",
+            cert.kind, cert.provenance
+        ),
     }
 }
 
@@ -132,7 +136,9 @@ fn paranoid_echo_survives_paper_recipe_but_exercises_critical_round() {
 fn one_round_all_to_all_survival_is_explained() {
     let cfg = FalsifierConfig::new(8, 2);
     let verdict = falsify(&cfg, |_| OneRoundAllToAll::new()).unwrap();
-    let Verdict::Survived(report) = verdict else { panic!("expected survival") };
+    let Verdict::Survived(report) = verdict else {
+        panic!("expected survival")
+    };
     // The survival notes must record that the pigeonhole failed, which is
     // the honest outcome for an n(n-1)-message protocol.
     assert!(report

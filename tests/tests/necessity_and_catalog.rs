@@ -5,8 +5,8 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use ba_core::landscape::{analyze_grid, binary_catalog, full_catalog};
-use ba_core::refuter::lemma7_refute;
 use ba_core::reduction::ViaInteractiveConsistency;
+use ba_core::refuter::lemma7_refute;
 use ba_core::solvability::Gamma;
 use ba_core::validity::{
     enumerate_configs, InputConfig, IntervalValidity, SystemParams, UnanimityOrDefault,
@@ -112,7 +112,10 @@ fn catalog_grids_are_consistent_across_parameters() {
         );
         // Trivial problems are always solvable.
         if row.trivial {
-            assert!(row.authenticated_solvable && row.unauthenticated_solvable, "{row}");
+            assert!(
+                row.authenticated_solvable && row.unauthenticated_solvable,
+                "{row}"
+            );
         }
         // Unauthenticated solvability of non-trivial problems needs n > 3t.
         if !row.trivial && row.unauthenticated_solvable {
@@ -126,8 +129,14 @@ fn catalog_grids_are_consistent_across_parameters() {
 #[test]
 fn binary_catalog_spans_the_interesting_outcomes() {
     let params = SystemParams::new(4, 1);
-    let rows: Vec<_> = binary_catalog().iter().map(|p| p.analyze(&params)).collect();
+    let rows: Vec<_> = binary_catalog()
+        .iter()
+        .map(|p| p.analyze(&params))
+        .collect();
     assert!(rows.iter().any(|r| r.trivial), "a trivial problem");
-    assert!(rows.iter().any(|r| !r.trivial && r.cc), "a solvable non-trivial problem");
+    assert!(
+        rows.iter().any(|r| !r.trivial && r.cc),
+        "a solvable non-trivial problem"
+    );
     assert!(rows.iter().any(|r| !r.cc), "an unsolvable problem");
 }

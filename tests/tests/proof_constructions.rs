@@ -1,16 +1,16 @@
 //! EXP-F1 / EXP-F2 / EXP-TAB1: the proof's execution constructions, checked
 //! across several real protocols.
 
-use ba_core::lowerbound::{
-    find_critical_round, merge, swap_omission, FamilyRunner, Partition,
-};
+use ba_core::lowerbound::{find_critical_round, merge, swap_omission, FamilyRunner, Partition};
 use ba_crypto::Keybook;
 use ba_protocols::broken::{LeaderEcho, ParanoidEcho};
 use ba_protocols::DolevStrong;
 use ba_sim::{Bit, ExecutorConfig, ProcessId, Protocol, Round};
 
 fn ecfg(n: usize, t: usize) -> ExecutorConfig {
-    ExecutorConfig::new(n, t).with_stop_when_quiescent(false).with_max_rounds(16)
+    ExecutorConfig::new(n, t)
+        .with_stop_when_quiescent(false)
+        .with_max_rounds(16)
 }
 
 /// Table 1 families are valid omission executions for every protocol here.
@@ -29,13 +29,29 @@ fn table_1_families_are_valid_for_all_protocols() {
             runner.e0::<P>(bit).unwrap().validate().unwrap();
         }
         for k in 1..=4u64 {
-            runner.isolated_b::<P>(Round(k), Bit::Zero).unwrap().validate().unwrap();
-            runner.isolated_c::<P>(Round(k), Bit::Zero).unwrap().validate().unwrap();
+            runner
+                .isolated_b::<P>(Round(k), Bit::Zero)
+                .unwrap()
+                .validate()
+                .unwrap();
+            runner
+                .isolated_c::<P>(Round(k), Bit::Zero)
+                .unwrap()
+                .validate()
+                .unwrap();
         }
-        runner.isolated_c::<P>(Round(1), Bit::One).unwrap().validate().unwrap();
+        runner
+            .isolated_c::<P>(Round(1), Bit::One)
+            .unwrap()
+            .validate()
+            .unwrap();
     }
 
-    check(ecfg(n, t), DolevStrong::factory(Keybook::new(n), ProcessId(0), Bit::Zero), &partition);
+    check(
+        ecfg(n, t),
+        DolevStrong::factory(Keybook::new(n), ProcessId(0), Bit::Zero),
+        &partition,
+    );
     check(ecfg(n, t), |_| LeaderEcho::new(ProcessId(0)), &partition);
     check(ecfg(n, t), |_| ParanoidEcho::new(), &partition);
 }
@@ -51,11 +67,13 @@ fn figure_1_divergence_respects_isolation_anatomy() {
     let runner = FamilyRunner::new(ecfg(n, t), &factory, partition.clone());
     let e0 = runner.e0::<ParanoidEcho>(Bit::Zero).unwrap();
     for r in 1..=3u64 {
-        let eb = runner.isolated_b::<ParanoidEcho>(Round(r), Bit::Zero).unwrap();
+        let eb = runner
+            .isolated_b::<ParanoidEcho>(Round(r), Bit::Zero)
+            .unwrap();
         for pid in ProcessId::all(n) {
             if let Some(div) = e0.first_send_divergence(&eb, pid) {
                 if partition.b().contains(&pid) {
-                    assert!(div.0 >= r + 1, "{pid} diverged at {div} < R+1 (R = {r})");
+                    assert!(div.0 > r, "{pid} diverged at {div} < R+1 (R = {r})");
                 } else {
                     assert!(div.0 >= r + 2, "{pid} diverged at {div} < R+2 (R = {r})");
                 }
@@ -76,12 +94,27 @@ fn merged_execution_rows_match_originals() {
     let book = Keybook::new(n);
     let factory = DolevStrong::factory(book, ProcessId(0), Bit::Zero);
     let runner = FamilyRunner::new(cfg, &factory, partition.clone());
-    for (kb, kc, b) in [(1u64, 1u64, Bit::One), (2, 2, Bit::Zero), (3, 2, Bit::Zero), (2, 3, Bit::Zero)]
-    {
-        let eb = runner.isolated_b::<DolevStrong<Bit>>(Round(kb), Bit::Zero).unwrap();
+    for (kb, kc, b) in [
+        (1u64, 1u64, Bit::One),
+        (2, 2, Bit::Zero),
+        (3, 2, Bit::Zero),
+        (2, 3, Bit::Zero),
+    ] {
+        let eb = runner
+            .isolated_b::<DolevStrong<Bit>>(Round(kb), Bit::Zero)
+            .unwrap();
         let ec = runner.isolated_c::<DolevStrong<Bit>>(Round(kc), b).unwrap();
-        let merged =
-            merge(&cfg, &factory, &partition, &eb, Round(kb), &ec, Round(kc), b).unwrap();
+        let merged = merge(
+            &cfg,
+            &factory,
+            &partition,
+            &eb,
+            Round(kb),
+            &ec,
+            Round(kc),
+            b,
+        )
+        .unwrap();
         merged.validate().unwrap();
         for pid in partition.b() {
             assert!(merged.indistinguishable_to(&eb, *pid));
@@ -103,7 +136,9 @@ fn swap_preserves_everything_observable() {
     let partition = Partition::paper_default(n, t);
     let factory = |_| LeaderEcho::new(ProcessId(0));
     let runner = FamilyRunner::new(ecfg(n, t), &factory, partition.clone());
-    let eb = runner.isolated_b::<LeaderEcho>(Round(1), Bit::Zero).unwrap();
+    let eb = runner
+        .isolated_b::<LeaderEcho>(Round(1), Bit::Zero)
+        .unwrap();
     for pivot in partition.b() {
         let swapped = swap_omission(&eb, *pivot).unwrap();
         swapped.validate().unwrap();
@@ -148,20 +183,27 @@ fn lemma2_engine_standalone() {
     let partition = Partition::paper_default(n, t);
     let factory = |_| LeaderEcho::new(ProcessId(0));
     let runner = FamilyRunner::new(ecfg(n, t), &factory, partition.clone());
-    let eb = runner.isolated_b::<LeaderEcho>(Round(1), Bit::Zero).unwrap();
+    let eb = runner
+        .isolated_b::<LeaderEcho>(Round(1), Bit::Zero)
+        .unwrap();
     // Correct processes (A ∪ C) decide 0; B misses the verdict and falls
     // back to 1: Lemma 2 converts that into a real violation.
     let cert = lemma2_violation(&eb, partition.b(), Bit::Zero, &[], "standalone")
         .expect("LeaderEcho is refutable by Lemma 2 alone");
     cert.verify().unwrap();
-    assert!(matches!(cert.kind, ba_core::lowerbound::ViolationKind::Agreement { .. }));
+    assert!(matches!(
+        cert.kind,
+        ba_core::lowerbound::ViolationKind::Agreement { .. }
+    ));
     // And it correctly reports nothing for protocols whose isolated group
     // agrees (Dolev-Strong decides the default, same as... the sender value
     // here differs, but every B member omitted too much for a swap).
     let book = Keybook::new(n);
     let ds_factory = DolevStrong::factory(book, ProcessId(0), Bit::Zero);
     let runner = FamilyRunner::new(ecfg(n, t), &ds_factory, partition.clone());
-    let ec = runner.isolated_c::<DolevStrong<Bit>>(Round(1), Bit::One).unwrap();
+    let ec = runner
+        .isolated_c::<DolevStrong<Bit>>(Round(1), Bit::One)
+        .unwrap();
     assert!(lemma2_violation(&ec, partition.c(), Bit::One, &[], "standalone").is_none());
 }
 
@@ -174,9 +216,25 @@ fn non_mergeable_pairs_are_rejected_for_real_protocols() {
     let cfg = ecfg(n, t);
     let factory = |_| ParanoidEcho::new();
     let runner = FamilyRunner::new(cfg, &factory, partition.clone());
-    let eb = runner.isolated_b::<ParanoidEcho>(Round(3), Bit::Zero).unwrap();
-    let ec = runner.isolated_c::<ParanoidEcho>(Round(1), Bit::Zero).unwrap();
-    let err = merge(&cfg, &factory, &partition, &eb, Round(3), &ec, Round(1), Bit::Zero)
-        .unwrap_err();
-    assert!(matches!(err, ba_core::lowerbound::MergeError::NotMergeable { .. }));
+    let eb = runner
+        .isolated_b::<ParanoidEcho>(Round(3), Bit::Zero)
+        .unwrap();
+    let ec = runner
+        .isolated_c::<ParanoidEcho>(Round(1), Bit::Zero)
+        .unwrap();
+    let err = merge(
+        &cfg,
+        factory,
+        &partition,
+        &eb,
+        Round(3),
+        &ec,
+        Round(1),
+        Bit::Zero,
+    )
+    .unwrap_err();
+    assert!(matches!(
+        err,
+        ba_core::lowerbound::MergeError::NotMergeable { .. }
+    ));
 }

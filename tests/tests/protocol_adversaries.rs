@@ -1,15 +1,13 @@
 //! Cross-protocol adversarial coverage: crash-during-protocol behaviors,
-//! replay storms, and combined strategies against every correct protocol in
-//! the landscape.
-
-use std::collections::BTreeMap;
+//! replay storms, combined strategies, and mixed Byzantine+omission
+//! assignments against every correct protocol in the landscape.
 
 use ba_crypto::Keybook;
 use ba_protocols::interactive_consistency::authenticated_ic_factory;
 use ba_protocols::{DolevStrong, EigConsensus, PhaseKing};
 use ba_sim::{
-    run_byzantine, Bit, ByzantineBehavior, ExecutorConfig, FollowThenCrash, ProcessId,
-    ReplayByzantine, Round,
+    Adversary, Bit, FaultMode, FollowThenCrash, IsolationPlan, ProcessId, ReplayByzantine, Round,
+    Scenario, SilentByzantine,
 };
 use ba_tests::assert_agreement;
 
@@ -20,24 +18,24 @@ use ba_tests::assert_agreement;
 fn dolev_strong_sender_crash_after_round_one() {
     let (n, t) = (5, 2);
     let book = Keybook::new(n);
-    let cfg = ExecutorConfig::new(n, t);
     for crash_at in 2..=4u64 {
-        let behaviors: BTreeMap<_, Box<dyn ByzantineBehavior<Bit, _>>> = [(
-            ProcessId(0),
-            Box::new(FollowThenCrash::new(
-                DolevStrong::new(book.clone(), book.keychain(ProcessId(0)), ProcessId(0), Bit::Zero),
-                Round(crash_at),
-            )) as Box<_>,
-        )]
-        .into_iter()
-        .collect();
-        let exec = run_byzantine(
-            &cfg,
-            DolevStrong::factory(book.clone(), ProcessId(0), Bit::Zero),
-            &[Bit::One; 5],
-            behaviors,
-        )
-        .unwrap();
+        let exec = Scenario::new(n, t)
+            .protocol(DolevStrong::factory(book.clone(), ProcessId(0), Bit::Zero))
+            .uniform_input(Bit::One)
+            .adversary(Adversary::one_byzantine(
+                ProcessId(0),
+                FollowThenCrash::new(
+                    DolevStrong::new(
+                        book.clone(),
+                        book.keychain(ProcessId(0)),
+                        ProcessId(0),
+                        Bit::Zero,
+                    ),
+                    Round(crash_at),
+                ),
+            ))
+            .run()
+            .unwrap();
         exec.validate().unwrap();
         let decided = assert_agreement(&exec);
         // The sender's signed value escaped in round 1, so the decision is
@@ -52,23 +50,23 @@ fn dolev_strong_sender_crash_after_round_one() {
 fn dolev_strong_sender_crash_before_sending() {
     let (n, t) = (5, 2);
     let book = Keybook::new(n);
-    let cfg = ExecutorConfig::new(n, t);
-    let behaviors: BTreeMap<_, Box<dyn ByzantineBehavior<Bit, _>>> = [(
-        ProcessId(0),
-        Box::new(FollowThenCrash::new(
-            DolevStrong::new(book.clone(), book.keychain(ProcessId(0)), ProcessId(0), Bit::Zero),
-            Round(1),
-        )) as Box<_>,
-    )]
-    .into_iter()
-    .collect();
-    let exec = run_byzantine(
-        &cfg,
-        DolevStrong::factory(book, ProcessId(0), Bit::Zero),
-        &[Bit::One; 5],
-        behaviors,
-    )
-    .unwrap();
+    let exec = Scenario::new(n, t)
+        .protocol(DolevStrong::factory(book.clone(), ProcessId(0), Bit::Zero))
+        .uniform_input(Bit::One)
+        .adversary(Adversary::one_byzantine(
+            ProcessId(0),
+            FollowThenCrash::new(
+                DolevStrong::new(
+                    book.clone(),
+                    book.keychain(ProcessId(0)),
+                    ProcessId(0),
+                    Bit::Zero,
+                ),
+                Round(1),
+            ),
+        ))
+        .run()
+        .unwrap();
     assert_eq!(assert_agreement(&exec), Bit::Zero);
 }
 
@@ -76,29 +74,33 @@ fn dolev_strong_sender_crash_before_sending() {
 #[test]
 fn phase_king_crash_sweep() {
     let (n, t) = (7, 2);
-    let cfg = ExecutorConfig::new(n, t);
     for crash_at in 1..=PhaseKing::total_rounds(t) {
-        let behaviors: BTreeMap<_, Box<dyn ByzantineBehavior<Bit, _>>> = [
-            (
-                ProcessId(0), // king of phase 1
-                Box::new(FollowThenCrash::new(PhaseKing::new(n, t), Round(crash_at)))
-                    as Box<dyn ByzantineBehavior<Bit, _>>,
-            ),
-            (
-                ProcessId(1), // king of phase 2
-                Box::new(FollowThenCrash::new(PhaseKing::new(n, t), Round(crash_at.max(2) - 1)))
-                    as Box<_>,
-            ),
-        ]
-        .into_iter()
-        .collect();
-        let exec = run_byzantine(
-            &cfg,
-            |_| PhaseKing::new(n, t),
-            &[Bit::One, Bit::Zero, Bit::One, Bit::Zero, Bit::One, Bit::Zero, Bit::One],
-            behaviors,
-        )
-        .unwrap();
+        let exec = Scenario::new(n, t)
+            .protocol(move |_| PhaseKing::new(n, t))
+            .inputs([
+                Bit::One,
+                Bit::Zero,
+                Bit::One,
+                Bit::Zero,
+                Bit::One,
+                Bit::Zero,
+                Bit::One,
+            ])
+            .adversary(Adversary::byzantine([
+                (
+                    ProcessId(0), // king of phase 1
+                    Box::new(FollowThenCrash::new(PhaseKing::new(n, t), Round(crash_at))) as _,
+                ),
+                (
+                    ProcessId(1), // king of phase 2
+                    Box::new(FollowThenCrash::new(
+                        PhaseKing::new(n, t),
+                        Round(crash_at.max(2) - 1),
+                    )) as _,
+                ),
+            ]))
+            .run()
+            .unwrap();
         exec.validate().unwrap();
         assert_agreement(&exec);
     }
@@ -109,62 +111,58 @@ fn phase_king_crash_sweep() {
 #[test]
 fn replay_storm_against_the_landscape() {
     let (n, t) = (5, 1);
-    let cfg = ExecutorConfig::new(n, t);
     let book = Keybook::new(n);
 
     for seed in 0..8u64 {
         // Dolev-Strong.
-        let behaviors: BTreeMap<_, Box<dyn ByzantineBehavior<Bit, _>>> =
-            [(ProcessId(4), Box::new(ReplayByzantine::new(seed, 3)) as Box<_>)]
-                .into_iter()
-                .collect();
-        let exec = run_byzantine(
-            &cfg,
-            DolevStrong::factory(book.clone(), ProcessId(0), Bit::Zero),
-            &[Bit::One; 5],
-            behaviors,
-        )
-        .unwrap();
+        let exec = Scenario::new(n, t)
+            .protocol(DolevStrong::factory(book.clone(), ProcessId(0), Bit::Zero))
+            .uniform_input(Bit::One)
+            .adversary(Adversary::one_byzantine(
+                ProcessId(4),
+                ReplayByzantine::new(seed, 3),
+            ))
+            .run()
+            .unwrap();
         assert_eq!(assert_agreement(&exec), Bit::One, "DS, seed {seed}");
 
         // EIG consensus.
-        let behaviors: BTreeMap<_, Box<dyn ByzantineBehavior<Bit, _>>> =
-            [(ProcessId(4), Box::new(ReplayByzantine::new(seed, 3)) as Box<_>)]
-                .into_iter()
-                .collect();
-        let exec = run_byzantine(
-            &cfg,
-            |_| EigConsensus::new(n, t, Bit::Zero),
-            &[Bit::One; 5],
-            behaviors,
-        )
-        .unwrap();
+        let exec = Scenario::new(n, t)
+            .protocol(move |_| EigConsensus::new(n, t, Bit::Zero))
+            .uniform_input(Bit::One)
+            .adversary(Adversary::one_byzantine(
+                ProcessId(4),
+                ReplayByzantine::new(seed, 3),
+            ))
+            .run()
+            .unwrap();
         assert_eq!(assert_agreement(&exec), Bit::One, "EIG, seed {seed}");
 
         // Phase King.
-        let behaviors: BTreeMap<_, Box<dyn ByzantineBehavior<Bit, _>>> =
-            [(ProcessId(4), Box::new(ReplayByzantine::new(seed, 3)) as Box<_>)]
-                .into_iter()
-                .collect();
-        let exec =
-            run_byzantine(&cfg, |_| PhaseKing::new(n, t), &[Bit::One; 5], behaviors).unwrap();
+        let exec = Scenario::new(n, t)
+            .protocol(move |_| PhaseKing::new(n, t))
+            .uniform_input(Bit::One)
+            .adversary(Adversary::one_byzantine(
+                ProcessId(4),
+                ReplayByzantine::new(seed, 3),
+            ))
+            .run()
+            .unwrap();
         assert_eq!(assert_agreement(&exec), Bit::One, "PK, seed {seed}");
 
         // Authenticated IC: IC-validity for the correct slots.
-        let behaviors: BTreeMap<_, Box<dyn ByzantineBehavior<Bit, _>>> =
-            [(ProcessId(4), Box::new(ReplayByzantine::new(seed, 3)) as Box<_>)]
-                .into_iter()
-                .collect();
-        let exec = run_byzantine(
-            &cfg,
-            authenticated_ic_factory(book.clone(), Bit::Zero),
-            &[Bit::One; 5],
-            behaviors,
-        )
-        .unwrap();
+        let exec = Scenario::new(n, t)
+            .protocol(authenticated_ic_factory(book.clone(), Bit::Zero))
+            .uniform_input(Bit::One)
+            .adversary(Adversary::one_byzantine(
+                ProcessId(4),
+                ReplayByzantine::new(seed, 3),
+            ))
+            .run()
+            .unwrap();
         let vec = assert_agreement(&exec);
-        for i in 0..4 {
-            assert_eq!(vec[i], Bit::One, "IC slot {i}, seed {seed}");
+        for (i, slot) in vec.iter().enumerate().take(4) {
+            assert_eq!(*slot, Bit::One, "IC slot {i}, seed {seed}");
         }
     }
 }
@@ -176,22 +174,54 @@ fn replay_storm_against_the_landscape() {
 fn dolev_strong_dishonest_majority() {
     let (n, t) = (4, 3);
     let book = Keybook::new(n);
-    let cfg = ExecutorConfig::new(n, t);
-    let behaviors: BTreeMap<_, Box<dyn ByzantineBehavior<Bit, _>>> = [
-        (ProcessId(1), Box::new(ba_sim::SilentByzantine) as Box<dyn ByzantineBehavior<Bit, _>>),
-        (ProcessId(2), Box::new(ReplayByzantine::new(3, 2)) as Box<_>),
-        (ProcessId(3), Box::new(ReplayByzantine::new(4, 2)) as Box<_>),
-    ]
-    .into_iter()
-    .collect();
-    let exec = run_byzantine(
-        &cfg,
-        DolevStrong::factory(book, ProcessId(0), Bit::Zero),
-        &[Bit::One; 4],
-        behaviors,
-    )
-    .unwrap();
+    let exec = Scenario::new(n, t)
+        .protocol(DolevStrong::factory(book, ProcessId(0), Bit::Zero))
+        .uniform_input(Bit::One)
+        .adversary(Adversary::byzantine([
+            (ProcessId(1), Box::new(SilentByzantine) as _),
+            (ProcessId(2), Box::new(ReplayByzantine::new(3, 2)) as _),
+            (ProcessId(3), Box::new(ReplayByzantine::new(4, 2)) as _),
+        ]))
+        .run()
+        .unwrap();
     exec.validate().unwrap();
     // p0 is the only correct process; it must decide its own broadcast.
     assert_eq!(exec.decision_of(ProcessId(0)), Some(&Bit::One));
+}
+
+/// A **mixed** per-process fault assignment — one replay-Byzantine process
+/// *and* one omission-isolated process in the same execution — which the
+/// legacy `run_omission` / `run_byzantine` split could not express at all.
+#[test]
+fn mixed_byzantine_and_omission_faults_in_one_execution() {
+    let (n, t) = (6, 2);
+    let book = Keybook::new(n);
+    let exec = Scenario::new(n, t)
+        .protocol(DolevStrong::factory(book, ProcessId(0), Bit::Zero))
+        .uniform_input(Bit::One)
+        .adversary(Adversary::mixed(
+            [(ProcessId(5), Box::new(ReplayByzantine::new(9, 3)) as _)],
+            [ProcessId(4)],
+            IsolationPlan::new([ProcessId(4)], Round(2)),
+        ))
+        .run()
+        .unwrap();
+    exec.validate().unwrap();
+    assert_eq!(exec.mode, FaultMode::Mixed);
+    assert_eq!(
+        exec.faulty,
+        [ProcessId(4), ProcessId(5)].into_iter().collect()
+    );
+    // The correct processes (p0..p3) still agree on the broadcast value
+    // despite simultaneous replay noise and an isolated receiver.
+    for pid in [ProcessId(0), ProcessId(1), ProcessId(2), ProcessId(3)] {
+        assert!(exec.is_correct(pid));
+        assert_eq!(exec.decision_of(pid), Some(&Bit::One), "{pid}");
+    }
+    // The isolated process receive-omitted outside traffic from round 2 on.
+    assert!(exec
+        .record(ProcessId(4))
+        .all_receive_omitted()
+        .next()
+        .is_some());
 }

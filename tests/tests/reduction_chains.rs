@@ -3,7 +3,6 @@
 //! Ω(t²) bound to every non-trivial problem; and the full composition
 //! Algorithm 2 ∘ Algorithm 1 closes the circle.
 
-use std::collections::BTreeSet;
 use std::sync::Arc;
 
 use ba_core::lowerbound::{falsify, probe_weak_consensus, FalsifierConfig, ProbeOutcome, Verdict};
@@ -11,13 +10,11 @@ use ba_core::reduction::{
     derive_reduction_inputs, ReductionInputs, ViaInteractiveConsistency, WeakFromAgreement,
 };
 use ba_core::solvability::check_containment_condition;
-use ba_core::validity::{
-    IcValidity, InputConfig, SenderValidity, StrongValidity, SystemParams,
-};
+use ba_core::validity::{IcValidity, InputConfig, SenderValidity, StrongValidity, SystemParams};
 use ba_crypto::Keybook;
 use ba_protocols::interactive_consistency::authenticated_ic_factory;
 use ba_protocols::{DolevStrong, EigConsensus, PhaseKing};
-use ba_sim::{run_omission, Bit, ExecutorConfig, NoFaults, ProcessId};
+use ba_sim::{Bit, ExecutorConfig, ProcessId, Scenario};
 use ba_tests::uniform;
 
 #[test]
@@ -25,29 +22,26 @@ fn weak_consensus_from_phase_king_zero_cost() {
     let (n, t) = (4, 1);
     let cfg = ExecutorConfig::new(n, t);
     let inputs =
-        derive_reduction_inputs(&cfg, |_| PhaseKing::new(n, t), &StrongValidity::binary())
-            .unwrap();
+        derive_reduction_inputs(&cfg, |_| PhaseKing::new(n, t), &StrongValidity::binary()).unwrap();
     for bit in Bit::ALL {
-        let wrapped = run_omission(
-            &cfg,
-            |_| WeakFromAgreement::new(PhaseKing::new(n, t), inputs.clone()),
-            &uniform(n, bit),
-            &BTreeSet::new(),
-            &mut NoFaults,
-        )
-        .unwrap();
+        let wrapped = Scenario::config(&cfg)
+            .protocol(|_| WeakFromAgreement::new(PhaseKing::new(n, t), inputs.clone()))
+            .inputs(uniform(n, bit))
+            .run()
+            .unwrap();
         assert!(wrapped.all_correct_decided(bit));
         // Zero added messages (Lemma 18): compare against the bare run on
         // the corresponding configuration.
-        let bare_proposals = if bit == Bit::Zero { &inputs.c0 } else { &inputs.c1 };
-        let bare = run_omission(
-            &cfg,
-            |_| PhaseKing::new(n, t),
-            bare_proposals,
-            &BTreeSet::new(),
-            &mut NoFaults,
-        )
-        .unwrap();
+        let bare_proposals = if bit == Bit::Zero {
+            &inputs.c0
+        } else {
+            &inputs.c1
+        };
+        let bare = Scenario::config(&cfg)
+            .protocol(|_| PhaseKing::new(n, t))
+            .inputs(bare_proposals.iter().copied())
+            .run()
+            .unwrap();
         assert_eq!(wrapped.message_complexity(), bare.message_complexity());
     }
 }
@@ -63,14 +57,13 @@ fn weak_consensus_from_eig_strong_consensus() {
     )
     .unwrap();
     for bit in Bit::ALL {
-        let exec = run_omission(
-            &cfg,
-            |_| WeakFromAgreement::new(EigConsensus::new(n, t, Bit::Zero), inputs.clone()),
-            &uniform(n, bit),
-            &BTreeSet::new(),
-            &mut NoFaults,
-        )
-        .unwrap();
+        let exec = Scenario::config(&cfg)
+            .protocol(|_| {
+                WeakFromAgreement::new(EigConsensus::new(n, t, Bit::Zero), inputs.clone())
+            })
+            .inputs(uniform(n, bit))
+            .run()
+            .unwrap();
         assert!(exec.all_correct_decided(bit));
     }
 }
@@ -90,19 +83,16 @@ fn weak_consensus_from_byzantine_broadcast() {
     for bit in Bit::ALL {
         let book = book.clone();
         let inputs_c = inputs.clone();
-        let exec = run_omission(
-            &cfg,
-            move |pid| {
+        let exec = Scenario::config(&cfg)
+            .protocol(move |pid| {
                 WeakFromAgreement::new(
                     DolevStrong::factory(book.clone(), ProcessId(0), Bit::Zero)(pid),
                     inputs_c.clone(),
                 )
-            },
-            &uniform(n, bit),
-            &BTreeSet::new(),
-            &mut NoFaults,
-        )
-        .unwrap();
+            })
+            .inputs(uniform(n, bit))
+            .run()
+            .unwrap();
         assert!(exec.all_correct_decided(bit));
     }
 }
@@ -122,19 +112,16 @@ fn weak_consensus_from_interactive_consistency() {
     for bit in Bit::ALL {
         let book = book.clone();
         let inputs_c = inputs.clone();
-        let exec = run_omission(
-            &cfg,
-            move |pid| {
+        let exec = Scenario::config(&cfg)
+            .protocol(move |pid| {
                 WeakFromAgreement::new(
                     authenticated_ic_factory(book.clone(), Bit::Zero)(pid),
                     inputs_c.clone(),
                 )
-            },
-            &uniform(n, bit),
-            &BTreeSet::new(),
-            &mut NoFaults,
-        )
-        .unwrap();
+            })
+            .inputs(uniform(n, bit))
+            .run()
+            .unwrap();
         assert!(exec.all_correct_decided(bit));
     }
 }
@@ -148,8 +135,7 @@ fn theorem_3_composition_wrapped_protocols_face_the_falsifier() {
     let (n, t) = (8, 2);
     let cfg = ExecutorConfig::new(n, t);
     let inputs =
-        derive_reduction_inputs(&cfg, |_| PhaseKing::new(n, t), &StrongValidity::binary())
-            .unwrap();
+        derive_reduction_inputs(&cfg, |_| PhaseKing::new(n, t), &StrongValidity::binary()).unwrap();
     let fcfg = FalsifierConfig::new(n, t);
     let verdict = falsify(&fcfg, |_| {
         WeakFromAgreement::new(PhaseKing::new(n, t), inputs.clone())
@@ -160,7 +146,10 @@ fn theorem_3_composition_wrapped_protocols_face_the_falsifier() {
             assert!(report.max_message_complexity >= report.paper_bound);
         }
         Verdict::Violation(cert) => {
-            panic!("wrapped Phase King wrongly refuted: {:?}\n{:#?}", cert.kind, cert.provenance)
+            panic!(
+                "wrapped Phase King wrongly refuted: {:?}\n{:#?}",
+                cert.kind, cert.provenance
+            )
         }
     }
 }
@@ -174,7 +163,12 @@ fn full_circle_algorithm2_then_algorithm1() {
     let (n, t) = (4, 1);
     let params = SystemParams::new(n, t);
     let vp = StrongValidity::binary();
-    let gamma = Arc::new(check_containment_condition(&vp, &params).gamma().cloned().unwrap());
+    let gamma = Arc::new(
+        check_containment_condition(&vp, &params)
+            .gamma()
+            .cloned()
+            .unwrap(),
+    );
     let book = Keybook::new(n);
     let cfg = ExecutorConfig::new(n, t);
 
@@ -194,14 +188,11 @@ fn full_circle_algorithm2_then_algorithm1() {
     for bit in Bit::ALL {
         let strong_factory = strong_factory.clone();
         let inputs_c = inputs.clone();
-        let exec = run_omission(
-            &cfg,
-            move |pid| WeakFromAgreement::new(strong_factory(pid), inputs_c.clone()),
-            &uniform(n, bit),
-            &BTreeSet::new(),
-            &mut NoFaults,
-        )
-        .unwrap();
+        let exec = Scenario::config(&cfg)
+            .protocol(move |pid| WeakFromAgreement::new(strong_factory(pid), inputs_c.clone()))
+            .inputs(uniform(n, bit))
+            .run()
+            .unwrap();
         assert!(exec.all_correct_decided(bit));
     }
 
@@ -230,7 +221,10 @@ fn corollary_1_shape_reduction_inputs_from_two_executions() {
     let (n, t) = (4, 1);
     let cfg = ExecutorConfig::new(n, t);
     let run = |proposals: Vec<Bit>| {
-        run_omission(&cfg, |_| PhaseKing::new(n, t), &proposals, &BTreeSet::new(), &mut NoFaults)
+        Scenario::config(&cfg)
+            .protocol(|_| PhaseKing::new(n, t))
+            .inputs(proposals)
+            .run()
             .unwrap()
     };
     let e0 = run(uniform(n, Bit::Zero));

@@ -8,7 +8,6 @@
 //! the CC witness is genuine (two contained configurations with disjoint
 //! admissible sets, or an empty intersection).
 
-use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use ba_core::reduction::ViaInteractiveConsistency;
@@ -18,12 +17,9 @@ use ba_core::validity::{
     StrongValidity, SystemParams, ValidityProperty, WeakValidity,
 };
 use ba_crypto::Keybook;
-use ba_protocols::interactive_consistency::{
-    authenticated_ic_factory, unauthenticated_ic_factory,
-};
+use ba_protocols::interactive_consistency::{authenticated_ic_factory, unauthenticated_ic_factory};
 use ba_sim::{
-    run_byzantine, Bit, ByzantineBehavior, ExecutorConfig, ProcessId, ReplayByzantine,
-    SilentByzantine,
+    Adversary, Bit, BoxedBehavior, ProcessId, ReplayByzantine, Scenario, SilentByzantine,
 };
 use ba_tests::assert_agreement;
 
@@ -42,7 +38,6 @@ where
             .cloned()
             .expect("solvable problems satisfy CC"),
     );
-    let cfg = ExecutorConfig::new(n, t);
 
     for mask in 0u32..(1 << n) {
         let proposals: Vec<Bit> = (0..n).map(|i| Bit::from(mask & (1 << i) != 0)).collect();
@@ -59,19 +54,20 @@ where
             // fault-free case is covered by the exhaustive Algorithm 2 unit
             // tests).
             let target = ProcessId(n - 1);
-            let behavior: Box<dyn ByzantineBehavior<Bit, _>> = match byz {
+            let behavior: BoxedBehavior<'static, Bit, _> = match byz {
                 0 => Box::new(SilentByzantine),
                 _ => Box::new(ReplayByzantine::new(u64::from(mask) + 1, 2)),
             };
-            let behaviors: BTreeMap<ProcessId, Box<dyn ByzantineBehavior<Bit, _>>> =
-                [(target, behavior)].into_iter().collect();
-            let exec = run_byzantine(&cfg, factory, &proposals, behaviors).unwrap();
+            let exec = Scenario::new(n, t)
+                .protocol(factory)
+                .inputs(proposals.iter().copied())
+                .adversary(Adversary::byzantine([(target, behavior)]))
+                .run()
+                .unwrap();
             exec.validate().unwrap();
             let decided = assert_agreement(&exec);
-            let config = InputConfig::new(
-                &params,
-                exec.correct().map(|p| (p, proposals[p.index()])),
-            );
+            let config =
+                InputConfig::new(&params, exec.correct().map(|p| (p, proposals[p.index()])));
             let admissible = vp.admissible(&params, &config);
             assert!(
                 admissible.contains(&decided),
@@ -96,7 +92,10 @@ fn validate_witness<VP: ValidityProperty>(vp: &VP, n: usize, t: usize) {
             Some(acc) => acc.intersection(&adm).cloned().collect(),
         });
     }
-    assert!(intersection.unwrap().is_empty(), "witness intersection is non-empty");
+    assert!(
+        intersection.unwrap().is_empty(),
+        "witness intersection is non-empty"
+    );
     if let Some((a, b)) = &witness.disjoint_pair {
         assert!(witness.config.contains(a));
         assert!(witness.config.contains(b));
@@ -146,7 +145,10 @@ fn majority_validity_unsolvable_with_genuine_witness() {
     for (n, t) in [(4usize, 1usize), (4, 2), (6, 2)] {
         let vp = MajorityValidity::new();
         let report = solvability(&vp, &SystemParams::new(n, t));
-        assert!(!report.authenticated_solvable, "majority validity at n={n}, t={t}");
+        assert!(
+            !report.authenticated_solvable,
+            "majority validity at n={n}, t={t}"
+        );
         validate_witness(&vp, n, t);
     }
 }
@@ -164,9 +166,11 @@ fn interval_validity_crossover_matches_theory() {
 
     // Unauthenticated construction at (4, 1).
     let gamma = Arc::new(
-        check_containment_condition(&vp, &params_ok).gamma().cloned().unwrap(),
+        check_containment_condition(&vp, &params_ok)
+            .gamma()
+            .cloned()
+            .unwrap(),
     );
-    let cfg = ExecutorConfig::new(4, 1);
     for proposals in [[0u8, 1, 2, 0], [2, 2, 2, 2], [0, 0, 1, 1]] {
         let gamma = gamma.clone();
         let factory = move |pid: ProcessId| {
@@ -175,13 +179,15 @@ fn interval_validity_crossover_matches_theory() {
                 gamma.clone(),
             )
         };
-        let behaviors: BTreeMap<ProcessId, Box<dyn ByzantineBehavior<u8, _>>> =
-            [(ProcessId(3), Box::new(SilentByzantine) as Box<_>)].into_iter().collect();
-        let exec = run_byzantine(&cfg, factory, &proposals, behaviors).unwrap();
+        let exec = Scenario::new(4, 1)
+            .protocol(factory)
+            .inputs(proposals)
+            .adversary(Adversary::one_byzantine(ProcessId(3), SilentByzantine))
+            .run()
+            .unwrap();
         let decided = assert_agreement(&exec);
         let params = SystemParams::new(4, 1);
-        let config =
-            InputConfig::new(&params, exec.correct().map(|p| (p, proposals[p.index()])));
+        let config = InputConfig::new(&params, exec.correct().map(|p| (p, proposals[p.index()])));
         assert!(vp.admissible(&params, &config).contains(&decided));
     }
 }
@@ -190,7 +196,10 @@ fn interval_validity_crossover_matches_theory() {
 fn unauthenticated_boundary_is_n_over_3t() {
     let vp = WeakValidity::binary();
     let at_boundary = solvability(&vp, &SystemParams::new(6, 2));
-    assert!(!at_boundary.unauthenticated_solvable, "n = 3t must be unsolvable");
+    assert!(
+        !at_boundary.unauthenticated_solvable,
+        "n = 3t must be unsolvable"
+    );
     assert!(at_boundary.authenticated_solvable);
     let above = solvability(&vp, &SystemParams::new(7, 2));
     assert!(above.unauthenticated_solvable);
