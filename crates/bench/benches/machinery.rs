@@ -3,13 +3,13 @@
 //! indistinguishability checking. Uses `ba_bench::harness` (no criterion;
 //! the workspace builds offline).
 
-use ba_bench::harness::{BenchConfig, BenchGroup};
+use ba_bench::harness::{BenchConfig, BenchGroup, PerfLog};
 use ba_core::lowerbound::{
     exhaustive_omission_check, merge, swap_omission, ExhaustiveConfig, FamilyRunner, Partition,
 };
 use ba_crypto::Keybook;
 use ba_protocols::DolevStrong;
-use ba_sim::{Bit, ExecutorConfig, ProcessId, Round};
+use ba_sim::{Bit, Campaign, ExecutorConfig, ProcessId, Round};
 
 fn setup(
     n: usize,
@@ -112,9 +112,57 @@ fn bench_exhaustive() {
     }
 }
 
+/// Times full campaign sweeps (scenario grid + falsifier grid) and writes
+/// the machine-readable `BENCH_campaign.json` throughput log CI tracks.
+fn bench_campaign_throughput() {
+    println!("\n== campaign_throughput ==");
+    let mut log = PerfLog::new();
+
+    let nts: Vec<(usize, usize)> = (6..18).map(|n| (n, 2)).collect();
+    let points = Campaign::grid(
+        nts.iter().copied(),
+        &["none", "isolation", "crash", "random-omission"],
+        &["ones", "random"],
+    )
+    .points()
+    .to_vec();
+    let report = log.time("scenario-sweep/dolev-strong", || {
+        let report = ba_bench::dist::scenario_campaign_report(&points, "dolev-strong", 7, 0)
+            .expect("registry sweep");
+        let total: u64 = report.stats().map(|(_, s)| s.total_messages).sum();
+        (points.len(), total, report)
+    });
+    assert_eq!(report.outcomes.len(), points.len());
+
+    let falsifier_grid = [(8usize, 2usize), (10, 2), (12, 4), (16, 8)];
+    log.time("falsifier-sweep/leader-echo", || {
+        let sweep = ba_bench::falsifier_sweep(&falsifier_grid, |_point| {
+            |_: ProcessId| ba_protocols::broken::LeaderEcho::new(ProcessId(0))
+        });
+        let total: u64 = sweep.iter().map(|p| p.max_message_complexity).sum();
+        (falsifier_grid.len(), total, ())
+    });
+
+    for sweep in log.sweeps() {
+        println!(
+            "{:<44} {:>8} points {:>12.1} points/sec",
+            sweep.label,
+            sweep.points,
+            sweep.points_per_sec()
+        );
+    }
+    // Anchor at the workspace root: cargo runs benches with the *crate*
+    // directory as CWD, but CI (and humans) look for the log at the root.
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(PerfLog::FILENAME);
+    log.write(out).expect("write BENCH_campaign.json");
+}
+
 fn main() {
     bench_family();
     bench_merge();
     bench_swap_and_checks();
     bench_exhaustive();
+    bench_campaign_throughput();
 }

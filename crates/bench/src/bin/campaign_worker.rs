@@ -1,0 +1,82 @@
+//! `campaign_worker` — the per-shard worker process of distributed
+//! campaign sweeps.
+//!
+//! Reads a `ba-dist` [`ShardManifest`] (wire format) from stdin or a file,
+//! executes the shard on the local `ba_sim::Campaign` thread pool via the
+//! `ba_bench::dist` protocol registry, and writes the encoded shard report
+//! to stdout or a file. The merging coordinator (`ba_dist::Coordinator`)
+//! spawns one of these per shard.
+//!
+//! Usage:
+//!
+//! ```text
+//! campaign_worker [--manifest FILE] [--out FILE]
+//! ```
+//!
+//! With no flags: manifest on stdin, report on stdout (the transport
+//! `ba_dist::WorkerCommand` uses). Exits non-zero with a diagnostic on
+//! stderr for undecodable manifests, unknown registry labels, or I/O
+//! failures.
+
+use std::io::Read;
+use std::process::ExitCode;
+
+use ba_bench::dist::run_manifest;
+use ba_dist::{Decode, ShardManifest};
+
+fn run() -> Result<(), String> {
+    let mut manifest_path: Option<String> = None;
+    let mut out_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--manifest" => {
+                manifest_path = Some(args.next().ok_or("--manifest needs a file path")?);
+            }
+            "--out" => out_path = Some(args.next().ok_or("--out needs a file path")?),
+            "--help" | "-h" => {
+                println!("usage: campaign_worker [--manifest FILE] [--out FILE]");
+                println!("reads a shard manifest (stdin by default), runs it on the local");
+                println!("Campaign pool, and emits the shard report (stdout by default)");
+                return Ok(());
+            }
+            other => return Err(format!("unknown argument {other:?} (see --help)")),
+        }
+    }
+
+    let input = match &manifest_path {
+        Some(path) => std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?,
+        None => {
+            let mut buf = String::new();
+            std::io::stdin()
+                .read_to_string(&mut buf)
+                .map_err(|e| format!("reading stdin: {e}"))?;
+            buf
+        }
+    };
+    let manifest = ShardManifest::from_wire(&input).map_err(|e| format!("bad manifest: {e}"))?;
+    eprintln!(
+        "campaign_worker: shard {}/{} ({} points, protocol {}, mode {})",
+        manifest.shard,
+        manifest.shards,
+        manifest.entries.len(),
+        manifest.protocol,
+        manifest.mode,
+    );
+    let report = run_manifest(&manifest)?;
+    match &out_path {
+        Some(path) => std::fs::write(path, report).map_err(|e| format!("writing {path}: {e}"))?,
+        None => print!("{report}"),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("campaign_worker: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

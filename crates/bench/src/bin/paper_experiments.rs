@@ -5,9 +5,14 @@
 //!
 //! ```text
 //! paper-experiments [fig1|fig2|tab1|tab2|thm2|lemma4|thm3|cor1|thm4|thm5|upper|exhaustive|all]
+//!                   [--shards N]
 //! ```
 //!
-//! With no argument, runs `all`.
+//! With no argument, runs `all`. With `--shards N` (N > 1), the Theorem 2
+//! falsifier sweeps are distributed over N `campaign_worker` processes via
+//! the `ba-dist` coordinator (build the worker first:
+//! `cargo build --release -p ba-bench --bin campaign_worker`); results are
+//! bit-identical to the in-process sweeps.
 
 use std::collections::BTreeSet;
 
@@ -37,7 +42,21 @@ fn header(id: &str, title: &str) {
 }
 
 fn main() {
-    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let mut section: Option<String> = None;
+    let mut shards = 1usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--shards" => {
+                shards = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--shards needs a number");
+            }
+            other => section = Some(other.to_string()),
+        }
+    }
+    let arg = section.unwrap_or_else(|| "all".to_string());
     let run_all = arg == "all";
     if run_all || arg == "fig1" {
         fig1();
@@ -52,7 +71,7 @@ fn main() {
         tab2();
     }
     if run_all || arg == "thm2" {
-        thm2();
+        thm2(shards);
     }
     if run_all || arg == "lemma4" {
         lemma4();
@@ -313,12 +332,31 @@ fn tab2() {
 
 /// EXP-T2 — Theorem 2: the falsifier verdict table + the complexity
 /// landscape. Each protocol is swept over the `(n, t)` grid **in parallel**
-/// by a `ba_sim::Campaign` (see [`falsifier_sweep`]).
-fn thm2() {
+/// by a `ba_sim::Campaign` (see [`falsifier_sweep`]); with `--shards N`,
+/// the sweep is distributed over N `campaign_worker` processes instead and
+/// reproduces the in-process results exactly.
+fn thm2(shards: usize) {
     header(
         "EXP-T2",
         "Theorem 2: falsifier verdicts and message-complexity landscape",
     );
+    let worker = if shards > 1 {
+        let located = ba_dist::WorkerCommand::locate();
+        match &located {
+            Some(w) => println!(
+                "(sweeping via {} worker processes: {})\n",
+                shards,
+                w.program().display()
+            ),
+            None => println!(
+                "(--shards {shards} requested but no campaign_worker binary found; \
+                 sweeping in-process)\n"
+            ),
+        }
+        located
+    } else {
+        None
+    };
     // The small grid plus one large-t instance where the paper's floor
     // itself condemns the sub-quadratic protocols: at (96, 88),
     // leader-echo's 2(n-1) = 190 messages sit BELOW t²/32 = 242, so
@@ -331,18 +369,30 @@ fn thm2() {
     );
     println!("{}", "-".repeat(84));
 
-    fn rows<P, F>(label: &str, grid: &[(usize, usize)], factory: F)
-    where
+    fn rows<P, F>(
+        label: &str,
+        registry_key: &str,
+        sharding: Option<(usize, &ba_dist::WorkerCommand)>,
+        grid: &[(usize, usize)],
+        factory: F,
+    ) where
         P: Protocol<Input = Bit, Output = Bit>,
         P::Msg: Payload,
         F: Fn(ProcessId) -> P + Clone + Sync,
     {
-        // The falsifier runs at every grid point concurrently; the family
+        // The falsifier runs at every grid point concurrently — across
+        // worker processes when sharding is on, else on the in-process
+        // Campaign pool (identical results either way); the family
         // complexity measurement follows serially per point.
-        let sweep = {
+        let distributed = sharding.and_then(|(shards, worker)| {
+            ba_bench::dist::distributed_falsifier_sweep(grid, registry_key, shards, worker.clone())
+                .map_err(|e| eprintln!("distributed sweep failed ({e}); running in-process"))
+                .ok()
+        });
+        let sweep = distributed.unwrap_or_else(|| {
             let factory = factory.clone();
             falsifier_sweep(grid, move |_point| factory.clone())
-        };
+        });
         for r in sweep {
             let m = measure_family_complexity(label, r.point.n, r.point.t, factory.clone());
             println!(
@@ -357,22 +407,45 @@ fn thm2() {
         println!();
     }
 
-    rows("silent-constant(1)", &grid, |_| {
-        SilentConstant::new(Bit::One)
+    let sharding = worker.as_ref().map(|w| (shards, w));
+    rows(
+        "silent-constant(1)",
+        "silent-constant-1",
+        sharding,
+        &grid,
+        |_| SilentConstant::new(Bit::One),
+    );
+    rows("own-proposal", "own-proposal", sharding, &grid, |_| {
+        OwnProposal::new()
     });
-    rows("own-proposal", &grid, |_| OwnProposal::new());
-    rows("leader-echo", &grid, |_: ProcessId| {
-        LeaderEcho::new(ProcessId(0))
-    });
+    rows(
+        "leader-echo",
+        "leader-echo",
+        sharding,
+        &grid,
+        |_: ProcessId| LeaderEcho::new(ProcessId(0)),
+    );
     // The remaining protocols are too slow at (96, 88); sweep the small grid.
     let small = &grid[..3];
-    rows("one-round-all-to-all", small, |_| OneRoundAllToAll::new());
-    rows("paranoid-echo", small, |_| ParanoidEcho::new());
-    rows("flood-set (correct)", small, |_| FloodSet::new());
+    rows(
+        "one-round-all-to-all",
+        "one-round-all-to-all",
+        sharding,
+        small,
+        |_| OneRoundAllToAll::new(),
+    );
+    rows("paranoid-echo", "paranoid-echo", sharding, small, |_| {
+        ParanoidEcho::new()
+    });
+    rows("flood-set (correct)", "flood-set", sharding, small, |_| {
+        FloodSet::new()
+    });
     for (n, t) in small.iter().copied() {
         let book = Keybook::new(n);
         rows(
             "dolev-strong (correct)",
+            "dolev-strong",
+            sharding,
             &[(n, t)],
             DolevStrong::factory(book, ProcessId(0), Bit::Zero),
         );

@@ -1,0 +1,486 @@
+//! The worker side of distributed campaign sharding, plus the
+//! coordinator-facing sweep entry points.
+//!
+//! `ba-dist` is deliberately protocol-agnostic: manifests name protocols by
+//! **label**, and this module owns the registry that resolves labels into
+//! concrete `ba-protocols` factories. Both halves of a distributed sweep run
+//! through the *same* functions here — the worker executes
+//! [`run_manifest`] on its shard, and the in-process reference paths
+//! ([`scenario_campaign_report`], [`ba_bench::falsifier_sweep`](crate::falsifier_sweep))
+//! execute the identical per-point computation — which is what makes
+//! `coordinator(k shards) == run(1 process)` an equality of values, not an
+//! approximation.
+//!
+//! ## Registry labels
+//!
+//! Scenario + falsifier protocols: `flood-set`, `dolev-strong`,
+//! `leader-echo`, `own-proposal`, `one-round-all-to-all`, `paranoid-echo`,
+//! `silent-constant-1`, and `phase-king` (requires `n > 3t` grids).
+//!
+//! Adversary labels (scenario mode): `none`, `isolation` (last process
+//! isolated from round 2), `crash` (last process crash-stops at round 2),
+//! `random-omission` (last process, seeded per-point drop coin-flips).
+//! Input labels: `default`/`zeros`, `ones`, `alternating`, `one-hot`,
+//! `random` (seeded per-point).
+
+use std::collections::BTreeMap;
+
+use ba_crypto::Keybook;
+use ba_dist::{
+    Coordinator, Decode, DistError, Encode, ShardManifest, ShardMode, ShardReport, SweepSpec,
+    WireError, WireReader, WorkerCommand,
+};
+use ba_protocols::broken::{
+    LeaderEcho, OneRoundAllToAll, OwnProposal, ParanoidEcho, SilentConstant,
+};
+use ba_protocols::{DolevStrong, FloodSet, PhaseKing};
+use ba_sim::{
+    Adversary, Bit, Campaign, CampaignPoint, CampaignReport, ProcessId, Protocol,
+    RandomOmissionPlan, Round, Scenario, SimRng,
+};
+
+use crate::{falsify_point, FalsifierSweepPoint};
+
+/// Labels resolvable by [`run_manifest`] (scenario and falsifier modes
+/// alike). `phase-king` additionally requires `n > 3t` at every grid point.
+pub const REGISTRY: &[&str] = &[
+    "flood-set",
+    "dolev-strong",
+    "leader-echo",
+    "own-proposal",
+    "one-round-all-to-all",
+    "paranoid-echo",
+    "silent-constant-1",
+    "phase-king",
+];
+
+/// Adversary labels interpreted by scenario-mode workers.
+pub const ADVERSARIES: &[&str] = &["none", "isolation", "crash", "random-omission"];
+
+/// Input-profile labels interpreted by scenario-mode workers.
+pub const INPUTS: &[&str] = &[
+    "default",
+    "zeros",
+    "ones",
+    "alternating",
+    "one-hot",
+    "random",
+];
+
+/// Executes one shard manifest and returns the encoded [`ShardReport`] —
+/// the entire body of the `campaign_worker` binary.
+///
+/// # Errors
+///
+/// Returns a human-readable message for unknown protocol / adversary /
+/// input labels (the worker prints it to stderr and exits non-zero).
+pub fn run_manifest(manifest: &ShardManifest) -> Result<String, String> {
+    let points: Vec<CampaignPoint> = manifest.entries.iter().map(|e| e.point.clone()).collect();
+    match manifest.mode {
+        ShardMode::Scenarios => {
+            let seeds: BTreeMap<CampaignPoint, u64> = manifest
+                .entries
+                .iter()
+                .map(|e| (e.point.clone(), e.seed))
+                .collect();
+            let report = scenario_report_with(
+                &points,
+                |point| seeds[point],
+                manifest.threads,
+                &manifest.protocol,
+            )?;
+            let shard_report = ShardReport {
+                shard: manifest.shard,
+                outcomes: manifest
+                    .entries
+                    .iter()
+                    .zip(report.outcomes)
+                    .map(|(entry, outcome)| (entry.index, outcome.result))
+                    .collect(),
+            };
+            Ok(shard_report.to_wire())
+        }
+        ShardMode::Falsifier => {
+            let sweep = falsifier_report_with(&points, manifest.threads, &manifest.protocol)?;
+            let shard_report = ShardReport {
+                shard: manifest.shard,
+                outcomes: manifest
+                    .entries
+                    .iter()
+                    .zip(sweep)
+                    .map(|(entry, fp)| (entry.index, Ok(fp)))
+                    .collect(),
+            };
+            Ok(shard_report.to_wire())
+        }
+    }
+}
+
+/// The in-process reference for a scenario sweep: runs the exact per-point
+/// computation distributed workers run, on one local `Campaign` pool.
+///
+/// `coordinator.run_campaign(spec) == scenario_campaign_report(…)` for the
+/// same grid, protocol, and base seed — the shard-invariance property.
+///
+/// # Errors
+///
+/// As [`run_manifest`], for unknown labels.
+pub fn scenario_campaign_report(
+    points: &[CampaignPoint],
+    protocol: &str,
+    base_seed: u64,
+    threads: usize,
+) -> Result<CampaignReport<Bit>, String> {
+    scenario_report_with(
+        points,
+        |point| ba_dist::point_seed(base_seed, point),
+        threads,
+        protocol,
+    )
+}
+
+/// The single label → factory table behind [`REGISTRY`]: binds `$factory`
+/// to the label's per-point protocol factory and evaluates `$body` with it
+/// (once, in the matching arm — each arm monomorphizes `$body` for its
+/// protocol type). Adding a protocol means one new arm here plus its label
+/// in [`REGISTRY`]; scenario and falsifier modes pick it up together.
+macro_rules! with_registry_factory {
+    ($label:expr, $factory:ident => $body:expr) => {
+        match $label {
+            "flood-set" => {
+                let $factory = |_: &CampaignPoint| |_: ProcessId| FloodSet::new();
+                Ok($body)
+            }
+            "dolev-strong" => {
+                let $factory = |point: &CampaignPoint| {
+                    DolevStrong::factory(Keybook::new(point.n), ProcessId(0), Bit::Zero)
+                };
+                Ok($body)
+            }
+            "leader-echo" => {
+                let $factory = |_: &CampaignPoint| |_: ProcessId| LeaderEcho::new(ProcessId(0));
+                Ok($body)
+            }
+            "own-proposal" => {
+                let $factory = |_: &CampaignPoint| |_: ProcessId| OwnProposal::new();
+                Ok($body)
+            }
+            "one-round-all-to-all" => {
+                let $factory = |_: &CampaignPoint| |_: ProcessId| OneRoundAllToAll::new();
+                Ok($body)
+            }
+            "paranoid-echo" => {
+                let $factory = |_: &CampaignPoint| |_: ProcessId| ParanoidEcho::new();
+                Ok($body)
+            }
+            "silent-constant-1" => {
+                let $factory = |_: &CampaignPoint| |_: ProcessId| SilentConstant::new(Bit::One);
+                Ok($body)
+            }
+            "phase-king" => {
+                let $factory = |point: &CampaignPoint| {
+                    let (n, t) = (point.n, point.t);
+                    move |_: ProcessId| PhaseKing::new(n, t)
+                };
+                Ok($body)
+            }
+            other => Err(format!(
+                "unknown protocol label {other:?} (known: {REGISTRY:?})"
+            )),
+        }
+    };
+}
+
+fn scenario_report_with<S>(
+    points: &[CampaignPoint],
+    seed_of: S,
+    threads: usize,
+    protocol: &str,
+) -> Result<CampaignReport<Bit>, String>
+where
+    S: Fn(&CampaignPoint) -> u64 + Sync,
+{
+    validate_labels(points)?;
+    with_registry_factory!(protocol, factory => run_points(points, &seed_of, threads, factory))
+}
+
+fn falsifier_report_with(
+    points: &[CampaignPoint],
+    threads: usize,
+    protocol: &str,
+) -> Result<Vec<FalsifierSweepPoint>, String> {
+    with_registry_factory!(protocol, factory => falsify_points(points, threads, factory))
+}
+
+fn validate_labels(points: &[CampaignPoint]) -> Result<(), String> {
+    for point in points {
+        if !ADVERSARIES.contains(&point.adversary.as_str()) {
+            return Err(format!(
+                "unknown adversary label {:?} at {point} (known: {ADVERSARIES:?})",
+                point.adversary
+            ));
+        }
+        if !INPUTS.contains(&point.inputs.as_str()) {
+            return Err(format!(
+                "unknown input label {:?} at {point} (known: {INPUTS:?})",
+                point.inputs
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn run_points<P, F, G, S>(
+    points: &[CampaignPoint],
+    seed_of: S,
+    threads: usize,
+    factory: G,
+) -> CampaignReport<Bit>
+where
+    P: Protocol<Input = Bit, Output = Bit>,
+    F: Fn(ProcessId) -> P,
+    G: Fn(&CampaignPoint) -> F + Sync,
+    S: Fn(&CampaignPoint) -> u64 + Sync,
+{
+    let mut campaign = Campaign::over(points.to_vec());
+    if threads > 0 {
+        campaign = campaign.threads(threads);
+    }
+    campaign.run_scenarios(|point| {
+        let seed = seed_of(point);
+        let n = point.n;
+        let scenario = Scenario::new(point.n, point.t).protocol(factory(point));
+        let scenario = match point.inputs.as_str() {
+            "ones" => scenario.uniform_input(Bit::One),
+            "alternating" => scenario.inputs((0..n).map(|i| Bit::from(i % 2 == 1))),
+            "one-hot" => scenario.inputs((0..n).map(|i| Bit::from(i == 0))),
+            "random" => {
+                let mut rng = SimRng::seed_from_u64(seed ^ 0x1);
+                scenario.inputs((0..n).map(|_| Bit::from(rng.gen_bool(0.5))))
+            }
+            // "default" / "zeros" (labels were validated up front).
+            _ => scenario.uniform_input(Bit::Zero),
+        };
+        let last = ProcessId(n.saturating_sub(1));
+        match point.adversary.as_str() {
+            "isolation" => scenario.adversary(Adversary::isolation([last], Round(2))),
+            "crash" => scenario.adversary(Adversary::crash([(last, Round(2))])),
+            "random-omission" => scenario.adversary(Adversary::omission(
+                [last],
+                RandomOmissionPlan::new([last], 0.25, 0.25, seed ^ 0x2),
+            )),
+            // "none" (validated up front).
+            _ => scenario,
+        }
+    })
+}
+
+fn falsify_points<P, F, G>(
+    points: &[CampaignPoint],
+    threads: usize,
+    factory: G,
+) -> Vec<FalsifierSweepPoint>
+where
+    P: Protocol<Input = Bit, Output = Bit>,
+    F: Fn(ProcessId) -> P,
+    G: Fn(&CampaignPoint) -> F + Sync,
+{
+    let mut campaign = Campaign::over(points.to_vec());
+    if threads > 0 {
+        campaign = campaign.threads(threads);
+    }
+    campaign
+        .map(|point| falsify_point(point, factory(point)))
+        .into_iter()
+        .map(|(_, fp)| fp)
+        .collect()
+}
+
+/// Runs a scenario sweep distributed over `shards` worker processes and
+/// reassembles the exact single-process [`CampaignReport`].
+///
+/// # Errors
+///
+/// Any [`DistError`] from spawning, transport, decoding, or merging.
+pub fn distributed_scenario_sweep(
+    points: &[CampaignPoint],
+    protocol: &str,
+    base_seed: u64,
+    shards: usize,
+    worker: WorkerCommand,
+) -> Result<CampaignReport<Bit>, DistError> {
+    let spec = SweepSpec::scenarios(points.to_vec(), protocol).base_seed(base_seed);
+    Coordinator::new(worker, shards).run_campaign(&spec)
+}
+
+/// Runs the Theorem 2 falsifier sweep distributed over `shards` worker
+/// processes; reproduces [`falsifier_sweep`](crate::falsifier_sweep) over
+/// the same `(n, t)` grid exactly.
+///
+/// # Errors
+///
+/// Any [`DistError`] from spawning, transport, decoding, or merging.
+///
+/// # Panics
+///
+/// Panics if a worker reports a simulator error for a point — mirroring the
+/// in-process sweep, which panics on simulator errors (protocol bugs).
+pub fn distributed_falsifier_sweep(
+    nts: &[(usize, usize)],
+    protocol: &str,
+    shards: usize,
+    worker: WorkerCommand,
+) -> Result<Vec<FalsifierSweepPoint>, DistError> {
+    let points = crate::falsifier_points(nts);
+    let spec = SweepSpec::falsifier(points, protocol);
+    let merged = Coordinator::new(worker, shards).run::<FalsifierSweepPoint>(&spec)?;
+    Ok(merged
+        .into_iter()
+        .map(|outcome| outcome.expect("falsifier run"))
+        .collect())
+}
+
+impl Encode for FalsifierSweepPoint {
+    fn encode(&self, out: &mut String) {
+        out.push_str(&format!(
+            "fpoint refuted={} verdict={} max={} bound={}\n",
+            self.refuted,
+            ba_dist::wire::escape(&self.verdict),
+            self.max_message_complexity,
+            self.paper_bound,
+        ));
+        self.point.encode(out);
+    }
+}
+
+impl Decode for FalsifierSweepPoint {
+    fn decode(reader: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let rec = reader.record("fpoint")?;
+        let refuted = rec.parse_field("refuted")?;
+        let verdict = rec.text("verdict")?;
+        let max_message_complexity = rec.parse_field("max")?;
+        let paper_bound = rec.parse_field("bound")?;
+        let point = CampaignPoint::decode(reader)?;
+        Ok(FalsifierSweepPoint {
+            point,
+            refuted,
+            verdict,
+            max_message_complexity,
+            paper_bound,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ba_dist::plan_shards;
+
+    fn mixed_grid() -> Vec<CampaignPoint> {
+        Campaign::grid(
+            [(4, 1), (5, 1), (6, 2)],
+            &["none", "isolation", "crash", "random-omission"],
+            &["zeros", "ones", "random"],
+        )
+        .points()
+        .to_vec()
+    }
+
+    #[test]
+    fn falsifier_sweep_points_round_trip_on_the_wire() {
+        let fp = FalsifierSweepPoint {
+            point: CampaignPoint::new(8, 2).with_adversary("theorem-2-families"),
+            refuted: true,
+            verdict: "REFUTED (agreement violation)".into(),
+            max_message_complexity: 14,
+            paper_bound: 0,
+        };
+        let decoded = FalsifierSweepPoint::from_wire(&fp.to_wire()).unwrap();
+        assert_eq!(decoded, fp);
+    }
+
+    #[test]
+    fn manifest_execution_matches_the_in_process_reference() {
+        let points = mixed_grid();
+        let spec = SweepSpec::scenarios(points.clone(), "flood-set").base_seed(0xD15C);
+        let reference = scenario_campaign_report(&points, "flood-set", 0xD15C, 1).unwrap();
+        // Execute every shard of a 3-way split in this process and merge.
+        let reports: Vec<ShardReport<ba_sim::ScenarioStats<Bit>>> = plan_shards(&spec, 3)
+            .iter()
+            .map(|m| {
+                let wire = run_manifest(m).unwrap();
+                ShardReport::from_wire(&wire).unwrap()
+            })
+            .collect();
+        let merged = ba_dist::merge_campaign_report(&points, reports).unwrap();
+        assert_eq!(merged, reference);
+    }
+
+    #[test]
+    fn unknown_labels_are_rejected_with_helpful_messages() {
+        let bad_protocol = run_manifest(
+            &plan_shards(
+                &SweepSpec::scenarios(vec![CampaignPoint::new(4, 1)], "no-such-protocol"),
+                1,
+            )[0],
+        );
+        assert!(bad_protocol.unwrap_err().contains("no-such-protocol"));
+
+        let bad_adversary = scenario_campaign_report(
+            &[CampaignPoint::new(4, 1).with_adversary("meteor-strike")],
+            "flood-set",
+            0,
+            1,
+        );
+        assert!(bad_adversary.unwrap_err().contains("meteor-strike"));
+
+        let bad_inputs = scenario_campaign_report(
+            &[CampaignPoint::new(4, 1).with_inputs("seventeen")],
+            "flood-set",
+            0,
+            1,
+        );
+        assert!(bad_inputs.unwrap_err().contains("seventeen"));
+    }
+
+    #[test]
+    fn every_registry_protocol_resolves_in_both_modes() {
+        // n = 13, t = 2 satisfies every registry constraint (incl. n > 3t)
+        // and t ≥ 2 keeps the falsifier's family construction non-trivial.
+        let points = vec![CampaignPoint::new(13, 2)
+            .with_adversary("none")
+            .with_inputs("ones")];
+        for label in REGISTRY {
+            let report = scenario_campaign_report(&points, label, 1, 1)
+                .unwrap_or_else(|e| panic!("{label}: {e}"));
+            assert_eq!(report.outcomes.len(), 1, "{label}");
+            let sweep = falsifier_report_with(&points, 1, label).unwrap();
+            assert_eq!(sweep.len(), 1, "{label}");
+        }
+    }
+
+    #[test]
+    fn seeded_labels_are_deterministic_and_seed_sensitive() {
+        let points: Vec<CampaignPoint> = (6..12)
+            .map(|n| {
+                CampaignPoint::new(n, 1)
+                    .with_adversary("random-omission")
+                    .with_inputs("random")
+            })
+            .collect();
+        let a = scenario_campaign_report(&points, "flood-set", 7, 1).unwrap();
+        let b = scenario_campaign_report(&points, "flood-set", 7, 1).unwrap();
+        assert_eq!(a, b, "same base seed must reproduce exactly");
+        // Different base seed → different per-point seeds, hence different
+        // coin flips; across six points the aggregate stats diverge.
+        for (p, q) in points.iter().zip(&points) {
+            assert_eq!(ba_dist::point_seed(7, p), ba_dist::point_seed(7, q));
+        }
+        assert_ne!(
+            ba_dist::point_seed(7, &points[0]),
+            ba_dist::point_seed(8, &points[0])
+        );
+        let c = scenario_campaign_report(&points, "flood-set", 8, 1).unwrap();
+        assert_ne!(a, c, "different base seeds should diverge");
+    }
+}

@@ -7,6 +7,7 @@ use ba_sim::{
     Bit, Campaign, CampaignPoint, ExecutorConfig, Payload, ProcessId, Protocol, Round, Scenario,
 };
 
+pub mod dist;
 pub mod harness;
 
 /// A labeled measurement of one protocol's observed message complexity.
@@ -131,9 +132,56 @@ pub struct FalsifierSweepPoint {
     pub paper_bound: u64,
 }
 
+/// The canonical falsifier-sweep grid over `(n, t)` points: one labeled
+/// [`CampaignPoint`] per pair. Both the in-process [`falsifier_sweep`] and
+/// the distributed [`dist::distributed_falsifier_sweep`] sweep exactly these
+/// points, which is what makes their results comparable value-for-value.
+pub(crate) fn falsifier_points(nts: &[(usize, usize)]) -> Vec<CampaignPoint> {
+    Campaign::grid(nts.iter().copied(), &["theorem-2-families"], &["uniform"])
+        .points()
+        .to_vec()
+}
+
+/// Runs the Theorem 2 falsifier at one grid point — the unit of work shared
+/// by [`falsifier_sweep`] and the `campaign_worker` shard executor.
+///
+/// # Panics
+///
+/// Panics on simulator errors (protocol bugs).
+pub(crate) fn falsify_point<P, F>(point: &CampaignPoint, factory: F) -> FalsifierSweepPoint
+where
+    P: Protocol<Input = Bit, Output = Bit>,
+    F: Fn(ProcessId) -> P,
+{
+    let cfg = FalsifierConfig::new(point.n, point.t);
+    let verdict = falsify(&cfg, factory).expect("falsifier run");
+    match verdict {
+        Verdict::Violation(cert) => {
+            cert.verify().expect("certificate must re-verify");
+            FalsifierSweepPoint {
+                point: point.clone(),
+                refuted: true,
+                verdict: format!("REFUTED ({})", cert.kind),
+                max_message_complexity: cert.execution.message_complexity(),
+                paper_bound: cfg.paper_bound(),
+            }
+        }
+        Verdict::Survived(report) => FalsifierSweepPoint {
+            point: point.clone(),
+            refuted: false,
+            verdict: "survived".into(),
+            max_message_complexity: report.max_message_complexity,
+            paper_bound: cfg.paper_bound(),
+        },
+    }
+}
+
 /// Runs the Theorem 2 falsifier over a grid of `(n, t)` points **in
 /// parallel** via [`Campaign::map`] — the batchable sweep interface the
-/// old per-point loops in `paper_experiments` hand-rolled.
+/// old per-point loops in `paper_experiments` hand-rolled. For sweeps too
+/// large for one process, [`dist::distributed_falsifier_sweep`] shards the
+/// same grid across `campaign_worker` processes and reproduces this
+/// function's results exactly.
 ///
 /// `factory` builds, per grid point, the per-process protocol factory.
 ///
@@ -146,30 +194,8 @@ where
     F: Fn(ProcessId) -> P,
     G: Fn(&CampaignPoint) -> F + Sync,
 {
-    Campaign::grid(nts.iter().copied(), &["theorem-2-families"], &["uniform"])
-        .map(|point| {
-            let cfg = FalsifierConfig::new(point.n, point.t);
-            let verdict = falsify(&cfg, factory(point)).expect("falsifier run");
-            match verdict {
-                Verdict::Violation(cert) => {
-                    cert.verify().expect("certificate must re-verify");
-                    FalsifierSweepPoint {
-                        point: point.clone(),
-                        refuted: true,
-                        verdict: format!("REFUTED ({})", cert.kind),
-                        max_message_complexity: cert.execution.message_complexity(),
-                        paper_bound: cfg.paper_bound(),
-                    }
-                }
-                Verdict::Survived(report) => FalsifierSweepPoint {
-                    point: point.clone(),
-                    refuted: false,
-                    verdict: "survived".into(),
-                    max_message_complexity: report.max_message_complexity,
-                    paper_bound: cfg.paper_bound(),
-                },
-            }
-        })
+    Campaign::over(falsifier_points(nts))
+        .map(|point| falsify_point(point, factory(point)))
         .into_iter()
         .map(|(_, r)| r)
         .collect()

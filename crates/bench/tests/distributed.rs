@@ -1,0 +1,168 @@
+//! End-to-end tests of distributed campaign sharding against the real
+//! `campaign_worker` binary (located via `CARGO_BIN_EXE_campaign_worker`).
+//!
+//! The load-bearing property: a sweep sharded over k worker *processes*
+//! merges into the **identical** value — stats, violations, message
+//! complexity, grid order — as the same sweep in one process, for every k.
+
+use ba_bench::dist::{
+    distributed_falsifier_sweep, distributed_scenario_sweep, scenario_campaign_report,
+};
+use ba_bench::falsifier_sweep;
+use ba_dist::{Coordinator, ShardMode, SweepSpec, WorkerCommand};
+use ba_protocols::broken::LeaderEcho;
+use ba_sim::{Campaign, CampaignPoint, ProcessId};
+
+fn worker() -> WorkerCommand {
+    WorkerCommand::new(env!("CARGO_BIN_EXE_campaign_worker"))
+}
+
+/// A mixed-adversary, mixed-input grid: every adversary flavor the worker
+/// registry interprets, including the seeded one.
+fn mixed_grid() -> Vec<CampaignPoint> {
+    Campaign::grid(
+        [(4, 1), (5, 1), (6, 2), (7, 2)],
+        &["none", "isolation", "crash", "random-omission"],
+        &["ones", "alternating", "random"],
+    )
+    .points()
+    .to_vec()
+}
+
+#[test]
+fn sharded_scenario_sweeps_are_invariant_in_shard_count() {
+    let points = mixed_grid();
+    let base_seed = 0xBA5E_D15C;
+    // In-process reference: the exact computation the workers run, on one
+    // local Campaign pool.
+    let reference =
+        scenario_campaign_report(&points, "flood-set", base_seed, 0).expect("reference sweep");
+    // The same sweep through the full coordinator → worker-process → merge
+    // pipeline, at two shard counts.
+    let one = distributed_scenario_sweep(&points, "flood-set", base_seed, 1, worker())
+        .expect("1-shard sweep");
+    let four = distributed_scenario_sweep(&points, "flood-set", base_seed, 4, worker())
+        .expect("4-shard sweep");
+    assert_eq!(one, reference, "coordinator(k=1) must equal in-process run");
+    assert_eq!(
+        four, reference,
+        "coordinator(k=4) must equal in-process run"
+    );
+    // Spot-check that the equality is over real content: the grid exercises
+    // faults, so some traffic was actually dropped somewhere.
+    assert_eq!(reference.outcomes.len(), points.len());
+    assert!(reference.total_message_complexity() > 0);
+    assert!(
+        reference
+            .stats()
+            .any(|(_, s)| s.total_messages > s.message_complexity),
+        "the mixed grid should produce faulty-process traffic"
+    );
+}
+
+#[test]
+fn distributed_falsifier_sweep_reproduces_the_single_process_sweep() {
+    // ≥ 4 (n, t) points, 4 shards — the acceptance grid of the sharding
+    // subsystem. Leader-echo is refuted at every point.
+    let nts = [(8usize, 2usize), (10, 2), (12, 4), (16, 8), (14, 4)];
+    let local = falsifier_sweep(&nts, |_point| |_: ProcessId| LeaderEcho::new(ProcessId(0)));
+    let distributed = distributed_falsifier_sweep(&nts, "leader-echo", 4, worker())
+        .expect("4-shard falsifier sweep");
+    assert_eq!(distributed, local);
+    assert_eq!(distributed.len(), nts.len());
+    for point in &distributed {
+        assert!(
+            point.refuted,
+            "leader-echo must be refuted at {}",
+            point.point
+        );
+    }
+}
+
+#[test]
+fn worker_processes_run_shards_concurrently_with_retries_enabled() {
+    // Exercise the coordinator's threaded dispatch path with more shards
+    // than points in some shards (k > points ⇒ k clamps to the grid size).
+    let points: Vec<CampaignPoint> = (4..10)
+        .map(|n| CampaignPoint::new(n, 1).with_inputs("ones"))
+        .collect();
+    let spec = SweepSpec::scenarios(points.clone(), "dolev-strong").base_seed(3);
+    let report = Coordinator::new(worker(), 16)
+        .retries(1)
+        .run_campaign(&spec)
+        .expect("over-sharded sweep");
+    assert!(report.all_clean(), "{}", report.summary());
+    assert_eq!(
+        report,
+        scenario_campaign_report(&points, "dolev-strong", 3, 0).unwrap()
+    );
+}
+
+#[test]
+fn worker_binary_supports_file_based_manifests() {
+    // The --manifest/--out flags are the file transport for runs where
+    // shards are dispatched out-of-band (e.g. a batch queue).
+    use ba_dist::{plan_shards, Decode, Encode, ShardReport};
+    use ba_sim::{Bit, ScenarioStats};
+
+    let spec = SweepSpec::scenarios(mixed_grid(), "flood-set").base_seed(99);
+    let manifest = &plan_shards(&spec, 2)[1];
+    let dir = std::env::temp_dir();
+    let manifest_path = dir.join("ba_dist_test_manifest.wire");
+    let out_path = dir.join("ba_dist_test_report.wire");
+    std::fs::write(&manifest_path, manifest.to_wire()).unwrap();
+
+    let status = std::process::Command::new(env!("CARGO_BIN_EXE_campaign_worker"))
+        .arg("--manifest")
+        .arg(&manifest_path)
+        .arg("--out")
+        .arg(&out_path)
+        .status()
+        .expect("spawn worker");
+    assert!(status.success());
+
+    let report: ShardReport<ScenarioStats<Bit>> =
+        ShardReport::from_wire(&std::fs::read_to_string(&out_path).unwrap()).unwrap();
+    assert_eq!(report.shard, 1);
+    assert_eq!(report.outcomes.len(), manifest.entries.len());
+    let _ = std::fs::remove_file(manifest_path);
+    let _ = std::fs::remove_file(out_path);
+}
+
+#[test]
+fn worker_binary_rejects_garbage_and_unknown_labels() {
+    use ba_dist::{plan_shards, Encode};
+    use std::io::Write;
+    use std::process::Stdio;
+
+    let run_with_stdin = |input: &str| -> std::process::Output {
+        let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_campaign_worker"))
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("spawn worker");
+        child
+            .stdin
+            .take()
+            .unwrap()
+            .write_all(input.as_bytes())
+            .unwrap();
+        child.wait_with_output().unwrap()
+    };
+
+    let garbage = run_with_stdin("this is not a manifest\n");
+    assert!(!garbage.status.success());
+    assert!(String::from_utf8_lossy(&garbage.stderr).contains("bad manifest"));
+
+    let spec = SweepSpec {
+        points: vec![CampaignPoint::new(4, 1)],
+        mode: ShardMode::Scenarios,
+        protocol: "no-such-protocol".into(),
+        base_seed: 0,
+        worker_threads: 1,
+    };
+    let unknown = run_with_stdin(&plan_shards(&spec, 1)[0].to_wire());
+    assert!(!unknown.status.success());
+    assert!(String::from_utf8_lossy(&unknown.stderr).contains("no-such-protocol"));
+}

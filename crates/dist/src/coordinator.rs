@@ -1,0 +1,551 @@
+//! The merging coordinator: spawns one worker per shard, streams their
+//! encoded reports back, retries failed shards, and reassembles the global
+//! result.
+//!
+//! The coordinator is transport-agnostic: a [`ShardRunner`] turns a
+//! [`ShardManifest`] into an encoded [`ShardReport`] string. The production
+//! transport is [`WorkerCommand`], which launches a worker binary via
+//! [`std::process::Command`], writes the manifest to its stdin, and reads
+//! the report from its stdout — the shape that later lets shards land on
+//! separate machines behind `ssh host campaign_worker`. Tests inject
+//! closure runners (including flaky ones) to exercise retry and merge logic
+//! without processes.
+
+use std::error::Error;
+use std::fmt;
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+
+use ba_sim::{Bit, CampaignReport, ScenarioStats, SimError};
+
+use crate::shard::{
+    assemble_campaign_report, merge_reports, plan_shards, ShardManifest, SweepSpec,
+};
+use crate::wire::{Decode, Encode, WireError};
+
+/// A distributed-sweep failure.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum DistError {
+    /// A worker could not be spawned or its pipes broke.
+    Spawn {
+        /// The shard being attempted.
+        shard: usize,
+        /// The OS error text.
+        detail: String,
+    },
+    /// A worker exited unsuccessfully.
+    WorkerFailed {
+        /// The shard being attempted.
+        shard: usize,
+        /// The worker's exit code, if any.
+        code: Option<i32>,
+        /// Captured (truncated) stderr.
+        stderr: String,
+    },
+    /// A worker's output did not decode as a shard report.
+    Wire {
+        /// The shard being attempted.
+        shard: usize,
+        /// The decode failure.
+        error: WireError,
+    },
+    /// A report claimed a different shard index than the manifest it was
+    /// produced from.
+    ShardMismatch {
+        /// The shard the coordinator dispatched.
+        expected: usize,
+        /// The shard index the report claimed.
+        got: usize,
+    },
+    /// A shard kept failing after all retries.
+    Exhausted {
+        /// The failing shard.
+        shard: usize,
+        /// Number of attempts made.
+        attempts: usize,
+        /// The final attempt's failure, rendered.
+        last: String,
+    },
+    /// The merged reports left a grid index uncovered.
+    MissingPoint {
+        /// The first uncovered global index.
+        index: usize,
+    },
+    /// Two reports covered the same grid index.
+    DuplicatePoint {
+        /// The doubly-covered global index.
+        index: usize,
+    },
+    /// A report covered an index outside the grid.
+    StrayPoint {
+        /// The out-of-range global index.
+        index: usize,
+    },
+}
+
+impl fmt::Display for DistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistError::Spawn { shard, detail } => {
+                write!(f, "shard {shard}: failed to spawn worker: {detail}")
+            }
+            DistError::WorkerFailed {
+                shard,
+                code,
+                stderr,
+            } => {
+                write!(f, "shard {shard}: worker exited with status {code:?}")?;
+                if !stderr.is_empty() {
+                    write!(f, "; stderr: {stderr}")?;
+                }
+                Ok(())
+            }
+            DistError::Wire { shard, error } => {
+                write!(f, "shard {shard}: undecodable report: {error}")
+            }
+            DistError::ShardMismatch { expected, got } => {
+                write!(f, "dispatched shard {expected} but report claims {got}")
+            }
+            DistError::Exhausted {
+                shard,
+                attempts,
+                last,
+            } => write!(
+                f,
+                "shard {shard} failed all {attempts} attempts; last: {last}"
+            ),
+            DistError::MissingPoint { index } => {
+                write!(f, "merged reports leave grid point {index} uncovered")
+            }
+            DistError::DuplicatePoint { index } => {
+                write!(f, "grid point {index} covered by more than one report")
+            }
+            DistError::StrayPoint { index } => {
+                write!(f, "report covers index {index} outside the grid")
+            }
+        }
+    }
+}
+
+impl Error for DistError {}
+
+/// A transport that executes one shard and returns the worker's raw encoded
+/// [`ShardReport`].
+pub trait ShardRunner: Sync {
+    /// Executes `manifest` and returns the encoded report.
+    ///
+    /// # Errors
+    ///
+    /// Any [`DistError`]; the coordinator retries failed shards.
+    fn run_shard(&self, manifest: &ShardManifest) -> Result<String, DistError>;
+}
+
+impl<F> ShardRunner for F
+where
+    F: Fn(&ShardManifest) -> Result<String, DistError> + Sync,
+{
+    fn run_shard(&self, manifest: &ShardManifest) -> Result<String, DistError> {
+        self(manifest)
+    }
+}
+
+/// The process transport: one worker binary invocation per shard, manifest
+/// on stdin, report on stdout.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct WorkerCommand {
+    program: PathBuf,
+    args: Vec<String>,
+}
+
+impl WorkerCommand {
+    /// A worker launched as `program [args…]`.
+    pub fn new(program: impl Into<PathBuf>) -> Self {
+        WorkerCommand {
+            program: program.into(),
+            args: Vec::new(),
+        }
+    }
+
+    /// Appends a fixed argument to every invocation.
+    pub fn arg(mut self, arg: impl Into<String>) -> Self {
+        self.args.push(arg.into());
+        self
+    }
+
+    /// The worker program path.
+    pub fn program(&self) -> &Path {
+        &self.program
+    }
+
+    /// Locates the stock `campaign_worker` binary: `$CAMPAIGN_WORKER` if
+    /// set, else a `campaign_worker` executable next to the current
+    /// executable or in its parent directory (where cargo places workspace
+    /// binaries relative to test and example executables).
+    pub fn locate() -> Option<Self> {
+        if let Ok(path) = std::env::var("CAMPAIGN_WORKER") {
+            return Some(WorkerCommand::new(path));
+        }
+        let exe = std::env::current_exe().ok()?;
+        let name = format!("campaign_worker{}", std::env::consts::EXE_SUFFIX);
+        let mut dir = exe.parent();
+        while let Some(d) = dir {
+            let candidate = d.join(&name);
+            if candidate.is_file() {
+                return Some(WorkerCommand::new(candidate));
+            }
+            // `target/<profile>/{deps,examples}/…` → `target/<profile>/`.
+            if d.file_name().is_some_and(|n| n == "target") {
+                break;
+            }
+            dir = d.parent();
+        }
+        None
+    }
+}
+
+impl ShardRunner for WorkerCommand {
+    fn run_shard(&self, manifest: &ShardManifest) -> Result<String, DistError> {
+        let shard = manifest.shard;
+        let spawn_err = |e: std::io::Error| DistError::Spawn {
+            shard,
+            detail: e.to_string(),
+        };
+        let mut child = Command::new(&self.program)
+            .args(&self.args)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .map_err(spawn_err)?;
+
+        // Feed the manifest and close stdin so the worker sees EOF.
+        let wire = manifest.to_wire();
+        child
+            .stdin
+            .take()
+            .expect("stdin was piped")
+            .write_all(wire.as_bytes())
+            .map_err(spawn_err)?;
+
+        // Drain stderr on a helper thread so neither pipe can deadlock,
+        // streaming stdout (the report) on this one.
+        let mut stderr_pipe = child.stderr.take().expect("stderr was piped");
+        let stderr_thread = std::thread::spawn(move || {
+            let mut buf = String::new();
+            let _ = stderr_pipe.read_to_string(&mut buf);
+            buf
+        });
+        let mut stdout = String::new();
+        child
+            .stdout
+            .take()
+            .expect("stdout was piped")
+            .read_to_string(&mut stdout)
+            .map_err(spawn_err)?;
+        let status = child.wait().map_err(spawn_err)?;
+        let stderr = stderr_thread.join().unwrap_or_default();
+        if !status.success() {
+            return Err(DistError::WorkerFailed {
+                shard,
+                code: status.code(),
+                stderr: truncate_lossy(stderr.trim(), 512),
+            });
+        }
+        Ok(stdout)
+    }
+}
+
+/// Truncates to at most `max_len` bytes, backing off to the nearest char
+/// boundary (a blunt `String::truncate` panics mid-char).
+fn truncate_lossy(text: &str, max_len: usize) -> String {
+    let mut cut = max_len.min(text.len());
+    while !text.is_char_boundary(cut) {
+        cut -= 1;
+    }
+    text[..cut].to_string()
+}
+
+/// The merging coordinator: plans shards, dispatches them concurrently over
+/// a [`ShardRunner`], retries failures, and merges the reports.
+pub struct Coordinator<R> {
+    runner: R,
+    shards: usize,
+    retries: usize,
+}
+
+impl<R: ShardRunner> Coordinator<R> {
+    /// A coordinator splitting sweeps into `shards` shards (clamped to at
+    /// least 1), with one retry per shard by default.
+    pub fn new(runner: R, shards: usize) -> Self {
+        Coordinator {
+            runner,
+            shards: shards.max(1),
+            retries: 1,
+        }
+    }
+
+    /// Sets how many times a failed shard is re-dispatched (0 = fail fast).
+    pub fn retries(mut self, retries: usize) -> Self {
+        self.retries = retries;
+        self
+    }
+
+    /// The configured shard count.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Runs the sweep and returns per-point outcomes in global grid order.
+    ///
+    /// Workers run concurrently (one thread per shard streaming that
+    /// worker's report); each shard is attempted up to `1 + retries` times;
+    /// the reports are merged index-stably, so the result is identical to a
+    /// single-process sweep of the same grid.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first shard's [`DistError`] if it exhausts its retries,
+    /// or a merge error if the reports do not tile the grid.
+    pub fn run<T: Decode + Send>(
+        &self,
+        spec: &SweepSpec,
+    ) -> Result<Vec<Result<T, SimError>>, DistError> {
+        let manifests = plan_shards(spec, self.shards);
+        let reports = std::thread::scope(|scope| {
+            let handles: Vec<_> = manifests
+                .iter()
+                .map(|manifest| scope.spawn(move || self.run_shard_with_retry::<T>(manifest)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard thread panicked"))
+                .collect::<Result<Vec<_>, DistError>>()
+        })?;
+        merge_reports(spec.points.len(), reports)
+    }
+
+    /// Runs a [`ShardMode::Scenarios`](crate::ShardMode::Scenarios) sweep
+    /// and reassembles the exact `CampaignReport` a single-process
+    /// [`ba_sim::Campaign::run_scenarios`] over the same grid produces.
+    ///
+    /// # Errors
+    ///
+    /// As [`Coordinator::run`].
+    pub fn run_campaign(&self, spec: &SweepSpec) -> Result<CampaignReport<Bit>, DistError> {
+        let merged = self.run::<ScenarioStats<Bit>>(spec)?;
+        Ok(assemble_campaign_report(&spec.points, merged))
+    }
+
+    fn run_shard_with_retry<T: Decode>(
+        &self,
+        manifest: &ShardManifest,
+    ) -> Result<crate::shard::ShardReport<T>, DistError> {
+        let attempts = 1 + self.retries;
+        let mut last: Option<DistError> = None;
+        for _ in 0..attempts {
+            match self.attempt::<T>(manifest) {
+                Ok(report) => return Ok(report),
+                Err(e) => last = Some(e),
+            }
+        }
+        let last = last.expect("at least one attempt was made");
+        Err(DistError::Exhausted {
+            shard: manifest.shard,
+            attempts,
+            last: last.to_string(),
+        })
+    }
+
+    fn attempt<T: Decode>(
+        &self,
+        manifest: &ShardManifest,
+    ) -> Result<crate::shard::ShardReport<T>, DistError> {
+        let raw = self.runner.run_shard(manifest)?;
+        let report =
+            crate::shard::ShardReport::<T>::from_wire(&raw).map_err(|error| DistError::Wire {
+                shard: manifest.shard,
+                error,
+            })?;
+        if report.shard != manifest.shard {
+            return Err(DistError::ShardMismatch {
+                expected: manifest.shard,
+                got: report.shard,
+            });
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shard::{ShardEntry, ShardReport};
+    use crate::wire::WireReader;
+    use ba_sim::CampaignPoint;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// A minimal wire type for transport-level tests.
+    #[derive(Clone, Copy, PartialEq, Eq, Debug)]
+    struct Tok(u64);
+
+    impl Encode for Tok {
+        fn encode(&self, out: &mut String) {
+            out.push_str(&format!("tok v={}\n", self.0));
+        }
+    }
+
+    impl Decode for Tok {
+        fn decode(reader: &mut WireReader<'_>) -> Result<Self, WireError> {
+            Ok(Tok(reader.record("tok")?.parse_field("v")?))
+        }
+    }
+
+    fn spec(len: usize) -> SweepSpec {
+        SweepSpec::scenarios((0..len).map(|i| CampaignPoint::new(4 + i, 1)), "test")
+    }
+
+    /// An in-process runner computing `Tok(seed ^ index)` per entry.
+    fn echo_runner(manifest: &ShardManifest) -> Result<String, DistError> {
+        let report = ShardReport {
+            shard: manifest.shard,
+            outcomes: manifest
+                .entries
+                .iter()
+                .map(|e: &ShardEntry| (e.index, Ok(Tok(e.seed ^ e.index as u64))))
+                .collect(),
+        };
+        Ok(report.to_wire())
+    }
+
+    #[test]
+    fn coordinator_merges_shards_into_grid_order() {
+        let spec = spec(11);
+        let one = Coordinator::new(echo_runner, 1).run::<Tok>(&spec).unwrap();
+        let four = Coordinator::new(echo_runner, 4).run::<Tok>(&spec).unwrap();
+        let many = Coordinator::new(echo_runner, 64).run::<Tok>(&spec).unwrap();
+        assert_eq!(one.len(), 11);
+        assert_eq!(one, four);
+        assert_eq!(one, many);
+    }
+
+    #[test]
+    fn coordinator_retries_flaky_shards() {
+        // Every shard's *first* attempt fails; the retry succeeds.
+        let attempts: Vec<AtomicUsize> = (0..3).map(|_| AtomicUsize::new(0)).collect();
+        let flaky = |manifest: &ShardManifest| -> Result<String, DistError> {
+            if attempts[manifest.shard].fetch_add(1, Ordering::SeqCst) == 0 {
+                return Err(DistError::Spawn {
+                    shard: manifest.shard,
+                    detail: "injected".into(),
+                });
+            }
+            echo_runner(manifest)
+        };
+        let spec = spec(6);
+        let result = Coordinator::new(&flaky, 3).retries(1).run::<Tok>(&spec);
+        assert!(result.is_ok(), "{result:?}");
+        for a in &attempts {
+            assert_eq!(a.load(Ordering::SeqCst), 2);
+        }
+    }
+
+    #[test]
+    fn coordinator_reports_exhaustion_with_the_last_error() {
+        let always_fail = |manifest: &ShardManifest| -> Result<String, DistError> {
+            Err(DistError::Spawn {
+                shard: manifest.shard,
+                detail: "boom".into(),
+            })
+        };
+        let err = Coordinator::new(always_fail, 2)
+            .retries(1)
+            .run::<Tok>(&spec(4))
+            .unwrap_err();
+        match err {
+            DistError::Exhausted { attempts, last, .. } => {
+                assert_eq!(attempts, 2);
+                assert!(last.contains("boom"), "{last}");
+            }
+            other => panic!("expected Exhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn coordinator_rejects_misattributed_reports() {
+        let wrong_shard = |manifest: &ShardManifest| -> Result<String, DistError> {
+            let mut report_wire = echo_runner(manifest)?;
+            report_wire = report_wire.replacen(
+                &format!("shard-report shard={}", manifest.shard),
+                "shard-report shard=93",
+                1,
+            );
+            Ok(report_wire)
+        };
+        let err = Coordinator::new(wrong_shard, 1)
+            .retries(0)
+            .run::<Tok>(&spec(3))
+            .unwrap_err();
+        match err {
+            DistError::Exhausted { last, .. } => assert!(last.contains("93"), "{last}"),
+            other => panic!("expected Exhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn coordinator_surfaces_undecodable_output() {
+        let garbage =
+            |_: &ShardManifest| -> Result<String, DistError> { Ok("not a shard report\n".into()) };
+        let err = Coordinator::new(garbage, 1)
+            .retries(0)
+            .run::<Tok>(&spec(2))
+            .unwrap_err();
+        assert!(err.to_string().contains("shard 0"), "{err}");
+    }
+
+    #[test]
+    fn worker_command_reports_spawn_failures() {
+        let cmd = WorkerCommand::new("/nonexistent/definitely-not-a-worker");
+        let manifest = plan_shards(&spec(1), 1).remove(0);
+        match cmd.run_shard(&manifest) {
+            Err(DistError::Spawn { shard: 0, .. }) => {}
+            other => panic!("expected Spawn error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stderr_truncation_respects_char_boundaries() {
+        // 600 bytes of 2-byte chars: a blunt truncate(512) would split a
+        // char and panic.
+        let text = "é".repeat(300);
+        let cut = truncate_lossy(&text, 512);
+        assert!(cut.len() <= 512);
+        assert!(text.starts_with(&cut));
+        assert_eq!(truncate_lossy("short", 512), "short");
+        assert_eq!(truncate_lossy("", 512), "");
+    }
+
+    #[test]
+    fn errors_display_informatively() {
+        for err in [
+            DistError::Spawn {
+                shard: 1,
+                detail: "x".into(),
+            },
+            DistError::WorkerFailed {
+                shard: 2,
+                code: Some(3),
+                stderr: "bad".into(),
+            },
+            DistError::ShardMismatch {
+                expected: 0,
+                got: 1,
+            },
+            DistError::MissingPoint { index: 4 },
+            DistError::DuplicatePoint { index: 5 },
+            DistError::StrayPoint { index: 6 },
+        ] {
+            assert!(!err.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! # ba-dist — distributed campaign sharding
+//!
+//! `ba_sim::Campaign` parallelizes a sweep across grid points *within one
+//! process*. This crate is the next scale step toward the large `(n, t)`
+//! sweeps the paper's Θ(nt) bound demands (and the King–Saia sub-quadratic
+//! regimes beyond them): it shards a campaign across *processes* — and,
+//! because the transport is plain stdin/stdout over a spawned command,
+//! eventually across machines.
+//!
+//! Three pieces, all dependency-free:
+//!
+//! * [`wire`] — a hand-rolled line-oriented codec ([`Encode`] / [`Decode`])
+//!   for campaign points, shard manifests, scenario stats, simulator
+//!   errors, and whole campaign reports. Round-trip (`decode(encode(x)) ==
+//!   x`) is property-tested for every wire type.
+//! * [`shard`] — a deterministic planner ([`plan_shards`]) whose per-point
+//!   seeds are a pure function of the base seed and the point
+//!   ([`point_seed`]), so they are identical regardless of the shard
+//!   count, and an ordering-stable merger ([`merge_reports`],
+//!   BTreeMap-keyed) so `merge(k shards) == run(1 process)` bit-for-bit.
+//! * [`coordinator`] — a [`Coordinator`] that dispatches shards
+//!   concurrently over a [`ShardRunner`] transport (production:
+//!   [`WorkerCommand`], spawning the `campaign_worker` binary per shard),
+//!   streams reports back as workers finish, and retries failed shards.
+//!
+//! The worker side lives in `ba-bench` (`campaign_worker` binary + protocol
+//! registry), because resolving protocol labels needs the protocol crates.
+//!
+//! ## Example
+//!
+//! ```no_run
+//! use ba_dist::{Coordinator, SweepSpec, WorkerCommand};
+//! use ba_sim::Campaign;
+//!
+//! let grid = Campaign::grid([(8, 2), (16, 4)], &["none", "isolation"], &["ones"]);
+//! let spec = SweepSpec::scenarios(grid.points().to_vec(), "flood-set").base_seed(7);
+//! let worker = WorkerCommand::locate().expect("campaign_worker binary built");
+//! let report = Coordinator::new(worker, 4).run_campaign(&spec).unwrap();
+//! println!("{}", report.summary());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coordinator;
+pub mod shard;
+pub mod wire;
+
+pub use coordinator::{Coordinator, DistError, ShardRunner, WorkerCommand};
+pub use shard::{
+    assemble_campaign_report, merge_campaign_report, merge_reports, plan_shards, point_seed,
+    ShardEntry, ShardManifest, ShardMode, ShardReport, SweepSpec,
+};
+pub use wire::{Decode, Encode, WireError, WireReader};

@@ -123,9 +123,11 @@ impl Campaign {
         self
     }
 
-    /// Caps the worker pool (default `0` = machine parallelism).
+    /// Caps the worker pool. An explicit `0` clamps to 1 (a serial sweep)
+    /// rather than configuring a zero-width pool; leaving the cap unset
+    /// keeps the default of machine parallelism.
     pub fn threads(mut self, threads: usize) -> Self {
-        self.threads = threads;
+        self.threads = threads.max(1);
         self
     }
 
@@ -437,6 +439,28 @@ mod tests {
             .any(|(_, v)| v.contains("agreement violated")));
         assert!(!report.all_clean());
         assert!(report.summary().contains("error"));
+    }
+
+    #[test]
+    fn threads_zero_clamps_to_a_serial_sweep() {
+        // An explicit zero thread cap must not configure a zero-width pool:
+        // it clamps to one worker, and the sweep still runs (identically to
+        // an explicit serial sweep).
+        let campaign = Campaign::grid([(4, 1), (5, 1)], &["none"], &["ones"]).threads(0);
+        assert_eq!(campaign.threads, 1);
+        let build = |point: &CampaignPoint| {
+            Scenario::new(point.n, point.t)
+                .protocol(echo_factory as fn(ProcessId) -> EchoOnce)
+                .uniform_input(Bit::One)
+        };
+        let clamped = campaign.run_scenarios(build);
+        let serial = Campaign::grid([(4, 1), (5, 1)], &["none"], &["ones"])
+            .threads(1)
+            .run_scenarios(build);
+        assert_eq!(clamped, serial);
+        assert!(clamped.all_clean());
+        // The unset default still means machine parallelism.
+        assert_eq!(Campaign::new().threads, 0);
     }
 
     #[test]

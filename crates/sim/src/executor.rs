@@ -8,19 +8,15 @@
 //! guarantees by construction (and are re-checkable via
 //! [`Execution::validate`]).
 //!
-//! The legacy free functions [`run_omission`] and [`run_byzantine`] are
-//! deprecated one-line shims over the builder.
-
 use std::collections::{BTreeMap, BTreeSet};
 
-use crate::byzantine::ByzantineBehavior;
 use crate::error::SimError;
 use crate::execution::{Execution, FaultMode, ProcessRecord, RoundFragment};
 use crate::ids::{ProcessId, Round};
 use crate::mailbox::{Inbox, Outbox};
 use crate::plan::OmissionPlan;
 use crate::protocol::{ProcessCtx, Protocol};
-use crate::scenario::{Adversary, BoxedBehavior, Scenario, ScenarioResult};
+use crate::scenario::{BoxedBehavior, ScenarioResult};
 use crate::value::Payload;
 
 /// Static configuration of an execution run.
@@ -120,67 +116,6 @@ impl<P: Protocol> Slot<'_, P> {
             Slot::Byzantine(_) => None,
         }
     }
-}
-
-/// Runs an execution in the **omission** failure model (paper §3).
-///
-/// Deprecated shim over the [`Scenario`](crate::Scenario) builder.
-///
-/// # Errors
-///
-/// As [`ProtocolScenario::run`](crate::ProtocolScenario::run).
-#[deprecated(
-    since = "0.1.0",
-    note = "use Scenario::new(n, t)…adversary(Adversary::omission(…)).run()"
-)]
-pub fn run_omission<P, F>(
-    cfg: &ExecutorConfig,
-    factory: F,
-    proposals: &[P::Input],
-    faulty: &BTreeSet<ProcessId>,
-    plan: &mut dyn OmissionPlan<P::Msg>,
-) -> ScenarioResult<P>
-where
-    P: Protocol,
-    F: Fn(ProcessId) -> P,
-{
-    Scenario::config(cfg)
-        .protocol(factory)
-        .inputs(proposals.iter().cloned())
-        .adversary(Adversary::omission(faulty.iter().copied(), plan))
-        .run()
-}
-
-/// Runs an execution in the **Byzantine** failure model (paper §2).
-///
-/// Deprecated shim over the [`Scenario`](crate::Scenario) builder.
-///
-/// # Errors
-///
-/// As [`ProtocolScenario::run`](crate::ProtocolScenario::run).
-#[deprecated(
-    since = "0.1.0",
-    note = "use Scenario::new(n, t)…adversary(Adversary::byzantine(…)).run()"
-)]
-pub fn run_byzantine<P, F>(
-    cfg: &ExecutorConfig,
-    factory: F,
-    proposals: &[P::Input],
-    behaviors: BTreeMap<ProcessId, Box<dyn ByzantineBehavior<P::Input, P::Msg>>>,
-) -> ScenarioResult<P>
-where
-    P: Protocol,
-    F: Fn(ProcessId) -> P,
-{
-    Scenario::config(cfg)
-        .protocol(factory)
-        .inputs(proposals.iter().cloned())
-        .adversary(Adversary::byzantine(
-            behaviors
-                .into_iter()
-                .map(|(p, b)| (p, b as BoxedBehavior<'static, _, _>)),
-        ))
-        .run()
 }
 
 /// The execution engine: drives the slots round by round, routing every
@@ -379,6 +314,7 @@ fn observe_decision<P: Protocol>(
 mod tests {
     use super::*;
     use crate::plan::{IsolationPlan, NoFaults};
+    use crate::scenario::{Adversary, Scenario};
     use crate::value::Bit;
 
     /// Broadcast-your-proposal-every-round protocol that decides its own
@@ -726,32 +662,6 @@ mod tests {
         assert!(exec.quiescent);
         assert!(exec.rounds <= 3);
         assert_eq!(exec.all_decided_by(), Some(Round(2)));
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_still_drive_the_engine() {
-        let cfg = ExecutorConfig::new(4, 1);
-        let exec = run_omission(
-            &cfg,
-            |_| Chatter::new(3, 3),
-            &[Bit::One; 4],
-            &BTreeSet::new(),
-            &mut NoFaults,
-        )
-        .unwrap();
-        assert!(exec.all_correct_decided(Bit::One));
-
-        use crate::byzantine::SilentByzantine;
-        let behaviors: BTreeMap<_, Box<dyn ByzantineBehavior<Bit, Bit>>> = [(
-            ProcessId(2),
-            Box::new(SilentByzantine) as Box<dyn ByzantineBehavior<Bit, Bit>>,
-        )]
-        .into_iter()
-        .collect();
-        let cfg = ExecutorConfig::new(3, 1);
-        let exec = run_byzantine(&cfg, |_| Chatter::new(3, 3), &[Bit::One; 3], behaviors).unwrap();
-        assert_eq!(exec.mode, FaultMode::Byzantine);
     }
 
     #[test]

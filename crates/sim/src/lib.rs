@@ -131,8 +131,7 @@ pub use error::SimError;
 pub use execution::{
     DecisionOutcome, Execution, ExecutionInvariantError, FaultMode, ProcessRecord, RoundFragment,
 };
-#[allow(deprecated)]
-pub use executor::{run_byzantine, run_omission, ExecutorConfig};
+pub use executor::ExecutorConfig;
 pub use ids::{ProcessId, Round};
 pub use mailbox::{Inbox, Outbox};
 pub use plan::{

@@ -4,9 +4,7 @@
 //! The paper's model (§2, §A.1) is *one* execution model with
 //! interchangeable adversaries. `Scenario` exposes it that way: pick the
 //! system size, the protocol, the inputs, and an [`Adversary`], then `run()`.
-//! The legacy free functions `run_omission` / `run_byzantine` survive only as
-//! deprecated shims over this builder. See the crate-level documentation for
-//! a complete runnable example.
+//! See the crate-level documentation for a complete runnable example.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
