@@ -112,8 +112,10 @@ fn bench_exhaustive() {
     }
 }
 
-/// Times full campaign sweeps (scenario grid + falsifier grid) and writes
-/// the machine-readable `BENCH_campaign.json` throughput log CI tracks.
+/// Times full campaign sweeps (scenario grids, stats-only and full-trace,
+/// plus the falsifier grid) and writes the machine-readable
+/// `BENCH_campaign.json` throughput log CI tracks (gated by `perf_gate`
+/// against the committed `BENCH_baseline.json`).
 fn bench_campaign_throughput() {
     println!("\n== campaign_throughput ==");
     let mut log = PerfLog::new();
@@ -126,16 +128,58 @@ fn bench_campaign_throughput() {
     )
     .points()
     .to_vec();
-    let report = log.time("scenario-sweep/dolev-strong", || {
+    // The headline line: the default (stats-mode) sweep — same label as the
+    // pre-TraceMode engine so throughput is comparable across commits.
+    let report = log.time_best("scenario-sweep/dolev-strong", 41, || {
         let report = ba_bench::dist::scenario_campaign_report(&points, "dolev-strong", 7, 0)
             .expect("registry sweep");
         let total: u64 = report.stats().map(|(_, s)| s.total_messages).sum();
         (points.len(), total, report)
     });
     assert_eq!(report.outcomes.len(), points.len());
+    // The same grid with full traces materialized, validated, and reduced to
+    // stats — what every sweep paid before TraceMode. Kept as a line so the
+    // stats-engine speedup is measured in-repo, hardware-independently.
+    let full = log.time_best("scenario-sweep-fulltrace/dolev-strong", 11, || {
+        let full = ba_bench::dist::scenario_campaign_report_mode(
+            &points,
+            "dolev-strong",
+            7,
+            0,
+            ba_sim::TraceMode::Full,
+        )
+        .expect("registry sweep");
+        let total: u64 = full.stats().map(|(_, s)| s.total_messages).sum();
+        (points.len(), total, full)
+    });
+    assert_eq!(full, report, "sink equivalence must hold on the bench grid");
+
+    // Large-n stats-only sweeps: the regime the dense buffers + StatsSink
+    // exist for. Full traces at n = 64 would clone every signature chain
+    // two extra times and keep O(n²·rounds) fragment maps resident.
+    let large_nts = [(16usize, 2usize), (32, 2), (48, 2), (64, 2)];
+    let large_points = Campaign::grid(large_nts, &["none", "isolation"], &["ones"])
+        .points()
+        .to_vec();
+    log.time_best("stats-sweep-large-n/dolev-strong", 5, || {
+        let report = ba_bench::dist::scenario_campaign_report(&large_points, "dolev-strong", 11, 0)
+            .expect("registry sweep");
+        let total: u64 = report.stats().map(|(_, s)| s.total_messages).sum();
+        (large_points.len(), total, ())
+    });
+    let pk_nts = [(16usize, 4usize), (32, 8), (48, 12), (64, 16)];
+    let pk_points = Campaign::grid(pk_nts, &["none", "isolation"], &["ones"])
+        .points()
+        .to_vec();
+    log.time_best("stats-sweep-large-n/phase-king", 5, || {
+        let report = ba_bench::dist::scenario_campaign_report(&pk_points, "phase-king", 11, 0)
+            .expect("registry sweep");
+        let total: u64 = report.stats().map(|(_, s)| s.total_messages).sum();
+        (pk_points.len(), total, ())
+    });
 
     let falsifier_grid = [(8usize, 2usize), (10, 2), (12, 4), (16, 8)];
-    log.time("falsifier-sweep/leader-echo", || {
+    log.time_best("falsifier-sweep/leader-echo", 5, || {
         let sweep = ba_bench::falsifier_sweep(&falsifier_grid, |_point| {
             |_: ProcessId| ba_protocols::broken::LeaderEcho::new(ProcessId(0))
         });

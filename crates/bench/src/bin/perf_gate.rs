@@ -1,0 +1,93 @@
+//! `perf_gate` — CI guard for campaign sweep throughput.
+//!
+//! Validates the schema of a freshly benched `BENCH_campaign.json`, compares
+//! every baseline sweep's `points_per_sec` against the committed
+//! `BENCH_baseline.json` (fail at >30% regression by default), and asserts
+//! the hardware-independent stats-engine speedup: the default stats-mode
+//! scenario sweep must stay at least `--min-speedup` (default 2x) faster
+//! than the same grid with full traces materialized.
+//!
+//! Usage:
+//!
+//! ```text
+//! perf_gate [--current FILE] [--baseline FILE] [--tolerance 0.30]
+//!           [--min-speedup 2.0]
+//! ```
+//!
+//! Exits non-zero with the failing comparisons on stderr. Refresh the
+//! baseline by copying a trusted run's `BENCH_campaign.json` over
+//! `BENCH_baseline.json` (e.g. after a hardware change).
+
+use std::process::ExitCode;
+
+use ba_bench::perf::{gate, speedup_gate, PerfReport};
+
+const STATS_SWEEP: &str = "scenario-sweep/dolev-strong";
+const FULLTRACE_SWEEP: &str = "scenario-sweep-fulltrace/dolev-strong";
+
+fn run() -> Result<Vec<String>, String> {
+    let mut current_path = "BENCH_campaign.json".to_string();
+    let mut baseline_path = "BENCH_baseline.json".to_string();
+    let mut tolerance = 0.30f64;
+    let mut min_speedup = 2.0f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| args.next().ok_or(format!("{flag} needs a value"));
+        match arg.as_str() {
+            "--current" => current_path = value("--current")?,
+            "--baseline" => baseline_path = value("--baseline")?,
+            "--tolerance" => {
+                tolerance = value("--tolerance")?
+                    .parse()
+                    .map_err(|e| format!("bad --tolerance: {e}"))?;
+            }
+            "--min-speedup" => {
+                min_speedup = value("--min-speedup")?
+                    .parse()
+                    .map_err(|e| format!("bad --min-speedup: {e}"))?;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: perf_gate [--current FILE] [--baseline FILE] \
+                     [--tolerance 0.30] [--min-speedup 2.0]"
+                );
+                return Ok(Vec::new());
+            }
+            other => return Err(format!("unknown argument {other:?} (see --help)")),
+        }
+    }
+    if !(0.0..1.0).contains(&tolerance) {
+        return Err(format!("--tolerance must be in [0, 1), got {tolerance}"));
+    }
+
+    let read = |path: &str| -> Result<PerfReport, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        PerfReport::parse(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let current = read(&current_path)?;
+    let baseline = read(&baseline_path)?;
+
+    let mut lines = gate(&current, &baseline, tolerance).map_err(|failures| failures.join("\n"))?;
+    lines.push(speedup_gate(
+        &current,
+        STATS_SWEEP,
+        FULLTRACE_SWEEP,
+        min_speedup,
+    )?);
+    Ok(lines)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(lines) => {
+            for line in lines {
+                println!("perf_gate: {line}");
+            }
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("perf_gate: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -36,7 +36,7 @@ use ba_protocols::broken::{
 use ba_protocols::{DolevStrong, FloodSet, PhaseKing};
 use ba_sim::{
     Adversary, Bit, Campaign, CampaignPoint, CampaignReport, ProcessId, Protocol,
-    RandomOmissionPlan, Round, Scenario, SimRng,
+    RandomOmissionPlan, Round, Scenario, SimRng, TraceMode,
 };
 
 use crate::{falsify_point, FalsifierSweepPoint};
@@ -88,6 +88,7 @@ pub fn run_manifest(manifest: &ShardManifest) -> Result<String, String> {
                 |point| seeds[point],
                 manifest.threads,
                 &manifest.protocol,
+                TraceMode::Stats,
             )?;
             let shard_report = ShardReport {
                 shard: manifest.shard,
@@ -117,7 +118,8 @@ pub fn run_manifest(manifest: &ShardManifest) -> Result<String, String> {
 }
 
 /// The in-process reference for a scenario sweep: runs the exact per-point
-/// computation distributed workers run, on one local `Campaign` pool.
+/// computation distributed workers run, on one local `Campaign` pool —
+/// stats-only ([`TraceMode::Stats`]), like the workers.
 ///
 /// `coordinator.run_campaign(spec) == scenario_campaign_report(…)` for the
 /// same grid, protocol, and base seed — the shard-invariance property.
@@ -131,11 +133,32 @@ pub fn scenario_campaign_report(
     base_seed: u64,
     threads: usize,
 ) -> Result<CampaignReport<Bit>, String> {
+    scenario_campaign_report_mode(points, protocol, base_seed, threads, TraceMode::Stats)
+}
+
+/// [`scenario_campaign_report`] with an explicit [`TraceMode`].
+///
+/// [`TraceMode::Full`] materializes (and validates) every execution before
+/// deriving its stats; the sink-equivalence guarantee makes the report
+/// value-identical to the stats-only sweep, which the cross-mode tests
+/// assert end to end.
+///
+/// # Errors
+///
+/// As [`run_manifest`], for unknown labels.
+pub fn scenario_campaign_report_mode(
+    points: &[CampaignPoint],
+    protocol: &str,
+    base_seed: u64,
+    threads: usize,
+    mode: TraceMode,
+) -> Result<CampaignReport<Bit>, String> {
     scenario_report_with(
         points,
         |point| ba_dist::point_seed(base_seed, point),
         threads,
         protocol,
+        mode,
     )
 }
 
@@ -196,12 +219,13 @@ fn scenario_report_with<S>(
     seed_of: S,
     threads: usize,
     protocol: &str,
+    mode: TraceMode,
 ) -> Result<CampaignReport<Bit>, String>
 where
     S: Fn(&CampaignPoint) -> u64 + Sync,
 {
     validate_labels(points)?;
-    with_registry_factory!(protocol, factory => run_points(points, &seed_of, threads, factory))
+    with_registry_factory!(protocol, factory => run_points(points, &seed_of, threads, factory, mode))
 }
 
 fn falsifier_report_with(
@@ -235,6 +259,7 @@ fn run_points<P, F, G, S>(
     seed_of: S,
     threads: usize,
     factory: G,
+    mode: TraceMode,
 ) -> CampaignReport<Bit>
 where
     P: Protocol<Input = Bit, Output = Bit>,
@@ -242,7 +267,7 @@ where
     G: Fn(&CampaignPoint) -> F + Sync,
     S: Fn(&CampaignPoint) -> u64 + Sync,
 {
-    let mut campaign = Campaign::over(points.to_vec());
+    let mut campaign = Campaign::over(points.to_vec()).trace_mode(mode);
     if threads > 0 {
         campaign = campaign.threads(threads);
     }

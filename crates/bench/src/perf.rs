@@ -1,0 +1,398 @@
+//! Schema validation and regression gating for `BENCH_campaign.json`.
+//!
+//! The machinery bench writes a [`harness::PerfLog`](crate::harness::PerfLog)
+//! throughput log; CI replays it through [`gate`] against the committed
+//! `BENCH_baseline.json` and fails the job when a sweep's `points_per_sec`
+//! regresses more than the tolerance. The workspace is dependency-free, so
+//! this module carries a minimal parser for exactly the JSON the harness
+//! emits (flat string/number fields, one array of flat objects).
+
+use std::collections::BTreeMap;
+
+/// One parsed sweep row of a campaign perf log.
+#[derive(Clone, PartialEq, Debug)]
+pub struct SweepRow {
+    /// Sweep label.
+    pub label: String,
+    /// Grid points swept.
+    pub points: f64,
+    /// Total messages carried by the sweep's executions.
+    pub total_messages: f64,
+    /// Wall-clock seconds.
+    pub elapsed_secs: f64,
+    /// Throughput in grid points per second.
+    pub points_per_sec: f64,
+}
+
+/// A parsed and schema-validated campaign perf log.
+#[derive(Clone, PartialEq, Debug)]
+pub struct PerfReport {
+    /// The schema tag (validated).
+    pub schema: String,
+    /// Sweep rows, in file order.
+    pub sweeps: Vec<SweepRow>,
+}
+
+/// The schema tag this module accepts.
+pub const SCHEMA: &str = "ba-bench/campaign-perf/v1";
+
+impl PerfReport {
+    /// Parses and validates a `BENCH_campaign.json` document.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message for structural problems, a wrong or missing
+    /// schema tag, missing fields, or non-finite numbers.
+    pub fn parse(json: &str) -> Result<Self, String> {
+        let schema =
+            string_field(json, "schema").ok_or_else(|| "missing \"schema\" field".to_string())?;
+        if schema != SCHEMA {
+            return Err(format!(
+                "unsupported schema {schema:?} (expected {SCHEMA:?})"
+            ));
+        }
+        let sweeps_src =
+            array_field(json, "sweeps").ok_or_else(|| "missing \"sweeps\" array".to_string())?;
+        let mut sweeps = Vec::new();
+        for obj in objects(sweeps_src) {
+            let label =
+                string_field(obj, "label").ok_or_else(|| format!("sweep missing label: {obj}"))?;
+            let num = |key: &str| -> Result<f64, String> {
+                let v = number_field(obj, key)
+                    .ok_or_else(|| format!("sweep {label:?} missing numeric field {key:?}"))?;
+                if !v.is_finite() || v < 0.0 {
+                    return Err(format!(
+                        "sweep {label:?} field {key:?} is not a finite non-negative number"
+                    ));
+                }
+                Ok(v)
+            };
+            sweeps.push(SweepRow {
+                points: num("points")?,
+                total_messages: num("total_messages")?,
+                elapsed_secs: num("elapsed_secs")?,
+                points_per_sec: num("points_per_sec")?,
+                label,
+            });
+        }
+        if sweeps.is_empty() {
+            return Err("no sweeps recorded".into());
+        }
+        Ok(PerfReport { schema, sweeps })
+    }
+
+    /// The row with the given label, if present.
+    pub fn sweep(&self, label: &str) -> Option<&SweepRow> {
+        self.sweeps.iter().find(|s| s.label == label)
+    }
+
+    /// Label → points-per-second map.
+    pub fn throughput(&self) -> BTreeMap<&str, f64> {
+        self.sweeps
+            .iter()
+            .map(|s| (s.label.as_str(), s.points_per_sec))
+            .collect()
+    }
+}
+
+/// Compares a current perf log against a baseline: every sweep label in the
+/// baseline must exist in the current log with
+/// `points_per_sec >= (1 - tolerance) * baseline`. Returns the list of
+/// human-readable verdict lines (one per compared label, pass or fail).
+///
+/// # Errors
+///
+/// The failure lines, if any label regressed or disappeared.
+pub fn gate(
+    current: &PerfReport,
+    baseline: &PerfReport,
+    tolerance: f64,
+) -> Result<Vec<String>, Vec<String>> {
+    let mut passes = Vec::new();
+    let mut failures = Vec::new();
+    for base in &baseline.sweeps {
+        let Some(cur) = current.sweep(&base.label) else {
+            failures.push(format!(
+                "sweep {:?} present in baseline but missing from current log",
+                base.label
+            ));
+            continue;
+        };
+        let floor = (1.0 - tolerance) * base.points_per_sec;
+        let verdict = format!(
+            "{}: {:.0} pts/s vs baseline {:.0} (floor {:.0})",
+            base.label, cur.points_per_sec, base.points_per_sec, floor
+        );
+        if cur.points_per_sec < floor {
+            failures.push(format!("REGRESSION {verdict}"));
+        } else {
+            passes.push(format!("ok {verdict}"));
+        }
+    }
+    if failures.is_empty() {
+        Ok(passes)
+    } else {
+        Err(failures)
+    }
+}
+
+/// Asserts a hardware-independent speedup *within one log*: the sweep
+/// labeled `fast` must run at least `min_ratio` times the points/sec of the
+/// sweep labeled `slow`. Used to gate the stats-engine speedup without
+/// depending on the CI machine matching the baseline machine.
+///
+/// # Errors
+///
+/// A message when a label is missing or the ratio is below the floor.
+pub fn speedup_gate(
+    report: &PerfReport,
+    fast: &str,
+    slow: &str,
+    min_ratio: f64,
+) -> Result<String, String> {
+    let f = report
+        .sweep(fast)
+        .ok_or_else(|| format!("missing sweep {fast:?}"))?;
+    let s = report
+        .sweep(slow)
+        .ok_or_else(|| format!("missing sweep {slow:?}"))?;
+    if s.points_per_sec <= 0.0 {
+        return Err(format!("sweep {slow:?} has zero throughput"));
+    }
+    let ratio = f.points_per_sec / s.points_per_sec;
+    if ratio < min_ratio {
+        Err(format!(
+            "SPEEDUP REGRESSION {fast} is only {ratio:.2}x {slow} (floor {min_ratio:.2}x)"
+        ))
+    } else {
+        Ok(format!(
+            "ok {fast} is {ratio:.2}x {slow} (floor {min_ratio:.2}x)"
+        ))
+    }
+}
+
+/// Extracts the raw value text following `"key":`, or `None`.
+fn raw_field<'a>(src: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":");
+    let start = src.find(&needle)? + needle.len();
+    Some(src[start..].trim_start())
+}
+
+fn string_field(src: &str, key: &str) -> Option<String> {
+    let rest = raw_field(src, key)?;
+    let rest = rest.strip_prefix('"')?;
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                'u' => {
+                    let hex: String = chars.by_ref().take(4).collect();
+                    let code = u32::from_str_radix(&hex, 16).ok()?;
+                    out.push(char::from_u32(code)?);
+                }
+                other => out.push(other),
+            },
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+fn number_field(src: &str, key: &str) -> Option<f64> {
+    let rest = raw_field(src, key)?;
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// The bracketed source text of `"key": [ ... ]`. Bracket counting is
+/// string-aware, so labels containing `[` or `]` cannot truncate the array.
+fn array_field<'a>(src: &'a str, key: &str) -> Option<&'a str> {
+    let rest = raw_field(src, key)?;
+    let rest = rest.strip_prefix('[')?;
+    let mut depth = 1usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, c) in rest.char_indices() {
+        if in_string {
+            match c {
+                _ if escaped => escaped = false,
+                '\\' => escaped = true,
+                '"' => in_string = false,
+                _ => {}
+            }
+            continue;
+        }
+        match c {
+            '"' => in_string = true,
+            '[' => depth += 1,
+            ']' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(&rest[..i]);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Splits an array body into its top-level `{...}` object sources. The
+/// harness never nests objects or puts braces inside labels beyond JSON
+/// escapes, so brace counting outside strings suffices.
+fn objects(array_src: &str) -> impl Iterator<Item = &str> {
+    let mut rest = array_src;
+    std::iter::from_fn(move || {
+        let start = rest.find('{')?;
+        let mut depth = 0usize;
+        let mut in_string = false;
+        let mut escaped = false;
+        for (i, c) in rest[start..].char_indices() {
+            if in_string {
+                match c {
+                    _ if escaped => escaped = false,
+                    '\\' => escaped = true,
+                    '"' => in_string = false,
+                    _ => {}
+                }
+                continue;
+            }
+            match c {
+                '"' => in_string = true,
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        let obj = &rest[start..start + i + 1];
+                        rest = &rest[start + i + 1..];
+                        return Some(obj);
+                    }
+                }
+                _ => {}
+            }
+        }
+        None
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::PerfLog;
+
+    fn sample() -> String {
+        r#"{
+  "schema": "ba-bench/campaign-perf/v1",
+  "total_points": 100,
+  "points_per_sec": 20938.497,
+  "sweeps": [
+    {"label": "scenario-sweep/dolev-strong", "points": 96, "total_messages": 12418, "elapsed_secs": 0.004181, "points_per_sec": 22962.761},
+    {"label": "falsifier-sweep/leader-echo", "points": 4, "total_messages": 41, "elapsed_secs": 0.000595, "points_per_sec": 6720.317}
+  ]
+}
+"#
+        .to_string()
+    }
+
+    #[test]
+    fn parses_the_committed_log_format() {
+        let report = PerfReport::parse(&sample()).unwrap();
+        assert_eq!(report.schema, SCHEMA);
+        assert_eq!(report.sweeps.len(), 2);
+        let ds = report.sweep("scenario-sweep/dolev-strong").unwrap();
+        assert_eq!(ds.points, 96.0);
+        assert_eq!(ds.total_messages, 12418.0);
+        assert!((ds.points_per_sec - 22962.761).abs() < 1e-6);
+        assert_eq!(report.throughput().len(), 2);
+    }
+
+    #[test]
+    fn parses_whatever_the_harness_emits() {
+        // Round-trip against the real PerfLog writer, including escapes and
+        // labels containing brackets/braces that naive scanners trip over.
+        let mut log = PerfLog::new();
+        log.time("weird \"label\"\n", || (8usize, 1234u64, ()));
+        log.time("sweep[n=8] {grid}", || (4usize, 99u64, ()));
+        let report = PerfReport::parse(&log.to_json()).unwrap();
+        assert_eq!(report.sweeps.len(), 2);
+        assert_eq!(report.sweeps[0].label, "weird \"label\"\n");
+        assert_eq!(report.sweeps[0].points, 8.0);
+        assert_eq!(report.sweeps[1].label, "sweep[n=8] {grid}");
+        assert_eq!(report.sweeps[1].points, 4.0);
+    }
+
+    #[test]
+    fn rejects_wrong_or_missing_schema() {
+        assert!(PerfReport::parse("{}").unwrap_err().contains("schema"));
+        let wrong = sample().replace("campaign-perf/v1", "campaign-perf/v9");
+        assert!(PerfReport::parse(&wrong).unwrap_err().contains("v9"));
+    }
+
+    #[test]
+    fn rejects_missing_fields_and_empty_logs() {
+        let no_pps = sample().replace("\"points_per_sec\": 22962.761", "\"x\": 1");
+        assert!(PerfReport::parse(&no_pps)
+            .unwrap_err()
+            .contains("points_per_sec"));
+        let empty = r#"{"schema": "ba-bench/campaign-perf/v1", "sweeps": []}"#;
+        assert!(PerfReport::parse(empty).unwrap_err().contains("no sweeps"));
+    }
+
+    #[test]
+    fn gate_passes_within_tolerance_and_fails_beyond() {
+        let baseline = PerfReport::parse(&sample()).unwrap();
+        // 25% slower: inside the 30% tolerance.
+        let slower = sample().replace("22962.761", "17222.071");
+        let current = PerfReport::parse(&slower).unwrap();
+        let passes = gate(&current, &baseline, 0.30).unwrap();
+        assert_eq!(passes.len(), 2);
+
+        // 40% slower: outside it.
+        let much_slower = sample().replace("22962.761", "13777.657");
+        let current = PerfReport::parse(&much_slower).unwrap();
+        let failures = gate(&current, &baseline, 0.30).unwrap_err();
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("REGRESSION"));
+        assert!(failures[0].contains("scenario-sweep/dolev-strong"));
+    }
+
+    #[test]
+    fn gate_fails_when_a_baseline_sweep_disappears() {
+        let baseline = PerfReport::parse(&sample()).unwrap();
+        let one_line = r#"{"schema": "ba-bench/campaign-perf/v1", "sweeps": [
+            {"label": "falsifier-sweep/leader-echo", "points": 4, "total_messages": 41, "elapsed_secs": 0.0005, "points_per_sec": 8000.0}
+        ]}"#;
+        let current = PerfReport::parse(one_line).unwrap();
+        let failures = gate(&current, &baseline, 0.30).unwrap_err();
+        assert!(failures[0].contains("missing from current log"));
+    }
+
+    #[test]
+    fn speedup_gate_compares_labels_within_one_log() {
+        let report = PerfReport::parse(&sample()).unwrap();
+        let ok = speedup_gate(
+            &report,
+            "scenario-sweep/dolev-strong",
+            "falsifier-sweep/leader-echo",
+            2.0,
+        )
+        .unwrap();
+        assert!(ok.contains("3.42x"), "{ok}");
+        let err = speedup_gate(
+            &report,
+            "falsifier-sweep/leader-echo",
+            "scenario-sweep/dolev-strong",
+            2.0,
+        )
+        .unwrap_err();
+        assert!(err.contains("SPEEDUP REGRESSION"));
+        assert!(speedup_gate(&report, "nope", "also-nope", 1.0).is_err());
+    }
+}

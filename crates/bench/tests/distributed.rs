@@ -7,6 +7,7 @@
 
 use ba_bench::dist::{
     distributed_falsifier_sweep, distributed_scenario_sweep, scenario_campaign_report,
+    scenario_campaign_report_mode,
 };
 use ba_bench::falsifier_sweep;
 use ba_dist::{Coordinator, ShardMode, SweepSpec, WorkerCommand};
@@ -57,6 +58,26 @@ fn sharded_scenario_sweeps_are_invariant_in_shard_count() {
             .stats()
             .any(|(_, s)| s.total_messages > s.message_complexity),
         "the mixed grid should produce faulty-process traffic"
+    );
+}
+
+#[test]
+fn stats_only_workers_reproduce_the_full_trace_reference_bit_for_bit() {
+    // Workers run the TraceMode::Stats engine (no Execution is ever
+    // materialized in a worker process); the reference here deliberately
+    // materializes and validates FULL traces before deriving stats. The
+    // merged wire-format reports must still be value-identical — shard
+    // invariance composed with sink equivalence.
+    let points = mixed_grid();
+    let base_seed = 0x0005_7A75;
+    let full_reference =
+        scenario_campaign_report_mode(&points, "flood-set", base_seed, 0, ba_sim::TraceMode::Full)
+            .expect("full-trace reference sweep");
+    let merged = distributed_scenario_sweep(&points, "flood-set", base_seed, 3, worker())
+        .expect("3-shard stats-only sweep");
+    assert_eq!(
+        merged, full_reference,
+        "merge(k stats-only shards) must equal the full-trace run(1)"
     );
 }
 

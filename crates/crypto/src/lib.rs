@@ -181,47 +181,140 @@ impl Keybook {
 /// ```
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct SignatureChain {
-    sigs: Vec<Signature>,
+    sigs: Sigs,
+}
+
+/// Signatures a chain can hold without spilling to the heap. Dolev-Strong
+/// chains have at most `t + 1` links, so every chain in the common small-`t`
+/// regimes is a flat `Copy` — cloning a chain (which broadcast relays do
+/// per receiver) allocates nothing.
+const INLINE_SIGS: usize = 4;
+
+/// Canonical filler for unused inline slots, so derived comparisons and
+/// hashes over the whole array stay well-defined. Never observable through
+/// the public API (accessors slice to `len`).
+const UNUSED_SIG: Signature = Signature {
+    signer: ProcessId(usize::MAX),
+    digest: 0,
+};
+
+/// Chain storage: inline while it fits, heap beyond. Comparison traits are
+/// implemented over [`Sigs::as_slice`], so equality, ordering, and hashing
+/// are exactly the old `Vec<Signature>` semantics (lexicographic), coherent
+/// across the inline/heap boundary.
+#[derive(Clone, Debug)]
+enum Sigs {
+    Inline(u8, [Signature; INLINE_SIGS]),
+    Heap(Vec<Signature>),
+}
+
+impl PartialEq for Sigs {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Sigs {}
+
+impl PartialOrd for Sigs {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Sigs {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl Hash for Sigs {
+    fn hash<H: Hasher>(&self, h: &mut H) {
+        // Slice hashing matches Vec hashing (length prefix + items), keeping
+        // the Hash/Eq contract and the old `Vec<Signature>` digests.
+        self.as_slice().hash(h);
+    }
+}
+
+impl Sigs {
+    fn as_slice(&self) -> &[Signature] {
+        match self {
+            Sigs::Inline(len, arr) => &arr[..*len as usize],
+            Sigs::Heap(v) => v,
+        }
+    }
+
+    /// The canonical representation of `previous ++ [last]`.
+    fn appended(previous: &[Signature], last: Signature) -> Self {
+        let len = previous.len() + 1;
+        if len <= INLINE_SIGS {
+            let mut arr = [UNUSED_SIG; INLINE_SIGS];
+            arr[..previous.len()].copy_from_slice(previous);
+            arr[previous.len()] = last;
+            Sigs::Inline(len as u8, arr)
+        } else {
+            let mut v = Vec::with_capacity(len);
+            v.extend_from_slice(previous);
+            v.push(last);
+            Sigs::Heap(v)
+        }
+    }
 }
 
 /// What the `k`-th chain link signs: the value plus the previous signers.
-fn chain_link_payload<V: SignBytes>(value: &V, previous: &[Signature]) -> (u64, Vec<ProcessId>) {
-    let mut h = DefaultHasher::new();
-    value.hash(&mut h);
-    (h.finish(), previous.iter().map(Signature::signer).collect())
+///
+/// Hashes streamingly — signing and verifying a link allocates nothing,
+/// which matters because chain validation sits on the executor's hot path
+/// (every Dolev-Strong extraction validates a chain).
+struct ChainLink<'a, V: SignBytes + ?Sized> {
+    value: &'a V,
+    previous: &'a [Signature],
+}
+
+impl<V: SignBytes + ?Sized> Hash for ChainLink<'_, V> {
+    fn hash<H: Hasher>(&self, h: &mut H) {
+        self.value.hash(h);
+        for sig in self.previous {
+            sig.signer().index().hash(h);
+        }
+    }
 }
 
 impl SignatureChain {
     /// Starts a chain: the designated sender signs the value.
     pub fn originate<V: SignBytes>(sender: &Keychain, value: &V) -> Self {
-        let payload = chain_link_payload(value, &[]);
+        let payload = ChainLink {
+            value,
+            previous: &[],
+        };
         SignatureChain {
-            sigs: vec![sender.sign(&payload)],
+            sigs: Sigs::appended(&[], sender.sign(&payload)),
         }
     }
 
     /// Appends `signer`'s endorsement of `value` under this chain.
     pub fn extend<V: SignBytes>(&self, signer: &Keychain, value: &V) -> Self {
-        let payload = chain_link_payload(value, &self.sigs);
-        let mut sigs = self.sigs.clone();
-        sigs.push(signer.sign(&payload));
-        SignatureChain { sigs }
+        let previous = self.sigs.as_slice();
+        let payload = ChainLink { value, previous };
+        SignatureChain {
+            sigs: Sigs::appended(previous, signer.sign(&payload)),
+        }
     }
 
     /// The number of signatures in the chain.
     pub fn len(&self) -> usize {
-        self.sigs.len()
+        self.sigs.as_slice().len()
     }
 
     /// `true` iff the chain holds no signatures (never produced by the
     /// constructors).
     pub fn is_empty(&self) -> bool {
-        self.sigs.is_empty()
+        self.sigs.as_slice().is_empty()
     }
 
     /// The signers, in signing order.
     pub fn signers(&self) -> impl Iterator<Item = ProcessId> + '_ {
-        self.sigs.iter().map(Signature::signer)
+        self.sigs.as_slice().iter().map(Signature::signer)
     }
 
     /// `true` iff `pid` already signed this chain.
@@ -232,15 +325,20 @@ impl SignatureChain {
     /// Full chain validity for `value` with designated `sender` (see type
     /// docs for the three conditions).
     pub fn valid<V: SignBytes>(&self, book: &Keybook, sender: ProcessId, value: &V) -> bool {
-        if self.sigs.is_empty() || self.sigs[0].signer() != sender {
+        let sigs = self.sigs.as_slice();
+        if sigs.is_empty() || sigs[0].signer() != sender {
             return false;
         }
-        let mut seen = std::collections::BTreeSet::new();
-        for (i, sig) in self.sigs.iter().enumerate() {
-            if !seen.insert(sig.signer()) {
+        for (i, sig) in sigs.iter().enumerate() {
+            // Chains are at most t + 1 links, so a linear duplicate scan
+            // beats building a set.
+            if sigs[..i].iter().any(|p| p.signer() == sig.signer()) {
                 return false; // duplicate signer
             }
-            let payload = chain_link_payload(value, &self.sigs[..i]);
+            let payload = ChainLink {
+                value,
+                previous: &sigs[..i],
+            };
             if !book.verify(sig, &payload) {
                 return false;
             }
@@ -336,8 +434,9 @@ mod tests {
         let base = SignatureChain::originate(&book.keychain(ProcessId(0)), &"v");
         let via_p1 = base.extend(&book.keychain(ProcessId(1)), &"v");
         let p2_on_base = base.extend(&book.keychain(ProcessId(2)), &"v");
-        let mut spliced = via_p1.clone();
-        spliced.sigs.push(p2_on_base.sigs[1]);
+        let spliced = SignatureChain {
+            sigs: Sigs::appended(via_p1.sigs.as_slice(), p2_on_base.sigs.as_slice()[1]),
+        };
         assert!(!spliced.valid(&book, ProcessId(0), &"v"));
     }
 

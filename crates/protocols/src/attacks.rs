@@ -9,7 +9,7 @@
 use ba_crypto::Keychain;
 use ba_sim::{Bit, ByzantineBehavior, Inbox, Outbox, ProcessCtx, ProcessId, Round, Value};
 
-use crate::dolev_strong::DsEntry;
+use crate::dolev_strong::{DsBatch, DsEntry};
 use crate::phase_king::PkMsg;
 use ba_crypto::SignatureChain;
 
@@ -33,8 +33,8 @@ impl<V: Value> TwoFacedSender<V> {
     }
 }
 
-impl<V: Value> ByzantineBehavior<V, Vec<DsEntry<V>>> for TwoFacedSender<V> {
-    fn propose(&mut self, ctx: &ProcessCtx, _: V) -> Outbox<Vec<DsEntry<V>>> {
+impl<V: Value> ByzantineBehavior<V, DsBatch<V>> for TwoFacedSender<V> {
+    fn propose(&mut self, ctx: &ProcessCtx, _: V) -> Outbox<DsBatch<V>> {
         let chain0 = SignatureChain::originate(&self.keychain, &self.v0);
         let chain1 = SignatureChain::originate(&self.keychain, &self.v1);
         let mut out = Outbox::new();
@@ -50,17 +50,12 @@ impl<V: Value> ByzantineBehavior<V, Vec<DsEntry<V>>> for TwoFacedSender<V> {
                     chain: chain1.clone(),
                 }
             };
-            out.send(peer, vec![entry]);
+            out.send(peer, DsBatch::new(vec![entry]));
         }
         out
     }
 
-    fn round(
-        &mut self,
-        _: &ProcessCtx,
-        _: Round,
-        _: &Inbox<Vec<DsEntry<V>>>,
-    ) -> Outbox<Vec<DsEntry<V>>> {
+    fn round(&mut self, _: &ProcessCtx, _: Round, _: &Inbox<DsBatch<V>>) -> Outbox<DsBatch<V>> {
         Outbox::new()
     }
 }
@@ -103,17 +98,12 @@ impl<V: Value> LateInjector<V> {
     }
 }
 
-impl<V: Value> ByzantineBehavior<V, Vec<DsEntry<V>>> for LateInjector<V> {
-    fn propose(&mut self, _: &ProcessCtx, _: V) -> Outbox<Vec<DsEntry<V>>> {
+impl<V: Value> ByzantineBehavior<V, DsBatch<V>> for LateInjector<V> {
+    fn propose(&mut self, _: &ProcessCtx, _: V) -> Outbox<DsBatch<V>> {
         Outbox::new()
     }
 
-    fn round(
-        &mut self,
-        _: &ProcessCtx,
-        round: Round,
-        _: &Inbox<Vec<DsEntry<V>>>,
-    ) -> Outbox<Vec<DsEntry<V>>> {
+    fn round(&mut self, _: &ProcessCtx, round: Round, _: &Inbox<DsBatch<V>>) -> Outbox<DsBatch<V>> {
         let mut out = Outbox::new();
         // Emitting in round `k` processing means delivery in round `k + 1`.
         if round.next() == self.inject_at {
@@ -121,10 +111,10 @@ impl<V: Value> ByzantineBehavior<V, Vec<DsEntry<V>>> for LateInjector<V> {
                 .extend(&self.own_keychain, &self.value);
             out.send(
                 self.target,
-                vec![DsEntry {
+                DsBatch::new(vec![DsEntry {
                     value: self.value.clone(),
                     chain,
-                }],
+                }]),
             );
         }
         out

@@ -32,7 +32,7 @@
 //! stronger than needed, which is exactly the paper's point: even the *weak*
 //! problem costs Ω(t²).)
 
-use std::collections::BTreeSet;
+use std::sync::Arc;
 
 use ba_crypto::{Keybook, Keychain, SignatureChain};
 use ba_sim::{Inbox, Outbox, ProcessCtx, ProcessId, Protocol, Round, Value};
@@ -44,6 +44,61 @@ pub struct DsEntry<V> {
     pub value: V,
     /// The endorsement chain, starting with the designated sender.
     pub chain: SignatureChain,
+}
+
+/// A shared, immutable batch of [`DsEntry`] values — the Dolev-Strong
+/// message payload.
+///
+/// Broadcast protocols send the *same* batch to every peer, so the payload
+/// is reference-counted: `clone` (which the executor performs once per
+/// receiver) is a refcount bump, not a fresh `Vec` + chain allocation. On
+/// large sweeps this removes the dominant allocation churn of the
+/// Dolev-Strong hot path.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct DsBatch<V>(Arc<Vec<DsEntry<V>>>);
+
+impl<V> DsBatch<V> {
+    /// Wraps a batch of entries for sharing.
+    pub fn new(entries: Vec<DsEntry<V>>) -> Self {
+        DsBatch(Arc::new(entries))
+    }
+
+    /// Iterates over the entries.
+    pub fn iter(&self) -> std::slice::Iter<'_, DsEntry<V>> {
+        self.0.iter()
+    }
+
+    /// Number of entries in the batch.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// `true` iff the batch carries no entries (never produced by the
+    /// protocol, which only sends non-empty batches).
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl<V> From<Vec<DsEntry<V>>> for DsBatch<V> {
+    fn from(entries: Vec<DsEntry<V>>) -> Self {
+        DsBatch::new(entries)
+    }
+}
+
+impl<V> FromIterator<DsEntry<V>> for DsBatch<V> {
+    fn from_iter<I: IntoIterator<Item = DsEntry<V>>>(iter: I) -> Self {
+        DsBatch::new(iter.into_iter().collect())
+    }
+}
+
+impl<'a, V> IntoIterator for &'a DsBatch<V> {
+    type Item = &'a DsEntry<V>;
+    type IntoIter = std::slice::Iter<'a, DsEntry<V>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter()
+    }
 }
 
 /// Dolev-Strong authenticated Byzantine broadcast.
@@ -73,7 +128,10 @@ pub struct DolevStrong<V> {
     keychain: Keychain,
     sender: ProcessId,
     default: V,
-    extracted: BTreeSet<V>,
+    // At most two extracted values are ever tracked (a second one already
+    // proves equivocation), so a flat sorted Vec beats a tree set: lookups
+    // are one or two comparisons and the empty state allocates nothing.
+    extracted: Vec<V>,
     decision: Option<V>,
 }
 
@@ -88,7 +146,7 @@ impl<V: Value> DolevStrong<V> {
             keychain,
             sender,
             default,
-            extracted: BTreeSet::new(),
+            extracted: Vec::new(),
             decision: None,
         }
     }
@@ -108,9 +166,17 @@ impl<V: Value> DolevStrong<V> {
         self.sender
     }
 
-    /// The values extracted so far (at most two are tracked).
-    pub fn extracted(&self) -> &BTreeSet<V> {
+    /// The values extracted so far (at most two are tracked), in
+    /// ascending order.
+    pub fn extracted(&self) -> &[V] {
         &self.extracted
+    }
+
+    fn extract(&mut self, value: V) {
+        match self.extracted.binary_search(&value) {
+            Ok(_) => {}
+            Err(pos) => self.extracted.insert(pos, value),
+        }
     }
 
     fn deciding_round(&self, ctx: &ProcessCtx) -> u64 {
@@ -121,18 +187,18 @@ impl<V: Value> DolevStrong<V> {
 impl<V: Value> Protocol for DolevStrong<V> {
     type Input = V;
     type Output = V;
-    type Msg = Vec<DsEntry<V>>;
+    type Msg = DsBatch<V>;
 
     fn propose(&mut self, ctx: &ProcessCtx, proposal: V) -> Outbox<Self::Msg> {
-        let mut out = Outbox::new();
+        let mut out = Outbox::with_capacity(ctx.n);
         if ctx.id == self.sender {
-            self.extracted.insert(proposal.clone());
+            self.extract(proposal.clone());
             let chain = SignatureChain::originate(&self.keychain, &proposal);
             let entry = DsEntry {
                 value: proposal,
                 chain,
             };
-            out.send_to_all(ctx.others(), vec![entry]);
+            out.send_to_all(ctx.others(), DsBatch::new(vec![entry]));
         }
         out
     }
@@ -150,17 +216,17 @@ impl<V: Value> Protocol for DolevStrong<V> {
         }
 
         let mut relays: Vec<DsEntry<V>> = Vec::new();
-        for (_, batch) in inbox.iter() {
-            for entry in batch {
-                // Cap at two extracted values: a second value already proves
-                // equivocation, further values cannot change the outcome.
+        // Cap at two extracted values: a second value already proves
+        // equivocation, further values cannot change the outcome.
+        'scan: for (_, batch) in inbox.iter() {
+            for entry in batch.iter() {
                 if self.extracted.len() >= 2 {
-                    break;
+                    break 'scan;
                 }
                 let fresh = !self.extracted.contains(&entry.value);
                 let timely = entry.chain.len() as u64 >= round.0;
                 if fresh && timely && entry.chain.valid(&self.book, self.sender, &entry.value) {
-                    self.extracted.insert(entry.value.clone());
+                    self.extract(entry.value.clone());
                     // Relay with our endorsement so the chain reaches length
                     // ≥ k + 1 by round k + 1; pointless after round t.
                     if round.0 <= ctx.t as u64 && !entry.chain.contains_signer(ctx.id) {
@@ -174,12 +240,13 @@ impl<V: Value> Protocol for DolevStrong<V> {
         }
         if !relays.is_empty() {
             relays.sort();
-            out.send_to_all(ctx.others(), relays);
+            out = Outbox::with_capacity(ctx.n);
+            out.send_to_all(ctx.others(), DsBatch::new(relays));
         }
 
         if round.0 == deciding {
             self.decision = Some(if self.extracted.len() == 1 {
-                self.extracted.iter().next().expect("len == 1").clone()
+                self.extracted[0].clone()
             } else {
                 self.default.clone()
             });

@@ -49,7 +49,7 @@ pub mod interactive_consistency;
 mod parallel;
 mod phase_king;
 
-pub use dolev_strong::{DolevStrong, DsEntry};
+pub use dolev_strong::{DolevStrong, DsBatch, DsEntry};
 pub use eig::{EigBroadcast, EigConsensus, EigMsg, Path};
 pub use flood_set::FloodSet;
 pub use parallel::ParallelInstances;

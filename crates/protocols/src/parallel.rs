@@ -62,7 +62,7 @@ impl<P: Protocol> ParallelInstances<P> {
         idx: usize,
         out: Outbox<P::Msg>,
     ) {
-        for (to, msg) in out.into_inner() {
+        for (to, msg) in out {
             combined.entry(to).or_default().insert(idx, msg);
         }
     }

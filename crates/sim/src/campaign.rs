@@ -23,6 +23,7 @@ use crate::ids::{ProcessId, Round};
 use crate::par::par_map;
 use crate::protocol::Protocol;
 use crate::scenario::ProtocolScenario;
+use crate::sink::TraceMode;
 use crate::value::{Payload, Value};
 
 /// One point of a campaign grid: system size plus free-form labels naming
@@ -79,6 +80,7 @@ impl fmt::Display for CampaignPoint {
 pub struct Campaign {
     points: Vec<CampaignPoint>,
     threads: usize,
+    trace_mode: Option<TraceMode>,
 }
 
 impl Campaign {
@@ -92,6 +94,7 @@ impl Campaign {
         Campaign {
             points: points.into_iter().collect(),
             threads: 0,
+            trace_mode: None,
         }
     }
 
@@ -114,7 +117,11 @@ impl Campaign {
                 }
             }
         }
-        Campaign { points, threads: 0 }
+        Campaign {
+            points,
+            threads: 0,
+            trace_mode: None,
+        }
     }
 
     /// Appends one point.
@@ -128,6 +135,15 @@ impl Campaign {
     /// keeps the default of machine parallelism.
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Forces a [`TraceMode`] on every scenario of the sweep, overriding
+    /// whatever the builder closure configured. Unset (the default), each
+    /// scenario's own mode applies — which is [`TraceMode::Stats`] unless a
+    /// point opted into [`TraceMode::Full`].
+    pub fn trace_mode(mut self, mode: TraceMode) -> Self {
+        self.trace_mode = Some(mode);
         self
     }
 
@@ -149,32 +165,41 @@ impl Campaign {
     /// Runs an arbitrary job per grid point, in parallel; results return in
     /// grid order. Use this to sweep whole-algorithm workloads (e.g. the
     /// `ba-core` falsifier) over `(n, t)` grids.
-    pub fn map<R, F>(&self, job: F) -> Vec<(CampaignPoint, R)>
+    ///
+    /// Consumes the campaign: each worker takes ownership of its point, so
+    /// no point is ever cloned for the result pairing.
+    pub fn map<R, F>(self, job: F) -> Vec<(CampaignPoint, R)>
     where
         R: Send,
         F: Fn(&CampaignPoint) -> R + Sync,
     {
-        par_map(&self.points, self.threads, |_, point| {
-            (point.clone(), job(point))
+        par_map(self.points, self.threads, |_, point| {
+            let result = job(&point);
+            (point, result)
         })
     }
 
     /// Builds one scenario per grid point (via `build`), executes them all
-    /// in parallel, and aggregates per-point trace reports.
-    pub fn run_scenarios<P, F, B>(&self, build: B) -> CampaignReport<P::Output>
+    /// in parallel, and aggregates per-point [`ScenarioStats`] reports.
+    ///
+    /// Each point runs through [`ProtocolScenario::run_report`], so sweeps
+    /// take the allocation-free [`TraceMode::Stats`] engine path unless the
+    /// builder (or [`Campaign::trace_mode`]) opts into [`TraceMode::Full`].
+    /// Consumes the campaign: workers own their points outright.
+    pub fn run_scenarios<P, F, B>(self, build: B) -> CampaignReport<P::Output>
     where
         P: Protocol,
         F: Fn(ProcessId) -> P,
         B: Fn(&CampaignPoint) -> ProtocolScenario<'static, P, F> + Sync,
     {
-        let outcomes = par_map(&self.points, self.threads, |_, point| {
-            let result = build(point)
-                .run()
-                .map(|exec| ScenarioStats::from_execution(&exec));
-            ScenarioOutcome {
-                point: point.clone(),
-                result,
+        let forced_mode = self.trace_mode;
+        let outcomes = par_map(self.points, self.threads, |_, point| {
+            let mut scenario = build(&point);
+            if let Some(mode) = forced_mode {
+                scenario = scenario.trace_mode(mode);
             }
+            let result = scenario.run_report();
+            ScenarioOutcome { point, result }
         });
         CampaignReport { outcomes }
     }
@@ -201,29 +226,18 @@ pub struct ScenarioStats<O> {
 }
 
 impl<O: Value> ScenarioStats<O> {
-    /// Derives the report from a completed execution.
+    /// Derives the report from a completed execution, including a full
+    /// validation pass over the trace.
     pub fn from_execution<I: Value, M: Payload>(exec: &Execution<I, O, M>) -> Self {
-        let mut violations = Vec::new();
-        if let Err(e) = exec.validate() {
-            violations.push(format!("invalid execution: {e}"));
-        }
         let decisions: BTreeMap<ProcessId, Option<O>> = exec
             .correct()
             .map(|p| (p, exec.decision_of(p).cloned()))
             .collect();
-        let distinct: std::collections::BTreeSet<&O> = decisions.values().flatten().collect();
-        if distinct.len() > 1 {
-            violations.push(format!(
-                "agreement violated: correct decisions {distinct:?}"
-            ));
+        let mut violations = Vec::new();
+        if let Err(e) = exec.validate() {
+            violations.push(format!("invalid execution: {e}"));
         }
-        for (p, d) in &decisions {
-            if d.is_none() {
-                violations.push(format!(
-                    "termination violated: {p} undecided within horizon"
-                ));
-            }
-        }
+        violations.extend(Self::derive_violations(&decisions));
         ScenarioStats {
             message_complexity: exec.message_complexity(),
             total_messages: exec.total_messages(),
@@ -233,6 +247,27 @@ impl<O: Value> ScenarioStats<O> {
             decisions,
             violations,
         }
+    }
+
+    /// The decision-level property checks (agreement, termination) shared
+    /// by [`ScenarioStats::from_execution`] and the trace-free
+    /// [`StatsSink`](crate::StatsSink) path, byte-identical in both.
+    pub(crate) fn derive_violations(decisions: &BTreeMap<ProcessId, Option<O>>) -> Vec<String> {
+        let mut violations = Vec::new();
+        let distinct: std::collections::BTreeSet<&O> = decisions.values().flatten().collect();
+        if distinct.len() > 1 {
+            violations.push(format!(
+                "agreement violated: correct decisions {distinct:?}"
+            ));
+        }
+        for (p, d) in decisions {
+            if d.is_none() {
+                violations.push(format!(
+                    "termination violated: {p} undecided within horizon"
+                ));
+            }
+        }
+        violations
     }
 }
 

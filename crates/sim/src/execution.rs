@@ -242,14 +242,10 @@ impl<I: Value, O: Value, M: Payload> Execution<I, O, M> {
     /// i.e. the paper's "round before which all processes decide" for
     /// fault-free executions. `None` if some correct process never decided.
     pub fn all_decided_by(&self) -> Option<Round> {
-        let mut latest = Round::FIRST;
-        for pid in self.correct() {
-            match &self.record(pid).decision {
-                Some((_, r)) => latest = latest.max(*r),
-                None => return None,
-            }
-        }
-        Some(latest)
+        latest_decision_round(
+            self.correct()
+                .map(|pid| self.record(pid).decision.as_ref().map(|(_, r)| *r)),
+        )
     }
 
     /// The **message complexity** of this execution: the number of messages
@@ -435,6 +431,22 @@ impl<I: Value, O: Value, M: Payload> Execution<I, O, M> {
         }
         Ok(())
     }
+}
+
+/// Folds per-process decision rounds into "the round by which everyone had
+/// decided": the latest round over the iterator (at least [`Round::FIRST`]),
+/// or `None` if any process is undecided. The single definition behind
+/// [`Execution::all_decided_by`] and the trace-free
+/// [`StatsSink`](crate::StatsSink) — the sink-equivalence contract depends
+/// on these never diverging.
+pub(crate) fn latest_decision_round(
+    rounds: impl IntoIterator<Item = Option<Round>>,
+) -> Option<Round> {
+    let mut latest = Round::FIRST;
+    for round in rounds {
+        latest = latest.max(round?);
+    }
+    Some(latest)
 }
 
 /// A violation of the execution guarantees (paper §A.1.6), reported by

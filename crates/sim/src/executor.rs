@@ -3,20 +3,26 @@
 //! All executions are driven by one engine, [`run_slots`], reached through
 //! the [`Scenario`](crate::Scenario) builder: honest state machines and
 //! Byzantine behaviors occupy per-process slots, and an
-//! [`OmissionPlan`] decides each message's fate. The engine produces
-//! trace-complete [`Execution`] values that satisfy the model's execution
-//! guarantees by construction (and are re-checkable via
-//! [`Execution::validate`]).
+//! [`OmissionPlan`] decides each message's fate. Routing runs over dense,
+//! run-long mailbox slabs (no per-round map allocation), and what gets
+//! *recorded* is delegated to a [`TraceSink`]: the
+//! [`FullTrace`](crate::FullTrace) sink produces trace-complete
+//! [`Execution`](crate::Execution) values that satisfy the model's
+//! execution guarantees by construction (re-checkable via
+//! [`Execution::validate`](crate::Execution::validate)), while
+//! [`StatsSink`](crate::StatsSink) aggregates
+//! [`ScenarioStats`](crate::ScenarioStats) without materializing a trace.
 //!
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 
 use crate::error::SimError;
-use crate::execution::{Execution, FaultMode, ProcessRecord, RoundFragment};
+use crate::execution::FaultMode;
 use crate::ids::{ProcessId, Round};
 use crate::mailbox::{Inbox, Outbox};
 use crate::plan::OmissionPlan;
 use crate::protocol::{ProcessCtx, Protocol};
-use crate::scenario::{BoxedBehavior, ScenarioResult};
+use crate::scenario::BoxedBehavior;
+use crate::sink::{RunSummary, TraceMode, TraceSink};
 use crate::value::Payload;
 
 /// Static configuration of an execution run.
@@ -38,6 +44,11 @@ pub struct ExecutorConfig {
     /// Stop as soon as every correct process has decided and no process
     /// emitted a message for the next round. Defaults to `true`.
     pub stop_when_quiescent: bool,
+    /// What stats-producing entry points record (see [`TraceMode`]).
+    /// Defaults to [`TraceMode::Stats`]; entry points whose result type
+    /// *is* the trace ([`Scenario::run`](crate::ProtocolScenario::run), the
+    /// proof constructions) always record a full trace regardless.
+    pub trace_mode: TraceMode,
 }
 
 impl ExecutorConfig {
@@ -61,6 +72,7 @@ impl ExecutorConfig {
             t,
             max_rounds: Self::HORIZON_FACTOR * (t as u64 + 2) + 8,
             stop_when_quiescent: true,
+            trace_mode: TraceMode::default(),
         })
     }
 
@@ -84,6 +96,12 @@ impl ExecutorConfig {
     /// Enables or disables early stopping at quiescence.
     pub fn with_stop_when_quiescent(mut self, stop: bool) -> Self {
         self.stop_when_quiescent = stop;
+        self
+    }
+
+    /// Sets the [`TraceMode`] for stats-producing entry points.
+    pub fn with_trace_mode(mut self, mode: TraceMode) -> Self {
+        self.trace_mode = mode;
         self
     }
 }
@@ -119,17 +137,28 @@ impl<P: Protocol> Slot<'_, P> {
 }
 
 /// The execution engine: drives the slots round by round, routing every
-/// message through `plan` and enforcing the model's guarantees. All
-/// adversary flavors — none, omission, Byzantine, crash, mixed — reduce to a
-/// slot assignment plus a plan.
-pub(crate) fn run_slots<P: Protocol>(
+/// message through `plan`, enforcing the model's guarantees, and emitting
+/// every routing event to `sink`. All adversary flavors — none, omission,
+/// Byzantine, crash, mixed — reduce to a slot assignment plus a plan; what
+/// the run *produces* is the sink's choice.
+///
+/// Routing buffers are dense and run-long: one reusable [`Inbox`] slab per
+/// process (cleared by the sink each round), outboxes drained by move. A
+/// delivered payload is moved — never cloned — from the sender's outbox into
+/// the receiver's inbox; only a full-trace sink pays clone costs.
+pub(crate) fn run_slots<P, S>(
     cfg: &ExecutorConfig,
     mut slots: Vec<Slot<'_, P>>,
     proposals: &[P::Input],
     faulty: &BTreeSet<ProcessId>,
     plan: &mut dyn OmissionPlan<P::Msg>,
     mode: FaultMode,
-) -> ScenarioResult<P> {
+    mut sink: S,
+) -> Result<S::Output, SimError>
+where
+    P: Protocol,
+    S: TraceSink<P>,
+{
     let n = cfg.n;
     if proposals.len() != n {
         return Err(SimError::ProposalCount {
@@ -151,42 +180,37 @@ pub(crate) fn run_slots<P: Protocol>(
         .map(|pid| ProcessCtx::new(pid, n, cfg.t))
         .collect();
 
-    let mut records: Vec<ProcessRecord<P::Input, P::Output, P::Msg>> = proposals
-        .iter()
-        .map(|v| ProcessRecord {
-            proposal: v.clone(),
-            decision: None,
-            fragments: Vec::new(),
-        })
-        .collect();
+    sink.init(n, proposals);
+    let mut decisions: Vec<Option<(P::Output, Round)>> = vec![None; n];
 
     // Round-1 outboxes come from `propose` (paper §A.1.3: first-round
     // messages depend only on the initial state).
-    let mut outboxes: Vec<BTreeMap<ProcessId, P::Msg>> = Vec::with_capacity(n);
+    let mut outboxes: Vec<Outbox<P::Msg>> = Vec::with_capacity(n);
     for (i, slot) in slots.iter_mut().enumerate() {
         let out = slot.propose(&ctxs[i], proposals[i].clone());
         validate_outbox(ProcessId(i), &out, n, Round::FIRST)?;
-        outboxes.push(out.into_inner());
-        observe_decision(&mut records[i], slot, ProcessId(i), Round::FIRST)?;
+        outboxes.push(out);
+        observe_decision(&mut decisions[i], slot, ProcessId(i), Round::FIRST)?;
     }
+
+    // Run-long dense routing buffers: one inbox slab per process, reused
+    // across rounds (the sink drains or clears them via `absorb_inbox`).
+    let mut inboxes: Vec<Inbox<P::Msg>> = (0..n).map(|_| Inbox::with_capacity(n)).collect();
 
     let mut rounds_run = 0u64;
     let mut quiescent = false;
 
     for round in Round::up_to(cfg.max_rounds) {
         rounds_run = round.0;
-
-        // Allocate this round's fragments.
-        for rec in &mut records {
-            rec.fragments.push(RoundFragment::empty());
-        }
+        sink.begin_round(round);
 
         // Route every emitted message through the omission plan, in
-        // deterministic (sender, receiver) order.
-        let mut inboxes: Vec<BTreeMap<ProcessId, P::Msg>> = vec![BTreeMap::new(); n];
+        // deterministic (sender, receiver) order — the dense drain yields
+        // exactly the ascending-receiver order the old map iteration did,
+        // which keeps stateful (seeded) plans reproducible across engines.
         for sender in ProcessId::all(n) {
-            let outbox = std::mem::take(&mut outboxes[sender.index()]);
-            for (receiver, payload) in outbox {
+            let mut outbox = std::mem::take(&mut outboxes[sender.index()]);
+            for (receiver, payload) in outbox.drain() {
                 let fate = plan.fate(round, sender, receiver, &payload);
                 if let Some(blamed) = fate.blamed(sender, receiver) {
                     if !faulty.contains(&blamed) {
@@ -196,26 +220,17 @@ pub(crate) fn run_slots<P: Protocol>(
                         });
                     }
                 }
-                let frag_idx = round.index();
                 match fate {
                     crate::plan::Fate::Deliver => {
-                        records[sender.index()].fragments[frag_idx]
-                            .sent
-                            .insert(receiver, payload.clone());
-                        inboxes[receiver.index()].insert(sender, payload);
+                        sink.sent(round, sender, receiver, &payload);
+                        inboxes[receiver.index()].deliver(sender, payload);
                     }
                     crate::plan::Fate::SendOmit => {
-                        records[sender.index()].fragments[frag_idx]
-                            .send_omitted
-                            .insert(receiver, payload);
+                        sink.send_omitted(round, sender, receiver, payload);
                     }
                     crate::plan::Fate::ReceiveOmit => {
-                        records[sender.index()].fragments[frag_idx]
-                            .sent
-                            .insert(receiver, payload.clone());
-                        records[receiver.index()].fragments[frag_idx]
-                            .receive_omitted
-                            .insert(sender, payload);
+                        sink.sent(round, sender, receiver, &payload);
+                        sink.receive_omitted(round, sender, receiver, payload);
                     }
                 }
             }
@@ -224,21 +239,23 @@ pub(crate) fn run_slots<P: Protocol>(
         // Deliver inboxes and compute next-round outboxes.
         let mut any_pending = false;
         for (i, slot) in slots.iter_mut().enumerate() {
-            let inbox_map = std::mem::take(&mut inboxes[i]);
-            records[i].fragments[round.index()].received = inbox_map.clone();
-            let inbox = Inbox::from_map(inbox_map);
-            let out = slot.round(&ctxs[i], round, &inbox);
+            let out = slot.round(&ctxs[i], round, &inboxes[i]);
             validate_outbox(ProcessId(i), &out, n, round.next())?;
             any_pending |= !out.is_empty();
-            outboxes[i] = out.into_inner();
-            observe_decision(&mut records[i], slot, ProcessId(i), round.next())?;
+            outboxes[i] = out;
+            sink.absorb_inbox(round, ProcessId(i), &mut inboxes[i]);
+            // Conforming sinks leave the inbox empty (then this is O(1));
+            // clearing unconditionally keeps a non-conforming custom sink
+            // from corrupting later rounds with stale redeliveries.
+            inboxes[i].clear();
+            observe_decision(&mut decisions[i], slot, ProcessId(i), round.next())?;
         }
 
         // Quiescence: nothing in flight and every correct process decided.
         if cfg.stop_when_quiescent && !any_pending {
             let all_correct_decided = ProcessId::all(n)
                 .filter(|p| !faulty.contains(p))
-                .all(|p| records[p.index()].decision.is_some());
+                .all(|p| decisions[p.index()].is_some());
             if all_correct_decided {
                 quiescent = true;
                 break;
@@ -249,18 +266,18 @@ pub(crate) fn run_slots<P: Protocol>(
     if !quiescent {
         // The horizon was reached; the prefix is still a valid execution,
         // but flag whether messages were pending beyond it.
-        quiescent = outboxes.iter().all(BTreeMap::is_empty);
+        quiescent = outboxes.iter().all(Outbox::is_empty);
     }
 
-    Ok(Execution {
+    Ok(sink.finish(RunSummary {
         n,
         t: cfg.t,
         mode,
         faulty: faulty.clone(),
-        records,
+        decisions,
         rounds: rounds_run,
         quiescent,
-    })
+    }))
 }
 
 fn validate_outbox<M: Payload>(
@@ -288,14 +305,14 @@ fn validate_outbox<M: Payload>(
 }
 
 fn observe_decision<P: Protocol>(
-    record: &mut ProcessRecord<P::Input, P::Output, P::Msg>,
+    decision: &mut Option<(P::Output, Round)>,
     slot: &Slot<'_, P>,
     pid: ProcessId,
     round: Round,
 ) -> Result<(), SimError> {
-    match (slot.decision(), &record.decision) {
+    match (slot.decision(), &*decision) {
         (Some(v), None) => {
-            record.decision = Some((v, round));
+            *decision = Some((v, round));
             Ok(())
         }
         (Some(v), Some((prev, _))) if &v != prev => Err(SimError::DecisionChanged {

@@ -30,6 +30,12 @@
 //! (`swap_omission`, `merge`, the Ω(t²) falsifier) live in `ba-core` and
 //! operate on the [`Execution`] values produced here.
 //!
+//! What a run *records* is pluggable ([`TraceSink`]): [`Scenario::run`]
+//! materializes the full [`Execution`] via the [`FullTrace`] sink, while
+//! [`run_stats`](ProtocolScenario::run_stats) and [`Campaign`] sweeps
+//! default to the [`StatsSink`] fast path ([`TraceMode::Stats`]) — identical
+//! [`ScenarioStats`] with zero payload clones and no fragment allocation.
+//!
 //! ## Example
 //!
 //! ```
@@ -120,6 +126,7 @@ mod plan;
 mod protocol;
 mod rng;
 mod scenario;
+mod sink;
 mod trace;
 mod value;
 
@@ -143,6 +150,7 @@ pub use rng::SimRng;
 pub use scenario::{
     Adversary, BoxedBehavior, BoxedPlan, ProtocolScenario, Scenario, ScenarioResult,
 };
+pub use sink::{FullTrace, RunSummary, StatsSink, TraceMode, TraceSink};
 pub use trace::{
     first_inbox_divergence, render_divergence, render_execution, round_stats, RoundStats,
 };

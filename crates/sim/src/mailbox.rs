@@ -5,11 +5,121 @@
 //! one* message to any specific process in a single round and forbids
 //! self-sends. [`Outbox`] enforces the former structurally (it is keyed by
 //! receiver) and the executor rejects the latter.
+//!
+//! Both containers are backed by **dense slabs**: a `Vec<Option<M>>` indexed
+//! by the counterparty's [`ProcessId`]. This keeps the executor's hot path
+//! free of per-message tree allocations while preserving the deterministic
+//! ascending-id iteration order the proof machinery relies on (identical to
+//! the old `BTreeMap` order).
 
 use std::collections::BTreeMap;
 
 use crate::ids::ProcessId;
 use crate::value::Payload;
+
+/// A dense slab of at-most-one message per counterparty, indexed by
+/// [`ProcessId`]. Shared backing store of [`Outbox`] and [`Inbox`].
+#[derive(Clone, Debug)]
+struct Slab<M> {
+    slots: Vec<Option<M>>,
+    len: usize,
+}
+
+impl<M: Payload> Slab<M> {
+    fn new() -> Self {
+        Slab {
+            slots: Vec::new(),
+            len: 0,
+        }
+    }
+
+    fn with_capacity(n: usize) -> Self {
+        let mut slots = Vec::with_capacity(n);
+        slots.resize_with(n, || None);
+        Slab { slots, len: 0 }
+    }
+
+    /// Inserts, returning the previous occupant of the slot.
+    fn insert(&mut self, id: ProcessId, msg: M) -> Option<M> {
+        let idx = id.index();
+        if idx >= self.slots.len() {
+            self.slots.resize_with(idx + 1, || None);
+        }
+        let prev = self.slots[idx].replace(msg);
+        if prev.is_none() {
+            self.len += 1;
+        }
+        prev
+    }
+
+    fn get(&self, id: ProcessId) -> Option<&M> {
+        self.slots.get(id.index()).and_then(Option::as_ref)
+    }
+
+    fn remove(&mut self, id: ProcessId) -> Option<M> {
+        let taken = self.slots.get_mut(id.index()).and_then(Option::take);
+        if taken.is_some() {
+            self.len -= 1;
+        }
+        taken
+    }
+
+    /// Iterates occupied slots in ascending-id order. An empty slab skips
+    /// the slot scan entirely (quiescent tail rounds hit this constantly).
+    fn iter(&self) -> impl Iterator<Item = (ProcessId, &M)> {
+        let slots: &[Option<M>] = if self.len == 0 { &[] } else { &self.slots };
+        slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, m)| m.as_ref().map(|m| (ProcessId(i), m)))
+    }
+
+    /// Removes and yields every message in ascending-id order, leaving the
+    /// slab empty (capacity intact) when run to completion. `len` is
+    /// decremented per yielded item, so dropping the iterator early leaves
+    /// the slab consistent (remaining messages still counted and iterable).
+    fn drain(&mut self) -> impl Iterator<Item = (ProcessId, M)> + '_ {
+        let Slab { slots, len } = self;
+        slots.iter_mut().enumerate().filter_map(move |(i, m)| {
+            m.take().map(|m| {
+                *len -= 1;
+                (ProcessId(i), m)
+            })
+        })
+    }
+
+    fn clear(&mut self) {
+        if self.len == 0 {
+            return;
+        }
+        for slot in &mut self.slots {
+            *slot = None;
+        }
+        self.len = 0;
+    }
+
+    fn to_map(&self) -> BTreeMap<ProcessId, M> {
+        self.iter().map(|(p, m)| (p, m.clone())).collect()
+    }
+
+    fn into_map(mut self) -> BTreeMap<ProcessId, M> {
+        self.drain().collect()
+    }
+
+    fn semantic_eq(&self, other: &Self) -> bool {
+        self.len == other.len && self.iter().eq(other.iter())
+    }
+}
+
+impl<M: Payload> FromIterator<(ProcessId, M)> for Slab<M> {
+    fn from_iter<I: IntoIterator<Item = (ProcessId, M)>>(iter: I) -> Self {
+        let mut slab = Slab::new();
+        for (id, msg) in iter {
+            slab.insert(id, msg);
+        }
+        slab
+    }
+}
 
 /// The set of messages a process emits for one round, keyed by receiver.
 ///
@@ -20,16 +130,22 @@ use crate::value::Payload;
 /// out.send(ProcessId(2), "world");
 /// assert_eq!(out.len(), 2);
 /// ```
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, Debug)]
 pub struct Outbox<M> {
-    msgs: BTreeMap<ProcessId, M>,
+    msgs: Slab<M>,
 }
 
 impl<M: Payload> Outbox<M> {
     /// Creates an empty outbox.
     pub fn new() -> Self {
+        Outbox { msgs: Slab::new() }
+    }
+
+    /// Creates an empty outbox pre-sized for an `n`-process system, so no
+    /// slot growth happens while sending.
+    pub fn with_capacity(n: usize) -> Self {
         Outbox {
-            msgs: BTreeMap::new(),
+            msgs: Slab::with_capacity(n),
         }
     }
 
@@ -59,22 +175,29 @@ impl<M: Payload> Outbox<M> {
 
     /// The number of queued messages.
     pub fn len(&self) -> usize {
-        self.msgs.len()
+        self.msgs.len
     }
 
     /// `true` iff no message is queued.
     pub fn is_empty(&self) -> bool {
-        self.msgs.is_empty()
+        self.msgs.len == 0
     }
 
     /// Iterates over `(receiver, payload)` pairs in receiver order.
     pub fn iter(&self) -> impl Iterator<Item = (ProcessId, &M)> {
-        self.msgs.iter().map(|(k, v)| (*k, v))
+        self.msgs.iter()
+    }
+
+    /// Removes and yields every queued message in receiver order, leaving
+    /// the outbox empty (capacity intact). The executor's routing loop uses
+    /// this to move payloads out without rebuilding a map.
+    pub fn drain(&mut self) -> impl Iterator<Item = (ProcessId, M)> + '_ {
+        self.msgs.drain()
     }
 
     /// Consumes the outbox, yielding its receiver → payload map.
     pub fn into_inner(self) -> BTreeMap<ProcessId, M> {
-        self.msgs
+        self.msgs.into_map()
     }
 
     /// Merges another outbox into this one using `combine` to resolve
@@ -83,12 +206,12 @@ impl<M: Payload> Outbox<M> {
     /// Used by parallel-composition combinators that must fold the outboxes
     /// of several sub-protocol instances into one physical message per
     /// receiver.
-    pub fn merge_with<F>(&mut self, other: Outbox<M>, mut combine: F)
+    pub fn merge_with<F>(&mut self, mut other: Outbox<M>, mut combine: F)
     where
         F: FnMut(M, M) -> M,
     {
-        for (to, msg) in other.msgs {
-            match self.msgs.remove(&to) {
+        for (to, msg) in other.msgs.drain() {
+            match self.msgs.remove(to) {
                 None => {
                     self.msgs.insert(to, msg);
                 }
@@ -106,6 +229,14 @@ impl<M: Payload> Default for Outbox<M> {
     }
 }
 
+impl<M: Payload> PartialEq for Outbox<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.msgs.semantic_eq(&other.msgs)
+    }
+}
+
+impl<M: Payload> Eq for Outbox<M> {}
+
 impl<M: Payload> FromIterator<(ProcessId, M)> for Outbox<M> {
     fn from_iter<I: IntoIterator<Item = (ProcessId, M)>>(iter: I) -> Self {
         let mut out = Outbox::new();
@@ -116,62 +247,119 @@ impl<M: Payload> FromIterator<(ProcessId, M)> for Outbox<M> {
     }
 }
 
+/// Owning iterator over an [`Outbox`], in receiver order.
+pub struct OutboxIntoIter<M> {
+    inner: std::iter::Enumerate<std::vec::IntoIter<Option<M>>>,
+}
+
+impl<M> Iterator for OutboxIntoIter<M> {
+    type Item = (ProcessId, M);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        for (i, slot) in self.inner.by_ref() {
+            if let Some(msg) = slot {
+                return Some((ProcessId(i), msg));
+            }
+        }
+        None
+    }
+}
+
+impl<M: Payload> IntoIterator for Outbox<M> {
+    type Item = (ProcessId, M);
+    type IntoIter = OutboxIntoIter<M>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        OutboxIntoIter {
+            inner: self.msgs.slots.into_iter().enumerate(),
+        }
+    }
+}
+
 /// The set of messages a process receives in one round, keyed by sender.
 ///
 /// Receive-omitted messages never appear here: an inbox holds exactly the
 /// messages the process's state machine observes, which is what the paper's
 /// indistinguishability relation compares.
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, Debug)]
 pub struct Inbox<M> {
-    msgs: BTreeMap<ProcessId, M>,
+    msgs: Slab<M>,
 }
 
 impl<M: Payload> Inbox<M> {
     /// Creates an empty inbox.
     pub fn new() -> Self {
+        Inbox { msgs: Slab::new() }
+    }
+
+    /// Creates an empty inbox pre-sized for an `n`-process system. The
+    /// executor allocates one per process per *run* and reuses it across
+    /// rounds.
+    pub fn with_capacity(n: usize) -> Self {
         Inbox {
-            msgs: BTreeMap::new(),
+            msgs: Slab::with_capacity(n),
         }
     }
 
     /// Builds an inbox from a sender → payload map.
     pub fn from_map(msgs: BTreeMap<ProcessId, M>) -> Self {
-        Inbox { msgs }
+        Inbox {
+            msgs: msgs.into_iter().collect(),
+        }
+    }
+
+    /// Delivers `msg` from `sender` into this inbox, replacing any earlier
+    /// delivery from the same sender (the executor routes at most one).
+    pub fn deliver(&mut self, sender: ProcessId, msg: M) {
+        self.msgs.insert(sender, msg);
     }
 
     /// The message received from `sender` in this round, if any.
     pub fn from_sender(&self, sender: ProcessId) -> Option<&M> {
-        self.msgs.get(&sender)
+        self.msgs.get(sender)
     }
 
     /// The number of received messages.
     pub fn len(&self) -> usize {
-        self.msgs.len()
+        self.msgs.len
     }
 
     /// `true` iff nothing was received.
     pub fn is_empty(&self) -> bool {
-        self.msgs.is_empty()
+        self.msgs.len == 0
     }
 
     /// Iterates over `(sender, payload)` pairs in sender order.
     pub fn iter(&self) -> impl Iterator<Item = (ProcessId, &M)> {
-        self.msgs.iter().map(|(k, v)| (*k, v))
+        self.msgs.iter()
     }
 
     /// Iterates over the senders heard from this round.
     pub fn senders(&self) -> impl Iterator<Item = ProcessId> + '_ {
-        self.msgs.keys().copied()
+        self.msgs.iter().map(|(p, _)| p)
     }
 
-    /// A reference to the underlying sender → payload map.
-    pub fn as_map(&self) -> &BTreeMap<ProcessId, M> {
-        &self.msgs
+    /// Clones the contents into a sender → payload map.
+    pub fn to_map(&self) -> BTreeMap<ProcessId, M> {
+        self.msgs.to_map()
+    }
+
+    /// Removes and yields every received message in sender order, leaving
+    /// the inbox empty (capacity intact). [`TraceSink`](crate::TraceSink)
+    /// implementations use this to take ownership of a round's payloads
+    /// without cloning.
+    pub fn drain(&mut self) -> impl Iterator<Item = (ProcessId, M)> + '_ {
+        self.msgs.drain()
+    }
+
+    /// Empties the inbox, dropping all payloads (capacity intact).
+    pub fn clear(&mut self) {
+        self.msgs.clear();
     }
 
     /// Consumes the inbox, yielding its sender → payload map.
     pub fn into_inner(self) -> BTreeMap<ProcessId, M> {
-        self.msgs
+        self.msgs.into_map()
     }
 }
 
@@ -180,6 +368,14 @@ impl<M: Payload> Default for Inbox<M> {
         Inbox::new()
     }
 }
+
+impl<M: Payload> PartialEq for Inbox<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.msgs.semantic_eq(&other.msgs)
+    }
+}
+
+impl<M: Payload> Eq for Inbox<M> {}
 
 #[cfg(test)]
 mod tests {
@@ -234,5 +430,81 @@ mod tests {
     fn empty_boxes_report_empty() {
         assert!(Outbox::<u8>::new().is_empty());
         assert!(Inbox::<u8>::new().is_empty());
+    }
+
+    #[test]
+    fn equality_ignores_slab_capacity() {
+        // The same semantic content must compare equal regardless of how the
+        // backing slab grew (trailing empty slots are invisible).
+        let mut grown: Outbox<u8> = Outbox::with_capacity(64);
+        grown.send(ProcessId(1), 5);
+        let mut tight: Outbox<u8> = Outbox::new();
+        tight.send(ProcessId(1), 5);
+        assert_eq!(grown, tight);
+
+        let mut big = Inbox::with_capacity(32);
+        big.deliver(ProcessId(2), 9u8);
+        let mut small = Inbox::new();
+        small.deliver(ProcessId(2), 9u8);
+        assert_eq!(big, small);
+        big.clear();
+        assert_ne!(big, small);
+        assert_eq!(big, Inbox::new());
+    }
+
+    #[test]
+    fn drain_empties_and_preserves_order() {
+        let mut out: Outbox<u8> = [(ProcessId(3), 3), (ProcessId(0), 0), (ProcessId(5), 5)]
+            .into_iter()
+            .collect();
+        let drained: Vec<_> = out.drain().collect();
+        assert_eq!(
+            drained,
+            vec![(ProcessId(0), 0), (ProcessId(3), 3), (ProcessId(5), 5)]
+        );
+        assert!(out.is_empty());
+        // The outbox is reusable after draining.
+        out.send(ProcessId(1), 7);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn inbox_drain_and_reuse_round_trip() {
+        let mut inbox = Inbox::with_capacity(4);
+        inbox.deliver(ProcessId(2), "b");
+        inbox.deliver(ProcessId(0), "a");
+        assert_eq!(inbox.len(), 2);
+        let drained: Vec<_> = inbox.drain().collect();
+        assert_eq!(drained, vec![(ProcessId(0), "a"), (ProcessId(2), "b")]);
+        assert!(inbox.is_empty());
+        inbox.deliver(ProcessId(3), "c");
+        assert_eq!(inbox.to_map().len(), 1);
+        assert_eq!(inbox.into_inner().len(), 1);
+    }
+
+    #[test]
+    fn partially_consumed_drain_leaves_the_slab_consistent() {
+        // A custom TraceSink may drop a drain iterator early; the remaining
+        // messages must stay counted, iterable, and clearable.
+        let mut inbox: Inbox<u8> = Inbox::with_capacity(4);
+        inbox.deliver(ProcessId(0), 10);
+        inbox.deliver(ProcessId(2), 12);
+        inbox.deliver(ProcessId(3), 13);
+        let first = inbox.drain().next();
+        assert_eq!(first, Some((ProcessId(0), 10)));
+        assert_eq!(inbox.len(), 2);
+        assert!(!inbox.is_empty());
+        let remaining: Vec<_> = inbox.iter().map(|(p, m)| (p, *m)).collect();
+        assert_eq!(remaining, vec![(ProcessId(2), 12), (ProcessId(3), 13)]);
+        inbox.clear();
+        assert!(inbox.is_empty());
+        assert_eq!(inbox.iter().count(), 0);
+    }
+
+    #[test]
+    fn into_iterator_moves_payloads_in_receiver_order() {
+        let out: Outbox<u8> = [(ProcessId(4), 4), (ProcessId(1), 1)].into_iter().collect();
+        let moved: Vec<_> = out.into_iter().collect();
+        assert_eq!(moved, vec![(ProcessId(1), 1), (ProcessId(4), 4)]);
     }
 }

@@ -4,8 +4,14 @@
 //! zero external dependencies, so instead of rayon this module drives a
 //! `std::thread::scope` worker pool over a shared atomic work index. Results
 //! come back in input order regardless of scheduling.
+//!
+//! Items are handed to workers **by value**: each work item is claimed
+//! exactly once (a per-item `Mutex<Option<T>>` turnstile keeps the claim
+//! safe without `unsafe`), so callers never clone items to keep a copy for
+//! the result pairing.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// The number of workers to use when the caller asked for "auto" (`0`):
 /// the machine's available parallelism, capped by the number of items.
@@ -16,26 +22,29 @@ fn resolve_threads(requested: usize, items: usize) -> usize {
 }
 
 /// Applies `f` to every item on a pool of `threads` workers (0 = auto),
-/// returning results in input order.
+/// returning results in input order. Each worker takes ownership of the
+/// items it claims; scheduling is dynamic (work stealing via a shared
+/// index), so grids with wildly uneven per-point cost stay balanced.
 ///
 /// # Panics
 ///
 /// Propagates the first worker panic.
-pub(crate) fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+pub(crate) fn par_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
 where
-    T: Sync,
+    T: Send,
     R: Send,
-    F: Fn(usize, &T) -> R + Sync,
+    F: Fn(usize, T) -> R + Sync,
 {
     let threads = resolve_threads(threads, items.len());
     if threads <= 1 || items.len() <= 1 {
         return items
-            .iter()
+            .into_iter()
             .enumerate()
             .map(|(i, item)| f(i, item))
             .collect();
     }
 
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
     let next = AtomicUsize::new(0);
     let mut indexed: Vec<(usize, R)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
@@ -44,10 +53,15 @@ where
                     let mut chunk = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= items.len() {
+                        if i >= slots.len() {
                             break;
                         }
-                        chunk.push((i, f(i, &items[i])));
+                        let item = slots[i]
+                            .lock()
+                            .expect("work-item lock poisoned")
+                            .take()
+                            .expect("each index is claimed exactly once");
+                        chunk.push((i, f(i, item)));
                     }
                     chunk
                 })
@@ -69,8 +83,8 @@ mod tests {
     #[test]
     fn results_come_back_in_input_order() {
         let items: Vec<usize> = (0..64).collect();
-        let out = par_map(&items, 4, |i, item| {
-            assert_eq!(i, *item);
+        let out = par_map(items, 4, |i, item| {
+            assert_eq!(i, item);
             item * 2
         });
         assert_eq!(out, (0..64).map(|i| i * 2).collect::<Vec<_>>());
@@ -79,16 +93,26 @@ mod tests {
     #[test]
     fn single_threaded_and_parallel_agree() {
         let items: Vec<u64> = (0..33).collect();
-        let serial = par_map(&items, 1, |_, x| x * x);
-        let parallel = par_map(&items, 8, |_, x| x * x);
+        let serial = par_map(items.clone(), 1, |_, x| x * x);
+        let parallel = par_map(items, 8, |_, x| x * x);
         assert_eq!(serial, parallel);
     }
 
     #[test]
     fn empty_input_yields_empty_output() {
         let items: Vec<u8> = Vec::new();
-        let out: Vec<u8> = par_map(&items, 0, |_, x| *x);
+        let out: Vec<u8> = par_map(items, 0, |_, x| x);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn workers_own_their_items() {
+        // A non-Clone item type proves ownership transfer: this would not
+        // compile if the pool needed to clone items.
+        struct Owned(usize);
+        let items: Vec<Owned> = (0..16).map(Owned).collect();
+        let out = par_map(items, 4, |_, item| item.0 + 1);
+        assert_eq!(out, (1..=16).collect::<Vec<_>>());
     }
 
     #[test]

@@ -10,12 +10,14 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 use crate::byzantine::ByzantineBehavior;
+use crate::campaign::ScenarioStats;
 use crate::error::SimError;
 use crate::execution::{Execution, FaultMode};
 use crate::executor::{run_slots, ExecutorConfig, Slot};
 use crate::ids::{ProcessId, Round};
 use crate::plan::{CrashPlan, IsolationPlan, NoFaults, OmissionPlan};
 use crate::protocol::Protocol;
+use crate::sink::{FullTrace, StatsSink, TraceMode, TraceSink};
 use crate::value::{Payload, Value};
 
 /// A boxed omission strategy, as stored in an [`Adversary`].
@@ -193,6 +195,7 @@ pub struct Scenario {
     t: usize,
     max_rounds: Option<u64>,
     stop_when_quiescent: Option<bool>,
+    trace_mode: Option<TraceMode>,
 }
 
 impl Scenario {
@@ -203,6 +206,7 @@ impl Scenario {
             t,
             max_rounds: None,
             stop_when_quiescent: None,
+            trace_mode: None,
         }
     }
 
@@ -214,6 +218,7 @@ impl Scenario {
             t: cfg.t,
             max_rounds: Some(cfg.max_rounds),
             stop_when_quiescent: Some(cfg.stop_when_quiescent),
+            trace_mode: Some(cfg.trace_mode),
         }
     }
 
@@ -226,6 +231,14 @@ impl Scenario {
     /// Enables or disables early stopping at quiescence (default: enabled).
     pub fn stop_when_quiescent(mut self, stop: bool) -> Self {
         self.stop_when_quiescent = Some(stop);
+        self
+    }
+
+    /// Sets the [`TraceMode`] consumed by stats-producing entry points
+    /// ([`ProtocolScenario::run_report`] and [`Campaign`](crate::Campaign)
+    /// sweeps). Default: [`TraceMode::Stats`].
+    pub fn trace_mode(mut self, mode: TraceMode) -> Self {
+        self.trace_mode = Some(mode);
         self
     }
 
@@ -252,6 +265,9 @@ impl Scenario {
         }
         if let Some(s) = self.stop_when_quiescent {
             cfg.stop_when_quiescent = s;
+        }
+        if let Some(m) = self.trace_mode {
+            cfg.trace_mode = m;
         }
         Ok(cfg)
     }
@@ -301,7 +317,16 @@ where
         self
     }
 
-    /// Drives the execution to quiescence or the horizon.
+    /// Sets the [`TraceMode`] consumed by [`ProtocolScenario::run_report`]
+    /// and [`Campaign`](crate::Campaign) sweeps.
+    pub fn trace_mode(mut self, mode: TraceMode) -> Self {
+        self.base = self.base.trace_mode(mode);
+        self
+    }
+
+    /// Drives the execution to quiescence or the horizon, materializing the
+    /// trace-complete [`Execution`] (always full trace: the result type *is*
+    /// the trace).
     ///
     /// # Errors
     ///
@@ -309,6 +334,47 @@ where
     /// wrong input count, out-of-range or overlapping fault assignments,
     /// oversize fault sets, and every model violation the executor detects.
     pub fn run(self) -> ScenarioResult<P> {
+        self.run_with_sink(FullTrace::new())
+    }
+
+    /// Drives the execution and returns its [`ScenarioStats`] without
+    /// materializing a trace: zero payload clones, no fragment allocation.
+    ///
+    /// The result is value-identical to
+    /// [`ScenarioStats::from_execution`] over [`ProtocolScenario::run`]'s
+    /// execution (engine-produced executions are valid by construction).
+    ///
+    /// # Errors
+    ///
+    /// As [`ProtocolScenario::run`].
+    pub fn run_stats(self) -> Result<ScenarioStats<P::Output>, SimError> {
+        self.run_with_sink(StatsSink::new())
+    }
+
+    /// Produces the [`ScenarioStats`] report honoring the configured
+    /// [`TraceMode`]: [`TraceMode::Stats`] (the default) takes the
+    /// allocation-free fast path, [`TraceMode::Full`] materializes and
+    /// validates the execution first. [`Campaign`](crate::Campaign) sweeps
+    /// run every grid point through this method.
+    ///
+    /// # Errors
+    ///
+    /// As [`ProtocolScenario::run`].
+    pub fn run_report(self) -> Result<ScenarioStats<P::Output>, SimError> {
+        match self.base.resolve_config()?.trace_mode {
+            TraceMode::Stats => self.run_stats(),
+            TraceMode::Full => self.run().map(|exec| ScenarioStats::from_execution(&exec)),
+        }
+    }
+
+    /// Drives the execution with a caller-provided [`TraceSink`] — the
+    /// extension point behind [`ProtocolScenario::run`] ([`FullTrace`]) and
+    /// [`ProtocolScenario::run_stats`] ([`StatsSink`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`ProtocolScenario::run`].
+    pub fn run_with_sink<S: TraceSink<P>>(self, sink: S) -> Result<S::Output, SimError> {
         let cfg = self.base.resolve_config()?;
         let inputs = self.inputs.ok_or(SimError::ProposalCount {
             got: 0,
@@ -347,7 +413,7 @@ where
             // A behavior was assigned to a process outside 0..n.
             return Err(SimError::BehaviorMismatch { process: stray });
         }
-        run_slots(&cfg, slots, &inputs, &faulty, plan.as_mut(), mode)
+        run_slots(&cfg, slots, &inputs, &faulty, plan.as_mut(), mode, sink)
     }
 }
 

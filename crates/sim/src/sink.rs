@@ -1,0 +1,303 @@
+//! Pluggable trace sinks: what the execution engine *records*.
+//!
+//! The engine ([`run_slots`](crate::executor)) routes every message through
+//! the omission plan and emits routing events to a [`TraceSink`]. What the
+//! run produces is the sink's choice:
+//!
+//! * [`FullTrace`] materializes the trace-complete
+//!   [`Execution`](crate::Execution) the proof machinery operates on
+//!   (`swap_omission`, `merge`, [`Execution::validate`](crate::Execution::validate))
+//!   — bit-for-bit what the engine always produced;
+//! * [`StatsSink`] accumulates a [`ScenarioStats`] report with **zero
+//!   payload clones and no fragment allocation** — the fast path for
+//!   campaign sweeps that only consume aggregate statistics.
+//!
+//! [`TraceMode`] names the two built-in sinks so infrastructure
+//! ([`ExecutorConfig`](crate::ExecutorConfig), [`Scenario`](crate::Scenario),
+//! [`Campaign`](crate::Campaign)) can dispatch without naming sink types;
+//! custom sinks plug in through
+//! [`ProtocolScenario::run_with_sink`](crate::ProtocolScenario::run_with_sink).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::campaign::ScenarioStats;
+use crate::execution::{Execution, FaultMode, ProcessRecord, RoundFragment};
+use crate::ids::{ProcessId, Round};
+use crate::mailbox::Inbox;
+use crate::protocol::Protocol;
+
+/// Which built-in [`TraceSink`] stats-producing entry points drive.
+///
+/// [`ProtocolScenario::run`](crate::ProtocolScenario::run) always returns a
+/// full [`Execution`](crate::Execution) (its result type demands the trace);
+/// this knob selects the engine's recording detail everywhere the caller
+/// only consumes [`ScenarioStats`] —
+/// [`ProtocolScenario::run_report`](crate::ProtocolScenario::run_report) and
+/// the [`Campaign`](crate::Campaign) sweeps built on it.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum TraceMode {
+    /// Materialize the full execution and derive stats from it (validating
+    /// the execution guarantees along the way).
+    Full,
+    /// Accumulate stats directly in the engine: no payload clones, no
+    /// fragment maps, an order of magnitude less memory on large grids.
+    #[default]
+    Stats,
+}
+
+/// Everything the engine knows at the end of a run, handed to
+/// [`TraceSink::finish`].
+pub struct RunSummary<P: Protocol> {
+    /// Number of processes `n`.
+    pub n: usize,
+    /// Resilience bound `t`.
+    pub t: usize,
+    /// The adversary model of the run.
+    pub mode: FaultMode,
+    /// The corrupted processes.
+    pub faulty: BTreeSet<ProcessId>,
+    /// Per-process decision and the round at the start of which it first
+    /// appeared, indexed by process id.
+    pub decisions: Vec<Option<(P::Output, Round)>>,
+    /// Number of rounds actually executed.
+    pub rounds: u64,
+    /// Whether the execution quiesced (see
+    /// [`Execution::quiescent`](crate::Execution::quiescent)).
+    pub quiescent: bool,
+}
+
+/// A consumer of the engine's routing events.
+///
+/// The engine calls the methods in a fixed deterministic order: `init` once,
+/// then per round `begin_round`, the routing events in ascending
+/// `(sender, receiver)` order, and `absorb_inbox` once per process in id
+/// order after that process's state transition; `finish` closes the run.
+/// Payloads arrive **by value** when only the sink could still want them
+/// (omitted messages) and **by reference** when the engine is about to
+/// deliver them, so a statistics sink never forces a clone.
+pub trait TraceSink<P: Protocol> {
+    /// What the run produces.
+    type Output;
+
+    /// Called once before round 1 with the system size and proposals.
+    fn init(&mut self, n: usize, proposals: &[P::Input]);
+
+    /// Called at the start of every executed round.
+    fn begin_round(&mut self, round: Round);
+
+    /// A message successfully sent (it is delivered to, or receive-omitted
+    /// by, its receiver). The engine still owns the payload.
+    fn sent(&mut self, round: Round, sender: ProcessId, receiver: ProcessId, payload: &P::Msg);
+
+    /// A message send-omitted by its (faulty) sender; the sink takes
+    /// ownership of the payload.
+    fn send_omitted(
+        &mut self,
+        round: Round,
+        sender: ProcessId,
+        receiver: ProcessId,
+        payload: P::Msg,
+    );
+
+    /// A message receive-omitted by its (faulty) receiver; the sink takes
+    /// ownership of the payload. The engine reported the same message via
+    /// [`TraceSink::sent`] first.
+    fn receive_omitted(
+        &mut self,
+        round: Round,
+        sender: ProcessId,
+        receiver: ProcessId,
+        payload: P::Msg,
+    );
+
+    /// Called after `receiver`'s state transition with the inbox it
+    /// observed. The sink **must leave the inbox empty** (drain or clear it);
+    /// the engine reuses the buffer for the next round.
+    fn absorb_inbox(&mut self, round: Round, receiver: ProcessId, inbox: &mut Inbox<P::Msg>);
+
+    /// Closes the run and produces the output.
+    fn finish(self, summary: RunSummary<P>) -> Self::Output;
+}
+
+/// The trace-complete sink: materializes the [`Execution`] value the proof
+/// constructions inspect, identical to what the engine recorded before
+/// sinks existed.
+pub struct FullTrace<P: Protocol> {
+    records: Vec<ProcessRecord<P::Input, P::Output, P::Msg>>,
+}
+
+impl<P: Protocol> FullTrace<P> {
+    /// An empty full-trace sink.
+    pub fn new() -> Self {
+        FullTrace {
+            records: Vec::new(),
+        }
+    }
+
+    fn fragment(&mut self, pid: ProcessId, round: Round) -> &mut RoundFragment<P::Msg> {
+        &mut self.records[pid.index()].fragments[round.index()]
+    }
+}
+
+impl<P: Protocol> Default for FullTrace<P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<P: Protocol> TraceSink<P> for FullTrace<P> {
+    type Output = Execution<P::Input, P::Output, P::Msg>;
+
+    fn init(&mut self, _n: usize, proposals: &[P::Input]) {
+        self.records = proposals
+            .iter()
+            .map(|v| ProcessRecord {
+                proposal: v.clone(),
+                decision: None,
+                fragments: Vec::new(),
+            })
+            .collect();
+    }
+
+    fn begin_round(&mut self, _round: Round) {
+        for rec in &mut self.records {
+            rec.fragments.push(RoundFragment::empty());
+        }
+    }
+
+    fn sent(&mut self, round: Round, sender: ProcessId, receiver: ProcessId, payload: &P::Msg) {
+        self.fragment(sender, round)
+            .sent
+            .insert(receiver, payload.clone());
+    }
+
+    fn send_omitted(
+        &mut self,
+        round: Round,
+        sender: ProcessId,
+        receiver: ProcessId,
+        payload: P::Msg,
+    ) {
+        self.fragment(sender, round)
+            .send_omitted
+            .insert(receiver, payload);
+    }
+
+    fn receive_omitted(
+        &mut self,
+        round: Round,
+        sender: ProcessId,
+        receiver: ProcessId,
+        payload: P::Msg,
+    ) {
+        self.fragment(receiver, round)
+            .receive_omitted
+            .insert(sender, payload);
+    }
+
+    fn absorb_inbox(&mut self, round: Round, receiver: ProcessId, inbox: &mut Inbox<P::Msg>) {
+        // Move (never clone) the round's payloads into the record; dense
+        // sender order matches BTreeMap order, so inserts are in-order
+        // appends.
+        let received = &mut self.fragment(receiver, round).received;
+        for (sender, payload) in inbox.drain() {
+            received.insert(sender, payload);
+        }
+    }
+
+    fn finish(mut self, summary: RunSummary<P>) -> Self::Output {
+        for (rec, decision) in self.records.iter_mut().zip(summary.decisions) {
+            rec.decision = decision;
+        }
+        Execution {
+            n: summary.n,
+            t: summary.t,
+            mode: summary.mode,
+            faulty: summary.faulty,
+            records: self.records,
+            rounds: summary.rounds,
+            quiescent: summary.quiescent,
+        }
+    }
+}
+
+/// The statistics sink: counts sends per process and drops every payload in
+/// place — no clones, no fragments, O(n) state regardless of trace length.
+///
+/// Its [`ScenarioStats`] output is value-identical to
+/// [`ScenarioStats::from_execution`] applied to the [`FullTrace`] result of
+/// the same run (engine-produced executions satisfy the execution
+/// guarantees by construction, so the validation pass a full trace enables
+/// can never add a violation).
+pub struct StatsSink {
+    sent: Vec<u64>,
+}
+
+impl StatsSink {
+    /// An empty stats sink.
+    pub fn new() -> Self {
+        StatsSink { sent: Vec::new() }
+    }
+}
+
+impl Default for StatsSink {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<P: Protocol> TraceSink<P> for StatsSink {
+    type Output = ScenarioStats<P::Output>;
+
+    fn init(&mut self, n: usize, _proposals: &[P::Input]) {
+        self.sent = vec![0; n];
+    }
+
+    fn begin_round(&mut self, _round: Round) {}
+
+    fn sent(&mut self, _round: Round, sender: ProcessId, _receiver: ProcessId, _payload: &P::Msg) {
+        self.sent[sender.index()] += 1;
+    }
+
+    fn send_omitted(&mut self, _: Round, _: ProcessId, _: ProcessId, _payload: P::Msg) {}
+
+    fn receive_omitted(&mut self, _: Round, _: ProcessId, _: ProcessId, _payload: P::Msg) {}
+
+    fn absorb_inbox(&mut self, _round: Round, _receiver: ProcessId, inbox: &mut Inbox<P::Msg>) {
+        inbox.clear();
+    }
+
+    fn finish(self, summary: RunSummary<P>) -> Self::Output {
+        let correct = ProcessId::all(summary.n).filter(|p| !summary.faulty.contains(p));
+        let decisions: BTreeMap<ProcessId, Option<P::Output>> = correct
+            .clone()
+            .map(|p| {
+                (
+                    p,
+                    summary.decisions[p.index()]
+                        .as_ref()
+                        .map(|(v, _)| v.clone()),
+                )
+            })
+            .collect();
+        let decided_by = crate::execution::latest_decision_round(
+            correct.map(|p| summary.decisions[p.index()].as_ref().map(|(_, r)| *r)),
+        );
+        let message_complexity = self
+            .sent
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !summary.faulty.contains(&ProcessId(*i)))
+            .map(|(_, c)| c)
+            .sum();
+        ScenarioStats {
+            message_complexity,
+            total_messages: self.sent.iter().sum(),
+            rounds: summary.rounds,
+            quiescent: summary.quiescent,
+            decided_by,
+            violations: ScenarioStats::derive_violations(&decisions),
+            decisions,
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! Sink equivalence: the trace-free [`StatsSink`] engine path must produce
+//! **value-identical** [`ScenarioStats`] to stats derived from the
+//! [`FullTrace`] execution of the same scenario — for every protocol, every
+//! adversary flavor (including mixed Byzantine+omission and seeded-random
+//! omission), and every input profile.
+//!
+//! This is the property that lets campaigns default to stats-only sweeps
+//! (`TraceMode::Stats`) without changing a single reported number.
+
+use ba_crypto::Keybook;
+use ba_protocols::broken::{
+    LeaderEcho, OneRoundAllToAll, OwnProposal, ParanoidEcho, SilentConstant,
+};
+use ba_protocols::{DolevStrong, EigConsensus, FloodSet, PhaseKing};
+use ba_sim::{
+    Adversary, Bit, Campaign, Payload, ProcessId, Protocol, RandomOmissionPlan, Round, Scenario,
+    ScenarioStats, SilentByzantine, SimRng, TraceMode,
+};
+
+/// Adversary flavors under test. `mixed` corrupts two processes, so it only
+/// applies when `t >= 2` (and `n >= 3` keeps the sets disjoint from p0).
+const ADVERSARIES: &[&str] = &[
+    "none",
+    "isolation",
+    "crash",
+    "random-omission",
+    "byzantine-silent",
+    "mixed",
+];
+
+const INPUTS: &[&str] = &["zeros", "ones", "alternating", "random"];
+
+fn adversary<M: Payload>(
+    label: &str,
+    n: usize,
+    _t: usize,
+    seed: u64,
+) -> Adversary<'static, Bit, M> {
+    let last = ProcessId(n - 1);
+    match label {
+        "none" => Adversary::none(),
+        "isolation" => Adversary::isolation([last], Round(2)),
+        "crash" => Adversary::crash([(last, Round(2))]),
+        "random-omission" => Adversary::omission(
+            [last],
+            RandomOmissionPlan::new([last], 0.25, 0.25, seed ^ 0xA11CE),
+        ),
+        "byzantine-silent" => Adversary::one_byzantine(last, SilentByzantine),
+        "mixed" => {
+            let omission_faulty = ProcessId(n - 2);
+            Adversary::mixed(
+                [(last, Box::new(SilentByzantine) as _)],
+                [omission_faulty],
+                RandomOmissionPlan::new([omission_faulty], 0.3, 0.3, seed ^ 0xB0B),
+            )
+        }
+        other => panic!("unknown adversary label {other:?}"),
+    }
+}
+
+fn inputs(label: &str, n: usize, seed: u64) -> Vec<Bit> {
+    match label {
+        "zeros" => vec![Bit::Zero; n],
+        "ones" => vec![Bit::One; n],
+        "alternating" => (0..n).map(|i| Bit::from(i % 2 == 1)).collect(),
+        "random" => {
+            let mut rng = SimRng::seed_from_u64(seed ^ 0x5EED);
+            (0..n).map(|_| Bit::from(rng.gen_bool(0.5))).collect()
+        }
+        other => panic!("unknown input label {other:?}"),
+    }
+}
+
+/// Runs one scenario through both engines and asserts identical outcomes —
+/// equal stats on success, equal typed errors on failure.
+fn assert_equivalent<P, F>(context: &str, n: usize, t: usize, factory: F, adv: &str, inp: &str)
+where
+    P: Protocol<Input = Bit, Output = Bit>,
+    F: Fn(ProcessId) -> P,
+{
+    let seed = (n as u64) << 32 | (t as u64) << 16 | 7;
+    let build = || {
+        Scenario::new(n, t)
+            .protocol(&factory)
+            .inputs(inputs(inp, n, seed))
+            .adversary(adversary(adv, n, t, seed))
+    };
+    let full = build().run().map(|exec| {
+        exec.validate()
+            .unwrap_or_else(|e| panic!("{context}: engine produced invalid execution: {e}"));
+        ScenarioStats::from_execution(&exec)
+    });
+    let stats = build().run_stats();
+    assert_eq!(
+        full, stats,
+        "{context}: StatsSink diverged from FullTrace-derived stats"
+    );
+}
+
+/// Every protocol × adversary × input profile over a small `(n, t)` grid.
+#[test]
+fn stats_sink_matches_full_trace_for_all_protocols_and_adversaries() {
+    // n > 3t throughout so phase-king and EIG participate everywhere. Small
+    // sizes on purpose: the property is about engine code paths (fates,
+    // modes, violations), which tiny systems already exercise; scale
+    // coverage comes from the large-n bench sweeps.
+    let grid = [(4usize, 1usize), (5, 1), (7, 2)];
+    for (n, t) in grid {
+        for adv in ADVERSARIES {
+            if *adv == "mixed" && (t < 2 || n < 3) {
+                continue;
+            }
+            for inp in INPUTS {
+                let ctx = |p: &str| format!("{p} n={n} t={t} adv={adv} in={inp}");
+                assert_equivalent(&ctx("flood-set"), n, t, |_| FloodSet::new(), adv, inp);
+                assert_equivalent(
+                    &ctx("dolev-strong"),
+                    n,
+                    t,
+                    DolevStrong::factory(Keybook::new(n), ProcessId(0), Bit::Zero),
+                    adv,
+                    inp,
+                );
+                assert_equivalent(&ctx("phase-king"), n, t, |_| PhaseKing::new(n, t), adv, inp);
+                assert_equivalent(
+                    &ctx("eig"),
+                    n,
+                    t,
+                    |_| EigConsensus::new(n, t, Bit::Zero),
+                    adv,
+                    inp,
+                );
+                assert_equivalent(
+                    &ctx("leader-echo"),
+                    n,
+                    t,
+                    |_: ProcessId| LeaderEcho::new(ProcessId(0)),
+                    adv,
+                    inp,
+                );
+                assert_equivalent(&ctx("own-proposal"), n, t, |_| OwnProposal::new(), adv, inp);
+                assert_equivalent(
+                    &ctx("one-round-all-to-all"),
+                    n,
+                    t,
+                    |_| OneRoundAllToAll::new(),
+                    adv,
+                    inp,
+                );
+                assert_equivalent(
+                    &ctx("paranoid-echo"),
+                    n,
+                    t,
+                    |_| ParanoidEcho::new(),
+                    adv,
+                    inp,
+                );
+                assert_equivalent(
+                    &ctx("silent-constant"),
+                    n,
+                    t,
+                    |_| SilentConstant::new(Bit::One),
+                    adv,
+                    inp,
+                );
+            }
+        }
+    }
+}
+
+/// Scenario errors (not just stats) must be identical across engines.
+#[test]
+fn both_engines_report_identical_typed_errors() {
+    let full = Scenario::new(3, 3)
+        .protocol(|_| FloodSet::new())
+        .uniform_input(Bit::Zero)
+        .run()
+        .unwrap_err();
+    let stats = Scenario::new(3, 3)
+        .protocol(|_| FloodSet::new())
+        .uniform_input(Bit::Zero)
+        .run_stats()
+        .unwrap_err();
+    assert_eq!(full, stats);
+}
+
+/// The same equivalence holds one level up: a `Campaign` sweep forced to
+/// `TraceMode::Full` must equal the default stats-only sweep, report for
+/// report — including violation strings and grid order.
+#[test]
+fn campaign_sweeps_are_mode_invariant() {
+    let build = |point: &ba_sim::CampaignPoint| {
+        let (n, t) = (point.n, point.t);
+        let scenario = Scenario::new(n, t)
+            .protocol(move |_| PhaseKing::new(n, t))
+            .inputs((0..n).map(|i| Bit::from(i % 2 == 0)));
+        match point.adversary.as_str() {
+            "isolation" => scenario.adversary(Adversary::isolation([ProcessId(n - 1)], Round(2))),
+            _ => scenario,
+        }
+    };
+    let grid = || {
+        Campaign::grid(
+            (4..12).map(|n| (n, (n - 1) / 3)),
+            &["none", "isolation"],
+            &["alternating"],
+        )
+    };
+    let stats_mode = grid().trace_mode(TraceMode::Stats).run_scenarios(build);
+    let full_mode = grid().trace_mode(TraceMode::Full).run_scenarios(build);
+    let default_mode = grid().run_scenarios(build);
+    assert_eq!(stats_mode, full_mode);
+    assert_eq!(stats_mode, default_mode, "campaigns default to stats mode");
+}
