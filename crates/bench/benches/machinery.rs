@@ -154,6 +154,26 @@ fn bench_campaign_throughput() {
     });
     assert_eq!(full, report, "sink equivalence must hold on the bench grid");
 
+    // The adaptive fault-model family (execution-observing adversaries:
+    // adaptive corruption, mobile corruption, seeded delivery scheduling)
+    // on the same (n, t) grid — tracked so the trait-dispatched fault layer
+    // stays honest about its hot-path cost.
+    let adaptive_points = Campaign::grid(
+        nts.iter().copied(),
+        &["adaptive-worst-case", "mobile", "scheduler"],
+        &["ones", "random"],
+    )
+    .points()
+    .to_vec();
+    log.time_best("scenario-sweep-adaptive/dolev-strong", 21, || {
+        let report =
+            ba_bench::dist::scenario_campaign_report(&adaptive_points, "dolev-strong", 7, 0)
+                .expect("registry sweep");
+        assert_eq!(report.errors().count(), 0, "{}", report.summary());
+        let total: u64 = report.stats().map(|(_, s)| s.total_messages).sum();
+        (adaptive_points.len(), total, ())
+    });
+
     // Large-n stats-only sweeps: the regime the dense buffers + StatsSink
     // exist for. Full traces at n = 64 would clone every signature chain
     // two extra times and keep O(n²·rounds) fragment maps resident.

@@ -4,7 +4,8 @@
 //! Usage:
 //!
 //! ```text
-//! paper-experiments [fig1|fig2|tab1|tab2|thm2|lemma4|thm3|cor1|thm4|thm5|upper|exhaustive|all]
+//! paper-experiments [fig1|fig2|tab1|tab2|thm2|lemma4|thm3|cor1|thm4|thm5|upper|exhaustive|
+//!                    adaptive|all]
 //!                   [--shards N]
 //! ```
 //!
@@ -94,7 +95,70 @@ fn main() {
     if run_all || arg == "exhaustive" {
         exhaustive();
     }
+    if run_all || arg == "adaptive" {
+        adaptive();
+    }
     println!();
+}
+
+/// EXP-ADV — the adaptive fault layer: execution-observing adversaries
+/// (adaptive worst-case corruption, mobile corruption, seeded delivery
+/// scheduling) swept against the correct protocols via the campaign
+/// registry, compared with the fault-free and static-isolation baselines.
+fn adaptive() {
+    use ba_sim::{Campaign, CampaignPoint};
+    header(
+        "EXP-ADV",
+        "Adaptive adversaries: corruption chosen from the observed execution",
+    );
+    println!(
+        "\nEach row sweeps one protocol × adversary over n = 8..16 (t = 2):\n\
+         message complexity is the count of messages sent by correct\n\
+         processes — the adaptive worst case mutes the chattiest senders it\n\
+         observed in round 1, the mobile adversary walks its corruption\n\
+         through the last t processes, and the scheduler reorders delivery\n\
+         against a capacity-limited victim. All sweeps run stats-only.\n"
+    );
+    let adversaries = [
+        "none",
+        "isolation",
+        "adaptive-worst-case",
+        "mobile",
+        "scheduler",
+    ];
+    let nts: Vec<(usize, usize)> = (8..=16).step_by(2).map(|n| (n, 2)).collect();
+    println!(
+        "{:<14} {:<20} {:>10} {:>10} {:>10}",
+        "protocol", "adversary", "msgs(max)", "rounds", "undecided"
+    );
+    for protocol in ["dolev-strong", "phase-king", "flood-set"] {
+        for adversary in adversaries {
+            let points: Vec<CampaignPoint> =
+                Campaign::grid(nts.iter().copied(), &[adversary], &["alternating"])
+                    .points()
+                    .to_vec();
+            let report = ba_bench::dist::scenario_campaign_report(&points, protocol, 11, 0)
+                .expect("registry sweep");
+            assert_eq!(report.errors().count(), 0, "{}", report.summary());
+            let max_complexity = report.max_message_complexity();
+            let max_rounds = report.stats().map(|(_, s)| s.rounds).max().unwrap_or(0);
+            let undecided: usize = report
+                .violations()
+                .filter(|(_, v)| v.contains("termination"))
+                .count();
+            println!(
+                "{protocol:<14} {adversary:<20} {max_complexity:>10} {max_rounds:>10} {undecided:>10}"
+            );
+        }
+        println!();
+    }
+    println!(
+        "(Correct protocols keep deciding under every adaptive flavor —\n\
+         zero undecided processes — while their correct-sender complexity\n\
+         drops: muted victims are charged to the fault set and stop\n\
+         counting. Any termination or agreement breakage would surface in\n\
+         the violations column via the campaign machinery.)"
+    );
 }
 
 /// EXP-F1 — Figure 1: isolation anatomy.

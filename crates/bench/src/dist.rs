@@ -19,7 +19,12 @@
 //!
 //! Adversary labels (scenario mode): `none`, `isolation` (last process
 //! isolated from round 2), `crash` (last process crash-stops at round 2),
-//! `random-omission` (last process, seeded per-point drop coin-flips).
+//! `random-omission` (last process, seeded per-point drop coin-flips),
+//! and the adaptive fault-model family — `adaptive-worst-case` (corrupts
+//! and mutes the `t` chattiest processes after observing round 1),
+//! `mobile` (corruption moves through the last `t` processes, two rounds
+//! each), `scheduler` (seeded per-point delivery reordering against a
+//! capacity-limited last process).
 //! Input labels: `default`/`zeros`, `ones`, `alternating`, `one-hot`,
 //! `random` (seeded per-point).
 
@@ -55,7 +60,15 @@ pub const REGISTRY: &[&str] = &[
 ];
 
 /// Adversary labels interpreted by scenario-mode workers.
-pub const ADVERSARIES: &[&str] = &["none", "isolation", "crash", "random-omission"];
+pub const ADVERSARIES: &[&str] = &[
+    "none",
+    "isolation",
+    "crash",
+    "random-omission",
+    "adaptive-worst-case",
+    "mobile",
+    "scheduler",
+];
 
 /// Input-profile labels interpreted by scenario-mode workers.
 pub const INPUTS: &[&str] = &[
@@ -263,7 +276,7 @@ fn run_points<P, F, G, S>(
 ) -> CampaignReport<Bit>
 where
     P: Protocol<Input = Bit, Output = Bit>,
-    F: Fn(ProcessId) -> P,
+    F: Fn(ProcessId) -> P + Sync,
     G: Fn(&CampaignPoint) -> F + Sync,
     S: Fn(&CampaignPoint) -> u64 + Sync,
 {
@@ -287,12 +300,25 @@ where
             _ => scenario.uniform_input(Bit::Zero),
         };
         let last = ProcessId(n.saturating_sub(1));
+        let t = point.t;
         match point.adversary.as_str() {
             "isolation" => scenario.adversary(Adversary::isolation([last], Round(2))),
             "crash" => scenario.adversary(Adversary::crash([(last, Round(2))])),
             "random-omission" => scenario.adversary(Adversary::omission(
                 [last],
                 RandomOmissionPlan::new([last], 0.25, 0.25, seed ^ 0x2),
+            )),
+            // The adaptive fault-model family: execution-observing
+            // adversaries the closed enum could not express.
+            "adaptive-worst-case" => scenario.adversary(Adversary::adaptive_worst_case(t)),
+            "mobile" => scenario.adversary(Adversary::mobile(
+                (n.saturating_sub(t)..n).map(ProcessId),
+                2,
+            )),
+            "scheduler" => scenario.adversary(Adversary::scheduler(
+                last,
+                (n.saturating_sub(1)) / 2,
+                seed ^ 0x3,
             )),
             // "none" (validated up front).
             _ => scenario,
@@ -307,7 +333,7 @@ fn falsify_points<P, F, G>(
 ) -> Vec<FalsifierSweepPoint>
 where
     P: Protocol<Input = Bit, Output = Bit>,
-    F: Fn(ProcessId) -> P,
+    F: Fn(ProcessId) -> P + Sync,
     G: Fn(&CampaignPoint) -> F + Sync,
 {
     let mut campaign = Campaign::over(points.to_vec());
@@ -404,7 +430,7 @@ mod tests {
     fn mixed_grid() -> Vec<CampaignPoint> {
         Campaign::grid(
             [(4, 1), (5, 1), (6, 2)],
-            &["none", "isolation", "crash", "random-omission"],
+            ADVERSARIES,
             &["zeros", "ones", "random"],
         )
         .points()
@@ -482,6 +508,35 @@ mod tests {
             let sweep = falsifier_report_with(&points, 1, label).unwrap();
             assert_eq!(sweep.len(), 1, "{label}");
         }
+    }
+
+    #[test]
+    fn every_adversary_label_resolves_and_respects_the_model() {
+        // One point per adversary label, all protocols stats-swept: the
+        // adaptive family must execute without model violations (the
+        // adaptive/mobile/scheduler adversaries may slow decisions but
+        // never break the engine's execution guarantees).
+        let points: Vec<CampaignPoint> = ADVERSARIES
+            .iter()
+            .map(|adv| {
+                CampaignPoint::new(7, 2)
+                    .with_adversary(*adv)
+                    .with_inputs("ones")
+            })
+            .collect();
+        let report = scenario_campaign_report(&points, "dolev-strong", 5, 1).unwrap();
+        assert_eq!(report.outcomes.len(), ADVERSARIES.len());
+        assert_eq!(report.errors().count(), 0, "{}", report.summary());
+        // The adaptive worst case mutes the chattiest processes, so its
+        // correct-sender complexity must differ from the fault-free point.
+        let complexity = |label: &str| {
+            report
+                .stats()
+                .find(|(p, _)| p.adversary == label)
+                .map(|(_, s)| s.message_complexity)
+                .unwrap()
+        };
+        assert!(complexity("adaptive-worst-case") < complexity("none"));
     }
 
     #[test]

@@ -152,7 +152,7 @@ pub(crate) fn falsifier_points(nts: &[(usize, usize)]) -> Vec<CampaignPoint> {
 pub(crate) fn falsify_point<P, F>(point: &CampaignPoint, factory: F) -> FalsifierSweepPoint
 where
     P: Protocol<Input = Bit, Output = Bit>,
-    F: Fn(ProcessId) -> P,
+    F: Fn(ProcessId) -> P + Sync,
 {
     let cfg = FalsifierConfig::new(point.n, point.t);
     let verdict = falsify(&cfg, factory).expect("falsifier run");
@@ -192,7 +192,7 @@ where
 pub fn falsifier_sweep<P, F, G>(nts: &[(usize, usize)], factory: G) -> Vec<FalsifierSweepPoint>
 where
     P: Protocol<Input = Bit, Output = Bit>,
-    F: Fn(ProcessId) -> P,
+    F: Fn(ProcessId) -> P + Sync,
     G: Fn(&CampaignPoint) -> F + Sync,
 {
     Campaign::over(falsifier_points(nts))

@@ -19,11 +19,14 @@ fn worker() -> WorkerCommand {
 }
 
 /// A mixed-adversary, mixed-input grid: every adversary flavor the worker
-/// registry interprets, including the seeded one.
+/// registry interprets — the static plans, the seeded one, and the adaptive
+/// fault-model family (`adaptive-worst-case` / `mobile` / `scheduler`), so
+/// shard invariance is checked end-to-end for execution-observing
+/// adversaries too.
 fn mixed_grid() -> Vec<CampaignPoint> {
     Campaign::grid(
         [(4, 1), (5, 1), (6, 2), (7, 2)],
-        &["none", "isolation", "crash", "random-omission"],
+        ba_bench::dist::ADVERSARIES,
         &["ones", "alternating", "random"],
     )
     .points()

@@ -56,9 +56,20 @@ pub struct FalsifierConfig {
     /// (`4·(t + 2) + 8`, ample for every protocol in this repository, all
     /// of which decide within `3(t + 1) + 1` rounds).
     pub horizon: u64,
+    /// Run the two bit orientations of the argument concurrently
+    /// (`Some(choice)`), or decide by instance size (`None`, the default):
+    /// big instances parallelize, small ones keep the sequential
+    /// short-circuit — a refuted canonical orientation skips the flipped
+    /// pass entirely, which thread-spawn overhead would otherwise swamp.
+    pub parallel_orientations: Option<bool>,
 }
 
 impl FalsifierConfig {
+    /// Above this `n · t` product the per-orientation work dwarfs the cost
+    /// of two scoped-thread spawns and forgoing the refuted-early
+    /// short-circuit, so orientations default to running concurrently.
+    pub const PARALLEL_WORK_THRESHOLD: usize = 512;
+
     /// Creates a configuration with the default horizon.
     ///
     /// # Panics
@@ -70,9 +81,22 @@ impl FalsifierConfig {
             n,
             t,
             horizon: 4 * (t as u64 + 2) + 8,
+            parallel_orientations: None,
         };
         let _ = cfg.partition(); // validate early
         cfg
+    }
+
+    /// Forces orientation parallelism on or off (default: by size).
+    pub fn with_parallel_orientations(mut self, parallel: bool) -> Self {
+        self.parallel_orientations = Some(parallel);
+        self
+    }
+
+    /// Whether this run executes its two bit orientations concurrently.
+    pub fn orientations_in_parallel(&self) -> bool {
+        self.parallel_orientations
+            .unwrap_or(self.n * self.t >= Self::PARALLEL_WORK_THRESHOLD)
     }
 
     /// The executor configuration used for every constructed execution:
@@ -353,6 +377,17 @@ impl Stats {
 
 /// Runs the complete Theorem 2 argument against `factory`'s protocol.
 ///
+/// The two bit orientations — the canonical protocol and its
+/// [`BitFlipped`] WLOG sibling — are **independent** full passes of the
+/// argument; on big instances
+/// ([`FalsifierConfig::orientations_in_parallel`]) they run concurrently
+/// on the `ba_sim::par_map` pool (the same pool Campaign sweeps use), while
+/// small instances keep the sequential short-circuit. The verdict is
+/// orientation-ordered exactly as the sequential argument: a canonical
+/// violation wins over a flipped one, and a survival report accumulates
+/// canonical statistics before flipped ones, so survival results are
+/// value-identical in both modes.
+///
 /// # Errors
 ///
 /// Returns [`FalsifyError`] only for protocols that violate the
@@ -362,23 +397,57 @@ impl Stats {
 pub fn falsify<P, F>(cfg: &FalsifierConfig, factory: F) -> Result<Verdict<P::Msg>, FalsifyError>
 where
     P: Protocol<Input = Bit, Output = Bit>,
-    F: Fn(ProcessId) -> P,
+    F: Fn(ProcessId) -> P + Sync,
 {
-    let mut stats = Stats::default();
-    if let Some(cert) = attempt(cfg, &factory, &mut stats, false)? {
+    if !cfg.orientations_in_parallel() {
+        let mut stats = Stats::default();
+        if let Some(cert) = attempt(cfg, &factory, &mut stats, false)? {
+            return Ok(Verdict::Violation(cert));
+        }
+        // WLOG step: rerun the whole argument on the bit-flipped protocol.
+        let flipped_factory = |pid: ProcessId| BitFlipped::new(factory(pid));
+        if let Some(cert) = attempt(cfg, &flipped_factory, &mut stats, true)? {
+            return Ok(Verdict::Violation(unflip_certificate(cert)));
+        }
+        return Ok(survival(cfg, stats));
+    }
+
+    let mut outcomes = ba_sim::par_map(vec![false, true], 2, |_, flipped| {
+        let mut stats = Stats::default();
+        let result = if flipped {
+            // WLOG step: the whole argument on the bit-flipped protocol.
+            let flipped_factory = |pid: ProcessId| BitFlipped::new(factory(pid));
+            attempt(cfg, &flipped_factory, &mut stats, true)
+        } else {
+            attempt(cfg, &factory, &mut stats, false)
+        };
+        (result, stats)
+    });
+    let (flipped_outcome, flipped_stats) = outcomes.pop().expect("two orientations");
+    let (canonical_outcome, mut stats) = outcomes.pop().expect("two orientations");
+    if let Some(cert) = canonical_outcome? {
         return Ok(Verdict::Violation(cert));
     }
-    // WLOG step: rerun the whole argument on the bit-flipped protocol.
-    let flipped_factory = |pid: ProcessId| BitFlipped::new(factory(pid));
-    if let Some(cert) = attempt(cfg, &flipped_factory, &mut stats, true)? {
+    if let Some(cert) = flipped_outcome? {
         return Ok(Verdict::Violation(unflip_certificate(cert)));
     }
-    Ok(Verdict::Survived(SurvivalReport {
+    stats.max_complexity = stats.max_complexity.max(flipped_stats.max_complexity);
+    stats.explored += flipped_stats.explored;
+    stats.notes.extend(flipped_stats.notes);
+    Ok(Verdict::Survived(survival_report(cfg, stats)))
+}
+
+fn survival<M: Payload>(cfg: &FalsifierConfig, stats: Stats) -> Verdict<M> {
+    Verdict::Survived(survival_report(cfg, stats))
+}
+
+fn survival_report(cfg: &FalsifierConfig, stats: Stats) -> SurvivalReport {
+    SurvivalReport {
         max_message_complexity: stats.max_complexity,
         paper_bound: cfg.paper_bound(),
         executions_explored: stats.explored,
         notes: stats.notes,
-    }))
+    }
 }
 
 fn unflip_certificate<M: Payload>(cert: Certificate<M>) -> Certificate<M> {
@@ -912,6 +981,55 @@ where
 mod tests {
     use super::*;
     use ba_protocols::broken::{LeaderEcho, OneRoundAllToAll, OwnProposal, SilentConstant};
+
+    #[test]
+    fn parallel_and_sequential_orientations_agree() {
+        use ba_crypto::Keybook;
+        use ba_protocols::DolevStrong;
+        // A surviving protocol: both orientations always run, so the
+        // survival reports must be value-identical across modes.
+        let (n, t) = (8, 2);
+        let factory = DolevStrong::factory(Keybook::new(n), ProcessId(0), Bit::Zero);
+        let sequential = falsify(
+            &FalsifierConfig::new(n, t).with_parallel_orientations(false),
+            &factory,
+        )
+        .unwrap();
+        let parallel = falsify(
+            &FalsifierConfig::new(n, t).with_parallel_orientations(true),
+            &factory,
+        )
+        .unwrap();
+        match (&sequential, &parallel) {
+            (Verdict::Survived(a), Verdict::Survived(b)) => assert_eq!(a, b),
+            other => panic!("dolev-strong should survive in both modes: {other:?}"),
+        }
+        // A refuted protocol yields the same certificate in both modes (the
+        // canonical orientation wins regardless of scheduling).
+        let seq = falsify(
+            &FalsifierConfig::new(n, t).with_parallel_orientations(false),
+            |_: ProcessId| LeaderEcho::new(ProcessId(0)),
+        )
+        .unwrap();
+        let par = falsify(
+            &FalsifierConfig::new(n, t).with_parallel_orientations(true),
+            |_: ProcessId| LeaderEcho::new(ProcessId(0)),
+        )
+        .unwrap();
+        assert_eq!(
+            seq.certificate().map(|c| (&c.kind, &c.provenance)),
+            par.certificate().map(|c| (&c.kind, &c.provenance)),
+        );
+    }
+
+    #[test]
+    fn orientation_parallelism_defaults_by_instance_size() {
+        assert!(!FalsifierConfig::new(8, 2).orientations_in_parallel());
+        assert!(FalsifierConfig::new(96, 88).orientations_in_parallel());
+        assert!(FalsifierConfig::new(8, 2)
+            .with_parallel_orientations(true)
+            .orientations_in_parallel());
+    }
 
     #[test]
     fn silent_constant_one_fails_weak_validity() {

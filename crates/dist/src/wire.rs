@@ -356,6 +356,10 @@ impl Encode for SimError {
                 "error kind=omission-by-correct process={} round={}",
                 process.0, round.0
             ),
+            SimError::ForgeByCorrect { process, round } => format!(
+                "error kind=forge-by-correct process={} round={}",
+                process.0, round.0
+            ),
             SimError::DecisionChanged { process, round } => format!(
                 "error kind=decision-changed process={} round={}",
                 process.0, round.0
@@ -396,6 +400,10 @@ impl Decode for SimError {
                 n: rec.parse_field("n")?,
             }),
             "omission-by-correct" => Ok(SimError::OmissionByCorrect {
+                process: process("process")?,
+                round: round("round")?,
+            }),
+            "forge-by-correct" => Ok(SimError::ForgeByCorrect {
                 process: process("process")?,
                 round: round("round")?,
             }),
@@ -686,6 +694,9 @@ mod tests {
             "",
             "none",
             "random-omission",
+            "adaptive-worst-case",
+            "mobile",
+            "scheduler",
             "has space",
             "eq=sign",
             "pipe|comma,colon:",
@@ -709,7 +720,7 @@ mod tests {
     fn sim_error(rng: &mut SimRng) -> SimError {
         let p = ProcessId(rng.gen_index(0, 9));
         let r = Round(rng.gen_range(1, 9));
-        match rng.gen_index(0, 8) {
+        match rng.gen_index(0, 9) {
             0 => SimError::InvalidResilience {
                 n: rng.gen_index(0, 9),
                 t: rng.gen_index(0, 9),
@@ -738,6 +749,10 @@ mod tests {
             6 => SimError::TooManyFaulty {
                 got: rng.gen_index(0, 9),
                 t: rng.gen_index(0, 9),
+            },
+            7 => SimError::ForgeByCorrect {
+                process: p,
+                round: r,
             },
             _ => SimError::BehaviorMismatch { process: p },
         }

@@ -1,16 +1,25 @@
-//! Protocol-specific Byzantine strategies used to validate the correct
-//! protocols under adversarial pressure.
+//! Protocol-specific adversary strategies used to validate the correct
+//! protocols under adversarial pressure: Byzantine slot behaviors
+//! ([`ByzantineBehavior`]) and execution-observing fault models
+//! ([`FaultModel`]).
 //!
 //! Every attack here is constructed from capabilities the adversary
-//! legitimately has: its own keychain, messages it observed, and arbitrary
-//! scheduling of type-correct payloads. None can forge signatures
-//! (`ba-crypto` prevents it by construction).
+//! legitimately has: its own keychain, messages it observed, knowledge of
+//! the protocol's public schedule, and arbitrary scheduling of type-correct
+//! payloads. None can forge signatures (`ba-crypto` prevents it by
+//! construction).
+
+use std::collections::BTreeSet;
 
 use ba_crypto::Keychain;
-use ba_sim::{Bit, ByzantineBehavior, Inbox, Outbox, ProcessCtx, ProcessId, Round, Value};
+use ba_sim::{
+    Bit, ByzantineBehavior, ExecutionView, FaultBudget, FaultDirective, FaultModel, Inbox, Outbox,
+    ProcessCtx, ProcessId, Round, Routing, Value,
+};
 
 use crate::dolev_strong::{DsBatch, DsEntry};
 use crate::phase_king::PkMsg;
+use crate::PhaseKing;
 use ba_crypto::SignatureChain;
 
 /// An equivocating Dolev-Strong *sender*: signs `v0` for even-indexed peers
@@ -215,13 +224,85 @@ impl ByzantineBehavior<Bit, PkMsg> for SplitReporter {
     }
 }
 
+/// The adaptive king silencer: a [`FaultModel`] attacking Phase King's one
+/// structural weakness — the per-phase king broadcast.
+///
+/// The model knows the protocol's public king schedule
+/// ([`PhaseKing::king_of_phase`]): at the start of every king round it
+/// corrupts that phase's king **just in time** (spending one unit of its
+/// budget) and send-omits the king's `PkMsg::King` broadcast, leaving every
+/// correct process to fall back to its tentative value. A static adversary
+/// must pick its victims before round 1; this adaptive one silences the
+/// kings of the first `budget` phases exactly — the worst case the
+/// `t + 1`-phase structure is designed to survive, which the tests assert.
+#[derive(Clone, Debug, Default)]
+pub struct KingSilencer {
+    budget: usize,
+    silenced: BTreeSet<ProcessId>,
+}
+
+impl KingSilencer {
+    /// Silences the kings of the first `budget` phases (requires
+    /// `budget ≤ t` at the scenario level).
+    pub fn new(budget: usize) -> Self {
+        KingSilencer {
+            budget,
+            silenced: BTreeSet::new(),
+        }
+    }
+
+    /// The kings silenced so far.
+    pub fn silenced(&self) -> &BTreeSet<ProcessId> {
+        &self.silenced
+    }
+
+    /// The phase whose king broadcast is routed in `round`, if any.
+    fn phase_of_king_round(round: Round) -> Option<u64> {
+        (round.0 % 3 == 0).then_some(round.0 / 3)
+    }
+}
+
+impl FaultModel<PkMsg> for KingSilencer {
+    fn budget(&self) -> FaultBudget {
+        FaultBudget::Adaptive(self.budget)
+    }
+
+    fn begin_round(&mut self, view: ExecutionView<'_>) -> Vec<FaultDirective> {
+        let Some(phase) = Self::phase_of_king_round(view.round) else {
+            return Vec::new();
+        };
+        let king = PhaseKing::king_of_phase(phase, view.n);
+        if self.silenced.contains(&king) || self.silenced.len() >= self.budget {
+            return Vec::new();
+        }
+        self.silenced.insert(king);
+        vec![FaultDirective::Corrupt(king)]
+    }
+
+    fn route(
+        &mut self,
+        view: ExecutionView<'_>,
+        sender: ProcessId,
+        _receiver: ProcessId,
+        payload: &PkMsg,
+    ) -> Routing<PkMsg> {
+        if Self::phase_of_king_round(view.round).is_some()
+            && self.silenced.contains(&sender)
+            && matches!(payload, PkMsg::King(_))
+        {
+            Routing::SendOmit
+        } else {
+            Routing::Deliver
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::DolevStrong;
     use ba_crypto::Keybook;
     use ba_sim::{Adversary, Scenario, SilentByzantine};
-    use std::collections::BTreeSet;
 
     #[test]
     fn two_faced_sender_is_caught_and_default_decided() {
@@ -291,6 +372,54 @@ mod tests {
             .map(|p| exec.decision_of(p).cloned())
             .collect();
         assert_eq!(decisions.len(), 1, "agreement violated");
+    }
+
+    #[test]
+    fn king_silencer_mutes_exactly_the_first_budget_kings() {
+        let (n, t) = (7, 2);
+        let exec = Scenario::new(n, t)
+            .protocol(move |_| PhaseKing::new(n, t))
+            .inputs((0..n).map(|i| Bit::from(i % 2 == 0)))
+            .adversary(Adversary::model(KingSilencer::new(t)))
+            .run()
+            .unwrap();
+        exec.validate().unwrap();
+        // The adaptive model corrupted the kings of phases 1 and 2, just in
+        // time for their broadcasts; phase 3's king was left alone.
+        assert_eq!(
+            exec.faulty,
+            [ProcessId(0), ProcessId(1)].into_iter().collect()
+        );
+        // The silenced broadcasts are recorded as send-omissions in the king
+        // rounds (3 and 6).
+        assert_eq!(
+            exec.record(ProcessId(0)).fragments[2].send_omitted.len(),
+            n - 1
+        );
+        assert_eq!(
+            exec.record(ProcessId(1)).fragments[5].send_omitted.len(),
+            n - 1
+        );
+        // With t + 1 = 3 phases there is a phase with an unsilenced king:
+        // Agreement and Termination survive.
+        let decisions: BTreeSet<_> = exec
+            .correct()
+            .map(|p| exec.decision_of(p).cloned())
+            .collect();
+        assert_eq!(decisions.len(), 1, "agreement violated by king silencer");
+        assert!(decisions.iter().all(|d| d.is_some()));
+    }
+
+    #[test]
+    fn king_silencer_budget_is_validated_against_t() {
+        let (n, t) = (7, 2);
+        let err = Scenario::new(n, t)
+            .protocol(move |_| PhaseKing::new(n, t))
+            .uniform_input(Bit::Zero)
+            .adversary(Adversary::model(KingSilencer::new(t + 1)))
+            .run()
+            .unwrap_err();
+        assert_eq!(err, ba_sim::SimError::InvalidResilience { n, t });
     }
 
     #[test]

@@ -42,6 +42,14 @@ pub enum SimError {
         /// The round of the offending fate decision.
         round: Round,
     },
+    /// The fault model forged a message from a sender that is not currently
+    /// corrupted.
+    ForgeByCorrect {
+        /// The correct sender whose message the model tried to forge.
+        process: ProcessId,
+        /// The round of the offending routing decision.
+        round: Round,
+    },
     /// A protocol changed its decision after deciding (decisions are
     /// irrevocable).
     DecisionChanged {
@@ -98,6 +106,12 @@ impl fmt::Display for SimError {
                 write!(
                     f,
                     "omission plan blamed correct process {process} in {round}"
+                )
+            }
+            SimError::ForgeByCorrect { process, round } => {
+                write!(
+                    f,
+                    "fault model forged a message from correct process {process} in {round}"
                 )
             }
             SimError::DecisionChanged { process, round } => {

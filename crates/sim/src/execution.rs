@@ -25,7 +25,7 @@ pub enum FaultMode {
     Byzantine,
     /// Per-process mixed corruption: some faulty processes are Byzantine,
     /// the rest omission-faulty, in one execution
-    /// (see [`Adversary::Mixed`](crate::Adversary::Mixed)).
+    /// (see [`Adversary::mixed`](crate::Adversary::mixed)).
     Mixed,
 }
 

@@ -2,10 +2,12 @@
 //!
 //! All executions are driven by one engine, [`run_slots`], reached through
 //! the [`Scenario`](crate::Scenario) builder: honest state machines and
-//! Byzantine behaviors occupy per-process slots, and an
-//! [`OmissionPlan`] decides each message's fate. Routing runs over dense,
-//! run-long mailbox slabs (no per-round map allocation), and what gets
-//! *recorded* is delegated to a [`TraceSink`]: the
+//! Byzantine behaviors occupy per-process slots, and a
+//! [`FaultModel`] decides — observing the unfolding execution — who is
+//! corrupted and what happens to each message (deliver, omit, forge, and
+//! optionally in what order the round's messages are routed). Routing runs
+//! over dense, run-long mailbox slabs (no per-round map allocation), and
+//! what gets *recorded* is delegated to a [`TraceSink`]: the
 //! [`FullTrace`](crate::FullTrace) sink produces trace-complete
 //! [`Execution`](crate::Execution) values that satisfy the model's
 //! execution guarantees by construction (re-checkable via
@@ -17,9 +19,9 @@ use std::collections::BTreeSet;
 
 use crate::error::SimError;
 use crate::execution::FaultMode;
+use crate::fault::{Envelope, ExecutionView, FaultBudget, FaultDirective, FaultModel, Routing};
 use crate::ids::{ProcessId, Round};
 use crate::mailbox::{Inbox, Outbox};
-use crate::plan::OmissionPlan;
 use crate::protocol::{ProcessCtx, Protocol};
 use crate::scenario::BoxedBehavior;
 use crate::sink::{RunSummary, TraceMode, TraceSink};
@@ -137,21 +139,31 @@ impl<P: Protocol> Slot<'_, P> {
 }
 
 /// The execution engine: drives the slots round by round, routing every
-/// message through `plan`, enforcing the model's guarantees, and emitting
-/// every routing event to `sink`. All adversary flavors — none, omission,
-/// Byzantine, crash, mixed — reduce to a slot assignment plus a plan; what
-/// the run *produces* is the sink's choice.
+/// message through the [`FaultModel`], enforcing the model's guarantees,
+/// and emitting every routing event to `sink`. All adversary flavors —
+/// none, omission, Byzantine, crash, mixed, adaptive, mobile, scheduling —
+/// reduce to a slot assignment plus a fault model; what the run *produces*
+/// is the sink's choice.
 ///
 /// Routing buffers are dense and run-long: one reusable [`Inbox`] slab per
 /// process (cleared by the sink each round), outboxes drained by move. A
 /// delivered payload is moved — never cloned — from the sender's outbox into
-/// the receiver's inbox; only a full-trace sink pays clone costs.
+/// the receiver's inbox; only a full-trace sink pays clone costs. The
+/// envelope queue for delivery rescheduling is materialized **only** when
+/// the model asks for it ([`FaultModel::reorders`]), so non-scheduling
+/// models keep the dense per-sender fast path.
+///
+/// Corruption is dynamic: the model's [`FaultModel::begin_round`]
+/// directives evolve the *currently corrupted* set (who may be blamed right
+/// now) while the *charged* set — every process ever corrupted — is what
+/// the budget bounds and what the produced execution records as its fault
+/// set, so adaptive and mobile runs still satisfy `|F| ≤ t`.
 pub(crate) fn run_slots<P, S>(
     cfg: &ExecutorConfig,
     mut slots: Vec<Slot<'_, P>>,
     proposals: &[P::Input],
-    faulty: &BTreeSet<ProcessId>,
-    plan: &mut dyn OmissionPlan<P::Msg>,
+    byzantine: &BTreeSet<ProcessId>,
+    model: &mut dyn FaultModel<P::Msg>,
     mode: FaultMode,
     mut sink: S,
 ) -> Result<S::Output, SimError>
@@ -166,15 +178,41 @@ where
             expected: n,
         });
     }
-    if faulty.len() > cfg.t {
-        return Err(SimError::TooManyFaulty {
-            got: faulty.len(),
-            t: cfg.t,
-        });
-    }
-    if let Some(p) = faulty.iter().find(|p| p.index() >= n) {
-        return Err(SimError::BehaviorMismatch { process: *p });
-    }
+
+    // Central build-time budget validation: a model whose eventual
+    // corruption set can exceed `t` is rejected here, before round 1.
+    // Byzantine slot processes are corrupted by construction and count
+    // against the same joint budget.
+    let (mut corrupted, cap) = match model.budget() {
+        FaultBudget::Static(set) => {
+            let mut all = set;
+            all.extend(byzantine.iter().copied());
+            if all.len() > cfg.t {
+                return Err(SimError::TooManyFaulty {
+                    got: all.len(),
+                    t: cfg.t,
+                });
+            }
+            if let Some(p) = all.iter().find(|p| p.index() >= n) {
+                return Err(SimError::BehaviorMismatch { process: *p });
+            }
+            let cap = all.len();
+            (all, cap)
+        }
+        FaultBudget::Adaptive(k) => {
+            // A run-time budget the scenario's `t` cannot host is a
+            // resilience mismatch of the configuration itself, distinct
+            // from an explicit oversize fault set (`TooManyFaulty`).
+            if byzantine.len() + k > cfg.t {
+                return Err(SimError::InvalidResilience { n, t: cfg.t });
+            }
+            if let Some(p) = byzantine.iter().find(|p| p.index() >= n) {
+                return Err(SimError::BehaviorMismatch { process: *p });
+            }
+            (byzantine.clone(), byzantine.len() + k)
+        }
+    };
+    let mut charged = corrupted.clone();
 
     let ctxs: Vec<ProcessCtx> = ProcessId::all(n)
         .map(|pid| ProcessCtx::new(pid, n, cfg.t))
@@ -197,42 +235,95 @@ where
     // across rounds (the sink drains or clears them via `absorb_inbox`).
     let mut inboxes: Vec<Inbox<P::Msg>> = (0..n).map(|_| Inbox::with_capacity(n)).collect();
 
+    // Routed-traffic counters, the model's observation window.
+    let mut sent_count = vec![0u64; n];
+    let mut delivered_count = vec![0u64; n];
+
+    let reorders = model.reorders();
+    let mut queue: Vec<Envelope> = Vec::new();
+
     let mut rounds_run = 0u64;
     let mut quiescent = false;
+
+    // The model's per-call disclosure; rebuilt per call because the
+    // corruption sets and traffic counters evolve between calls.
+    macro_rules! view {
+        ($round:expr) => {
+            ExecutionView {
+                round: $round,
+                n,
+                t: cfg.t,
+                corrupted: &corrupted,
+                charged: &charged,
+                sent: &sent_count,
+                delivered: &delivered_count,
+            }
+        };
+    }
 
     for round in Round::up_to(cfg.max_rounds) {
         rounds_run = round.0;
         sink.begin_round(round);
 
-        // Route every emitted message through the omission plan, in
-        // deterministic (sender, receiver) order — the dense drain yields
-        // exactly the ascending-receiver order the old map iteration did,
-        // which keeps stateful (seeded) plans reproducible across engines.
-        for sender in ProcessId::all(n) {
-            let mut outbox = std::mem::take(&mut outboxes[sender.index()]);
-            for (receiver, payload) in outbox.drain() {
-                let fate = plan.fate(round, sender, receiver, &payload);
-                if let Some(blamed) = fate.blamed(sender, receiver) {
-                    if !faulty.contains(&blamed) {
-                        return Err(SimError::OmissionByCorrect {
-                            process: blamed,
-                            round,
-                        });
-                    }
+        let directives = model.begin_round(view!(round));
+        if !directives.is_empty() {
+            apply_directives(directives, &mut corrupted, &mut charged, cap, n)?;
+        }
+
+        if !reorders {
+            // Fast path: route every emitted message in deterministic
+            // ascending (sender, receiver) order — the dense drain yields
+            // exactly the order the old map iteration did, which keeps
+            // stateful (seeded) models reproducible across engines.
+            for sender in ProcessId::all(n) {
+                let mut outbox = std::mem::take(&mut outboxes[sender.index()]);
+                for (receiver, payload) in outbox.drain() {
+                    let routing = model.route(view!(round), sender, receiver, &payload);
+                    route_one::<P, S>(
+                        routing,
+                        round,
+                        sender,
+                        receiver,
+                        payload,
+                        &corrupted,
+                        &mut sent_count,
+                        &mut delivered_count,
+                        &mut inboxes,
+                        &mut sink,
+                    )?;
                 }
-                match fate {
-                    crate::plan::Fate::Deliver => {
-                        sink.sent(round, sender, receiver, &payload);
-                        inboxes[receiver.index()].deliver(sender, payload);
-                    }
-                    crate::plan::Fate::SendOmit => {
-                        sink.send_omitted(round, sender, receiver, payload);
-                    }
-                    crate::plan::Fate::ReceiveOmit => {
-                        sink.sent(round, sender, receiver, &payload);
-                        sink.receive_omitted(round, sender, receiver, payload);
-                    }
-                }
+            }
+        } else {
+            // Scheduling path: materialize the round's envelope queue, let
+            // the model permute it, and route in the chosen order — later
+            // decisions observe the traffic routed earlier in the round.
+            queue.clear();
+            for sender in ProcessId::all(n) {
+                queue.extend(
+                    outboxes[sender.index()]
+                        .iter()
+                        .map(|(receiver, _)| Envelope { sender, receiver }),
+                );
+            }
+            model.schedule(view!(round), &mut queue);
+            for envelope in &queue {
+                let (sender, receiver) = (envelope.sender(), envelope.receiver());
+                let payload = outboxes[sender.index()]
+                    .take(receiver)
+                    .expect("envelope queues are permutations of the round's messages");
+                let routing = model.route(view!(round), sender, receiver, &payload);
+                route_one::<P, S>(
+                    routing,
+                    round,
+                    sender,
+                    receiver,
+                    payload,
+                    &corrupted,
+                    &mut sent_count,
+                    &mut delivered_count,
+                    &mut inboxes,
+                    &mut sink,
+                )?;
             }
         }
 
@@ -254,7 +345,7 @@ where
         // Quiescence: nothing in flight and every correct process decided.
         if cfg.stop_when_quiescent && !any_pending {
             let all_correct_decided = ProcessId::all(n)
-                .filter(|p| !faulty.contains(p))
+                .filter(|p| !charged.contains(p))
                 .all(|p| decisions[p.index()].is_some());
             if all_correct_decided {
                 quiescent = true;
@@ -273,11 +364,106 @@ where
         n,
         t: cfg.t,
         mode,
-        faulty: faulty.clone(),
+        faulty: charged,
         decisions,
         rounds: rounds_run,
         quiescent,
     }))
+}
+
+/// Applies one round's corruption directives, enforcing the joint budget:
+/// `|charged|` may never exceed the model's validated cap (itself ≤ `t`).
+/// The reported bound is the *violated* one — the cap the model declared —
+/// not the scenario's `t`, so the diagnostic stays truthful when a model
+/// overruns a budget smaller than `t`.
+fn apply_directives(
+    directives: Vec<FaultDirective>,
+    corrupted: &mut BTreeSet<ProcessId>,
+    charged: &mut BTreeSet<ProcessId>,
+    cap: usize,
+    n: usize,
+) -> Result<(), SimError> {
+    for directive in directives {
+        match directive {
+            FaultDirective::Corrupt(p) => {
+                if p.index() >= n {
+                    return Err(SimError::BehaviorMismatch { process: p });
+                }
+                if charged.insert(p) && charged.len() > cap {
+                    return Err(SimError::TooManyFaulty {
+                        got: charged.len(),
+                        t: cap,
+                    });
+                }
+                corrupted.insert(p);
+            }
+            FaultDirective::Release(p) => {
+                corrupted.remove(&p);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Executes one routing decision: enforces blame/forge validity against the
+/// currently corrupted set, updates the traffic counters, and emits the
+/// sink events. Inlined into both routing paths — this is the per-message
+/// hot path and must not cost a call on top of the model's dyn dispatch.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn route_one<P, S>(
+    routing: Routing<P::Msg>,
+    round: Round,
+    sender: ProcessId,
+    receiver: ProcessId,
+    payload: P::Msg,
+    corrupted: &BTreeSet<ProcessId>,
+    sent_count: &mut [u64],
+    delivered_count: &mut [u64],
+    inboxes: &mut [Inbox<P::Msg>],
+    sink: &mut S,
+) -> Result<(), SimError>
+where
+    P: Protocol,
+    S: TraceSink<P>,
+{
+    if let Some(blamed) = routing.blamed(sender, receiver) {
+        if !corrupted.contains(&blamed) {
+            return Err(SimError::OmissionByCorrect {
+                process: blamed,
+                round,
+            });
+        }
+    }
+    match routing {
+        Routing::Deliver => {
+            sink.sent(round, sender, receiver, &payload);
+            sent_count[sender.index()] += 1;
+            delivered_count[receiver.index()] += 1;
+            inboxes[receiver.index()].deliver(sender, payload);
+        }
+        Routing::SendOmit => {
+            sink.send_omitted(round, sender, receiver, payload);
+        }
+        Routing::ReceiveOmit => {
+            sink.sent(round, sender, receiver, &payload);
+            sent_count[sender.index()] += 1;
+            sink.receive_omitted(round, sender, receiver, payload);
+        }
+        Routing::Forge(forged) => {
+            if !corrupted.contains(&sender) {
+                return Err(SimError::ForgeByCorrect {
+                    process: sender,
+                    round,
+                });
+            }
+            sink.sent(round, sender, receiver, &forged);
+            sent_count[sender.index()] += 1;
+            delivered_count[receiver.index()] += 1;
+            inboxes[receiver.index()].deliver(sender, forged);
+        }
+    }
+    Ok(())
 }
 
 fn validate_outbox<M: Payload>(
@@ -679,6 +865,261 @@ mod tests {
         assert!(exec.quiescent);
         assert!(exec.rounds <= 3);
         assert_eq!(exec.all_decided_by(), Some(Round(2)));
+    }
+
+    #[test]
+    fn adaptive_adversary_corrupts_top_senders_mid_run() {
+        // Heterogeneous chatter: p0 stops after round 1, others keep
+        // talking; the adaptive model watches round 1 (all equal) and mutes
+        // the two lowest-id senders from round 2 on.
+        let exec = Scenario::new(5, 2)
+            .protocol(|_| Chatter::new(4, 4))
+            .uniform_input(Bit::One)
+            .adversary(crate::Adversary::adaptive_worst_case(2))
+            .run()
+            .unwrap();
+        exec.validate().unwrap();
+        // Ties in round-1 traffic break toward lower ids.
+        assert_eq!(
+            exec.faulty,
+            [ProcessId(0), ProcessId(1)].into_iter().collect()
+        );
+        // Round 1 is untouched; from round 2 the victims send-omit.
+        assert_eq!(exec.record(ProcessId(0)).fragments[0].sent.len(), 4);
+        assert_eq!(exec.record(ProcessId(0)).fragments[1].sent.len(), 0);
+        assert_eq!(exec.record(ProcessId(0)).fragments[1].send_omitted.len(), 4);
+        // Unpicked processes flow normally and decide.
+        assert_eq!(exec.record(ProcessId(2)).fragments[1].sent.len(), 4);
+        assert_eq!(exec.decision_of(ProcessId(4)), Some(&Bit::One));
+    }
+
+    #[test]
+    fn mobile_adversary_moves_corruption_and_charges_the_pool() {
+        let pool = [ProcessId(1), ProcessId(2)];
+        let exec = Scenario::new(4, 2)
+            .protocol(|_| Chatter::new(5, 5))
+            .uniform_input(Bit::Zero)
+            .adversary(crate::Adversary::mobile(pool, 1))
+            .stop_when_quiescent(false)
+            .max_rounds(4)
+            .run()
+            .unwrap();
+        exec.validate().unwrap();
+        assert_eq!(exec.faulty, pool.into_iter().collect());
+        // Round 1: p1 held (send-omits); p2 clean. Round 2: roles swap.
+        assert_eq!(exec.record(ProcessId(1)).fragments[0].send_omitted.len(), 3);
+        assert_eq!(exec.record(ProcessId(2)).fragments[0].send_omitted.len(), 0);
+        assert_eq!(exec.record(ProcessId(1)).fragments[1].send_omitted.len(), 0);
+        assert_eq!(exec.record(ProcessId(2)).fragments[1].send_omitted.len(), 3);
+        // Released victims send successfully again.
+        assert_eq!(exec.record(ProcessId(1)).fragments[1].sent.len(), 3);
+    }
+
+    #[test]
+    fn scheduler_adversary_caps_the_victim_deterministically() {
+        let run = |seed: u64| {
+            Scenario::new(5, 1)
+                .protocol(|_| Chatter::new(3, 3))
+                .uniform_input(Bit::One)
+                .adversary(crate::Adversary::scheduler(ProcessId(4), 2, seed))
+                .run()
+                .unwrap()
+        };
+        let exec = run(7);
+        exec.validate().unwrap();
+        assert_eq!(exec.faulty, [ProcessId(4)].into_iter().collect());
+        for frag in &exec.record(ProcessId(4)).fragments {
+            assert!(frag.received.len() <= 2, "victim capacity exceeded");
+            if !frag.receive_omitted.is_empty() {
+                assert_eq!(frag.received.len(), 2);
+            }
+        }
+        assert_eq!(run(7), exec, "same seed, same execution");
+        // The schedule decides WHICH senders get through: across seeds the
+        // surviving sender sets differ (w.h.p. over a few seeds).
+        let survivors = |e: &crate::Execution<Bit, Bit, Bit>| {
+            e.record(ProcessId(4)).fragments[0]
+                .received
+                .keys()
+                .copied()
+                .collect::<Vec<_>>()
+        };
+        assert!(
+            (0..8).any(|s| survivors(&run(s)) != survivors(&exec)),
+            "reordering should be observable through the capacity cut"
+        );
+    }
+
+    #[test]
+    fn forging_model_replaces_corrupted_payloads_in_transit() {
+        let exec = Scenario::new(3, 1)
+            .protocol(|_| Chatter::new(3, 3))
+            .uniform_input(Bit::Zero)
+            .adversary(crate::Adversary::forge([ProcessId(2)], Bit::One))
+            .run()
+            .unwrap();
+        exec.validate().unwrap();
+        assert_eq!(exec.mode, FaultMode::Byzantine);
+        // p2's state machine emitted Zero; the wire carried One.
+        assert_eq!(
+            exec.record(ProcessId(2)).fragments[0].sent[&ProcessId(0)],
+            Bit::One
+        );
+        assert_eq!(
+            exec.record(ProcessId(0)).fragments[0].received[&ProcessId(2)],
+            Bit::One
+        );
+    }
+
+    #[test]
+    fn forging_by_a_correct_sender_is_rejected() {
+        use crate::fault::{ExecutionView, FaultBudget, FaultModel, Routing};
+        /// Forges everything but declares nobody corrupted.
+        struct RogueForger;
+        impl FaultModel<Bit> for RogueForger {
+            fn budget(&self) -> FaultBudget {
+                FaultBudget::Static(BTreeSet::new())
+            }
+            fn route(
+                &mut self,
+                _: ExecutionView<'_>,
+                _: ProcessId,
+                _: ProcessId,
+                _: &Bit,
+            ) -> Routing<Bit> {
+                Routing::Forge(Bit::One)
+            }
+        }
+        let err = Scenario::new(3, 1)
+            .protocol(|_| Chatter::new(2, 2))
+            .uniform_input(Bit::Zero)
+            .adversary(crate::Adversary::model(RogueForger))
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, SimError::ForgeByCorrect { .. }));
+    }
+
+    #[test]
+    fn adaptive_budgets_exceeding_t_are_invalid_resilience_at_build_time() {
+        // Satellite regression: a fault model whose eventual corruption set
+        // can exceed `t` surfaces `InvalidResilience` before round 1 — it
+        // never panics mid-run.
+        let err = Scenario::new(4, 1)
+            .protocol(|_| Chatter::new(2, 2))
+            .uniform_input(Bit::Zero)
+            .adversary(crate::Adversary::adaptive_worst_case(2))
+            .run()
+            .unwrap_err();
+        assert_eq!(err, SimError::InvalidResilience { n: 4, t: 1 });
+
+        // The mobile pool is the eventual corruption set.
+        let err = Scenario::new(4, 1)
+            .protocol(|_| Chatter::new(2, 2))
+            .uniform_input(Bit::Zero)
+            .adversary(crate::Adversary::mobile([ProcessId(1), ProcessId(2)], 1))
+            .run_stats()
+            .unwrap_err();
+        assert_eq!(err, SimError::InvalidResilience { n: 4, t: 1 });
+
+        // Joint accounting: an in-budget adaptive model plus a Byzantine
+        // slot behavior still must fit inside t together.
+        use crate::byzantine::SilentByzantine;
+        let err = Scenario::new(4, 1)
+            .protocol(|_| Chatter::new(2, 2))
+            .uniform_input(Bit::Zero)
+            .adversary(crate::Adversary::model_with_behaviors(
+                [(ProcessId(3), Box::new(SilentByzantine) as _)],
+                crate::fault::AdaptiveWorstCase::new(1),
+            ))
+            .run()
+            .unwrap_err();
+        assert_eq!(err, SimError::InvalidResilience { n: 4, t: 1 });
+    }
+
+    #[test]
+    fn directives_beyond_the_declared_budget_are_rejected_mid_run() {
+        use crate::fault::{ExecutionView, FaultBudget, FaultDirective, FaultModel, Routing};
+        /// Declares a budget of 1 but tries to corrupt two processes.
+        struct Glutton;
+        impl FaultModel<Bit> for Glutton {
+            fn budget(&self) -> FaultBudget {
+                FaultBudget::Adaptive(1)
+            }
+            fn begin_round(&mut self, view: ExecutionView<'_>) -> Vec<FaultDirective> {
+                if view.round == Round(1) {
+                    vec![
+                        FaultDirective::Corrupt(ProcessId(0)),
+                        FaultDirective::Corrupt(ProcessId(1)),
+                    ]
+                } else {
+                    Vec::new()
+                }
+            }
+            fn route(
+                &mut self,
+                _: ExecutionView<'_>,
+                _: ProcessId,
+                _: ProcessId,
+                _: &Bit,
+            ) -> Routing<Bit> {
+                Routing::Deliver
+            }
+        }
+        let err = Scenario::new(4, 2)
+            .protocol(|_| Chatter::new(2, 2))
+            .uniform_input(Bit::Zero)
+            .adversary(crate::Adversary::model(Glutton))
+            .run()
+            .unwrap_err();
+        // The reported bound is the declared cap (1), not the scenario's
+        // t (2) — the cap is what the second directive actually violated.
+        assert_eq!(err, SimError::TooManyFaulty { got: 2, t: 1 });
+    }
+
+    #[test]
+    fn released_processes_stay_in_the_fault_set_but_cannot_be_blamed() {
+        use crate::fault::{ExecutionView, FaultBudget, FaultDirective, FaultModel, Routing};
+        /// Corrupts p0 in round 1, releases it in round 2, then still
+        /// blames it in round 2 — an adversary bug the engine must catch.
+        struct Amnesiac;
+        impl FaultModel<Bit> for Amnesiac {
+            fn budget(&self) -> FaultBudget {
+                FaultBudget::Adaptive(1)
+            }
+            fn begin_round(&mut self, view: ExecutionView<'_>) -> Vec<FaultDirective> {
+                match view.round {
+                    Round(1) => vec![FaultDirective::Corrupt(ProcessId(0))],
+                    Round(2) => vec![FaultDirective::Release(ProcessId(0))],
+                    _ => Vec::new(),
+                }
+            }
+            fn route(
+                &mut self,
+                view: ExecutionView<'_>,
+                sender: ProcessId,
+                _: ProcessId,
+                _: &Bit,
+            ) -> Routing<Bit> {
+                if sender == ProcessId(0) && view.round >= Round(2) {
+                    Routing::SendOmit
+                } else {
+                    Routing::Deliver
+                }
+            }
+        }
+        let err = Scenario::new(3, 1)
+            .protocol(|_| Chatter::new(3, 3))
+            .uniform_input(Bit::Zero)
+            .adversary(crate::Adversary::model(Amnesiac))
+            .run()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SimError::OmissionByCorrect {
+                process: ProcessId(0),
+                round: Round(2)
+            }
+        );
     }
 
     #[test]

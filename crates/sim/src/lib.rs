@@ -16,11 +16,18 @@
 //!   the five execution guarantees (*faulty processes*, *composition*,
 //!   *send-validity*, *receive-validity*, *omission-validity*;
 //!   [`Execution::validate`], paper §A.1.6);
-//! * a unified [`Adversary`]: the **omission** adversary of paper §3 (driven
-//!   by an [`OmissionPlan`], including the *isolation* plan of Definition 1),
-//!   the **Byzantine** adversary of §2 ([`ByzantineBehavior`]), the crash
-//!   adversary, and **mixed** per-process assignments combining Byzantine
-//!   and omission faults in one execution.
+//! * a trait-based, execution-observing adversary layer: a [`FaultModel`]
+//!   receives a per-round [`ExecutionView`] (routed traffic, corruption
+//!   set, fault budget) and decides corruption (**adaptive** and **mobile**,
+//!   with `|ever-corrupted| ≤ t` accounting), per-message routing
+//!   (deliver / omit / **forge**), and optionally the within-round delivery
+//!   order (**message scheduling**). The unified [`Adversary`] builds on
+//!   it: the **omission** adversary of paper §3 (driven by an
+//!   [`OmissionPlan`], including the *isolation* plan of Definition 1), the
+//!   **Byzantine** adversary of §2 ([`ByzantineBehavior`]), the crash
+//!   adversary, **mixed** per-process assignments, and the adaptive family
+//!   ([`AdaptiveWorstCase`], [`MobileOmission`], [`SchedulerOmission`],
+//!   [`ForgingFaults`]).
 //!
 //! Executions are constructed through the [`Scenario`] builder, and grids of
 //! scenarios are swept in parallel by the [`Campaign`] runner. The simulator
@@ -119,6 +126,7 @@ mod campaign;
 mod error;
 mod execution;
 mod executor;
+mod fault;
 mod ids;
 mod mailbox;
 mod par;
@@ -139,8 +147,13 @@ pub use execution::{
     DecisionOutcome, Execution, ExecutionInvariantError, FaultMode, ProcessRecord, RoundFragment,
 };
 pub use executor::ExecutorConfig;
+pub use fault::{
+    AdaptiveWorstCase, Envelope, ExecutionView, FaultBudget, FaultDirective, FaultModel,
+    ForgingFaults, MobileOmission, PlannedFaults, Routing, SchedulerOmission,
+};
 pub use ids::{ProcessId, Round};
 pub use mailbox::{Inbox, Outbox};
+pub use par::par_map;
 pub use plan::{
     CrashPlan, DoubleIsolationPlan, Fate, FnPlan, IsolationPlan, NoFaults, OmissionPlan,
     RandomOmissionPlan, TableOmissionPlan,
@@ -148,7 +161,8 @@ pub use plan::{
 pub use protocol::{ProcessCtx, Protocol};
 pub use rng::SimRng;
 pub use scenario::{
-    Adversary, BoxedBehavior, BoxedPlan, ProtocolScenario, Scenario, ScenarioResult,
+    Adversary, BoxedBehavior, BoxedFaultModel, BoxedPlan, ProtocolScenario, Scenario,
+    ScenarioResult,
 };
 pub use sink::{FullTrace, RunSummary, StatsSink, TraceMode, TraceSink};
 pub use trace::{

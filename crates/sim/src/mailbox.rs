@@ -195,6 +195,13 @@ impl<M: Payload> Outbox<M> {
         self.msgs.drain()
     }
 
+    /// Removes the message queued for `to`, if any. The executor's
+    /// scheduling path uses this to route messages in an adversary-chosen
+    /// order while the payloads stay in their dense slabs.
+    pub(crate) fn take(&mut self, to: ProcessId) -> Option<M> {
+        self.msgs.remove(to)
+    }
+
     /// Consumes the outbox, yielding its receiver → payload map.
     pub fn into_inner(self) -> BTreeMap<ProcessId, M> {
         self.msgs.into_map()

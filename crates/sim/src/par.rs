@@ -26,10 +26,14 @@ fn resolve_threads(requested: usize, items: usize) -> usize {
 /// items it claims; scheduling is dynamic (work stealing via a shared
 /// index), so grids with wildly uneven per-point cost stay balanced.
 ///
+/// Public because downstream crates reuse the pool for their own data
+/// parallelism (e.g. `ba-core` runs the falsifier's two bit orientations
+/// concurrently); [`Campaign`](crate::Campaign) is built on it.
+///
 /// # Panics
 ///
 /// Propagates the first worker panic.
-pub(crate) fn par_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+pub fn par_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
 where
     T: Send,
     R: Send,

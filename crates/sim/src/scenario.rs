@@ -14,14 +14,21 @@ use crate::campaign::ScenarioStats;
 use crate::error::SimError;
 use crate::execution::{Execution, FaultMode};
 use crate::executor::{run_slots, ExecutorConfig, Slot};
+use crate::fault::{
+    AdaptiveWorstCase, FaultBudget, FaultModel, ForgingFaults, MobileOmission, PlannedFaults,
+    SchedulerOmission,
+};
 use crate::ids::{ProcessId, Round};
-use crate::plan::{CrashPlan, IsolationPlan, NoFaults, OmissionPlan};
+use crate::plan::{CrashPlan, IsolationPlan, OmissionPlan};
 use crate::protocol::Protocol;
 use crate::sink::{FullTrace, StatsSink, TraceMode, TraceSink};
 use crate::value::{Payload, Value};
 
-/// A boxed omission strategy, as stored in an [`Adversary`].
+/// A boxed omission strategy, as accepted by [`Adversary::omission`].
 pub type BoxedPlan<'a, M> = Box<dyn OmissionPlan<M> + 'a>;
+
+/// A boxed fault model, as stored in an [`Adversary`].
+pub type BoxedFaultModel<'a, M> = Box<dyn FaultModel<M> + 'a>;
 
 /// The result of running a scenario of protocol `P`: the trace-complete
 /// execution, or the first model violation.
@@ -33,47 +40,36 @@ pub type ScenarioResult<P> = Result<
 /// A boxed Byzantine behavior, as stored in an [`Adversary`].
 pub type BoxedBehavior<'a, I, M> = Box<dyn ByzantineBehavior<I, M> + 'a>;
 
-/// The unified adversary of a [`Scenario`]: who is corrupted, and how.
+/// The unified adversary of a [`Scenario`]: Byzantine behaviors occupying
+/// process slots, plus an execution-observing [`FaultModel`] deciding
+/// corruption and routing.
 ///
-/// The paper's omission adversary (§3), Byzantine adversary (§2), the crash
-/// adversary (omission restricted to crash-stop), and — beyond what the old
-/// dual entry points could express — **mixed** per-process assignments in
-/// which some processes are Byzantine while others are omission-faulty in
-/// the *same* execution.
-pub enum Adversary<'a, I, M> {
-    /// Every process is correct; every message is delivered.
-    NoFaults,
-    /// Up to `t` processes are omission-faulty; `plan` decides each
-    /// message's fate and may only blame processes in `faulty`.
-    Omission {
-        /// The corrupted processes the plan may blame.
-        faulty: BTreeSet<ProcessId>,
-        /// The omission strategy.
-        plan: BoxedPlan<'a, M>,
-    },
-    /// The listed processes behave arbitrarily; all other messages are
-    /// delivered.
-    Byzantine {
-        /// Behavior per corrupted process.
-        behaviors: BTreeMap<ProcessId, BoxedBehavior<'a, I, M>>,
-    },
-    /// Mixed corruption: `behaviors` are Byzantine, `omission_faulty` run
-    /// the protocol but `plan` may drop their messages. The two sets must be
-    /// disjoint and jointly at most `t`.
-    Mixed {
-        /// Behavior per Byzantine process.
-        behaviors: BTreeMap<ProcessId, BoxedBehavior<'a, I, M>>,
-        /// The omission-faulty processes.
-        omission_faulty: BTreeSet<ProcessId>,
-        /// The omission strategy (may also blame Byzantine processes).
-        plan: BoxedPlan<'a, M>,
-    },
+/// Formerly a closed enum; now **constructors over the [`FaultModel`]
+/// trait**. The legacy flavors — the paper's omission adversary (§3),
+/// Byzantine adversary (§2), the crash adversary, and **mixed** per-process
+/// assignments — build canned [`PlannedFaults`] models and behave
+/// bit-identically to the enum they replace, while the adaptive regime
+/// ([`Adversary::adaptive_worst_case`], [`Adversary::mobile`],
+/// [`Adversary::scheduler`], [`Adversary::forge`], and arbitrary
+/// [`Adversary::model`]s) plugs into the same execution engine.
+pub struct Adversary<'a, I, M> {
+    behaviors: BTreeMap<ProcessId, BoxedBehavior<'a, I, M>>,
+    model: BoxedFaultModel<'a, M>,
+    mode: FaultMode,
+    /// A constructor-detected inconsistency, surfaced as a typed error at
+    /// run time (constructors are infallible by signature).
+    conflict: Option<ProcessId>,
 }
 
 impl<'a, I: Value, M: Payload> Adversary<'a, I, M> {
     /// The fault-free adversary.
     pub fn none() -> Self {
-        Adversary::NoFaults
+        Adversary {
+            behaviors: BTreeMap::new(),
+            model: Box::new(PlannedFaults::none()),
+            mode: FaultMode::Omission,
+            conflict: None,
+        }
     }
 
     /// An omission adversary corrupting `faulty`, driven by `plan`.
@@ -81,9 +77,11 @@ impl<'a, I: Value, M: Payload> Adversary<'a, I, M> {
         faulty: impl IntoIterator<Item = ProcessId>,
         plan: impl OmissionPlan<M> + 'a,
     ) -> Self {
-        Adversary::Omission {
-            faulty: faulty.into_iter().collect(),
-            plan: Box::new(plan),
+        Adversary {
+            behaviors: BTreeMap::new(),
+            model: Box::new(PlannedFaults::new(faulty, plan)),
+            mode: FaultMode::Omission,
+            conflict: None,
         }
     }
 
@@ -95,92 +93,180 @@ impl<'a, I: Value, M: Payload> Adversary<'a, I, M> {
 
     /// The crash adversary: each listed process crash-stops at its round.
     pub fn crash(crashes: impl IntoIterator<Item = (ProcessId, Round)> + Clone) -> Self {
-        let faulty: BTreeSet<ProcessId> = crashes.clone().into_iter().map(|(p, _)| p).collect();
-        Adversary::Omission {
-            faulty,
-            plan: Box::new(CrashPlan::new(crashes)),
-        }
+        let faulty: Vec<ProcessId> = crashes.clone().into_iter().map(|(p, _)| p).collect();
+        Adversary::omission(faulty, CrashPlan::new(crashes))
     }
 
     /// A Byzantine adversary with the given per-process behaviors.
     pub fn byzantine(
         behaviors: impl IntoIterator<Item = (ProcessId, BoxedBehavior<'a, I, M>)>,
     ) -> Self {
-        Adversary::Byzantine {
-            behaviors: behaviors.into_iter().collect(),
+        let behaviors: BTreeMap<ProcessId, BoxedBehavior<'a, I, M>> =
+            behaviors.into_iter().collect();
+        let keys: Vec<ProcessId> = behaviors.keys().copied().collect();
+        Adversary {
+            behaviors,
+            model: Box::new(PlannedFaults::new(keys, crate::plan::NoFaults)),
+            mode: FaultMode::Byzantine,
+            conflict: None,
         }
     }
 
     /// A Byzantine adversary corrupting a single process.
     pub fn one_byzantine(pid: ProcessId, behavior: impl ByzantineBehavior<I, M> + 'a) -> Self {
-        Adversary::Byzantine {
-            behaviors: [(pid, Box::new(behavior) as _)].into_iter().collect(),
-        }
+        Adversary::byzantine([(pid, Box::new(behavior) as _)])
     }
 
     /// A mixed adversary: `behaviors` are Byzantine while `omission_faulty`
-    /// follow the protocol under `plan` — inexpressible with the legacy
-    /// `run_omission` / `run_byzantine` split.
+    /// follow the protocol under `plan` (which may also blame the Byzantine
+    /// processes). The two sets must be disjoint and jointly at most `t`.
     pub fn mixed(
         behaviors: impl IntoIterator<Item = (ProcessId, BoxedBehavior<'a, I, M>)>,
         omission_faulty: impl IntoIterator<Item = ProcessId>,
         plan: impl OmissionPlan<M> + 'a,
     ) -> Self {
-        Adversary::Mixed {
-            behaviors: behaviors.into_iter().collect(),
-            omission_faulty: omission_faulty.into_iter().collect(),
-            plan: Box::new(plan),
+        let behaviors: BTreeMap<ProcessId, BoxedBehavior<'a, I, M>> =
+            behaviors.into_iter().collect();
+        let omission_faulty: BTreeSet<ProcessId> = omission_faulty.into_iter().collect();
+        let conflict = behaviors
+            .keys()
+            .find(|p| omission_faulty.contains(p))
+            .copied();
+        let joint: Vec<ProcessId> = behaviors
+            .keys()
+            .copied()
+            .chain(omission_faulty.iter().copied())
+            .collect();
+        Adversary {
+            behaviors,
+            model: Box::new(PlannedFaults::new(joint, plan)),
+            mode: FaultMode::Mixed,
+            conflict,
         }
     }
 
-    /// The complete set of corrupted processes.
-    pub fn faulty_set(&self) -> BTreeSet<ProcessId> {
-        match self {
-            Adversary::NoFaults => BTreeSet::new(),
-            Adversary::Omission { faulty, .. } => faulty.clone(),
-            Adversary::Byzantine { behaviors } => behaviors.keys().copied().collect(),
-            Adversary::Mixed {
-                behaviors,
-                omission_faulty,
-                ..
-            } => behaviors
-                .keys()
-                .copied()
-                .chain(omission_faulty.iter().copied())
-                .collect(),
+    /// The adaptive worst-case adversary ([`AdaptiveWorstCase`]): observes
+    /// round 1, then corrupts and mutes the `budget` chattiest processes.
+    /// Requires `budget ≤ t` (validated at build time).
+    pub fn adaptive_worst_case(budget: usize) -> Self {
+        Adversary::model(AdaptiveWorstCase::new(budget))
+    }
+
+    /// The mobile adversary ([`MobileOmission`]): corruption moves through
+    /// `pool` (one victim at a time, `dwell` rounds each) under a budget of
+    /// `|pool| ≤ t` (validated at build time).
+    pub fn mobile(pool: impl IntoIterator<Item = ProcessId>, dwell: u64) -> Self {
+        Adversary::model(MobileOmission::new(pool, dwell))
+    }
+
+    /// The message-scheduling adversary ([`SchedulerOmission`]): seeded
+    /// delivery reordering against a capacity-`cap` victim.
+    pub fn scheduler(victim: ProcessId, cap: usize, seed: u64) -> Self {
+        Adversary::model(SchedulerOmission::new(victim, cap, seed))
+    }
+
+    /// The routing-level forging adversary ([`ForgingFaults`]): every
+    /// message from a member of `faulty` is replaced with `forged`.
+    pub fn forge(faulty: impl IntoIterator<Item = ProcessId>, forged: M) -> Self {
+        Adversary::model(ForgingFaults::new(faulty, forged))
+    }
+
+    /// An adversary driven by an arbitrary [`FaultModel`] — the extension
+    /// point. The execution is stamped with the model's
+    /// [`mode`](FaultModel::mode).
+    pub fn model(model: impl FaultModel<M> + 'a) -> Self {
+        let mode = model.mode();
+        Adversary {
+            behaviors: BTreeMap::new(),
+            model: Box::new(model),
+            mode,
+            conflict: None,
         }
+    }
+
+    /// An arbitrary [`FaultModel`] combined with Byzantine slot behaviors
+    /// (stamped [`FaultMode::Mixed`] when both are present). The behaviors'
+    /// processes are corrupted by construction and count against the joint
+    /// budget; they may legitimately also appear in the model's
+    /// [`FaultBudget::Static`] set — that is exactly how
+    /// [`Adversary::byzantine`] and [`Adversary::mixed`] are represented
+    /// internally, and how a plan is allowed to blame Byzantine processes.
+    /// Consequently no behavior/fault-set overlap guard applies here: the
+    /// [`Adversary::mixed`] rejection of a process listed both as a
+    /// behavior and as *omission*-faulty is a constructor-level check on
+    /// that constructor's two input lists, which this lower-level entry
+    /// point cannot distinguish.
+    pub fn model_with_behaviors(
+        behaviors: impl IntoIterator<Item = (ProcessId, BoxedBehavior<'a, I, M>)>,
+        model: impl FaultModel<M> + 'a,
+    ) -> Self {
+        let behaviors: BTreeMap<ProcessId, BoxedBehavior<'a, I, M>> =
+            behaviors.into_iter().collect();
+        let mode = if behaviors.is_empty() {
+            model.mode()
+        } else {
+            FaultMode::Mixed
+        };
+        Adversary {
+            behaviors,
+            model: Box::new(model),
+            mode,
+            conflict: None,
+        }
+    }
+
+    /// Overrides the [`FaultMode`] stamped on produced executions — for
+    /// custom models reproducing a legacy flavor exactly.
+    pub fn with_fault_mode(mut self, mode: FaultMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// The statically known corruption set: the model's
+    /// [`FaultBudget::Static`] set joined with the Byzantine behaviors.
+    /// Adaptive models choose their victims at run time and contribute
+    /// nothing here.
+    pub fn faulty_set(&self) -> BTreeSet<ProcessId> {
+        let mut set: BTreeSet<ProcessId> = self.behaviors.keys().copied().collect();
+        if let FaultBudget::Static(s) = self.model.budget() {
+            set.extend(s);
+        }
+        set
     }
 
     /// The [`FaultMode`] stamped on produced executions.
     pub fn fault_mode(&self) -> FaultMode {
-        match self {
-            Adversary::NoFaults | Adversary::Omission { .. } => FaultMode::Omission,
-            Adversary::Byzantine { .. } => FaultMode::Byzantine,
-            Adversary::Mixed { .. } => FaultMode::Mixed,
+        self.mode
+    }
+
+    /// Decomposes the adversary for the executor.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn into_parts(
+        self,
+    ) -> Result<
+        (
+            BTreeMap<ProcessId, BoxedBehavior<'a, I, M>>,
+            BoxedFaultModel<'a, M>,
+            FaultMode,
+        ),
+        SimError,
+    > {
+        if let Some(process) = self.conflict {
+            return Err(SimError::BehaviorMismatch { process });
         }
+        Ok((self.behaviors, self.model, self.mode))
     }
 }
 
 impl<I, M> fmt::Debug for Adversary<'_, I, M> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Adversary::NoFaults => write!(f, "Adversary::NoFaults"),
-            Adversary::Omission { faulty, .. } => {
-                write!(f, "Adversary::Omission {{ faulty: {faulty:?} }}")
-            }
-            Adversary::Byzantine { behaviors } => {
-                write!(f, "Adversary::Byzantine {{ {:?} }}", behaviors.keys())
-            }
-            Adversary::Mixed {
-                behaviors,
-                omission_faulty,
-                ..
-            } => write!(
-                f,
-                "Adversary::Mixed {{ byzantine: {:?}, omission: {omission_faulty:?} }}",
-                behaviors.keys()
-            ),
-        }
+        write!(
+            f,
+            "Adversary {{ mode: {:?}, byzantine: {:?}, budget: {:?} }}",
+            self.mode,
+            self.behaviors.keys(),
+            self.model.budget(),
+        )
     }
 }
 
@@ -252,7 +338,7 @@ impl Scenario {
             base: self,
             factory,
             inputs: None,
-            adversary: Adversary::NoFaults,
+            adversary: Adversary::none(),
         }
     }
 
@@ -299,7 +385,7 @@ where
         self
     }
 
-    /// Installs the adversary (default: [`Adversary::NoFaults`]).
+    /// Installs the adversary (default: [`Adversary::none`]).
     pub fn adversary(mut self, adversary: Adversary<'a, P::Input, P::Msg>) -> Self {
         self.adversary = adversary;
         self
@@ -381,27 +467,8 @@ where
             expected: cfg.n,
         })?;
 
-        let faulty = self.adversary.faulty_set();
-        let mode = self.adversary.fault_mode();
-        #[allow(clippy::type_complexity)]
-        let (mut behaviors, mut plan): (
-            BTreeMap<ProcessId, BoxedBehavior<'a, P::Input, P::Msg>>,
-            BoxedPlan<'a, P::Msg>,
-        ) = match self.adversary {
-            Adversary::NoFaults => (BTreeMap::new(), Box::new(NoFaults)),
-            Adversary::Omission { plan, .. } => (BTreeMap::new(), plan),
-            Adversary::Byzantine { behaviors } => (behaviors, Box::new(NoFaults)),
-            Adversary::Mixed {
-                behaviors,
-                omission_faulty,
-                plan,
-            } => {
-                if let Some(overlap) = behaviors.keys().find(|p| omission_faulty.contains(p)) {
-                    return Err(SimError::BehaviorMismatch { process: *overlap });
-                }
-                (behaviors, plan)
-            }
-        };
+        let (mut behaviors, mut model, mode) = self.adversary.into_parts()?;
+        let byzantine: BTreeSet<ProcessId> = behaviors.keys().copied().collect();
 
         let slots: Vec<Slot<'a, P>> = ProcessId::all(cfg.n)
             .map(|pid| match behaviors.remove(&pid) {
@@ -413,7 +480,7 @@ where
             // A behavior was assigned to a process outside 0..n.
             return Err(SimError::BehaviorMismatch { process: stray });
         }
-        run_slots(&cfg, slots, &inputs, &faulty, plan.as_mut(), mode, sink)
+        run_slots(&cfg, slots, &inputs, &byzantine, model.as_mut(), mode, sink)
     }
 }
 
@@ -423,7 +490,7 @@ mod tests {
     use crate::byzantine::SilentByzantine;
     use crate::ids::Round;
     use crate::mailbox::{Inbox, Outbox};
-    use crate::plan::{Fate, TableOmissionPlan};
+    use crate::plan::{Fate, NoFaults, TableOmissionPlan};
     use crate::protocol::ProcessCtx;
     use crate::value::Bit;
 

@@ -18,7 +18,7 @@ fn report<P, F>(name: &str, cfg: &FalsifierConfig, factory: F)
 where
     P: Protocol<Input = Bit, Output = Bit>,
     P::Msg: Payload,
-    F: Fn(ProcessId) -> P,
+    F: Fn(ProcessId) -> P + Sync,
 {
     print!("{}", banner(name));
     match falsify(cfg, factory).expect("falsifier run") {

@@ -19,6 +19,10 @@ use ba_sim::{
 
 /// Adversary flavors under test. `mixed` corrupts two processes, so it only
 /// applies when `t >= 2` (and `n >= 3` keeps the sets disjoint from p0).
+/// The trailing three are the adaptive fault-model family: corruption
+/// chosen mid-run, moved under a budget, or combined with seeded delivery
+/// rescheduling — the equivalence must hold for execution-observing
+/// adversaries too.
 const ADVERSARIES: &[&str] = &[
     "none",
     "isolation",
@@ -26,16 +30,14 @@ const ADVERSARIES: &[&str] = &[
     "random-omission",
     "byzantine-silent",
     "mixed",
+    "adaptive-worst-case",
+    "mobile",
+    "scheduler",
 ];
 
 const INPUTS: &[&str] = &["zeros", "ones", "alternating", "random"];
 
-fn adversary<M: Payload>(
-    label: &str,
-    n: usize,
-    _t: usize,
-    seed: u64,
-) -> Adversary<'static, Bit, M> {
+fn adversary<M: Payload>(label: &str, n: usize, t: usize, seed: u64) -> Adversary<'static, Bit, M> {
     let last = ProcessId(n - 1);
     match label {
         "none" => Adversary::none(),
@@ -54,6 +56,9 @@ fn adversary<M: Payload>(
                 RandomOmissionPlan::new([omission_faulty], 0.3, 0.3, seed ^ 0xB0B),
             )
         }
+        "adaptive-worst-case" => Adversary::adaptive_worst_case(t),
+        "mobile" => Adversary::mobile((n - t..n).map(ProcessId), 2),
+        "scheduler" => Adversary::scheduler(last, (n - 1) / 2, seed ^ 0xC0DE),
         other => panic!("unknown adversary label {other:?}"),
     }
 }
