@@ -198,6 +198,27 @@ fn bench_campaign_throughput() {
         (pk_points.len(), total, ())
     });
 
+    // Adversary-search machinery: evaluate a fixed genome population
+    // against the planted one-round-all-to-all bug — the per-candidate
+    // cost every batch of the search drivers pays, through the same
+    // search-mode path distributed workers run.
+    let mut rng = ba_sim::SimRng::seed_from_u64(0x5EA7);
+    let space = ba_search::GenomeSpace::new(5, 1, 6);
+    let search_points: Vec<ba_sim::CampaignPoint> = (0..32)
+        .map(|_| {
+            ba_sim::CampaignPoint::new(5, 1)
+                .with_adversary(ba_search::genome_label(&space.random_genome(&mut rng)))
+        })
+        .collect();
+    log.time_best("search-population/one-round-all-to-all", 21, || {
+        let report =
+            ba_bench::dist::search_campaign_report(&search_points, "one-round-all-to-all", 7, 0)
+                .expect("search-mode sweep");
+        assert_eq!(report.errors().count(), 0, "{}", report.summary());
+        let total: u64 = report.stats().map(|(_, s)| s.total_messages).sum();
+        (search_points.len(), total, ())
+    });
+
     let falsifier_grid = [(8usize, 2usize), (10, 2), (12, 4), (16, 8)];
     log.time_best("falsifier-sweep/leader-echo", 5, || {
         let sweep = ba_bench::falsifier_sweep(&falsifier_grid, |_point| {

@@ -1,0 +1,122 @@
+//! `adversary_search` — search the fault-model space for strategies that
+//! break a registry protocol.
+//!
+//! Drives `ba_search` against any `ba_bench::dist` registry protocol: a
+//! seeded (1+λ) hill-climber or simulated annealing proposes strategy
+//! genomes, the simulator evaluates them (in parallel, stats-only), and a
+//! violating winner is delta-debugged down to a minimal, replayable attack
+//! report printed to stdout.
+//!
+//! Usage:
+//!
+//! ```text
+//! adversary_search [--protocol LABEL] [--objective LABEL] [--n N] [--t T]
+//!                  [--inputs LABEL] [--seed S] [--evals E] [--lambda L]
+//!                  [--threads W] [--algo hill-climb|anneal] [--horizon R]
+//!                  [--no-shrink] [--expect-violation]
+//! ```
+//!
+//! Defaults hunt disagreement on the planted-bug `one-round-all-to-all`
+//! protocol (n = 5, t = 1, all-zero inputs) and find it deterministically —
+//! the CI smoke runs exactly that with `--expect-violation`, which exits
+//! non-zero if no violation is found within the evaluation budget.
+
+use std::process::ExitCode;
+
+use ba_bench::dist::{INPUTS, REGISTRY};
+use ba_bench::search::{run_adversary_search, SearchSpec, OBJECTIVES};
+use ba_search::SearchAlgo;
+
+fn parse<T: std::str::FromStr>(flag: &str, raw: String) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    raw.parse()
+        .map_err(|e| format!("bad {flag} value {raw:?}: {e}"))
+}
+
+fn run() -> Result<bool, String> {
+    let mut spec = SearchSpec::new("one-round-all-to-all", 5, 1);
+    let mut expect_violation = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| args.next().ok_or(format!("{flag} needs a value"));
+        match arg.as_str() {
+            "--protocol" => spec.protocol = value("--protocol")?,
+            "--objective" => spec.objective = value("--objective")?,
+            "--inputs" => spec.inputs = value("--inputs")?,
+            "--n" => spec.n = parse("--n", value("--n")?)?,
+            "--t" => spec.t = parse("--t", value("--t")?)?,
+            "--seed" => spec.config.seed = parse("--seed", value("--seed")?)?,
+            "--evals" => spec.config.max_evals = parse("--evals", value("--evals")?)?,
+            "--lambda" => spec.config.lambda = parse("--lambda", value("--lambda")?)?,
+            "--threads" => spec.config.threads = parse("--threads", value("--threads")?)?,
+            "--horizon" => spec.trigger_horizon = parse("--horizon", value("--horizon")?)?,
+            "--algo" => {
+                spec.config.algo = match value("--algo")?.as_str() {
+                    "hill-climb" => SearchAlgo::HillClimb,
+                    "anneal" => SearchAlgo::Anneal,
+                    other => return Err(format!("unknown --algo {other:?}")),
+                };
+            }
+            "--no-shrink" => spec.shrink = false,
+            "--expect-violation" => expect_violation = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: adversary_search [--protocol LABEL] [--objective LABEL] \
+                     [--n N] [--t T] [--inputs LABEL] [--seed S] [--evals E] \
+                     [--lambda L] [--threads W] [--algo hill-climb|anneal] \
+                     [--horizon R] [--no-shrink] [--expect-violation]"
+                );
+                println!("protocols:  {REGISTRY:?}");
+                println!("objectives: {OBJECTIVES:?}");
+                println!("inputs:     {INPUTS:?}");
+                return Ok(true);
+            }
+            other => return Err(format!("unknown argument {other:?} (see --help)")),
+        }
+    }
+
+    eprintln!(
+        "adversary_search: {} objective on {} (n={}, t={}, inputs={}, seed={}, evals<={}, {})",
+        spec.objective,
+        spec.protocol,
+        spec.n,
+        spec.t,
+        spec.inputs,
+        spec.config.seed,
+        spec.config.max_evals,
+        spec.config.algo,
+    );
+    let run = run_adversary_search(&spec)?;
+    eprintln!(
+        "adversary_search: best score {} after {} evals ({} batches)",
+        run.outcome.best_score,
+        run.outcome.evals,
+        run.outcome.trajectory.len(),
+    );
+    match &run.report {
+        Some(report) => println!("{report}"),
+        None => println!(
+            "no violation of {} found on {} within {} evals (best score {})",
+            spec.objective, spec.protocol, run.outcome.evals, run.outcome.best_score
+        ),
+    }
+    if expect_violation && run.report.is_none() {
+        return Err(format!(
+            "--expect-violation: no violation found within {} evals",
+            spec.config.max_evals
+        ));
+    }
+    Ok(true)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(_) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("adversary_search: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -15,7 +15,9 @@
 //!
 //! Scenario + falsifier protocols: `flood-set`, `dolev-strong`,
 //! `leader-echo`, `own-proposal`, `one-round-all-to-all`, `paranoid-echo`,
-//! `silent-constant-1`, and `phase-king` (requires `n > 3t` grids).
+//! `silent-constant-1`, `phase-king`, and `phase-king-weak` (Phase King cut
+//! to `max(t, 1)` phases — deliberately unsafe prey for the adversary
+//! search); the phase-king variants require `n > 3t` grids.
 //!
 //! Adversary labels (scenario mode): `none`, `isolation` (last process
 //! isolated from round 2), `crash` (last process crash-stops at round 2),
@@ -26,7 +28,14 @@
 //! each), `scheduler` (seeded per-point delivery reordering against a
 //! capacity-limited last process).
 //! Input labels: `default`/`zeros`, `ones`, `alternating`, `one-hot`,
-//! `random` (seeded per-point).
+//! `majority-one` (all `1` except the last process), `random` (seeded
+//! per-point).
+//!
+//! Search-mode manifests ([`ba_dist::ShardMode::Search`]) carry an encoded
+//! `ba-search` strategy genome as each point's adversary label
+//! (`genome:…`); the worker interprets it with
+//! [`ba_search::GenomeModel`] and reports plain `ScenarioStats`, so a
+//! coordinator can fan a search population out across shards.
 
 use std::collections::BTreeMap;
 
@@ -39,6 +48,7 @@ use ba_protocols::broken::{
     LeaderEcho, OneRoundAllToAll, OwnProposal, ParanoidEcho, SilentConstant,
 };
 use ba_protocols::{DolevStrong, FloodSet, PhaseKing};
+use ba_search::{genome_from_label, GenomeModel};
 use ba_sim::{
     Adversary, Bit, Campaign, CampaignPoint, CampaignReport, ProcessId, Protocol,
     RandomOmissionPlan, Round, Scenario, SimRng, TraceMode,
@@ -57,6 +67,7 @@ pub const REGISTRY: &[&str] = &[
     "paranoid-echo",
     "silent-constant-1",
     "phase-king",
+    "phase-king-weak",
 ];
 
 /// Adversary labels interpreted by scenario-mode workers.
@@ -77,8 +88,28 @@ pub const INPUTS: &[&str] = &[
     "ones",
     "alternating",
     "one-hot",
+    "majority-one",
     "random",
 ];
+
+/// Resolves an input label into the `n` proposals scenario-mode and
+/// search-mode workers hand to the processes, using the point seed for the
+/// `random` label. Unknown labels fall back to all-zeros, matching
+/// [`run_manifest`]'s behavior after validation.
+pub fn input_bits(label: &str, n: usize, seed: u64) -> Vec<Bit> {
+    match label {
+        "ones" => vec![Bit::One; n],
+        "alternating" => (0..n).map(|i| Bit::from(i % 2 == 1)).collect(),
+        "one-hot" => (0..n).map(|i| Bit::from(i == 0)).collect(),
+        "majority-one" => (0..n).map(|i| Bit::from(i + 1 != n)).collect(),
+        "random" => {
+            let mut rng = SimRng::seed_from_u64(seed ^ 0x1);
+            (0..n).map(|_| Bit::from(rng.gen_bool(0.5))).collect()
+        }
+        // "default" / "zeros".
+        _ => vec![Bit::Zero; n],
+    }
+}
 
 /// Executes one shard manifest and returns the encoded [`ShardReport`] —
 /// the entire body of the `campaign_worker` binary.
@@ -123,6 +154,29 @@ pub fn run_manifest(manifest: &ShardManifest) -> Result<String, String> {
                     .iter()
                     .zip(sweep)
                     .map(|(entry, fp)| (entry.index, Ok(fp)))
+                    .collect(),
+            };
+            Ok(shard_report.to_wire())
+        }
+        ShardMode::Search => {
+            let seeds: BTreeMap<CampaignPoint, u64> = manifest
+                .entries
+                .iter()
+                .map(|e| (e.point.clone(), e.seed))
+                .collect();
+            let report = search_report_with(
+                &points,
+                |point| seeds[point],
+                manifest.threads,
+                &manifest.protocol,
+            )?;
+            let shard_report = ShardReport {
+                shard: manifest.shard,
+                outcomes: manifest
+                    .entries
+                    .iter()
+                    .zip(report.outcomes)
+                    .map(|(entry, outcome)| (entry.index, outcome.result))
                     .collect(),
             };
             Ok(shard_report.to_wire())
@@ -220,12 +274,20 @@ macro_rules! with_registry_factory {
                 };
                 Ok($body)
             }
+            "phase-king-weak" => {
+                let $factory = |point: &CampaignPoint| {
+                    let (n, t) = (point.n, point.t);
+                    move |_: ProcessId| PhaseKing::with_phases(n, t, (t as u64).max(1))
+                };
+                Ok($body)
+            }
             other => Err(format!(
                 "unknown protocol label {other:?} (known: {REGISTRY:?})"
             )),
         }
     };
 }
+pub(crate) use with_registry_factory;
 
 fn scenario_report_with<S>(
     points: &[CampaignPoint],
@@ -247,6 +309,90 @@ fn falsifier_report_with(
     protocol: &str,
 ) -> Result<Vec<FalsifierSweepPoint>, String> {
     with_registry_factory!(protocol, factory => falsify_points(points, threads, factory))
+}
+
+/// The in-process reference for a search-mode population evaluation: each
+/// point's adversary label must be an encoded genome ([`genome_label`]),
+/// interpreted by [`GenomeModel`] against the registry protocol.
+///
+/// `coordinator(k shards) == search_campaign_report(…)` for the same grid,
+/// protocol, and base seed, exactly as in scenario mode.
+///
+/// # Errors
+///
+/// As [`run_manifest`]: unknown protocol / input labels, or a point whose
+/// adversary label is not a decodable `genome:` token.
+pub fn search_campaign_report(
+    points: &[CampaignPoint],
+    protocol: &str,
+    base_seed: u64,
+    threads: usize,
+) -> Result<CampaignReport<Bit>, String> {
+    search_report_with(
+        points,
+        |point| ba_dist::point_seed(base_seed, point),
+        threads,
+        protocol,
+    )
+}
+
+fn search_report_with<S>(
+    points: &[CampaignPoint],
+    seed_of: S,
+    threads: usize,
+    protocol: &str,
+) -> Result<CampaignReport<Bit>, String>
+where
+    S: Fn(&CampaignPoint) -> u64 + Sync,
+{
+    for point in points {
+        match genome_from_label(&point.adversary) {
+            Ok(Some(_)) => {}
+            Ok(None) => {
+                return Err(format!(
+                    "search-mode point {point} needs a {:?}-prefixed adversary label",
+                    ba_search::GENOME_LABEL_PREFIX
+                ))
+            }
+            Err(err) => {
+                return Err(format!("undecodable genome label at {point}: {err}"));
+            }
+        }
+        if !INPUTS.contains(&point.inputs.as_str()) {
+            return Err(format!(
+                "unknown input label {:?} at {point} (known: {INPUTS:?})",
+                point.inputs
+            ));
+        }
+    }
+    with_registry_factory!(protocol, factory => run_search_points(points, &seed_of, threads, factory))
+}
+
+fn run_search_points<P, F, G, S>(
+    points: &[CampaignPoint],
+    seed_of: S,
+    threads: usize,
+    factory: G,
+) -> CampaignReport<Bit>
+where
+    P: Protocol<Input = Bit, Output = Bit>,
+    F: Fn(ProcessId) -> P + Sync,
+    G: Fn(&CampaignPoint) -> F + Sync,
+    S: Fn(&CampaignPoint) -> u64 + Sync,
+{
+    let mut campaign = Campaign::over(points.to_vec()).trace_mode(TraceMode::Stats);
+    if threads > 0 {
+        campaign = campaign.threads(threads);
+    }
+    campaign.run_scenarios(|point| {
+        let genome = genome_from_label(&point.adversary)
+            .expect("labels validated up front")
+            .expect("labels validated up front");
+        Scenario::new(point.n, point.t)
+            .protocol(factory(point))
+            .inputs(input_bits(&point.inputs, point.n, seed_of(point)))
+            .adversary(Adversary::model(GenomeModel::new(genome)))
+    })
 }
 
 fn validate_labels(points: &[CampaignPoint]) -> Result<(), String> {
@@ -288,17 +434,7 @@ where
         let seed = seed_of(point);
         let n = point.n;
         let scenario = Scenario::new(point.n, point.t).protocol(factory(point));
-        let scenario = match point.inputs.as_str() {
-            "ones" => scenario.uniform_input(Bit::One),
-            "alternating" => scenario.inputs((0..n).map(|i| Bit::from(i % 2 == 1))),
-            "one-hot" => scenario.inputs((0..n).map(|i| Bit::from(i == 0))),
-            "random" => {
-                let mut rng = SimRng::seed_from_u64(seed ^ 0x1);
-                scenario.inputs((0..n).map(|_| Bit::from(rng.gen_bool(0.5))))
-            }
-            // "default" / "zeros" (labels were validated up front).
-            _ => scenario.uniform_input(Bit::Zero),
-        };
+        let scenario = scenario.inputs(input_bits(&point.inputs, n, seed));
         let last = ProcessId(n.saturating_sub(1));
         let t = point.t;
         match point.adversary.as_str() {
@@ -465,6 +601,45 @@ mod tests {
             .collect();
         let merged = ba_dist::merge_campaign_report(&points, reports).unwrap();
         assert_eq!(merged, reference);
+    }
+
+    #[test]
+    fn search_manifest_execution_matches_the_in_process_reference() {
+        use ba_search::{genome_label, GenomeSpace};
+        use ba_sim::SimRng;
+        // A small genome population over two grid shapes, each point
+        // carrying its genome as the adversary label.
+        let mut rng = SimRng::seed_from_u64(0x5EA7C4);
+        let points: Vec<CampaignPoint> = (0..12)
+            .map(|i| {
+                let (n, t) = if i % 2 == 0 { (5, 1) } else { (7, 2) };
+                let genome = GenomeSpace::new(n, t, 6).random_genome(&mut rng);
+                CampaignPoint::new(n, t)
+                    .with_adversary(genome_label(&genome))
+                    .with_inputs(if i % 3 == 0 { "majority-one" } else { "zeros" })
+            })
+            .collect();
+        let reference = search_campaign_report(&points, "phase-king-weak", 0xF00D, 1).unwrap();
+        let spec = SweepSpec::search(points.clone(), "phase-king-weak").base_seed(0xF00D);
+        let reports: Vec<ShardReport<ba_sim::ScenarioStats<Bit>>> = plan_shards(&spec, 3)
+            .iter()
+            .map(|m| {
+                let wire = run_manifest(m).unwrap();
+                ShardReport::from_wire(&wire).unwrap()
+            })
+            .collect();
+        let merged = ba_dist::merge_campaign_report(&points, reports).unwrap();
+        assert_eq!(merged, reference);
+    }
+
+    #[test]
+    fn search_mode_rejects_non_genome_adversary_labels() {
+        let points = vec![CampaignPoint::new(4, 1).with_adversary("crash")];
+        let err = search_campaign_report(&points, "flood-set", 0, 1).unwrap_err();
+        assert!(err.contains("genome:"), "{err}");
+        let garbage = vec![CampaignPoint::new(4, 1).with_adversary("genome:nonsense")];
+        let err = search_campaign_report(&garbage, "flood-set", 0, 1).unwrap_err();
+        assert!(err.contains("undecodable"), "{err}");
     }
 
     #[test]

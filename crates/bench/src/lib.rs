@@ -10,6 +10,7 @@ use ba_sim::{
 pub mod dist;
 pub mod harness;
 pub mod perf;
+pub mod search;
 
 /// A labeled measurement of one protocol's observed message complexity.
 #[derive(Clone, PartialEq, Eq, Debug)]

@@ -1,0 +1,236 @@
+//! Registry-facing entry points for the `ba-search` adversary search:
+//! resolve a protocol label, hunt for a violating strategy, shrink it, and
+//! replay the resulting attack report.
+//!
+//! This is the layer the `adversary_search` binary and the regression
+//! tests drive. Everything is deterministic in the spec's seed: the same
+//! `SearchSpec` reproduces the same trajectory, winner, and shrunk report
+//! regardless of thread count.
+
+use ba_search::{
+    search, shrink, AttackReport, DecisionRounds, DisagreementRate, GenomeModel, GenomeSpace,
+    MessageComplexity, Objective, SearchConfig, SearchOutcome, StrategyGenome, ValidityViolation,
+};
+use ba_sim::{Adversary, Bit, CampaignPoint, ProcessId, Scenario, ScenarioStats, SimError};
+
+use crate::dist::{input_bits, with_registry_factory, INPUTS, REGISTRY};
+
+// The registry macro expands textually, so the protocol factories it names
+// must be in scope at every call site.
+use ba_crypto::Keybook;
+use ba_protocols::broken::{
+    LeaderEcho, OneRoundAllToAll, OwnProposal, ParanoidEcho, SilentConstant,
+};
+use ba_protocols::{DolevStrong, FloodSet, PhaseKing};
+
+/// Objective labels resolvable by [`objective_by_name`].
+pub const OBJECTIVES: &[&str] = &[
+    "disagreement",
+    "validity",
+    "decision-rounds",
+    "message-complexity",
+];
+
+/// Resolves an objective label. `expected` is the bit the `validity`
+/// objective defends (ignored by the others).
+///
+/// # Errors
+///
+/// Returns a message listing [`OBJECTIVES`] for unknown labels.
+pub fn objective_by_name(name: &str, expected: Bit) -> Result<Box<dyn Objective>, String> {
+    match name {
+        "disagreement" => Ok(Box::new(DisagreementRate)),
+        "validity" => Ok(Box::new(ValidityViolation { expected })),
+        "decision-rounds" => Ok(Box::new(DecisionRounds)),
+        "message-complexity" => Ok(Box::new(MessageComplexity)),
+        other => Err(format!(
+            "unknown objective label {other:?} (known: {OBJECTIVES:?})"
+        )),
+    }
+}
+
+/// The bit most processes propose under `inputs` (ties go to `Zero`) — the
+/// value the `validity` objective defends by default.
+pub fn majority_bit(inputs: &[Bit]) -> Bit {
+    let ones = inputs.iter().filter(|b| **b == Bit::One).count();
+    Bit::from(2 * ones > inputs.len())
+}
+
+/// A complete, seed-reproducible adversary-search job.
+#[derive(Clone, Debug)]
+pub struct SearchSpec {
+    /// Registry protocol label (see [`crate::dist::REGISTRY`]).
+    pub protocol: String,
+    /// Objective label (see [`OBJECTIVES`]).
+    pub objective: String,
+    /// Number of processes.
+    pub n: usize,
+    /// Fault budget.
+    pub t: usize,
+    /// Input-profile label (see [`crate::dist::INPUTS`]).
+    pub inputs: String,
+    /// Largest round a genome trigger may arm at.
+    pub trigger_horizon: u64,
+    /// Driver configuration (seed, budget, batch size, algorithm).
+    pub config: SearchConfig,
+    /// Whether to delta-debug a violating winner down to a minimal report.
+    pub shrink: bool,
+}
+
+impl SearchSpec {
+    /// A default job against `protocol` on an `(n, t)` system: hunt
+    /// disagreement from all-zero inputs with the default driver budget.
+    pub fn new(protocol: &str, n: usize, t: usize) -> Self {
+        SearchSpec {
+            protocol: protocol.to_string(),
+            objective: "disagreement".to_string(),
+            n,
+            t,
+            inputs: "zeros".to_string(),
+            trigger_horizon: 6,
+            config: SearchConfig::new(0xBA5EC4),
+            shrink: true,
+        }
+    }
+}
+
+/// The result of [`run_adversary_search`]: the raw driver outcome plus,
+/// when the winner violates the objective, the shrunk attack report.
+#[derive(Clone, Debug)]
+pub struct SearchRun {
+    /// The driver's outcome (best genome, score, trajectory).
+    pub outcome: SearchOutcome,
+    /// The shrunk report, if the search found a violation (and shrinking
+    /// was requested; otherwise the report carries the unshrunk winner).
+    pub report: Option<AttackReport>,
+}
+
+/// Runs the full pipeline for `spec`: resolve labels, search, and (on a
+/// violation) shrink to an [`AttackReport`].
+///
+/// # Errors
+///
+/// Unknown protocol / objective / input labels, and simulator errors
+/// (which would indicate an interpreter soundness bug) as strings.
+pub fn run_adversary_search(spec: &SearchSpec) -> Result<SearchRun, String> {
+    if !INPUTS.contains(&spec.inputs.as_str()) {
+        return Err(format!(
+            "unknown input label {:?} (known: {INPUTS:?})",
+            spec.inputs
+        ));
+    }
+    let inputs = input_bits(&spec.inputs, spec.n, spec.config.seed);
+    let objective = objective_by_name(&spec.objective, majority_bit(&inputs))?;
+    let space = GenomeSpace::new(spec.n, spec.t, spec.trigger_horizon);
+    let run: Result<SearchRun, String> = with_registry_factory!(spec.protocol.as_str(), factory => {
+        let point = CampaignPoint::new(spec.n, spec.t);
+        let eval = |genome: &StrategyGenome| -> Result<ScenarioStats<Bit>, SimError> {
+            Scenario::new(spec.n, spec.t)
+                .protocol(factory(&point))
+                .inputs(inputs.iter().copied())
+                .adversary(Adversary::model(GenomeModel::new(genome.clone())))
+                .run_stats()
+        };
+        let outcome = search(&space, objective.as_ref(), &spec.config, eval)
+            .map_err(|e| format!("search evaluation failed: {e}"))?;
+        let report = if outcome.violation {
+            let genome = if spec.shrink {
+                shrink(&outcome.best, objective.as_ref(), eval)
+                    .map_err(|e| format!("shrink evaluation failed: {e}"))?
+            } else {
+                outcome.best.clone()
+            };
+            let stats = eval(&genome).map_err(|e| format!("replay failed: {e}"))?;
+            Some(AttackReport {
+                protocol: spec.protocol.clone(),
+                objective: objective.name().to_string(),
+                n: spec.n,
+                t: spec.t,
+                inputs: inputs.clone(),
+                seed: spec.config.seed,
+                evals: outcome.evals,
+                score: objective.score(&stats),
+                violations: stats.violations,
+                genome,
+            })
+        } else {
+            None
+        };
+        Ok(SearchRun { outcome, report })
+    })?;
+    run
+}
+
+/// Replays an [`AttackReport`] against the registry: evaluates its genome
+/// on its scenario and returns the stats, which must exhibit the same
+/// violation the report records (the regression tests assert exactly
+/// that).
+///
+/// # Errors
+///
+/// Unknown protocol labels and simulator errors, as strings.
+pub fn replay_report(report: &AttackReport) -> Result<ScenarioStats<Bit>, String> {
+    let stats: Result<ScenarioStats<Bit>, String> = with_registry_factory!(report.protocol.as_str(), factory => {
+        let point = CampaignPoint::new(report.n, report.t);
+        Scenario::new(report.n, report.t)
+            .protocol(factory(&point))
+            .inputs(report.inputs.iter().copied())
+            .adversary(Adversary::model(GenomeModel::new(report.genome.clone())))
+            .run_stats()
+            .map_err(|e| format!("replay failed: {e}"))
+    })?;
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn objective_labels_resolve_and_reject() {
+        for label in OBJECTIVES {
+            assert_eq!(objective_by_name(label, Bit::Zero).unwrap().name(), *label);
+        }
+        let err = objective_by_name("world-peace", Bit::Zero)
+            .err()
+            .expect("unknown objective must be rejected");
+        assert!(err.contains("world-peace"));
+    }
+
+    #[test]
+    fn majority_bit_breaks_ties_to_zero() {
+        assert_eq!(majority_bit(&[Bit::One, Bit::One, Bit::Zero]), Bit::One);
+        assert_eq!(majority_bit(&[Bit::One, Bit::Zero]), Bit::Zero);
+        assert_eq!(majority_bit(&[]), Bit::Zero);
+    }
+
+    #[test]
+    fn unknown_labels_surface_as_errors() {
+        let mut spec = SearchSpec::new("no-such-protocol", 4, 1);
+        spec.config = spec.config.with_max_evals(2);
+        assert!(run_adversary_search(&spec)
+            .unwrap_err()
+            .contains("no-such-protocol"));
+        let mut spec = SearchSpec::new("flood-set", 4, 1);
+        spec.inputs = "gibberish".into();
+        assert!(run_adversary_search(&spec)
+            .unwrap_err()
+            .contains("gibberish"));
+        let mut spec = SearchSpec::new("flood-set", 4, 1);
+        spec.objective = "gibberish".into();
+        assert!(run_adversary_search(&spec)
+            .unwrap_err()
+            .contains("gibberish"));
+    }
+
+    #[test]
+    fn searching_a_correct_protocol_finds_no_violation() {
+        // FloodSet tolerates t faults by construction; a tiny search budget
+        // must come back empty-handed rather than mislabel an outcome.
+        let mut spec = SearchSpec::new("flood-set", 4, 1);
+        spec.config = spec.config.with_max_evals(40).with_lambda(4);
+        let run = run_adversary_search(&spec).unwrap();
+        assert!(!run.outcome.violation);
+        assert!(run.report.is_none());
+    }
+}

@@ -31,6 +31,10 @@ pub enum ShardMode {
     /// Each point runs the Theorem 2 falsifier; outcomes are falsifier
     /// sweep points.
     Falsifier,
+    /// Each point evaluates one adversary-search genome (carried in the
+    /// point's adversary label); outcomes are `ScenarioStats`, exactly as
+    /// in [`ShardMode::Scenarios`].
+    Search,
 }
 
 impl fmt::Display for ShardMode {
@@ -38,6 +42,7 @@ impl fmt::Display for ShardMode {
         match self {
             ShardMode::Scenarios => write!(f, "scenarios"),
             ShardMode::Falsifier => write!(f, "falsifier"),
+            ShardMode::Search => write!(f, "search"),
         }
     }
 }
@@ -113,6 +118,15 @@ impl SweepSpec {
     pub fn falsifier(points: impl IntoIterator<Item = CampaignPoint>, protocol: &str) -> Self {
         SweepSpec {
             mode: ShardMode::Falsifier,
+            ..SweepSpec::scenarios(points, protocol)
+        }
+    }
+
+    /// An adversary-search population evaluation over `points` (each
+    /// carrying an encoded genome as its adversary label).
+    pub fn search(points: impl IntoIterator<Item = CampaignPoint>, protocol: &str) -> Self {
+        SweepSpec {
+            mode: ShardMode::Search,
             ..SweepSpec::scenarios(points, protocol)
         }
     }

@@ -621,6 +621,7 @@ impl Decode for ShardManifest {
         let mode = match rec.raw("mode")? {
             "scenarios" => ShardMode::Scenarios,
             "falsifier" => ShardMode::Falsifier,
+            "search" => ShardMode::Search,
             other => return Err(rec.field_error("mode", format!("unknown mode {other:?}"))),
         };
         let shard = rec.parse_field("shard")?;
@@ -861,10 +862,10 @@ mod tests {
             let manifest = ShardManifest {
                 shard: rng.gen_index(0, 8),
                 shards: rng.gen_index(1, 9),
-                mode: if rng.gen_bool(0.5) {
-                    ShardMode::Scenarios
-                } else {
-                    ShardMode::Falsifier
+                mode: match rng.gen_index(0, 3) {
+                    0 => ShardMode::Scenarios,
+                    1 => ShardMode::Falsifier,
+                    _ => ShardMode::Search,
                 },
                 protocol: label(&mut rng),
                 threads: rng.gen_index(0, 9),

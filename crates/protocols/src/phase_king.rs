@@ -56,6 +56,7 @@ pub struct PhaseKing {
     tentative: u8,
     locked: bool,
     decision: Option<Bit>,
+    phases: u64,
 }
 
 impl PhaseKing {
@@ -66,16 +67,31 @@ impl PhaseKing {
     /// Panics unless `n > 3t` (the protocol's resilience requirement, shown
     /// inherent by the paper's Theorem 4).
     pub fn new(n: usize, t: usize) -> Self {
+        Self::with_phases(n, t, t as u64 + 1)
+    }
+
+    /// Creates an instance that runs `phases` phases instead of the safe
+    /// `t + 1`. With fewer than `t + 1` phases every phase may have a
+    /// faulty king, so agreement is **not** guaranteed — this weakened
+    /// variant exists as prey for the adversary search (`ba-search`),
+    /// which should rediscover the king-silencing attack against it.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n > 3t` and `phases >= 1`.
+    pub fn with_phases(n: usize, t: usize, phases: u64) -> Self {
         assert!(
             n > 3 * t,
             "Phase King requires n > 3t (got n = {n}, t = {t})"
         );
+        assert!(phases >= 1, "Phase King needs at least one phase");
         PhaseKing {
             value: Bit::Zero,
             candidate: UNSURE,
             tentative: UNSURE,
             locked: false,
             decision: None,
+            phases,
         }
     }
 
@@ -112,7 +128,7 @@ impl Protocol for PhaseKing {
 
     fn round(&mut self, ctx: &ProcessCtx, round: Round, inbox: &Inbox<PkMsg>) -> Outbox<PkMsg> {
         let mut out = Outbox::new();
-        if self.decision.is_some() || round.0 > Self::total_rounds(ctx.t) {
+        if self.decision.is_some() || round.0 > 3 * self.phases {
             return out;
         }
         match (round.0 - 1) % 3 {
@@ -171,7 +187,7 @@ impl Protocol for PhaseKing {
                         _ => Bit::Zero,
                     }
                 };
-                if phase == ctx.t as u64 + 1 {
+                if phase == self.phases {
                     self.decision = Some(self.value);
                 } else {
                     out.send_to_all(ctx.others(), PkMsg::Report(self.value));
@@ -303,5 +319,26 @@ mod tests {
     #[should_panic(expected = "n > 3t")]
     fn rejects_insufficient_resilience() {
         let _ = PhaseKing::new(3, 1);
+    }
+
+    #[test]
+    fn single_phase_variant_decides_after_one_phase_fault_free() {
+        // Fault-free, with_phases(.., 1) is still safe: everyone locks in
+        // phase 1 and decides by round 4. The weakness only shows against
+        // an adversary that corrupts the (single) king.
+        let exec = Scenario::new(5, 1)
+            .protocol(|_| PhaseKing::with_phases(5, 1, 1))
+            .uniform_input(Bit::One)
+            .run()
+            .unwrap();
+        exec.validate().unwrap();
+        assert!(exec.all_correct_decided(Bit::One));
+        assert_eq!(exec.all_decided_by(), Some(Round(4)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one phase")]
+    fn rejects_zero_phases() {
+        let _ = PhaseKing::with_phases(4, 1, 0);
     }
 }

@@ -1,0 +1,330 @@
+//! Deterministic search drivers: a (1+λ) evolutionary hill-climber and
+//! simulated annealing over the [`GenomeSpace`].
+//!
+//! Both drivers draw **all** randomness sequentially from one [`SimRng`]
+//! in the calling thread: a batch of λ candidates is generated first, then
+//! evaluated in parallel on [`ba_sim::par_map`] (which returns results in
+//! input order), then scored and accepted strictly in batch order. The
+//! trajectory and the best genome are therefore bit-identical for a given
+//! seed regardless of the worker-thread count — the property the
+//! determinism regression pins.
+
+use ba_sim::{par_map, Bit, ScenarioStats, SimError, SimRng};
+
+use crate::genome::{GenomeSpace, StrategyGenome};
+use crate::objective::Objective;
+
+/// Which driver explores the space.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SearchAlgo {
+    /// (1+λ): keep the incumbent, adopt the best batch candidate on a tie
+    /// or improvement.
+    HillClimb,
+    /// Simulated annealing: candidates are accepted in batch order, worse
+    /// ones with probability `exp(Δ/temperature)`; the temperature cools
+    /// once per batch.
+    Anneal,
+}
+
+impl std::fmt::Display for SearchAlgo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SearchAlgo::HillClimb => write!(f, "hill-climb"),
+            SearchAlgo::Anneal => write!(f, "anneal"),
+        }
+    }
+}
+
+/// Driver parameters. One seed replays the whole search.
+#[derive(Clone, Debug)]
+pub struct SearchConfig {
+    /// Master seed: genomes, mutations, and acceptance draws all derive
+    /// from it.
+    pub seed: u64,
+    /// Hard ceiling on scenario evaluations.
+    pub max_evals: usize,
+    /// Candidates generated (and evaluated in parallel) per batch.
+    pub lambda: usize,
+    /// Worker threads for batch evaluation (0 = auto). Has no effect on
+    /// the result, only on wall-clock time.
+    pub threads: usize,
+    /// The driver to run.
+    pub algo: SearchAlgo,
+    /// Annealing start temperature (ignored by the hill-climber).
+    pub temperature: f64,
+    /// Per-batch geometric cooling factor in `(0, 1]`.
+    pub cooling: f64,
+}
+
+impl SearchConfig {
+    /// A sensible default configuration for the given seed: 400
+    /// evaluations of batches of 8, hill-climbing, auto threads.
+    pub fn new(seed: u64) -> Self {
+        SearchConfig {
+            seed,
+            max_evals: 400,
+            lambda: 8,
+            threads: 0,
+            algo: SearchAlgo::HillClimb,
+            temperature: 8.0,
+            cooling: 0.95,
+        }
+    }
+
+    /// Sets the evaluation budget.
+    pub fn with_max_evals(mut self, max_evals: usize) -> Self {
+        self.max_evals = max_evals.max(1);
+        self
+    }
+
+    /// Sets the batch size.
+    pub fn with_lambda(mut self, lambda: usize) -> Self {
+        self.lambda = lambda.max(1);
+        self
+    }
+
+    /// Sets the worker-thread count (0 = auto).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Selects the driver.
+    pub fn with_algo(mut self, algo: SearchAlgo) -> Self {
+        self.algo = algo;
+        self
+    }
+}
+
+/// One accepted batch in the search trajectory.
+#[derive(Clone, PartialEq, Debug)]
+pub struct SearchStep {
+    /// Evaluations consumed up to and including this batch.
+    pub evals: usize,
+    /// The incumbent's score after this batch.
+    pub current_score: f64,
+    /// The best score seen so far.
+    pub best_score: f64,
+    /// Whether this batch changed the incumbent.
+    pub moved: bool,
+}
+
+/// The result of a search run.
+#[derive(Clone, PartialEq, Debug)]
+pub struct SearchOutcome {
+    /// The best genome found.
+    pub best: StrategyGenome,
+    /// Its score.
+    pub best_score: f64,
+    /// Its evaluated stats.
+    pub best_stats: ScenarioStats<Bit>,
+    /// Total evaluations consumed.
+    pub evals: usize,
+    /// `true` iff the best genome exhibits the objective's violation.
+    pub violation: bool,
+    /// Per-batch progress, bit-identical across thread counts.
+    pub trajectory: Vec<SearchStep>,
+}
+
+/// Runs the configured driver: maximize `objective` over `space`, scoring
+/// genomes with `eval`, stopping at the evaluation budget or on the first
+/// violating outcome.
+///
+/// # Errors
+///
+/// Propagates the first evaluation error in deterministic (batch) order.
+pub fn search<E>(
+    space: &GenomeSpace,
+    objective: &dyn Objective,
+    cfg: &SearchConfig,
+    eval: E,
+) -> Result<SearchOutcome, SimError>
+where
+    E: Fn(&StrategyGenome) -> Result<ScenarioStats<Bit>, SimError> + Sync,
+{
+    let mut rng = SimRng::seed_from_u64(cfg.seed);
+    let mut temperature = cfg.temperature.max(f64::MIN_POSITIVE);
+
+    let mut current = space.random_genome(&mut rng);
+    let mut current_stats = eval(&current)?;
+    let mut current_score = objective.score(&current_stats);
+    let mut evals = 1;
+
+    let mut best = current.clone();
+    let mut best_stats = current_stats.clone();
+    let mut best_score = current_score;
+    let mut trajectory = Vec::new();
+
+    while evals < cfg.max_evals && !objective.violated(&best_stats) {
+        // Generate the whole batch up front: all randomness is drawn here,
+        // sequentially, before any parallel work.
+        let batch_len = cfg.lambda.min(cfg.max_evals - evals);
+        let batch: Vec<StrategyGenome> = (0..batch_len)
+            .map(|_| {
+                if rng.gen_bool(0.8) {
+                    space.mutate(&current, &mut rng)
+                } else {
+                    let fresh = space.random_genome(&mut rng);
+                    space.crossover(&current, &fresh, &mut rng)
+                }
+            })
+            .collect();
+        let results = par_map(batch, cfg.threads, |_, genome| {
+            let stats = eval(&genome);
+            (genome, stats)
+        });
+        evals += batch_len;
+
+        // Score and accept strictly in batch order.
+        let mut moved = false;
+        for (genome, result) in results {
+            let stats = result?;
+            let score = objective.score(&stats);
+            if score > best_score {
+                best = genome.clone();
+                best_stats = stats.clone();
+                best_score = score;
+            }
+            let accept = match cfg.algo {
+                SearchAlgo::HillClimb => score >= current_score,
+                SearchAlgo::Anneal => {
+                    score >= current_score
+                        || rng.next_f64() < ((score - current_score) / temperature).exp()
+                }
+            };
+            if accept {
+                current = genome;
+                current_stats = stats;
+                current_score = score;
+                moved = true;
+            }
+            if objective.violated(&current_stats) {
+                break;
+            }
+        }
+        if cfg.algo == SearchAlgo::Anneal {
+            temperature = (temperature * cfg.cooling).max(f64::MIN_POSITIVE);
+        }
+        trajectory.push(SearchStep {
+            evals,
+            current_score,
+            best_score,
+            moved,
+        });
+        // The hill-climber only tracks its own best; annealing may wander
+        // below it, so the violation check runs on the global best.
+        if objective.violated(&current_stats) && !objective.violated(&best_stats) {
+            best = current.clone();
+            best_stats = current_stats.clone();
+            best_score = current_score;
+        }
+    }
+
+    let violation = objective.violated(&best_stats);
+    Ok(SearchOutcome {
+        best,
+        best_score,
+        best_stats,
+        evals,
+        violation,
+        trajectory,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::MessageComplexity;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// A synthetic evaluator: "message complexity" counts genes that mute
+    /// process 0 — a smooth landscape the climber must ascend.
+    fn synthetic(genome: &StrategyGenome) -> Result<ScenarioStats<Bit>, SimError> {
+        use crate::genome::{Action, TargetSel};
+        let score = genome
+            .genes
+            .iter()
+            .filter(|g| matches!(g.target, TargetSel::Fixed(0)) && matches!(g.action, Action::Mute))
+            .count() as u64;
+        Ok(ScenarioStats {
+            message_complexity: score,
+            total_messages: score,
+            rounds: 1,
+            quiescent: true,
+            decided_by: None,
+            decisions: Default::default(),
+            violations: Vec::new(),
+        })
+    }
+
+    #[test]
+    fn hill_climber_ascends_the_synthetic_landscape() {
+        let space = GenomeSpace::new(4, 3, 6);
+        let cfg = SearchConfig::new(42).with_max_evals(3000).with_lambda(8);
+        let outcome = search(&space, &MessageComplexity, &cfg, synthetic).unwrap();
+        assert!(
+            outcome.best_score >= 1.0,
+            "should find at least one mute-p0 gene, got {}",
+            outcome.best_score
+        );
+        assert!(outcome.evals <= 3000);
+        assert!(!outcome.trajectory.is_empty());
+    }
+
+    #[test]
+    fn both_drivers_are_deterministic_across_thread_counts() {
+        let space = GenomeSpace::new(5, 2, 8);
+        for algo in [SearchAlgo::HillClimb, SearchAlgo::Anneal] {
+            let run = |threads: usize| {
+                let cfg = SearchConfig::new(7)
+                    .with_max_evals(120)
+                    .with_lambda(8)
+                    .with_threads(threads)
+                    .with_algo(algo);
+                search(&space, &MessageComplexity, &cfg, synthetic).unwrap()
+            };
+            let serial = run(1);
+            let parallel = run(8);
+            assert_eq!(serial, parallel, "{algo} must not depend on threads");
+        }
+    }
+
+    #[test]
+    fn search_stops_on_the_first_violation() {
+        #[derive(Clone, Copy)]
+        struct AlwaysViolated;
+        impl Objective for AlwaysViolated {
+            fn name(&self) -> &'static str {
+                "always"
+            }
+            fn score(&self, _: &ScenarioStats<Bit>) -> f64 {
+                <dyn Objective>::VIOLATION_SCORE
+            }
+            fn violated(&self, _: &ScenarioStats<Bit>) -> bool {
+                true
+            }
+        }
+        let space = GenomeSpace::new(4, 1, 4);
+        let evals = AtomicUsize::new(0);
+        let cfg = SearchConfig::new(1).with_max_evals(500);
+        let outcome = search(&space, &AlwaysViolated, &cfg, |g| {
+            evals.fetch_add(1, Ordering::Relaxed);
+            synthetic(g)
+        })
+        .unwrap();
+        assert!(outcome.violation);
+        assert_eq!(outcome.evals, 1, "the very first evaluation violates");
+        assert_eq!(evals.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn evaluation_errors_propagate_deterministically() {
+        let space = GenomeSpace::new(4, 1, 4);
+        let cfg = SearchConfig::new(3).with_max_evals(50);
+        let err = search(&space, &MessageComplexity, &cfg, |_| {
+            Err(SimError::InvalidResilience { n: 4, t: 9 })
+        })
+        .unwrap_err();
+        assert_eq!(err, SimError::InvalidResilience { n: 4, t: 9 });
+    }
+}

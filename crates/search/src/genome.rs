@@ -1,0 +1,401 @@
+//! The [`StrategyGenome`]: a compact, serializable encoding of an
+//! execution-observing adversary strategy, plus the seeded variation
+//! operators ([`GenomeSpace::mutate`], [`GenomeSpace::crossover`]) the
+//! search drivers explore it with.
+//!
+//! A genome is a short list of [`Gene`]s under a corruption budget. Each
+//! gene is a *directive template*: a [`Trigger`] predicate over the
+//! executor's [`ExecutionView`](ba_sim::ExecutionView) deciding **when** to
+//! corrupt, a [`TargetSel`] deciding **whom** (a fixed id or a
+//! traffic-ranked pick, the `AdaptiveWorstCase` primitive), and an
+//! [`Action`] deciding **what** the corrupted process's network does
+//! afterwards (mute, deafen, a per-receiver omission mask, or forge). An
+//! optional reorder seed adds `SchedulerOmission`-style queue shuffling.
+//!
+//! The encoding is deliberately small and closed under the variation
+//! operators: every mutation and crossover of budget-respecting genomes is
+//! again budget-respecting, so the interpreter never has to reject a
+//! candidate at run time.
+
+use std::fmt;
+
+use ba_sim::SimRng;
+
+/// When a gene fires: a predicate over the per-round execution view.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Trigger {
+    /// Fire at the start of round `r` (or any later round, if the budget
+    /// was exhausted earlier).
+    AtRound(u64),
+    /// Fire once the resolved target has sent at least this many messages
+    /// (the traffic-threshold predicate; `0` fires immediately).
+    SentAtLeast(u64),
+}
+
+/// Whom a gene corrupts, resolved against the view when the trigger fires.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum TargetSel {
+    /// Process `id mod n`.
+    Fixed(usize),
+    /// The process of this rank (0 = chattiest) when all processes are
+    /// ordered by observed sent traffic, descending, ties toward lower
+    /// ids — the `AdaptiveWorstCase` ranking.
+    TopSender(usize),
+}
+
+/// What the corrupted target's network does from the firing round on.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Action {
+    /// Send-omit every message the target emits.
+    Mute,
+    /// Receive-omit every message addressed to the target.
+    Deafen,
+    /// Send-omit the target's messages to exactly the receivers whose
+    /// index bit is set in `mask` (receivers with index ≥ 64 are
+    /// unaffected; partial masks are what split correct processes).
+    MuteReceivers {
+        /// Bit `i` set ⇒ messages to process `i` are send-omitted.
+        mask: u64,
+    },
+    /// Replace the target's messages with the interpreter's forged payload
+    /// (falls back to [`Action::Mute`] when no payload was supplied).
+    Forge,
+}
+
+/// One directive template: trigger → target → action.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Gene {
+    /// When to corrupt.
+    pub trigger: Trigger,
+    /// Whom to corrupt.
+    pub target: TargetSel,
+    /// What the corrupted process's network does afterwards.
+    pub action: Action,
+}
+
+impl fmt::Display for Gene {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.trigger {
+            Trigger::AtRound(r) => write!(f, "at round {r}: ")?,
+            Trigger::SentAtLeast(s) => write!(f, "once target sent >= {s}: ")?,
+        }
+        match self.target {
+            TargetSel::Fixed(id) => write!(f, "corrupt process {id}")?,
+            TargetSel::TopSender(rank) => write!(f, "corrupt sender of rank {rank}")?,
+        }
+        match self.action {
+            Action::Mute => write!(f, ", mute it"),
+            Action::Deafen => write!(f, ", deafen it"),
+            Action::MuteReceivers { mask } => {
+                let bits: Vec<String> = (0..64)
+                    .filter(|i| mask >> i & 1 == 1)
+                    .map(|i| i.to_string())
+                    .collect();
+                write!(f, ", mute it toward {{{}}}", bits.join(","))
+            }
+            Action::Forge => write!(f, ", forge its messages"),
+        }
+    }
+}
+
+/// A complete adversary strategy: genes under a corruption budget, plus an
+/// optional delivery-reorder seed.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct StrategyGenome {
+    /// The adaptive corruption budget declared to the executor; must be
+    /// ≤ `t` of the scenario the genome is evaluated against.
+    pub budget: usize,
+    /// The directive templates, applied in order (at most `budget` genes).
+    pub genes: Vec<Gene>,
+    /// When set, the interpreter reorders every round's routing queue with
+    /// a `SimRng` seeded from this value.
+    pub reorder_seed: Option<u64>,
+}
+
+impl StrategyGenome {
+    /// A genome with no genes and no reordering: the null adversary.
+    pub fn empty(budget: usize) -> Self {
+        StrategyGenome {
+            budget,
+            genes: Vec::new(),
+            reorder_seed: None,
+        }
+    }
+}
+
+impl fmt::Display for StrategyGenome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "budget {}, {} gene(s)", self.budget, self.genes.len())?;
+        for gene in &self.genes {
+            writeln!(f, "  - {gene}")?;
+        }
+        if let Some(seed) = self.reorder_seed {
+            writeln!(f, "  - reorder deliveries (seed {seed})")?;
+        }
+        Ok(())
+    }
+}
+
+/// The bounded strategy space the drivers search: scenario shape plus the
+/// seeded random-genome / mutation / crossover operators.
+///
+/// Every operator draws all randomness from the caller's [`SimRng`], so a
+/// search trajectory is fully replayable from one seed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct GenomeSpace {
+    /// Number of processes of the target scenario.
+    pub n: usize,
+    /// Resilience bound — the ceiling on genome budgets.
+    pub t: usize,
+    /// Largest round a [`Trigger::AtRound`] may name.
+    pub max_round: u64,
+}
+
+impl GenomeSpace {
+    /// A space for an `(n, t)` scenario with triggers up to `max_round`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `max_round == 0`.
+    pub fn new(n: usize, t: usize, max_round: u64) -> Self {
+        assert!(n > 0, "need at least one process");
+        assert!(max_round > 0, "need at least one round");
+        GenomeSpace { n, t, max_round }
+    }
+
+    /// A mask over the real receiver indices (`n` capped at 64 bits).
+    fn mask_bits(&self) -> u64 {
+        if self.n >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.n) - 1
+        }
+    }
+
+    fn random_trigger(&self, rng: &mut SimRng) -> Trigger {
+        if rng.gen_bool(0.5) {
+            Trigger::AtRound(rng.gen_range(1, self.max_round + 1))
+        } else {
+            // Small thresholds (0 fires immediately) up to roughly one
+            // all-to-all round of traffic.
+            Trigger::SentAtLeast(rng.gen_range(0, 2 * self.n as u64))
+        }
+    }
+
+    fn random_target(&self, rng: &mut SimRng) -> TargetSel {
+        if rng.gen_bool(0.5) {
+            TargetSel::Fixed(rng.gen_index(0, self.n))
+        } else {
+            TargetSel::TopSender(rng.gen_index(0, self.n))
+        }
+    }
+
+    fn random_action(&self, rng: &mut SimRng) -> Action {
+        match rng.gen_index(0, 4) {
+            0 => Action::Mute,
+            1 => Action::Deafen,
+            2 => Action::MuteReceivers {
+                mask: rng.next_u64() & self.mask_bits(),
+            },
+            _ => Action::Forge,
+        }
+    }
+
+    /// A uniformly random gene.
+    pub fn random_gene(&self, rng: &mut SimRng) -> Gene {
+        Gene {
+            trigger: self.random_trigger(rng),
+            target: self.random_target(rng),
+            action: self.random_action(rng),
+        }
+    }
+
+    /// A random budget-respecting genome: budget `t`, 1..=budget genes, an
+    /// occasional reorder seed. With `t == 0` the genome is the null
+    /// adversary.
+    pub fn random_genome(&self, rng: &mut SimRng) -> StrategyGenome {
+        if self.t == 0 {
+            return StrategyGenome::empty(0);
+        }
+        let count = rng.gen_index(1, self.t + 1);
+        let genes = (0..count).map(|_| self.random_gene(rng)).collect();
+        let reorder_seed = rng.gen_bool(0.25).then(|| rng.next_u64());
+        StrategyGenome {
+            budget: self.t,
+            genes,
+            reorder_seed,
+        }
+    }
+
+    /// A seeded point mutation: tweak one gene field, add or remove a gene,
+    /// or toggle the reorder seed. The result respects the budget.
+    pub fn mutate(&self, genome: &StrategyGenome, rng: &mut SimRng) -> StrategyGenome {
+        let mut next = genome.clone();
+        if next.budget == 0 {
+            return next;
+        }
+        match rng.gen_index(0, 6) {
+            // Replace one gene field.
+            0..=2 if !next.genes.is_empty() => {
+                let i = rng.gen_index(0, next.genes.len());
+                match rng.gen_index(0, 3) {
+                    0 => next.genes[i].trigger = self.random_trigger(rng),
+                    1 => next.genes[i].target = self.random_target(rng),
+                    _ => next.genes[i].action = self.random_action(rng),
+                }
+            }
+            // Flip one receiver-mask bit (or re-roll the action when the
+            // gene is not a mask).
+            3 if !next.genes.is_empty() => {
+                let i = rng.gen_index(0, next.genes.len());
+                if let Action::MuteReceivers { mask } = next.genes[i].action {
+                    let bit = 1u64 << rng.gen_index(0, self.n.min(64));
+                    next.genes[i].action = Action::MuteReceivers { mask: mask ^ bit };
+                } else {
+                    next.genes[i].action = Action::MuteReceivers {
+                        mask: rng.next_u64() & self.mask_bits(),
+                    };
+                }
+            }
+            // Grow or shrink the gene list.
+            4 => {
+                if next.genes.len() < next.budget {
+                    let gene = self.random_gene(rng);
+                    next.genes.push(gene);
+                } else if next.genes.len() > 1 {
+                    let i = rng.gen_index(0, next.genes.len());
+                    next.genes.remove(i);
+                }
+            }
+            // Toggle or re-seed the reorderer.
+            _ => {
+                next.reorder_seed = match next.reorder_seed {
+                    Some(_) if rng.gen_bool(0.5) => None,
+                    _ => Some(rng.next_u64()),
+                };
+            }
+        }
+        if next.genes.is_empty() {
+            next.genes.push(self.random_gene(rng));
+        }
+        next
+    }
+
+    /// One-point crossover over the gene lists (truncated to the budget);
+    /// the reorder seed comes from either parent.
+    pub fn crossover(
+        &self,
+        a: &StrategyGenome,
+        b: &StrategyGenome,
+        rng: &mut SimRng,
+    ) -> StrategyGenome {
+        let budget = a.budget.min(b.budget);
+        if budget == 0 {
+            return StrategyGenome::empty(0);
+        }
+        let cut_a = rng.gen_index(0, a.genes.len() + 1);
+        let cut_b = rng.gen_index(0, b.genes.len() + 1);
+        let mut genes: Vec<Gene> = a.genes[..cut_a]
+            .iter()
+            .chain(&b.genes[cut_b..])
+            .copied()
+            .take(budget)
+            .collect();
+        if genes.is_empty() {
+            genes.push(self.random_gene(rng));
+        }
+        let reorder_seed = if rng.gen_bool(0.5) {
+            a.reorder_seed
+        } else {
+            b.reorder_seed
+        };
+        StrategyGenome {
+            budget,
+            genes,
+            reorder_seed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> GenomeSpace {
+        GenomeSpace::new(7, 2, 12)
+    }
+
+    #[test]
+    fn random_genomes_respect_the_budget() {
+        let mut rng = SimRng::seed_from_u64(11);
+        for _ in 0..200 {
+            let g = space().random_genome(&mut rng);
+            assert_eq!(g.budget, 2);
+            assert!(!g.genes.is_empty() && g.genes.len() <= g.budget);
+        }
+    }
+
+    #[test]
+    fn mutation_and_crossover_stay_budget_respecting() {
+        let mut rng = SimRng::seed_from_u64(12);
+        let sp = space();
+        let mut a = sp.random_genome(&mut rng);
+        let b = sp.random_genome(&mut rng);
+        for _ in 0..500 {
+            a = if rng.gen_bool(0.7) {
+                sp.mutate(&a, &mut rng)
+            } else {
+                sp.crossover(&a, &b, &mut rng)
+            };
+            assert!(!a.genes.is_empty() && a.genes.len() <= a.budget);
+            for gene in &a.genes {
+                if let Trigger::AtRound(r) = gene.trigger {
+                    assert!((1..=sp.max_round).contains(&r));
+                }
+                match gene.target {
+                    TargetSel::Fixed(id) | TargetSel::TopSender(id) => assert!(id < sp.n),
+                }
+                if let Action::MuteReceivers { mask } = gene.action {
+                    assert_eq!(mask & !((1u64 << sp.n) - 1), 0, "mask within n");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn operators_are_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let mut rng = SimRng::seed_from_u64(seed);
+            let sp = space();
+            let mut g = sp.random_genome(&mut rng);
+            for _ in 0..50 {
+                g = sp.mutate(&g, &mut rng);
+            }
+            g
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+
+    #[test]
+    fn zero_budget_space_yields_the_null_adversary() {
+        let sp = GenomeSpace::new(4, 0, 8);
+        let mut rng = SimRng::seed_from_u64(1);
+        let g = sp.random_genome(&mut rng);
+        assert!(g.genes.is_empty());
+        assert_eq!(sp.mutate(&g, &mut rng), g);
+    }
+
+    #[test]
+    fn genes_render_human_readably() {
+        let gene = Gene {
+            trigger: Trigger::AtRound(1),
+            target: TargetSel::Fixed(0),
+            action: Action::MuteReceivers { mask: 0b0110 },
+        };
+        let text = gene.to_string();
+        assert!(text.contains("round 1"), "{text}");
+        assert!(text.contains("process 0"), "{text}");
+        assert!(text.contains("{1,2}"), "{text}");
+    }
+}

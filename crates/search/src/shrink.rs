@@ -1,0 +1,310 @@
+//! Delta-debugging shrinker and human-readable attack reports.
+//!
+//! Once a search finds a violating [`StrategyGenome`], the genome usually
+//! carries passengers: genes that never fire, a reorder seed that changes
+//! nothing, budget headroom. [`shrink`] greedily removes them — one
+//! deterministic pass at a time until a fixpoint — while re-checking that
+//! the reduced genome still violates the objective. The result is the
+//! minimal directive set, packaged as an [`AttackReport`] that replays to
+//! the same violation.
+
+use ba_sim::{Bit, ScenarioStats, SimError};
+
+use crate::genome::{Action, StrategyGenome};
+use crate::objective::Objective;
+
+/// Shrinks `genome` to a locally minimal violating strategy.
+///
+/// Each simplification (drop a gene, drop the reorder seed, trim the
+/// budget, clear a receiver-mask bit) is kept only if the candidate still
+/// satisfies `objective.violated` under `eval`. Passes repeat until no
+/// simplification is accepted, so the result is 1-minimal: removing any
+/// single remaining directive loses the violation.
+///
+/// # Errors
+///
+/// Propagates the first evaluation error.
+pub fn shrink<E>(
+    genome: &StrategyGenome,
+    objective: &dyn Objective,
+    eval: E,
+) -> Result<StrategyGenome, SimError>
+where
+    E: Fn(&StrategyGenome) -> Result<ScenarioStats<Bit>, SimError>,
+{
+    let mut best = genome.clone();
+    let still_violates = |candidate: &StrategyGenome| -> Result<bool, SimError> {
+        Ok(objective.violated(&eval(candidate)?))
+    };
+    loop {
+        let mut simplified = false;
+
+        // Drop whole genes, lowest index first; restart the scan on
+        // success so indices stay meaningful.
+        let mut idx = 0;
+        while idx < best.genes.len() {
+            let mut candidate = best.clone();
+            candidate.genes.remove(idx);
+            if !candidate.genes.is_empty() && still_violates(&candidate)? {
+                best = candidate;
+                simplified = true;
+            } else {
+                idx += 1;
+            }
+        }
+
+        // A reorder seed that is not load-bearing goes next.
+        if best.reorder_seed.is_some() {
+            let mut candidate = best.clone();
+            candidate.reorder_seed = None;
+            if still_violates(&candidate)? {
+                best = candidate;
+                simplified = true;
+            }
+        }
+
+        // Trim budget headroom down to the genes that remain.
+        if best.budget > best.genes.len() {
+            let mut candidate = best.clone();
+            candidate.budget = candidate.genes.len();
+            if still_violates(&candidate)? {
+                best = candidate;
+                simplified = true;
+            }
+        }
+
+        // Clear individual receiver-mask bits, re-reading the (possibly
+        // already reduced) mask before each attempt.
+        for idx in 0..best.genes.len() {
+            for bit in 0..64 {
+                let mask = match best.genes[idx].action {
+                    Action::MuteReceivers { mask } => mask,
+                    _ => break,
+                };
+                let cleared = mask & !(1u64 << bit);
+                if cleared == mask || cleared == 0 {
+                    continue;
+                }
+                let mut candidate = best.clone();
+                candidate.genes[idx].action = Action::MuteReceivers { mask: cleared };
+                if still_violates(&candidate)? {
+                    best = candidate;
+                    simplified = true;
+                }
+            }
+        }
+
+        if !simplified {
+            return Ok(best);
+        }
+    }
+}
+
+/// A replayable description of a found attack: the scenario, the shrunk
+/// genome, and the violation it exhibits.
+#[derive(Clone, PartialEq, Debug)]
+pub struct AttackReport {
+    /// The protocol under attack (a registry label or free text).
+    pub protocol: String,
+    /// The objective that was violated.
+    pub objective: String,
+    /// Number of processes.
+    pub n: usize,
+    /// Resilience parameter.
+    pub t: usize,
+    /// Proposals handed to the processes, in process order.
+    pub inputs: Vec<Bit>,
+    /// The search seed that found the attack.
+    pub seed: u64,
+    /// Evaluations the search consumed before stopping.
+    pub evals: usize,
+    /// The shrunk, minimal violating strategy.
+    pub genome: StrategyGenome,
+    /// The violation strings the replay records.
+    pub violations: Vec<String>,
+    /// The objective score of the final genome.
+    pub score: f64,
+}
+
+impl std::fmt::Display for AttackReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "attack on {} (n={}, t={}) violating {}",
+            self.protocol, self.n, self.t, self.objective
+        )?;
+        let inputs: Vec<String> = self
+            .inputs
+            .iter()
+            .map(|b| u8::from(*b).to_string())
+            .collect();
+        writeln!(f, "  inputs: [{}]", inputs.join(", "))?;
+        writeln!(
+            f,
+            "  found by seed {} after {} evals",
+            self.seed, self.evals
+        )?;
+        writeln!(f, "  strategy: {}", self.genome.to_string().trim_end())?;
+        for violation in &self.violations {
+            writeln!(f, "  violation: {violation}")?;
+        }
+        write!(f, "  score: {}", self.score)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::genome::{Gene, TargetSel, Trigger};
+    use crate::objective::MessageComplexity;
+    use ba_sim::ScenarioStats;
+
+    /// "Violates" iff some gene mutes process 0 — everything else is
+    /// removable noise the shrinker must strip.
+    struct MutesZero;
+    impl Objective for MutesZero {
+        fn name(&self) -> &'static str {
+            "mutes-zero"
+        }
+        fn score(&self, stats: &ScenarioStats<Bit>) -> f64 {
+            stats.message_complexity as f64
+        }
+        fn violated(&self, stats: &ScenarioStats<Bit>) -> bool {
+            stats.message_complexity > 0
+        }
+    }
+
+    fn eval_mutes_zero(genome: &StrategyGenome) -> Result<ScenarioStats<Bit>, SimError> {
+        let hits = genome
+            .genes
+            .iter()
+            .filter(|g| matches!(g.target, TargetSel::Fixed(0)) && matches!(g.action, Action::Mute))
+            .count() as u64;
+        Ok(ScenarioStats {
+            message_complexity: hits,
+            total_messages: hits,
+            rounds: 1,
+            quiescent: true,
+            decided_by: None,
+            decisions: Default::default(),
+            violations: Vec::new(),
+        })
+    }
+
+    fn gene(target: TargetSel, action: Action) -> Gene {
+        Gene {
+            trigger: Trigger::AtRound(1),
+            target,
+            action,
+        }
+    }
+
+    #[test]
+    fn shrinker_strips_passenger_genes_budget_and_seed() {
+        let bloated = StrategyGenome {
+            budget: 5,
+            genes: vec![
+                gene(TargetSel::Fixed(3), Action::Deafen),
+                gene(TargetSel::Fixed(0), Action::Mute),
+                gene(TargetSel::TopSender(2), Action::Forge),
+                gene(TargetSel::Fixed(0), Action::Mute),
+            ],
+            reorder_seed: Some(99),
+        };
+        let minimal = shrink(&bloated, &MutesZero, eval_mutes_zero).unwrap();
+        assert_eq!(minimal.genes.len(), 1, "one mute-p0 gene suffices");
+        assert_eq!(minimal.genes[0], gene(TargetSel::Fixed(0), Action::Mute));
+        assert_eq!(minimal.budget, 1);
+        assert_eq!(minimal.reorder_seed, None);
+        // 1-minimality: the result still violates.
+        assert!(MutesZero.violated(&eval_mutes_zero(&minimal).unwrap()));
+    }
+
+    #[test]
+    fn shrinker_clears_unneeded_mask_bits() {
+        struct MaskHitsOne;
+        impl Objective for MaskHitsOne {
+            fn name(&self) -> &'static str {
+                "mask-hits-one"
+            }
+            fn score(&self, stats: &ScenarioStats<Bit>) -> f64 {
+                stats.message_complexity as f64
+            }
+            fn violated(&self, stats: &ScenarioStats<Bit>) -> bool {
+                stats.message_complexity > 0
+            }
+        }
+        let eval = |genome: &StrategyGenome| -> Result<ScenarioStats<Bit>, SimError> {
+            let hits = genome
+                .genes
+                .iter()
+                .filter(
+                    |g| matches!(g.action, Action::MuteReceivers { mask } if mask & (1 << 1) != 0),
+                )
+                .count() as u64;
+            Ok(ScenarioStats {
+                message_complexity: hits,
+                total_messages: hits,
+                rounds: 1,
+                quiescent: true,
+                decided_by: None,
+                decisions: Default::default(),
+                violations: Vec::new(),
+            })
+        };
+        let wide = StrategyGenome {
+            budget: 1,
+            genes: vec![gene(
+                TargetSel::Fixed(0),
+                Action::MuteReceivers { mask: 0b1110 },
+            )],
+            reorder_seed: None,
+        };
+        let minimal = shrink(&wide, &MaskHitsOne, eval).unwrap();
+        assert_eq!(
+            minimal.genes[0].action,
+            Action::MuteReceivers { mask: 0b0010 },
+            "only the load-bearing bit survives"
+        );
+    }
+
+    #[test]
+    fn shrinking_a_non_violating_genome_is_identity_on_genes() {
+        let genome = StrategyGenome {
+            budget: 2,
+            genes: vec![gene(TargetSel::Fixed(1), Action::Deafen)],
+            reorder_seed: None,
+        };
+        // MessageComplexity never violates, so nothing can be removed.
+        let out = shrink(&genome, &MessageComplexity, eval_mutes_zero).unwrap();
+        assert_eq!(out.genes, genome.genes);
+    }
+
+    #[test]
+    fn report_display_is_readable() {
+        let report = AttackReport {
+            protocol: "one-round-all-to-all".to_string(),
+            objective: "disagreement".to_string(),
+            n: 5,
+            t: 1,
+            inputs: vec![Bit::Zero; 5],
+            seed: 11,
+            evals: 57,
+            genome: StrategyGenome {
+                budget: 1,
+                genes: vec![gene(
+                    TargetSel::Fixed(0),
+                    Action::MuteReceivers { mask: 0b0010 },
+                )],
+                reorder_seed: None,
+            },
+            violations: vec!["agreement violated: correct decisions {Zero, One}".to_string()],
+            score: 1003.0,
+        };
+        let text = report.to_string();
+        assert!(text.contains("one-round-all-to-all"));
+        assert!(text.contains("n=5, t=1"));
+        assert!(text.contains("agreement violated"));
+        assert!(text.contains("seed 11"));
+    }
+}

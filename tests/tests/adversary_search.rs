@@ -1,0 +1,137 @@
+//! End-to-end regressions for the `ba-search` adversary-strategy search:
+//! the pipeline must *rediscover* known attacks from scratch — a planted
+//! agreement bug in `broken.rs`, and the king-silencing pattern against a
+//! Phase King weakened below `t + 1` phases — deterministically, within
+//! the default budget, and the shrunk attack reports must replay to the
+//! same violations.
+
+use ba_bench::search::{replay_report, run_adversary_search, SearchSpec};
+use ba_protocols::PhaseKing;
+use ba_search::{evaluate_genome, StrategyGenome, TargetSel};
+use ba_sim::Bit;
+
+/// `TargetSel` resolution at round 1 (before anyone has sent): fixed
+/// targets reduce mod `n`, and top-sender ranks tie-break to identity
+/// order, so rank `r` is process `r mod n`.
+fn resolves_to_process_zero(sel: TargetSel, n: usize) -> bool {
+    match sel {
+        TargetSel::Fixed(idx) => idx % n == 0,
+        TargetSel::TopSender(rank) => rank % n == 0,
+    }
+}
+
+#[test]
+fn search_rediscovers_the_planted_one_round_all_to_all_violation() {
+    // The exact job CI smokes: default spec, default seed and budget.
+    let spec = SearchSpec::new("one-round-all-to-all", 5, 1);
+    let run = run_adversary_search(&spec).expect("labels are known");
+    assert!(
+        run.outcome.violation,
+        "the planted agreement bug must be found within {} evals (best score {})",
+        spec.config.max_evals, run.outcome.best_score
+    );
+    let report = run.report.expect("violations produce a report");
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| v.contains("agreement violated")),
+        "expected an agreement violation, got {:?}",
+        report.violations
+    );
+    // The shrinker strips the strategy to its 1-minimal core: one
+    // corruption, one gene.
+    assert_eq!(report.genome.genes.len(), 1, "minimal attack is one gene");
+    assert_eq!(report.genome.budget, 1);
+
+    // The report replays to the same violation through the genome
+    // interpreter.
+    let replayed = replay_report(&report).expect("report labels are known");
+    assert_eq!(replayed.violations, report.violations);
+}
+
+#[test]
+fn search_finds_a_king_silencer_on_weakened_phase_king() {
+    // Phase King cut to a single phase (< t + 1): the only king is p0, and
+    // the only way to split the correct processes on majority-one inputs
+    // is to corrupt that king and hide its traffic from some receivers.
+    let mut spec = SearchSpec::new("phase-king-weak", 5, 1);
+    spec.inputs = "majority-one".to_string();
+    let run = run_adversary_search(&spec).expect("labels are known");
+    assert!(
+        run.outcome.violation,
+        "the king-silencing attack must be found within {} evals (best score {})",
+        spec.config.max_evals, run.outcome.best_score
+    );
+    let report = run.report.expect("violations produce a report");
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| v.contains("agreement violated")),
+        "expected an agreement violation, got {:?}",
+        report.violations
+    );
+    // KingSilencer-class: every directive of the shrunk strategy targets
+    // the phase-1 king. (Corrupting any non-king cannot break a single
+    // phase — all correct processes still lock on the majority bit.)
+    assert!(
+        !report.genome.genes.is_empty()
+            && report
+                .genome
+                .genes
+                .iter()
+                .all(|gene| resolves_to_process_zero(gene.target, report.n)),
+        "shrunk attack should single out the phase-1 king: {}",
+        report.genome
+    );
+
+    // Replay the shrunk genome directly through the interpreter against a
+    // hand-built weak Phase King — no registry involved — and confirm the
+    // identical violation.
+    let stats = evaluate_genome(
+        &report.genome,
+        report.n,
+        report.t,
+        12,
+        &report.inputs,
+        &|_| PhaseKing::with_phases(5, 1, 1),
+    )
+    .expect("interpreter stays budget-sound");
+    assert_eq!(stats.violations, report.violations);
+}
+
+#[test]
+fn search_trajectory_is_bit_identical_across_thread_counts() {
+    // Same seed + budget ⇒ identical trajectory, winner, and report, no
+    // matter how the batch evaluations are scheduled.
+    let run_with = |threads: usize| {
+        let mut spec = SearchSpec::new("phase-king-weak", 5, 1);
+        spec.inputs = "majority-one".to_string();
+        spec.config = spec.config.with_threads(threads);
+        run_adversary_search(&spec).expect("labels are known")
+    };
+    let serial = run_with(1);
+    let parallel = run_with(8);
+    assert_eq!(serial.outcome.trajectory, parallel.outcome.trajectory);
+    assert_eq!(serial.outcome.best, parallel.outcome.best);
+    assert_eq!(serial.outcome.evals, parallel.outcome.evals);
+    let (a, b) = (serial.report.unwrap(), parallel.report.unwrap());
+    assert_eq!(a, b, "shrunk reports must match bit for bit");
+}
+
+#[test]
+fn fault_free_weak_phase_king_is_safe_without_the_adversary() {
+    // Control: the weakened protocol only fails *under* the found attack —
+    // the empty genome (no corruptions) leaves majority-one inputs safe.
+    let stats = evaluate_genome(
+        &StrategyGenome::empty(0),
+        5,
+        1,
+        12,
+        &[Bit::One, Bit::One, Bit::One, Bit::One, Bit::Zero],
+        &|_| PhaseKing::with_phases(5, 1, 1),
+    )
+    .expect("fault-free run");
+    assert!(stats.violations.is_empty(), "{:?}", stats.violations);
+}
