@@ -187,6 +187,42 @@ fn bench_campaign_throughput() {
         let total: u64 = report.stats().map(|(_, s)| s.total_messages).sum();
         (large_points.len(), total, ())
     });
+
+    // Telemetry-overhead pair: the same deep dolev-strong grid (large t →
+    // many rounds, long signature chains) run bare and with a live
+    // Aggregator recorder attached — the Campaign's per-point metrics plus
+    // the engine's RecordingSink round stream. perf_gate's overhead gate
+    // holds the instrumented line within a few percent of the bare one,
+    // and telemetry must stay observation-only — the reports are asserted
+    // bit-identical.
+    let deep_nts = [(16usize, 4usize), (32, 8), (48, 12), (64, 16)];
+    let deep_points = Campaign::grid(deep_nts, &["none", "isolation"], &["ones"])
+        .points()
+        .to_vec();
+    let deep_report = log.time_best("stats-sweep-deep/dolev-strong", 5, || {
+        let report = ba_bench::dist::scenario_campaign_report(&deep_points, "dolev-strong", 11, 0)
+            .expect("registry sweep");
+        let total: u64 = report.stats().map(|(_, s)| s.total_messages).sum();
+        (deep_points.len(), total, report)
+    });
+    let recorded_report = log.time_best("telemetry-overhead/dolev-strong", 5, || {
+        let agg: std::sync::Arc<dyn ba_obs::Recorder> =
+            std::sync::Arc::new(ba_obs::Aggregator::new());
+        let report = ba_bench::dist::scenario_campaign_report_recorded(
+            &deep_points,
+            "dolev-strong",
+            11,
+            0,
+            agg,
+        )
+        .expect("registry sweep");
+        let total: u64 = report.stats().map(|(_, s)| s.total_messages).sum();
+        (deep_points.len(), total, report)
+    });
+    assert_eq!(
+        recorded_report, deep_report,
+        "telemetry must be observation-only on the bench grid"
+    );
     let pk_nts = [(16usize, 4usize), (32, 8), (48, 12), (64, 16)];
     let pk_points = Campaign::grid(pk_nts, &["none", "isolation"], &["ones"])
         .points()

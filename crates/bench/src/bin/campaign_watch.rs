@@ -1,0 +1,108 @@
+//! `campaign_watch` — a live terminal dashboard over a campaign progress
+//! stream.
+//!
+//! Reads JSONL progress lines (`campaign_worker --progress`, or a
+//! coordinator observer stream) from stdin or a file and maintains
+//! `ba_dist::LiveAggregates`: per-shard points/sec, sweep ETA, error and
+//! retry counts, and straggler flagging (any shard more than 2× slower
+//! than the median rate). Non-JSON lines (the wire report sharing the
+//! worker's stdout) pass through to `campaign_watch`'s own stdout
+//! untouched, so it composes as a filter:
+//!
+//! ```text
+//! campaign_worker --progress < manifest.wire | campaign_watch | ...
+//! campaign_watch --once < progress.jsonl          # summarize a capture
+//! campaign_watch --once --json < progress.jsonl   # machine-readable
+//! ```
+//!
+//! Live mode repaints the dashboard to stderr as events arrive (throttled);
+//! `--once` skips the repaints and prints only the end-of-stream summary.
+//! `--json` emits the summary as one JSON object instead of the text table.
+//! Everything shown derives from worker wall-clock timings — the
+//! non-compared telemetry channel; deterministic results travel in the wire
+//! report, untouched.
+
+use std::io::{BufRead, BufReader, Write};
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use ba_dist::{CoordEvent, LiveAggregates};
+
+/// Minimum delay between live repaints.
+const REPAINT_EVERY: Duration = Duration::from_millis(100);
+
+fn run() -> Result<(), String> {
+    let mut once = false;
+    let mut json = false;
+    let mut input_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--once" => once = true,
+            "--json" => json = true,
+            "--input" => input_path = Some(args.next().ok_or("--input needs a file path")?),
+            "--help" | "-h" => {
+                println!("usage: campaign_watch [--once] [--json] [--input FILE]");
+                println!("reads JSONL campaign progress from stdin (or FILE), renders a");
+                println!("live per-shard dashboard to stderr, and prints an end-of-stream");
+                println!("summary; non-JSON input lines pass through to stdout unchanged");
+                return Ok(());
+            }
+            other => return Err(format!("unknown argument {other:?} (see --help)")),
+        }
+    }
+
+    let mut live = LiveAggregates::new();
+    let mut last_paint: Option<Instant> = None;
+    let stdin = std::io::stdin();
+    let reader: Box<dyn BufRead> = match &input_path {
+        Some(path) => Box::new(BufReader::new(
+            std::fs::File::open(path).map_err(|e| format!("opening {path}: {e}"))?,
+        )),
+        None => Box::new(stdin.lock()),
+    };
+    for line in reader.lines() {
+        let line = line.map_err(|e| format!("reading input: {e}"))?;
+        match CoordEvent::parse(&line) {
+            Some(event) => {
+                live.ingest_coord(&event);
+                let due = last_paint.map_or(true, |at| at.elapsed() >= REPAINT_EVERY);
+                if !once && due {
+                    last_paint = Some(Instant::now());
+                    eprint!("\x1b[2J\x1b[H{}", live.render());
+                    for shard in live.stragglers() {
+                        eprintln!("straggler: shard {shard} is >2x behind the median rate");
+                    }
+                }
+            }
+            // Anything that isn't progress telemetry (wire report lines,
+            // foreign JSON) passes through for downstream consumers.
+            None => println!("{line}"),
+        }
+    }
+
+    let mut out = std::io::stdout().lock();
+    if json {
+        writeln!(out, "{}", live.summary_json()).map_err(|e| e.to_string())?;
+    } else {
+        write!(out, "{}", live.render()).map_err(|e| e.to_string())?;
+        for shard in live.stragglers() {
+            writeln!(
+                out,
+                "straggler: shard {shard} ran >2x slower than the median"
+            )
+            .map_err(|e| e.to_string())?;
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("campaign_watch: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -10,23 +10,47 @@
 //! Usage:
 //!
 //! ```text
-//! campaign_worker [--manifest FILE] [--out FILE]
+//! campaign_worker [--manifest FILE] [--out FILE] [--progress]
 //! ```
 //!
 //! With no flags: manifest on stdin, report on stdout (the transport
-//! `ba_dist::WorkerCommand` uses). Exits non-zero with a diagnostic on
-//! stderr for undecodable manifests, unknown registry labels, or I/O
-//! failures.
+//! `ba_dist::WorkerCommand` uses). With `--progress`, the worker streams
+//! one JSONL [`ProgressEvent`] line per completed point to stdout as it
+//! finishes, interleaved before the wire report — JSONL lines start with
+//! `{` and wire records never do, so downstream consumers (the
+//! coordinator's streaming transport, `campaign_watch`) split the stream
+//! line-by-line. Telemetry is observation-only: the report is bit-identical
+//! with `--progress` on or off.
+//!
+//! `$CAMPAIGN_WORKER_DELAY_MS`, if set, sleeps that many milliseconds after
+//! each completed point — a throttle for demos and straggler-detection
+//! tests (it slows the shard's wall-clock rate without touching any
+//! deterministic output).
+//!
+//! Exits non-zero with a diagnostic on stderr for undecodable manifests,
+//! unknown registry labels, or I/O failures.
 
-use std::io::Read;
+use std::io::{Read, Write};
 use std::process::ExitCode;
 
-use ba_bench::dist::run_manifest;
-use ba_dist::{Decode, ShardManifest};
+use ba_bench::dist::{run_manifest, run_manifest_with_progress};
+use ba_dist::{Decode, ProgressEvent, ShardManifest};
+
+/// Writes one progress line to stdout, flushing so consumers see it live.
+fn emit_progress(event: &ProgressEvent, delay_ms: u64) {
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let _ = writeln!(out, "{}", event.to_json_line());
+    let _ = out.flush();
+    if delay_ms > 0 {
+        std::thread::sleep(std::time::Duration::from_millis(delay_ms));
+    }
+}
 
 fn run() -> Result<(), String> {
     let mut manifest_path: Option<String> = None;
     let mut out_path: Option<String> = None;
+    let mut progress = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -34,10 +58,12 @@ fn run() -> Result<(), String> {
                 manifest_path = Some(args.next().ok_or("--manifest needs a file path")?);
             }
             "--out" => out_path = Some(args.next().ok_or("--out needs a file path")?),
+            "--progress" => progress = true,
             "--help" | "-h" => {
-                println!("usage: campaign_worker [--manifest FILE] [--out FILE]");
+                println!("usage: campaign_worker [--manifest FILE] [--out FILE] [--progress]");
                 println!("reads a shard manifest (stdin by default), runs it on the local");
-                println!("Campaign pool, and emits the shard report (stdout by default)");
+                println!("Campaign pool, and emits the shard report (stdout by default);");
+                println!("--progress streams one JSONL line per completed point to stdout");
                 return Ok(());
             }
             other => return Err(format!("unknown argument {other:?} (see --help)")),
@@ -63,7 +89,15 @@ fn run() -> Result<(), String> {
         manifest.protocol,
         manifest.mode,
     );
-    let report = run_manifest(&manifest)?;
+    let report = if progress {
+        let delay_ms: u64 = std::env::var("CAMPAIGN_WORKER_DELAY_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
+        run_manifest_with_progress(&manifest, move |event| emit_progress(&event, delay_ms))?
+    } else {
+        run_manifest(&manifest)?
+    };
     match &out_path {
         Some(path) => std::fs::write(path, report).map_err(|e| format!("writing {path}: {e}"))?,
         None => print!("{report}"),

@@ -1,17 +1,20 @@
 //! `perf_gate` — CI guard for campaign sweep throughput.
 //!
-//! Validates the schema of a freshly benched `BENCH_campaign.json`, compares
-//! every baseline sweep's `points_per_sec` against the committed
-//! `BENCH_baseline.json` (fail at >30% regression by default), and asserts
-//! the hardware-independent stats-engine speedup: the default stats-mode
-//! scenario sweep must stay at least `--min-speedup` (default 2x) faster
-//! than the same grid with full traces materialized.
+//! Validates the schema of a freshly benched `BENCH_campaign.json`, prints
+//! the per-sweep delta table (label, baseline pts/s, current pts/s, %Δ,
+//! pass/fail), compares every baseline sweep's `points_per_sec` against the
+//! committed `BENCH_baseline.json` (fail at >30% regression by default),
+//! and asserts two hardware-independent ratios within the current log: the
+//! stats-mode scenario sweep must stay at least `--min-speedup` (default
+//! 2x) faster than the same grid with full traces materialized, and the
+//! recorder-instrumented sweep must cost at most `--max-overhead` (default
+//! 5%) over the identical bare sweep.
 //!
 //! Usage:
 //!
 //! ```text
 //! perf_gate [--current FILE] [--baseline FILE] [--tolerance 0.30]
-//!           [--min-speedup 2.0]
+//!           [--min-speedup 2.0] [--max-overhead 0.05]
 //! ```
 //!
 //! Exits non-zero with the failing comparisons on stderr. Refresh the
@@ -20,16 +23,19 @@
 
 use std::process::ExitCode;
 
-use ba_bench::perf::{gate, speedup_gate, PerfReport};
+use ba_bench::perf::{delta_table, gate, overhead_gate, speedup_gate, PerfReport};
 
 const STATS_SWEEP: &str = "scenario-sweep/dolev-strong";
 const FULLTRACE_SWEEP: &str = "scenario-sweep-fulltrace/dolev-strong";
+const BARE_SWEEP: &str = "stats-sweep-deep/dolev-strong";
+const TELEMETRY_SWEEP: &str = "telemetry-overhead/dolev-strong";
 
 fn run() -> Result<Vec<String>, String> {
     let mut current_path = "BENCH_campaign.json".to_string();
     let mut baseline_path = "BENCH_baseline.json".to_string();
     let mut tolerance = 0.30f64;
     let mut min_speedup = 2.0f64;
+    let mut max_overhead = 0.05f64;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |flag: &str| args.next().ok_or(format!("{flag} needs a value"));
@@ -46,10 +52,15 @@ fn run() -> Result<Vec<String>, String> {
                     .parse()
                     .map_err(|e| format!("bad --min-speedup: {e}"))?;
             }
+            "--max-overhead" => {
+                max_overhead = value("--max-overhead")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-overhead: {e}"))?;
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: perf_gate [--current FILE] [--baseline FILE] \
-                     [--tolerance 0.30] [--min-speedup 2.0]"
+                     [--tolerance 0.30] [--min-speedup 2.0] [--max-overhead 0.05]"
                 );
                 return Ok(Vec::new());
             }
@@ -59,6 +70,9 @@ fn run() -> Result<Vec<String>, String> {
     if !(0.0..1.0).contains(&tolerance) {
         return Err(format!("--tolerance must be in [0, 1), got {tolerance}"));
     }
+    if max_overhead < 0.0 {
+        return Err(format!("--max-overhead must be >= 0, got {max_overhead}"));
+    }
 
     let read = |path: &str| -> Result<PerfReport, String> {
         let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
@@ -67,12 +81,19 @@ fn run() -> Result<Vec<String>, String> {
     let current = read(&current_path)?;
     let baseline = read(&baseline_path)?;
 
+    print!("{}", delta_table(&current, &baseline, tolerance));
     let mut lines = gate(&current, &baseline, tolerance).map_err(|failures| failures.join("\n"))?;
     lines.push(speedup_gate(
         &current,
         STATS_SWEEP,
         FULLTRACE_SWEEP,
         min_speedup,
+    )?);
+    lines.push(overhead_gate(
+        &current,
+        BARE_SWEEP,
+        TELEMETRY_SWEEP,
+        max_overhead,
     )?);
     Ok(lines)
 }

@@ -38,12 +38,16 @@
 //! coordinator can fan a search population out across shards.
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
 
 use ba_crypto::Keybook;
 use ba_dist::{
-    Coordinator, Decode, DistError, Encode, ShardManifest, ShardMode, ShardReport, SweepSpec,
-    WireError, WireReader, WorkerCommand,
+    Coordinator, Decode, DistError, Encode, ProgressEvent, ShardManifest, ShardMode, ShardReport,
+    SweepSpec, WireError, WireReader, WorkerCommand,
 };
+use ba_obs::{FieldValue, Recorder};
 use ba_protocols::broken::{
     LeaderEcho, OneRoundAllToAll, OwnProposal, ParanoidEcho, SilentConstant,
 };
@@ -54,7 +58,7 @@ use ba_sim::{
     RandomOmissionPlan, Round, Scenario, SimRng, TraceMode,
 };
 
-use crate::{falsify_point, FalsifierSweepPoint};
+use crate::{falsify_point_recorded, FalsifierSweepPoint};
 
 /// Labels resolvable by [`run_manifest`] (scenario and falsifier modes
 /// alike). `phase-king` additionally requires `n > 3t` at every grid point.
@@ -119,6 +123,44 @@ pub fn input_bits(label: &str, n: usize, seed: u64) -> Vec<Bit> {
 /// Returns a human-readable message for unknown protocol / adversary /
 /// input labels (the worker prints it to stderr and exits non-zero).
 pub fn run_manifest(manifest: &ShardManifest) -> Result<String, String> {
+    run_manifest_recorded(manifest, None)
+}
+
+/// [`run_manifest`] streaming one [`ProgressEvent`] per completed point to
+/// `on_point` (from the campaign worker threads, as points finish) — the
+/// body of `campaign_worker --progress`. Telemetry is observation-only: the
+/// returned report is bit-identical to [`run_manifest`]'s.
+///
+/// # Errors
+///
+/// As [`run_manifest`].
+pub fn run_manifest_with_progress(
+    manifest: &ShardManifest,
+    on_point: impl Fn(ProgressEvent) + Send + Sync + 'static,
+) -> Result<String, String> {
+    let recorder = ProgressRecorder {
+        shard: manifest.shard,
+        shards: manifest.shards,
+        total: manifest.entries.len(),
+        indices: manifest.entries.iter().map(|e| e.index).collect(),
+        done: AtomicUsize::new(0),
+        started: Instant::now(),
+        on_point,
+    };
+    run_manifest_recorded(manifest, Some(Arc::new(recorder)))
+}
+
+/// [`run_manifest`] with an arbitrary telemetry [`Recorder`] installed on
+/// the shard's campaign (e.g. a [`ba_obs::Aggregator`] for end-of-shard
+/// summaries, or a [`ba_obs::JsonlRecorder`] for full event streams).
+///
+/// # Errors
+///
+/// As [`run_manifest`].
+pub fn run_manifest_recorded(
+    manifest: &ShardManifest,
+    recorder: Option<Arc<dyn Recorder>>,
+) -> Result<String, String> {
     let points: Vec<CampaignPoint> = manifest.entries.iter().map(|e| e.point.clone()).collect();
     match manifest.mode {
         ShardMode::Scenarios => {
@@ -133,6 +175,7 @@ pub fn run_manifest(manifest: &ShardManifest) -> Result<String, String> {
                 manifest.threads,
                 &manifest.protocol,
                 TraceMode::Stats,
+                recorder,
             )?;
             let shard_report = ShardReport {
                 shard: manifest.shard,
@@ -146,7 +189,8 @@ pub fn run_manifest(manifest: &ShardManifest) -> Result<String, String> {
             Ok(shard_report.to_wire())
         }
         ShardMode::Falsifier => {
-            let sweep = falsifier_report_with(&points, manifest.threads, &manifest.protocol)?;
+            let sweep =
+                falsifier_report_with(&points, manifest.threads, &manifest.protocol, recorder)?;
             let shard_report = ShardReport {
                 shard: manifest.shard,
                 outcomes: manifest
@@ -169,6 +213,7 @@ pub fn run_manifest(manifest: &ShardManifest) -> Result<String, String> {
                 |point| seeds[point],
                 manifest.threads,
                 &manifest.protocol,
+                recorder,
             )?;
             let shard_report = ShardReport {
                 shard: manifest.shard,
@@ -181,6 +226,50 @@ pub fn run_manifest(manifest: &ShardManifest) -> Result<String, String> {
             };
             Ok(shard_report.to_wire())
         }
+    }
+}
+
+/// Translates `campaign.point.done` telemetry events (emitted by the
+/// campaign runner as each grid point completes, carrying the point's
+/// shard-local index) into wire-ready [`ProgressEvent`]s: local index →
+/// global manifest index, monotone completion counting, and worker
+/// wall-clock stamping. All other telemetry is ignored.
+struct ProgressRecorder<F> {
+    shard: usize,
+    shards: usize,
+    total: usize,
+    indices: Vec<usize>,
+    done: AtomicUsize,
+    started: Instant,
+    on_point: F,
+}
+
+impl<F: Fn(ProgressEvent) + Send + Sync> Recorder for ProgressRecorder<F> {
+    fn event(&self, name: &str, fields: &[(&str, FieldValue)]) {
+        if name != "campaign.point.done" {
+            return;
+        }
+        let u64_field = |key: &str| {
+            fields.iter().find_map(|(k, v)| match v {
+                FieldValue::U64(v) if *k == key => Some(*v),
+                _ => None,
+            })
+        };
+        let ok = fields
+            .iter()
+            .any(|(k, v)| *k == "ok" && matches!(v, FieldValue::Bool(true)));
+        let local = u64_field("index").unwrap_or(0) as usize;
+        (self.on_point)(ProgressEvent {
+            shard: self.shard,
+            shards: self.shards,
+            done: self.done.fetch_add(1, Ordering::SeqCst) + 1,
+            total: self.total,
+            index: self.indices.get(local).copied().unwrap_or(local),
+            messages: u64_field("messages").unwrap_or(0),
+            rounds: u64_field("rounds").unwrap_or(0),
+            ok,
+            elapsed_nanos: u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+        });
     }
 }
 
@@ -201,6 +290,34 @@ pub fn scenario_campaign_report(
     threads: usize,
 ) -> Result<CampaignReport<Bit>, String> {
     scenario_campaign_report_mode(points, protocol, base_seed, threads, TraceMode::Stats)
+}
+
+/// [`scenario_campaign_report`] with a telemetry recorder attached: the
+/// Campaign records per-point metrics and threads the recorder into every
+/// scenario, whose [`RecordingSink`](ba_sim::RecordingSink) mirrors the
+/// engine's routing stream. Observation-only — the returned report is
+/// bit-identical to the recorder-less sweep (the
+/// `telemetry-overhead/dolev-strong` bench line asserts this at bench
+/// scale, and gates the wall-clock cost).
+///
+/// # Errors
+///
+/// As [`run_manifest`], for unknown labels.
+pub fn scenario_campaign_report_recorded(
+    points: &[CampaignPoint],
+    protocol: &str,
+    base_seed: u64,
+    threads: usize,
+    recorder: Arc<dyn Recorder>,
+) -> Result<CampaignReport<Bit>, String> {
+    scenario_report_with(
+        points,
+        |point| ba_dist::point_seed(base_seed, point),
+        threads,
+        protocol,
+        TraceMode::Stats,
+        Some(recorder),
+    )
 }
 
 /// [`scenario_campaign_report`] with an explicit [`TraceMode`].
@@ -226,6 +343,7 @@ pub fn scenario_campaign_report_mode(
         threads,
         protocol,
         mode,
+        None,
     )
 }
 
@@ -295,20 +413,22 @@ fn scenario_report_with<S>(
     threads: usize,
     protocol: &str,
     mode: TraceMode,
+    recorder: Option<Arc<dyn Recorder>>,
 ) -> Result<CampaignReport<Bit>, String>
 where
     S: Fn(&CampaignPoint) -> u64 + Sync,
 {
     validate_labels(points)?;
-    with_registry_factory!(protocol, factory => run_points(points, &seed_of, threads, factory, mode))
+    with_registry_factory!(protocol, factory => run_points(points, &seed_of, threads, factory, mode, recorder))
 }
 
 fn falsifier_report_with(
     points: &[CampaignPoint],
     threads: usize,
     protocol: &str,
+    recorder: Option<Arc<dyn Recorder>>,
 ) -> Result<Vec<FalsifierSweepPoint>, String> {
-    with_registry_factory!(protocol, factory => falsify_points(points, threads, factory))
+    with_registry_factory!(protocol, factory => falsify_points(points, threads, factory, recorder))
 }
 
 /// The in-process reference for a search-mode population evaluation: each
@@ -333,6 +453,7 @@ pub fn search_campaign_report(
         |point| ba_dist::point_seed(base_seed, point),
         threads,
         protocol,
+        None,
     )
 }
 
@@ -341,6 +462,7 @@ fn search_report_with<S>(
     seed_of: S,
     threads: usize,
     protocol: &str,
+    recorder: Option<Arc<dyn Recorder>>,
 ) -> Result<CampaignReport<Bit>, String>
 where
     S: Fn(&CampaignPoint) -> u64 + Sync,
@@ -365,7 +487,7 @@ where
             ));
         }
     }
-    with_registry_factory!(protocol, factory => run_search_points(points, &seed_of, threads, factory))
+    with_registry_factory!(protocol, factory => run_search_points(points, &seed_of, threads, factory, recorder))
 }
 
 fn run_search_points<P, F, G, S>(
@@ -373,6 +495,7 @@ fn run_search_points<P, F, G, S>(
     seed_of: S,
     threads: usize,
     factory: G,
+    recorder: Option<Arc<dyn Recorder>>,
 ) -> CampaignReport<Bit>
 where
     P: Protocol<Input = Bit, Output = Bit>,
@@ -383,6 +506,9 @@ where
     let mut campaign = Campaign::over(points.to_vec()).trace_mode(TraceMode::Stats);
     if threads > 0 {
         campaign = campaign.threads(threads);
+    }
+    if let Some(r) = recorder {
+        campaign = campaign.recorder(r);
     }
     campaign.run_scenarios(|point| {
         let genome = genome_from_label(&point.adversary)
@@ -419,6 +545,7 @@ fn run_points<P, F, G, S>(
     threads: usize,
     factory: G,
     mode: TraceMode,
+    recorder: Option<Arc<dyn Recorder>>,
 ) -> CampaignReport<Bit>
 where
     P: Protocol<Input = Bit, Output = Bit>,
@@ -429,6 +556,9 @@ where
     let mut campaign = Campaign::over(points.to_vec()).trace_mode(mode);
     if threads > 0 {
         campaign = campaign.threads(threads);
+    }
+    if let Some(r) = recorder {
+        campaign = campaign.recorder(r);
     }
     campaign.run_scenarios(|point| {
         let seed = seed_of(point);
@@ -466,6 +596,7 @@ fn falsify_points<P, F, G>(
     points: &[CampaignPoint],
     threads: usize,
     factory: G,
+    recorder: Option<Arc<dyn Recorder>>,
 ) -> Vec<FalsifierSweepPoint>
 where
     P: Protocol<Input = Bit, Output = Bit>,
@@ -476,8 +607,11 @@ where
     if threads > 0 {
         campaign = campaign.threads(threads);
     }
+    if let Some(r) = &recorder {
+        campaign = campaign.recorder(r.clone());
+    }
     campaign
-        .map(|point| falsify_point(point, factory(point)))
+        .map(|point| falsify_point_recorded(point, factory(point), recorder.clone()))
         .into_iter()
         .map(|(_, fp)| fp)
         .collect()
@@ -604,6 +738,39 @@ mod tests {
     }
 
     #[test]
+    fn progress_streaming_is_observation_only_and_covers_every_point() {
+        use std::sync::Mutex;
+        let points = mixed_grid();
+        let spec = SweepSpec::scenarios(points.clone(), "flood-set").base_seed(0xD15C);
+        let manifest = plan_shards(&spec, 2).remove(1);
+        let plain = run_manifest(&manifest).unwrap();
+        let seen = Arc::new(Mutex::new(Vec::<ProgressEvent>::new()));
+        let sink = seen.clone();
+        let streamed =
+            run_manifest_with_progress(&manifest, move |e| sink.lock().unwrap().push(e)).unwrap();
+        assert_eq!(plain, streamed, "progress must not change the report");
+
+        let events = seen.lock().unwrap();
+        assert_eq!(events.len(), manifest.entries.len());
+        // Every manifest entry's global index appears exactly once, and the
+        // done counter is a permutation of 1..=total.
+        let mut indices: Vec<usize> = events.iter().map(|e| e.index).collect();
+        indices.sort_unstable();
+        let mut expected: Vec<usize> = manifest.entries.iter().map(|e| e.index).collect();
+        expected.sort_unstable();
+        assert_eq!(indices, expected);
+        let mut dones: Vec<usize> = events.iter().map(|e| e.done).collect();
+        dones.sort_unstable();
+        assert_eq!(dones, (1..=events.len()).collect::<Vec<_>>());
+        for e in events.iter() {
+            assert_eq!(e.shard, manifest.shard);
+            assert_eq!(e.shards, manifest.shards);
+            assert_eq!(e.total, manifest.entries.len());
+            assert!(e.ok && e.messages > 0, "{e:?}");
+        }
+    }
+
+    #[test]
     fn search_manifest_execution_matches_the_in_process_reference() {
         use ba_search::{genome_label, GenomeSpace};
         use ba_sim::SimRng;
@@ -680,7 +847,7 @@ mod tests {
             let report = scenario_campaign_report(&points, label, 1, 1)
                 .unwrap_or_else(|e| panic!("{label}: {e}"));
             assert_eq!(report.outcomes.len(), 1, "{label}");
-            let sweep = falsifier_report_with(&points, 1, label).unwrap();
+            let sweep = falsifier_report_with(&points, 1, label, None).unwrap();
             assert_eq!(sweep.len(), 1, "{label}");
         }
     }

@@ -155,7 +155,25 @@ where
     P: Protocol<Input = Bit, Output = Bit>,
     F: Fn(ProcessId) -> P + Sync,
 {
-    let cfg = FalsifierConfig::new(point.n, point.t);
+    falsify_point_recorded(point, factory, None)
+}
+
+/// [`falsify_point`] with the falsifier's own orientation-scan telemetry
+/// wired to `recorder` (the same sink the surrounding Campaign records
+/// into, when sweeps run with one).
+pub(crate) fn falsify_point_recorded<P, F>(
+    point: &CampaignPoint,
+    factory: F,
+    recorder: Option<std::sync::Arc<dyn ba_obs::Recorder>>,
+) -> FalsifierSweepPoint
+where
+    P: Protocol<Input = Bit, Output = Bit>,
+    F: Fn(ProcessId) -> P + Sync,
+{
+    let mut cfg = FalsifierConfig::new(point.n, point.t);
+    if let Some(r) = recorder {
+        cfg = cfg.with_recorder(r);
+    }
     let verdict = falsify(&cfg, factory).expect("falsifier run");
     match verdict {
         Verdict::Violation(cert) => {

@@ -136,6 +136,96 @@ pub fn gate(
     }
 }
 
+/// Renders the per-sweep delta table perf_gate prints before its verdict:
+/// one line per label (union of baseline and current, baseline order
+/// first), with baseline pts/s, current pts/s, the percent delta, and the
+/// pass/fail verdict at `tolerance`. Labels only in the current log show
+/// as `new`; labels missing from it show as `MISSING` (the gate itself
+/// fails those).
+pub fn delta_table(current: &PerfReport, baseline: &PerfReport, tolerance: f64) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<44} {:>12} {:>12} {:>8}  {}\n",
+        "sweep", "baseline", "current", "delta", "verdict"
+    ));
+    for base in &baseline.sweeps {
+        match current.sweep(&base.label) {
+            Some(cur) => {
+                let delta = if base.points_per_sec > 0.0 {
+                    (cur.points_per_sec - base.points_per_sec) / base.points_per_sec * 100.0
+                } else {
+                    0.0
+                };
+                let verdict = if cur.points_per_sec < (1.0 - tolerance) * base.points_per_sec {
+                    "FAIL"
+                } else {
+                    "pass"
+                };
+                out.push_str(&format!(
+                    "{:<44} {:>12.0} {:>12.0} {:>+7.1}%  {}\n",
+                    base.label, base.points_per_sec, cur.points_per_sec, delta, verdict
+                ));
+            }
+            None => {
+                out.push_str(&format!(
+                    "{:<44} {:>12.0} {:>12} {:>8}  MISSING\n",
+                    base.label, base.points_per_sec, "-", "-"
+                ));
+            }
+        }
+    }
+    for cur in &current.sweeps {
+        if baseline.sweep(&cur.label).is_none() {
+            out.push_str(&format!(
+                "{:<44} {:>12} {:>12.0} {:>8}  new\n",
+                cur.label, "-", cur.points_per_sec, "-"
+            ));
+        }
+    }
+    out
+}
+
+/// Asserts a bounded instrumentation cost *within one log*: the sweep
+/// labeled `instrumented` must run at least `(1 - max_overhead)` times the
+/// points/sec of the identical-work sweep labeled `bare`. Like
+/// [`speedup_gate`], the comparison is hardware-independent because both
+/// lines come from the same machine and run.
+///
+/// # Errors
+///
+/// A message when a label is missing, the bare sweep has zero throughput,
+/// or the overhead exceeds the ceiling.
+pub fn overhead_gate(
+    report: &PerfReport,
+    bare: &str,
+    instrumented: &str,
+    max_overhead: f64,
+) -> Result<String, String> {
+    let b = report
+        .sweep(bare)
+        .ok_or_else(|| format!("missing sweep {bare:?}"))?;
+    let i = report
+        .sweep(instrumented)
+        .ok_or_else(|| format!("missing sweep {instrumented:?}"))?;
+    if b.points_per_sec <= 0.0 {
+        return Err(format!("sweep {bare:?} has zero throughput"));
+    }
+    let overhead = b.points_per_sec / i.points_per_sec.max(f64::MIN_POSITIVE) - 1.0;
+    if overhead > max_overhead {
+        Err(format!(
+            "OVERHEAD REGRESSION {instrumented} costs {:.1}% over {bare} (ceiling {:.1}%)",
+            overhead * 100.0,
+            max_overhead * 100.0
+        ))
+    } else {
+        Ok(format!(
+            "ok {instrumented} costs {:.1}% over {bare} (ceiling {:.1}%)",
+            overhead * 100.0,
+            max_overhead * 100.0
+        ))
+    }
+}
+
 /// Asserts a hardware-independent speedup *within one log*: the sweep
 /// labeled `fast` must run at least `min_ratio` times the points/sec of the
 /// sweep labeled `slow`. Used to gate the stats-engine speedup without
@@ -372,6 +462,56 @@ mod tests {
         let current = PerfReport::parse(one_line).unwrap();
         let failures = gate(&current, &baseline, 0.30).unwrap_err();
         assert!(failures[0].contains("missing from current log"));
+    }
+
+    #[test]
+    fn delta_table_covers_union_of_labels_with_verdicts() {
+        let baseline = PerfReport::parse(&sample()).unwrap();
+        let current = r#"{"schema": "ba-bench/campaign-perf/v1", "sweeps": [
+            {"label": "scenario-sweep/dolev-strong", "points": 96, "total_messages": 12418, "elapsed_secs": 0.008, "points_per_sec": 11481.0},
+            {"label": "telemetry-overhead/dolev-strong", "points": 8, "total_messages": 15040, "elapsed_secs": 0.0006, "points_per_sec": 13000.0}
+        ]}"#;
+        let current = PerfReport::parse(current).unwrap();
+        let table = delta_table(&current, &baseline, 0.30);
+        let lines: Vec<&str> = table.lines().collect();
+        assert_eq!(lines.len(), 4, "{table}");
+        assert!(lines[0].contains("baseline") && lines[0].contains("verdict"));
+        // 50% slower than baseline: outside the 30% tolerance.
+        assert!(lines[1].contains("scenario-sweep/dolev-strong"));
+        assert!(
+            lines[1].contains("-50.0%") && lines[1].contains("FAIL"),
+            "{table}"
+        );
+        // In baseline but not in current.
+        assert!(lines[2].contains("falsifier-sweep/leader-echo"));
+        assert!(lines[2].contains("MISSING"));
+        // In current but not in baseline.
+        assert!(lines[3].contains("telemetry-overhead/dolev-strong"));
+        assert!(lines[3].contains("new"));
+
+        // Within tolerance: pass with a small signed delta.
+        let ok = sample().replace("22962.761", "22000.0");
+        let table = delta_table(&PerfReport::parse(&ok).unwrap(), &baseline, 0.30);
+        assert!(table.contains("-4.2%"), "{table}");
+        assert!(table.contains("pass"));
+        assert!(!table.contains("FAIL"));
+    }
+
+    #[test]
+    fn overhead_gate_bounds_instrumentation_cost() {
+        let log = r#"{"schema": "ba-bench/campaign-perf/v1", "sweeps": [
+            {"label": "bare", "points": 8, "total_messages": 1, "elapsed_secs": 0.001, "points_per_sec": 10000.0},
+            {"label": "cheap", "points": 8, "total_messages": 1, "elapsed_secs": 0.00102, "points_per_sec": 9800.0},
+            {"label": "costly", "points": 8, "total_messages": 1, "elapsed_secs": 0.00125, "points_per_sec": 8000.0}
+        ]}"#;
+        let report = PerfReport::parse(log).unwrap();
+        let ok = overhead_gate(&report, "bare", "cheap", 0.05).unwrap();
+        assert!(ok.contains("2.0%"), "{ok}");
+        let err = overhead_gate(&report, "bare", "costly", 0.05).unwrap_err();
+        assert!(err.contains("OVERHEAD REGRESSION"), "{err}");
+        assert!(err.contains("25.0%"), "{err}");
+        assert!(overhead_gate(&report, "bare", "nope", 0.05).is_err());
+        assert!(overhead_gate(&report, "nope", "cheap", 0.05).is_err());
     }
 
     #[test]

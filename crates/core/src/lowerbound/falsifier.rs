@@ -28,11 +28,22 @@
 //! messages for the Lemma 2 pigeonhole — the falsifier reports
 //! [`SurvivalReport`] with the observed message complexity and the paper's
 //! `t²/32` floor.
+//!
+//! With a [`FalsifierConfig::recorder`] attached, the run emits
+//! orientation-scan telemetry: `falsifier.orientation` /
+//! `falsifier.default_bit` / `falsifier.scan.critical` /
+//! `falsifier.scan.exhausted` / `falsifier.verdict` events, plus
+//! `falsifier.orientations`, `falsifier.executions`,
+//! `falsifier.scan.rounds` and `falsifier.violations` counters and a
+//! `falsifier.execution.messages` histogram — all derived from logical
+//! argument state (the deterministic channel), never from the clock.
 
 use std::collections::BTreeSet;
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
+use ba_obs::{NoopRecorder, Recorder};
 use ba_sim::{
     Bit, Execution, ExecutionInvariantError, ExecutorConfig, Payload, ProcessId, Protocol, Round,
     SimError,
@@ -44,7 +55,7 @@ use super::merge::{merge, MergeError};
 use super::swap::swap_omission;
 
 /// Parameters of a falsification run.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct FalsifierConfig {
     /// Number of processes.
     pub n: usize,
@@ -71,6 +82,28 @@ pub struct FalsifierConfig {
     /// certificates are value-identical to the sequential scan; the only
     /// trade-off is speculative work past the critical round.
     pub parallel_scan: Option<bool>,
+    /// Telemetry sink for orientation/scan events (`None` = off).
+    /// Observation-only: everything recorded is logical argument state
+    /// (orientations entered, executions explored, critical rounds), so
+    /// snapshots for a fixed mode are schedule-independent. Sequential
+    /// mode short-circuits a refuted canonical orientation while parallel
+    /// mode always runs both, so exploration *counts* — like
+    /// [`SurvivalReport::executions_explored`] — are comparable within a
+    /// mode, not across modes.
+    pub recorder: Option<Arc<dyn Recorder>>,
+}
+
+impl fmt::Debug for FalsifierConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FalsifierConfig")
+            .field("n", &self.n)
+            .field("t", &self.t)
+            .field("horizon", &self.horizon)
+            .field("parallel_orientations", &self.parallel_orientations)
+            .field("parallel_scan", &self.parallel_scan)
+            .field("recorder", &self.recorder.is_some())
+            .finish()
+    }
 }
 
 impl FalsifierConfig {
@@ -92,6 +125,7 @@ impl FalsifierConfig {
             horizon: 4 * (t as u64 + 2) + 8,
             parallel_orientations: None,
             parallel_scan: None,
+            recorder: None,
         };
         let _ = cfg.partition(); // validate early
         cfg
@@ -113,6 +147,20 @@ impl FalsifierConfig {
     pub fn with_parallel_scan(mut self, parallel: bool) -> Self {
         self.parallel_scan = Some(parallel);
         self
+    }
+
+    /// Attaches a telemetry recorder (see [`FalsifierConfig::recorder`]).
+    pub fn with_recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// The configured recorder, or the zero-cost no-op sink.
+    fn telemetry(&self) -> &dyn Recorder {
+        match &self.recorder {
+            Some(r) => r.as_ref(),
+            None => &NoopRecorder,
+        }
     }
 
     /// Whether this run precomputes the Lemma 4 `E_B(k)` scan in parallel.
@@ -379,17 +427,30 @@ impl From<MergeError> for FalsifyError {
     }
 }
 
-#[derive(Default)]
-struct Stats {
+struct Stats<'r> {
+    recorder: &'r dyn Recorder,
     max_complexity: u64,
     explored: usize,
     notes: Vec<String>,
 }
 
-impl Stats {
+impl<'r> Stats<'r> {
+    fn new(recorder: &'r dyn Recorder) -> Self {
+        Stats {
+            recorder,
+            max_complexity: 0,
+            explored: 0,
+            notes: Vec::new(),
+        }
+    }
+
     fn observe<M: Payload>(&mut self, exec: &Execution<Bit, Bit, M>) {
-        self.max_complexity = self.max_complexity.max(exec.message_complexity());
+        let complexity = exec.message_complexity();
+        self.max_complexity = self.max_complexity.max(complexity);
         self.explored += 1;
+        self.recorder.counter("falsifier.executions", 1, &[]);
+        self.recorder
+            .histogram("falsifier.execution.messages", complexity, &[]);
     }
 
     fn note(&mut self, s: impl Into<String>) {
@@ -421,8 +482,25 @@ where
     P: Protocol<Input = Bit, Output = Bit>,
     F: Fn(ProcessId) -> P + Sync,
 {
+    let verdict = falsify_inner(cfg, factory)?;
+    let recorder = cfg.telemetry();
+    if verdict.is_violation() {
+        recorder.counter("falsifier.violations", 1, &[]);
+    }
+    recorder.event(
+        "falsifier.verdict",
+        &[("violation", verdict.is_violation().into())],
+    );
+    Ok(verdict)
+}
+
+fn falsify_inner<P, F>(cfg: &FalsifierConfig, factory: F) -> Result<Verdict<P::Msg>, FalsifyError>
+where
+    P: Protocol<Input = Bit, Output = Bit>,
+    F: Fn(ProcessId) -> P + Sync,
+{
     if !cfg.orientations_in_parallel() {
-        let mut stats = Stats::default();
+        let mut stats = Stats::new(cfg.telemetry());
         if let Some(cert) = attempt(cfg, &factory, &mut stats, false)? {
             return Ok(Verdict::Violation(cert));
         }
@@ -435,7 +513,7 @@ where
     }
 
     let mut outcomes = ba_sim::par_map(vec![false, true], 2, |_, flipped| {
-        let mut stats = Stats::default();
+        let mut stats = Stats::new(cfg.telemetry());
         let result = if flipped {
             // WLOG step: the whole argument on the bit-flipped protocol.
             let flipped_factory = |pid: ProcessId| BitFlipped::new(factory(pid));
@@ -459,11 +537,11 @@ where
     Ok(Verdict::Survived(survival_report(cfg, stats)))
 }
 
-fn survival<M: Payload>(cfg: &FalsifierConfig, stats: Stats) -> Verdict<M> {
+fn survival<M: Payload>(cfg: &FalsifierConfig, stats: Stats<'_>) -> Verdict<M> {
     Verdict::Survived(survival_report(cfg, stats))
 }
 
-fn survival_report(cfg: &FalsifierConfig, stats: Stats) -> SurvivalReport {
+fn survival_report(cfg: &FalsifierConfig, stats: Stats<'_>) -> SurvivalReport {
     SurvivalReport {
         max_message_complexity: stats.max_complexity,
         paper_bound: cfg.paper_bound(),
@@ -613,7 +691,7 @@ pub fn lemma2_violation<M: Payload>(
 fn attempt<P, F>(
     cfg: &FalsifierConfig,
     factory: &F,
-    stats: &mut Stats,
+    stats: &mut Stats<'_>,
     flipped: bool,
 ) -> Result<Option<Certificate<P::Msg>>, FalsifyError>
 where
@@ -625,6 +703,16 @@ where
     let runner = FamilyRunner::new(ecfg, factory, partition.clone());
     let orientation = if flipped { "flipped" } else { "canonical" };
     let mut prov = vec![format!("orientation: {orientation}")];
+    let recorder = cfg.telemetry();
+    recorder.counter("falsifier.orientations", 1, &[]);
+    recorder.event(
+        "falsifier.orientation",
+        &[
+            ("orientation", orientation.into()),
+            ("n", cfg.n.into()),
+            ("t", cfg.t.into()),
+        ],
+    );
 
     // Step 1: Weak Validity and Termination on the fully correct uniform
     // executions; also measure R_max.
@@ -678,7 +766,7 @@ where
                    group: &BTreeSet<ProcessId>,
                    label: &str,
                    prov: &[String],
-                   stats: &mut Stats|
+                   stats: &mut Stats<'_>|
      -> Result<Bit, Box<Certificate<P::Msg>>> {
         stats.observe(&exec);
         debug_assert_eq!(exec.validate(), Ok(()));
@@ -740,6 +828,13 @@ where
 
     // Step 4: the WLOG orientation check.
     let default_bit = x;
+    recorder.event(
+        "falsifier.default_bit",
+        &[
+            ("orientation", orientation.into()),
+            ("bit", default_bit.to_string().into()),
+        ],
+    );
     if default_bit == Bit::Zero {
         stats.note(format!(
             "{orientation}: default bit is 0; Lemma-3 pairs agree; the argument continues in \
@@ -773,6 +868,7 @@ where
         Execution<Bit, Bit, P::Msg>,
     )> = None;
     for k in scan_rounds {
+        recorder.counter("falsifier.scan.rounds", 1, &[]);
         let e = match precomputed.as_mut() {
             Some(runs) => runs.next().expect("one precomputed run per k")?,
             None => runner.isolated_b::<P>(Round(k), Bit::Zero)?,
@@ -799,6 +895,13 @@ where
              default within the horizon",
             rmax.0 + 1
         ));
+        recorder.event(
+            "falsifier.scan.exhausted",
+            &[
+                ("orientation", orientation.into()),
+                ("r_max", rmax.0.into()),
+            ],
+        );
         return Ok(None);
     };
     prov.push(format!(
@@ -807,6 +910,14 @@ where
         r.0,
         r.0 + 1
     ));
+    recorder.event(
+        "falsifier.scan.critical",
+        &[
+            ("orientation", orientation.into()),
+            ("round", r.0.into()),
+            ("r_max", rmax.0.into()),
+        ],
+    );
 
     // Step 6 (Lemma 5): merge the appropriate pair with E_C(R)_0.
     let ec_r = runner.isolated_c::<P>(r, Bit::Zero)?;
@@ -867,7 +978,7 @@ fn contradict<P, F>(
     cfg: &FalsifierConfig,
     factory: &F,
     partition: &Partition,
-    stats: &mut Stats,
+    stats: &mut Stats<'_>,
     prov: &[String],
     eb: &Execution<Bit, Bit, P::Msg>,
     kb: Round,
@@ -1112,6 +1223,65 @@ mod tests {
         assert!(FalsifierConfig::new(8, 2)
             .with_parallel_scan(true)
             .scan_in_parallel());
+    }
+
+    #[test]
+    fn telemetry_is_observation_only_and_schedule_independent() {
+        use ba_obs::Aggregator;
+        use ba_protocols::broken::ParanoidEcho;
+        use std::sync::Arc;
+
+        // ParanoidEcho traverses the full argument (both orientations, the
+        // Lemma 4 scan, the Lemma 5 merge) and survives.
+        let (n, t) = (8, 2);
+        let run = |recorder: Option<Arc<Aggregator>>, scan_parallel: bool| {
+            let mut cfg = FalsifierConfig::new(n, t)
+                .with_parallel_orientations(false)
+                .with_parallel_scan(scan_parallel);
+            if let Some(agg) = &recorder {
+                cfg = cfg.with_recorder(agg.clone());
+            }
+            falsify(&cfg, |_: ProcessId| ParanoidEcho::new()).unwrap()
+        };
+
+        // Recording changes nothing about the verdict.
+        let plain = run(None, false);
+        let agg_seq = Arc::new(Aggregator::new());
+        let recorded = run(Some(agg_seq.clone()), false);
+        match (&plain, &recorded) {
+            (Verdict::Survived(a), Verdict::Survived(b)) => assert_eq!(a, b),
+            other => panic!("paranoid-echo should survive: {other:?}"),
+        }
+
+        // The deterministic channel is identical whether the Lemma 4 scan
+        // precomputes in parallel or walks sequentially.
+        let agg_par = Arc::new(Aggregator::new());
+        let _ = run(Some(agg_par.clone()), true);
+        let seq = agg_seq.snapshot().deterministic();
+        let par = agg_par.snapshot().deterministic();
+        assert_eq!(seq, par);
+
+        // Counters mirror the survival report's logical quantities.
+        let Verdict::Survived(report) = &recorded else {
+            unreachable!()
+        };
+        assert_eq!(
+            seq.counters["falsifier.executions"],
+            report.executions_explored as u64
+        );
+        assert_eq!(seq.counters["falsifier.orientations"], 2);
+        assert_eq!(seq.events["falsifier.orientation"], 2);
+        assert_eq!(seq.events["falsifier.verdict"], 1);
+        assert!(seq.counters["falsifier.scan.rounds"] >= 1);
+        assert!(!seq.counters.contains_key("falsifier.violations"));
+
+        // A refuted protocol counts its violation.
+        let agg = Arc::new(Aggregator::new());
+        let cfg = FalsifierConfig::new(n, t).with_recorder(agg.clone());
+        let verdict = falsify(&cfg, |_| LeaderEcho::new(ProcessId(0))).unwrap();
+        assert!(verdict.is_violation());
+        let snap = agg.snapshot().deterministic();
+        assert_eq!(snap.counters["falsifier.violations"], 1);
     }
 
     #[test]

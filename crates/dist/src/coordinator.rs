@@ -10,15 +10,24 @@
 //! separate machines behind `ssh host campaign_worker`. Tests inject
 //! closure runners (including flaky ones) to exercise retry and merge logic
 //! without processes.
+//!
+//! With an observer installed ([`Coordinator::on_event`]) the coordinator
+//! additionally streams [`CoordEvent`]s while the sweep runs: per-point
+//! progress records filtered out of worker stdout (workers in `--progress`
+//! mode interleave JSONL lines with the wire report), shard completions,
+//! and retries. Retries are always visible — they are logged to stderr
+//! (shard, attempt, cause) whether or not an observer is installed, so
+//! flaky workers can't hide behind silent re-dispatch.
 
 use std::error::Error;
 use std::fmt;
-use std::io::{Read, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::path::{Path, PathBuf};
 use std::process::{Command, Stdio};
 
 use ba_sim::{Bit, CampaignReport, ScenarioStats, SimError};
 
+use crate::progress::{CoordEvent, ProgressEvent};
 use crate::shard::{
     assemble_campaign_report, merge_reports, plan_shards, ShardManifest, SweepSpec,
 };
@@ -139,6 +148,26 @@ pub trait ShardRunner: Sync {
     ///
     /// Any [`DistError`]; the coordinator retries failed shards.
     fn run_shard(&self, manifest: &ShardManifest) -> Result<String, DistError>;
+
+    /// Executes `manifest`, forwarding any per-point [`ProgressEvent`]s the
+    /// transport surfaces to `on_progress` as they arrive, and returns the
+    /// encoded report with progress records filtered out.
+    ///
+    /// The default ignores streaming and defers to
+    /// [`run_shard`](ShardRunner::run_shard), so transports without a
+    /// progress channel (closure runners in tests) need not implement it.
+    ///
+    /// # Errors
+    ///
+    /// As [`run_shard`](ShardRunner::run_shard).
+    fn run_shard_streaming(
+        &self,
+        manifest: &ShardManifest,
+        on_progress: &(dyn Fn(ProgressEvent) + Sync),
+    ) -> Result<String, DistError> {
+        let _ = on_progress;
+        self.run_shard(manifest)
+    }
 }
 
 impl<F> ShardRunner for F
@@ -156,6 +185,7 @@ where
 pub struct WorkerCommand {
     program: PathBuf,
     args: Vec<String>,
+    progress: bool,
 }
 
 impl WorkerCommand {
@@ -164,12 +194,22 @@ impl WorkerCommand {
         WorkerCommand {
             program: program.into(),
             args: Vec::new(),
+            progress: false,
         }
     }
 
     /// Appends a fixed argument to every invocation.
     pub fn arg(mut self, arg: impl Into<String>) -> Self {
         self.args.push(arg.into());
+        self
+    }
+
+    /// Passes `--progress` to the worker, asking it to interleave one JSONL
+    /// progress record per completed point with the wire report. The
+    /// transport filters those records out of the report stream either way,
+    /// so this composes with or without a coordinator observer.
+    pub fn with_progress(mut self, progress: bool) -> Self {
+        self.progress = progress;
         self
     }
 
@@ -206,13 +246,25 @@ impl WorkerCommand {
 
 impl ShardRunner for WorkerCommand {
     fn run_shard(&self, manifest: &ShardManifest) -> Result<String, DistError> {
+        self.run_shard_streaming(manifest, &|_| {})
+    }
+
+    fn run_shard_streaming(
+        &self,
+        manifest: &ShardManifest,
+        on_progress: &(dyn Fn(ProgressEvent) + Sync),
+    ) -> Result<String, DistError> {
         let shard = manifest.shard;
         let spawn_err = |e: std::io::Error| DistError::Spawn {
             shard,
             detail: e.to_string(),
         };
-        let mut child = Command::new(&self.program)
-            .args(&self.args)
+        let mut command = Command::new(&self.program);
+        command.args(&self.args);
+        if self.progress {
+            command.arg("--progress");
+        }
+        let mut child = command
             .stdin(Stdio::piped())
             .stdout(Stdio::piped())
             .stderr(Stdio::piped())
@@ -229,20 +281,31 @@ impl ShardRunner for WorkerCommand {
             .map_err(spawn_err)?;
 
         // Drain stderr on a helper thread so neither pipe can deadlock,
-        // streaming stdout (the report) on this one.
+        // streaming stdout (the report) on this one. Stdout is read
+        // line-by-line: JSONL progress records (which always start with
+        // `{`; wire records never do) are forwarded to `on_progress` as
+        // they arrive, everything else accumulates as the report.
         let mut stderr_pipe = child.stderr.take().expect("stderr was piped");
         let stderr_thread = std::thread::spawn(move || {
             let mut buf = String::new();
             let _ = stderr_pipe.read_to_string(&mut buf);
             buf
         });
-        let mut stdout = String::new();
-        child
-            .stdout
-            .take()
-            .expect("stdout was piped")
-            .read_to_string(&mut stdout)
-            .map_err(spawn_err)?;
+        let stdout_pipe = child.stdout.take().expect("stdout was piped");
+        let mut report = String::new();
+        for line in BufReader::new(stdout_pipe).lines() {
+            let line = line.map_err(spawn_err)?;
+            if line.starts_with('{') {
+                if let Some(event) = ProgressEvent::parse(&line) {
+                    on_progress(event);
+                }
+                // Non-point JSON (foreign telemetry) is dropped: it is
+                // never part of the wire report.
+                continue;
+            }
+            report.push_str(&line);
+            report.push('\n');
+        }
         let status = child.wait().map_err(spawn_err)?;
         let stderr = stderr_thread.join().unwrap_or_default();
         if !status.success() {
@@ -252,7 +315,7 @@ impl ShardRunner for WorkerCommand {
                 stderr: truncate_lossy(stderr.trim(), 512),
             });
         }
-        Ok(stdout)
+        Ok(report)
     }
 }
 
@@ -266,12 +329,17 @@ fn truncate_lossy(text: &str, max_len: usize) -> String {
     text[..cut].to_string()
 }
 
+/// The coordinator's progress observer: called from shard threads as
+/// events arrive, so it must be both `Send` and `Sync`.
+type Observer = Box<dyn Fn(&CoordEvent) + Send + Sync>;
+
 /// The merging coordinator: plans shards, dispatches them concurrently over
 /// a [`ShardRunner`], retries failures, and merges the reports.
 pub struct Coordinator<R> {
     runner: R,
     shards: usize,
     retries: usize,
+    observer: Option<Observer>,
 }
 
 impl<R: ShardRunner> Coordinator<R> {
@@ -282,6 +350,7 @@ impl<R: ShardRunner> Coordinator<R> {
             runner,
             shards: shards.max(1),
             retries: 1,
+            observer: None,
         }
     }
 
@@ -289,6 +358,26 @@ impl<R: ShardRunner> Coordinator<R> {
     pub fn retries(mut self, retries: usize) -> Self {
         self.retries = retries;
         self
+    }
+
+    /// Installs a progress observer receiving every [`CoordEvent`] while a
+    /// sweep runs: per-point progress (when the transport streams it, see
+    /// [`ShardRunner::run_shard_streaming`]), shard completions, and
+    /// retries. Called concurrently from shard threads.
+    pub fn on_event(mut self, observer: impl Fn(&CoordEvent) + Send + Sync + 'static) -> Self {
+        self.observer = Some(Box::new(observer));
+        self
+    }
+
+    fn emit(&self, event: CoordEvent) {
+        // Retries are operationally significant: always log them, so flaky
+        // workers stay visible even without an observer.
+        if matches!(event, CoordEvent::Retry { .. }) {
+            eprintln!("coordinator: {event}");
+        }
+        if let Some(observer) = &self.observer {
+            observer(&event);
+        }
     }
 
     /// The configured shard count.
@@ -343,10 +432,25 @@ impl<R: ShardRunner> Coordinator<R> {
     ) -> Result<crate::shard::ShardReport<T>, DistError> {
         let attempts = 1 + self.retries;
         let mut last: Option<DistError> = None;
-        for _ in 0..attempts {
+        for attempt in 1..=attempts {
             match self.attempt::<T>(manifest) {
-                Ok(report) => return Ok(report),
-                Err(e) => last = Some(e),
+                Ok(report) => {
+                    self.emit(CoordEvent::ShardDone {
+                        shard: manifest.shard,
+                    });
+                    return Ok(report);
+                }
+                Err(e) => {
+                    if attempt < attempts {
+                        self.emit(CoordEvent::Retry {
+                            shard: manifest.shard,
+                            attempt,
+                            attempts,
+                            cause: e.to_string(),
+                        });
+                    }
+                    last = Some(e);
+                }
             }
         }
         let last = last.expect("at least one attempt was made");
@@ -361,7 +465,12 @@ impl<R: ShardRunner> Coordinator<R> {
         &self,
         manifest: &ShardManifest,
     ) -> Result<crate::shard::ShardReport<T>, DistError> {
-        let raw = self.runner.run_shard(manifest)?;
+        let raw = match &self.observer {
+            Some(observer) => self.runner.run_shard_streaming(manifest, &|event| {
+                observer(&CoordEvent::Point(event));
+            })?,
+            None => self.runner.run_shard(manifest)?,
+        };
         let report =
             crate::shard::ShardReport::<T>::from_wire(&raw).map_err(|error| DistError::Wire {
                 shard: manifest.shard,
@@ -501,6 +610,102 @@ mod tests {
             .run::<Tok>(&spec(2))
             .unwrap_err();
         assert!(err.to_string().contains("shard 0"), "{err}");
+    }
+
+    #[test]
+    fn observer_sees_retries_and_shard_completions() {
+        use std::sync::Mutex;
+        let attempts: Vec<AtomicUsize> = (0..2).map(|_| AtomicUsize::new(0)).collect();
+        let flaky = |manifest: &ShardManifest| -> Result<String, DistError> {
+            if manifest.shard == 1 && attempts[1].fetch_add(1, Ordering::SeqCst) == 0 {
+                return Err(DistError::Spawn {
+                    shard: 1,
+                    detail: "injected".into(),
+                });
+            }
+            echo_runner(manifest)
+        };
+        let events = std::sync::Arc::new(Mutex::new(Vec::<CoordEvent>::new()));
+        let seen = events.clone();
+        let result = Coordinator::new(&flaky, 2)
+            .retries(1)
+            .on_event(move |e| seen.lock().unwrap().push(e.clone()))
+            .run::<Tok>(&spec(6));
+        assert!(result.is_ok(), "{result:?}");
+        let events = events.lock().unwrap().clone();
+        let retries: Vec<_> = events
+            .iter()
+            .filter(|e| matches!(e, CoordEvent::Retry { .. }))
+            .collect();
+        assert_eq!(retries.len(), 1);
+        match retries[0] {
+            CoordEvent::Retry {
+                shard,
+                attempt,
+                attempts,
+                cause,
+            } => {
+                assert_eq!((*shard, *attempt, *attempts), (1, 1, 2));
+                assert!(cause.contains("injected"), "{cause}");
+            }
+            _ => unreachable!(),
+        }
+        let done = events
+            .iter()
+            .filter(|e| matches!(e, CoordEvent::ShardDone { .. }))
+            .count();
+        assert_eq!(done, 2);
+    }
+
+    #[test]
+    fn streaming_transports_feed_point_events_to_the_observer() {
+        use std::sync::Mutex;
+
+        /// A transport that surfaces one progress record per entry before
+        /// returning the report, like a worker in `--progress` mode.
+        struct Streaming;
+        impl ShardRunner for Streaming {
+            fn run_shard(&self, manifest: &ShardManifest) -> Result<String, DistError> {
+                self.run_shard_streaming(manifest, &|_| {})
+            }
+            fn run_shard_streaming(
+                &self,
+                manifest: &ShardManifest,
+                on_progress: &(dyn Fn(crate::progress::ProgressEvent) + Sync),
+            ) -> Result<String, DistError> {
+                for (done, entry) in manifest.entries.iter().enumerate() {
+                    on_progress(crate::progress::ProgressEvent {
+                        shard: manifest.shard,
+                        shards: manifest.shards,
+                        done: done + 1,
+                        total: manifest.entries.len(),
+                        index: entry.index,
+                        messages: 12,
+                        rounds: 2,
+                        ok: true,
+                        elapsed_nanos: (done as u64 + 1) * 1_000_000,
+                    });
+                }
+                echo_runner(manifest)
+            }
+        }
+
+        let live = std::sync::Arc::new(Mutex::new(crate::progress::LiveAggregates::new()));
+        let points = std::sync::Arc::new(AtomicUsize::new(0));
+        let (live_in, points_in) = (live.clone(), points.clone());
+        let result = Coordinator::new(Streaming, 3)
+            .on_event(move |e| {
+                if matches!(e, CoordEvent::Point(_)) {
+                    points_in.fetch_add(1, Ordering::SeqCst);
+                }
+                live_in.lock().unwrap().ingest_coord(e);
+            })
+            .run::<Tok>(&spec(9));
+        assert!(result.is_ok(), "{result:?}");
+        assert_eq!(points.load(Ordering::SeqCst), 9);
+        let live = live.lock().unwrap();
+        assert_eq!(live.total_done(), 9);
+        assert!(live.is_complete());
     }
 
     #[test]

@@ -21,7 +21,13 @@
 //! * [`coordinator`] — a [`Coordinator`] that dispatches shards
 //!   concurrently over a [`ShardRunner`] transport (production:
 //!   [`WorkerCommand`], spawning the `campaign_worker` binary per shard),
-//!   streams reports back as workers finish, and retries failed shards.
+//!   streams reports back as workers finish, and retries failed shards
+//!   (visibly: retries are logged and surfaced as [`CoordEvent`]s).
+//! * [`progress`] — streaming per-point progress: the JSONL records
+//!   workers emit in `--progress` mode ([`ProgressEvent`]), the
+//!   coordinator's observer stream ([`CoordEvent`]), and the rolling
+//!   per-shard aggregates ([`LiveAggregates`]: points/sec, ETA, straggler
+//!   flagging) behind the `campaign_watch` dashboard.
 //!
 //! The worker side lives in `ba-bench` (`campaign_worker` binary + protocol
 //! registry), because resolving protocol labels needs the protocol crates.
@@ -43,10 +49,12 @@
 #![warn(missing_docs)]
 
 pub mod coordinator;
+pub mod progress;
 pub mod shard;
 pub mod wire;
 
 pub use coordinator::{Coordinator, DistError, ShardRunner, WorkerCommand};
+pub use progress::{CoordEvent, LiveAggregates, ProgressEvent, ShardProgress, STRAGGLER_FACTOR};
 pub use shard::{
     assemble_campaign_report, merge_campaign_report, merge_reports, plan_shards, point_seed,
     ShardEntry, ShardManifest, ShardMode, ShardReport, SweepSpec,

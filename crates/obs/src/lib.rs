@@ -1,0 +1,430 @@
+//! # ba-obs — metrics + structured-event telemetry
+//!
+//! The paper's Ω(n·t) lower bounds (Civit–Gilbert–Guerraoui et al., PODC
+//! 2024) are *message-count* statements, so the reproduction's first-class
+//! observables are counts: messages per round, decision rounds,
+//! corruption-budget spend, points per second in a campaign sweep. This
+//! crate is the instrument: a dependency-free metrics registry (monotonic
+//! counters, gauges, fixed-bucket histograms) plus a structured-event API
+//! (spans and events with key–value fields) behind a pluggable [`Recorder`]
+//! trait.
+//!
+//! ## The two channels
+//!
+//! Telemetry is **observation-only** and split into two channels:
+//!
+//! * the **deterministic channel** — [`Recorder::counter`],
+//!   [`Recorder::histogram`], [`Recorder::event`] — carries *logical*
+//!   quantities (messages, rounds, budget spend). Instrumented code must
+//!   emit these in a schedule-independent way, so aggregated values are
+//!   bit-identical across thread counts and shardings
+//!   ([`Snapshot::deterministic`] is `Eq` and mergeable);
+//! * the **wall-clock channel** — [`Recorder::timing`],
+//!   [`Recorder::gauge`] — carries durations and rates. It is never part
+//!   of a determinism comparison.
+//!
+//! ## Recorders
+//!
+//! * [`NoopRecorder`] — the zero-cost default: every method is an empty
+//!   default body, so uninstrumented runs pay nothing;
+//! * [`Aggregator`] — a thread-safe in-memory registry; snapshot it at the
+//!   end of a run ([`Aggregator::snapshot`]);
+//! * [`JsonlRecorder`] — streams one JSON line per record to any writer
+//!   (the format `campaign_worker --progress` and `campaign_watch` speak);
+//!   [`parse_json_line`] is the matching hand-rolled parser.
+//!
+//! ```
+//! use ba_obs::{Aggregator, Recorder, Span};
+//!
+//! let agg = Aggregator::new();
+//! agg.counter("exec.messages.sent", 12, &[]);
+//! agg.histogram("exec.decision.rounds", 3, &[]);
+//! {
+//!     let _span = Span::enter(&agg, "sweep.wall"); // wall channel, on drop
+//! }
+//! let snap = agg.snapshot();
+//! assert_eq!(snap.counters["exec.messages.sent"], 12);
+//! assert_eq!(snap.deterministic(), agg.snapshot().deterministic());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod json;
+mod metrics;
+
+pub use json::{json_escape, parse_json_line, Json};
+pub use metrics::{
+    bucket_index, Aggregator, DeterministicSnapshot, HistogramSnapshot, Snapshot, TimingStat,
+    BUCKET_BOUNDS,
+};
+
+use std::fmt;
+use std::io::Write;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// A field value attached to a structured event.
+#[derive(Clone, PartialEq, Debug)]
+pub enum FieldValue {
+    /// An unsigned integer (counts, ids, rounds).
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A floating-point value.
+    F64(f64),
+    /// A boolean flag.
+    Bool(bool),
+    /// A string label.
+    Str(String),
+}
+
+impl fmt::Display for FieldValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FieldValue::U64(v) => write!(f, "{v}"),
+            FieldValue::I64(v) => write!(f, "{v}"),
+            FieldValue::F64(v) => write!(f, "{v}"),
+            FieldValue::Bool(v) => write!(f, "{v}"),
+            FieldValue::Str(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::I64(v)
+    }
+}
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+/// The pluggable telemetry backend. Every method has an empty default
+/// body, so the [`NoopRecorder`] is literally zero code and custom
+/// recorders override only the signals they care about.
+///
+/// Method contract (the deterministic/wall split the whole repo relies
+/// on): [`counter`](Recorder::counter), [`histogram`](Recorder::histogram)
+/// and [`event`](Recorder::event) must only ever receive *logical*
+/// quantities — values derived from the execution model, never from the
+/// clock or the scheduler — while [`timing`](Recorder::timing) and
+/// [`gauge`](Recorder::gauge) carry wall-clock observations that are
+/// reported but never compared.
+pub trait Recorder: Send + Sync {
+    /// Adds `delta` to the monotonic counter `name`. Deterministic channel.
+    fn counter(&self, _name: &str, _delta: u64, _labels: &[(&str, &str)]) {}
+
+    /// Sets the gauge `name` to `value`. Wall-clock channel.
+    fn gauge(&self, _name: &str, _value: f64, _labels: &[(&str, &str)]) {}
+
+    /// Observes `value` in the fixed-bucket histogram `name` (bucket
+    /// bounds: [`BUCKET_BOUNDS`]). Deterministic channel.
+    fn histogram(&self, _name: &str, _value: u64, _labels: &[(&str, &str)]) {}
+
+    /// Emits a structured event with key–value fields. Deterministic
+    /// channel: fields must be logical values.
+    fn event(&self, _name: &str, _fields: &[(&str, FieldValue)]) {}
+
+    /// Observes a wall-clock duration in nanoseconds. Wall-clock channel —
+    /// never part of a determinism comparison.
+    fn timing(&self, _name: &str, _nanos: u64, _labels: &[(&str, &str)]) {}
+}
+
+/// The zero-cost default recorder: discards everything.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {}
+
+/// Blanket passthrough so `&R` and boxed/arc'd recorders record too.
+impl<R: Recorder + ?Sized> Recorder for &R {
+    fn counter(&self, name: &str, delta: u64, labels: &[(&str, &str)]) {
+        (**self).counter(name, delta, labels)
+    }
+    fn gauge(&self, name: &str, value: f64, labels: &[(&str, &str)]) {
+        (**self).gauge(name, value, labels)
+    }
+    fn histogram(&self, name: &str, value: u64, labels: &[(&str, &str)]) {
+        (**self).histogram(name, value, labels)
+    }
+    fn event(&self, name: &str, fields: &[(&str, FieldValue)]) {
+        (**self).event(name, fields)
+    }
+    fn timing(&self, name: &str, nanos: u64, labels: &[(&str, &str)]) {
+        (**self).timing(name, nanos, labels)
+    }
+}
+
+impl<R: Recorder + ?Sized> Recorder for std::sync::Arc<R> {
+    fn counter(&self, name: &str, delta: u64, labels: &[(&str, &str)]) {
+        (**self).counter(name, delta, labels)
+    }
+    fn gauge(&self, name: &str, value: f64, labels: &[(&str, &str)]) {
+        (**self).gauge(name, value, labels)
+    }
+    fn histogram(&self, name: &str, value: u64, labels: &[(&str, &str)]) {
+        (**self).histogram(name, value, labels)
+    }
+    fn event(&self, name: &str, fields: &[(&str, FieldValue)]) {
+        (**self).event(name, fields)
+    }
+    fn timing(&self, name: &str, nanos: u64, labels: &[(&str, &str)]) {
+        (**self).timing(name, nanos, labels)
+    }
+}
+
+/// An RAII wall-clock span: records `timing(name, elapsed)` on the
+/// recorder when dropped (or ended explicitly with [`Span::end`]).
+///
+/// Spans live entirely in the wall-clock channel; entering one emits
+/// nothing deterministic.
+pub struct Span<'r> {
+    recorder: &'r dyn Recorder,
+    name: &'r str,
+    start: Instant,
+}
+
+impl<'r> Span<'r> {
+    /// Enters a span named `name` on `recorder`.
+    pub fn enter(recorder: &'r dyn Recorder, name: &'r str) -> Self {
+        Span {
+            recorder,
+            name,
+            start: Instant::now(),
+        }
+    }
+
+    /// Ends the span now (otherwise it ends when dropped).
+    pub fn end(self) {}
+
+    /// Nanoseconds elapsed since the span was entered.
+    pub fn elapsed_nanos(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        self.recorder.timing(self.name, self.elapsed_nanos(), &[]);
+    }
+}
+
+/// A [`Recorder`] that writes one JSON line per record to a writer —
+/// the stream format of `campaign_worker --progress` and the
+/// `campaign_watch` dashboard, parseable with [`parse_json_line`].
+///
+/// Line shapes (labels/fields omitted when empty):
+///
+/// ```json
+/// {"type":"counter","name":"exec.messages.sent","value":12}
+/// {"type":"gauge","name":"campaign.utilization","value":0.93}
+/// {"type":"histogram","name":"exec.decision.rounds","value":3}
+/// {"type":"event","name":"fault.corrupt","fields":{"round":2,"process":4}}
+/// {"type":"timing","name":"campaign.point.wall","nanos":81235}
+/// ```
+///
+/// Write errors are swallowed: telemetry must never fail a run.
+pub struct JsonlRecorder<W: Write + Send> {
+    out: Mutex<W>,
+}
+
+impl<W: Write + Send> JsonlRecorder<W> {
+    /// Wraps a writer. Each record is written and flushed as one line so
+    /// downstream consumers (pipes, the coordinator) see it promptly.
+    pub fn new(out: W) -> Self {
+        JsonlRecorder {
+            out: Mutex::new(out),
+        }
+    }
+
+    /// Unwraps the writer.
+    pub fn into_inner(self) -> W {
+        self.out.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn write_line(&self, line: &str) {
+        if let Ok(mut out) = self.out.lock() {
+            let _ = writeln!(out, "{line}");
+            let _ = out.flush();
+        }
+    }
+
+    fn scalar_line(
+        &self,
+        kind: &str,
+        name: &str,
+        value_key: &str,
+        value: &str,
+        labels: &[(&str, &str)],
+    ) {
+        let mut line = format!(
+            "{{\"type\":\"{kind}\",\"name\":\"{}\",\"{value_key}\":{value}",
+            json_escape(name)
+        );
+        if !labels.is_empty() {
+            line.push_str(",\"labels\":{");
+            for (i, (k, v)) in labels.iter().enumerate() {
+                if i > 0 {
+                    line.push(',');
+                }
+                line.push_str(&format!("\"{}\":\"{}\"", json_escape(k), json_escape(v)));
+            }
+            line.push('}');
+        }
+        line.push('}');
+        self.write_line(&line);
+    }
+}
+
+impl<W: Write + Send> Recorder for JsonlRecorder<W> {
+    fn counter(&self, name: &str, delta: u64, labels: &[(&str, &str)]) {
+        self.scalar_line("counter", name, "value", &delta.to_string(), labels);
+    }
+
+    fn gauge(&self, name: &str, value: f64, labels: &[(&str, &str)]) {
+        self.scalar_line("gauge", name, "value", &format_f64(value), labels);
+    }
+
+    fn histogram(&self, name: &str, value: u64, labels: &[(&str, &str)]) {
+        self.scalar_line("histogram", name, "value", &value.to_string(), labels);
+    }
+
+    fn event(&self, name: &str, fields: &[(&str, FieldValue)]) {
+        let mut line = format!("{{\"type\":\"event\",\"name\":\"{}\"", json_escape(name));
+        if !fields.is_empty() {
+            line.push_str(",\"fields\":{");
+            for (i, (k, v)) in fields.iter().enumerate() {
+                if i > 0 {
+                    line.push(',');
+                }
+                line.push_str(&format!("\"{}\":", json_escape(k)));
+                match v {
+                    FieldValue::Str(s) => line.push_str(&format!("\"{}\"", json_escape(s))),
+                    FieldValue::F64(f) => line.push_str(&format_f64(*f)),
+                    other => line.push_str(&other.to_string()),
+                }
+            }
+            line.push('}');
+        }
+        line.push('}');
+        self.write_line(&line);
+    }
+
+    fn timing(&self, name: &str, nanos: u64, labels: &[(&str, &str)]) {
+        self.scalar_line("timing", name, "nanos", &nanos.to_string(), labels);
+    }
+}
+
+/// Formats an `f64` as valid JSON (`NaN`/infinities become `null`).
+fn format_f64(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_recorder_accepts_everything() {
+        let rec = NoopRecorder;
+        rec.counter("c", 1, &[]);
+        rec.gauge("g", 1.5, &[("a", "b")]);
+        rec.histogram("h", 7, &[]);
+        rec.event("e", &[("k", FieldValue::from("v"))]);
+        rec.timing("t", 42, &[]);
+        Span::enter(&rec, "span").end();
+    }
+
+    #[test]
+    fn jsonl_recorder_emits_parseable_lines() {
+        let rec = JsonlRecorder::new(Vec::new());
+        rec.counter("exec.messages.sent", 12, &[("shard", "0")]);
+        rec.event(
+            "fault.corrupt",
+            &[("round", 2u64.into()), ("process", "p4".into())],
+        );
+        rec.timing("point.wall", 81235, &[]);
+        let out = String::from_utf8(rec.into_inner()).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 3);
+
+        let counter = parse_json_line(lines[0]).expect("counter parses");
+        assert_eq!(counter.get("type").and_then(Json::as_str), Some("counter"));
+        assert_eq!(counter.get("value").and_then(Json::as_u64), Some(12));
+        assert_eq!(
+            counter
+                .get("labels")
+                .and_then(|l| l.get("shard"))
+                .and_then(Json::as_str),
+            Some("0")
+        );
+
+        let event = parse_json_line(lines[1]).expect("event parses");
+        assert_eq!(
+            event.get("name").and_then(Json::as_str),
+            Some("fault.corrupt")
+        );
+        assert_eq!(
+            event
+                .get("fields")
+                .and_then(|f| f.get("round"))
+                .and_then(Json::as_u64),
+            Some(2)
+        );
+
+        let timing = parse_json_line(lines[2]).expect("timing parses");
+        assert_eq!(timing.get("nanos").and_then(Json::as_u64), Some(81235));
+    }
+
+    #[test]
+    fn span_records_a_timing_on_drop() {
+        let agg = Aggregator::new();
+        Span::enter(&agg, "unit.wall").end();
+        let snap = agg.snapshot();
+        assert_eq!(snap.timings["unit.wall"].count, 1);
+        // Wall-clock values never enter the deterministic snapshot.
+        assert!(snap.deterministic().counters.is_empty());
+    }
+
+    #[test]
+    fn arc_and_ref_recorders_pass_through() {
+        let agg = std::sync::Arc::new(Aggregator::new());
+        let as_dyn: std::sync::Arc<dyn Recorder> = agg.clone();
+        as_dyn.counter("c", 2, &[]);
+        let by_ref: &dyn Recorder = &*as_dyn;
+        by_ref.counter("c", 3, &[]);
+        assert_eq!(agg.snapshot().counters["c"], 5);
+    }
+}

@@ -1,0 +1,508 @@
+//! The in-memory metrics registry: fixed-bucket histograms, timing stats,
+//! snapshots with a deterministic/wall-clock split, and the thread-safe
+//! [`Aggregator`] recorder.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Mutex;
+
+use crate::{json_escape, FieldValue, Recorder};
+
+/// Upper-inclusive bucket bounds shared by every histogram: powers of two
+/// up to 1024, then powers of four. One implicit overflow bucket follows,
+/// so [`HistogramSnapshot::counts`] has `BUCKET_BOUNDS.len() + 1` entries.
+///
+/// A fixed global layout keeps merged snapshots well-defined: histograms
+/// from different shards always align bucket-for-bucket.
+pub const BUCKET_BOUNDS: [u64; 17] = [
+    1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096, 16384, 65536, 262144, 1048576, 4194304,
+];
+
+/// The bucket index a value falls into (the overflow bucket is
+/// `BUCKET_BOUNDS.len()`).
+pub fn bucket_index(value: u64) -> usize {
+    BUCKET_BOUNDS
+        .iter()
+        .position(|bound| value <= *bound)
+        .unwrap_or(BUCKET_BOUNDS.len())
+}
+
+/// The state of one fixed-bucket histogram. Sums and counts are exact
+/// `u64`s, so snapshots are `Eq` and merging is associative and
+/// commutative — the property the `merge(k) == run(1)` telemetry
+/// invariant rests on.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts (`BUCKET_BOUNDS.len() + 1` entries,
+    /// last = overflow).
+    pub counts: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+    /// Largest observed value.
+    pub max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            counts: vec![0; BUCKET_BOUNDS.len() + 1],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Records one observation.
+    pub fn observe(&mut self, value: u64) {
+        self.counts[bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Mean observed value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Folds another histogram in (bucket-wise addition).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Aggregated wall-clock timings for one span/timing name.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct TimingStat {
+    /// Number of observations.
+    pub count: u64,
+    /// Total observed nanoseconds.
+    pub total_nanos: u64,
+    /// Largest single observation.
+    pub max_nanos: u64,
+}
+
+impl TimingStat {
+    /// Records one duration.
+    pub fn observe(&mut self, nanos: u64) {
+        self.count += 1;
+        self.total_nanos = self.total_nanos.saturating_add(nanos);
+        self.max_nanos = self.max_nanos.max(nanos);
+    }
+
+    /// Mean nanoseconds per observation (0 when empty).
+    pub fn mean_nanos(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_nanos as f64 / self.count as f64
+        }
+    }
+
+    /// Folds another stat in.
+    pub fn merge(&mut self, other: &TimingStat) {
+        self.count += other.count;
+        self.total_nanos = self.total_nanos.saturating_add(other.total_nanos);
+        self.max_nanos = self.max_nanos.max(other.max_nanos);
+    }
+}
+
+/// A point-in-time copy of everything an [`Aggregator`] has seen.
+///
+/// Metric keys are `name` or `name{k=v,...}` when labels were supplied
+/// (label order as emitted — instrumented code uses a fixed order).
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct Snapshot {
+    /// Monotonic counters (deterministic channel).
+    pub counters: BTreeMap<String, u64>,
+    /// Last-written gauges (wall-clock channel).
+    pub gauges: BTreeMap<String, f64>,
+    /// Fixed-bucket histograms (deterministic channel).
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Structured-event occurrence counts, keyed by event name
+    /// (deterministic channel).
+    pub events: BTreeMap<String, u64>,
+    /// Wall-clock timing stats (wall-clock channel).
+    pub timings: BTreeMap<String, TimingStat>,
+}
+
+/// The deterministic half of a [`Snapshot`]: logical counters, histograms
+/// and event counts only. `Eq`, so tests can assert bit-identity across
+/// thread counts and shardings; gauges and timings (wall-clock channel)
+/// are deliberately absent.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct DeterministicSnapshot {
+    /// Monotonic counters.
+    pub counters: BTreeMap<String, u64>,
+    /// Fixed-bucket histograms.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Event occurrence counts.
+    pub events: BTreeMap<String, u64>,
+}
+
+impl Snapshot {
+    /// The comparable (schedule-independent) part of this snapshot.
+    pub fn deterministic(&self) -> DeterministicSnapshot {
+        DeterministicSnapshot {
+            counters: self.counters.clone(),
+            histograms: self.histograms.clone(),
+            events: self.events.clone(),
+        }
+    }
+
+    /// Folds another snapshot in: counters/histograms/events/timings add,
+    /// gauges take the other side's value (last write wins).
+    ///
+    /// Merging per-shard snapshots yields the same deterministic channel
+    /// as one unsharded run — addition is associative and commutative.
+    pub fn merge(&mut self, other: &Snapshot) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            self.gauges.insert(k.clone(), *v);
+        }
+        for (k, v) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(v);
+        }
+        for (k, v) in &other.events {
+            *self.events.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.timings {
+            self.timings.entry(k.clone()).or_default().merge(v);
+        }
+    }
+
+    /// `true` iff nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.histograms.is_empty()
+            && self.events.is_empty()
+            && self.timings.is_empty()
+    }
+
+    /// A human-readable multi-line summary (deterministic metrics first,
+    /// wall-clock metrics clearly separated).
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            for (k, v) in &self.counters {
+                let _ = writeln!(out, "  {k:<44} {v}");
+            }
+        }
+        if !self.events.is_empty() {
+            out.push_str("events:\n");
+            for (k, v) in &self.events {
+                let _ = writeln!(out, "  {k:<44} {v}");
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("histograms:\n");
+            for (k, h) in &self.histograms {
+                let _ = writeln!(
+                    out,
+                    "  {k:<44} count={} mean={:.1} max={}",
+                    h.count,
+                    h.mean(),
+                    h.max
+                );
+            }
+        }
+        if !self.gauges.is_empty() || !self.timings.is_empty() {
+            out.push_str("wall-clock (not compared):\n");
+            for (k, v) in &self.gauges {
+                let _ = writeln!(out, "  {k:<44} {v:.3}");
+            }
+            for (k, t) in &self.timings {
+                let _ = writeln!(
+                    out,
+                    "  {k:<44} count={} mean={:.0}ns max={}ns",
+                    t.count,
+                    t.mean_nanos(),
+                    t.max_nanos
+                );
+            }
+        }
+        if out.is_empty() {
+            out.push_str("(no telemetry recorded)\n");
+        }
+        out
+    }
+
+    /// Serializes the snapshot as JSONL: one line per metric, in the same
+    /// shapes the [`JsonlRecorder`](crate::JsonlRecorder) streams, plus
+    /// `{"type":"summary",...}` lines for histograms and timings.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in &self.counters {
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"counter\",\"name\":\"{}\",\"value\":{v}}}",
+                json_escape(k)
+            );
+        }
+        for (k, v) in &self.events {
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"event-count\",\"name\":\"{}\",\"value\":{v}}}",
+                json_escape(k)
+            );
+        }
+        for (k, h) in &self.histograms {
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"summary\",\"name\":\"{}\",\"count\":{},\"sum\":{},\"max\":{}}}",
+                json_escape(k),
+                h.count,
+                h.sum,
+                h.max
+            );
+        }
+        for (k, v) in &self.gauges {
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"gauge\",\"name\":\"{}\",\"value\":{}}}",
+                json_escape(k),
+                if v.is_finite() {
+                    format!("{v}")
+                } else {
+                    "null".into()
+                }
+            );
+        }
+        for (k, t) in &self.timings {
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"timing-summary\",\"name\":\"{}\",\"count\":{},\"total_nanos\":{},\"max_nanos\":{}}}",
+                json_escape(k),
+                t.count,
+                t.total_nanos,
+                t.max_nanos
+            );
+        }
+        out
+    }
+}
+
+/// A thread-safe in-memory [`Recorder`]: one mutex around a [`Snapshot`].
+///
+/// Contention is negligible at the rates instrumented code emits
+/// (per-round and per-point, not per-message), and a single plain mutex
+/// keeps the aggregation logic obviously correct.
+#[derive(Debug, Default)]
+pub struct Aggregator {
+    state: Mutex<Snapshot>,
+}
+
+impl Aggregator {
+    /// An empty aggregator.
+    pub fn new() -> Self {
+        Aggregator::default()
+    }
+
+    /// Copies out everything recorded so far.
+    pub fn snapshot(&self) -> Snapshot {
+        self.state.lock().expect("aggregator lock poisoned").clone()
+    }
+}
+
+/// Builds the metric key `name` or `name{k=v,...}`.
+fn keyed(name: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return name.to_string();
+    }
+    let mut key = String::with_capacity(name.len() + 16);
+    key.push_str(name);
+    key.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            key.push(',');
+        }
+        key.push_str(k);
+        key.push('=');
+        key.push_str(v);
+    }
+    key.push('}');
+    key
+}
+
+impl Recorder for Aggregator {
+    fn counter(&self, name: &str, delta: u64, labels: &[(&str, &str)]) {
+        let mut state = self.state.lock().expect("aggregator lock poisoned");
+        // Fast path for unlabeled metrics (the overwhelmingly common case
+        // on the engine's per-round hot path): look up by `&str` first so
+        // the key `String` is only allocated on the first observation.
+        if labels.is_empty() {
+            if let Some(c) = state.counters.get_mut(name) {
+                *c += delta;
+                return;
+            }
+        }
+        *state.counters.entry(keyed(name, labels)).or_insert(0) += delta;
+    }
+
+    fn gauge(&self, name: &str, value: f64, labels: &[(&str, &str)]) {
+        let mut state = self.state.lock().expect("aggregator lock poisoned");
+        if labels.is_empty() {
+            if let Some(g) = state.gauges.get_mut(name) {
+                *g = value;
+                return;
+            }
+        }
+        state.gauges.insert(keyed(name, labels), value);
+    }
+
+    fn histogram(&self, name: &str, value: u64, labels: &[(&str, &str)]) {
+        let mut state = self.state.lock().expect("aggregator lock poisoned");
+        if labels.is_empty() {
+            if let Some(h) = state.histograms.get_mut(name) {
+                h.observe(value);
+                return;
+            }
+        }
+        state
+            .histograms
+            .entry(keyed(name, labels))
+            .or_default()
+            .observe(value);
+    }
+
+    fn event(&self, name: &str, _fields: &[(&str, FieldValue)]) {
+        let mut state = self.state.lock().expect("aggregator lock poisoned");
+        if let Some(c) = state.events.get_mut(name) {
+            *c += 1;
+            return;
+        }
+        state.events.insert(name.to_string(), 1);
+    }
+
+    fn timing(&self, name: &str, nanos: u64, labels: &[(&str, &str)]) {
+        let mut state = self.state.lock().expect("aggregator lock poisoned");
+        if labels.is_empty() {
+            if let Some(t) = state.timings.get_mut(name) {
+                t.observe(nanos);
+                return;
+            }
+        }
+        state
+            .timings
+            .entry(keyed(name, labels))
+            .or_default()
+            .observe(nanos);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_layout_is_monotonic_and_total() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(1024), 10);
+        assert_eq!(bucket_index(1025), 11);
+        assert_eq!(bucket_index(u64::MAX), BUCKET_BOUNDS.len());
+        for pair in BUCKET_BOUNDS.windows(2) {
+            assert!(pair[0] < pair[1]);
+        }
+    }
+
+    #[test]
+    fn aggregator_sums_counters_and_buckets_histograms() {
+        let agg = Aggregator::new();
+        agg.counter("msgs", 3, &[]);
+        agg.counter("msgs", 4, &[]);
+        agg.counter("msgs", 1, &[("shard", "1")]);
+        agg.histogram("rounds", 3, &[]);
+        agg.histogram("rounds", 5000, &[]);
+        agg.event("corrupt", &[("round", 1u64.into())]);
+        agg.event("corrupt", &[("round", 2u64.into())]);
+        let snap = agg.snapshot();
+        assert_eq!(snap.counters["msgs"], 7);
+        assert_eq!(snap.counters["msgs{shard=1}"], 1);
+        let h = &snap.histograms["rounds"];
+        assert_eq!((h.count, h.sum, h.max), (2, 5003, 5000));
+        assert_eq!(h.counts[bucket_index(3)], 1);
+        assert_eq!(h.counts[bucket_index(5000)], 1);
+        assert_eq!(snap.events["corrupt"], 2);
+        assert!((snap.histograms["rounds"].mean() - 2501.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_of_parts_equals_the_whole() {
+        // The shard-merge property in miniature: recording a stream on one
+        // aggregator equals recording its halves on two and merging.
+        let whole = Aggregator::new();
+        let a = Aggregator::new();
+        let b = Aggregator::new();
+        for i in 0..100u64 {
+            let part = if i % 2 == 0 { &a } else { &b };
+            for rec in [&whole, part] {
+                rec.counter("c", i, &[]);
+                rec.histogram("h", i * 37 % 4096, &[]);
+                rec.event("e", &[]);
+                rec.timing("t", i * 11, &[]);
+            }
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.deterministic(), whole.snapshot().deterministic());
+        // Timings merge too (though they are never *compared*).
+        assert_eq!(merged.timings["t"].count, 100);
+    }
+
+    #[test]
+    fn deterministic_snapshot_excludes_wall_clock() {
+        let agg = Aggregator::new();
+        agg.counter("c", 1, &[]);
+        agg.gauge("utilization", 0.5, &[]);
+        agg.timing("wall", 123, &[]);
+        let det = agg.snapshot().deterministic();
+        assert_eq!(det.counters.len(), 1);
+        // A second run with wildly different wall-clock values is still
+        // deterministically equal.
+        let agg2 = Aggregator::new();
+        agg2.counter("c", 1, &[]);
+        agg2.gauge("utilization", 0.9, &[]);
+        agg2.timing("wall", 456789, &[]);
+        assert_eq!(det, agg2.snapshot().deterministic());
+    }
+
+    #[test]
+    fn render_and_jsonl_are_stable_and_parseable() {
+        let agg = Aggregator::new();
+        agg.counter("campaign.points", 8, &[]);
+        agg.histogram("exec.decision.rounds", 3, &[]);
+        agg.gauge("campaign.utilization", 0.75, &[]);
+        agg.timing("campaign.point.wall", 1000, &[]);
+        let snap = agg.snapshot();
+        let text = snap.render_text();
+        assert!(text.contains("campaign.points"));
+        assert!(text.contains("wall-clock (not compared):"));
+        for line in snap.to_jsonl().lines() {
+            assert!(
+                crate::parse_json_line(line).is_some(),
+                "unparseable jsonl line: {line}"
+            );
+        }
+        assert!(Snapshot::default().is_empty());
+        assert!(!snap.is_empty());
+    }
+}

@@ -8,7 +8,17 @@
 //! trajectory and the best genome are therefore bit-identical for a given
 //! seed regardless of the worker-thread count — the property the
 //! determinism regression pins.
+//!
+//! With a [`SearchConfig::recorder`] attached, the driver emits
+//! iteration/acceptance telemetry (`search.evals`, `search.batches`,
+//! `search.accepts` counters; `search.batch` and `search.done` events;
+//! a `search.violations` counter on early stop). All recorded values are
+//! logical search state — the deterministic channel — so aggregated
+//! snapshots are as thread-count-independent as the trajectory itself.
 
+use std::sync::Arc;
+
+use ba_obs::{NoopRecorder, Recorder};
 use ba_sim::{par_map, Bit, ScenarioStats, SimError, SimRng};
 
 use crate::genome::{GenomeSpace, StrategyGenome};
@@ -36,7 +46,7 @@ impl std::fmt::Display for SearchAlgo {
 }
 
 /// Driver parameters. One seed replays the whole search.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct SearchConfig {
     /// Master seed: genomes, mutations, and acceptance draws all derive
     /// from it.
@@ -54,6 +64,26 @@ pub struct SearchConfig {
     pub temperature: f64,
     /// Per-batch geometric cooling factor in `(0, 1]`.
     pub cooling: f64,
+    /// Telemetry sink for iteration/acceptance events (`None` = off).
+    /// Observation-only: every recorded quantity is derived from the
+    /// deterministic search state, so snapshots are bit-identical across
+    /// thread counts.
+    pub recorder: Option<Arc<dyn Recorder>>,
+}
+
+impl std::fmt::Debug for SearchConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SearchConfig")
+            .field("seed", &self.seed)
+            .field("max_evals", &self.max_evals)
+            .field("lambda", &self.lambda)
+            .field("threads", &self.threads)
+            .field("algo", &self.algo)
+            .field("temperature", &self.temperature)
+            .field("cooling", &self.cooling)
+            .field("recorder", &self.recorder.is_some())
+            .finish()
+    }
 }
 
 impl SearchConfig {
@@ -68,6 +98,7 @@ impl SearchConfig {
             algo: SearchAlgo::HillClimb,
             temperature: 8.0,
             cooling: 0.95,
+            recorder: None,
         }
     }
 
@@ -92,6 +123,12 @@ impl SearchConfig {
     /// Selects the driver.
     pub fn with_algo(mut self, algo: SearchAlgo) -> Self {
         self.algo = algo;
+        self
+    }
+
+    /// Attaches a telemetry recorder (see [`SearchConfig::recorder`]).
+    pub fn with_recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.recorder = Some(recorder);
         self
     }
 }
@@ -144,11 +181,16 @@ where
 {
     let mut rng = SimRng::seed_from_u64(cfg.seed);
     let mut temperature = cfg.temperature.max(f64::MIN_POSITIVE);
+    let recorder: &dyn Recorder = match &cfg.recorder {
+        Some(r) => r.as_ref(),
+        None => &NoopRecorder,
+    };
 
     let mut current = space.random_genome(&mut rng);
     let mut current_stats = eval(&current)?;
     let mut current_score = objective.score(&current_stats);
     let mut evals = 1;
+    recorder.counter("search.evals", 1, &[]);
 
     let mut best = current.clone();
     let mut best_stats = current_stats.clone();
@@ -177,6 +219,7 @@ where
 
         // Score and accept strictly in batch order.
         let mut moved = false;
+        let mut accepted = 0u64;
         for (genome, result) in results {
             let stats = result?;
             let score = objective.score(&stats);
@@ -197,6 +240,7 @@ where
                 current_stats = stats;
                 current_score = score;
                 moved = true;
+                accepted += 1;
             }
             if objective.violated(&current_stats) {
                 break;
@@ -211,6 +255,19 @@ where
             best_score,
             moved,
         });
+        recorder.counter("search.evals", batch_len as u64, &[]);
+        recorder.counter("search.batches", 1, &[]);
+        recorder.counter("search.accepts", accepted, &[]);
+        recorder.event(
+            "search.batch",
+            &[
+                ("evals", evals.into()),
+                ("current_score", current_score.into()),
+                ("best_score", best_score.into()),
+                ("moved", moved.into()),
+                ("accepted", accepted.into()),
+            ],
+        );
         // The hill-climber only tracks its own best; annealing may wander
         // below it, so the violation check runs on the global best.
         if objective.violated(&current_stats) && !objective.violated(&best_stats) {
@@ -221,6 +278,18 @@ where
     }
 
     let violation = objective.violated(&best_stats);
+    if violation {
+        recorder.counter("search.violations", 1, &[]);
+    }
+    recorder.event(
+        "search.done",
+        &[
+            ("evals", evals.into()),
+            ("best_score", best_score.into()),
+            ("violation", violation.into()),
+            ("batches", trajectory.len().into()),
+        ],
+    );
     Ok(SearchOutcome {
         best,
         best_score,
@@ -287,6 +356,37 @@ mod tests {
             let parallel = run(8);
             assert_eq!(serial, parallel, "{algo} must not depend on threads");
         }
+    }
+
+    #[test]
+    fn telemetry_is_observation_only_and_thread_deterministic() {
+        use ba_obs::Aggregator;
+
+        let space = GenomeSpace::new(5, 2, 8);
+        let base = || SearchConfig::new(7).with_max_evals(120).with_lambda(8);
+        let run = |threads: usize| {
+            let agg = Arc::new(Aggregator::new());
+            let cfg = base().with_threads(threads).with_recorder(agg.clone());
+            let outcome = search(&space, &MessageComplexity, &cfg, synthetic).unwrap();
+            (outcome, agg.snapshot().deterministic())
+        };
+        let (serial, snap1) = run(1);
+        let (parallel, snap8) = run(8);
+        // Deterministic telemetry is bit-identical across thread counts.
+        assert_eq!(snap1, snap8);
+        assert_eq!(serial, parallel);
+        // Recording changes nothing about the search itself.
+        let plain = search(&space, &MessageComplexity, &base(), synthetic).unwrap();
+        assert_eq!(plain, serial);
+        // Counters mirror the outcome's logical quantities.
+        assert_eq!(snap1.counters["search.evals"], serial.evals as u64);
+        assert_eq!(
+            snap1.counters["search.batches"],
+            serial.trajectory.len() as u64
+        );
+        assert_eq!(snap1.events["search.batch"], serial.trajectory.len() as u64);
+        assert_eq!(snap1.events["search.done"], 1);
+        assert!(snap1.counters["search.accepts"] >= 1);
     }
 
     #[test]

@@ -16,6 +16,11 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use ba_obs::Recorder;
 
 use crate::error::SimError;
 use crate::execution::Execution;
@@ -76,11 +81,23 @@ impl fmt::Display for CampaignPoint {
 }
 
 /// A grid of scenarios to sweep in parallel.
-#[derive(Clone, PartialEq, Eq, Debug, Default)]
+#[derive(Clone, Default)]
 pub struct Campaign {
     points: Vec<CampaignPoint>,
     threads: usize,
     trace_mode: Option<TraceMode>,
+    recorder: Option<Arc<dyn Recorder>>,
+}
+
+impl fmt::Debug for Campaign {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Campaign")
+            .field("points", &self.points)
+            .field("threads", &self.threads)
+            .field("trace_mode", &self.trace_mode)
+            .field("recorder", &self.recorder.is_some())
+            .finish()
+    }
 }
 
 impl Campaign {
@@ -93,8 +110,7 @@ impl Campaign {
     pub fn over(points: impl IntoIterator<Item = CampaignPoint>) -> Self {
         Campaign {
             points: points.into_iter().collect(),
-            threads: 0,
-            trace_mode: None,
+            ..Campaign::default()
         }
     }
 
@@ -119,8 +135,7 @@ impl Campaign {
         }
         Campaign {
             points,
-            threads: 0,
-            trace_mode: None,
+            ..Campaign::default()
         }
     }
 
@@ -144,6 +159,19 @@ impl Campaign {
     /// point opted into [`TraceMode::Full`].
     pub fn trace_mode(mut self, mode: TraceMode) -> Self {
         self.trace_mode = Some(mode);
+        self
+    }
+
+    /// Installs a telemetry [`Recorder`] on the sweep. Per-point logical
+    /// counters (points, messages, rounds, violations, errors) go to the
+    /// deterministic channel; per-point wall time, total sweep wall time,
+    /// and worker-pool utilization go to the wall-clock channel. The
+    /// recorder is also threaded into every scenario
+    /// ([`ProtocolScenario::recorder`](crate::ProtocolScenario::recorder)),
+    /// so executor-level telemetry is captured too. Observation-only:
+    /// reports are bit-identical with recording on or off.
+    pub fn recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.recorder = Some(recorder);
         self
     }
 
@@ -173,10 +201,36 @@ impl Campaign {
         R: Send,
         F: Fn(&CampaignPoint) -> R + Sync,
     {
-        par_map(self.points, self.threads, |_, point| {
+        let recorder = self.recorder;
+        let meter = recorder
+            .as_ref()
+            .map(|_| SweepMeter::start(&self.points, self.threads));
+        let results = par_map(self.points, self.threads, |i, point| {
+            let started = recorder.as_ref().map(|_| Instant::now());
             let result = job(&point);
+            if let (Some(r), Some(started)) = (&recorder, started) {
+                let nanos = elapsed_nanos(started);
+                r.timing("campaign.point.wall", nanos, &[]);
+                r.counter("campaign.points", 1, &[]);
+                r.event(
+                    "campaign.point.done",
+                    &[
+                        ("index", i.into()),
+                        ("messages", 0u64.into()),
+                        ("rounds", 0u64.into()),
+                        ("ok", true.into()),
+                    ],
+                );
+                if let Some(m) = &meter {
+                    m.busy_nanos.fetch_add(nanos, Ordering::Relaxed);
+                }
+            }
             (point, result)
-        })
+        });
+        if let (Some(r), Some(meter)) = (&recorder, meter) {
+            meter.finish(r.as_ref());
+        }
+        results
     }
 
     /// Builds one scenario per grid point (via `build`), executes them all
@@ -193,15 +247,102 @@ impl Campaign {
         B: Fn(&CampaignPoint) -> ProtocolScenario<'static, P, F> + Sync,
     {
         let forced_mode = self.trace_mode;
-        let outcomes = par_map(self.points, self.threads, |_, point| {
+        let recorder = self.recorder;
+        let meter = recorder
+            .as_ref()
+            .map(|_| SweepMeter::start(&self.points, self.threads));
+        let outcomes = par_map(self.points, self.threads, |i, point| {
             let mut scenario = build(&point);
             if let Some(mode) = forced_mode {
                 scenario = scenario.trace_mode(mode);
             }
+            if let Some(r) = &recorder {
+                scenario = scenario.recorder(r.clone());
+            }
+            let started = recorder.as_ref().map(|_| Instant::now());
             let result = scenario.run_report();
+            if let Some(r) = &recorder {
+                record_point(r.as_ref(), i, &result);
+                if let (Some(m), Some(started)) = (&meter, started) {
+                    let nanos = elapsed_nanos(started);
+                    r.timing("campaign.point.wall", nanos, &[]);
+                    m.busy_nanos.fetch_add(nanos, Ordering::Relaxed);
+                }
+            }
             ScenarioOutcome { point, result }
         });
+        if let (Some(r), Some(meter)) = (&recorder, meter) {
+            meter.finish(r.as_ref());
+        }
         CampaignReport { outcomes }
+    }
+}
+
+/// Nanoseconds since `started`, saturating on the (theoretical) overflow.
+fn elapsed_nanos(started: Instant) -> u64 {
+    u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Records one completed grid point's deterministic counters, plus a
+/// `campaign.point.done` event carrying the point's grid index — the hook
+/// progress streamers (the `campaign_worker --progress` recorder) key on.
+fn record_point<O>(
+    recorder: &dyn Recorder,
+    index: usize,
+    result: &Result<ScenarioStats<O>, SimError>,
+) {
+    recorder.counter("campaign.points", 1, &[]);
+    let (messages, rounds, ok) = match result {
+        Ok(stats) => {
+            recorder.counter("campaign.messages", stats.total_messages, &[]);
+            recorder.histogram("campaign.point.messages", stats.total_messages, &[]);
+            recorder.histogram("campaign.point.rounds", stats.rounds, &[]);
+            if !stats.violations.is_empty() {
+                recorder.counter("campaign.violations", stats.violations.len() as u64, &[]);
+            }
+            (stats.total_messages, stats.rounds, true)
+        }
+        Err(_) => {
+            recorder.counter("campaign.errors", 1, &[]);
+            (0, 0, false)
+        }
+    };
+    recorder.event(
+        "campaign.point.done",
+        &[
+            ("index", index.into()),
+            ("messages", messages.into()),
+            ("rounds", rounds.into()),
+            ("ok", ok.into()),
+        ],
+    );
+}
+
+/// Wall-clock sweep accounting: total sweep time plus worker-pool
+/// utilization (busy point-time over pool capacity). Wall channel only.
+struct SweepMeter {
+    started: Instant,
+    busy_nanos: AtomicU64,
+    workers: usize,
+}
+
+impl SweepMeter {
+    fn start(points: &[CampaignPoint], threads: usize) -> Self {
+        SweepMeter {
+            started: Instant::now(),
+            busy_nanos: AtomicU64::new(0),
+            workers: crate::par::resolve_threads(threads, points.len()),
+        }
+    }
+
+    fn finish(self, recorder: &dyn Recorder) {
+        let elapsed = elapsed_nanos(self.started);
+        recorder.timing("campaign.sweep.wall", elapsed, &[]);
+        let capacity = elapsed.saturating_mul(self.workers as u64);
+        if capacity > 0 {
+            let busy = self.busy_nanos.load(Ordering::Relaxed);
+            recorder.gauge("campaign.utilization", busy as f64 / capacity as f64, &[]);
+        }
     }
 }
 

@@ -267,7 +267,15 @@ where
 
         let directives = model.begin_round(view!(round));
         if !directives.is_empty() {
-            apply_directives(directives, &mut corrupted, &mut charged, cap, n)?;
+            apply_directives::<P, S>(
+                directives,
+                &mut corrupted,
+                &mut charged,
+                cap,
+                n,
+                round,
+                &mut sink,
+            )?;
         }
 
         if !reorders {
@@ -375,14 +383,22 @@ where
 /// `|charged|` may never exceed the model's validated cap (itself ≤ `t`).
 /// The reported bound is the *violated* one — the cap the model declared —
 /// not the scenario's `t`, so the diagnostic stays truthful when a model
-/// overruns a budget smaller than `t`.
-fn apply_directives(
+/// overruns a budget smaller than `t`. Set changes are reported to the
+/// sink's (default no-op) directive hooks, in directive order.
+#[allow(clippy::too_many_arguments)]
+fn apply_directives<P, S>(
     directives: Vec<FaultDirective>,
     corrupted: &mut BTreeSet<ProcessId>,
     charged: &mut BTreeSet<ProcessId>,
     cap: usize,
     n: usize,
-) -> Result<(), SimError> {
+    round: Round,
+    sink: &mut S,
+) -> Result<(), SimError>
+where
+    P: Protocol,
+    S: TraceSink<P>,
+{
     for directive in directives {
         match directive {
             FaultDirective::Corrupt(p) => {
@@ -395,10 +411,14 @@ fn apply_directives(
                         t: cap,
                     });
                 }
-                corrupted.insert(p);
+                if corrupted.insert(p) {
+                    sink.corrupted(round, p);
+                }
             }
             FaultDirective::Release(p) => {
-                corrupted.remove(&p);
+                if corrupted.remove(&p) {
+                    sink.released(round, p);
+                }
             }
         }
     }

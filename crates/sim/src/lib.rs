@@ -135,6 +135,7 @@ mod protocol;
 mod rng;
 mod scenario;
 mod sink;
+mod telemetry;
 mod trace;
 mod value;
 
@@ -165,6 +166,7 @@ pub use scenario::{
     ScenarioResult,
 };
 pub use sink::{FullTrace, RunSummary, StatsSink, TraceMode, TraceSink};
+pub use telemetry::RecordingSink;
 pub use trace::{
     first_inbox_divergence, render_divergence, render_execution, round_stats, RoundStats,
 };

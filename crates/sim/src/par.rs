@@ -15,7 +15,7 @@ use std::sync::Mutex;
 
 /// The number of workers to use when the caller asked for "auto" (`0`):
 /// the machine's available parallelism, capped by the number of items.
-fn resolve_threads(requested: usize, items: usize) -> usize {
+pub(crate) fn resolve_threads(requested: usize, items: usize) -> usize {
     let hw = std::thread::available_parallelism().map_or(1, usize::from);
     let chosen = if requested == 0 { hw } else { requested };
     chosen.clamp(1, items.max(1))

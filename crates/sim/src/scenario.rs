@@ -8,6 +8,9 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::sync::Arc;
+
+use ba_obs::Recorder;
 
 use crate::byzantine::ByzantineBehavior;
 use crate::campaign::ScenarioStats;
@@ -22,6 +25,7 @@ use crate::ids::{ProcessId, Round};
 use crate::plan::{CrashPlan, IsolationPlan, OmissionPlan};
 use crate::protocol::Protocol;
 use crate::sink::{FullTrace, StatsSink, TraceMode, TraceSink};
+use crate::telemetry::RecordingSink;
 use crate::value::{Payload, Value};
 
 /// A boxed omission strategy, as accepted by [`Adversary::omission`].
@@ -339,6 +343,7 @@ impl Scenario {
             factory,
             inputs: None,
             adversary: Adversary::none(),
+            recorder: None,
         }
     }
 
@@ -365,6 +370,7 @@ pub struct ProtocolScenario<'a, P: Protocol, F> {
     factory: F,
     inputs: Option<Vec<P::Input>>,
     adversary: Adversary<'a, P::Input, P::Msg>,
+    recorder: Option<Arc<dyn Recorder>>,
 }
 
 impl<'a, P, F> ProtocolScenario<'a, P, F>
@@ -407,6 +413,15 @@ where
     /// and [`Campaign`](crate::Campaign) sweeps.
     pub fn trace_mode(mut self, mode: TraceMode) -> Self {
         self.base = self.base.trace_mode(mode);
+        self
+    }
+
+    /// Installs a telemetry [`Recorder`]: the run's sink is wrapped in a
+    /// [`RecordingSink`], mirroring per-round traffic and fault-directive
+    /// events into the recorder. Recording is **observation-only** — every
+    /// entry point produces bit-identical results with or without it.
+    pub fn recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.recorder = Some(recorder);
         self
     }
 
@@ -455,12 +470,21 @@ where
 
     /// Drives the execution with a caller-provided [`TraceSink`] — the
     /// extension point behind [`ProtocolScenario::run`] ([`FullTrace`]) and
-    /// [`ProtocolScenario::run_stats`] ([`StatsSink`]).
+    /// [`ProtocolScenario::run_stats`] ([`StatsSink`]). A configured
+    /// [`recorder`](ProtocolScenario::recorder) wraps the sink in a
+    /// [`RecordingSink`] first.
     ///
     /// # Errors
     ///
     /// As [`ProtocolScenario::run`].
-    pub fn run_with_sink<S: TraceSink<P>>(self, sink: S) -> Result<S::Output, SimError> {
+    pub fn run_with_sink<S: TraceSink<P>>(mut self, sink: S) -> Result<S::Output, SimError> {
+        match self.recorder.take() {
+            Some(recorder) => self.execute(RecordingSink::new(sink, recorder)),
+            None => self.execute(sink),
+        }
+    }
+
+    fn execute<S: TraceSink<P>>(self, sink: S) -> Result<S::Output, SimError> {
         let cfg = self.base.resolve_config()?;
         let inputs = self.inputs.ok_or(SimError::ProposalCount {
             got: 0,

@@ -115,6 +115,15 @@ pub trait TraceSink<P: Protocol> {
     /// the engine reuses the buffer for the next round.
     fn absorb_inbox(&mut self, round: Round, receiver: ProcessId, inbox: &mut Inbox<P::Msg>);
 
+    /// A fault directive took effect entering `round`: `process` joined the
+    /// corruption set (and was charged against the budget if newly
+    /// corrupted). Default: ignored — only observability sinks care.
+    fn corrupted(&mut self, _round: Round, _process: ProcessId) {}
+
+    /// A fault directive released `process` from the corruption set
+    /// entering `round` (mobile adversaries). Default: ignored.
+    fn released(&mut self, _round: Round, _process: ProcessId) {}
+
     /// Closes the run and produces the output.
     fn finish(self, summary: RunSummary<P>) -> Self::Output;
 }

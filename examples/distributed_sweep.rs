@@ -4,11 +4,20 @@
 //!
 //! ```text
 //! cargo build -p ba-bench --bin campaign_worker   # the worker
-//! cargo run -p ba-examples --example distributed_sweep [SHARDS]
+//! cargo run -p ba-examples --example distributed_sweep [SHARDS] [--progress FILE]
 //! ```
 //!
 //! The worker binary is located automatically (next to this example's own
 //! executable under `target/`), or explicitly via `$CAMPAIGN_WORKER`.
+//!
+//! With `--progress FILE`, workers run with `--progress` and the
+//! coordinator's observer appends every streamed [`ba_dist::CoordEvent`] to
+//! FILE as JSONL — the capture `campaign_watch --once` summarizes and CI
+//! uploads as an artifact. Telemetry is observation-only: the merged report
+//! is bit-identical with or without it.
+
+use std::io::Write as _;
+use std::sync::Mutex;
 
 use ba_bench::dist::scenario_campaign_report;
 use ba_dist::{plan_shards, Coordinator, SweepSpec, WorkerCommand};
@@ -16,10 +25,27 @@ use ba_examples::banner;
 use ba_sim::Campaign;
 
 fn main() {
-    let shards: usize = std::env::args()
-        .nth(1)
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(2);
+    let mut shards: usize = 2;
+    let mut progress_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--progress" => {
+                progress_path = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--progress needs a file path");
+                    std::process::exit(1);
+                }));
+            }
+            other => match other.parse() {
+                Ok(count) => shards = count,
+                Err(_) => {
+                    eprintln!("unknown argument {other:?}");
+                    eprintln!("usage: distributed_sweep [SHARDS] [--progress FILE]");
+                    std::process::exit(1);
+                }
+            },
+        }
+    }
 
     print!("{}", banner("Distributed campaign sharding"));
     let Some(worker) = WorkerCommand::locate() else {
@@ -58,10 +84,23 @@ fn main() {
     }
 
     // Fan out: one worker process per shard, reports streamed back and
-    // merged in grid order.
-    let report = Coordinator::new(worker, shards)
-        .run_campaign(&spec)
-        .expect("distributed sweep");
+    // merged in grid order. With --progress, per-point telemetry from the
+    // workers is captured as JSONL on the side.
+    let coordinator = match &progress_path {
+        Some(path) => {
+            let file = Mutex::new(std::fs::File::create(path).unwrap_or_else(|e| {
+                eprintln!("creating {path}: {e}");
+                std::process::exit(1);
+            }));
+            println!("streaming progress JSONL to {path}");
+            Coordinator::new(worker.with_progress(true), shards).on_event(move |event| {
+                let mut file = file.lock().expect("progress file lock");
+                let _ = writeln!(file, "{}", event.to_json_line());
+            })
+        }
+        None => Coordinator::new(worker, shards),
+    };
+    let report = coordinator.run_campaign(&spec).expect("distributed sweep");
 
     print!("{}", banner("Merged report (grid order)"));
     print!("{}", report.summary());
