@@ -21,12 +21,18 @@
 //! Everything shown derives from worker wall-clock timings — the
 //! non-compared telemetry channel; deterministic results travel in the wire
 //! report, untouched.
+//!
+//! The filter is byte-safe: a chaos-garbled stream can interleave non-UTF8
+//! or truncated lines, and those pass through to stdout as opaque bytes
+//! (never dropped, never a crash) while a `malformed_lines` gauge counts
+//! them in the dashboard and summary.
 
 use std::io::{BufRead, BufReader, Write};
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
 use ba_dist::{CoordEvent, LiveAggregates};
+use ba_obs::parse_json_line;
 
 /// Minimum delay between live repaints.
 const REPAINT_EVERY: Duration = Duration::from_millis(100);
@@ -61,9 +67,43 @@ fn run() -> Result<(), String> {
         )),
         None => Box::new(stdin.lock()),
     };
-    for line in reader.lines() {
-        let line = line.map_err(|e| format!("reading input: {e}"))?;
-        match CoordEvent::parse(&line) {
+    // Byte-oriented reading: chaos-garbled streams interleave non-UTF8
+    // lines, and `lines()` would error out on the first one. Every
+    // non-telemetry line — including garbled bytes — passes through to
+    // stdout verbatim.
+    let mut reader = reader;
+    let mut raw = Vec::new();
+    loop {
+        raw.clear();
+        let n = reader
+            .read_until(b'\n', &mut raw)
+            .map_err(|e| format!("reading input: {e}"))?;
+        if n == 0 {
+            break;
+        }
+        let trimmed: &[u8] = raw
+            .strip_suffix(b"\n")
+            .map(|r| r.strip_suffix(b"\r").unwrap_or(r))
+            .unwrap_or(&raw);
+        let event = match std::str::from_utf8(trimmed) {
+            Ok(text) => match CoordEvent::parse(text) {
+                Some(event) => Some(event),
+                None => {
+                    // JSON-shaped but unparseable → corruption; anything
+                    // else (wire report lines, foreign-but-valid JSON) is
+                    // simply not ours.
+                    if text.starts_with('{') && parse_json_line(text).is_none() {
+                        live.note_malformed();
+                    }
+                    None
+                }
+            },
+            Err(_) => {
+                live.note_malformed();
+                None
+            }
+        };
+        match event {
             Some(event) => {
                 live.ingest_coord(&event);
                 let due = last_paint.map_or(true, |at| at.elapsed() >= REPAINT_EVERY);
@@ -75,9 +115,14 @@ fn run() -> Result<(), String> {
                     }
                 }
             }
-            // Anything that isn't progress telemetry (wire report lines,
-            // foreign JSON) passes through for downstream consumers.
-            None => println!("{line}"),
+            None => {
+                // Pass through as opaque bytes, newline included.
+                let mut out = std::io::stdout().lock();
+                out.write_all(&raw).map_err(|e| e.to_string())?;
+                if !raw.ends_with(b"\n") {
+                    out.write_all(b"\n").map_err(|e| e.to_string())?;
+                }
+            }
         }
     }
 

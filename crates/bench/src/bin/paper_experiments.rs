@@ -405,19 +405,16 @@ fn thm2(shards: usize) {
         "Theorem 2: falsifier verdicts and message-complexity landscape",
     );
     let worker = if shards > 1 {
-        let located = ba_dist::WorkerCommand::locate();
+        let located = ba_dist::WorkerCommand::locate_checked();
         match &located {
-            Some(w) => println!(
+            Ok(w) => println!(
                 "(sweeping via {} worker processes: {})\n",
                 shards,
                 w.program().display()
             ),
-            None => println!(
-                "(--shards {shards} requested but no campaign_worker binary found; \
-                 sweeping in-process)\n"
-            ),
+            Err(e) => println!("(--shards {shards} requested but {e}; sweeping in-process)\n"),
         }
-        located
+        located.ok()
     } else {
         None
     };

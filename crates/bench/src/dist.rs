@@ -229,6 +229,186 @@ pub fn run_manifest_recorded(
     }
 }
 
+/// [`run_manifest`] in **streaming** mode — the body of `campaign_worker
+/// --stream` and of the TCP shard server: one checksummed `outcome` wire
+/// line per completed point is handed to `emit` *as the point finishes*
+/// (from the worker threads), followed by the complete [`ShardReport`].
+/// With `progress`, a JSONL [`ProgressEvent`] line follows each outcome.
+///
+/// The trailing report is bit-identical to [`run_manifest`]'s, and every
+/// streamed outcome byte-matches the corresponding report item — streaming
+/// is pure redundancy, which is exactly what point-level recovery needs: a
+/// worker that dies after k points has already delivered those k outcomes,
+/// and the coordinator's dedup-on-merge discards the duplication when the
+/// report does arrive.
+///
+/// Every `emit` chunk is one or more complete `\n`-terminated lines;
+/// callers only need to forward chunks verbatim (per-chunk locking makes
+/// the interleaving from concurrent worker threads line-atomic).
+///
+/// # Errors
+///
+/// As [`run_manifest`]; label validation happens before anything is
+/// emitted.
+pub fn run_manifest_streaming(
+    manifest: &ShardManifest,
+    progress: bool,
+    emit: &(dyn Fn(&str) + Sync),
+) -> Result<(), String> {
+    let points: Vec<CampaignPoint> = manifest.entries.iter().map(|e| e.point.clone()).collect();
+    match manifest.mode {
+        ShardMode::Scenarios => {
+            validate_labels(&points)?;
+            with_registry_factory!(manifest.protocol.as_str(), factory => {
+                stream_scenario_entries(manifest, factory, false, progress, emit)
+            })
+        }
+        ShardMode::Search => {
+            validate_search_labels(&points)?;
+            with_registry_factory!(manifest.protocol.as_str(), factory => {
+                stream_scenario_entries(manifest, factory, true, progress, emit)
+            })
+        }
+        ShardMode::Falsifier => {
+            with_registry_factory!(manifest.protocol.as_str(), factory => {
+                stream_falsifier_entries(manifest, factory, progress, emit)
+            })
+        }
+    }
+}
+
+/// The shared per-point emission state behind [`run_manifest_streaming`]:
+/// encodes one [`ba_dist::PointOutcome`] line (plus the optional progress
+/// line) per finished point, counting completions monotonically.
+struct StreamSink<'a> {
+    emit: &'a (dyn Fn(&str) + Sync),
+    shard: usize,
+    shards: usize,
+    total: usize,
+    progress: bool,
+    done: AtomicUsize,
+    started: Instant,
+}
+
+impl<'a> StreamSink<'a> {
+    fn new(manifest: &ShardManifest, progress: bool, emit: &'a (dyn Fn(&str) + Sync)) -> Self {
+        StreamSink {
+            emit,
+            shard: manifest.shard,
+            shards: manifest.shards,
+            total: manifest.entries.len(),
+            progress,
+            done: AtomicUsize::new(0),
+            started: Instant::now(),
+        }
+    }
+
+    /// Emits the point's outcome (and progress) lines and hands the result
+    /// back for the trailing report.
+    fn point<T: Encode>(
+        &self,
+        index: usize,
+        result: Result<T, ba_sim::SimError>,
+        messages: u64,
+        rounds: u64,
+        ok: bool,
+    ) -> Result<T, ba_sim::SimError> {
+        let outcome = ba_dist::PointOutcome { index, result };
+        let mut chunk = String::new();
+        outcome.encode(&mut chunk);
+        if self.progress {
+            let event = ProgressEvent {
+                shard: self.shard,
+                shards: self.shards,
+                done: self.done.fetch_add(1, Ordering::SeqCst) + 1,
+                total: self.total,
+                index,
+                messages,
+                rounds,
+                ok,
+                elapsed_nanos: u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            };
+            chunk.push_str(&event.to_json_line());
+            chunk.push('\n');
+        }
+        (self.emit)(&chunk);
+        outcome.result
+    }
+}
+
+fn stream_scenario_entries<P, F, G>(
+    manifest: &ShardManifest,
+    factory: G,
+    search: bool,
+    progress: bool,
+    emit: &(dyn Fn(&str) + Sync),
+) where
+    P: Protocol<Input = Bit, Output = Bit>,
+    F: Fn(ProcessId) -> P + Sync,
+    G: Fn(&CampaignPoint) -> F + Sync,
+{
+    let sink = StreamSink::new(manifest, progress, emit);
+    let outcomes = ba_sim::par_map(
+        manifest.entries.clone(),
+        manifest.threads,
+        |_local, entry| {
+            let scenario = if search {
+                search_scenario_for(&entry.point, entry.seed, factory(&entry.point))
+            } else {
+                scenario_for(&entry.point, entry.seed, factory(&entry.point))
+            };
+            let result = scenario.trace_mode(TraceMode::Stats).run_report();
+            let (messages, rounds, ok) = match &result {
+                Ok(stats) => (stats.total_messages, stats.rounds, true),
+                Err(_) => (0, 0, false),
+            };
+            (
+                entry.index,
+                sink.point(entry.index, result, messages, rounds, ok),
+            )
+        },
+    );
+    emit(
+        &ShardReport {
+            shard: manifest.shard,
+            outcomes,
+        }
+        .to_wire(),
+    );
+}
+
+fn stream_falsifier_entries<P, F, G>(
+    manifest: &ShardManifest,
+    factory: G,
+    progress: bool,
+    emit: &(dyn Fn(&str) + Sync),
+) where
+    P: Protocol<Input = Bit, Output = Bit>,
+    F: Fn(ProcessId) -> P + Sync,
+    G: Fn(&CampaignPoint) -> F + Sync,
+{
+    let sink = StreamSink::new(manifest, progress, emit);
+    let outcomes = ba_sim::par_map(
+        manifest.entries.clone(),
+        manifest.threads,
+        |_local, entry| {
+            let fp = falsify_point_recorded(&entry.point, factory(&entry.point), None);
+            let messages = fp.max_message_complexity;
+            (
+                entry.index,
+                sink.point(entry.index, Ok(fp), messages, 0, true),
+            )
+        },
+    );
+    emit(
+        &ShardReport {
+            shard: manifest.shard,
+            outcomes,
+        }
+        .to_wire(),
+    );
+}
+
 /// Translates `campaign.point.done` telemetry events (emitted by the
 /// campaign runner as each grid point completes, carrying the point's
 /// shard-local index) into wire-ready [`ProgressEvent`]s: local index →
@@ -467,26 +647,7 @@ fn search_report_with<S>(
 where
     S: Fn(&CampaignPoint) -> u64 + Sync,
 {
-    for point in points {
-        match genome_from_label(&point.adversary) {
-            Ok(Some(_)) => {}
-            Ok(None) => {
-                return Err(format!(
-                    "search-mode point {point} needs a {:?}-prefixed adversary label",
-                    ba_search::GENOME_LABEL_PREFIX
-                ))
-            }
-            Err(err) => {
-                return Err(format!("undecodable genome label at {point}: {err}"));
-            }
-        }
-        if !INPUTS.contains(&point.inputs.as_str()) {
-            return Err(format!(
-                "unknown input label {:?} at {point} (known: {INPUTS:?})",
-                point.inputs
-            ));
-        }
-    }
+    validate_search_labels(points)?;
     with_registry_factory!(protocol, factory => run_search_points(points, &seed_of, threads, factory, recorder))
 }
 
@@ -510,15 +671,51 @@ where
     if let Some(r) = recorder {
         campaign = campaign.recorder(r);
     }
-    campaign.run_scenarios(|point| {
-        let genome = genome_from_label(&point.adversary)
-            .expect("labels validated up front")
-            .expect("labels validated up front");
-        Scenario::new(point.n, point.t)
-            .protocol(factory(point))
-            .inputs(input_bits(&point.inputs, point.n, seed_of(point)))
-            .adversary(Adversary::model(GenomeModel::new(genome)))
-    })
+    campaign.run_scenarios(|point| search_scenario_for(point, seed_of(point), factory(point)))
+}
+
+/// [`scenario_for`]'s search-mode twin: the adversary label is an encoded
+/// genome, interpreted by [`GenomeModel`]. Labels must be validated first.
+fn search_scenario_for<P, F>(
+    point: &CampaignPoint,
+    seed: u64,
+    protocol: F,
+) -> ba_sim::ProtocolScenario<'static, P, F>
+where
+    P: Protocol<Input = Bit, Output = Bit>,
+    F: Fn(ProcessId) -> P,
+{
+    let genome = genome_from_label(&point.adversary)
+        .expect("labels validated up front")
+        .expect("labels validated up front");
+    Scenario::new(point.n, point.t)
+        .protocol(protocol)
+        .inputs(input_bits(&point.inputs, point.n, seed))
+        .adversary(Adversary::model(GenomeModel::new(genome)))
+}
+
+fn validate_search_labels(points: &[CampaignPoint]) -> Result<(), String> {
+    for point in points {
+        match genome_from_label(&point.adversary) {
+            Ok(Some(_)) => {}
+            Ok(None) => {
+                return Err(format!(
+                    "search-mode point {point} needs a {:?}-prefixed adversary label",
+                    ba_search::GENOME_LABEL_PREFIX
+                ))
+            }
+            Err(err) => {
+                return Err(format!("undecodable genome label at {point}: {err}"));
+            }
+        }
+        if !INPUTS.contains(&point.inputs.as_str()) {
+            return Err(format!(
+                "unknown input label {:?} at {point} (known: {INPUTS:?})",
+                point.inputs
+            ));
+        }
+    }
+    Ok(())
 }
 
 fn validate_labels(points: &[CampaignPoint]) -> Result<(), String> {
@@ -560,36 +757,52 @@ where
     if let Some(r) = recorder {
         campaign = campaign.recorder(r);
     }
-    campaign.run_scenarios(|point| {
-        let seed = seed_of(point);
-        let n = point.n;
-        let scenario = Scenario::new(point.n, point.t).protocol(factory(point));
-        let scenario = scenario.inputs(input_bits(&point.inputs, n, seed));
-        let last = ProcessId(n.saturating_sub(1));
-        let t = point.t;
-        match point.adversary.as_str() {
-            "isolation" => scenario.adversary(Adversary::isolation([last], Round(2))),
-            "crash" => scenario.adversary(Adversary::crash([(last, Round(2))])),
-            "random-omission" => scenario.adversary(Adversary::omission(
-                [last],
-                RandomOmissionPlan::new([last], 0.25, 0.25, seed ^ 0x2),
-            )),
-            // The adaptive fault-model family: execution-observing
-            // adversaries the closed enum could not express.
-            "adaptive-worst-case" => scenario.adversary(Adversary::adaptive_worst_case(t)),
-            "mobile" => scenario.adversary(Adversary::mobile(
-                (n.saturating_sub(t)..n).map(ProcessId),
-                2,
-            )),
-            "scheduler" => scenario.adversary(Adversary::scheduler(
-                last,
-                (n.saturating_sub(1)) / 2,
-                seed ^ 0x3,
-            )),
-            // "none" (validated up front).
-            _ => scenario,
-        }
-    })
+    campaign.run_scenarios(|point| scenario_for(point, seed_of(point), factory(point)))
+}
+
+/// Builds the exact scenario a grid point denotes: protocol instance,
+/// resolved inputs, and the adversary its label names. Both execution paths
+/// — the `Campaign` pool ([`run_points`]) and the streaming per-point path
+/// ([`run_manifest_streaming`]) — build through here, which is what keeps
+/// streamed outcomes bit-identical to pooled ones.
+fn scenario_for<P, F>(
+    point: &CampaignPoint,
+    seed: u64,
+    protocol: F,
+) -> ba_sim::ProtocolScenario<'static, P, F>
+where
+    P: Protocol<Input = Bit, Output = Bit>,
+    F: Fn(ProcessId) -> P,
+{
+    let n = point.n;
+    let t = point.t;
+    let last = ProcessId(n.saturating_sub(1));
+    let scenario =
+        Scenario::new(n, t)
+            .protocol(protocol)
+            .inputs(input_bits(&point.inputs, n, seed));
+    match point.adversary.as_str() {
+        "isolation" => scenario.adversary(Adversary::isolation([last], Round(2))),
+        "crash" => scenario.adversary(Adversary::crash([(last, Round(2))])),
+        "random-omission" => scenario.adversary(Adversary::omission(
+            [last],
+            RandomOmissionPlan::new([last], 0.25, 0.25, seed ^ 0x2),
+        )),
+        // The adaptive fault-model family: execution-observing
+        // adversaries the closed enum could not express.
+        "adaptive-worst-case" => scenario.adversary(Adversary::adaptive_worst_case(t)),
+        "mobile" => scenario.adversary(Adversary::mobile(
+            (n.saturating_sub(t)..n).map(ProcessId),
+            2,
+        )),
+        "scheduler" => scenario.adversary(Adversary::scheduler(
+            last,
+            (n.saturating_sub(1)) / 2,
+            seed ^ 0x3,
+        )),
+        // "none" (validated up front).
+        _ => scenario,
+    }
 }
 
 fn falsify_points<P, F, G>(

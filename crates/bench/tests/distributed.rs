@@ -154,6 +154,151 @@ fn worker_binary_supports_file_based_manifests() {
 }
 
 #[test]
+fn chaos_injected_worker_processes_reproduce_the_reference_bit_for_bit() {
+    // Real worker processes in `--stream --progress` dress, wrapped in the
+    // deterministic chaos transport (crashes, stalls, truncations, corrupt
+    // lines, dropped connections; relenting after two faulted attempts per
+    // shard). The point-level recovery fabric must absorb every fault and
+    // merge the exact in-process report.
+    use ba_dist::{Backoff, ChaosPlan, ChaosTransport};
+    use std::time::Duration;
+
+    let points: Vec<CampaignPoint> = (4..10)
+        .map(|n| CampaignPoint::new(n, 1).with_inputs("ones"))
+        .collect();
+    let spec = SweepSpec::scenarios(points.clone(), "dolev-strong").base_seed(0xC0DE);
+    let reference = scenario_campaign_report(&points, "dolev-strong", 0xC0DE, 0).unwrap();
+    for seed in [1u64, 7, 23] {
+        let chaos = ChaosTransport::new(
+            worker().with_stream(true).with_progress(true),
+            ChaosPlan::new(seed),
+        );
+        let report = Coordinator::new(chaos, 3)
+            .retries(4)
+            .backoff(Backoff::none())
+            .watchdog(Duration::from_secs(2))
+            .run_campaign(&spec)
+            .unwrap_or_else(|e| panic!("chaos seed {seed}: sweep failed: {e}"));
+        assert_eq!(
+            report, reference,
+            "chaos seed {seed}: merged report diverged"
+        );
+    }
+}
+
+#[test]
+fn streamed_worker_stdout_carries_the_plain_report_bit_for_bit() {
+    // `--stream` interleaves progress JSONL and checksummed outcome lines
+    // before the report; stripping those must leave the *byte-identical*
+    // plain report, and every streamed outcome must decode to the report's
+    // value for its index.
+    use ba_dist::{plan_shards, Decode, Encode, PointOutcome, ShardReport};
+    use ba_sim::{Bit, ScenarioStats};
+
+    let spec = SweepSpec::scenarios(mixed_grid(), "flood-set").base_seed(0x57AB);
+    let manifest = &plan_shards(&spec, 2)[0];
+    let run = |extra_args: &[&str]| -> String {
+        use std::io::Write;
+        use std::process::Stdio;
+        let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_campaign_worker"))
+            .args(extra_args)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn worker");
+        child
+            .stdin
+            .take()
+            .unwrap()
+            .write_all(manifest.to_wire().as_bytes())
+            .unwrap();
+        let output = child.wait_with_output().unwrap();
+        assert!(output.status.success());
+        String::from_utf8(output.stdout).expect("worker stdout")
+    };
+
+    let plain = run(&[]);
+    let streamed = run(&["--stream", "--progress"]);
+
+    let mut report_text = String::new();
+    let mut outcome_lines = Vec::new();
+    for line in streamed.lines() {
+        if line.starts_with('{') {
+            continue;
+        }
+        if line.starts_with("outcome ") {
+            outcome_lines.push(line.to_string());
+            continue;
+        }
+        report_text.push_str(line);
+        report_text.push('\n');
+    }
+    assert_eq!(
+        report_text, plain,
+        "the trailing streamed report must be byte-identical to the plain run"
+    );
+
+    let report: ShardReport<ScenarioStats<Bit>> = ShardReport::from_wire(&plain).unwrap();
+    assert_eq!(outcome_lines.len(), report.outcomes.len());
+    for line in &outcome_lines {
+        let streamed: PointOutcome<ScenarioStats<Bit>> =
+            PointOutcome::from_wire(&format!("{line}\n")).expect("streamed outcome decodes");
+        assert!(
+            report
+                .outcomes
+                .contains(&(streamed.index, streamed.result.clone())),
+            "streamed outcome for index {} diverges from the report",
+            streamed.index
+        );
+    }
+}
+
+#[test]
+fn tcp_served_shards_merge_identically_to_the_in_process_sweep() {
+    // `campaign_worker --serve 127.0.0.1:0` announces its bound port on
+    // stdout; `TcpTransport` dials it once per shard attempt. The merged
+    // report must equal the in-process reference.
+    use ba_dist::TcpTransport;
+    use std::io::BufRead;
+    use std::process::Stdio;
+
+    let points: Vec<CampaignPoint> = (4..9)
+        .map(|n| CampaignPoint::new(n, 1).with_inputs("alternating"))
+        .collect();
+    let spec = SweepSpec::scenarios(points.clone(), "flood-set").base_seed(0x7C9);
+    let shards = 2;
+
+    let mut server = std::process::Command::new(env!("CARGO_BIN_EXE_campaign_worker"))
+        .args(["--serve", "127.0.0.1:0", "--conns", "2", "--progress"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn shard server");
+    let mut announce = String::new();
+    std::io::BufReader::new(server.stdout.take().unwrap())
+        .read_line(&mut announce)
+        .expect("read announce line");
+    let addr = announce
+        .trim()
+        .strip_prefix("listening addr=")
+        .unwrap_or_else(|| panic!("unexpected announce line {announce:?}"))
+        .to_string();
+
+    let report = Coordinator::new(TcpTransport::new(addr), shards)
+        .run_campaign(&spec)
+        .expect("TCP-served sweep");
+    assert_eq!(
+        report,
+        scenario_campaign_report(&points, "flood-set", 0x7C9, 0).unwrap()
+    );
+
+    // --conns 2 means the server exits cleanly once both shards are served.
+    let status = server.wait().expect("server exit");
+    assert!(status.success());
+}
+
+#[test]
 fn worker_binary_rejects_garbage_and_unknown_labels() {
     use ba_dist::{plan_shards, Encode};
     use std::io::Write;

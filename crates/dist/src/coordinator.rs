@@ -1,37 +1,60 @@
-//! The merging coordinator: spawns one worker per shard, streams their
-//! encoded reports back, retries failed shards, and reassembles the global
-//! result.
+//! The fault-tolerant merging coordinator: dispatches shards over a
+//! [`ShardTransport`], recovers at **point** granularity, and reassembles
+//! the global result.
 //!
-//! The coordinator is transport-agnostic: a [`ShardRunner`] turns a
-//! [`ShardManifest`] into an encoded [`ShardReport`] string. The production
-//! transport is [`WorkerCommand`], which launches a worker binary via
-//! [`std::process::Command`], writes the manifest to its stdin, and reads
-//! the report from its stdout — the shape that later lets shards land on
-//! separate machines behind `ssh host campaign_worker`. Tests inject
-//! closure runners (including flaky ones) to exercise retry and merge logic
-//! without processes.
+//! The recovery fabric replaces whole-shard retry with three cooperating
+//! mechanisms:
 //!
-//! With an observer installed ([`Coordinator::on_event`]) the coordinator
-//! additionally streams [`CoordEvent`]s while the sweep runs: per-point
-//! progress records filtered out of worker stdout (workers in `--progress`
-//! mode interleave JSONL lines with the wire report), shard completions,
-//! and retries. Retries are always visible — they are logged to stderr
-//! (shard, attempt, cause) whether or not an observer is installed, so
-//! flaky workers can't hide behind silent re-dispatch.
+//! * **streamed harvest** — workers in `--stream` mode emit one checksummed
+//!   [`PointOutcome`](crate::shard::PointOutcome) line per completed point;
+//!   the coordinator banks them as they arrive, so a worker that dies after
+//!   k points only forfeits the points it had not yet finished. (Workers
+//!   without streaming still work: their final [`ShardReport`] is harvested
+//!   wholesale.)
+//! * **no-progress watchdog** — with [`Coordinator::watchdog`] set, an
+//!   attempt that produces no output lines for the given duration is
+//!   declared dead: its [`AbortHandle`](crate::transport::AbortHandle)
+//!   fires (killing the worker / closing the connection) and the attempt
+//!   fails with [`DistError::Stalled`]. Liveness is driven by the
+//!   `--progress` JSONL stream, not wall-clock totals — a slow shard that
+//!   keeps finishing points is never killed.
+//! * **work-stealing re-plan** — a failed attempt's *unfinished* points are
+//!   requeued (after a deterministic exponential backoff with seeded
+//!   jitter, [`Backoff`]) and picked up by whichever fabric thread frees up
+//!   first. [`point_seed`](crate::shard::point_seed) makes the points'
+//!   seeds position-independent, so the re-planned manifest reproduces
+//!   identical results on any worker — the idempotency key behind
+//!   dedup-on-merge: the first harvested outcome per grid index wins, and
+//!   `merge(k) == run(1)` stays bit-for-bit under any chaos schedule that
+//!   eventually lets work finish.
+//!
+//! When a shard exhausts its retry budget the strict entry points
+//! ([`Coordinator::run`], [`Coordinator::run_campaign`]) fail with
+//! [`DistError::Exhausted`]; the graceful ones
+//! ([`Coordinator::run_partial`], [`Coordinator::run_campaign_partial`])
+//! degrade to a typed [`PartialSweep`] / [`PartialReport`] carrying
+//! everything that finished plus a coverage map of what did not.
+//!
+//! Retries are always visible — they are logged to stderr (shard, attempt,
+//! cause) whether or not an observer is installed, so flaky workers can't
+//! hide behind silent re-dispatch.
 
+use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
-use std::io::{BufRead, BufReader, Read, Write};
-use std::path::{Path, PathBuf};
-use std::process::{Command, Stdio};
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
 
-use ba_sim::{Bit, CampaignReport, ScenarioStats, SimError};
+use ba_sim::{Bit, CampaignReport, ScenarioStats, SimError, SimRng};
 
 use crate::progress::{CoordEvent, ProgressEvent};
 use crate::shard::{
-    assemble_campaign_report, merge_reports, plan_shards, ShardManifest, SweepSpec,
+    assemble_campaign_report, plan_shards, PartialReport, PartialSweep, PointOutcome, ShardEntry,
+    ShardFailure, ShardManifest, ShardReport, SweepSpec,
 };
-use crate::wire::{Decode, Encode, WireError};
+use crate::transport::{truncate_lossy, ShardTransport};
+use crate::wire::{fnv64, Decode, WireError, WireReader};
 
 /// A distributed-sweep failure.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -66,6 +89,23 @@ pub enum DistError {
         expected: usize,
         /// The shard index the report claimed.
         got: usize,
+    },
+    /// The no-progress watchdog declared an attempt dead.
+    Stalled {
+        /// The shard being attempted.
+        shard: usize,
+    },
+    /// An attempt ended cleanly but left manifest points uncovered.
+    Incomplete {
+        /// The shard being attempted.
+        shard: usize,
+        /// How many of the attempt's points never arrived.
+        missing: usize,
+    },
+    /// The stock worker binary could not be located.
+    WorkerNotFound {
+        /// Every path that was searched, in order.
+        searched: Vec<String>,
     },
     /// A shard kept failing after all retries.
     Exhausted {
@@ -116,6 +156,22 @@ impl fmt::Display for DistError {
             DistError::ShardMismatch { expected, got } => {
                 write!(f, "dispatched shard {expected} but report claims {got}")
             }
+            DistError::Stalled { shard } => {
+                write!(f, "shard {shard}: no progress within the watchdog window")
+            }
+            DistError::Incomplete { shard, missing } => {
+                write!(
+                    f,
+                    "shard {shard}: attempt ended cleanly but left {missing} point(s) uncovered"
+                )
+            }
+            DistError::WorkerNotFound { searched } => {
+                write!(
+                    f,
+                    "campaign_worker binary not found; searched: {}",
+                    searched.join(", ")
+                )
+            }
             DistError::Exhausted {
                 shard,
                 attempts,
@@ -139,231 +195,152 @@ impl fmt::Display for DistError {
 
 impl Error for DistError {}
 
-/// A transport that executes one shard and returns the worker's raw encoded
-/// [`ShardReport`].
-pub trait ShardRunner: Sync {
-    /// Executes `manifest` and returns the encoded report.
-    ///
-    /// # Errors
-    ///
-    /// Any [`DistError`]; the coordinator retries failed shards.
-    fn run_shard(&self, manifest: &ShardManifest) -> Result<String, DistError>;
+/// Deterministic exponential backoff with seeded jitter, governing when a
+/// failed shard's unfinished points are re-planned.
+///
+/// The delay before re-attempting after `attempt` failures is
+/// `base · 2^(attempt−1)` capped at `max`, plus a jitter fraction in
+/// `[0, jitter]` of the delay drawn from a [`SimRng`] seeded by
+/// `(seed, shard, attempt)` — a pure function, so a chaos run's entire
+/// retry timeline is reproducible from its seeds.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Backoff {
+    /// First-retry delay.
+    pub base: Duration,
+    /// Cap on the exponential part.
+    pub max: Duration,
+    /// Maximum extra delay, as a fraction of the exponential part.
+    pub jitter: f64,
+    /// Seed of the jitter draws.
+    pub seed: u64,
+}
 
-    /// Executes `manifest`, forwarding any per-point [`ProgressEvent`]s the
-    /// transport surfaces to `on_progress` as they arrive, and returns the
-    /// encoded report with progress records filtered out.
-    ///
-    /// The default ignores streaming and defers to
-    /// [`run_shard`](ShardRunner::run_shard), so transports without a
-    /// progress channel (closure runners in tests) need not implement it.
-    ///
-    /// # Errors
-    ///
-    /// As [`run_shard`](ShardRunner::run_shard).
-    fn run_shard_streaming(
-        &self,
-        manifest: &ShardManifest,
-        on_progress: &(dyn Fn(ProgressEvent) + Sync),
-    ) -> Result<String, DistError> {
-        let _ = on_progress;
-        self.run_shard(manifest)
+impl Default for Backoff {
+    fn default() -> Self {
+        Backoff {
+            base: Duration::from_millis(50),
+            max: Duration::from_secs(2),
+            jitter: 0.5,
+            seed: 0xBAC0FF,
+        }
     }
 }
 
-impl<F> ShardRunner for F
-where
-    F: Fn(&ShardManifest) -> Result<String, DistError> + Sync,
-{
-    fn run_shard(&self, manifest: &ShardManifest) -> Result<String, DistError> {
-        self(manifest)
+impl Backoff {
+    /// No delay at all (for tests and in-process transports).
+    pub fn none() -> Self {
+        Backoff {
+            base: Duration::ZERO,
+            max: Duration::ZERO,
+            jitter: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// The delay before re-planning `shard` after its `attempt`-th failure
+    /// (1-based). Pure: identical inputs give identical delays.
+    pub fn delay(&self, shard: usize, attempt: usize) -> Duration {
+        let exp = attempt.saturating_sub(1).min(20) as u32;
+        let nanos = u64::try_from(self.base.as_nanos())
+            .unwrap_or(u64::MAX)
+            .saturating_mul(1u64 << exp)
+            .min(u64::try_from(self.max.as_nanos()).unwrap_or(u64::MAX));
+        let mut key = Vec::with_capacity(16);
+        key.extend_from_slice(&(shard as u64).to_le_bytes());
+        key.extend_from_slice(&(attempt as u64).to_le_bytes());
+        let mut rng = SimRng::seed_from_u64(self.seed ^ fnv64(&key));
+        let jitter = (nanos as f64 * self.jitter * rng.gen_f64(0.0, 1.0)) as u64;
+        Duration::from_nanos(nanos.saturating_add(jitter))
     }
 }
 
-/// The process transport: one worker binary invocation per shard, manifest
-/// on stdin, report on stdout.
-#[derive(Clone, PartialEq, Eq, Debug)]
-pub struct WorkerCommand {
-    program: PathBuf,
-    args: Vec<String>,
-    progress: bool,
-}
-
-impl WorkerCommand {
-    /// A worker launched as `program [args…]`.
-    pub fn new(program: impl Into<PathBuf>) -> Self {
-        WorkerCommand {
-            program: program.into(),
-            args: Vec::new(),
-            progress: false,
-        }
-    }
-
-    /// Appends a fixed argument to every invocation.
-    pub fn arg(mut self, arg: impl Into<String>) -> Self {
-        self.args.push(arg.into());
-        self
-    }
-
-    /// Passes `--progress` to the worker, asking it to interleave one JSONL
-    /// progress record per completed point with the wire report. The
-    /// transport filters those records out of the report stream either way,
-    /// so this composes with or without a coordinator observer.
-    pub fn with_progress(mut self, progress: bool) -> Self {
-        self.progress = progress;
-        self
-    }
-
-    /// The worker program path.
-    pub fn program(&self) -> &Path {
-        &self.program
-    }
-
-    /// Locates the stock `campaign_worker` binary: `$CAMPAIGN_WORKER` if
-    /// set, else a `campaign_worker` executable next to the current
-    /// executable or in its parent directory (where cargo places workspace
-    /// binaries relative to test and example executables).
-    pub fn locate() -> Option<Self> {
-        if let Ok(path) = std::env::var("CAMPAIGN_WORKER") {
-            return Some(WorkerCommand::new(path));
-        }
-        let exe = std::env::current_exe().ok()?;
-        let name = format!("campaign_worker{}", std::env::consts::EXE_SUFFIX);
-        let mut dir = exe.parent();
-        while let Some(d) = dir {
-            let candidate = d.join(&name);
-            if candidate.is_file() {
-                return Some(WorkerCommand::new(candidate));
-            }
-            // `target/<profile>/{deps,examples}/…` → `target/<profile>/`.
-            if d.file_name().is_some_and(|n| n == "target") {
-                break;
-            }
-            dir = d.parent();
-        }
-        None
-    }
-}
-
-impl ShardRunner for WorkerCommand {
-    fn run_shard(&self, manifest: &ShardManifest) -> Result<String, DistError> {
-        self.run_shard_streaming(manifest, &|_| {})
-    }
-
-    fn run_shard_streaming(
-        &self,
-        manifest: &ShardManifest,
-        on_progress: &(dyn Fn(ProgressEvent) + Sync),
-    ) -> Result<String, DistError> {
-        let shard = manifest.shard;
-        let spawn_err = |e: std::io::Error| DistError::Spawn {
-            shard,
-            detail: e.to_string(),
-        };
-        let mut command = Command::new(&self.program);
-        command.args(&self.args);
-        if self.progress {
-            command.arg("--progress");
-        }
-        let mut child = command
-            .stdin(Stdio::piped())
-            .stdout(Stdio::piped())
-            .stderr(Stdio::piped())
-            .spawn()
-            .map_err(spawn_err)?;
-
-        // Feed the manifest and close stdin so the worker sees EOF.
-        let wire = manifest.to_wire();
-        child
-            .stdin
-            .take()
-            .expect("stdin was piped")
-            .write_all(wire.as_bytes())
-            .map_err(spawn_err)?;
-
-        // Drain stderr on a helper thread so neither pipe can deadlock,
-        // streaming stdout (the report) on this one. Stdout is read
-        // line-by-line: JSONL progress records (which always start with
-        // `{`; wire records never do) are forwarded to `on_progress` as
-        // they arrive, everything else accumulates as the report.
-        let mut stderr_pipe = child.stderr.take().expect("stderr was piped");
-        let stderr_thread = std::thread::spawn(move || {
-            let mut buf = String::new();
-            let _ = stderr_pipe.read_to_string(&mut buf);
-            buf
-        });
-        let stdout_pipe = child.stdout.take().expect("stdout was piped");
-        let mut report = String::new();
-        for line in BufReader::new(stdout_pipe).lines() {
-            let line = line.map_err(spawn_err)?;
-            if line.starts_with('{') {
-                if let Some(event) = ProgressEvent::parse(&line) {
-                    on_progress(event);
-                }
-                // Non-point JSON (foreign telemetry) is dropped: it is
-                // never part of the wire report.
-                continue;
-            }
-            report.push_str(&line);
-            report.push('\n');
-        }
-        let status = child.wait().map_err(spawn_err)?;
-        let stderr = stderr_thread.join().unwrap_or_default();
-        if !status.success() {
-            return Err(DistError::WorkerFailed {
-                shard,
-                code: status.code(),
-                stderr: truncate_lossy(stderr.trim(), 512),
-            });
-        }
-        Ok(report)
-    }
-}
-
-/// Truncates to at most `max_len` bytes, backing off to the nearest char
-/// boundary (a blunt `String::truncate` panics mid-char).
-fn truncate_lossy(text: &str, max_len: usize) -> String {
-    let mut cut = max_len.min(text.len());
-    while !text.is_char_boundary(cut) {
-        cut -= 1;
-    }
-    text[..cut].to_string()
-}
-
-/// The coordinator's progress observer: called from shard threads as
+/// The coordinator's progress observer: called from fabric threads as
 /// events arrive, so it must be both `Send` and `Sync`.
 type Observer = Box<dyn Fn(&CoordEvent) + Send + Sync>;
 
 /// The merging coordinator: plans shards, dispatches them concurrently over
-/// a [`ShardRunner`], retries failures, and merges the reports.
+/// a [`ShardTransport`], recovers failures at point granularity, and merges
+/// the results (see the module docs for the recovery fabric).
 pub struct Coordinator<R> {
-    runner: R,
+    transport: R,
     shards: usize,
     retries: usize,
     observer: Option<Observer>,
+    backoff: Backoff,
+    stall_timeout: Option<Duration>,
 }
 
-impl<R: ShardRunner> Coordinator<R> {
+/// One unit of fabric work: an original shard's not-yet-finished points,
+/// eligible to run from `not_before` on.
+struct WorkItem {
+    shard: usize,
+    attempt: usize,
+    entries: Vec<ShardEntry>,
+    not_before: Instant,
+}
+
+/// Shared fabric state behind one mutex: the bank of finished points, the
+/// pending work queue, and termination accounting.
+struct Fabric<T> {
+    completed: BTreeMap<usize, Result<T, SimError>>,
+    queue: Vec<WorkItem>,
+    open_shards: usize,
+    failures: Vec<ShardFailure>,
+}
+
+/// What one streamed attempt produced: every point harvested (from
+/// `outcome` lines and/or the final report), plus how the attempt ended.
+struct AttemptOutput<T> {
+    harvested: Vec<(usize, Result<T, SimError>)>,
+    result: Result<(), DistError>,
+}
+
+enum Pulse {
+    Line(Vec<u8>),
+    End(Result<(), DistError>),
+}
+
+impl<R: ShardTransport> Coordinator<R> {
     /// A coordinator splitting sweeps into `shards` shards (clamped to at
     /// least 1), with one retry per shard by default.
-    pub fn new(runner: R, shards: usize) -> Self {
+    pub fn new(transport: R, shards: usize) -> Self {
         Coordinator {
-            runner,
+            transport,
             shards: shards.max(1),
             retries: 1,
             observer: None,
+            backoff: Backoff::default(),
+            stall_timeout: None,
         }
     }
 
-    /// Sets how many times a failed shard is re-dispatched (0 = fail fast).
+    /// Sets how many times a failed shard's remaining points are
+    /// re-dispatched (0 = fail fast).
     pub fn retries(mut self, retries: usize) -> Self {
         self.retries = retries;
         self
     }
 
+    /// Sets the re-plan backoff policy.
+    pub fn backoff(mut self, backoff: Backoff) -> Self {
+        self.backoff = backoff;
+        self
+    }
+
+    /// Arms the no-progress watchdog: an attempt producing no output lines
+    /// for `timeout` is aborted and counted as failed ([`DistError::Stalled`]).
+    /// Any line — progress JSONL, streamed outcome, report — resets the
+    /// clock, so slow-but-alive workers are never killed. Off by default
+    /// (transports that buffer a whole report produce no interim lines).
+    pub fn watchdog(mut self, timeout: Duration) -> Self {
+        self.stall_timeout = Some(timeout);
+        self
+    }
+
     /// Installs a progress observer receiving every [`CoordEvent`] while a
-    /// sweep runs: per-point progress (when the transport streams it, see
-    /// [`ShardRunner::run_shard_streaming`]), shard completions, and
-    /// retries. Called concurrently from shard threads.
+    /// sweep runs: per-point progress, shard completions, retries, and
+    /// partial-coverage degradation. Called concurrently from fabric
+    /// threads.
     pub fn on_event(mut self, observer: impl Fn(&CoordEvent) + Send + Sync + 'static) -> Self {
         self.observer = Some(Box::new(observer));
         self
@@ -387,35 +364,59 @@ impl<R: ShardRunner> Coordinator<R> {
 
     /// Runs the sweep and returns per-point outcomes in global grid order.
     ///
-    /// Workers run concurrently (one thread per shard streaming that
-    /// worker's report); each shard is attempted up to `1 + retries` times;
-    /// the reports are merged index-stably, so the result is identical to a
-    /// single-process sweep of the same grid.
+    /// Fabric threads (one per planned shard) stream attempts concurrently;
+    /// each shard's remaining points are attempted up to `1 + retries`
+    /// times; finished points are banked and deduplicated by global index,
+    /// so the result is identical to a single-process sweep of the same
+    /// grid — bit-for-bit, under any fault schedule that eventually lets
+    /// every point finish.
     ///
     /// # Errors
     ///
-    /// Returns the first shard's [`DistError`] if it exhausts its retries,
-    /// or a merge error if the reports do not tile the grid.
+    /// [`DistError::Exhausted`] (for the first shard that ran out of
+    /// attempts) if any point never finished. Use
+    /// [`run_partial`](Coordinator::run_partial) to degrade gracefully
+    /// instead.
     pub fn run<T: Decode + Send>(
         &self,
         spec: &SweepSpec,
     ) -> Result<Vec<Result<T, SimError>>, DistError> {
-        let manifests = plan_shards(spec, self.shards);
-        let reports = std::thread::scope(|scope| {
-            let handles: Vec<_> = manifests
-                .iter()
-                .map(|manifest| scope.spawn(move || self.run_shard_with_retry::<T>(manifest)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("shard thread panicked"))
-                .collect::<Result<Vec<_>, DistError>>()
-        })?;
-        merge_reports(spec.points.len(), reports)
+        match self.run_partial::<T>(spec).into_complete() {
+            Ok(merged) => Ok(merged),
+            Err(partial) => {
+                let first = partial
+                    .failures
+                    .first()
+                    .expect("an incomplete sweep records at least one shard failure");
+                Err(DistError::Exhausted {
+                    shard: first.shard,
+                    attempts: first.attempts,
+                    last: first.last.clone(),
+                })
+            }
+        }
     }
 
-    /// Runs a [`ShardMode::Scenarios`](crate::ShardMode::Scenarios) sweep
-    /// and reassembles the exact `CampaignReport` a single-process
+    /// Runs the sweep with graceful degradation: exhausted shards forfeit
+    /// their unfinished points, and the result is a [`PartialSweep`]
+    /// carrying everything that finished plus the coverage map of what did
+    /// not. `outcomes` and `missing` always partition the planned grid; a
+    /// fully-recovered run comes back complete (and bit-identical to
+    /// [`run`](Coordinator::run)).
+    pub fn run_partial<T: Decode + Send>(&self, spec: &SweepSpec) -> PartialSweep<T> {
+        let sweep = self.run_fabric::<T>(spec);
+        if !sweep.is_complete() {
+            self.emit(CoordEvent::Partial {
+                covered: sweep.outcomes.len(),
+                missing: sweep.missing.len(),
+                grid: sweep.grid_len,
+            });
+        }
+        sweep
+    }
+
+    /// Runs a [`ShardMode::Scenarios`] sweep and reassembles the exact
+    /// `CampaignReport` a single-process
     /// [`ba_sim::Campaign::run_scenarios`] over the same grid produces.
     ///
     /// # Errors
@@ -426,63 +427,379 @@ impl<R: ShardRunner> Coordinator<R> {
         Ok(assemble_campaign_report(&spec.points, merged))
     }
 
-    fn run_shard_with_retry<T: Decode>(
+    /// The graceful counterpart of [`run_campaign`](Coordinator::run_campaign):
+    /// a typed [`PartialReport`] with the covered points assembled into a
+    /// campaign report and the missing points listed with their grid
+    /// indices.
+    pub fn run_campaign_partial(&self, spec: &SweepSpec) -> PartialReport<Bit> {
+        self.run_partial::<ScenarioStats<Bit>>(spec)
+            .into_campaign(&spec.points)
+    }
+
+    fn run_fabric<T: Decode + Send>(&self, spec: &SweepSpec) -> PartialSweep<T> {
+        let manifests = plan_shards(spec, self.shards);
+        let grid_len = spec.points.len();
+        let planned = manifests.len();
+        let shards_total = manifests.first().map_or(0, |m| m.shards);
+        let now = Instant::now();
+        let state = Mutex::new(Fabric::<T> {
+            completed: BTreeMap::new(),
+            queue: manifests
+                .into_iter()
+                .map(|m| WorkItem {
+                    shard: m.shard,
+                    attempt: 1,
+                    entries: m.entries,
+                    not_before: now,
+                })
+                .collect(),
+            open_shards: planned,
+            failures: Vec::new(),
+        });
+        let ready = Condvar::new();
+        std::thread::scope(|scope| {
+            for _ in 0..planned {
+                scope.spawn(|| self.fabric_worker(&state, &ready, spec, shards_total, grid_len));
+            }
+        });
+        let fabric = state.into_inner().unwrap_or_else(|p| p.into_inner());
+        let missing: Vec<usize> = (0..grid_len)
+            .filter(|i| !fabric.completed.contains_key(i))
+            .collect();
+        PartialSweep {
+            grid_len,
+            outcomes: fabric.completed.into_iter().collect(),
+            missing,
+            failures: fabric.failures,
+        }
+    }
+
+    /// One fabric thread: pops ready work items (any shard's — this is
+    /// where stealing happens), streams an attempt, banks its harvest, and
+    /// either settles the shard or requeues its remainder with backoff.
+    fn fabric_worker<T: Decode + Send>(
+        &self,
+        state: &Mutex<Fabric<T>>,
+        ready: &Condvar,
+        spec: &SweepSpec,
+        shards_total: usize,
+        grid_len: usize,
+    ) {
+        loop {
+            // Pop the next eligible work item, or wait for one (a backoff
+            // deadline passing, or another thread settling the last shard).
+            let item = {
+                let mut fabric = state.lock().unwrap_or_else(|p| p.into_inner());
+                loop {
+                    if fabric.open_shards == 0 {
+                        return;
+                    }
+                    let now = Instant::now();
+                    if let Some(pos) = fabric.queue.iter().position(|w| w.not_before <= now) {
+                        break fabric.queue.swap_remove(pos);
+                    }
+                    let wait = fabric
+                        .queue
+                        .iter()
+                        .map(|w| w.not_before.saturating_duration_since(now))
+                        .min();
+                    fabric = match wait {
+                        Some(wait) => {
+                            let (guard, _) = ready
+                                .wait_timeout(fabric, wait.max(Duration::from_millis(1)))
+                                .unwrap_or_else(|p| p.into_inner());
+                            guard
+                        }
+                        None => ready.wait(fabric).unwrap_or_else(|p| p.into_inner()),
+                    };
+                }
+            };
+
+            // Re-plan against the bank: points finished elsewhere (a
+            // straggler's late harvest, a stolen duplicate) drop out here —
+            // point_seed keeps the survivors' seeds identical.
+            let entries: Vec<ShardEntry> = {
+                let fabric = state.lock().unwrap_or_else(|p| p.into_inner());
+                item.entries
+                    .iter()
+                    .filter(|e| !fabric.completed.contains_key(&e.index))
+                    .cloned()
+                    .collect()
+            };
+            if entries.is_empty() {
+                self.settle_done(state, ready, item.shard);
+                continue;
+            }
+            let manifest = ShardManifest {
+                shard: item.shard,
+                shards: shards_total,
+                mode: spec.mode,
+                protocol: spec.protocol.clone(),
+                threads: spec.worker_threads,
+                entries,
+            };
+            let output = self.attempt_stream::<T>(&manifest, grid_len);
+
+            let event = {
+                let mut fabric = state.lock().unwrap_or_else(|p| p.into_inner());
+                for (index, result) in output.harvested {
+                    // Dedup-on-merge: the first outcome per grid index
+                    // wins. Duplicates are byte-identical by determinism,
+                    // so which one lands is immaterial.
+                    fabric.completed.entry(index).or_insert(result);
+                }
+                let remaining: Vec<ShardEntry> = manifest
+                    .entries
+                    .iter()
+                    .filter(|e| !fabric.completed.contains_key(&e.index))
+                    .cloned()
+                    .collect();
+                if remaining.is_empty() {
+                    // Salvage: the shard is covered — even if this attempt
+                    // ended in an error, every point landed somewhere.
+                    fabric.open_shards -= 1;
+                    Some(CoordEvent::ShardDone { shard: item.shard })
+                } else {
+                    let cause = match output.result {
+                        Ok(()) => DistError::Incomplete {
+                            shard: item.shard,
+                            missing: remaining.len(),
+                        }
+                        .to_string(),
+                        Err(ref e) => e.to_string(),
+                    };
+                    let attempts = 1 + self.retries;
+                    if item.attempt < attempts {
+                        let delay = self.backoff.delay(item.shard, item.attempt);
+                        fabric.queue.push(WorkItem {
+                            shard: item.shard,
+                            attempt: item.attempt + 1,
+                            entries: remaining,
+                            not_before: Instant::now() + delay,
+                        });
+                        Some(CoordEvent::Retry {
+                            shard: item.shard,
+                            attempt: item.attempt,
+                            attempts,
+                            cause,
+                        })
+                    } else {
+                        fabric.failures.push(ShardFailure {
+                            shard: item.shard,
+                            attempts,
+                            last: cause,
+                        });
+                        fabric.open_shards -= 1;
+                        None
+                    }
+                }
+            };
+            ready.notify_all();
+            if let Some(event) = event {
+                self.emit(event);
+            }
+        }
+    }
+
+    fn settle_done<T>(&self, state: &Mutex<Fabric<T>>, ready: &Condvar, shard: usize) {
+        {
+            let mut fabric = state.lock().unwrap_or_else(|p| p.into_inner());
+            fabric.open_shards -= 1;
+        }
+        ready.notify_all();
+        self.emit(CoordEvent::ShardDone { shard });
+    }
+
+    /// Streams one attempt: a reader thread pumps the link's lines into a
+    /// channel; this thread classifies them (progress JSONL / streamed
+    /// outcomes / in-band worker errors / report text) under the watchdog
+    /// clock, then settles the attempt from its end state.
+    fn attempt_stream<T: Decode + Send>(
         &self,
         manifest: &ShardManifest,
-    ) -> Result<crate::shard::ShardReport<T>, DistError> {
-        let attempts = 1 + self.retries;
-        let mut last: Option<DistError> = None;
-        for attempt in 1..=attempts {
-            match self.attempt::<T>(manifest) {
-                Ok(report) => {
-                    self.emit(CoordEvent::ShardDone {
-                        shard: manifest.shard,
-                    });
-                    return Ok(report);
+        grid_len: usize,
+    ) -> AttemptOutput<T> {
+        let shard = manifest.shard;
+        let mut link = match self.transport.open(manifest) {
+            Ok(link) => link,
+            Err(e) => {
+                return AttemptOutput {
+                    harvested: Vec::new(),
+                    result: Err(e),
+                }
+            }
+        };
+        let abort = link.abort_handle();
+        let (tx, rx) = mpsc::channel::<Pulse>();
+        let reader = std::thread::spawn(move || loop {
+            match link.next_line() {
+                Ok(Some(line)) => {
+                    if tx.send(Pulse::Line(line)).is_err() {
+                        let _ = link.finish();
+                        break;
+                    }
+                }
+                Ok(None) => {
+                    let _ = tx.send(Pulse::End(link.finish()));
+                    break;
                 }
                 Err(e) => {
-                    if attempt < attempts {
-                        self.emit(CoordEvent::Retry {
-                            shard: manifest.shard,
-                            attempt,
-                            attempts,
-                            cause: e.to_string(),
-                        });
+                    let _ = tx.send(Pulse::End(Err(e)));
+                    break;
+                }
+            }
+        });
+
+        let mut harvested: Vec<(usize, Result<T, SimError>)> = Vec::new();
+        let mut report = String::new();
+        let mut worker_error: Option<String> = None;
+        let mut fatal: Option<DistError> = None;
+        let mut stalled = false;
+        let mut got_end = false;
+        let end: Result<(), DistError> = loop {
+            let pulse = match self.stall_timeout {
+                Some(timeout) => match rx.recv_timeout(timeout) {
+                    Ok(pulse) => pulse,
+                    Err(RecvTimeoutError::Timeout) if !stalled => {
+                        // Watchdog: declare the attempt dead and abort it;
+                        // keep draining so the reader can wind down (one
+                        // more window, then give up and detach it).
+                        stalled = true;
+                        abort();
+                        continue;
                     }
-                    last = Some(e);
+                    Err(_) => break Err(DistError::Stalled { shard }),
+                },
+                None => match rx.recv() {
+                    Ok(pulse) => pulse,
+                    Err(_) => {
+                        break Err(DistError::Spawn {
+                            shard,
+                            detail: "link reader ended without a final status".to_string(),
+                        })
+                    }
+                },
+            };
+            match pulse {
+                Pulse::Line(bytes) => self.classify_line(
+                    &bytes,
+                    grid_len,
+                    &mut harvested,
+                    &mut report,
+                    &mut worker_error,
+                    &mut fatal,
+                ),
+                Pulse::End(result) => {
+                    got_end = true;
+                    break result;
+                }
+            }
+        };
+        if got_end {
+            let _ = reader.join();
+        }
+
+        let mut result = if stalled {
+            Err(DistError::Stalled { shard })
+        } else {
+            end
+        };
+        if result.is_ok() {
+            if let Some(detail) = worker_error {
+                result = Err(DistError::WorkerFailed {
+                    shard,
+                    code: None,
+                    stderr: truncate_lossy(&detail, 512),
+                });
+            }
+        }
+        if let Some(f) = fatal {
+            result = result.and(Err(f));
+        }
+        // Harvest the trailing report too (if any arrived) — even after a
+        // failure: a truncated stream's decodable prefix still banks
+        // nothing here (reports decode atomically), but a complete report
+        // from a worker that then crashed salvages everything.
+        if !report.is_empty() {
+            match ShardReport::<T>::from_wire(&report) {
+                Ok(rep) if rep.shard != shard => {
+                    // Misattributed data is untrusted: discard it.
+                    result = result.and(Err(DistError::ShardMismatch {
+                        expected: shard,
+                        got: rep.shard,
+                    }));
+                }
+                Ok(rep) => {
+                    for (index, outcome) in rep.outcomes {
+                        if index >= grid_len {
+                            result = result.and(Err(DistError::StrayPoint { index }));
+                        } else {
+                            harvested.push((index, outcome));
+                        }
+                    }
+                }
+                Err(error) => {
+                    result = result.and(Err(DistError::Wire { shard, error }));
                 }
             }
         }
-        let last = last.expect("at least one attempt was made");
-        Err(DistError::Exhausted {
-            shard: manifest.shard,
-            attempts,
-            last: last.to_string(),
-        })
+        AttemptOutput { harvested, result }
     }
 
-    fn attempt<T: Decode>(
+    /// Classifies one output line: progress JSONL (starts with `{`; wire
+    /// records never do), a streamed checksummed outcome, an in-band
+    /// `worker-error`, or report text. Non-UTF8 or checksum-failing lines
+    /// are dropped — their points simply aren't harvested, which the
+    /// coverage check catches.
+    fn classify_line<T: Decode>(
         &self,
-        manifest: &ShardManifest,
-    ) -> Result<crate::shard::ShardReport<T>, DistError> {
-        let raw = match &self.observer {
-            Some(observer) => self.runner.run_shard_streaming(manifest, &|event| {
-                observer(&CoordEvent::Point(event));
-            })?,
-            None => self.runner.run_shard(manifest)?,
+        bytes: &[u8],
+        grid_len: usize,
+        harvested: &mut Vec<(usize, Result<T, SimError>)>,
+        report: &mut String,
+        worker_error: &mut Option<String>,
+        fatal: &mut Option<DistError>,
+    ) {
+        let Ok(text) = std::str::from_utf8(bytes) else {
+            return;
         };
-        let report =
-            crate::shard::ShardReport::<T>::from_wire(&raw).map_err(|error| DistError::Wire {
-                shard: manifest.shard,
-                error,
-            })?;
-        if report.shard != manifest.shard {
-            return Err(DistError::ShardMismatch {
-                expected: manifest.shard,
-                got: report.shard,
-            });
+        let text = text.trim_end_matches('\r');
+        if text.is_empty() {
+            return;
         }
-        Ok(report)
+        if text.starts_with('{') {
+            if let Some(event) = ProgressEvent::parse(text) {
+                self.emit(CoordEvent::Point(event));
+            }
+            // Non-point JSON (foreign telemetry) is dropped: it is never
+            // part of the wire report.
+            return;
+        }
+        if text.starts_with("outcome ") {
+            match PointOutcome::<T>::from_wire(text) {
+                Ok(outcome) if outcome.index >= grid_len => {
+                    fatal.get_or_insert(DistError::StrayPoint {
+                        index: outcome.index,
+                    });
+                }
+                Ok(outcome) => harvested.push((outcome.index, outcome.result)),
+                // A corrupted outcome line (bad checksum, bad escape) is
+                // dropped; its point is re-planned if it never arrives
+                // another way.
+                Err(_) => {}
+            }
+            return;
+        }
+        if text.starts_with("worker-error") {
+            let detail = WireReader::new(text)
+                .record("worker-error")
+                .and_then(|rec| rec.text("detail"))
+                .unwrap_or_else(|_| text.to_string());
+            worker_error.get_or_insert(detail);
+            return;
+        }
+        report.push_str(text);
+        report.push('\n');
     }
 }
 
@@ -490,7 +807,7 @@ impl<R: ShardRunner> Coordinator<R> {
 mod tests {
     use super::*;
     use crate::shard::{ShardEntry, ShardReport};
-    use crate::wire::WireReader;
+    use crate::wire::{Encode, WireReader};
     use ba_sim::CampaignPoint;
     use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -552,7 +869,10 @@ mod tests {
             echo_runner(manifest)
         };
         let spec = spec(6);
-        let result = Coordinator::new(&flaky, 3).retries(1).run::<Tok>(&spec);
+        let result = Coordinator::new(&flaky, 3)
+            .retries(1)
+            .backoff(Backoff::none())
+            .run::<Tok>(&spec);
         assert!(result.is_ok(), "{result:?}");
         for a in &attempts {
             assert_eq!(a.load(Ordering::SeqCst), 2);
@@ -569,6 +889,7 @@ mod tests {
         };
         let err = Coordinator::new(always_fail, 2)
             .retries(1)
+            .backoff(Backoff::none())
             .run::<Tok>(&spec(4))
             .unwrap_err();
         match err {
@@ -629,6 +950,7 @@ mod tests {
         let seen = events.clone();
         let result = Coordinator::new(&flaky, 2)
             .retries(1)
+            .backoff(Backoff::none())
             .on_event(move |e| seen.lock().unwrap().push(e.clone()))
             .run::<Tok>(&spec(6));
         assert!(result.is_ok(), "{result:?}");
@@ -661,20 +983,13 @@ mod tests {
     fn streaming_transports_feed_point_events_to_the_observer() {
         use std::sync::Mutex;
 
-        /// A transport that surfaces one progress record per entry before
-        /// returning the report, like a worker in `--progress` mode.
-        struct Streaming;
-        impl ShardRunner for Streaming {
-            fn run_shard(&self, manifest: &ShardManifest) -> Result<String, DistError> {
-                self.run_shard_streaming(manifest, &|_| {})
-            }
-            fn run_shard_streaming(
-                &self,
-                manifest: &ShardManifest,
-                on_progress: &(dyn Fn(crate::progress::ProgressEvent) + Sync),
-            ) -> Result<String, DistError> {
-                for (done, entry) in manifest.entries.iter().enumerate() {
-                    on_progress(crate::progress::ProgressEvent {
+        // A transport that interleaves one progress record per entry with
+        // the report lines, like a worker in `--progress` mode.
+        let streaming = |manifest: &ShardManifest| -> Result<String, DistError> {
+            let mut out = String::new();
+            for (done, entry) in manifest.entries.iter().enumerate() {
+                out.push_str(
+                    &crate::progress::ProgressEvent {
                         shard: manifest.shard,
                         shards: manifest.shards,
                         done: done + 1,
@@ -684,16 +999,19 @@ mod tests {
                         rounds: 2,
                         ok: true,
                         elapsed_nanos: (done as u64 + 1) * 1_000_000,
-                    });
-                }
-                echo_runner(manifest)
+                    }
+                    .to_json_line(),
+                );
+                out.push('\n');
             }
-        }
+            out.push_str(&echo_runner(manifest)?);
+            Ok(out)
+        };
 
         let live = std::sync::Arc::new(Mutex::new(crate::progress::LiveAggregates::new()));
         let points = std::sync::Arc::new(AtomicUsize::new(0));
         let (live_in, points_in) = (live.clone(), points.clone());
-        let result = Coordinator::new(Streaming, 3)
+        let result = Coordinator::new(streaming, 3)
             .on_event(move |e| {
                 if matches!(e, CoordEvent::Point(_)) {
                     points_in.fetch_add(1, Ordering::SeqCst);
@@ -709,25 +1027,217 @@ mod tests {
     }
 
     #[test]
-    fn worker_command_reports_spawn_failures() {
-        let cmd = WorkerCommand::new("/nonexistent/definitely-not-a-worker");
-        let manifest = plan_shards(&spec(1), 1).remove(0);
-        match cmd.run_shard(&manifest) {
-            Err(DistError::Spawn { shard: 0, .. }) => {}
-            other => panic!("expected Spawn error, got {other:?}"),
+    fn streamed_outcomes_survive_a_crashed_attempt() {
+        // First attempt per shard streams outcome lines for all its points
+        // and then "crashes" (spawn error, no report). The bank keeps the
+        // streamed points, so the retry's re-planned manifest is empty and
+        // the shard settles without recomputation.
+        let attempts = AtomicUsize::new(0);
+        let opened = std::sync::Arc::new(std::sync::Mutex::new(Vec::<usize>::new()));
+        let opened_in = opened.clone();
+        let streams_then_dies = move |manifest: &ShardManifest| -> Result<String, DistError> {
+            opened_in.lock().unwrap().push(manifest.entries.len());
+            if attempts.fetch_add(1, Ordering::SeqCst) == 0 {
+                let mut out = String::new();
+                for e in &manifest.entries {
+                    PointOutcome {
+                        index: e.index,
+                        result: Ok::<_, SimError>(Tok(e.seed ^ e.index as u64)),
+                    }
+                    .encode(&mut out);
+                }
+                out.push_str("worker-error detail=simulated%20crash\n");
+                return Ok(out);
+            }
+            echo_runner(manifest)
+        };
+        let spec = spec(5);
+        let merged = Coordinator::new(streams_then_dies, 1)
+            .retries(1)
+            .backoff(Backoff::none())
+            .run::<Tok>(&spec)
+            .unwrap();
+        let reference = Coordinator::new(echo_runner, 1).run::<Tok>(&spec).unwrap();
+        assert_eq!(merged, reference);
+        // The retry attempt (if opened at all) saw zero entries re-planned.
+        let sizes = opened.lock().unwrap().clone();
+        assert_eq!(sizes[0], 5);
+        assert!(sizes.len() <= 2);
+        if let Some(&second) = sizes.get(1) {
+            assert_eq!(second, 0);
         }
     }
 
     #[test]
-    fn stderr_truncation_respects_char_boundaries() {
-        // 600 bytes of 2-byte chars: a blunt truncate(512) would split a
-        // char and panic.
-        let text = "é".repeat(300);
-        let cut = truncate_lossy(&text, 512);
-        assert!(cut.len() <= 512);
-        assert!(text.starts_with(&cut));
-        assert_eq!(truncate_lossy("short", 512), "short");
-        assert_eq!(truncate_lossy("", 512), "");
+    fn partial_mode_partitions_grid_between_covered_and_missing() {
+        // Shard 1 always fails; everything else succeeds. Partial mode
+        // must keep shard 0/2's points and map exactly shard 1's points as
+        // missing.
+        let half_dead = |manifest: &ShardManifest| -> Result<String, DistError> {
+            if manifest.shard == 1 {
+                return Err(DistError::Spawn {
+                    shard: 1,
+                    detail: "dead rack".into(),
+                });
+            }
+            echo_runner(manifest)
+        };
+        let spec = spec(9);
+        let coordinator = Coordinator::new(half_dead, 3)
+            .retries(2)
+            .backoff(Backoff::none());
+        let partial = coordinator.run_partial::<Tok>(&spec);
+        assert!(!partial.is_complete());
+        assert_eq!(partial.grid_len, 9);
+        let covered: Vec<usize> = partial.outcomes.iter().map(|(i, _)| *i).collect();
+        let mut all: Vec<usize> = covered.clone();
+        all.extend(&partial.missing);
+        all.sort_unstable();
+        assert_eq!(all, (0..9).collect::<Vec<_>>(), "not a partition");
+        assert_eq!(partial.missing, vec![3, 4, 5]);
+        assert_eq!(partial.failures.len(), 1);
+        assert_eq!(partial.failures[0].shard, 1);
+        assert_eq!(partial.failures[0].attempts, 3);
+        assert!(partial.failures[0].last.contains("dead rack"));
+        // The strict path reports the same failure as Exhausted.
+        let err = coordinator.run::<Tok>(&spec).unwrap_err();
+        assert!(matches!(err, DistError::Exhausted { shard: 1, .. }));
+    }
+
+    #[test]
+    fn partial_event_reaches_the_observer() {
+        use std::sync::Mutex;
+        let dead = |manifest: &ShardManifest| -> Result<String, DistError> {
+            Err(DistError::Spawn {
+                shard: manifest.shard,
+                detail: "down".into(),
+            })
+        };
+        let events = std::sync::Arc::new(Mutex::new(Vec::<CoordEvent>::new()));
+        let seen = events.clone();
+        let partial = Coordinator::new(dead, 2)
+            .retries(0)
+            .backoff(Backoff::none())
+            .on_event(move |e| seen.lock().unwrap().push(e.clone()))
+            .run_partial::<Tok>(&spec(4));
+        assert_eq!(partial.outcomes.len(), 0);
+        let events = events.lock().unwrap();
+        let partials: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                CoordEvent::Partial {
+                    covered,
+                    missing,
+                    grid,
+                } => Some((*covered, *missing, *grid)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(partials, vec![(0, 4, 4)]);
+    }
+
+    #[test]
+    fn watchdog_kills_stalled_attempts_and_work_is_stolen() {
+        use crate::transport::{BufferedLink, WorkerLink};
+        use std::sync::{Arc, Condvar as SyncCondvar, Mutex as SyncMutex};
+
+        /// First attempt at shard 0 stalls forever (until aborted); all
+        /// other attempts echo.
+        struct StallOnce {
+            stalled_once: AtomicUsize,
+        }
+        struct StallingLink {
+            aborted: Arc<(SyncMutex<bool>, SyncCondvar)>,
+        }
+        impl WorkerLink for StallingLink {
+            fn next_line(&mut self) -> Result<Option<Vec<u8>>, DistError> {
+                let (lock, cond) = &*self.aborted;
+                let mut aborted = lock.lock().unwrap();
+                while !*aborted {
+                    aborted = cond.wait(aborted).unwrap();
+                }
+                Err(DistError::Stalled { shard: 0 })
+            }
+            fn finish(&mut self) -> Result<(), DistError> {
+                Ok(())
+            }
+            fn abort_handle(&self) -> crate::transport::AbortHandle {
+                let pair = self.aborted.clone();
+                Arc::new(move || {
+                    let (lock, cond) = &*pair;
+                    *lock.lock().unwrap() = true;
+                    cond.notify_all();
+                })
+            }
+        }
+        impl ShardTransport for StallOnce {
+            fn open(&self, manifest: &ShardManifest) -> Result<Box<dyn WorkerLink>, DistError> {
+                if manifest.shard == 0 && self.stalled_once.fetch_add(1, Ordering::SeqCst) == 0 {
+                    return Ok(Box::new(StallingLink {
+                        aborted: Arc::new((SyncMutex::new(false), SyncCondvar::new())),
+                    }));
+                }
+                Ok(Box::new(BufferedLink::from_text(&echo_runner(manifest)?)))
+            }
+        }
+
+        let spec = spec(6);
+        let merged = Coordinator::new(
+            StallOnce {
+                stalled_once: AtomicUsize::new(0),
+            },
+            2,
+        )
+        .retries(1)
+        .backoff(Backoff::none())
+        .watchdog(Duration::from_millis(50))
+        .run::<Tok>(&spec)
+        .unwrap();
+        let reference = Coordinator::new(echo_runner, 1).run::<Tok>(&spec).unwrap();
+        assert_eq!(merged, reference);
+    }
+
+    #[test]
+    fn backoff_is_deterministic_exponential_and_jittered() {
+        let backoff = Backoff::default();
+        for shard in 0..4 {
+            for attempt in 1..=6 {
+                assert_eq!(
+                    backoff.delay(shard, attempt),
+                    backoff.delay(shard, attempt),
+                    "delay must be pure"
+                );
+            }
+        }
+        // Exponential growth up to the cap: the un-jittered part doubles.
+        let base = Duration::from_millis(50);
+        for attempt in 1..=4 {
+            let d = backoff.delay(0, attempt);
+            let floor = base * (1 << (attempt - 1));
+            assert!(d >= floor, "attempt {attempt}: {d:?} < {floor:?}");
+            assert!(
+                d <= floor + floor.mul_f64(backoff.jitter),
+                "attempt {attempt}: {d:?} above jitter ceiling"
+            );
+        }
+        // The cap binds eventually.
+        assert!(backoff.delay(0, 30) <= backoff.max.mul_f64(1.0 + backoff.jitter));
+        // Jitter differs across shards somewhere (seeded per shard).
+        let differs = (1..16).any(|s| backoff.delay(s, 2) != backoff.delay(0, 2));
+        assert!(differs, "jitter never varied across shards");
+        assert_eq!(Backoff::none().delay(3, 5), Duration::ZERO);
+    }
+
+    #[test]
+    fn worker_command_reports_spawn_failures() {
+        use crate::transport::WorkerCommand;
+        let cmd = WorkerCommand::new("/nonexistent/definitely-not-a-worker");
+        let manifest = plan_shards(&spec(1), 1).remove(0);
+        match cmd.open(&manifest) {
+            Err(DistError::Spawn { shard: 0, .. }) => {}
+            Ok(_) => panic!("expected Spawn error, got a link"),
+            Err(other) => panic!("expected Spawn error, got {other:?}"),
+        }
     }
 
     #[test]
@@ -745,6 +1255,14 @@ mod tests {
             DistError::ShardMismatch {
                 expected: 0,
                 got: 1,
+            },
+            DistError::Stalled { shard: 3 },
+            DistError::Incomplete {
+                shard: 4,
+                missing: 2,
+            },
+            DistError::WorkerNotFound {
+                searched: vec!["$CAMPAIGN_WORKER (unset)".into(), "/tmp/x".into()],
             },
             DistError::MissingPoint { index: 4 },
             DistError::DuplicatePoint { index: 5 },

@@ -18,16 +18,26 @@
 //!   ([`point_seed`]), so they are identical regardless of the shard
 //!   count, and an ordering-stable merger ([`merge_reports`],
 //!   BTreeMap-keyed) so `merge(k shards) == run(1 process)` bit-for-bit.
+//! * [`transport`] — the [`ShardTransport`] abstraction over how a shard
+//!   manifest reaches a worker and its output streams back: spawned
+//!   processes ([`WorkerCommand`]), hand-rolled TCP ([`TcpTransport`] /
+//!   [`serve_shards`]), in-process closures (tests), and a deterministic
+//!   chaos wrapper ([`ChaosTransport`]) injecting seeded crashes, stalls,
+//!   truncations, corrupted lines, and connection drops.
 //! * [`coordinator`] — a [`Coordinator`] that dispatches shards
-//!   concurrently over a [`ShardRunner`] transport (production:
-//!   [`WorkerCommand`], spawning the `campaign_worker` binary per shard),
-//!   streams reports back as workers finish, and retries failed shards
-//!   (visibly: retries are logged and surfaced as [`CoordEvent`]s).
+//!   concurrently over a [`ShardTransport`] and recovers failures at
+//!   *point* granularity: streamed outcomes are banked as they arrive, a
+//!   no-progress watchdog kills stalled attempts, a seeded exponential
+//!   [`Backoff`] paces re-plans, and unfinished points are work-stolen by
+//!   idle fabric threads (retries stay visible: logged and surfaced as
+//!   [`CoordEvent`]s). On budget exhaustion the partial entry points
+//!   degrade to typed [`PartialSweep`] / [`PartialReport`] values.
 //! * [`progress`] — streaming per-point progress: the JSONL records
 //!   workers emit in `--progress` mode ([`ProgressEvent`]), the
 //!   coordinator's observer stream ([`CoordEvent`]), and the rolling
 //!   per-shard aggregates ([`LiveAggregates`]: points/sec, ETA, straggler
-//!   flagging) behind the `campaign_watch` dashboard.
+//!   flagging, malformed-line gauge, partial coverage) behind the
+//!   `campaign_watch` dashboard.
 //!
 //! The worker side lives in `ba-bench` (`campaign_worker` binary + protocol
 //! registry), because resolving protocol labels needs the protocol crates.
@@ -51,12 +61,19 @@
 pub mod coordinator;
 pub mod progress;
 pub mod shard;
+pub mod transport;
 pub mod wire;
 
-pub use coordinator::{Coordinator, DistError, ShardRunner, WorkerCommand};
+pub use coordinator::{Backoff, Coordinator, DistError};
 pub use progress::{CoordEvent, LiveAggregates, ProgressEvent, ShardProgress, STRAGGLER_FACTOR};
 pub use shard::{
-    assemble_campaign_report, merge_campaign_report, merge_reports, plan_shards, point_seed,
-    ShardEntry, ShardManifest, ShardMode, ShardReport, SweepSpec,
+    assemble_campaign_report, merge_campaign_report, merge_reports, plan_resume, plan_shards,
+    point_seed, PartialReport, PartialSweep, PointOutcome, ShardEntry, ShardFailure, ShardManifest,
+    ShardMode, ShardReport, SweepSpec,
 };
-pub use wire::{Decode, Encode, WireError, WireReader};
+pub use transport::{
+    serve_connection, serve_shards, AbortHandle, BufferedLink, ChaosFault, ChaosFaultKind,
+    ChaosPlan, ChaosTransport, ShardTransport, TcpTransport, WorkerCommand, WorkerLink,
+    ALL_CHAOS_KINDS,
+};
+pub use wire::{fnv64, Decode, Encode, WireError, WireReader};

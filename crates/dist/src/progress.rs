@@ -105,6 +105,16 @@ pub enum CoordEvent {
         /// The finished shard.
         shard: usize,
     },
+    /// The sweep degraded to partial coverage: some points never finished
+    /// within the retry budget.
+    Partial {
+        /// Points that did finish.
+        covered: usize,
+        /// Points forfeited.
+        missing: usize,
+        /// The planned grid size (`covered + missing`).
+        grid: usize,
+    },
 }
 
 impl CoordEvent {
@@ -127,6 +137,14 @@ impl CoordEvent {
             CoordEvent::ShardDone { shard } => {
                 format!("{{\"type\":\"shard_done\",\"shard\":{shard}}}")
             }
+            CoordEvent::Partial {
+                covered,
+                missing,
+                grid,
+            } => format!(
+                "{{\"type\":\"partial\",\"covered\":{covered},\"missing\":{missing},\
+                 \"grid\":{grid}}}"
+            ),
         }
     }
 }
@@ -146,6 +164,11 @@ impl CoordEvent {
             }),
             "shard_done" => Some(CoordEvent::ShardDone {
                 shard: json.get("shard")?.as_u64()? as usize,
+            }),
+            "partial" => Some(CoordEvent::Partial {
+                covered: json.get("covered")?.as_u64()? as usize,
+                missing: json.get("missing")?.as_u64()? as usize,
+                grid: json.get("grid")?.as_u64()? as usize,
             }),
             _ => None,
         }
@@ -170,6 +193,14 @@ impl fmt::Display for CoordEvent {
                 "shard {shard}: attempt {attempt}/{attempts} failed, retrying: {cause}"
             ),
             CoordEvent::ShardDone { shard } => write!(f, "shard {shard}: report merged"),
+            CoordEvent::Partial {
+                covered,
+                missing,
+                grid,
+            } => write!(
+                f,
+                "partial coverage: {covered}/{grid} points merged, {missing} missing"
+            ),
         }
     }
 }
@@ -208,6 +239,8 @@ impl ShardProgress {
 pub struct LiveAggregates {
     shards: BTreeMap<usize, ShardProgress>,
     expected_shards: usize,
+    malformed_lines: u64,
+    partial: Option<(usize, usize, usize)>,
 }
 
 /// A shard is a straggler when its observed rate is more than `2×` slower
@@ -241,7 +274,30 @@ impl LiveAggregates {
                 self.shards.entry(*shard).or_default().retries += 1;
             }
             CoordEvent::ShardDone { .. } => {}
+            CoordEvent::Partial {
+                covered,
+                missing,
+                grid,
+            } => self.partial = Some((*covered, *missing, *grid)),
         }
+    }
+
+    /// Notes one malformed (non-UTF8, garbled, or unparseable) stream line.
+    /// Dashboards pass such lines through opaquely; this gauge keeps the
+    /// corruption visible.
+    pub fn note_malformed(&mut self) {
+        self.malformed_lines += 1;
+    }
+
+    /// Malformed stream lines observed so far.
+    pub fn malformed_lines(&self) -> u64 {
+        self.malformed_lines
+    }
+
+    /// The partial-coverage outcome, if the coordinator degraded:
+    /// `(covered, missing, grid)`.
+    pub fn partial_coverage(&self) -> Option<(usize, usize, usize)> {
+        self.partial
     }
 
     /// Per-shard progress, keyed by shard index.
@@ -372,6 +428,14 @@ impl LiveAggregates {
             self.total_done(),
             self.total_points()
         ));
+        if self.malformed_lines > 0 {
+            out.push_str(&format!("malformed lines: {}\n", self.malformed_lines));
+        }
+        if let Some((covered, missing, grid)) = self.partial {
+            out.push_str(&format!(
+                "PARTIAL: {covered}/{grid} points covered, {missing} missing\n"
+            ));
+        }
         out
     }
 
@@ -395,11 +459,18 @@ impl LiveAggregates {
             ));
         }
         out.push_str(&format!(
-            "],\"done\":{},\"points\":{},\"complete\":{}}}",
+            "],\"done\":{},\"points\":{},\"complete\":{},\"malformed_lines\":{}",
             self.total_done(),
             self.total_points(),
-            self.is_complete()
+            self.is_complete(),
+            self.malformed_lines
         ));
+        if let Some((covered, missing, grid)) = self.partial {
+            out.push_str(&format!(
+                ",\"partial\":{{\"covered\":{covered},\"missing\":{missing},\"grid\":{grid}}}"
+            ));
+        }
+        out.push('}');
         out
     }
 }
@@ -503,6 +574,39 @@ mod tests {
         }
         .to_json_line();
         assert!(parse_json_line(&line).is_some(), "{line}");
+    }
+
+    #[test]
+    fn partial_events_round_trip_and_surface_in_aggregates() {
+        let e = CoordEvent::Partial {
+            covered: 7,
+            missing: 2,
+            grid: 9,
+        };
+        let line = e.to_json_line();
+        assert_eq!(CoordEvent::parse(&line), Some(e.clone()));
+        assert!(e.to_string().contains("7/9"), "{e}");
+
+        let mut live = LiveAggregates::new();
+        live.ingest_coord(&e);
+        assert_eq!(live.partial_coverage(), Some((7, 2, 9)));
+        assert!(live.render().contains("PARTIAL: 7/9"), "{}", live.render());
+        let json = live.summary_json();
+        let parsed = parse_json_line(&json).expect("summary parses");
+        assert!(parsed.get("partial").is_some(), "{json}");
+    }
+
+    #[test]
+    fn malformed_lines_gauge_shows_in_render_and_summary() {
+        let mut live = LiveAggregates::new();
+        assert_eq!(live.malformed_lines(), 0);
+        assert!(!live.render().contains("malformed"));
+        live.note_malformed();
+        live.note_malformed();
+        assert_eq!(live.malformed_lines(), 2);
+        assert!(live.render().contains("malformed lines: 2"));
+        let parsed = parse_json_line(&live.summary_json()).expect("summary parses");
+        assert_eq!(parsed.get("malformed_lines").unwrap().as_u64(), Some(2));
     }
 
     #[test]

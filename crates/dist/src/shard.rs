@@ -86,6 +86,168 @@ pub struct ShardReport<T> {
     pub outcomes: Vec<(usize, Result<T, SimError>)>,
 }
 
+/// One finished grid point streamed back mid-shard, before the final
+/// [`ShardReport`].
+///
+/// In `--stream` mode workers emit one of these per completed point, which
+/// is what makes point-level recovery possible: the coordinator harvests
+/// them as they arrive, so a worker that crashes after k points only
+/// forfeits the points it had not yet finished. The global grid `index`
+/// (whose seed is the pure function [`point_seed`]) is the idempotency key:
+/// re-running a point on another worker reproduces the identical result, so
+/// duplicates arriving from work-stealing are deduplicated on merge.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PointOutcome<T> {
+    /// The point's index in the full (unsharded) grid.
+    pub index: usize,
+    /// The point's outcome.
+    pub result: Result<T, SimError>,
+}
+
+/// One shard that exhausted its retry budget, recorded in a
+/// [`PartialSweep`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ShardFailure {
+    /// The shard (in the original plan) that failed.
+    pub shard: usize,
+    /// How many attempts were made before giving up.
+    pub attempts: usize,
+    /// The last attempt's error, as text.
+    pub last: String,
+}
+
+/// The graceful-degradation result of a sweep that exhausted its retry
+/// budget: everything that finished, plus a coverage map of what did not.
+///
+/// The invariant (property-tested): `outcomes` indices and `missing`
+/// together exactly partition `0..grid_len`. A complete sweep is the
+/// special case `missing.is_empty()`, in which case the outcomes are
+/// bit-identical to a fully successful run.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PartialSweep<T> {
+    /// The full grid's length.
+    pub grid_len: usize,
+    /// `(global index, outcome)` for every point that finished, in
+    /// ascending index order.
+    pub outcomes: Vec<(usize, Result<T, SimError>)>,
+    /// Global indices of points that never finished, in ascending order.
+    pub missing: Vec<usize>,
+    /// The shards that exhausted their retry budget.
+    pub failures: Vec<ShardFailure>,
+}
+
+impl<T> PartialSweep<T> {
+    /// Whether every grid point finished (no degradation happened).
+    pub fn is_complete(&self) -> bool {
+        self.missing.is_empty()
+    }
+
+    /// `(finished, planned)` point counts.
+    pub fn coverage(&self) -> (usize, usize) {
+        (self.outcomes.len(), self.grid_len)
+    }
+
+    /// Extracts the merged in-order outcomes if the sweep is complete;
+    /// otherwise hands the partial sweep back.
+    ///
+    /// # Errors
+    ///
+    /// Returns `self` unchanged when points are missing.
+    pub fn into_complete(self) -> Result<Vec<Result<T, SimError>>, Box<PartialSweep<T>>> {
+        if self.is_complete() {
+            Ok(self.outcomes.into_iter().map(|(_, r)| r).collect())
+        } else {
+            Err(Box::new(self))
+        }
+    }
+}
+
+impl<O> PartialSweep<ba_sim::ScenarioStats<O>> {
+    /// Zips a partial scenario sweep back with its grid into a
+    /// [`PartialReport`].
+    pub fn into_campaign(self, points: &[CampaignPoint]) -> PartialReport<O> {
+        let covered = CampaignReport {
+            outcomes: self
+                .outcomes
+                .into_iter()
+                .map(|(index, result)| ScenarioOutcome {
+                    point: points[index].clone(),
+                    result,
+                })
+                .collect(),
+        };
+        PartialReport {
+            grid_len: self.grid_len,
+            covered,
+            missing: self
+                .missing
+                .into_iter()
+                .map(|index| (index, points[index].clone()))
+                .collect(),
+            failures: self.failures,
+        }
+    }
+}
+
+/// A campaign-level [`PartialSweep`]: the covered points assembled into a
+/// [`CampaignReport`], plus the coverage map of missing points.
+#[derive(Clone, PartialEq, Debug)]
+pub struct PartialReport<O> {
+    /// The planned grid's length.
+    pub grid_len: usize,
+    /// The outcomes that finished, zipped with their points — a valid
+    /// [`CampaignReport`] over the covered subset of the grid.
+    pub covered: CampaignReport<O>,
+    /// The points that never finished, with their global grid indices.
+    pub missing: Vec<(usize, CampaignPoint)>,
+    /// The shards that exhausted their retry budget.
+    pub failures: Vec<ShardFailure>,
+}
+
+impl<O> PartialReport<O> {
+    /// Whether every grid point finished.
+    pub fn is_complete(&self) -> bool {
+        self.missing.is_empty()
+    }
+
+    /// One-line human summary of the coverage.
+    pub fn coverage_summary(&self) -> String {
+        format!(
+            "{}/{} points covered, {} missing, {} shard(s) exhausted",
+            self.covered.outcomes.len(),
+            self.grid_len,
+            self.missing.len(),
+            self.failures.len()
+        )
+    }
+
+    /// Renders the report's coverage map as a JSON object (for artifacts
+    /// and dashboards): grid size, covered/missing indices, and per-shard
+    /// failure diagnostics.
+    pub fn coverage_json(&self) -> String {
+        let missing: Vec<String> = self.missing.iter().map(|(i, _)| i.to_string()).collect();
+        let failures: Vec<String> = self
+            .failures
+            .iter()
+            .map(|f| {
+                format!(
+                    "{{\"shard\":{},\"attempts\":{},\"last\":\"{}\"}}",
+                    f.shard,
+                    f.attempts,
+                    ba_obs::json_escape(&f.last)
+                )
+            })
+            .collect();
+        format!(
+            "{{\"type\":\"partial_report\",\"grid\":{},\"covered\":{},\"missing\":[{}],\"failures\":[{}]}}",
+            self.grid_len,
+            self.covered.outcomes.len(),
+            missing.join(","),
+            failures.join(",")
+        )
+    }
+}
+
 /// A full sweep, ready to be sharded: the grid plus everything a worker
 /// needs to reproduce each point.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -183,6 +345,56 @@ pub fn plan_shards(spec: &SweepSpec, shards: usize) -> Vec<ShardManifest> {
         let size = base + usize::from(shard < extra);
         let entries: Vec<ShardEntry> = (next..next + size)
             .map(|index| ShardEntry {
+                index,
+                seed: point_seed(spec.base_seed, &spec.points[index]),
+                point: spec.points[index].clone(),
+            })
+            .collect();
+        next += size;
+        if entries.is_empty() {
+            continue;
+        }
+        manifests.push(ShardManifest {
+            shard,
+            shards,
+            mode: spec.mode,
+            protocol: spec.protocol.clone(),
+            threads: spec.worker_threads,
+            entries,
+        });
+    }
+    manifests
+}
+
+/// Plans manifests covering only the given grid indices — the resume step
+/// after a [`PartialSweep`]: feed it the sweep's `missing` list and the
+/// resulting manifests re-run exactly the unfinished points, with the same
+/// per-point seeds ([`point_seed`] is position-independent), so
+/// `merge(partial ∪ resume) == run(1 process)` bit-for-bit.
+///
+/// Indices outside the grid are ignored; duplicates are collapsed. Shard
+/// ids restart at 0 over `min(shards, missing points)` manifests.
+pub fn plan_resume(spec: &SweepSpec, missing: &[usize], shards: usize) -> Vec<ShardManifest> {
+    let picked: Vec<usize> = {
+        let uniq: BTreeMap<usize, ()> = missing
+            .iter()
+            .copied()
+            .filter(|&i| i < spec.points.len())
+            .map(|i| (i, ()))
+            .collect();
+        uniq.into_keys().collect()
+    };
+    let len = picked.len();
+    let shards = shards.clamp(1, len.max(1));
+    let base = len / shards;
+    let extra = len % shards;
+    let mut manifests = Vec::with_capacity(shards);
+    let mut next = 0usize;
+    for shard in 0..shards {
+        let size = base + usize::from(shard < extra);
+        let entries: Vec<ShardEntry> = picked[next..next + size]
+            .iter()
+            .map(|&index| ShardEntry {
                 index,
                 seed: point_seed(spec.base_seed, &spec.points[index]),
                 point: spec.points[index].clone(),

@@ -29,7 +29,22 @@ use ba_sim::{
     Bit, CampaignPoint, CampaignReport, ProcessId, Round, ScenarioOutcome, ScenarioStats, SimError,
 };
 
-use crate::shard::{ShardEntry, ShardManifest, ShardMode, ShardReport};
+use crate::shard::{
+    PartialSweep, PointOutcome, ShardEntry, ShardFailure, ShardManifest, ShardMode, ShardReport,
+};
+
+/// FNV-1a over raw bytes — the checksum used by streamed [`PointOutcome`]
+/// records so a corrupted line fails decoding with a typed error instead of
+/// yielding a plausible-but-wrong value.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = FNV_OFFSET;
+    for &b in bytes {
+        hash = (hash ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
 
 /// A value that can be serialized onto the wire.
 pub trait Encode {
@@ -673,6 +688,120 @@ impl<T: Decode> Decode for ShardReport<T> {
     }
 }
 
+impl<T: Encode> Encode for PointOutcome<T> {
+    /// Encodes as exactly **one line**, whatever the payload: the payload's
+    /// (multi-line) encoding is percent-escaped into the `data` field and
+    /// guarded by an FNV-1a checksum. Streamed mid-shard records therefore
+    /// never interleave partially with other output, and any single-line
+    /// corruption is detected rather than decoded into a wrong value.
+    fn encode(&self, out: &mut String) {
+        let mut inner = String::new();
+        encode_result(&self.result, &mut inner);
+        let data = escape(&inner);
+        out.push_str(&format!(
+            "outcome index={} sum={:016x} data={}\n",
+            self.index,
+            fnv64(data.as_bytes()),
+            data
+        ));
+    }
+}
+
+impl<T: Decode> Decode for PointOutcome<T> {
+    fn decode(reader: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let rec = reader.record("outcome")?;
+        let index = rec.parse_field("index")?;
+        let raw = rec.raw("data")?;
+        let sum_text = rec.raw("sum")?;
+        let sum = u64::from_str_radix(sum_text, 16)
+            .map_err(|_| rec.field_error("sum", format!("unparsable checksum {sum_text:?}")))?;
+        if fnv64(raw.as_bytes()) != sum {
+            return Err(rec.field_error("data", "checksum mismatch"));
+        }
+        let inner = unescape(raw)?;
+        let mut inner_reader = WireReader::new(&inner);
+        let result = decode_result(&mut inner_reader)?;
+        inner_reader.finish()?;
+        Ok(PointOutcome { index, result })
+    }
+}
+
+impl Encode for ShardFailure {
+    fn encode(&self, out: &mut String) {
+        out.push_str(&format!(
+            "failure shard={} attempts={} last={}\n",
+            self.shard,
+            self.attempts,
+            escape(&self.last)
+        ));
+    }
+}
+
+impl Decode for ShardFailure {
+    fn decode(reader: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let rec = reader.record("failure")?;
+        Ok(ShardFailure {
+            shard: rec.parse_field("shard")?,
+            attempts: rec.parse_field("attempts")?,
+            last: rec.text("last")?,
+        })
+    }
+}
+
+impl<T: Encode> Encode for PartialSweep<T> {
+    fn encode(&self, out: &mut String) {
+        let missing: Vec<String> = self.missing.iter().map(|i| i.to_string()).collect();
+        out.push_str(&format!(
+            "partial-report grid={} count={} failures={} missing={}\n",
+            self.grid_len,
+            self.outcomes.len(),
+            self.failures.len(),
+            missing.join(",")
+        ));
+        for (index, result) in &self.outcomes {
+            out.push_str(&format!("item index={index}\n"));
+            encode_result(result, out);
+        }
+        for failure in &self.failures {
+            failure.encode(out);
+        }
+    }
+}
+
+impl<T: Decode> Decode for PartialSweep<T> {
+    fn decode(reader: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let rec = reader.record("partial-report")?;
+        let grid_len = rec.parse_field("grid")?;
+        let count: usize = rec.parse_field("count")?;
+        let failure_count: usize = rec.parse_field("failures")?;
+        let missing_raw = rec.raw("missing")?;
+        let mut missing = Vec::new();
+        for part in missing_raw.split(',').filter(|p| !p.is_empty()) {
+            missing.push(
+                part.parse().map_err(|_| {
+                    rec.field_error("missing", format!("unparsable index {part:?}"))
+                })?,
+            );
+        }
+        let mut outcomes = Vec::with_capacity(count.min(1 << 16));
+        for _ in 0..count {
+            let item = reader.record("item")?;
+            let index = item.parse_field("index")?;
+            outcomes.push((index, decode_result(reader)?));
+        }
+        let mut failures = Vec::with_capacity(failure_count.min(1 << 16));
+        for _ in 0..failure_count {
+            failures.push(ShardFailure::decode(reader)?);
+        }
+        Ok(PartialSweep {
+            grid_len,
+            outcomes,
+            missing,
+            failures,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -936,5 +1065,185 @@ mod tests {
             expected: "report".into(),
         };
         assert!(err.to_string().contains("report"));
+    }
+
+    // -----------------------------------------------------------------------
+    // Adversarial-input hardening: every wire type must survive arbitrary
+    // mutations of a valid encoding — truncation mid-byte, line surgery,
+    // garbage splices, byte flips — with a typed `WireError`, never a panic.
+    // If a mutation happens to still decode, the value must be internally
+    // consistent (it re-encodes, and its re-encoding round-trips).
+    // -----------------------------------------------------------------------
+
+    /// Feeds every mutation of `wire` to the decoder. Success is simply not
+    /// panicking; accidental `Ok`s must re-encode stably.
+    fn assault<T: Encode + Decode + PartialEq + fmt::Debug>(value: &T, rng: &mut SimRng) {
+        let wire = value.to_wire();
+        let mut mutations: Vec<String> = Vec::new();
+        // Byte truncations, including mid-UTF-8 (lossy repair mimics what a
+        // cut TCP stream or killed process delivers after text recovery).
+        let bytes = wire.as_bytes();
+        for k in 0..bytes.len() {
+            if k % 3 == 0 || k + 4 >= bytes.len() {
+                mutations.push(String::from_utf8_lossy(&bytes[..k]).into_owned());
+            }
+        }
+        let lines: Vec<&str> = wire.lines().collect();
+        if !lines.is_empty() {
+            // Remove one line, duplicate one line, swap two lines.
+            let mut removed = lines.clone();
+            removed.remove(rng.gen_index(0, lines.len()));
+            mutations.push(removed.join("\n") + "\n");
+            let mut duplicated = lines.clone();
+            let dup_at = rng.gen_index(0, lines.len());
+            duplicated.insert(dup_at, lines[dup_at]);
+            mutations.push(duplicated.join("\n") + "\n");
+            let mut swapped = lines.clone();
+            swapped.swap(rng.gen_index(0, lines.len()), rng.gen_index(0, lines.len()));
+            mutations.push(swapped.join("\n") + "\n");
+        }
+        // Garbage splices at a random line boundary.
+        for garbage in [
+            "garbage\n",
+            "outcome index=0 sum=dead data=beef\n",
+            "point n=1\n",
+            "=\n",
+            "% %% %%%\n",
+        ] {
+            let mut spliced = String::new();
+            let at = rng.gen_index(0, lines.len() + 1);
+            for (i, line) in lines.iter().enumerate() {
+                if i == at {
+                    spliced.push_str(garbage);
+                }
+                spliced.push_str(line);
+                spliced.push('\n');
+            }
+            if at == lines.len() {
+                spliced.push_str(garbage);
+            }
+            mutations.push(spliced);
+        }
+        // Byte flips (lossy-repaired so the input is a `str` again — the
+        // raw-bytes case is the transports' job; decoders take `&str`).
+        for _ in 0..8 {
+            let mut flipped = bytes.to_vec();
+            if flipped.is_empty() {
+                break;
+            }
+            let at = rng.gen_index(0, flipped.len());
+            flipped[at] = rng.next_u64() as u8;
+            mutations.push(String::from_utf8_lossy(&flipped).into_owned());
+        }
+
+        for mutated in &mutations {
+            match T::from_wire(mutated) {
+                Ok(value) => {
+                    // An accidental success must be a self-consistent value.
+                    let rewire = value.to_wire();
+                    let again = T::from_wire(&rewire).unwrap_or_else(|e| {
+                        panic!("re-encoding of an accepted mutation failed to decode: {e}")
+                    });
+                    assert_eq!(again, value);
+                }
+                Err(e) => {
+                    // The typed error must render without panicking.
+                    let _ = e.to_string();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn decoders_survive_adversarial_mutations_of_every_wire_type() {
+        let mut rng = SimRng::seed_from_u64(0xADE5A17);
+        for _ in 0..12 {
+            assault(&point(&mut rng), &mut rng);
+            assault(&sim_error(&mut rng), &mut rng);
+            assault(&stats(&mut rng), &mut rng);
+            assault(&outcome(&mut rng), &mut rng);
+            let report = CampaignReport {
+                outcomes: (0..rng.gen_index(1, 4))
+                    .map(|_| outcome(&mut rng))
+                    .collect(),
+            };
+            assault(&report, &mut rng);
+            let entry = ShardEntry {
+                index: rng.gen_index(0, 99),
+                seed: rng.next_u64(),
+                point: point(&mut rng),
+            };
+            assault(&entry, &mut rng);
+            let manifest = ShardManifest {
+                shard: 0,
+                shards: 2,
+                mode: ShardMode::Scenarios,
+                protocol: label(&mut rng),
+                threads: 0,
+                entries: vec![entry],
+            };
+            assault(&manifest, &mut rng);
+            let shard_report: ShardReport<ScenarioStats<Bit>> = ShardReport {
+                shard: rng.gen_index(0, 8),
+                outcomes: vec![(0, Ok(stats(&mut rng))), (1, Err(sim_error(&mut rng)))],
+            };
+            assault(&shard_report, &mut rng);
+            let point_outcome: PointOutcome<ScenarioStats<Bit>> = PointOutcome {
+                index: rng.gen_index(0, 99),
+                result: if rng.gen_bool(0.5) {
+                    Ok(stats(&mut rng))
+                } else {
+                    Err(sim_error(&mut rng))
+                },
+            };
+            assault(&point_outcome, &mut rng);
+            let failure = ShardFailure {
+                shard: rng.gen_index(0, 8),
+                attempts: rng.gen_index(1, 5),
+                last: label(&mut rng),
+            };
+            assault(&failure, &mut rng);
+            let partial: PartialSweep<ScenarioStats<Bit>> = PartialSweep {
+                grid_len: 4,
+                outcomes: vec![(0, Ok(stats(&mut rng))), (2, Err(sim_error(&mut rng)))],
+                missing: vec![1, 3],
+                failures: vec![failure],
+            };
+            assault(&partial, &mut rng);
+        }
+    }
+
+    #[test]
+    fn checksummed_outcome_lines_reject_any_single_character_corruption() {
+        // The streamed `outcome` line is the one record harvested mid-crash,
+        // so its integrity bar is higher: *any* corruption of the data field
+        // must be detected by the checksum — a typed error, never a wrong
+        // value decoded as if it were good.
+        let mut rng = SimRng::seed_from_u64(0xC4EC);
+        let original: PointOutcome<ScenarioStats<Bit>> = PointOutcome {
+            index: 3,
+            result: Ok(stats(&mut rng)),
+        };
+        let wire = original.to_wire();
+        let data_start = wire.find(" data=").expect("data field") + " data=".len();
+        for at in data_start..wire.trim_end().len() {
+            for replacement in ['0', 'z', '~'] {
+                let mut mutated = wire.clone();
+                // Replace one character of the escaped payload.
+                mutated.replace_range(at..at + 1, &replacement.to_string());
+                if mutated == wire {
+                    continue;
+                }
+                match PointOutcome::<ScenarioStats<Bit>>::from_wire(&mutated) {
+                    Ok(decoded) => assert_eq!(
+                        decoded, original,
+                        "a corrupted line decoded to a different value"
+                    ),
+                    Err(e) => {
+                        let _ = e.to_string();
+                    }
+                }
+            }
+        }
     }
 }

@@ -1,0 +1,293 @@
+//! The chaos-invariance property of the campaign fabric, end to end over
+//! in-process streaming transports:
+//!
+//! * **recoverable** chaos schedules (faults that relent within the retry
+//!   budget) must merge **bit-identically** to the unfaulted run — for
+//!   every fault family (crash, stall, truncate, corrupt, drop) over a
+//!   grid of chaos seeds;
+//! * **unrecoverable** schedules must degrade to a [`PartialSweep`] whose
+//!   merged outcomes + missing-coverage map exactly partition the planned
+//!   grid — never a panic, never a silently wrong value;
+//! * retry and error counters in [`LiveAggregates`] must match the
+//!   injected schedule **exactly**, computed a priori from the pure
+//!   [`ChaosPlan::fault_for`].
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use ba_dist::{
+    Backoff, ChaosFaultKind, ChaosPlan, ChaosTransport, CoordEvent, Coordinator, Decode, DistError,
+    Encode, LiveAggregates, PartialSweep, PointOutcome, ProgressEvent, ShardManifest, ShardReport,
+    SweepSpec, WireError, WireReader,
+};
+use ba_sim::{CampaignPoint, SimError};
+
+/// A minimal wire type whose value binds the point's seed and index, so a
+/// wrong re-plan (bad seed, swapped index) shows up as a value mismatch.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+struct Tok(u64);
+
+impl Encode for Tok {
+    fn encode(&self, out: &mut String) {
+        out.push_str(&format!("tok v={}\n", self.0));
+    }
+}
+
+impl Decode for Tok {
+    fn decode(reader: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(Tok(reader.record("tok")?.parse_field("v")?))
+    }
+}
+
+fn spec(len: usize) -> SweepSpec {
+    SweepSpec::scenarios(
+        (0..len).map(|i| CampaignPoint::new(4 + i % 7, 1).with_inputs("ones")),
+        "test",
+    )
+    .base_seed(0x5EED)
+}
+
+/// Whether the echo marks a point as a simulator error (exercising the
+/// `Err` half of every outcome wire line).
+fn is_err_point(index: usize) -> bool {
+    index % 5 == 0
+}
+
+/// An in-process worker in `--stream --progress` dress: one progress JSONL
+/// line + one checksummed outcome line per entry, then the full report —
+/// exactly the line shapes the real `campaign_worker` emits, so chaos
+/// faults cut/garble the same kind of stream the process transport carries.
+fn streaming_echo(manifest: &ShardManifest) -> Result<String, DistError> {
+    let mut out = String::new();
+    let mut outcomes = Vec::new();
+    for (done, entry) in manifest.entries.iter().enumerate() {
+        let result: Result<Tok, SimError> = if is_err_point(entry.index) {
+            Err(SimError::InvalidResilience { n: 1, t: 1 })
+        } else {
+            Ok(Tok(entry.seed ^ entry.index as u64))
+        };
+        out.push_str(
+            &ProgressEvent {
+                shard: manifest.shard,
+                shards: manifest.shards,
+                done: done + 1,
+                total: manifest.entries.len(),
+                index: entry.index,
+                messages: 7,
+                rounds: 1,
+                ok: result.is_ok(),
+                elapsed_nanos: (done as u64 + 1) * 1_000,
+            }
+            .to_json_line(),
+        );
+        out.push('\n');
+        PointOutcome {
+            index: entry.index,
+            result: result.clone(),
+        }
+        .encode(&mut out);
+        outcomes.push((entry.index, result));
+    }
+    out.push_str(
+        &ShardReport {
+            shard: manifest.shard,
+            outcomes,
+        }
+        .to_wire(),
+    );
+    Ok(out)
+}
+
+type EchoFn = fn(&ShardManifest) -> Result<String, DistError>;
+
+fn reference(spec: &SweepSpec) -> Vec<Result<Tok, SimError>> {
+    Coordinator::new(streaming_echo as EchoFn, 1)
+        .run::<Tok>(spec)
+        .expect("unfaulted reference")
+}
+
+fn chaos_coordinator(plan: ChaosPlan, shards: usize) -> Coordinator<ChaosTransport<EchoFn>> {
+    Coordinator::new(ChaosTransport::new(streaming_echo as EchoFn, plan), shards)
+        .backoff(Backoff::none())
+        .watchdog(Duration::from_millis(100))
+}
+
+#[test]
+fn recoverable_chaos_schedules_merge_bit_identically() {
+    let spec = spec(23);
+    let want = reference(&spec);
+    // Twelve seeds × the full fault mix (rate 0.7, relents after 2 faulted
+    // attempts per shard): with 4 retries every shard must eventually land
+    // every point, and the merge must be bit-for-bit the unfaulted value.
+    for seed in 0..12u64 {
+        let got = chaos_coordinator(ChaosPlan::new(seed), 4)
+            .retries(4)
+            .run::<Tok>(&spec)
+            .unwrap_or_else(|e| panic!("seed {seed}: recoverable schedule failed: {e}"));
+        assert_eq!(got, want, "seed {seed}: merged value diverged");
+    }
+}
+
+#[test]
+fn each_fault_family_is_recoverable_in_isolation() {
+    let spec = spec(17);
+    let want = reference(&spec);
+    for kind in ba_dist::ALL_CHAOS_KINDS {
+        for seed in 0..4u64 {
+            let plan = ChaosPlan::new(seed ^ 0xFA_u64).kinds(&[kind]).rate(1.0);
+            let got = chaos_coordinator(plan, 3)
+                .retries(4)
+                .run::<Tok>(&spec)
+                .unwrap_or_else(|e| panic!("{kind:?} seed {seed}: failed: {e}"));
+            assert_eq!(got, want, "{kind:?} seed {seed}: merged value diverged");
+        }
+    }
+}
+
+/// `outcomes` (by index) and `missing` must exactly partition `0..grid_len`.
+fn assert_partition(partial: &PartialSweep<Tok>, grid_len: usize) {
+    assert_eq!(partial.grid_len, grid_len);
+    let mut all: Vec<usize> = partial.outcomes.iter().map(|(i, _)| *i).collect();
+    all.extend(&partial.missing);
+    all.sort_unstable();
+    assert_eq!(
+        all,
+        (0..grid_len).collect::<Vec<_>>(),
+        "outcomes + missing must partition the grid exactly"
+    );
+}
+
+#[test]
+fn unrecoverable_chaos_degrades_to_an_exact_partition() {
+    let spec = spec(19);
+    let want = reference(&spec);
+    for seed in 0..8u64 {
+        let coordinator = chaos_coordinator(ChaosPlan::unrecoverable(seed), 4).retries(1);
+        let partial = coordinator.run_partial::<Tok>(&spec);
+        assert_partition(&partial, 19);
+        // Whatever DID survive must carry the correct (reference) value —
+        // degradation never substitutes wrong data.
+        for (index, result) in &partial.outcomes {
+            assert_eq!(result, &want[*index], "seed {seed}: index {index}");
+        }
+        // An incomplete sweep must record its failures and fail the strict
+        // entry point with Exhausted.
+        if !partial.is_complete() {
+            assert!(!partial.failures.is_empty(), "seed {seed}");
+            let err = coordinator.run::<Tok>(&spec).unwrap_err();
+            assert!(
+                matches!(err, DistError::Exhausted { .. }),
+                "seed {seed}: {err}"
+            );
+        }
+    }
+}
+
+#[test]
+fn total_connection_loss_forfeits_every_point() {
+    // Drop-only at rate 1.0, never relenting: no attempt ever opens, so
+    // the partial sweep must be the empty cover with every shard failed.
+    let spec = spec(9);
+    let plan = ChaosPlan::unrecoverable(7).kinds(&[ChaosFaultKind::Drop]);
+    let coordinator = chaos_coordinator(plan, 3).retries(2);
+    let partial = coordinator.run_partial::<Tok>(&spec);
+    assert_partition(&partial, 9);
+    assert!(partial.outcomes.is_empty());
+    assert_eq!(partial.missing.len(), 9);
+    assert_eq!(partial.failures.len(), 3);
+    for failure in &partial.failures {
+        assert_eq!(failure.attempts, 3, "1 + retries(2)");
+        assert!(failure.last.contains("chaos"), "{}", failure.last);
+    }
+    let (covered, grid) = partial.coverage();
+    assert_eq!((covered, grid), (0, 9));
+}
+
+#[test]
+fn retry_and_error_counters_match_the_injected_schedule_exactly() {
+    // Drop-only faults relenting after 2 attempts: the pure fault_for
+    // function predicts the entire retry schedule a priori, and the
+    // observer's LiveAggregates must land on exactly those numbers.
+    let spec = spec(20);
+    let shards = 4;
+    let plan = ChaosPlan::new(0xACC7)
+        .kinds(&[ChaosFaultKind::Drop])
+        .rate(1.0)
+        .relent_after(Some(2));
+
+    // Expected retries per shard, computed from the plan alone: one Retry
+    // event per faulted attempt (the attempt's points survive to a later
+    // attempt because Drop delivers nothing and the budget is not yet
+    // exhausted).
+    let expected_retries: Vec<usize> = (0..shards)
+        .map(|shard| {
+            (1..=2usize)
+                .filter(|attempt| plan.fault_for(shard, *attempt) != ba_dist::ChaosFault::None)
+                .count()
+        })
+        .collect();
+    assert_eq!(expected_retries, vec![2; shards], "rate-1.0 sanity");
+
+    // Expected per-shard error counts: the echo marks every index%5==0
+    // point as a simulator error, and each such point produces exactly one
+    // ok=false progress event on the (single) successful attempt.
+    let manifests = ba_dist::plan_shards(&spec, shards);
+    let expected_errors: Vec<usize> = manifests
+        .iter()
+        .map(|m| m.entries.iter().filter(|e| is_err_point(e.index)).count())
+        .collect();
+
+    let live = Arc::new(Mutex::new(LiveAggregates::new()));
+    let done_events = Arc::new(AtomicUsize::new(0));
+    let (live_in, done_in) = (live.clone(), done_events.clone());
+    let got = chaos_coordinator(plan, shards)
+        .retries(4)
+        .on_event(move |event| {
+            if matches!(event, CoordEvent::ShardDone { .. }) {
+                done_in.fetch_add(1, Ordering::SeqCst);
+            }
+            live_in.lock().unwrap().ingest_coord(event);
+        })
+        .run::<Tok>(&spec)
+        .expect("relenting schedule recovers");
+    assert_eq!(got, reference(&spec));
+
+    let live = live.lock().unwrap();
+    for shard in 0..shards {
+        let progress = &live.shards()[&shard];
+        assert_eq!(
+            progress.retries, expected_retries[shard],
+            "shard {shard}: retry counter must match the injected schedule"
+        );
+        assert_eq!(
+            progress.errors, expected_errors[shard],
+            "shard {shard}: error counter must match the marked points"
+        );
+        assert_eq!(progress.done, manifests[shard].entries.len());
+    }
+    assert_eq!(done_events.load(Ordering::SeqCst), shards);
+    assert!(live.is_complete());
+    assert_eq!(live.partial_coverage(), None);
+}
+
+#[test]
+fn partial_campaign_reports_partition_the_grid_and_render_json() {
+    // The campaign-level (typed PartialReport) face of degradation, over
+    // real ScenarioStats outcomes is covered in ba-bench; here the sweep
+    // level: coverage summary + JSON must reflect the exact maps.
+    let spec = spec(12);
+    let plan = ChaosPlan::unrecoverable(3).kinds(&[ChaosFaultKind::Drop]);
+    let partial = chaos_coordinator(plan, 3)
+        .retries(0)
+        .run_partial::<Tok>(&spec);
+    assert_partition(&partial, 12);
+    assert!(!partial.is_complete());
+    match partial.into_complete() {
+        Ok(_) => panic!("an empty cover must not report complete"),
+        Err(partial) => {
+            assert_eq!(partial.missing.len(), 12);
+            assert_eq!(partial.failures.len(), 3);
+        }
+    }
+}
