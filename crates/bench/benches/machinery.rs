@@ -234,6 +234,23 @@ fn bench_campaign_throughput() {
         (pk_points.len(), total, ())
     });
 
+    // Broadcast-routing stress: phase-king up to n = 256 (t+1 phases of
+    // all-to-all rounds → tens of millions of messages across the grid).
+    // Only viable at interactive bench timescales because a broadcast
+    // outbox carries one payload + a receiver mask and the stats engine
+    // counts deliveries without cloning; the peak-RSS column keeps the
+    // no-resident-copies claim honest.
+    let huge_nts = [(96usize, 24usize), (128, 32), (192, 48), (256, 64)];
+    let huge_points = Campaign::grid(huge_nts, &["none", "isolation"], &["ones"])
+        .points()
+        .to_vec();
+    log.time_best("stats-sweep-huge-n/phase-king", 3, || {
+        let report = ba_bench::dist::scenario_campaign_report(&huge_points, "phase-king", 11, 0)
+            .expect("registry sweep");
+        let total: u64 = report.stats().map(|(_, s)| s.total_messages).sum();
+        (huge_points.len(), total, ())
+    });
+
     // Adversary-search machinery: evaluate a fixed genome population
     // against the planted one-round-all-to-all bug — the per-candidate
     // cost every batch of the search drivers pays, through the same
@@ -266,10 +283,11 @@ fn bench_campaign_throughput() {
 
     for sweep in log.sweeps() {
         println!(
-            "{:<44} {:>8} points {:>12.1} points/sec",
+            "{:<44} {:>8} points {:>12.1} points/sec {:>8.1} MiB peak",
             sweep.label,
             sweep.points,
-            sweep.points_per_sec()
+            sweep.points_per_sec(),
+            sweep.peak_rss_bytes as f64 / (1024.0 * 1024.0)
         );
     }
     // Anchor at the workspace root: cargo runs benches with the *crate*

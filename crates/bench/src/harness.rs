@@ -85,6 +85,24 @@ impl BenchGroup {
     }
 }
 
+/// The process's peak resident set size ("VmHWM") in bytes, read from
+/// `/proc/self/status`. Best-effort: returns `0` where the file (or the
+/// field) is unavailable, e.g. off Linux. The kernel's high-water mark is
+/// monotone over the process lifetime, so per-sweep readings record "peak
+/// RSS observed by the end of this sweep" — a later sweep can only report
+/// an equal or larger value.
+pub fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|line| line.strip_prefix("VmHWM:"))
+        .and_then(|rest| rest.trim().strip_suffix("kB"))
+        .and_then(|kb| kb.trim().parse::<u64>().ok())
+        .map_or(0, |kb| kb * 1024)
+}
+
 /// One timed campaign sweep: how many grid points it covered, how many
 /// messages the executions carried, and how long it took.
 #[derive(Clone, PartialEq, Debug)]
@@ -97,6 +115,9 @@ pub struct SweepPerf {
     pub total_messages: u64,
     /// Wall-clock time of the sweep.
     pub elapsed: Duration,
+    /// Peak RSS in bytes observed by the end of the sweep (see
+    /// [`peak_rss_bytes`]; `0` when unavailable).
+    pub peak_rss_bytes: u64,
 }
 
 impl SweepPerf {
@@ -135,6 +156,7 @@ impl PerfLog {
             points,
             total_messages,
             elapsed,
+            peak_rss_bytes: peak_rss_bytes(),
         });
     }
 
@@ -202,12 +224,14 @@ impl PerfLog {
         for (i, sweep) in self.sweeps.iter().enumerate() {
             out.push_str(&format!(
                 "    {{\"label\": \"{}\", \"points\": {}, \"total_messages\": {}, \
-                 \"elapsed_secs\": {:.6}, \"points_per_sec\": {:.3}}}{}\n",
+                 \"elapsed_secs\": {:.6}, \"points_per_sec\": {:.3}, \
+                 \"peak_rss_bytes\": {}}}{}\n",
                 json_escape(&sweep.label),
                 sweep.points,
                 sweep.total_messages,
                 sweep.elapsed.as_secs_f64(),
                 sweep.points_per_sec(),
+                sweep.peak_rss_bytes,
                 if i + 1 < self.sweeps.len() { "," } else { "" },
             ));
         }
@@ -283,6 +307,10 @@ mod tests {
         assert!(json.contains("\"total_points\": 12"));
         assert!(json.contains("dolev-strong \\\"grid\\\""), "{json}");
         assert!(json.contains("\"total_messages\": 1234"));
+        assert!(json.contains("\"peak_rss_bytes\": "));
+        if cfg!(target_os = "linux") {
+            assert!(peak_rss_bytes() > 0, "Linux exposes VmHWM");
+        }
         // Balanced braces/brackets (cheap well-formedness check).
         assert_eq!(
             json.matches('{').count(),
@@ -300,6 +328,7 @@ mod tests {
             points: 5,
             total_messages: 1,
             elapsed: Duration::ZERO,
+            peak_rss_bytes: 0,
         });
         assert_eq!(log.sweeps()[0].points_per_sec(), 0.0);
         let json = log.to_json();

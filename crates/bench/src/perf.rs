@@ -22,6 +22,9 @@ pub struct SweepRow {
     pub elapsed_secs: f64,
     /// Throughput in grid points per second.
     pub points_per_sec: f64,
+    /// Peak RSS in bytes observed by the end of the sweep; `0` when the
+    /// log predates the column or the platform could not report it.
+    pub peak_rss_bytes: f64,
 }
 
 /// A parsed and schema-validated campaign perf log.
@@ -72,6 +75,11 @@ impl PerfReport {
                 total_messages: num("total_messages")?,
                 elapsed_secs: num("elapsed_secs")?,
                 points_per_sec: num("points_per_sec")?,
+                // Optional: absent from logs written before the column
+                // existed, and 0 where the platform can't report it.
+                peak_rss_bytes: number_field(obj, "peak_rss_bytes")
+                    .filter(|v| v.is_finite() && *v >= 0.0)
+                    .unwrap_or(0.0),
                 label,
             });
         }
@@ -183,6 +191,57 @@ pub fn delta_table(current: &PerfReport, baseline: &PerfReport, tolerance: f64) 
         }
     }
     out
+}
+
+/// Compares peak-RSS columns against the baseline: every baseline sweep
+/// that recorded a nonzero `peak_rss_bytes` must exist in the current log
+/// with `peak_rss_bytes <= (1 + max_growth) * baseline` — the memory
+/// counterpart of [`gate`]. Labels whose baseline or current reading is `0`
+/// (pre-column logs, non-Linux runners) are skipped, so the gate degrades
+/// to a no-op rather than a false failure where the kernel can't report a
+/// high-water mark. Readings are process-lifetime monotone, so like labels
+/// compare like prefixes of the bench run.
+///
+/// # Errors
+///
+/// The failure lines, if any label's peak RSS grew beyond the ceiling.
+pub fn rss_gate(
+    current: &PerfReport,
+    baseline: &PerfReport,
+    max_growth: f64,
+) -> Result<Vec<String>, Vec<String>> {
+    let mut passes = Vec::new();
+    let mut failures = Vec::new();
+    let mib = |bytes: f64| bytes / (1024.0 * 1024.0);
+    for base in &baseline.sweeps {
+        if base.peak_rss_bytes <= 0.0 {
+            continue;
+        }
+        let Some(cur) = current.sweep(&base.label) else {
+            continue; // gate() already fails missing labels
+        };
+        if cur.peak_rss_bytes <= 0.0 {
+            continue;
+        }
+        let ceiling = (1.0 + max_growth) * base.peak_rss_bytes;
+        let verdict = format!(
+            "{}: peak RSS {:.1} MiB vs baseline {:.1} (ceiling {:.1})",
+            base.label,
+            mib(cur.peak_rss_bytes),
+            mib(base.peak_rss_bytes),
+            mib(ceiling)
+        );
+        if cur.peak_rss_bytes > ceiling {
+            failures.push(format!("RSS REGRESSION {verdict}"));
+        } else {
+            passes.push(format!("ok {verdict}"));
+        }
+    }
+    if failures.is_empty() {
+        Ok(passes)
+    } else {
+        Err(failures)
+    }
 }
 
 /// Asserts a bounded instrumentation cost *within one log*: the sweep
@@ -416,6 +475,43 @@ mod tests {
         assert_eq!(report.sweeps[0].points, 8.0);
         assert_eq!(report.sweeps[1].label, "sweep[n=8] {grid}");
         assert_eq!(report.sweeps[1].points, 4.0);
+        if cfg!(target_os = "linux") {
+            assert!(report.sweeps[0].peak_rss_bytes > 0.0);
+        }
+    }
+
+    #[test]
+    fn pre_column_logs_parse_with_zero_rss() {
+        // The committed baseline format before the peak-RSS column.
+        let report = PerfReport::parse(&sample()).unwrap();
+        assert_eq!(report.sweeps[0].peak_rss_bytes, 0.0);
+    }
+
+    #[test]
+    fn rss_gate_bounds_memory_growth_and_skips_unreported_labels() {
+        let make = |a: u64, b: u64| {
+            let log = format!(
+                r#"{{"schema": "ba-bench/campaign-perf/v1", "sweeps": [
+                    {{"label": "a", "points": 8, "total_messages": 1, "elapsed_secs": 0.001, "points_per_sec": 100.0, "peak_rss_bytes": {a}}},
+                    {{"label": "b", "points": 8, "total_messages": 1, "elapsed_secs": 0.001, "points_per_sec": 100.0, "peak_rss_bytes": {b}}}
+                ]}}"#
+            );
+            PerfReport::parse(&log).unwrap()
+        };
+        let baseline = make(100_000_000, 0);
+        // Within the 50% ceiling; label "b" unreported in baseline → skipped.
+        let passes = rss_gate(&make(140_000_000, 900_000_000), &baseline, 0.5).unwrap();
+        assert_eq!(passes.len(), 1, "{passes:?}");
+        assert!(passes[0].contains("133.5 MiB"), "{passes:?}");
+        // Beyond it.
+        let failures = rss_gate(&make(160_000_000, 0), &baseline, 0.5).unwrap_err();
+        assert!(failures[0].contains("RSS REGRESSION"), "{failures:?}");
+        // Current log predates the column → no-op.
+        let old = PerfReport::parse(&sample()).unwrap();
+        let baseline_with_labels = make(100_000_000, 0);
+        assert!(rss_gate(&old, &baseline_with_labels, 0.5)
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

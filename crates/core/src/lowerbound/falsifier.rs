@@ -852,10 +852,20 @@ where
     // statistics are value-identical to the sequential scan. Work past the
     // stopping point is speculative and discarded unexamined.
     let scan_rounds: Vec<u64> = (2..=rmax.0 + 1).collect();
+    // Speculative executions are held *compressed* (payloads interned into a
+    // per-task arena, fragments as u32 handles) while they wait their turn —
+    // all-to-all traces repeat the same few payloads across n² slots per
+    // round, so the resident cost of the whole scan is a handful of distinct
+    // payloads per k instead of the full cloned traces. Hydration in the
+    // walk below is a lossless bit-for-bit round trip.
     let precomputed: Option<Vec<Result<_, SimError>>> =
         if cfg.scan_in_parallel() && scan_rounds.len() > 1 {
             Some(ba_sim::par_map(scan_rounds.clone(), 0, |_, k| {
-                runner.isolated_b::<P>(Round(k), Bit::Zero)
+                runner.isolated_b::<P>(Round(k), Bit::Zero).map(|e| {
+                    let mut arena = ba_sim::PayloadArena::new();
+                    let compressed = ba_sim::CompressedExecution::compress(&e, &mut arena);
+                    (arena, compressed)
+                })
             }))
         } else {
             None
@@ -870,7 +880,10 @@ where
     for k in scan_rounds {
         recorder.counter("falsifier.scan.rounds", 1, &[]);
         let e = match precomputed.as_mut() {
-            Some(runs) => runs.next().expect("one precomputed run per k")?,
+            Some(runs) => {
+                let (arena, compressed) = runs.next().expect("one precomputed run per k")?;
+                compressed.hydrate(&arena)
+            }
             None => runner.isolated_b::<P>(Round(k), Bit::Zero)?,
         };
         let d = match examine(

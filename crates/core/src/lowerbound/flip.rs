@@ -88,7 +88,7 @@ mod tests {
         fn propose(&mut self, ctx: &ProcessCtx, proposal: Bit) -> Outbox<Bit> {
             self.decision = Some(proposal);
             let mut out = Outbox::new();
-            out.send_to_all(ctx.others(), proposal);
+            out.broadcast(ctx.others(), proposal);
             out
         }
 

@@ -160,7 +160,7 @@ mod tests {
         fn propose(&mut self, ctx: &ProcessCtx, proposal: Bit) -> Outbox<Bit> {
             self.proposal = proposal;
             let mut out = Outbox::new();
-            out.send_to_all(ctx.others(), proposal);
+            out.broadcast(ctx.others(), proposal);
             out
         }
 
@@ -170,7 +170,7 @@ mod tests {
                 return Outbox::new();
             }
             let mut out = Outbox::new();
-            out.send_to_all(ctx.others(), self.proposal);
+            out.broadcast(ctx.others(), self.proposal);
             out
         }
 

@@ -263,6 +263,15 @@ impl<I: Value, O: Value, M: Payload> Execution<I, O, M> {
         self.records.iter().map(|r| r.total_sent()).sum()
     }
 
+    /// Compresses this execution into `arena`-backed handle form — the
+    /// resident representation for holding many executions at once (see
+    /// [`CompressedExecution`](crate::CompressedExecution)). Convenience for
+    /// [`CompressedExecution::compress`](crate::CompressedExecution::compress);
+    /// `compress(arena).hydrate(arena)` round-trips bit-for-bit.
+    pub fn compress(&self, arena: &mut crate::PayloadArena<M>) -> crate::CompressedExecution<I, O> {
+        crate::CompressedExecution::compress(self, arena)
+    }
+
     /// Checks whether this execution is **indistinguishable** from `other`
     /// to process `pid` (paper §3): same proposal and identical received
     /// messages in every round. Missing trailing fragments are treated as

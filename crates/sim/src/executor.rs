@@ -241,6 +241,8 @@ where
 
     let reorders = model.reorders();
     let mut queue: Vec<Envelope> = Vec::new();
+    // Reusable per-broadcast routing decisions (one alloc per run).
+    let mut routings: Vec<Routing<P::Msg>> = Vec::new();
 
     let mut rounds_run = 0u64;
     let mut quiescent = false;
@@ -283,22 +285,61 @@ where
             // ascending (sender, receiver) order — the dense drain yields
             // exactly the order the old map iteration did, which keeps
             // stateful (seeded) models reproducible across engines.
+            //
+            // A pure-broadcast outbox (the dominant shape: every implemented
+            // protocol is all-to-all) is fanned out **by reference** from its
+            // single payload: the model still observes one `route` call per
+            // (sender, receiver) edge in the identical order, but no clone
+            // happens until final delivery into the receiver's inbox slot.
             for sender in ProcessId::all(n) {
                 let mut outbox = std::mem::take(&mut outboxes[sender.index()]);
-                for (receiver, payload) in outbox.drain() {
-                    let routing = model.route(view!(round), sender, receiver, &payload);
-                    route_one::<P, S>(
-                        routing,
-                        round,
-                        sender,
-                        receiver,
-                        payload,
-                        &corrupted,
-                        &mut sent_count,
-                        &mut delivered_count,
-                        &mut inboxes,
-                        &mut sink,
-                    )?;
+                if outbox.unicast_len() == 0 {
+                    let Some((payload, mask)) = outbox.take_broadcast() else {
+                        continue;
+                    };
+                    // One virtual call per fan-out: the model batches its
+                    // per-receiver decisions (statically dispatched — and
+                    // inlined — inside its own `route_broadcast` body).
+                    routings.clear();
+                    model.route_broadcast(view!(round), sender, &mask, &payload, &mut routings);
+                    debug_assert_eq!(
+                        routings.len(),
+                        mask.len(),
+                        "route_broadcast must decide exactly one routing per mask bit"
+                    );
+                    for (receiver, routing) in mask.iter().zip(routings.drain(..)) {
+                        route_shared::<P, S>(
+                            routing,
+                            round,
+                            sender,
+                            receiver,
+                            &payload,
+                            &corrupted,
+                            &mut sent_count,
+                            &mut delivered_count,
+                            &mut inboxes,
+                            &mut sink,
+                        )?;
+                    }
+                } else {
+                    // Mixed unicast + broadcast round (rare): the merged
+                    // drain preserves ascending receiver order, cloning the
+                    // broadcast payload per receiver like the legacy path.
+                    for (receiver, payload) in outbox.drain() {
+                        let routing = model.route(view!(round), sender, receiver, &payload);
+                        route_one::<P, S>(
+                            routing,
+                            round,
+                            sender,
+                            receiver,
+                            payload,
+                            &corrupted,
+                            &mut sent_count,
+                            &mut delivered_count,
+                            &mut inboxes,
+                            &mut sink,
+                        )?;
+                    }
                 }
             }
         } else {
@@ -374,6 +415,7 @@ where
         mode,
         faulty: charged,
         decisions,
+        sent_counts: sent_count,
         rounds: rounds_run,
         quiescent,
     }))
@@ -486,12 +528,96 @@ where
     Ok(())
 }
 
+/// [`route_one`] for a broadcast edge: the payload stays shared; a clone
+/// happens only when this edge actually delivers into an inbox slot or when
+/// a sink takes ownership of an omitted/forged payload. Same blame rules,
+/// counters, and sink-event order as the owned path.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn route_shared<P, S>(
+    routing: Routing<P::Msg>,
+    round: Round,
+    sender: ProcessId,
+    receiver: ProcessId,
+    payload: &P::Msg,
+    corrupted: &BTreeSet<ProcessId>,
+    sent_count: &mut [u64],
+    delivered_count: &mut [u64],
+    inboxes: &mut [Inbox<P::Msg>],
+    sink: &mut S,
+) -> Result<(), SimError>
+where
+    P: Protocol,
+    S: TraceSink<P>,
+{
+    if let Some(blamed) = routing.blamed(sender, receiver) {
+        if !corrupted.contains(&blamed) {
+            return Err(SimError::OmissionByCorrect {
+                process: blamed,
+                round,
+            });
+        }
+    }
+    match routing {
+        Routing::Deliver => {
+            sink.sent(round, sender, receiver, payload);
+            sent_count[sender.index()] += 1;
+            delivered_count[receiver.index()] += 1;
+            inboxes[receiver.index()].deliver(sender, payload.clone());
+        }
+        Routing::SendOmit => {
+            sink.send_omitted(round, sender, receiver, payload.clone());
+        }
+        Routing::ReceiveOmit => {
+            sink.sent(round, sender, receiver, payload);
+            sent_count[sender.index()] += 1;
+            sink.receive_omitted(round, sender, receiver, payload.clone());
+        }
+        Routing::Forge(forged) => {
+            if !corrupted.contains(&sender) {
+                return Err(SimError::ForgeByCorrect {
+                    process: sender,
+                    round,
+                });
+            }
+            sink.sent(round, sender, receiver, &forged);
+            sent_count[sender.index()] += 1;
+            delivered_count[receiver.index()] += 1;
+            inboxes[receiver.index()].deliver(sender, forged);
+        }
+    }
+    Ok(())
+}
+
 fn validate_outbox<M: Payload>(
     sender: ProcessId,
     out: &Outbox<M>,
     n: usize,
     round: Round,
 ) -> Result<(), SimError> {
+    // Broadcast part: O(1) bitmask checks instead of a per-receiver scan.
+    let bcast_ok = match out.broadcast_part() {
+        None => true,
+        Some((_, mask)) => !mask.contains(sender) && mask.max_id().map_or(0, |hi| hi.index()) < n,
+    };
+    if bcast_ok {
+        if out.unicast_len() == 0 {
+            return Ok(());
+        }
+        let mut violation = false;
+        for (receiver, _) in out.unicast_iter() {
+            if receiver == sender || receiver.index() >= n {
+                violation = true;
+                break;
+            }
+        }
+        if !violation {
+            return Ok(());
+        }
+    }
+    // A violation exists somewhere; rescan the merged view so the reported
+    // error is the first offender in ascending receiver order, exactly as
+    // the per-receiver engine reported it.
     for (receiver, _) in out.iter() {
         if receiver == sender {
             return Err(SimError::SelfSend {

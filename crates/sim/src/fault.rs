@@ -39,6 +39,7 @@ use std::collections::BTreeSet;
 
 use crate::execution::FaultMode;
 use crate::ids::{ProcessId, Round};
+use crate::mailbox::ReceiverMask;
 use crate::plan::{Fate, OmissionPlan};
 use crate::rng::SimRng;
 use crate::value::Payload;
@@ -213,6 +214,32 @@ pub trait FaultModel<M> {
         receiver: ProcessId,
         payload: &M,
     ) -> Routing<M>;
+
+    /// Decides the routing of one broadcast fan-out: pushes exactly one
+    /// [`Routing`] per mask bit into `out`, in ascending receiver order.
+    ///
+    /// The executor calls this **once per broadcasting sender** instead of
+    /// [`route`](FaultModel::route) per edge, so the default body's `route`
+    /// calls dispatch statically (and inline) inside each concrete model —
+    /// the per-edge virtual call disappears from the all-to-all hot path.
+    /// `view` is the disclosure as of the start of the fan-out; the traffic
+    /// counters exclude the fan-out's own edges (they are applied after the
+    /// decisions come back), which is observationally identical for every
+    /// model that does not read the counters between two edges of a single
+    /// sender's emission — no shipped model does.
+    fn route_broadcast(
+        &mut self,
+        view: ExecutionView<'_>,
+        sender: ProcessId,
+        mask: &ReceiverMask,
+        payload: &M,
+        out: &mut Vec<Routing<M>>,
+    ) {
+        out.extend(
+            mask.iter()
+                .map(|receiver| self.route(view, sender, receiver, payload)),
+        );
+    }
 }
 
 impl<M, T: FaultModel<M> + ?Sized> FaultModel<M> for &mut T {
@@ -239,6 +266,16 @@ impl<M, T: FaultModel<M> + ?Sized> FaultModel<M> for &mut T {
         payload: &M,
     ) -> Routing<M> {
         (**self).route(view, sender, receiver, payload)
+    }
+    fn route_broadcast(
+        &mut self,
+        view: ExecutionView<'_>,
+        sender: ProcessId,
+        mask: &ReceiverMask,
+        payload: &M,
+        out: &mut Vec<Routing<M>>,
+    ) {
+        (**self).route_broadcast(view, sender, mask, payload, out)
     }
 }
 
@@ -267,6 +304,16 @@ impl<M, T: FaultModel<M> + ?Sized> FaultModel<M> for Box<T> {
     ) -> Routing<M> {
         (**self).route(view, sender, receiver, payload)
     }
+    fn route_broadcast(
+        &mut self,
+        view: ExecutionView<'_>,
+        sender: ProcessId,
+        mask: &ReceiverMask,
+        payload: &M,
+        out: &mut Vec<Routing<M>>,
+    ) {
+        (**self).route_broadcast(view, sender, mask, payload, out)
+    }
 }
 
 /// The legacy static adversary as a fault model: a fixed fault set plus an
@@ -281,6 +328,8 @@ impl<M, T: FaultModel<M> + ?Sized> FaultModel<M> for Box<T> {
 pub struct PlannedFaults<P> {
     faulty: BTreeSet<ProcessId>,
     plan: P,
+    /// Scratch buffer for batched fan-out decisions (reused per broadcast).
+    fates: Vec<Fate>,
 }
 
 impl<P> PlannedFaults<P> {
@@ -289,6 +338,7 @@ impl<P> PlannedFaults<P> {
         PlannedFaults {
             faulty: faulty.into_iter().collect(),
             plan,
+            fates: Vec::new(),
         }
     }
 
@@ -318,6 +368,20 @@ impl<M, P: OmissionPlan<M>> FaultModel<M> for PlannedFaults<P> {
         payload: &M,
     ) -> Routing<M> {
         self.plan.fate(view.round, sender, receiver, payload).into()
+    }
+
+    fn route_broadcast(
+        &mut self,
+        view: ExecutionView<'_>,
+        sender: ProcessId,
+        mask: &ReceiverMask,
+        payload: &M,
+        out: &mut Vec<Routing<M>>,
+    ) {
+        self.fates.clear();
+        self.plan
+            .fate_broadcast(view.round, sender, mask, payload, &mut self.fates);
+        out.extend(self.fates.drain(..).map(Routing::from));
     }
 }
 

@@ -121,6 +121,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arena;
 mod byzantine;
 mod campaign;
 mod error;
@@ -139,6 +140,9 @@ mod telemetry;
 mod trace;
 mod value;
 
+pub use arena::{
+    CompressedExecution, CompressedFragment, CompressedRecord, PayloadArena, PayloadId,
+};
 pub use byzantine::{
     ByzantineBehavior, FollowThenCrash, HonestMimic, ReplayByzantine, SilentByzantine,
 };
@@ -153,7 +157,7 @@ pub use fault::{
     ForgingFaults, MobileOmission, PlannedFaults, Routing, SchedulerOmission,
 };
 pub use ids::{ProcessId, Round};
-pub use mailbox::{Inbox, Outbox};
+pub use mailbox::{Inbox, Outbox, OutboxDrain, OutboxIntoIter, ReceiverMask, ReceiverMaskIter};
 pub use par::par_map;
 pub use plan::{
     CrashPlan, DoubleIsolationPlan, Fate, FnPlan, IsolationPlan, NoFaults, OmissionPlan,
@@ -168,6 +172,7 @@ pub use scenario::{
 pub use sink::{FullTrace, RunSummary, StatsSink, TraceMode, TraceSink};
 pub use telemetry::RecordingSink;
 pub use trace::{
-    first_inbox_divergence, render_divergence, render_execution, round_stats, RoundStats,
+    first_inbox_divergence, payload_reuse, render_divergence, render_execution, round_stats,
+    RoundStats,
 };
 pub use value::{Bit, Payload, Value};

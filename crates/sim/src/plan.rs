@@ -11,6 +11,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use crate::ids::{ProcessId, Round};
+use crate::mailbox::ReceiverMask;
 use crate::rng::SimRng;
 use crate::value::Payload;
 
@@ -48,17 +49,58 @@ pub trait OmissionPlan<M> {
     /// Decides the fate of the message `payload` sent from `sender` to
     /// `receiver` in `round`.
     fn fate(&mut self, round: Round, sender: ProcessId, receiver: ProcessId, payload: &M) -> Fate;
+
+    /// Decides a whole broadcast fan-out at once: pushes exactly one [`Fate`]
+    /// per mask bit into `out`, in ascending receiver order. The default
+    /// defers to [`fate`](OmissionPlan::fate) per receiver; structured plans
+    /// (fault-free, isolation) override it to decide the fan-out without a
+    /// per-receiver membership test. Must be decision-for-decision identical
+    /// to the per-receiver path — the engine's bit-for-bit equivalence
+    /// guarantees rest on it.
+    fn fate_broadcast(
+        &mut self,
+        round: Round,
+        sender: ProcessId,
+        mask: &ReceiverMask,
+        payload: &M,
+        out: &mut Vec<Fate>,
+    ) {
+        out.extend(
+            mask.iter()
+                .map(|receiver| self.fate(round, sender, receiver, payload)),
+        );
+    }
 }
 
 impl<M, T: OmissionPlan<M> + ?Sized> OmissionPlan<M> for &mut T {
     fn fate(&mut self, round: Round, sender: ProcessId, receiver: ProcessId, payload: &M) -> Fate {
         (**self).fate(round, sender, receiver, payload)
     }
+    fn fate_broadcast(
+        &mut self,
+        round: Round,
+        sender: ProcessId,
+        mask: &ReceiverMask,
+        payload: &M,
+        out: &mut Vec<Fate>,
+    ) {
+        (**self).fate_broadcast(round, sender, mask, payload, out)
+    }
 }
 
 impl<M, T: OmissionPlan<M> + ?Sized> OmissionPlan<M> for Box<T> {
     fn fate(&mut self, round: Round, sender: ProcessId, receiver: ProcessId, payload: &M) -> Fate {
         (**self).fate(round, sender, receiver, payload)
+    }
+    fn fate_broadcast(
+        &mut self,
+        round: Round,
+        sender: ProcessId,
+        mask: &ReceiverMask,
+        payload: &M,
+        out: &mut Vec<Fate>,
+    ) {
+        (**self).fate_broadcast(round, sender, mask, payload, out)
     }
 }
 
@@ -69,6 +111,17 @@ pub struct NoFaults;
 impl<M> OmissionPlan<M> for NoFaults {
     fn fate(&mut self, _: Round, _: ProcessId, _: ProcessId, _: &M) -> Fate {
         Fate::Deliver
+    }
+
+    fn fate_broadcast(
+        &mut self,
+        _: Round,
+        _: ProcessId,
+        mask: &ReceiverMask,
+        _: &M,
+        out: &mut Vec<Fate>,
+    ) {
+        out.resize(out.len() + mask.len(), Fate::Deliver);
     }
 }
 
@@ -121,6 +174,28 @@ impl<M> OmissionPlan<M> for IsolationPlan {
             Fate::ReceiveOmit
         } else {
             Fate::Deliver
+        }
+    }
+
+    fn fate_broadcast(
+        &mut self,
+        round: Round,
+        sender: ProcessId,
+        mask: &ReceiverMask,
+        _: &M,
+        out: &mut Vec<Fate>,
+    ) {
+        // Pre-fill Deliver, then patch the (few) isolated receivers by rank:
+        // O(fan-out + |group|) instead of a set lookup per receiver.
+        let base = out.len();
+        out.resize(base + mask.len(), Fate::Deliver);
+        if round < self.from || self.group.contains(&sender) {
+            return;
+        }
+        for &p in &self.group {
+            if let Some(rank) = mask.rank(p) {
+                out[base + rank] = Fate::ReceiveOmit;
+            }
         }
     }
 }

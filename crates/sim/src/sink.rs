@@ -20,8 +20,9 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use crate::arena::{CompressedExecution, CompressedFragment, CompressedRecord, PayloadArena};
 use crate::campaign::ScenarioStats;
-use crate::execution::{Execution, FaultMode, ProcessRecord, RoundFragment};
+use crate::execution::{Execution, FaultMode};
 use crate::ids::{ProcessId, Round};
 use crate::mailbox::Inbox;
 use crate::protocol::Protocol;
@@ -59,6 +60,10 @@ pub struct RunSummary<P: Protocol> {
     /// Per-process decision and the round at the start of which it first
     /// appeared, indexed by process id.
     pub decisions: Vec<Option<(P::Output, Round)>>,
+    /// Per-sender count of successfully sent messages (delivered or
+    /// receive-omitted), indexed by process id — the engine's own routing
+    /// counters, so counting sinks need not mirror them per edge.
+    pub sent_counts: Vec<u64>,
     /// Number of rounds actually executed.
     pub rounds: u64,
     /// Whether the execution quiesced (see
@@ -131,19 +136,28 @@ pub trait TraceSink<P: Protocol> {
 /// The trace-complete sink: materializes the [`Execution`] value the proof
 /// constructions inspect, identical to what the engine recorded before
 /// sinks existed.
+///
+/// Internally the trace is recorded **arena-backed**: every payload is
+/// hash-consed into a per-run [`PayloadArena`] and fragments hold dense
+/// `u32` [`PayloadId`](crate::PayloadId) handles, so an all-to-all round
+/// costs one stored payload per *distinct* message instead of one clone per
+/// fragment slot. [`finish`](TraceSink::finish) hydrates the compressed
+/// trace into the exact [`Execution`] the eager recorder produced.
 pub struct FullTrace<P: Protocol> {
-    records: Vec<ProcessRecord<P::Input, P::Output, P::Msg>>,
+    arena: PayloadArena<P::Msg>,
+    records: Vec<CompressedRecord<P::Input, P::Output>>,
 }
 
 impl<P: Protocol> FullTrace<P> {
     /// An empty full-trace sink.
     pub fn new() -> Self {
         FullTrace {
+            arena: PayloadArena::new(),
             records: Vec::new(),
         }
     }
 
-    fn fragment(&mut self, pid: ProcessId, round: Round) -> &mut RoundFragment<P::Msg> {
+    fn fragment(&mut self, pid: ProcessId, round: Round) -> &mut CompressedFragment {
         &mut self.records[pid.index()].fragments[round.index()]
     }
 }
@@ -160,7 +174,7 @@ impl<P: Protocol> TraceSink<P> for FullTrace<P> {
     fn init(&mut self, _n: usize, proposals: &[P::Input]) {
         self.records = proposals
             .iter()
-            .map(|v| ProcessRecord {
+            .map(|v| CompressedRecord {
                 proposal: v.clone(),
                 decision: None,
                 fragments: Vec::new(),
@@ -170,14 +184,13 @@ impl<P: Protocol> TraceSink<P> for FullTrace<P> {
 
     fn begin_round(&mut self, _round: Round) {
         for rec in &mut self.records {
-            rec.fragments.push(RoundFragment::empty());
+            rec.fragments.push(CompressedFragment::default());
         }
     }
 
     fn sent(&mut self, round: Round, sender: ProcessId, receiver: ProcessId, payload: &P::Msg) {
-        self.fragment(sender, round)
-            .sent
-            .insert(receiver, payload.clone());
+        let id = self.arena.intern(payload);
+        self.fragment(sender, round).sent.insert(receiver, id);
     }
 
     fn send_omitted(
@@ -187,9 +200,10 @@ impl<P: Protocol> TraceSink<P> for FullTrace<P> {
         receiver: ProcessId,
         payload: P::Msg,
     ) {
+        let id = self.arena.intern_owned(payload);
         self.fragment(sender, round)
             .send_omitted
-            .insert(receiver, payload);
+            .insert(receiver, id);
     }
 
     fn receive_omitted(
@@ -199,18 +213,19 @@ impl<P: Protocol> TraceSink<P> for FullTrace<P> {
         receiver: ProcessId,
         payload: P::Msg,
     ) {
+        let id = self.arena.intern_owned(payload);
         self.fragment(receiver, round)
             .receive_omitted
-            .insert(sender, payload);
+            .insert(sender, id);
     }
 
     fn absorb_inbox(&mut self, round: Round, receiver: ProcessId, inbox: &mut Inbox<P::Msg>) {
-        // Move (never clone) the round's payloads into the record; dense
-        // sender order matches BTreeMap order, so inserts are in-order
-        // appends.
-        let received = &mut self.fragment(receiver, round).received;
+        // Intern (usually a hash probe, not a clone) the round's payloads;
+        // dense sender order matches BTreeMap order, so inserts are
+        // in-order appends.
         for (sender, payload) in inbox.drain() {
-            received.insert(sender, payload);
+            let id = self.arena.intern_owned(payload);
+            self.fragment(receiver, round).received.insert(sender, id);
         }
     }
 
@@ -218,7 +233,7 @@ impl<P: Protocol> TraceSink<P> for FullTrace<P> {
         for (rec, decision) in self.records.iter_mut().zip(summary.decisions) {
             rec.decision = decision;
         }
-        Execution {
+        let compressed = CompressedExecution {
             n: summary.n,
             t: summary.t,
             mode: summary.mode,
@@ -226,26 +241,27 @@ impl<P: Protocol> TraceSink<P> for FullTrace<P> {
             records: self.records,
             rounds: summary.rounds,
             quiescent: summary.quiescent,
-        }
+        };
+        compressed.hydrate(&self.arena)
     }
 }
 
-/// The statistics sink: counts sends per process and drops every payload in
-/// place — no clones, no fragments, O(n) state regardless of trace length.
+/// The statistics sink: derives its report from the engine's own routing
+/// counters and drops every payload in place — no clones, no fragments, no
+/// per-event work at all ([`RunSummary::sent_counts`] already holds the
+/// per-sender totals).
 ///
 /// Its [`ScenarioStats`] output is value-identical to
 /// [`ScenarioStats::from_execution`] applied to the [`FullTrace`] result of
 /// the same run (engine-produced executions satisfy the execution
 /// guarantees by construction, so the validation pass a full trace enables
 /// can never add a violation).
-pub struct StatsSink {
-    sent: Vec<u64>,
-}
+pub struct StatsSink {}
 
 impl StatsSink {
     /// An empty stats sink.
     pub fn new() -> Self {
-        StatsSink { sent: Vec::new() }
+        StatsSink {}
     }
 }
 
@@ -258,14 +274,11 @@ impl Default for StatsSink {
 impl<P: Protocol> TraceSink<P> for StatsSink {
     type Output = ScenarioStats<P::Output>;
 
-    fn init(&mut self, n: usize, _proposals: &[P::Input]) {
-        self.sent = vec![0; n];
-    }
+    fn init(&mut self, _n: usize, _proposals: &[P::Input]) {}
 
     fn begin_round(&mut self, _round: Round) {}
 
-    fn sent(&mut self, _round: Round, sender: ProcessId, _receiver: ProcessId, _payload: &P::Msg) {
-        self.sent[sender.index()] += 1;
+    fn sent(&mut self, _round: Round, _sender: ProcessId, _receiver: ProcessId, _payload: &P::Msg) {
     }
 
     fn send_omitted(&mut self, _: Round, _: ProcessId, _: ProcessId, _payload: P::Msg) {}
@@ -292,8 +305,8 @@ impl<P: Protocol> TraceSink<P> for StatsSink {
         let decided_by = crate::execution::latest_decision_round(
             correct.map(|p| summary.decisions[p.index()].as_ref().map(|(_, r)| *r)),
         );
-        let message_complexity = self
-            .sent
+        let message_complexity = summary
+            .sent_counts
             .iter()
             .enumerate()
             .filter(|(i, _)| !summary.faulty.contains(&ProcessId(*i)))
@@ -301,7 +314,7 @@ impl<P: Protocol> TraceSink<P> for StatsSink {
             .sum();
         ScenarioStats {
             message_complexity,
-            total_messages: self.sent.iter().sum(),
+            total_messages: summary.sent_counts.iter().sum(),
             rounds: summary.rounds,
             quiescent: summary.quiescent,
             decided_by,

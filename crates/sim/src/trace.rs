@@ -42,6 +42,17 @@ pub fn round_stats<I: Value, O: Value, M: Payload>(exec: &Execution<I, O, M>) ->
     stats
 }
 
+/// Payload-interning profile of an execution: how many fragment slots it
+/// holds versus how many **distinct** payloads back them. The ratio is the
+/// clone-for-slot saving the arena representation realizes
+/// ([`Execution::compress`]) — all-to-all rounds typically push it to `n²`
+/// slots per handful of payloads.
+pub fn payload_reuse<I: Value, O: Value, M: Payload>(exec: &Execution<I, O, M>) -> (usize, usize) {
+    let mut arena = crate::PayloadArena::new();
+    let compressed = exec.compress(&mut arena);
+    (compressed.slot_count(), arena.len())
+}
+
 /// Renders a compact, round-by-round textual summary of an execution:
 /// traffic volumes, omissions, and the decision timeline — the shape of the
 /// colored bands in the paper's Figures 1 and 2.
@@ -94,6 +105,11 @@ where
         "message complexity (correct senders): {}; total messages: {}",
         exec.message_complexity(),
         exec.total_messages()
+    );
+    let (slots, distinct) = payload_reuse(exec);
+    let _ = writeln!(
+        out,
+        "payload slots: {slots} backed by {distinct} distinct payload(s)"
     );
 
     let _ = writeln!(
@@ -287,6 +303,12 @@ mod tests {
         assert!(text.contains("n = 3, t = 1"));
         assert!(text.contains("faulty: p2"));
         assert!(text.contains("decided"));
+        let (slots, distinct) = payload_reuse(&exec);
+        assert!(text.contains(&format!(
+            "payload slots: {slots} backed by {distinct} distinct payload(s)"
+        )));
+        assert_eq!(distinct, 1, "uniform gossip interns one payload");
+        assert!(slots > distinct);
     }
 
     #[test]

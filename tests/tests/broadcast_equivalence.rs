@@ -1,0 +1,336 @@
+//! Broadcast/per-receiver equivalence: fanning a broadcast out from one
+//! shared payload (the `Outbox::broadcast` representation plus the engine's
+//! by-reference routing) must be **bit-for-bit** indistinguishable from the
+//! legacy per-receiver clone representation — identical [`Execution`]s,
+//! identical [`ScenarioStats`], and identical distributed merges, for every
+//! protocol × fault model (including the reordering scheduler and forging
+//! faults) × trace mode.
+//!
+//! The per-receiver reference path is produced by [`Unicasting`], a protocol
+//! adapter that calls [`Outbox::materialize_broadcast`] on every outbox it
+//! emits, so the engine only ever sees per-receiver slab entries.
+
+use ba_bench::dist::{run_manifest, scenario_campaign_report};
+use ba_crypto::Keybook;
+use ba_dist::{merge_campaign_report, plan_shards, Decode, ShardReport, SweepSpec};
+use ba_protocols::broken::{
+    LeaderEcho, LeaderEchoMsg, OneRoundAllToAll, OwnProposal, ParanoidEcho, ParanoidEchoMsg,
+};
+use ba_protocols::{DolevStrong, EigConsensus, EigMsg, FloodSet, PhaseKing, PkMsg};
+use ba_sim::{
+    Adversary, Bit, CampaignPoint, Inbox, Outbox, Payload, ProcessCtx, ProcessId, Protocol,
+    RandomOmissionPlan, Round, Scenario, ScenarioStats, SilentByzantine, SimRng, TraceMode,
+};
+
+/// Protocol adapter forcing the legacy per-receiver outbox representation:
+/// every broadcast the inner protocol queues is materialized into one cloned
+/// slab entry per receiver before the engine sees it.
+#[derive(Clone)]
+struct Unicasting<P>(P);
+
+impl<P: Protocol> Protocol for Unicasting<P> {
+    type Input = P::Input;
+    type Output = P::Output;
+    type Msg = P::Msg;
+
+    fn propose(&mut self, ctx: &ProcessCtx, proposal: P::Input) -> Outbox<P::Msg> {
+        let mut out = self.0.propose(ctx, proposal);
+        out.materialize_broadcast();
+        out
+    }
+
+    fn round(&mut self, ctx: &ProcessCtx, round: Round, inbox: &Inbox<P::Msg>) -> Outbox<P::Msg> {
+        let mut out = self.0.round(ctx, round, inbox);
+        out.materialize_broadcast();
+        out
+    }
+
+    fn decision(&self) -> Option<P::Output> {
+        self.0.decision()
+    }
+}
+
+/// Fault models under test. Beyond the sink-equivalence roster, `forge`
+/// exercises [`Routing::Forge`](ba_sim::Routing) (a Byzantine routing-level
+/// payload substitution) and `scheduler` the reordering envelope-queue path —
+/// the two flavors whose engine plumbing differs most from plain delivery.
+const ADVERSARIES: &[&str] = &[
+    "none",
+    "isolation",
+    "crash",
+    "random-omission",
+    "byzantine-silent",
+    "adaptive-worst-case",
+    "mobile",
+    "scheduler",
+    "forge",
+];
+
+fn adversary<M: Payload>(
+    label: &str,
+    n: usize,
+    t: usize,
+    seed: u64,
+    forged: impl FnOnce() -> M,
+) -> Adversary<'static, Bit, M> {
+    let last = ProcessId(n - 1);
+    match label {
+        "none" => Adversary::none(),
+        "isolation" => Adversary::isolation([last], Round(2)),
+        "crash" => Adversary::crash([(last, Round(2))]),
+        "random-omission" => Adversary::omission(
+            [last],
+            RandomOmissionPlan::new([last], 0.25, 0.25, seed ^ 0xA11CE),
+        ),
+        "byzantine-silent" => Adversary::one_byzantine(last, SilentByzantine),
+        "adaptive-worst-case" => Adversary::adaptive_worst_case(t),
+        "mobile" => Adversary::mobile((n - t..n).map(ProcessId), 2),
+        "scheduler" => Adversary::scheduler(last, (n - 1) / 2, seed ^ 0xC0DE),
+        "forge" => Adversary::forge([last], forged()),
+        other => panic!("unknown adversary label {other:?}"),
+    }
+}
+
+fn inputs(label: &str, n: usize, seed: u64) -> Vec<Bit> {
+    match label {
+        "zeros" => vec![Bit::Zero; n],
+        "ones" => vec![Bit::One; n],
+        "alternating" => (0..n).map(|i| Bit::from(i % 2 == 1)).collect(),
+        "random" => {
+            let mut rng = SimRng::seed_from_u64(seed ^ 0x5EED);
+            (0..n).map(|_| Bit::from(rng.gen_bool(0.5))).collect()
+        }
+        other => panic!("unknown input label {other:?}"),
+    }
+}
+
+const INPUTS: &[&str] = &["zeros", "ones", "alternating", "random"];
+
+/// Runs one scenario through the broadcast path and the materialized
+/// per-receiver path and asserts bit-identical outcomes in every trace mode:
+/// equal `Execution`s (or equal typed errors), and equal stats from both the
+/// full-trace and the stats-only engine.
+fn assert_broadcast_equivalent<P, F>(
+    context: &str,
+    n: usize,
+    t: usize,
+    factory: F,
+    adv: &str,
+    inp: &str,
+    forged: P::Msg,
+) where
+    P: Protocol<Input = Bit, Output = Bit>,
+    F: Fn(ProcessId) -> P,
+{
+    let seed = (n as u64) << 32 | (t as u64) << 16 | 9;
+    let scenario = Scenario::new(n, t);
+    let broadcast = scenario
+        .protocol(&factory)
+        .inputs(inputs(inp, n, seed))
+        .adversary(adversary(adv, n, t, seed, || forged.clone()))
+        .run();
+    let unicast = scenario
+        .protocol(|pid| Unicasting(factory(pid)))
+        .inputs(inputs(inp, n, seed))
+        .adversary(adversary(adv, n, t, seed, || forged.clone()))
+        .run();
+    assert_eq!(
+        broadcast, unicast,
+        "{context}: broadcast execution diverged from per-receiver execution"
+    );
+
+    let broadcast_stats = scenario
+        .protocol(&factory)
+        .inputs(inputs(inp, n, seed))
+        .adversary(adversary(adv, n, t, seed, || forged.clone()))
+        .run_stats();
+    let unicast_stats = scenario
+        .protocol(|pid| Unicasting(factory(pid)))
+        .inputs(inputs(inp, n, seed))
+        .adversary(adversary(adv, n, t, seed, || forged.clone()))
+        .run_stats();
+    assert_eq!(
+        broadcast_stats, unicast_stats,
+        "{context}: broadcast stats diverged from per-receiver stats"
+    );
+    if let Ok(exec) = &broadcast {
+        exec.validate().unwrap_or_else(|e| {
+            panic!("{context}: broadcast path produced invalid execution: {e}")
+        });
+        assert_eq!(
+            broadcast_stats.as_ref().ok(),
+            Some(&ScenarioStats::from_execution(exec)),
+            "{context}: stats engine diverged from trace-derived stats"
+        );
+    }
+}
+
+/// Every protocol × fault model × input profile over a small `(n, t)` grid:
+/// the broadcast representation is observationally invisible.
+#[test]
+fn broadcast_matches_per_receiver_for_all_protocols_and_fault_models() {
+    let grid = [(4usize, 1usize), (5, 1), (7, 2)];
+    for (n, t) in grid {
+        for adv in ADVERSARIES {
+            for inp in INPUTS {
+                let ctx = |p: &str| format!("{p} n={n} t={t} adv={adv} in={inp}");
+                assert_broadcast_equivalent(
+                    &ctx("flood-set"),
+                    n,
+                    t,
+                    |_| FloodSet::new(),
+                    adv,
+                    inp,
+                    std::collections::BTreeSet::from([Bit::One]),
+                );
+                assert_broadcast_equivalent(
+                    &ctx("phase-king"),
+                    n,
+                    t,
+                    |_| PhaseKing::new(n, t),
+                    adv,
+                    inp,
+                    PkMsg::Report(Bit::One),
+                );
+                assert_broadcast_equivalent(
+                    &ctx("eig"),
+                    n,
+                    t,
+                    |_| EigConsensus::new(n, t, Bit::Zero),
+                    adv,
+                    inp,
+                    EigMsg::<Bit>::new(),
+                );
+                assert_broadcast_equivalent(
+                    &ctx("leader-echo"),
+                    n,
+                    t,
+                    |_: ProcessId| LeaderEcho::new(ProcessId(0)),
+                    adv,
+                    inp,
+                    LeaderEchoMsg::Report(Bit::One),
+                );
+                assert_broadcast_equivalent(
+                    &ctx("own-proposal"),
+                    n,
+                    t,
+                    |_| OwnProposal::new(),
+                    adv,
+                    inp,
+                    Bit::One,
+                );
+                assert_broadcast_equivalent(
+                    &ctx("one-round-all-to-all"),
+                    n,
+                    t,
+                    |_| OneRoundAllToAll::new(),
+                    adv,
+                    inp,
+                    Bit::One,
+                );
+                assert_broadcast_equivalent(
+                    &ctx("paranoid-echo"),
+                    n,
+                    t,
+                    |_| ParanoidEcho::new(),
+                    adv,
+                    inp,
+                    ParanoidEchoMsg::Report(Bit::One),
+                );
+            }
+        }
+    }
+}
+
+/// Dolev–Strong separately: its message type carries signature chains, so
+/// forging needs a well-formed payload. Covers the non-forging roster.
+#[test]
+fn broadcast_matches_per_receiver_for_dolev_strong() {
+    for (n, t) in [(4usize, 1usize), (5, 2)] {
+        for adv in ADVERSARIES.iter().filter(|a| **a != "forge") {
+            for inp in INPUTS {
+                let keybook = Keybook::new(n);
+                let factory = DolevStrong::factory(keybook, ProcessId(0), Bit::Zero);
+                let seed = (n as u64) << 32 | (t as u64) << 16 | 9;
+                let scenario = Scenario::new(n, t);
+                let no_forge = || unreachable!("forge is excluded for dolev-strong");
+                let broadcast = scenario
+                    .protocol(&factory)
+                    .inputs(inputs(inp, n, seed))
+                    .adversary(adversary(adv, n, t, seed, no_forge))
+                    .run();
+                let unicast = scenario
+                    .protocol(|pid| Unicasting(factory(pid)))
+                    .inputs(inputs(inp, n, seed))
+                    .adversary(adversary(adv, n, t, seed, no_forge))
+                    .run();
+                assert_eq!(
+                    broadcast, unicast,
+                    "dolev-strong n={n} t={t} adv={adv} in={inp}: diverged"
+                );
+            }
+        }
+    }
+}
+
+/// Trace-mode invariance on the broadcast path: `run_report` under
+/// [`TraceMode::Full`] (materialize + validate + derive) equals the default
+/// stats-only report for broadcast-shaped outboxes.
+#[test]
+fn broadcast_reports_are_trace_mode_invariant() {
+    for (n, t) in [(4usize, 1usize), (7, 2), (10, 3)] {
+        for adv in ADVERSARIES {
+            let seed = (n as u64) << 32 | 1;
+            let build = |mode: TraceMode| {
+                Scenario::new(n, t)
+                    .trace_mode(mode)
+                    .protocol(|_| PhaseKing::new(n, t))
+                    .inputs(inputs("alternating", n, seed))
+                    .adversary(adversary(adv, n, t, seed, || PkMsg::Report(Bit::One)))
+                    .run_report()
+            };
+            assert_eq!(
+                build(TraceMode::Stats),
+                build(TraceMode::Full),
+                "phase-king n={n} t={t} adv={adv}: trace modes diverged"
+            );
+        }
+    }
+}
+
+/// `merge(k) == run(1)`: sharded distributed sweeps over broadcast-migrated
+/// registry protocols reassemble bit-identically to the unsharded run.
+#[test]
+fn distributed_merges_are_bit_identical_on_the_broadcast_path() {
+    let points: Vec<CampaignPoint> = ba_sim::Campaign::grid(
+        (4..9).map(|n| (n, (n - 1) / 3)),
+        &[
+            "none",
+            "isolation",
+            "crash",
+            "adaptive-worst-case",
+            "scheduler",
+        ],
+        &["alternating"],
+    )
+    .points()
+    .to_vec();
+
+    for protocol in ["phase-king", "dolev-strong", "flood-set", "leader-echo"] {
+        let spec = SweepSpec::scenarios(points.clone(), protocol)
+            .base_seed(0xBCA57)
+            .worker_threads(1);
+        let mut shard_reports: Vec<ShardReport<ScenarioStats<Bit>>> = Vec::new();
+        for manifest in plan_shards(&spec, 3) {
+            let wire = run_manifest(&manifest).expect("shard run");
+            shard_reports.push(ShardReport::from_wire(&wire).expect("wire round-trip"));
+        }
+        let merged = merge_campaign_report(&points, shard_reports).expect("merge");
+        let reference =
+            scenario_campaign_report(&points, protocol, 0xBCA57, 1).expect("reference sweep");
+        assert_eq!(
+            merged, reference,
+            "{protocol}: merge(3) diverged from run(1)"
+        );
+    }
+}
