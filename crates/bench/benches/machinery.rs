@@ -272,6 +272,23 @@ fn bench_campaign_throughput() {
         (search_points.len(), total, ())
     });
 
+    // Exhaustive model-check throughput: the branching explorer over the
+    // planted one-round bug's full ≤1-corruption send+receive omission
+    // space at n = 5 (1281 executions) — the per-state cost every ba-check
+    // sweep pays, end to end through the registry runner including shrink
+    // and replay revalidation. `points` counts distinct canonical states,
+    // so the tracked rate is states/sec.
+    let check_point = ba_sim::CampaignPoint::new(5, 1)
+        .with_adversary(ba_bench::check::CheckLabel::new(1).render())
+        .with_inputs("zeros");
+    log.time_best("check-states/one-round-all-to-all", 5, || {
+        let sweep =
+            ba_bench::dist::registry_check(&check_point, "one-round-all-to-all", 0, 0, None)
+                .expect("model check");
+        assert!(sweep.refuted, "{}", sweep.verdict);
+        (sweep.states() as usize, sweep.executions, ())
+    });
+
     let falsifier_grid = [(8usize, 2usize), (10, 2), (12, 4), (16, 8)];
     log.time_best("falsifier-sweep/leader-echo", 5, || {
         let sweep = ba_bench::falsifier_sweep(&falsifier_grid, |_point| {

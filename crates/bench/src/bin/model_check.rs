@@ -1,0 +1,190 @@
+//! `model_check` — exhaustively explore a registry protocol's adversary
+//! space and report a shrunk, replay-verified violation or an
+//! exhaustiveness certificate.
+//!
+//! Drives `ba_check` over any `ba_bench::dist` registry protocol: every
+//! corruption choice and per-edge omission fate (optionally delivery
+//! reorderings) within the configured horizon is enumerated
+//! deterministically. A violation is delta-debug shrunk and re-validated
+//! end to end — certificate re-verification plus direct fault-model
+//! replay of the choice tape — before it is printed.
+//!
+//! Usage:
+//!
+//! ```text
+//! model_check [--protocol LABEL] [--n N] [--t T] [--rounds R]
+//!             [--inputs LABEL] [--dirs sr|s|r] [--corrupt upto:B|static:I.J]
+//!             [--reorder] [--max E] [--threads W] [--seed S]
+//!             [--expect-violation | --expect-exhausted]
+//! ```
+//!
+//! `--expect-violation` defaults to the planted-bug `one-round-all-to-all`
+//! (n = 4, t = 1, one send-omission round, all-zero inputs) and exits
+//! non-zero unless a violation is found; `--expect-exhausted` defaults to
+//! `dolev-strong` (n = 4, t = 1, two rounds) and exits non-zero unless the
+//! space is fully enumerated with no violation. The CI smokes run exactly
+//! those two.
+
+use std::process::ExitCode;
+
+use ba_bench::check::CheckLabel;
+use ba_bench::dist::{registry_check, INPUTS, REGISTRY};
+use ba_check::CorruptionSpace;
+use ba_sim::{CampaignPoint, ProcessId};
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Expect {
+    Nothing,
+    Violation,
+    Exhausted,
+}
+
+fn parse<T: std::str::FromStr>(flag: &str, raw: String) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    raw.parse()
+        .map_err(|e| format!("bad {flag} value {raw:?}: {e}"))
+}
+
+#[allow(clippy::too_many_lines)]
+fn run() -> Result<bool, String> {
+    let mut protocol: Option<String> = None;
+    let mut n = 4usize;
+    let mut t = 1usize;
+    let mut rounds: Option<u64> = None;
+    let mut inputs = "zeros".to_string();
+    let mut dirs: Option<String> = None;
+    let mut corrupt: Option<String> = None;
+    let mut reorder = false;
+    let mut max: Option<u64> = None;
+    let mut threads = 0usize;
+    let mut seed = 0u64;
+    let mut expect = Expect::Nothing;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| args.next().ok_or(format!("{flag} needs a value"));
+        match arg.as_str() {
+            "--protocol" => protocol = Some(value("--protocol")?),
+            "--n" => n = parse("--n", value("--n")?)?,
+            "--t" => t = parse("--t", value("--t")?)?,
+            "--rounds" => rounds = Some(parse("--rounds", value("--rounds")?)?),
+            "--inputs" => inputs = value("--inputs")?,
+            "--dirs" => dirs = Some(value("--dirs")?),
+            "--corrupt" => corrupt = Some(value("--corrupt")?),
+            "--reorder" => reorder = true,
+            "--max" => max = Some(parse("--max", value("--max")?)?),
+            "--threads" => threads = parse("--threads", value("--threads")?)?,
+            "--seed" => seed = parse("--seed", value("--seed")?)?,
+            "--expect-violation" => expect = Expect::Violation,
+            "--expect-exhausted" => expect = Expect::Exhausted,
+            "--help" | "-h" => {
+                println!(
+                    "usage: model_check [--protocol LABEL] [--n N] [--t T] [--rounds R] \
+                     [--inputs LABEL] [--dirs sr|s|r] [--corrupt upto:B|static:I.J] \
+                     [--reorder] [--max E] [--threads W] [--seed S] \
+                     [--expect-violation | --expect-exhausted]"
+                );
+                println!("protocols: {REGISTRY:?}");
+                println!("inputs:    {INPUTS:?}");
+                return Ok(true);
+            }
+            other => return Err(format!("unknown argument {other:?} (see --help)")),
+        }
+    }
+
+    // Expectation-specific defaults: the planted one-round bug for
+    // violations, the robust signed protocol for exhaustion proofs.
+    let protocol = protocol.unwrap_or_else(|| {
+        match expect {
+            Expect::Exhausted => "dolev-strong",
+            _ => "one-round-all-to-all",
+        }
+        .to_string()
+    });
+    let rounds = rounds.unwrap_or(match expect {
+        Expect::Exhausted => 2,
+        _ => 1,
+    });
+
+    let mut label = CheckLabel::new(rounds).reorder(reorder);
+    match dirs.as_deref().unwrap_or("s") {
+        "sr" => {}
+        "s" => label = label.send_only(),
+        "r" => {
+            label.send_omissions = false;
+            label.receive_omissions = true;
+        }
+        other => return Err(format!("bad --dirs {other:?} (sr|s|r)")),
+    }
+    if let Some(spec) = corrupt {
+        label = label.corruption(if let Some(b) = spec.strip_prefix("upto:") {
+            CorruptionSpace::UpTo(parse("--corrupt", b.to_string())?)
+        } else if let Some(ids) = spec.strip_prefix("static:") {
+            CorruptionSpace::Static(
+                ids.split('.')
+                    .filter(|s| !s.is_empty())
+                    .map(|s| Ok(ProcessId(parse("--corrupt", s.to_string())?)))
+                    .collect::<Result<_, String>>()?,
+            )
+        } else {
+            return Err(format!("bad --corrupt {spec:?} (upto:B|static:I.J)"));
+        });
+    }
+    if let Some(cap) = max {
+        label = label.max_executions(cap);
+    }
+
+    let point = CampaignPoint::new(n, t)
+        .with_adversary(label.render())
+        .with_inputs(inputs);
+    eprintln!(
+        "model_check: {protocol} at n={n} t={t}, space {}",
+        point.adversary
+    );
+
+    let sweep = registry_check(&point, &protocol, seed, threads, None)?;
+    println!(
+        "{}: {} ({} states / {} executions, frontier depth {}{})",
+        protocol,
+        sweep.verdict,
+        sweep.states(),
+        sweep.executions,
+        sweep.max_depth,
+        if sweep.complete { "" } else { ", capped" },
+    );
+    if sweep.refuted {
+        println!(
+            "  corrupted {:?}, shrunk choice tape {:?} ({} non-default choices), \
+             replay-verified",
+            sweep.corrupted,
+            sweep.choices,
+            sweep.key_digits.len(),
+        );
+    }
+
+    match expect {
+        Expect::Nothing => Ok(true),
+        Expect::Violation if sweep.refuted => Ok(true),
+        Expect::Violation => Err(format!(
+            "--expect-violation: space {} held (no violation within {} executions)",
+            point.adversary, sweep.executions
+        )),
+        Expect::Exhausted if !sweep.refuted && sweep.complete => Ok(true),
+        Expect::Exhausted => Err(format!(
+            "--expect-exhausted: verdict was {:?} (complete: {})",
+            sweep.verdict, sweep.complete
+        )),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(_) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("model_check: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

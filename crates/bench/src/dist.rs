@@ -42,10 +42,11 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
+use ba_check::{CheckError, CheckProgress, CheckSpec};
 use ba_crypto::Keybook;
 use ba_dist::{
-    Coordinator, Decode, DistError, Encode, ProgressEvent, ShardManifest, ShardMode, ShardReport,
-    SweepSpec, WireError, WireReader, WorkerCommand,
+    CoordEvent, Coordinator, Decode, DistError, Encode, ProgressEvent, ShardManifest, ShardMode,
+    ShardReport, SweepSpec, WireError, WireReader, WorkerCommand,
 };
 use ba_obs::{FieldValue, Recorder};
 use ba_protocols::broken::{
@@ -58,6 +59,7 @@ use ba_sim::{
     RandomOmissionPlan, Round, Scenario, SimRng, TraceMode,
 };
 
+use crate::check::{check_point, CheckLabel, CheckSweepPoint};
 use crate::{falsify_point_recorded, FalsifierSweepPoint};
 
 /// Labels resolvable by [`run_manifest`] (scenario and falsifier modes
@@ -226,7 +228,95 @@ pub fn run_manifest_recorded(
             };
             Ok(shard_report.to_wire())
         }
+        ShardMode::Check => {
+            validate_check_labels(&points)?;
+            with_registry_factory!(manifest.protocol.as_str(), factory => {
+                ShardReport {
+                    shard: manifest.shard,
+                    outcomes: check_entries(manifest, factory, recorder, None, None)?,
+                }
+                .to_wire()
+            })
+        }
     }
+}
+
+/// Rejects malformed `check:` adversary labels and check spaces whose
+/// corruption enumeration is refused as too large — *before* any work
+/// runs, so a worker never half-explores a misconfigured sweep.
+fn validate_check_labels(points: &[CampaignPoint]) -> Result<(), String> {
+    for point in points {
+        let label = CheckLabel::parse(&point.adversary)?;
+        let spec: CheckSpec<Bit> = label.to_spec(point.n, point.t);
+        spec.corruption_subsets()
+            .map_err(|e| format!("check at {point}: {e}"))?;
+    }
+    Ok(())
+}
+
+type CheckOutcomes = Vec<(usize, Result<CheckSweepPoint, ba_sim::SimError>)>;
+
+/// Runs a check-mode shard's entries **sequentially**: each entry is one
+/// slice of an exhaustive model-check space (the slice assignment lives in
+/// the point's `check:` label), and the explorer parallelizes internally
+/// over the shard's thread budget — per-point parallelism on top would
+/// oversubscribe without changing any outcome (the explorer is
+/// thread-count invariant). Simulator failures surface as that point's
+/// `Err` outcome; `on_progress` observes live exploration snapshots.
+fn check_entries<P, F, G>(
+    manifest: &ShardManifest,
+    factory: G,
+    recorder: Option<Arc<dyn Recorder>>,
+    on_progress: Option<&(dyn Fn(usize, CheckProgress) + Sync)>,
+    sink: Option<&StreamSink<'_>>,
+) -> Result<CheckOutcomes, String>
+where
+    P: Protocol<Input = Bit, Output = Bit>,
+    F: Fn(ProcessId) -> P + Sync,
+    G: Fn(&CampaignPoint) -> F + Sync,
+{
+    let mut outcomes = Vec::with_capacity(manifest.entries.len());
+    for (local, entry) in manifest.entries.iter().enumerate() {
+        let label = CheckLabel::parse(&entry.point.adversary)?;
+        let spec: CheckSpec<P::Msg> = label.to_spec(entry.point.n, entry.point.t);
+        let proposals = input_bits(&entry.point.inputs, entry.point.n, entry.seed);
+        let hook = on_progress.map(|sink| move |p: CheckProgress| sink(local, p));
+        let outcome = ba_check::check_with_progress(
+            &spec,
+            factory(&entry.point),
+            &proposals,
+            manifest.threads,
+            hook.as_ref().map(|h| h as &(dyn Fn(CheckProgress) + Sync)),
+        );
+        let mut result = match outcome {
+            Ok(outcome) => Ok(CheckSweepPoint::from_outcome(entry.point.clone(), &outcome)),
+            Err(CheckError::Sim(e)) => Err(e),
+            // Caught by eager validation; a late surprise is still fatal.
+            Err(refused @ CheckError::SpaceTooLarge { .. }) => {
+                return Err(format!("check at {}: {refused}", entry.point))
+            }
+        };
+        let (messages, rounds, ok) = match &result {
+            Ok(sweep) => (sweep.executions, sweep.max_depth, true),
+            Err(_) => (0, 0, false),
+        };
+        if let Some(r) = recorder.as_ref() {
+            r.event(
+                "campaign.point.done",
+                &[
+                    ("index", FieldValue::U64(local as u64)),
+                    ("messages", FieldValue::U64(messages)),
+                    ("rounds", FieldValue::U64(rounds)),
+                    ("ok", FieldValue::Bool(ok)),
+                ],
+            );
+        }
+        if let Some(s) = sink {
+            result = s.point(entry.index, result, messages, rounds, ok);
+        }
+        outcomes.push((entry.index, result));
+    }
+    Ok(outcomes)
 }
 
 /// [`run_manifest`] in **streaming** mode — the body of `campaign_worker
@@ -274,7 +364,112 @@ pub fn run_manifest_streaming(
                 stream_falsifier_entries(manifest, factory, progress, emit)
             })
         }
+        ShardMode::Check => {
+            validate_check_labels(&points)?;
+            with_registry_factory!(manifest.protocol.as_str(), factory => {
+                stream_check_entries(manifest, factory, progress, emit)?
+            })
+        }
     }
+}
+
+/// Runs one in-process exhaustive check for a named [`REGISTRY`] protocol
+/// — the `model_check` binary's engine. The point's `check:` adversary
+/// label carries the space, its input label resolves through
+/// [`input_bits`] (seeded by [`ba_dist::point_seed`] for `random`). A
+/// violation is end-to-end validated before it is reported: its
+/// certificate must re-verify, and its shrunk choice tape must replay —
+/// by direct fault-model interpretation — to the same corruption set,
+/// canonical tape, and violating execution.
+///
+/// # Errors
+///
+/// Returns a message for unknown protocol labels, malformed check labels,
+/// refused spaces, simulator failures, and violations that fail
+/// revalidation (an explorer bug).
+pub fn registry_check(
+    point: &CampaignPoint,
+    protocol: &str,
+    base_seed: u64,
+    threads: usize,
+    hook: Option<&(dyn Fn(CheckProgress) + Sync)>,
+) -> Result<CheckSweepPoint, String> {
+    let proposals = input_bits(
+        &point.inputs,
+        point.n,
+        ba_dist::point_seed(base_seed, point),
+    );
+    with_registry_factory!(protocol, factory => {
+        let (sweep, outcome) = check_point(point, factory(point), &proposals, threads, hook)?;
+        if let Some(found) = outcome.violation() {
+            found
+                .certificate
+                .verify()
+                .map_err(|e| format!("violation certificate failed to re-verify: {e}"))?;
+            let label = CheckLabel::parse(&point.adversary)?;
+            let spec = label.to_spec(point.n, point.t);
+            let replay = ba_check::replay(&spec, factory(point), &proposals, &found.choices)
+                .map_err(|e| format!("violation tape failed to replay: {e}"))?;
+            if replay.corrupted != found.corrupted
+                || replay.choices != found.choices
+                || replay.violation.is_none()
+                || replay.execution != found.certificate.execution
+            {
+                return Err(format!(
+                    "replayed tape diverges from the reported violation at {point}"
+                ));
+            }
+        }
+        sweep
+    })
+}
+
+/// The check-mode streaming body: while a slice explores, live
+/// [`CoordEvent::Check`] JSONL snapshots flow to `emit` (batched inside
+/// the explorer, so the stream stays cheap), and each finished slice emits
+/// the usual outcome + progress lines before the trailing report — the
+/// states/s + frontier-depth feed `campaign_watch` renders live.
+fn stream_check_entries<P, F, G>(
+    manifest: &ShardManifest,
+    factory: G,
+    progress: bool,
+    emit: &(dyn Fn(&str) + Sync),
+) -> Result<(), String>
+where
+    P: Protocol<Input = Bit, Output = Bit>,
+    F: Fn(ProcessId) -> P + Sync,
+    G: Fn(&CampaignPoint) -> F + Sync,
+{
+    let sink = StreamSink::new(manifest, progress, emit);
+    let started = Instant::now();
+    let snapshot = move |_local: usize, p: CheckProgress| {
+        let event = CoordEvent::Check {
+            shard: manifest.shard,
+            shards: manifest.shards,
+            states: p.states,
+            executions: p.executions,
+            depth: p.depth,
+            elapsed_nanos: u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+        };
+        emit(&format!("{}\n", event.to_json_line()));
+    };
+    let outcomes = check_entries(
+        manifest,
+        &factory,
+        None,
+        progress
+            .then_some(&snapshot)
+            .map(|s| s as &(dyn Fn(usize, CheckProgress) + Sync)),
+        Some(&sink),
+    )?;
+    emit(
+        &ShardReport {
+            shard: manifest.shard,
+            outcomes,
+        }
+        .to_wire(),
+    );
+    Ok(())
 }
 
 /// The shared per-point emission state behind [`run_manifest_streaming`]:

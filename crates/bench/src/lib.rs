@@ -7,6 +7,7 @@ use ba_sim::{
     Bit, Campaign, CampaignPoint, ExecutorConfig, Payload, ProcessId, Protocol, Round, Scenario,
 };
 
+pub mod check;
 pub mod dist;
 pub mod harness;
 pub mod perf;

@@ -19,11 +19,14 @@
 //! is strictly a small-`n`, few-rounds tool; [`ExhaustiveConfig`] caps the
 //! space and the checker refuses blow-ups.
 
+use std::error::Error;
+use std::fmt;
+
 use ba_sim::{
     Adversary, Bit, ExecutorConfig, Fate, FnPlan, ProcessId, Protocol, Round, Scenario, SimError,
 };
 
-use super::falsifier::{Certificate, ViolationKind};
+use super::falsifier::{weak_consensus_violation, Certificate};
 
 /// Bounds for the exhaustive search.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -35,8 +38,10 @@ pub struct ExhaustiveConfig {
     pub send_omissions: bool,
     /// Enumerate receive-omissions.
     pub receive_omissions: bool,
-    /// Hard cap on the number of adversaries enumerated (the checker
-    /// panics rather than silently truncating).
+    /// Hard cap on the number of adversaries enumerated. A larger space is
+    /// refused up front with [`ExhaustiveError::SpaceTooLarge`] — never
+    /// silently truncated, since a truncated enumeration would fake a
+    /// robustness proof.
     pub max_adversaries: u64,
 }
 
@@ -60,6 +65,49 @@ impl ExhaustiveConfig {
     fn bits(&self, n: usize) -> u32 {
         let directions = usize::from(self.send_omissions) + usize::from(self.receive_omissions);
         (directions * (n - 1) * self.omission_rounds as usize) as u32
+    }
+}
+
+/// Why an exhaustive check could not run to completion.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ExhaustiveError {
+    /// The adversary space exceeds [`ExhaustiveConfig::max_adversaries`].
+    /// Shrink `n`, the omission rounds, or the directions instead of
+    /// waiting forever.
+    SpaceTooLarge {
+        /// The required mask width: the space holds `2^bits` adversaries.
+        bits: u32,
+        /// The configured cap the space exceeds.
+        cap: u64,
+    },
+    /// The simulator rejected a constructed scenario.
+    Sim(SimError),
+}
+
+impl fmt::Display for ExhaustiveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExhaustiveError::SpaceTooLarge { bits, cap } => write!(
+                f,
+                "search space 2^{bits} exceeds the cap of {cap} adversaries; shrink the bounds"
+            ),
+            ExhaustiveError::Sim(e) => write!(f, "simulator error: {e}"),
+        }
+    }
+}
+
+impl Error for ExhaustiveError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ExhaustiveError::SpaceTooLarge { .. } => None,
+            ExhaustiveError::Sim(e) => Some(e),
+        }
+    }
+}
+
+impl From<SimError> for ExhaustiveError {
+    fn from(e: SimError) -> Self {
+        ExhaustiveError::Sim(e)
     }
 }
 
@@ -110,19 +158,16 @@ impl<M: ba_sim::Payload> ExhaustiveOutcome<M> {
 ///
 /// # Errors
 ///
-/// Propagates simulator errors.
-///
-/// # Panics
-///
-/// Panics if the search space exceeds `bounds.max_adversaries` — shrink
-/// `n`, the omission rounds, or the directions instead of waiting forever.
+/// Returns [`ExhaustiveError::SpaceTooLarge`] when the search space exceeds
+/// `bounds.max_adversaries`, and propagates simulator errors as
+/// [`ExhaustiveError::Sim`].
 pub fn exhaustive_omission_check<P, F>(
     cfg: &ExecutorConfig,
     factory: F,
     proposals: &[Bit],
     corrupted: ProcessId,
     bounds: &ExhaustiveConfig,
-) -> Result<ExhaustiveOutcome<P::Msg>, SimError>
+) -> Result<ExhaustiveOutcome<P::Msg>, ExhaustiveError>
 where
     P: Protocol<Input = Bit, Output = Bit>,
     F: Fn(ProcessId) -> P,
@@ -130,11 +175,13 @@ where
     let n = cfg.n;
     assert!(corrupted.index() < n, "corrupted process out of range");
     let bits = bounds.bits(n);
-    let space = 1u64 << bits;
-    assert!(
-        space <= bounds.max_adversaries,
-        "search space 2^{bits} exceeds the cap; shrink the bounds"
-    );
+    let space = 1u64
+        .checked_shl(bits)
+        .filter(|space| *space <= bounds.max_adversaries)
+        .ok_or(ExhaustiveError::SpaceTooLarge {
+            bits,
+            cap: bounds.max_adversaries,
+        })?;
 
     let peers: Vec<ProcessId> = ProcessId::all(n).filter(|p| *p != corrupted).collect();
     let proposal_mask = proposals
@@ -192,29 +239,7 @@ where
             .run()?;
 
         // Check Termination and Agreement among correct processes.
-        let mut decided: Option<(Bit, ProcessId)> = None;
-        let mut violation: Option<ViolationKind> = None;
-        for p in exec.correct() {
-            match exec.decision_of(p) {
-                None => {
-                    let partner = exec.correct().find(|q| exec.decision_of(*q).is_some());
-                    violation = Some(ViolationKind::Termination {
-                        undecided: p,
-                        decided: partner,
-                    });
-                    break;
-                }
-                Some(v) => match decided {
-                    Some((w, q)) if *v != w => {
-                        violation = Some(ViolationKind::Agreement { p: q, q: p });
-                        break;
-                    }
-                    Some(_) => {}
-                    None => decided = Some((*v, p)),
-                },
-            }
-        }
-        if let Some(kind) = violation {
+        if let Some(kind) = weak_consensus_violation(&exec) {
             return Ok(ExhaustiveOutcome::Violation(
                 Box::new(Certificate {
                     execution: exec,
@@ -333,19 +358,46 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "exceeds the cap")]
-    fn oversized_search_spaces_are_refused() {
+    fn oversized_search_spaces_are_refused_with_a_typed_error() {
         let cfg = ExecutorConfig::new(8, 1);
         let bounds = ExhaustiveConfig {
             max_adversaries: 1 << 10,
             ..ExhaustiveConfig::new(4)
         };
-        let _ = exhaustive_omission_check(
+        let err = exhaustive_omission_check(
             &cfg,
             |_| OneRoundAllToAll::new(),
             &[Bit::Zero; 8],
             ProcessId(7),
             &bounds,
+        )
+        .unwrap_err();
+        // 2 directions · 7 peers · 4 rounds = 56 mask bits, far past 2^10.
+        assert_eq!(
+            err,
+            ExhaustiveError::SpaceTooLarge {
+                bits: 56,
+                cap: 1 << 10
+            }
         );
+        assert!(err.to_string().contains("exceeds the cap"));
+    }
+
+    #[test]
+    fn mask_widths_past_u64_are_refused_not_wrapped() {
+        // 2 directions · 9 peers · 4 rounds = 72 bits: 1 << 72 would wrap.
+        let cfg = ExecutorConfig::new(10, 1);
+        let err = exhaustive_omission_check(
+            &cfg,
+            |_| OneRoundAllToAll::new(),
+            &[Bit::Zero; 10],
+            ProcessId(9),
+            &ExhaustiveConfig::new(4),
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            ExhaustiveError::SpaceTooLarge { bits: 72, .. }
+        ));
     }
 }

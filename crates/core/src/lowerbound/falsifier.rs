@@ -354,6 +354,42 @@ impl<M: Payload> Certificate<M> {
     }
 }
 
+/// Scans the correct processes of `exec` for a Termination or Agreement
+/// violation, in ascending process order, returning the first one found.
+///
+/// This is the shared violation classifier of the enumeration checkers
+/// ([`exhaustive_omission_check`](super::exhaustive::exhaustive_omission_check)
+/// and the `ba-check` explorer): an undecided correct process yields
+/// [`ViolationKind::Termination`] (paired with the first decided correct
+/// process, when one exists, for context); two correct processes with
+/// different decisions yield [`ViolationKind::Agreement`]. Weak Validity is
+/// deliberately out of scope — it only applies to fully correct executions
+/// and is checked separately by callers that enumerate those.
+pub fn weak_consensus_violation<M: Payload>(
+    exec: &Execution<Bit, Bit, M>,
+) -> Option<ViolationKind> {
+    let mut decided: Option<(Bit, ProcessId)> = None;
+    for p in exec.correct() {
+        match exec.decision_of(p) {
+            None => {
+                let partner = exec.correct().find(|q| exec.decision_of(*q).is_some());
+                return Some(ViolationKind::Termination {
+                    undecided: p,
+                    decided: partner,
+                });
+            }
+            Some(v) => match decided {
+                Some((w, q)) if *v != w => {
+                    return Some(ViolationKind::Agreement { p: q, q: p });
+                }
+                Some(_) => {}
+                None => decided = Some((*v, p)),
+            },
+        }
+    }
+    None
+}
+
 /// The falsifier ran the complete argument without finding a violation.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct SurvivalReport {

@@ -30,11 +30,13 @@ pub mod prober;
 pub mod swap;
 
 pub use exhaustive::{
-    exhaustive_omission_check, ExhaustiveConfig, ExhaustiveOutcome, ExhaustiveReport,
+    exhaustive_omission_check, ExhaustiveConfig, ExhaustiveError, ExhaustiveOutcome,
+    ExhaustiveReport,
 };
 pub use falsifier::{
-    falsify, find_critical_round, lemma2_violation, Certificate, CertificateError,
-    CriticalRoundReport, FalsifierConfig, FalsifyError, SurvivalReport, Verdict, ViolationKind,
+    falsify, find_critical_round, lemma2_violation, weak_consensus_violation, Certificate,
+    CertificateError, CriticalRoundReport, FalsifierConfig, FalsifyError, SurvivalReport, Verdict,
+    ViolationKind,
 };
 pub use family::{FamilyRunner, Partition};
 pub use flip::{unflip_execution, BitFlipped};

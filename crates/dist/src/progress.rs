@@ -105,6 +105,24 @@ pub enum CoordEvent {
         /// The finished shard.
         shard: usize,
     },
+    /// A model-check shard reported a cumulative exploration snapshot
+    /// (streamed once per state batch, so a dashboard can show live
+    /// states/s and frontier depth while the check runs).
+    Check {
+        /// The shard running the check slice.
+        shard: usize,
+        /// Total shards in the sweep.
+        shards: usize,
+        /// Distinct states (canonical fingerprints) seen so far.
+        states: u64,
+        /// Executions explored so far (≥ `states`; the gap is dedup).
+        executions: u64,
+        /// Deepest decision-tape explored so far.
+        depth: usize,
+        /// Worker wall-clock since shard start, in nanoseconds
+        /// (wall-clock channel: never compared across runs).
+        elapsed_nanos: u64,
+    },
     /// The sweep degraded to partial coverage: some points never finished
     /// within the retry budget.
     Partial {
@@ -137,6 +155,18 @@ impl CoordEvent {
             CoordEvent::ShardDone { shard } => {
                 format!("{{\"type\":\"shard_done\",\"shard\":{shard}}}")
             }
+            CoordEvent::Check {
+                shard,
+                shards,
+                states,
+                executions,
+                depth,
+                elapsed_nanos,
+            } => format!(
+                "{{\"type\":\"check\",\"shard\":{shard},\"shards\":{shards},\
+                 \"states\":{states},\"executions\":{executions},\"depth\":{depth},\
+                 \"elapsed_nanos\":{elapsed_nanos}}}"
+            ),
             CoordEvent::Partial {
                 covered,
                 missing,
@@ -164,6 +194,14 @@ impl CoordEvent {
             }),
             "shard_done" => Some(CoordEvent::ShardDone {
                 shard: json.get("shard")?.as_u64()? as usize,
+            }),
+            "check" => Some(CoordEvent::Check {
+                shard: json.get("shard")?.as_u64()? as usize,
+                shards: json.get("shards")?.as_u64()? as usize,
+                states: json.get("states")?.as_u64()?,
+                executions: json.get("executions")?.as_u64()?,
+                depth: json.get("depth")?.as_u64()? as usize,
+                elapsed_nanos: json.get("elapsed_nanos")?.as_u64()?,
             }),
             "partial" => Some(CoordEvent::Partial {
                 covered: json.get("covered")?.as_u64()? as usize,
@@ -193,6 +231,16 @@ impl fmt::Display for CoordEvent {
                 "shard {shard}: attempt {attempt}/{attempts} failed, retrying: {cause}"
             ),
             CoordEvent::ShardDone { shard } => write!(f, "shard {shard}: report merged"),
+            CoordEvent::Check {
+                shard,
+                states,
+                executions,
+                depth,
+                ..
+            } => write!(
+                f,
+                "shard {shard}: {states} states / {executions} executions, frontier depth {depth}"
+            ),
             CoordEvent::Partial {
                 covered,
                 missing,
@@ -220,6 +268,13 @@ pub struct ShardProgress {
     pub errors: usize,
     /// Retry attempts observed for this shard.
     pub retries: usize,
+    /// Model-check states seen (distinct fingerprints), if the shard runs
+    /// a check slice.
+    pub check_states: u64,
+    /// Model-check executions explored, if the shard runs a check slice.
+    pub check_executions: u64,
+    /// Deepest model-check decision tape explored.
+    pub check_depth: usize,
 }
 
 impl ShardProgress {
@@ -229,6 +284,15 @@ impl ShardProgress {
             return None;
         }
         Some(self.done as f64 * 1e9 / self.elapsed_nanos as f64)
+    }
+
+    /// Distinct model-check states per second of worker wall-clock, if the
+    /// shard has reported check snapshots.
+    pub fn states_per_sec(&self) -> Option<f64> {
+        if self.check_states == 0 || self.elapsed_nanos == 0 {
+            return None;
+        }
+        Some(self.check_states as f64 * 1e9 / self.elapsed_nanos as f64)
     }
 }
 
@@ -274,6 +338,23 @@ impl LiveAggregates {
                 self.shards.entry(*shard).or_default().retries += 1;
             }
             CoordEvent::ShardDone { .. } => {}
+            CoordEvent::Check {
+                shard,
+                shards,
+                states,
+                executions,
+                depth,
+                elapsed_nanos,
+            } => {
+                self.expected_shards = self.expected_shards.max(*shards);
+                let entry = self.shards.entry(*shard).or_default();
+                // Snapshots are cumulative per shard; folding by max keeps
+                // ingestion idempotent under replayed lines.
+                entry.check_states = entry.check_states.max(*states);
+                entry.check_executions = entry.check_executions.max(*executions);
+                entry.check_depth = entry.check_depth.max(*depth);
+                entry.elapsed_nanos = entry.elapsed_nanos.max(*elapsed_nanos);
+            }
             CoordEvent::Partial {
                 covered,
                 missing,
@@ -428,6 +509,25 @@ impl LiveAggregates {
             self.total_done(),
             self.total_points()
         ));
+        let check_states: u64 = self.shards.values().map(|s| s.check_states).sum();
+        if check_states > 0 {
+            let executions: u64 = self.shards.values().map(|s| s.check_executions).sum();
+            let depth = self
+                .shards
+                .values()
+                .map(|s| s.check_depth)
+                .max()
+                .unwrap_or(0);
+            let rate: f64 = self
+                .shards
+                .values()
+                .filter_map(ShardProgress::states_per_sec)
+                .sum();
+            out.push_str(&format!(
+                "check  {check_states} states / {executions} executions  \
+                 {rate:.1} states/s  frontier depth {depth}\n"
+            ));
+        }
         if self.malformed_lines > 0 {
             out.push_str(&format!("malformed lines: {}\n", self.malformed_lines));
         }
@@ -449,7 +549,7 @@ impl LiveAggregates {
             }
             out.push_str(&format!(
                 "{{\"shard\":{shard},\"done\":{},\"total\":{},\"errors\":{},\"retries\":{},\
-                 \"elapsed_nanos\":{},\"straggler\":{}}}",
+                 \"elapsed_nanos\":{},\"straggler\":{}",
                 s.done,
                 s.total,
                 s.errors,
@@ -457,6 +557,13 @@ impl LiveAggregates {
                 s.elapsed_nanos,
                 self.stragglers().contains(&shard)
             ));
+            if s.check_executions > 0 {
+                out.push_str(&format!(
+                    ",\"check\":{{\"states\":{},\"executions\":{},\"depth\":{}}}",
+                    s.check_states, s.check_executions, s.check_depth
+                ));
+            }
+            out.push('}');
         }
         out.push_str(&format!(
             "],\"done\":{},\"points\":{},\"complete\":{},\"malformed_lines\":{}",
@@ -607,6 +714,44 @@ mod tests {
         assert!(live.render().contains("malformed lines: 2"));
         let parsed = parse_json_line(&live.summary_json()).expect("summary parses");
         assert_eq!(parsed.get("malformed_lines").unwrap().as_u64(), Some(2));
+    }
+
+    #[test]
+    fn check_events_round_trip_and_drive_the_dashboard() {
+        let e = CoordEvent::Check {
+            shard: 1,
+            shards: 3,
+            states: 120,
+            executions: 200,
+            depth: 5,
+            elapsed_nanos: 2_000_000_000,
+        };
+        let line = e.to_json_line();
+        assert!(line.starts_with("{\"type\":\"check\""), "{line}");
+        assert_eq!(CoordEvent::parse(&line), Some(e.clone()));
+        assert!(e.to_string().contains("frontier depth 5"), "{e}");
+
+        let mut live = LiveAggregates::new();
+        live.ingest_coord(&e);
+        // Replaying the same snapshot is idempotent (cumulative folding).
+        live.ingest_coord(&e);
+        let shard = &live.shards()[&1];
+        assert_eq!(shard.check_states, 120);
+        assert_eq!(shard.check_executions, 200);
+        assert_eq!(shard.check_depth, 5);
+        let rate = shard.states_per_sec().unwrap();
+        assert!((rate - 60.0).abs() < 1e-9, "{rate}");
+
+        let rendered = live.render();
+        assert!(
+            rendered.contains("120 states / 200 executions"),
+            "{rendered}"
+        );
+        assert!(rendered.contains("frontier depth 5"), "{rendered}");
+        let json = live.summary_json();
+        let parsed = parse_json_line(&json).expect("summary parses");
+        assert!(parsed.get("shards").is_some(), "{json}");
+        assert!(json.contains("\"check\":{\"states\":120"), "{json}");
     }
 
     #[test]

@@ -35,6 +35,11 @@ pub enum ShardMode {
     /// point's adversary label); outcomes are `ScenarioStats`, exactly as
     /// in [`ShardMode::Scenarios`].
     Search,
+    /// Each point runs one slice of an exhaustive model check (the check
+    /// spec and slice are encoded in the point's adversary label);
+    /// outcomes are check sweep points whose merge reproduces the
+    /// unsharded check exactly.
+    Check,
 }
 
 impl fmt::Display for ShardMode {
@@ -43,6 +48,7 @@ impl fmt::Display for ShardMode {
             ShardMode::Scenarios => write!(f, "scenarios"),
             ShardMode::Falsifier => write!(f, "falsifier"),
             ShardMode::Search => write!(f, "search"),
+            ShardMode::Check => write!(f, "check"),
         }
     }
 }
@@ -289,6 +295,15 @@ impl SweepSpec {
     pub fn search(points: impl IntoIterator<Item = CampaignPoint>, protocol: &str) -> Self {
         SweepSpec {
             mode: ShardMode::Search,
+            ..SweepSpec::scenarios(points, protocol)
+        }
+    }
+
+    /// An exhaustive model-check sweep over `points` (each carrying an
+    /// encoded check spec and slice assignment as its adversary label).
+    pub fn check(points: impl IntoIterator<Item = CampaignPoint>, protocol: &str) -> Self {
+        SweepSpec {
+            mode: ShardMode::Check,
             ..SweepSpec::scenarios(points, protocol)
         }
     }

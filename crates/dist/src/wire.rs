@@ -637,6 +637,7 @@ impl Decode for ShardManifest {
             "scenarios" => ShardMode::Scenarios,
             "falsifier" => ShardMode::Falsifier,
             "search" => ShardMode::Search,
+            "check" => ShardMode::Check,
             other => return Err(rec.field_error("mode", format!("unknown mode {other:?}"))),
         };
         let shard = rec.parse_field("shard")?;
@@ -991,10 +992,11 @@ mod tests {
             let manifest = ShardManifest {
                 shard: rng.gen_index(0, 8),
                 shards: rng.gen_index(1, 9),
-                mode: match rng.gen_index(0, 3) {
+                mode: match rng.gen_index(0, 4) {
                     0 => ShardMode::Scenarios,
                     1 => ShardMode::Falsifier,
-                    _ => ShardMode::Search,
+                    2 => ShardMode::Search,
+                    _ => ShardMode::Check,
                 },
                 protocol: label(&mut rng),
                 threads: rng.gen_index(0, 9),

@@ -11,10 +11,86 @@
 //! precomputed scan executions compressed without changing a single verdict.
 
 use std::collections::{BTreeMap, HashMap};
+use std::hash::{Hash, Hasher};
 
 use crate::execution::{Execution, FaultMode, ProcessRecord, RoundFragment};
 use crate::ids::{ProcessId, Round};
 use crate::value::{Payload, Value};
+
+/// A deterministic 64-bit FNV-1a [`Hasher`] with a fixed endianness.
+///
+/// `DefaultHasher` is seeded per-process and its integer methods hash
+/// native-endian bytes, so its output is useless as a *stored* fingerprint.
+/// `StableHasher` always starts from the FNV offset basis and hashes every
+/// integer little-endian, so the same value stream produces the same 64-bit
+/// digest in every run — which is what lets the exhaustive model checker
+/// deduplicate states by fingerprint and compare the resulting certificates
+/// across thread counts and shard splits.
+#[derive(Clone, Debug)]
+pub struct StableHasher {
+    state: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl StableHasher {
+    /// A hasher at the FNV-1a offset basis.
+    pub fn new() -> Self {
+        StableHasher { state: FNV_OFFSET }
+    }
+}
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        StableHasher::new()
+    }
+}
+
+impl Hasher for StableHasher {
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.state ^= u64::from(byte);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    fn write_u8(&mut self, i: u8) {
+        self.write(&[i]);
+    }
+
+    fn write_u16(&mut self, i: u16) {
+        self.write(&i.to_le_bytes());
+    }
+
+    fn write_u32(&mut self, i: u32) {
+        self.write(&i.to_le_bytes());
+    }
+
+    fn write_u64(&mut self, i: u64) {
+        self.write(&i.to_le_bytes());
+    }
+
+    fn write_u128(&mut self, i: u128) {
+        self.write(&i.to_le_bytes());
+    }
+
+    fn write_usize(&mut self, i: usize) {
+        // Fixed-width so 32- and 64-bit targets agree.
+        self.write(&(i as u64).to_le_bytes());
+    }
+}
+
+/// Hashes `value` through a fresh [`StableHasher`].
+pub fn stable_hash<T: Hash>(value: &T) -> u64 {
+    let mut hasher = StableHasher::new();
+    value.hash(&mut hasher);
+    hasher.finish()
+}
 
 /// Dense handle into a [`PayloadArena`]. `u32` keeps compressed fragments at
 /// four bytes per slot regardless of the payload type.
@@ -32,6 +108,7 @@ pub struct PayloadId(pub u32);
 pub struct PayloadArena<M> {
     items: Vec<M>,
     index: HashMap<M, PayloadId>,
+    hashes: Vec<u64>,
 }
 
 impl<M: Payload> PayloadArena<M> {
@@ -40,6 +117,7 @@ impl<M: Payload> PayloadArena<M> {
         PayloadArena {
             items: Vec::new(),
             index: HashMap::new(),
+            hashes: Vec::new(),
         }
     }
 
@@ -58,9 +136,23 @@ impl<M: Payload> PayloadArena<M> {
             return *id;
         }
         let id = PayloadId(u32::try_from(self.items.len()).expect("more than u32::MAX payloads"));
+        self.hashes.push(stable_hash(&payload));
         self.items.push(payload.clone());
         self.index.insert(payload, id);
         id
+    }
+
+    /// A handle-independent digest of the payload behind `id`: the
+    /// [`stable_hash`] of its *content*. Two arenas that interned the same
+    /// payloads in different orders assign different [`PayloadId`]s but
+    /// identical content hashes, which is what makes
+    /// [`CompressedExecution::fingerprint`] comparable across arenas.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this arena.
+    pub fn content_hash(&self, id: PayloadId) -> u64 {
+        self.hashes[id.0 as usize]
     }
 
     /// The payload behind `id`.
@@ -204,6 +296,55 @@ impl<I: Value, O: Value> CompressedExecution<I, O> {
         }
     }
 
+    /// A deterministic 64-bit fingerprint of the execution's observable
+    /// content, independent of *handle* numbering: payload handles are
+    /// replaced by their [`PayloadArena::content_hash`] before hashing, so
+    /// two compressions of equal executions through different arenas (or
+    /// the same arena populated in a different order) fingerprint
+    /// identically. The exhaustive model checker uses this to deduplicate
+    /// the executions reached along different adversary branches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a handle was not produced by `arena`.
+    pub fn fingerprint<M: Payload>(&self, arena: &PayloadArena<M>) -> u64 {
+        let mut hasher = StableHasher::new();
+        let hash_map =
+            |hasher: &mut StableHasher, tag: u8, map: &BTreeMap<ProcessId, PayloadId>| {
+                hasher.write_u8(tag);
+                hasher.write_usize(map.len());
+                for (process, id) in map {
+                    hasher.write_usize(process.0);
+                    hasher.write_u64(arena.content_hash(*id));
+                }
+            };
+        hasher.write_usize(self.n);
+        hasher.write_usize(self.t);
+        hasher.write_u8(match self.mode {
+            FaultMode::Omission => 0,
+            FaultMode::Byzantine => 1,
+            FaultMode::Mixed => 2,
+        });
+        hasher.write_usize(self.faulty.len());
+        for process in &self.faulty {
+            hasher.write_usize(process.0);
+        }
+        hasher.write_u64(self.rounds);
+        hasher.write_u8(u8::from(self.quiescent));
+        for record in &self.records {
+            record.proposal.hash(&mut hasher);
+            record.decision.hash(&mut hasher);
+            hasher.write_usize(record.fragments.len());
+            for fragment in &record.fragments {
+                hash_map(&mut hasher, 0, &fragment.sent);
+                hash_map(&mut hasher, 1, &fragment.send_omitted);
+                hash_map(&mut hasher, 2, &fragment.received);
+                hash_map(&mut hasher, 3, &fragment.receive_omitted);
+            }
+        }
+        hasher.finish()
+    }
+
     /// Total number of fragment slots (payload references) in this
     /// execution — the count that would have been owned clones without the
     /// arena.
@@ -298,6 +439,51 @@ mod tests {
         let hydrated = compressed.hydrate(&arena);
         assert_eq!(exec, hydrated);
         hydrated.validate().unwrap();
+    }
+
+    #[test]
+    fn stable_hasher_is_reproducible_and_endian_fixed() {
+        // FNV-1a of the byte 0x61 ("a") — a known vector.
+        let mut h = StableHasher::new();
+        h.write(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+        // Integer writes are little-endian regardless of platform: a u32
+        // write equals the write of its little-endian bytes.
+        let mut a = StableHasher::new();
+        a.write_u32(0x1234_5678);
+        let mut b = StableHasher::new();
+        b.write(&[0x78, 0x56, 0x34, 0x12]);
+        assert_eq!(a.finish(), b.finish());
+        assert_eq!(stable_hash(&Bit::Zero), stable_hash(&Bit::Zero));
+        assert_ne!(stable_hash(&Bit::Zero), stable_hash(&Bit::One));
+    }
+
+    #[test]
+    fn fingerprints_ignore_handle_numbering() {
+        let exec = sample(5);
+        // Arena A sees the execution's payloads in natural order; arena B
+        // is pre-seeded so every handle is shifted.
+        let mut plain = PayloadArena::new();
+        let mut shifted = PayloadArena::new();
+        // Natural compression order interns One first (process 0's proposal),
+        // so seeding Zero first guarantees every handle is renumbered.
+        shifted.intern(&Bit::Zero);
+        shifted.intern(&Bit::One);
+        let via_plain = CompressedExecution::compress(&exec, &mut plain);
+        let via_shifted = CompressedExecution::compress(&exec, &mut shifted);
+        assert_ne!(via_plain.records, via_shifted.records);
+        assert_eq!(
+            via_plain.fingerprint(&plain),
+            via_shifted.fingerprint(&shifted)
+        );
+    }
+
+    #[test]
+    fn fingerprints_separate_distinct_executions() {
+        let mut arena = PayloadArena::new();
+        let a = CompressedExecution::compress(&sample(4), &mut arena);
+        let b = CompressedExecution::compress(&sample(5), &mut arena);
+        assert_ne!(a.fingerprint(&arena), b.fingerprint(&arena));
     }
 
     #[test]

@@ -141,7 +141,8 @@ mod trace;
 mod value;
 
 pub use arena::{
-    CompressedExecution, CompressedFragment, CompressedRecord, PayloadArena, PayloadId,
+    stable_hash, CompressedExecution, CompressedFragment, CompressedRecord, PayloadArena,
+    PayloadId, StableHasher,
 };
 pub use byzantine::{
     ByzantineBehavior, FollowThenCrash, HonestMimic, ReplayByzantine, SilentByzantine,
